@@ -1,0 +1,56 @@
+//! Model-construction benchmarks (paper experiment E10): the cost of
+//! building a verifiable system model from scratch versus re-instantiating
+//! after a single plug-and-play block swap (components reused).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pnp_bench::pipe_components;
+use pnp_bridge::{exactly_n_bridge, BridgeConfig};
+use pnp_core::{ChannelKind, RecvPortKind, SendPortKind, SystemBuilder};
+
+fn bridge_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_construction");
+
+    // Full reconstruction: components and connectors from scratch.
+    group.bench_function("bridge_from_scratch", |b| {
+        b.iter(|| exactly_n_bridge(&BridgeConfig::buggy()).unwrap())
+    });
+
+    // Reuse: the builder retains component models; only a block changes.
+    let mut sys = SystemBuilder::new();
+    let conn = sys.connector("wire", ChannelKind::Fifo { capacity: 2 });
+    let tx = sys.send_port(conn, SendPortKind::AsynBlocking);
+    let rx = sys.recv_port(conn, RecvPortKind::blocking());
+    pipe_components(&mut sys, &tx, &rx, 3);
+    group.bench_function("pipe_swap_and_rebuild", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            sys.set_send_port_kind(
+                &tx,
+                if flip {
+                    SendPortKind::SynBlocking
+                } else {
+                    SendPortKind::AsynBlocking
+                },
+            );
+            sys.build().unwrap()
+        })
+    });
+
+    // Reference: the same pipe built from nothing each iteration.
+    group.bench_function("pipe_from_scratch", |b| {
+        b.iter(|| {
+            let mut sys = SystemBuilder::new();
+            let conn = sys.connector("wire", ChannelKind::Fifo { capacity: 2 });
+            let tx = sys.send_port(conn, SendPortKind::AsynBlocking);
+            let rx = sys.recv_port(conn, RecvPortKind::blocking());
+            pipe_components(&mut sys, &tx, &rx, 3);
+            sys.build().unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bridge_construction);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Front-end benchmarks: parsing and compiling architecture specifications,
+//! and the end-to-end check a designer pays per edit-verify iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const WIRE: &str = include_str!("../../../examples/specs/wire.pnp");
+const BRIDGE: &str = include_str!("../../../examples/specs/bridge_buggy.pnp");
+
+fn front_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lang");
+    group.bench_function("parse_bridge_spec", |b| {
+        b.iter(|| pnp_lang::parse_system(BRIDGE).unwrap())
+    });
+    group.bench_function("compile_bridge_spec", |b| {
+        b.iter(|| pnp_lang::compile(BRIDGE).unwrap())
+    });
+    group.sample_size(20);
+    group.bench_function("verify_wire_spec_end_to_end", |b| {
+        b.iter(|| {
+            let spec = pnp_lang::compile(WIRE).unwrap();
+            let results = spec.verify_all().unwrap();
+            assert!(results.iter().all(|r| r.holds));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, front_end);
+criterion_main!(benches);

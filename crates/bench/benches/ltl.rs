@@ -1,0 +1,61 @@
+//! LTL pipeline benchmarks: formula-to-Büchi translation and an end-to-end
+//! liveness check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pnp_bench::composed_pipe;
+use pnp_core::{ChannelKind, RecvPortKind, SendPortKind};
+use pnp_kernel::{expr, Checker, Fairness, Predicate, Proposition};
+use pnp_ltl::{parse, translate};
+
+fn translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ltl_translate");
+    for formula in [
+        "[] (p -> <> q)",
+        "[] <> p && [] <> q",
+        "(p U q) R (r U p)",
+        "<> [] p -> [] <> q",
+        "[] (p -> (q U (r U p)))",
+    ] {
+        let parsed = parse(formula).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(formula), &parsed, |b, f| {
+            b.iter(|| translate(&f.negated()))
+        });
+    }
+    group.finish();
+}
+
+fn liveness_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ltl_check");
+    group.sample_size(20);
+    let system = composed_pipe(
+        SendPortKind::AsynBlocking,
+        ChannelKind::Fifo { capacity: 2 },
+        RecvPortKind::blocking(),
+        2,
+    );
+    let program = system.program();
+    let got0 = program.global_by_name("got0").unwrap();
+    let delivered = Proposition::new(
+        "delivered",
+        Predicate::from_expr(expr::eq(expr::global(got0), 1.into())),
+    );
+    let formula = parse("<> delivered").unwrap();
+    for (label, fairness) in [("unfair", Fairness::None), ("weak_fair", Fairness::Weak)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &fairness,
+            |b, &fairness| {
+                b.iter(|| {
+                    Checker::new(program)
+                        .check_ltl_with(&formula, std::slice::from_ref(&delivered), fairness)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, translation, liveness_check);
+criterion_main!(benches);

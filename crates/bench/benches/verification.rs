@@ -1,0 +1,99 @@
+//! Verification benchmarks: the cost of checking each bridge design and
+//! connector composition, plus the partial-order-reduction and fused-model
+//! ablations (paper experiments E6-E8, E11, E14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pnp_bench::{composed_pipe, fused_pipe, verify_bridge};
+use pnp_bridge::{exactly_n_bridge, BridgeConfig};
+use pnp_core::{ChannelKind, FusedConnectorKind, RecvPortKind, SendPortKind};
+use pnp_kernel::{Checker, SafetyChecks};
+
+fn bridge_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bridge_verify");
+    group.sample_size(10);
+
+    let buggy = exactly_n_bridge(&BridgeConfig::buggy()).unwrap();
+    group.bench_function("buggy_find_violation", |b| {
+        b.iter(|| {
+            let (outcome, _) = verify_bridge(&buggy, true);
+            assert!(!outcome.is_holds());
+        })
+    });
+
+    let fixed = exactly_n_bridge(&BridgeConfig::fixed().with_laps(Some(1))).unwrap();
+    group.bench_function("fixed_exhaustive", |b| {
+        b.iter(|| {
+            let (outcome, _) = verify_bridge(&fixed, true);
+            assert!(outcome.is_holds());
+        })
+    });
+    group.finish();
+}
+
+fn por_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("por_ablation");
+    group.sample_size(10);
+    let fixed = exactly_n_bridge(&BridgeConfig::fixed().with_laps(Some(1))).unwrap();
+    for (label, por) in [("full", false), ("reduced", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &por, |b, &por| {
+            b.iter(|| verify_bridge(&fixed, por))
+        });
+    }
+    group.finish();
+}
+
+fn connector_compositions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("composition_deadlock_check");
+    for send in [
+        SendPortKind::AsynNonblocking,
+        SendPortKind::AsynBlocking,
+        SendPortKind::SynBlocking,
+    ] {
+        let system = composed_pipe(
+            send,
+            ChannelKind::Fifo { capacity: 2 },
+            RecvPortKind::blocking(),
+            2,
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(send.name()),
+            &system,
+            |b, system| {
+                b.iter(|| {
+                    Checker::new(system.program())
+                        .check_safety(&SafetyChecks::deadlock_only())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fused_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_vs_composed");
+    let composed = composed_pipe(
+        SendPortKind::AsynBlocking,
+        ChannelKind::Fifo { capacity: 2 },
+        RecvPortKind::blocking(),
+        3,
+    );
+    let fused = fused_pipe(FusedConnectorKind::AsyncFifo { capacity: 2 }, 3);
+    group.bench_function("composed", |b| {
+        b.iter(|| Checker::new(composed.program()).state_space_size().unwrap())
+    });
+    group.bench_function("fused", |b| {
+        b.iter(|| Checker::new(fused.program()).state_space_size().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bridge_verification,
+    por_ablation,
+    connector_compositions,
+    fused_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,251 @@
+//! Regenerates every experiment table of the PnP reproduction.
+//!
+//! Run with: `cargo run --release -p pnp-bench --bin experiments`
+//!
+//! The output of this binary is what `EXPERIMENTS.md` records (state
+//! counts, verdicts, trace lengths, throughput, ablations). Timings vary by
+//! machine; everything else is deterministic.
+
+use std::time::Instant;
+
+use pnp_bench::{bridges, composed_pipe, fused_pipe, verify_bridge};
+use pnp_bridge::{at_most_n_bridge, crossings_in, exactly_n_bridge, BridgeConfig};
+use pnp_core::{ChannelKind, FusedConnectorKind, RecvPortKind, SendPortKind, SystemBuilder};
+use pnp_kernel::{Checker, SafetyChecks, SafetyOutcome};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    e6_e7_e8_bridge_verdicts();
+    e2_connector_swap_costs();
+    e9_throughput();
+    e10_model_reuse();
+    e11_fused_vs_composed();
+    e14_scaling(full);
+    por_ablation();
+}
+
+fn e6_e7_e8_bridge_verdicts() {
+    println!("== E6/E7/E8 — bridge designs: verdicts and state spaces ==");
+    println!(
+        "{:<22} {:>10} {:>10} {:>14} {:>10}",
+        "design", "verdict", "states", "trace (steps)", "time"
+    );
+    for (name, system) in bridges() {
+        let t0 = Instant::now();
+        let (outcome, stats) = verify_bridge(&system, true);
+        let (verdict, trace_len) = match &outcome {
+            SafetyOutcome::Holds => ("SAFE", "-".to_string()),
+            o => ("UNSAFE", o.trace().map(|t| t.len().to_string()).unwrap_or_default()),
+        };
+        println!(
+            "{:<22} {:>10} {:>10} {:>14} {:>9.2?}",
+            name,
+            verdict,
+            stats.unique_states,
+            trace_len,
+            t0.elapsed()
+        );
+    }
+    println!();
+}
+
+fn e2_connector_swap_costs() {
+    println!("== E2 — plug-and-play swaps: re-verification after one block change ==");
+    println!(
+        "{:<52} {:>10} {:>10}",
+        "composition", "states", "verdict"
+    );
+    let channel = ChannelKind::Fifo { capacity: 2 };
+    for send in SendPortKind::ALL {
+        let system = composed_pipe(send, channel, RecvPortKind::blocking(), 2);
+        let report = Checker::new(system.program())
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
+        println!(
+            "{:<52} {:>10} {:>10}",
+            format!("{} -> FIFO(2) -> BlRecv(remove)", send.name()),
+            report.stats.unique_states,
+            if report.outcome.is_holds() { "ok" } else { "FAIL" }
+        );
+    }
+    for ch in [
+        ChannelKind::SingleSlot,
+        ChannelKind::Fifo { capacity: 4 },
+        ChannelKind::Priority { capacity: 2 },
+        ChannelKind::Dropping { capacity: 2 },
+    ] {
+        let system = composed_pipe(SendPortKind::AsynBlocking, ch, RecvPortKind::blocking(), 2);
+        let report = Checker::new(system.program())
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
+        println!(
+            "{:<52} {:>10} {:>10}",
+            format!("AsynBlockingSend -> {} -> BlRecv(remove)", ch.name()),
+            report.stats.unique_states,
+            if report.outcome.is_holds() { "ok" } else { "FAIL" }
+        );
+    }
+    println!();
+}
+
+fn e9_throughput() {
+    println!("== E9 — traffic throughput, 20000 scheduler steps, mean of 5 seeds ==");
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "traffic (blue/red)", "exactly-N", "at-most-N"
+    );
+    for (blue, red) in [(1usize, 1usize), (1, 0)] {
+        let cfg = BridgeConfig::fixed().with_cars(blue, red).with_laps(None);
+        let strict = exactly_n_bridge(&cfg).unwrap();
+        let flexible = at_most_n_bridge(&cfg).unwrap();
+        let mean = |system: &pnp_core::System| -> f64 {
+            (0..5)
+                .map(|seed| {
+                    let (b, r) = crossings_in(system.program(), 20_000, seed).unwrap();
+                    (b + r) as f64
+                })
+                .sum::<f64>()
+                / 5.0
+        };
+        println!(
+            "{:<22} {:>12.1} {:>12.1}",
+            format!("{blue} blue / {red} red"),
+            mean(&strict),
+            mean(&flexible)
+        );
+    }
+    println!();
+}
+
+fn e10_model_reuse() {
+    println!("== E10 — model-construction reuse: full rebuild vs one-block swap ==");
+    // Full: construct components + connectors from scratch, N times.
+    let iterations = 200;
+    let t0 = Instant::now();
+    for _ in 0..iterations {
+        let system = exactly_n_bridge(&BridgeConfig::buggy()).unwrap();
+        std::hint::black_box(system);
+    }
+    let scratch = t0.elapsed();
+
+    // Reuse: keep the builder (components already constructed), swap the
+    // channel kind and re-instantiate.
+    let mut sys = SystemBuilder::new();
+    let _g = sys.global("g", 0);
+    let conn = sys.connector("wire", ChannelKind::Fifo { capacity: 2 });
+    let tx = sys.send_port(conn, SendPortKind::AsynBlocking);
+    let rx = sys.recv_port(conn, RecvPortKind::blocking());
+    pnp_bench::pipe_components(&mut sys, &tx, &rx, 3);
+    let t0 = Instant::now();
+    for i in 0..iterations {
+        let kind = if i % 2 == 0 {
+            SendPortKind::SynBlocking
+        } else {
+            SendPortKind::AsynBlocking
+        };
+        sys.set_send_port_kind(&tx, kind);
+        let system = sys.build().unwrap();
+        std::hint::black_box(system);
+    }
+    let reuse = t0.elapsed();
+    println!("full reconstruction x{iterations}: {scratch:?}");
+    println!("swap-and-rebuild    x{iterations}: {reuse:?}");
+    println!();
+}
+
+fn e11_fused_vs_composed() {
+    println!("== E11 — Section 6 ablation: composed blocks vs fused connector ==");
+    println!(
+        "{:<46} {:>10} {:>10}",
+        "connector", "states", "time"
+    );
+    for messages in [2usize, 3] {
+        let composed = composed_pipe(
+            SendPortKind::AsynBlocking,
+            ChannelKind::Fifo { capacity: 2 },
+            RecvPortKind::blocking(),
+            messages,
+        );
+        let fused = fused_pipe(FusedConnectorKind::AsyncFifo { capacity: 2 }, messages);
+        for (label, system) in [
+            (format!("composed async fifo ({messages} msgs)"), composed),
+            (format!("fused async fifo ({messages} msgs)"), fused),
+        ] {
+            let t0 = Instant::now();
+            let stats = Checker::new(system.program()).state_space_size().unwrap();
+            println!(
+                "{:<46} {:>10} {:>9.2?}",
+                label,
+                stats.unique_states,
+                t0.elapsed()
+            );
+        }
+    }
+    println!();
+}
+
+fn e14_scaling(full: bool) {
+    println!("== E14 — verification cost scaling (exactly-N fixed bridge) ==");
+    println!("{:<26} {:>12} {:>10}", "parameter", "states", "time");
+    for laps in [1, 2, 3] {
+        let system = exactly_n_bridge(&BridgeConfig::fixed().with_laps(Some(laps))).unwrap();
+        let t0 = Instant::now();
+        let (_, stats) = verify_bridge(&system, true);
+        println!(
+            "{:<26} {:>12} {:>9.2?}",
+            format!("laps = {laps}"),
+            stats.unique_states,
+            t0.elapsed()
+        );
+    }
+    if full {
+        for (blue, red, n) in [(2usize, 2usize, 1i32), (2, 2, 2)] {
+            let cfg = BridgeConfig::fixed()
+                .with_cars(blue, red)
+                .with_cars_per_turn(n)
+                .with_laps(Some(1));
+            let system = exactly_n_bridge(&cfg).unwrap();
+            let t0 = Instant::now();
+            let (_, stats) = verify_bridge(&system, true);
+            println!(
+                "{:<26} {:>12} {:>9.2?}",
+                format!("cars {blue}+{red}, N = {n}"),
+                stats.unique_states,
+                t0.elapsed()
+            );
+        }
+    }
+    for capacity in [1usize, 2, 4] {
+        let cfg = BridgeConfig {
+            enter_channel: ChannelKind::Fifo { capacity },
+            ..BridgeConfig::fixed().with_laps(Some(1))
+        };
+        let system = exactly_n_bridge(&cfg).unwrap();
+        let t0 = Instant::now();
+        let (_, stats) = verify_bridge(&system, true);
+        println!(
+            "{:<26} {:>12} {:>9.2?}",
+            format!("enter FIFO capacity = {capacity}"),
+            stats.unique_states,
+            t0.elapsed()
+        );
+    }
+    println!();
+}
+
+fn por_ablation() {
+    println!("== POR ablation — partial-order reduction on the fixed bridge ==");
+    println!("{:<26} {:>12} {:>10}", "reduction", "states", "time");
+    let system = exactly_n_bridge(&BridgeConfig::fixed().with_laps(Some(1))).unwrap();
+    for (label, por) in [("off (full)", false), ("on (ample sets)", true)] {
+        let t0 = Instant::now();
+        let (_, stats) = verify_bridge(&system, por);
+        println!(
+            "{:<26} {:>12} {:>9.2?}",
+            label,
+            stats.unique_states,
+            t0.elapsed()
+        );
+    }
+    println!();
+}

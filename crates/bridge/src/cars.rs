@@ -1,0 +1,116 @@
+//! The car component, shared unchanged by every bridge design.
+//!
+//! A car repeatedly: requests entry through its side's *enter* connector,
+//! drives onto the bridge (incrementing its side's occupancy global),
+//! crosses, drives off (decrementing it), and notifies the opposite
+//! controller through the *exit* connector. The component never changes
+//! when connector semantics are swapped — that reuse is the point of the
+//! case study.
+
+use pnp_core::{ComponentBuilder, SendAttachment};
+use pnp_kernel::{expr, Action, GlobalId, Guard};
+
+/// Builds one car component.
+///
+/// * `name` — e.g. `"BlueCar0"`.
+/// * `enter` — send attachment on the side's enter connector.
+/// * `exit` — send attachment on the *opposite* controller's exit
+///   connector.
+/// * `occupancy` — this side's on-bridge counter global.
+/// * `laps` — how many crossings to make; `None` loops forever.
+///
+/// The returned component talks to its connectors exclusively through the
+/// standard interfaces, so it is byte-for-byte identical across the buggy,
+/// fixed, and at-most-`N` designs.
+///
+/// `_exit_unused` note: exit notifications carry payload `1` and tag `0`.
+pub fn car_component(
+    name: &str,
+    enter: &SendAttachment,
+    exit: &SendAttachment,
+    occupancy: GlobalId,
+    laps: Option<i32>,
+) -> ComponentBuilder {
+    let mut car = ComponentBuilder::new(name);
+    let lap = car.local("lap", 0);
+
+    let idle = car.location("idle");
+    let granted = car.location("granted");
+    let crossing = car.location("crossing");
+    let off_bridge = car.location("off_bridge");
+    let notified = car.location("notified");
+    let done = car.location("done");
+    car.mark_end(done);
+
+    // Request entry. The guard enforces the lap budget; with `laps: None`
+    // the car runs forever.
+    let want_lap = match laps {
+        Some(n) => Guard::when(expr::lt(expr::local(lap), n.into())),
+        None => Guard::always(),
+    };
+    // The send interface is emitted between explicit locations; the guard
+    // must sit on the first step, so wrap with a guarded skip.
+    let request = car.location("request");
+    car.transition(idle, request, want_lap, Action::Skip, "approach bridge");
+    if let Some(n) = laps {
+        car.transition(
+            idle,
+            done,
+            Guard::when(expr::ge(expr::local(lap), n.into())),
+            Action::Skip,
+            "leave for good",
+        );
+    }
+    car.send_msg(request, granted, enter, 1.into(), 0.into(), None);
+
+    // The SendStatus arrived: as far as this car knows, it may drive on.
+    // Whether that is actually safe depends on the enter connector's
+    // semantics — the crux of the case study.
+    car.transition(
+        granted,
+        crossing,
+        Guard::always(),
+        Action::assign(occupancy, expr::global(occupancy) + 1.into()),
+        "drive onto bridge",
+    );
+    car.transition(
+        crossing,
+        off_bridge,
+        Guard::always(),
+        Action::assign(occupancy, expr::global(occupancy) - 1.into()),
+        "drive off bridge",
+    );
+    // Notify the opposite controller. The lap counter only exists (and is
+    // only incremented) under a finite lap budget, keeping the state space
+    // finite when cars loop forever.
+    car.send_msg(off_bridge, notified, exit, 1.into(), 0.into(), None);
+    let lap_action = match laps {
+        Some(_) => Action::assign(lap, expr::local(lap) + 1.into()),
+        None => Action::Skip,
+    };
+    car.transition(notified, idle, Guard::always(), lap_action, "lap complete");
+
+    car
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnp_core::{ChannelKind, SendPortKind, SystemBuilder};
+
+    #[test]
+    fn car_component_validates_and_is_design_independent() {
+        let mut sys = SystemBuilder::new();
+        let occ = sys.global("occ", 0);
+        let enter_conn = sys.connector("enter", ChannelKind::Fifo { capacity: 2 });
+        let exit_conn = sys.connector("exit", ChannelKind::SingleSlot);
+        let enter = sys.send_port(enter_conn, SendPortKind::AsynBlocking);
+        let exit = sys.send_port(exit_conn, SendPortKind::AsynBlocking);
+
+        let finite = car_component("car", &enter, &exit, occ, Some(3));
+        let forever = car_component("car", &enter, &exit, occ, None);
+        // The finite car has one extra transition (leave for good); the
+        // structure is otherwise identical.
+        assert_eq!(finite.location_count(), forever.location_count());
+    }
+}

@@ -1,0 +1,289 @@
+//! The traffic-controller components for both bridge designs.
+
+use pnp_core::{ComponentBuilder, ReceiveBinds, RecvAttachment, SendAttachment};
+use pnp_kernel::{expr, Action, Guard};
+
+use crate::props::{RECV_FAIL_SIGNAL, RECV_SUCC_SIGNAL};
+
+/// Which end of the bridge a controller manages, which fixes its start
+/// phase: the blue controller admits first, the red controller first waits
+/// for the blue batch to cross.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerSide {
+    /// Starts in the admitting phase.
+    Blue,
+    /// Starts waiting for the other side's cars to exit.
+    Red,
+}
+
+/// Builds a controller for the *exactly-N-cars-per-turn* design (Fig. 13).
+///
+/// Each cycle the controller admits exactly `n` cars from its enter
+/// connector (blocking receives), then collects exactly `n` exit
+/// notifications from the opposite side's cars before admitting again. No
+/// controller-to-controller communication exists in this design.
+pub fn exactly_n_controller(
+    name: &str,
+    side: ControllerSide,
+    n: i32,
+    enter: &RecvAttachment,
+    exit: &RecvAttachment,
+) -> ComponentBuilder {
+    let mut ctrl = ComponentBuilder::new(name);
+    let admitted = ctrl.local("admitted", 0);
+    let exits = ctrl.local("exits", 0);
+
+    // Declare in an order that lets `set_initial` pick the right phase.
+    let admit_loop = ctrl.location("admit_loop");
+    let exit_loop = ctrl.location("exit_loop");
+    let admitted_one = ctrl.location("admitted_one");
+    let saw_exit = ctrl.location("saw_exit");
+
+    // Admitting phase: take n enter requests, one at a time. Receiving a
+    // request *is* the admission — with synchronous car-side send ports the
+    // car is released exactly here. recv_msg's first internal transition is
+    // unguarded, so the turn-count guard sits on a gate location in front.
+    let admit_gate = ctrl.location("admit_gate");
+    ctrl.transition(
+        admit_loop,
+        admit_gate,
+        Guard::when(expr::lt(expr::local(admitted), n.into())),
+        Action::Skip,
+        "may admit another",
+    );
+    ctrl.recv_msg(admit_gate, admitted_one, enter, None, ReceiveBinds::ignore());
+    let count_admit = Action::assign(admitted, expr::local(admitted) + 1.into());
+    ctrl.transition(
+        admitted_one,
+        admit_loop,
+        Guard::always(),
+        count_admit,
+        "count admission",
+    );
+    ctrl.transition(
+        admit_loop,
+        exit_loop,
+        Guard::when(expr::ge(expr::local(admitted), n.into())),
+        Action::assign(exits, 0.into()),
+        "turn over: await exits",
+    );
+
+    // Exit phase: collect n exit notifications from the opposite side's
+    // cars, then start the next admitting turn.
+    let exit_gate = ctrl.location("exit_gate");
+    ctrl.transition(
+        exit_loop,
+        exit_gate,
+        Guard::when(expr::lt(expr::local(exits), n.into())),
+        Action::Skip,
+        "await another exit",
+    );
+    ctrl.recv_msg(exit_gate, saw_exit, exit, None, ReceiveBinds::ignore());
+    ctrl.transition(
+        saw_exit,
+        exit_loop,
+        Guard::always(),
+        Action::assign(exits, expr::local(exits) + 1.into()),
+        "count exit",
+    );
+    ctrl.transition(
+        exit_loop,
+        admit_loop,
+        Guard::when(expr::ge(expr::local(exits), n.into())),
+        Action::assign(admitted, 0.into()),
+        "my turn again",
+    );
+
+    match side {
+        ControllerSide::Blue => ctrl.set_initial(admit_loop),
+        ControllerSide::Red => {
+            // The red controller's first turn only begins after the blue
+            // batch crosses; entering at the exit-collection phase encodes
+            // exactly that.
+            ctrl.set_initial(exit_loop)
+        }
+    }
+    ctrl
+}
+
+/// Builds a controller for the *at-most-N-cars-per-turn* design (Fig. 14).
+///
+/// The controller polls (non-blocking receives) its enter connector while
+/// it holds the turn, admitting up to `n` cars but yielding immediately
+/// when none are waiting. Yielding hands the opposite controller the number
+/// of cars admitted this turn over a controller-to-controller connector;
+/// the receiving controller collects exactly that many exit notifications
+/// before starting its own turn, which keeps the bridge safe.
+pub fn at_most_n_controller(
+    name: &str,
+    side: ControllerSide,
+    n: i32,
+    enter: &RecvAttachment,
+    exit: &RecvAttachment,
+    yield_turn: &SendAttachment,
+    take_turn: &RecvAttachment,
+) -> ComponentBuilder {
+    let mut ctrl = ComponentBuilder::new(name);
+    let admitted = ctrl.local("admitted", 0);
+    let needed = ctrl.local("needed", 0);
+    let got = ctrl.local("got", 0);
+    let status = ctrl.local("status", 0);
+
+    let admit_loop = ctrl.location("admit_loop");
+    let admit_check = ctrl.location("admit_check");
+    let yield_now = ctrl.location("yield");
+    let handover_wait = ctrl.location("handover_wait");
+    let handover_check = ctrl.location("handover_check");
+    let collect = ctrl.location("collect");
+    let collect_check = ctrl.location("collect_check");
+
+    let succ = Guard::when(expr::eq(expr::local(status), RECV_SUCC_SIGNAL.into()));
+    let fail = Guard::when(expr::eq(expr::local(status), RECV_FAIL_SIGNAL.into()));
+
+    // Admitting phase (my turn): poll for a waiting car.
+    let admit_gate = ctrl.location("admit_gate");
+    ctrl.transition(
+        admit_loop,
+        admit_gate,
+        Guard::when(expr::lt(expr::local(admitted), n.into())),
+        Action::Skip,
+        "poll for a car",
+    );
+    ctrl.recv_msg(
+        admit_gate,
+        admit_check,
+        enter,
+        None,
+        ReceiveBinds::ignore().with_status(status),
+    );
+    ctrl.transition(
+        admit_check,
+        admit_loop,
+        succ.clone(),
+        Action::assign(admitted, expr::local(admitted) + 1.into()),
+        "admit car",
+    );
+    // No car waiting: yield the turn immediately (the design's whole
+    // point).
+    ctrl.transition(
+        admit_check,
+        yield_now,
+        fail.clone(),
+        Action::Skip,
+        "nobody waiting: yield",
+    );
+    ctrl.transition(
+        admit_loop,
+        yield_now,
+        Guard::when(expr::ge(expr::local(admitted), n.into())),
+        Action::Skip,
+        "batch full: yield",
+    );
+
+    // Yield: tell the other controller how many cars it must see exit.
+    let yielded = ctrl.location("yielded");
+    ctrl.send_msg(
+        yield_now,
+        yielded,
+        yield_turn,
+        expr::local(admitted),
+        0.into(),
+        None,
+    );
+    ctrl.transition(
+        yielded,
+        handover_wait,
+        Guard::always(),
+        Action::assign(got, 0.into()),
+        "await turn",
+    );
+
+    // Wait (polling) for the other controller to yield back.
+    ctrl.recv_msg(
+        handover_wait,
+        handover_check,
+        take_turn,
+        None,
+        ReceiveBinds::data_into(needed).with_status(status),
+    );
+    ctrl.transition(handover_check, collect, succ.clone(), Action::Skip, "turn received");
+    ctrl.transition(
+        handover_check,
+        handover_wait,
+        fail.clone(),
+        Action::Skip,
+        "no turn yet",
+    );
+
+    // Collect exactly `needed` exit notifications before admitting.
+    let collect_gate = ctrl.location("collect_gate");
+    ctrl.transition(
+        collect,
+        collect_gate,
+        Guard::when(expr::lt(expr::local(got), expr::local(needed))),
+        Action::Skip,
+        "poll for an exit",
+    );
+    ctrl.recv_msg(
+        collect_gate,
+        collect_check,
+        exit,
+        None,
+        ReceiveBinds::ignore().with_status(status),
+    );
+    ctrl.transition(
+        collect_check,
+        collect,
+        succ,
+        Action::assign(got, expr::local(got) + 1.into()),
+        "count exit",
+    );
+    ctrl.transition(collect_check, collect, fail, Action::Skip, "no exit yet");
+    ctrl.transition(
+        collect,
+        admit_loop,
+        Guard::when(expr::ge(expr::local(got), expr::local(needed))),
+        Action::assign(admitted, 0.into()),
+        "bridge clear: my turn",
+    );
+
+    match side {
+        ControllerSide::Blue => ctrl.set_initial(admit_loop),
+        ControllerSide::Red => ctrl.set_initial(handover_wait),
+    }
+    ctrl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnp_core::{ChannelKind, RecvPortKind, SendPortKind, SystemBuilder};
+
+    #[test]
+    fn controller_components_validate() {
+        let mut sys = SystemBuilder::new();
+        let e = sys.connector("enter", ChannelKind::Fifo { capacity: 2 });
+        let x = sys.connector("exit", ChannelKind::SingleSlot);
+        let t1 = sys.connector("to_other", ChannelKind::SingleSlot);
+        let t2 = sys.connector("from_other", ChannelKind::SingleSlot);
+        let enter = sys.recv_port(e, RecvPortKind::blocking());
+        let exit = sys.recv_port(x, RecvPortKind::blocking());
+        let yield_turn = sys.send_port(t1, SendPortKind::SynBlocking);
+        let take_turn = sys.recv_port(t2, RecvPortKind::nonblocking());
+
+        let blue = exactly_n_controller("b", ControllerSide::Blue, 2, &enter, &exit);
+        let red = exactly_n_controller("r", ControllerSide::Red, 2, &enter, &exit);
+        assert_eq!(blue.location_count(), red.location_count());
+
+        let am = at_most_n_controller(
+            "b2",
+            ControllerSide::Blue,
+            2,
+            &enter,
+            &exit,
+            &yield_turn,
+            &take_turn,
+        );
+        assert!(am.location_count() > blue.location_count());
+    }
+}

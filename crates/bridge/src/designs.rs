@@ -1,0 +1,362 @@
+//! Assembly of the two bridge designs from the PnP building blocks.
+
+use pnp_core::{
+    ChannelKind, RecvPortKind, SendPortKind, System, SystemBuildError, SystemBuilder,
+};
+
+use crate::cars::car_component;
+use crate::controllers::{at_most_n_controller, exactly_n_controller, ControllerSide};
+
+/// Which bridge design to assemble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BridgeDesign {
+    /// Strict alternation, exactly `N` cars per turn (Fig. 13).
+    ExactlyN,
+    /// Early-yield turns, at most `N` cars per turn (Fig. 14).
+    AtMostN,
+}
+
+/// Parameters for a bridge system.
+#[derive(Debug, Clone, Copy)]
+pub struct BridgeConfig {
+    /// Number of blue cars.
+    pub blue_cars: usize,
+    /// Number of red cars.
+    pub red_cars: usize,
+    /// Cars admitted per turn (`N`).
+    pub cars_per_turn: i32,
+    /// Crossings per car; `None` makes cars loop forever.
+    pub laps: Option<i32>,
+    /// The send-port kind cars use for *enter requests*. The paper's buggy
+    /// initial design uses [`SendPortKind::AsynBlocking`]; the one-block
+    /// fix swaps in [`SendPortKind::SynBlocking`].
+    pub enter_send: SendPortKind,
+    /// The channel kind buffering enter requests (the paper uses a FIFO
+    /// queue sized for the cars).
+    pub enter_channel: ChannelKind,
+}
+
+impl BridgeConfig {
+    /// The paper's *initial* (buggy) Fig. 13 configuration: asynchronous
+    /// blocking enter sends, one car per side, one car per turn.
+    pub fn buggy() -> BridgeConfig {
+        BridgeConfig {
+            blue_cars: 1,
+            red_cars: 1,
+            cars_per_turn: 1,
+            laps: None,
+            enter_send: SendPortKind::AsynBlocking,
+            enter_channel: ChannelKind::Fifo { capacity: 2 },
+        }
+    }
+
+    /// The fixed configuration: the single building-block swap to
+    /// synchronous blocking enter sends.
+    pub fn fixed() -> BridgeConfig {
+        BridgeConfig {
+            enter_send: SendPortKind::SynBlocking,
+            ..BridgeConfig::buggy()
+        }
+    }
+
+    /// Sets the car counts.
+    pub fn with_cars(mut self, blue: usize, red: usize) -> BridgeConfig {
+        self.blue_cars = blue;
+        self.red_cars = red;
+        self
+    }
+
+    /// Sets `N`, the cars-per-turn bound.
+    pub fn with_cars_per_turn(mut self, n: i32) -> BridgeConfig {
+        self.cars_per_turn = n;
+        self
+    }
+
+    /// Sets the lap budget.
+    pub fn with_laps(mut self, laps: Option<i32>) -> BridgeConfig {
+        self.laps = laps;
+        self
+    }
+}
+
+/// Builds the *exactly-N-cars-per-turn* bridge (paper Fig. 13).
+///
+/// Connectors: `BlueEnter`/`RedEnter` buffer enter requests from cars to
+/// their controller; `RedExit`/`BlueExit` carry exit notifications to the
+/// *opposite* controller. Exit connectors use asynchronous blocking sends
+/// into single-slot buffers; enter connectors use `config.enter_send` and
+/// `config.enter_channel` — the design decision under study.
+///
+/// # Errors
+///
+/// Returns [`SystemBuildError`] if the configuration produces an invalid
+/// system (e.g. zero cars on both sides).
+pub fn exactly_n_bridge(config: &BridgeConfig) -> Result<System, SystemBuildError> {
+    let mut sys = SystemBuilder::new();
+    let blue_on = sys.global("blue_on_bridge", 0);
+    let red_on = sys.global("red_on_bridge", 0);
+
+    let blue_enter = sys.connector("BlueEnter", config.enter_channel);
+    let red_enter = sys.connector("RedEnter", config.enter_channel);
+    // Exit notifications from blue cars arrive at the red controller, and
+    // vice versa.
+    let red_exit = sys.connector("RedExit", ChannelKind::SingleSlot);
+    let blue_exit = sys.connector("BlueExit", ChannelKind::SingleSlot);
+
+    let blue_enter_rx = sys.recv_port(blue_enter, RecvPortKind::blocking());
+    let red_enter_rx = sys.recv_port(red_enter, RecvPortKind::blocking());
+    let red_exit_rx = sys.recv_port(red_exit, RecvPortKind::blocking());
+    let blue_exit_rx = sys.recv_port(blue_exit, RecvPortKind::blocking());
+
+    for i in 0..config.blue_cars {
+        let enter = sys.send_port(blue_enter, config.enter_send);
+        let exit = sys.send_port(red_exit, SendPortKind::AsynBlocking);
+        let car = car_component(&format!("BlueCar{i}"), &enter, &exit, blue_on, config.laps);
+        sys.add_component(car);
+    }
+    for i in 0..config.red_cars {
+        let enter = sys.send_port(red_enter, config.enter_send);
+        let exit = sys.send_port(blue_exit, SendPortKind::AsynBlocking);
+        let car = car_component(&format!("RedCar{i}"), &enter, &exit, red_on, config.laps);
+        sys.add_component(car);
+    }
+
+    sys.add_component(exactly_n_controller(
+        "BlueController",
+        ControllerSide::Blue,
+        config.cars_per_turn,
+        &blue_enter_rx,
+        &blue_exit_rx,
+    ));
+    sys.add_component(exactly_n_controller(
+        "RedController",
+        ControllerSide::Red,
+        config.cars_per_turn,
+        &red_enter_rx,
+        &red_exit_rx,
+    ));
+
+    sys.build()
+}
+
+/// Builds the *at-most-N-cars-per-turn* bridge (paper Fig. 14).
+///
+/// Beyond the Fig. 13 connectors, two controller-to-controller connectors
+/// (`BlueToRed`, `RedToBlue`: synchronous blocking send, single-slot
+/// buffer, non-blocking receive) carry turn handovers, and — because the
+/// controllers must poll cars and the other controller — every
+/// controller-side receive port becomes non-blocking, exactly as the paper
+/// describes.
+///
+/// # Errors
+///
+/// Returns [`SystemBuildError`] if the configuration produces an invalid
+/// system.
+pub fn at_most_n_bridge(config: &BridgeConfig) -> Result<System, SystemBuildError> {
+    let mut sys = SystemBuilder::new();
+    let blue_on = sys.global("blue_on_bridge", 0);
+    let red_on = sys.global("red_on_bridge", 0);
+
+    let blue_enter = sys.connector("BlueEnter", config.enter_channel);
+    let red_enter = sys.connector("RedEnter", config.enter_channel);
+    let red_exit = sys.connector("RedExit", ChannelKind::SingleSlot);
+    let blue_exit = sys.connector("BlueExit", ChannelKind::SingleSlot);
+    let blue_to_red = sys.connector("BlueToRed", ChannelKind::SingleSlot);
+    let red_to_blue = sys.connector("RedToBlue", ChannelKind::SingleSlot);
+
+    // Controllers poll everything: non-blocking receive ports throughout.
+    let blue_enter_rx = sys.recv_port(blue_enter, RecvPortKind::nonblocking());
+    let red_enter_rx = sys.recv_port(red_enter, RecvPortKind::nonblocking());
+    let red_exit_rx = sys.recv_port(red_exit, RecvPortKind::nonblocking());
+    let blue_exit_rx = sys.recv_port(blue_exit, RecvPortKind::nonblocking());
+    let blue_to_red_rx = sys.recv_port(blue_to_red, RecvPortKind::nonblocking());
+    let red_to_blue_rx = sys.recv_port(red_to_blue, RecvPortKind::nonblocking());
+    let blue_to_red_tx = sys.send_port(blue_to_red, SendPortKind::SynBlocking);
+    let red_to_blue_tx = sys.send_port(red_to_blue, SendPortKind::SynBlocking);
+
+    for i in 0..config.blue_cars {
+        let enter = sys.send_port(blue_enter, config.enter_send);
+        let exit = sys.send_port(red_exit, SendPortKind::AsynBlocking);
+        let car = car_component(&format!("BlueCar{i}"), &enter, &exit, blue_on, config.laps);
+        sys.add_component(car);
+    }
+    for i in 0..config.red_cars {
+        let enter = sys.send_port(red_enter, config.enter_send);
+        let exit = sys.send_port(blue_exit, SendPortKind::AsynBlocking);
+        let car = car_component(&format!("RedCar{i}"), &enter, &exit, red_on, config.laps);
+        sys.add_component(car);
+    }
+
+    sys.add_component(at_most_n_controller(
+        "BlueController",
+        ControllerSide::Blue,
+        config.cars_per_turn,
+        &blue_enter_rx,
+        &blue_exit_rx,
+        &blue_to_red_tx,
+        &red_to_blue_rx,
+    ));
+    sys.add_component(at_most_n_controller(
+        "RedController",
+        ControllerSide::Red,
+        config.cars_per_turn,
+        &red_enter_rx,
+        &red_exit_rx,
+        &red_to_blue_tx,
+        &blue_to_red_rx,
+    ));
+
+    sys.build()
+}
+
+/// Builds the design selected by `design`.
+///
+/// # Errors
+///
+/// As for the specific builders.
+pub fn build_bridge(design: BridgeDesign, config: &BridgeConfig) -> Result<System, SystemBuildError> {
+    match design {
+        BridgeDesign::ExactlyN => exactly_n_bridge(config),
+        BridgeDesign::AtMostN => at_most_n_bridge(config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::safety_invariant;
+    use pnp_kernel::{Checker, SafetyChecks, SafetyOutcome};
+
+    fn check_safety(system: &System) -> SafetyOutcome {
+        let program = system.program();
+        let inv = safety_invariant(program);
+        Checker::new(program)
+            .check_safety(&SafetyChecks {
+                deadlock: false,
+                invariants: vec![inv],
+            })
+            .unwrap()
+            .outcome
+    }
+
+    #[test]
+    fn buggy_design_violates_safety_with_short_trace() {
+        let system = exactly_n_bridge(&BridgeConfig::buggy()).unwrap();
+        match check_safety(&system) {
+            SafetyOutcome::InvariantViolated { name, trace } => {
+                assert!(name.contains("opposite-direction"));
+                // BFS counterexamples are shortest; the crash needs both
+                // cars' requests buffered and both driving on.
+                assert!(trace.len() <= 20, "unexpectedly long: {}", trace.len());
+            }
+            other => panic!("expected the paper's bug, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_block_swap_fixes_the_bug() {
+        let system = exactly_n_bridge(&BridgeConfig::fixed().with_laps(Some(1))).unwrap();
+        assert!(check_safety(&system).is_holds());
+    }
+
+    #[test]
+    fn fixed_design_reuses_component_models() {
+        // The paper's headline reuse claim: the fix changes only the
+        // connector; every component process is structurally identical.
+        let buggy = exactly_n_bridge(&BridgeConfig::buggy()).unwrap();
+        let fixed = exactly_n_bridge(&BridgeConfig::fixed()).unwrap();
+        let components = |s: &System| -> Vec<(String, usize, usize)> {
+            s.program()
+                .processes()
+                .iter()
+                .zip(s.topology().iter())
+                .filter(|(_, (_, role))| !role.is_connector_part())
+                .map(|(p, _)| (p.name().to_string(), p.location_count(), p.transition_count()))
+                .collect()
+        };
+        assert_eq!(components(&buggy), components(&fixed));
+    }
+
+    #[test]
+    fn at_most_n_design_is_safe() {
+        let system = at_most_n_bridge(&BridgeConfig::fixed().with_laps(Some(1))).unwrap();
+        assert!(check_safety(&system).is_holds());
+    }
+
+    #[test]
+    fn at_most_n_with_async_enter_is_also_buggy() {
+        // The same wrong block choice breaks the improved design too.
+        let system = at_most_n_bridge(&BridgeConfig::buggy().with_laps(Some(1))).unwrap();
+        assert!(!check_safety(&system).is_holds());
+    }
+
+    #[test]
+    fn build_bridge_dispatches() {
+        let cfg = BridgeConfig::fixed().with_laps(Some(1));
+        let a = build_bridge(BridgeDesign::ExactlyN, &cfg).unwrap();
+        let b = build_bridge(BridgeDesign::AtMostN, &cfg).unwrap();
+        // The at-most-N design has two extra connectors (6 more block
+        // processes: 2 channels + 2 send + 2 recv ports).
+        assert_eq!(
+            a.topology().connector_process_count() + 6,
+            b.topology().connector_process_count()
+        );
+    }
+
+    #[test]
+    fn config_builders() {
+        let cfg = BridgeConfig::buggy()
+            .with_cars(2, 0)
+            .with_cars_per_turn(3)
+            .with_laps(Some(4));
+        assert_eq!((cfg.blue_cars, cfg.red_cars), (2, 0));
+        assert_eq!(cfg.cars_per_turn, 3);
+        assert_eq!(cfg.laps, Some(4));
+        assert_eq!(BridgeConfig::fixed().enter_send, SendPortKind::SynBlocking);
+        assert_eq!(BridgeConfig::buggy().enter_send, SendPortKind::AsynBlocking);
+    }
+
+    /// Exhaustive verification of the two-cars-per-side configuration
+    /// (~1M states); run with `cargo test -- --ignored`.
+    #[test]
+    #[ignore = "explores ~1M states (about 20s in release, minutes in debug)"]
+    fn two_cars_per_side_is_safe() {
+        for n in [1, 2] {
+            let cfg = BridgeConfig::fixed()
+                .with_cars(2, 2)
+                .with_cars_per_turn(n)
+                .with_laps(Some(1));
+            let system = exactly_n_bridge(&cfg).unwrap();
+            assert!(check_safety(&system).is_holds(), "N = {n}");
+        }
+    }
+
+    #[test]
+    fn crossings_counter_sees_traffic() {
+        let cfg = BridgeConfig::fixed().with_laps(None);
+        let system = exactly_n_bridge(&cfg).unwrap();
+        let (blue, red) = crate::props::crossings_in(system.program(), 4000, 7).unwrap();
+        assert!(blue > 0, "no blue crossings in 4000 steps");
+        assert!(red > 0, "no red crossings in 4000 steps");
+    }
+
+    #[test]
+    fn exactly_n_stalls_with_an_empty_side() {
+        // With no red cars the strict-turn design admits one blue batch and
+        // then waits forever for red exits; at-most-N keeps flowing.
+        let cfg = BridgeConfig::fixed().with_cars(1, 0).with_laps(None);
+        let strict = exactly_n_bridge(&cfg).unwrap();
+        let flexible = at_most_n_bridge(&cfg).unwrap();
+        let steps = 6000;
+        let (strict_blue, _) = crate::props::crossings_in(strict.program(), steps, 11).unwrap();
+        let (flex_blue, _) = crate::props::crossings_in(flexible.program(), steps, 11).unwrap();
+        assert!(
+            strict_blue <= cfg.cars_per_turn as u64,
+            "strict design crossed {strict_blue} times, expected at most one batch"
+        );
+        assert!(
+            flex_blue > strict_blue * 3,
+            "expected the at-most-N design to dominate: {flex_blue} vs {strict_blue}"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Properties and measurements for the bridge designs.
+
+use pnp_kernel::{expr, EventKind, Predicate, Program, Proposition, Simulator};
+
+/// The `RecvStatus` success signal value, re-exported for component guards.
+pub(crate) const RECV_SUCC_SIGNAL: i32 = pnp_core::signals::RECV_SUCC;
+/// The `RecvStatus` failure signal value.
+pub(crate) const RECV_FAIL_SIGNAL: i32 = pnp_core::signals::RECV_FAIL;
+
+/// The bridge safety property (paper Section 4): cars traveling in opposite
+/// directions are never on the bridge at the same time.
+///
+/// Returns a named invariant over the `blue_on_bridge` / `red_on_bridge`
+/// globals, ready for
+/// [`SafetyChecks::invariants`](pnp_kernel::SafetyChecks::invariants).
+///
+/// # Panics
+///
+/// Panics if `program` is not a bridge system (missing the occupancy
+/// globals).
+pub fn safety_invariant(program: &Program) -> (String, Predicate) {
+    let blue = program
+        .global_by_name("blue_on_bridge")
+        .expect("not a bridge program: blue_on_bridge missing");
+    let red = program
+        .global_by_name("red_on_bridge")
+        .expect("not a bridge program: red_on_bridge missing");
+    (
+        "no opposite-direction cars on the bridge".to_string(),
+        Predicate::from_expr(expr::not(expr::and(
+            expr::gt(expr::global(blue), 0.into()),
+            expr::gt(expr::global(red), 0.into()),
+        ))),
+    )
+}
+
+/// LTL propositions `blue_on` and `red_on` (some car of that color is on
+/// the bridge), for liveness-style queries.
+///
+/// # Panics
+///
+/// Panics if `program` is not a bridge system.
+pub fn side_props(program: &Program) -> Vec<Proposition> {
+    let blue = program
+        .global_by_name("blue_on_bridge")
+        .expect("not a bridge program: blue_on_bridge missing");
+    let red = program
+        .global_by_name("red_on_bridge")
+        .expect("not a bridge program: red_on_bridge missing");
+    vec![
+        Proposition::new(
+            "blue_on",
+            Predicate::from_expr(expr::gt(expr::global(blue), 0.into())),
+        ),
+        Proposition::new(
+            "red_on",
+            Predicate::from_expr(expr::gt(expr::global(red), 0.into())),
+        ),
+    ]
+}
+
+/// Runs the random simulator for `steps` steps and counts completed
+/// crossings per side, identified by the cars' "drive off bridge"
+/// transitions. Returns `(blue_crossings, red_crossings)`.
+///
+/// This quantifies the paper's informal efficiency comparison between the
+/// two designs (e.g. with no red cars, the exactly-`N` design stalls after
+/// one batch while the at-most-`N` design keeps yielding the empty turn).
+///
+/// # Errors
+///
+/// Returns [`pnp_kernel::KernelError`] if the model is broken.
+pub fn crossings_in(
+    program: &Program,
+    steps: usize,
+    seed: u64,
+) -> Result<(u64, u64), pnp_kernel::KernelError> {
+    let mut blue = 0u64;
+    let mut red = 0u64;
+    let car_colors: Vec<Option<bool>> = program
+        .processes()
+        .iter()
+        .map(|p| {
+            if p.name().starts_with("Blue") {
+                Some(true)
+            } else if p.name().starts_with("Red") {
+                Some(false)
+            } else {
+                None
+            }
+        })
+        .collect();
+    let mut sim = Simulator::new(program, seed);
+    sim.run_with(steps, |_, events| {
+        for event in events {
+            if event.label() == "drive off bridge" && matches!(event.kind(), EventKind::Internal) {
+                match car_colors[event.proc().index()] {
+                    Some(true) => blue += 1,
+                    Some(false) => red += 1,
+                    None => {}
+                }
+            }
+        }
+    })?;
+    Ok((blue, red))
+}

@@ -1,0 +1,720 @@
+//! Channel building blocks: the storage-and-delivery side of connectors.
+//!
+//! A channel is the connector's buffer process (paper Fig. 11, generalized):
+//! it accepts data messages from send ports (replying `IN_OK`/`IN_FAIL`),
+//! accepts receive requests from receive ports (replying
+//! `OUT_OK`+message or `OUT_FAIL`), and notifies the originating send port
+//! with `RECV_OK` the first time a message is delivered (so synchronous
+//! send ports can release their component).
+//!
+//! Five storage disciplines are provided:
+//!
+//! * [`ChannelKind::SingleSlot`] — one message (paper Fig. 11);
+//! * [`ChannelKind::Fifo`] — bounded FIFO queue;
+//! * [`ChannelKind::Priority`] — bounded queue delivered highest-tag-first;
+//! * [`ChannelKind::Dropping`] — bounded FIFO that silently discards new
+//!   messages when full (it still replies `IN_OK`, so the sender cannot
+//!   tell — the paper's "drops messages without notifying the sender");
+//! * [`ChannelKind::Sliding`] — bounded FIFO that evicts the *oldest*
+//!   message when full (keep-latest; a library extension demonstrating the
+//!   paper's claim that the block set "can be expanded").
+//!
+//! All kinds support *selective receive* (requests carrying a tag match
+//! only messages with that tag) and *copy receive* (delivery leaves the
+//! message buffered; `RECV_OK` is only sent on first delivery).
+
+use pnp_kernel::{
+    expr, Action, FieldPat, Guard, NativeGuard, NativeOp, ProcessBuilder,
+};
+
+use crate::signals::{field, SynChan, IN_FAIL, IN_OK, OUT_FAIL, OUT_OK, RECV_OK};
+
+/// The channel variants of the building-block library (paper Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelKind {
+    /// A buffer holding a single message.
+    SingleSlot,
+    /// A FIFO queue of the given capacity.
+    Fifo {
+        /// Maximum number of buffered messages (≥ 1).
+        capacity: usize,
+    },
+    /// A priority queue of the given capacity; messages with larger tags
+    /// are delivered first (FIFO among equal tags).
+    Priority {
+        /// Maximum number of buffered messages (≥ 1).
+        capacity: usize,
+    },
+    /// A FIFO queue that silently drops new messages when full.
+    Dropping {
+        /// Maximum number of buffered messages (≥ 1).
+        capacity: usize,
+    },
+    /// A sliding-window FIFO: when full, the *oldest* message is discarded
+    /// to make room (keep-latest semantics, e.g. sensor readings).
+    Sliding {
+        /// Maximum number of buffered messages (≥ 1).
+        capacity: usize,
+    },
+}
+
+impl ChannelKind {
+    /// The buffer capacity.
+    pub fn capacity(self) -> usize {
+        match self {
+            ChannelKind::SingleSlot => 1,
+            ChannelKind::Fifo { capacity }
+            | ChannelKind::Priority { capacity }
+            | ChannelKind::Dropping { capacity }
+            | ChannelKind::Sliding { capacity } => capacity,
+        }
+    }
+
+    /// The library name of the kind (e.g. `"FIFO(5)"`).
+    pub fn name(self) -> String {
+        match self {
+            ChannelKind::SingleSlot => "SingleSlot".to_string(),
+            ChannelKind::Fifo { capacity } => format!("FIFO({capacity})"),
+            ChannelKind::Priority { capacity } => format!("Priority({capacity})"),
+            ChannelKind::Dropping { capacity } => format!("Dropping({capacity})"),
+            ChannelKind::Sliding { capacity } => format!("Sliding({capacity})"),
+        }
+    }
+
+    fn is_priority(self) -> bool {
+        matches!(self, ChannelKind::Priority { .. })
+    }
+
+    fn is_dropping(self) -> bool {
+        matches!(self, ChannelKind::Dropping { .. })
+    }
+
+    fn is_sliding(self) -> bool {
+        matches!(self, ChannelKind::Sliding { .. })
+    }
+}
+
+/// Per-slot fields in the channel's buffer block.
+const SLOT_FIELDS: usize = 4;
+const S_DATA: usize = 0;
+const S_TAG: usize = 1;
+const S_SENDER: usize = 2;
+/// Set once the slot has been delivered at least once (so `RECV_OK` is sent
+/// exactly once per message, even under copy receive).
+const S_NOTIFIED: usize = 3;
+
+/// Indices of the channel process's scratch locals, relative to the start
+/// of the locals (the buffer block comes first).
+struct Layout {
+    cap: usize,
+    buf: usize,
+    len: usize,
+    in_data: usize,
+    in_tag: usize,
+    in_sender: usize,
+    req_sel: usize,
+    req_tag: usize,
+    req_pid: usize,
+    req_remove: usize,
+    out_data: usize,
+    out_tag: usize,
+    out_sender: usize,
+    do_notify: usize,
+    notify_pid: usize,
+}
+
+impl Layout {
+    fn slot(&self, index: usize, field: usize) -> usize {
+        self.buf + index * SLOT_FIELDS + field
+    }
+}
+
+/// Finds the buffer index a request would take, or `None`.
+///
+/// Non-selective requests take the head (index 0 — for priority channels
+/// insertion keeps the buffer sorted, so the head is the most urgent).
+/// Selective requests take the first message whose tag matches.
+fn match_index(l: &Layout, locals: &[i32]) -> Option<usize> {
+    let len = locals[l.len] as usize;
+    if locals[l.req_sel] == 0 {
+        if len > 0 {
+            Some(0)
+        } else {
+            None
+        }
+    } else {
+        let want = locals[l.req_tag];
+        (0..len).find(|&i| locals[l.buf + i * SLOT_FIELDS + S_TAG] == want)
+    }
+}
+
+/// Generates the channel process for the given kind.
+///
+/// `sender` is the `SynChan` shared with every send port of the connector;
+/// `receiver` is the `SynChan` shared with every receive port.
+///
+/// # Panics
+///
+/// Panics if the kind's capacity is zero.
+pub(crate) fn channel_process(
+    name: &str,
+    kind: ChannelKind,
+    sender: SynChan,
+    receiver: SynChan,
+) -> ProcessBuilder {
+    let cap = kind.capacity();
+    assert!(cap >= 1, "channel capacity must be at least 1");
+
+    let mut p = ProcessBuilder::new(name);
+    let buf = p.local_block("buf", cap * SLOT_FIELDS, 0);
+    let len = p.local("len", 0);
+    let in_data = p.local("in_data", 0);
+    let in_tag = p.local("in_tag", 0);
+    let in_sender = p.local("in_sender", 0);
+    let req_sel = p.local("req_sel", 0);
+    let req_tag = p.local("req_tag", 0);
+    let req_pid = p.local("req_pid", 0);
+    let req_remove = p.local("req_remove", 0);
+    let out_data = p.local("out_data", 0);
+    let out_tag = p.local("out_tag", 0);
+    let out_sender = p.local("out_sender", 0);
+    let do_notify = p.local("do_notify", 0);
+    let notify_pid = p.local("notify_pid", 0);
+
+    let l = Layout {
+        cap,
+        buf: buf.index(),
+        len: len.index(),
+        in_data: in_data.index(),
+        in_tag: in_tag.index(),
+        in_sender: in_sender.index(),
+        req_sel: req_sel.index(),
+        req_tag: req_tag.index(),
+        req_pid: req_pid.index(),
+        req_remove: req_remove.index(),
+        out_data: out_data.index(),
+        out_tag: out_tag.index(),
+        out_sender: out_sender.index(),
+        do_notify: do_notify.index(),
+        notify_pid: notify_pid.index(),
+    };
+
+    let idle = p.location("idle");
+    let got_msg = p.location("got_msg");
+    let stored = p.location("stored");
+    let reply_in_fail = p.location("reply_in_fail");
+    let got_req = p.location("got_req");
+    let reply_out_ok = p.location("reply_out_ok");
+    let deliver = p.location("deliver");
+    let post_deliver = p.location("post_deliver");
+    let clear_out = p.location("clear_out");
+    let reply_out_fail = p.location("reply_out_fail");
+
+    // --- idle: accept either a data message or a receive request ---------
+    p.transition(
+        idle,
+        got_msg,
+        Guard::always(),
+        Action::recv(
+            sender.data,
+            vec![FieldPat::Any; 4],
+            vec![
+                (field::DATA, in_data.into()),
+                (field::TAG, in_tag.into()),
+                (field::SENDER, in_sender.into()),
+            ],
+        ),
+        "message from send port",
+    );
+    p.transition(
+        idle,
+        got_req,
+        Guard::always(),
+        Action::recv(
+            receiver.data,
+            vec![FieldPat::Any; 4],
+            vec![
+                (field::DATA, req_sel.into()),
+                (field::TAG, req_tag.into()),
+                (field::SENDER, req_pid.into()),
+                (field::DEST, req_remove.into()),
+            ],
+        ),
+        "receive request from receive port",
+    );
+
+    // --- got_msg: store or reject ----------------------------------------
+    let lay = copy_layout(&l);
+    let has_space = NativeGuard::new("buffer has space", move |locals| {
+        (locals[lay.len] as usize) < lay.cap
+    });
+    let lay = copy_layout(&l);
+    let is_full = NativeGuard::new("buffer full", move |locals| {
+        (locals[lay.len] as usize) >= lay.cap
+    });
+
+    let lay = copy_layout(&l);
+    let priority = kind.is_priority();
+    let store = NativeOp::new("store message", move |locals| {
+        let n = locals[lay.len] as usize;
+        // Insert position: end for FIFO; sorted descending by tag for
+        // priority (stable: after existing equal tags).
+        let pos = if priority {
+            (0..n)
+                .find(|&i| locals[lay.slot(i, S_TAG)] < locals[lay.in_tag])
+                .unwrap_or(n)
+        } else {
+            n
+        };
+        let mut i = n;
+        while i > pos {
+            for f in 0..SLOT_FIELDS {
+                locals[lay.buf + i * SLOT_FIELDS + f] = locals[lay.buf + (i - 1) * SLOT_FIELDS + f];
+            }
+            i -= 1;
+        }
+        locals[lay.slot(pos, S_DATA)] = locals[lay.in_data];
+        locals[lay.slot(pos, S_TAG)] = locals[lay.in_tag];
+        locals[lay.slot(pos, S_SENDER)] = locals[lay.in_sender];
+        locals[lay.slot(pos, S_NOTIFIED)] = 0;
+        locals[lay.len] += 1;
+        locals[lay.notify_pid] = locals[lay.in_sender];
+        locals[lay.in_data] = 0;
+        locals[lay.in_tag] = 0;
+        locals[lay.in_sender] = 0;
+    });
+
+    let lay = copy_layout(&l);
+    let discard_incoming = NativeOp::new("discard incoming message", move |locals| {
+        locals[lay.notify_pid] = locals[lay.in_sender];
+        locals[lay.in_data] = 0;
+        locals[lay.in_tag] = 0;
+        locals[lay.in_sender] = 0;
+    });
+
+    p.transition(
+        got_msg,
+        stored,
+        Guard::native(has_space),
+        Action::Native(store),
+        "store in buffer",
+    );
+    if kind.is_sliding() {
+        // Full buffer: evict the oldest message, then store the new one.
+        let lay = copy_layout(&l);
+        let evict_and_store = NativeOp::new("evict oldest and store", move |locals| {
+            let n = locals[lay.len] as usize;
+            for j in 0..n - 1 {
+                for f in 0..SLOT_FIELDS {
+                    locals[lay.buf + j * SLOT_FIELDS + f] =
+                        locals[lay.buf + (j + 1) * SLOT_FIELDS + f];
+                }
+            }
+            let last = n - 1;
+            locals[lay.slot(last, S_DATA)] = locals[lay.in_data];
+            locals[lay.slot(last, S_TAG)] = locals[lay.in_tag];
+            locals[lay.slot(last, S_SENDER)] = locals[lay.in_sender];
+            locals[lay.slot(last, S_NOTIFIED)] = 0;
+            locals[lay.notify_pid] = locals[lay.in_sender];
+            locals[lay.in_data] = 0;
+            locals[lay.in_tag] = 0;
+            locals[lay.in_sender] = 0;
+        });
+        p.transition(
+            got_msg,
+            stored,
+            Guard::native(is_full),
+            Action::Native(evict_and_store),
+            "slide window (evict oldest)",
+        );
+    } else if kind.is_dropping() {
+        // Full buffer: drop silently, still confirming IN_OK.
+        p.transition(
+            got_msg,
+            stored,
+            Guard::native(is_full),
+            Action::Native(discard_incoming),
+            "drop message (buffer full)",
+        );
+    } else {
+        p.transition(
+            got_msg,
+            reply_in_fail,
+            Guard::native(is_full),
+            Action::Native(discard_incoming),
+            "reject message (buffer full)",
+        );
+    }
+    p.transition(
+        stored,
+        idle,
+        Guard::always(),
+        Action::send(
+            sender.signal,
+            vec![IN_OK.into(), expr::local(notify_pid)],
+        ),
+        "IN_OK to send port",
+    );
+    p.transition(
+        reply_in_fail,
+        idle,
+        Guard::always(),
+        Action::send(
+            sender.signal,
+            vec![IN_FAIL.into(), expr::local(notify_pid)],
+        ),
+        "IN_FAIL to send port",
+    );
+
+    // --- got_req: deliver or fail -----------------------------------------
+    let lay = copy_layout(&l);
+    let has_match = NativeGuard::new("matching message available", move |locals| {
+        match_index(&lay, locals).is_some()
+    });
+    let lay = copy_layout(&l);
+    let no_match = NativeGuard::new("no matching message", move |locals| {
+        match_index(&lay, locals).is_none()
+    });
+
+    let lay = copy_layout(&l);
+    let select = NativeOp::new("select message", move |locals| {
+        let i = match_index(&lay, locals).expect("select fired without a match");
+        locals[lay.out_data] = locals[lay.slot(i, S_DATA)];
+        locals[lay.out_tag] = locals[lay.slot(i, S_TAG)];
+        locals[lay.out_sender] = locals[lay.slot(i, S_SENDER)];
+        locals[lay.do_notify] = (locals[lay.slot(i, S_NOTIFIED)] == 0) as i32;
+        if locals[lay.req_remove] != 0 {
+            // Remove slot i, shifting the tail left.
+            let n = locals[lay.len] as usize;
+            for j in i..n - 1 {
+                for f in 0..SLOT_FIELDS {
+                    locals[lay.buf + j * SLOT_FIELDS + f] =
+                        locals[lay.buf + (j + 1) * SLOT_FIELDS + f];
+                }
+            }
+            for f in 0..SLOT_FIELDS {
+                locals[lay.buf + (n - 1) * SLOT_FIELDS + f] = 0;
+            }
+            locals[lay.len] -= 1;
+        } else {
+            locals[lay.slot(i, S_NOTIFIED)] = 1;
+        }
+        locals[lay.notify_pid] = locals[lay.req_pid];
+        locals[lay.req_sel] = 0;
+        locals[lay.req_tag] = 0;
+        locals[lay.req_pid] = 0;
+        locals[lay.req_remove] = 0;
+    });
+
+    let lay = copy_layout(&l);
+    let reject_request = NativeOp::new("reject receive request", move |locals| {
+        locals[lay.notify_pid] = locals[lay.req_pid];
+        locals[lay.req_sel] = 0;
+        locals[lay.req_tag] = 0;
+        locals[lay.req_pid] = 0;
+        locals[lay.req_remove] = 0;
+    });
+
+    p.transition(
+        got_req,
+        reply_out_ok,
+        Guard::native(has_match),
+        Action::Native(select),
+        "select matching message",
+    );
+    p.transition(
+        got_req,
+        reply_out_fail,
+        Guard::native(no_match),
+        Action::Native(reject_request),
+        "no matching message",
+    );
+    p.transition(
+        reply_out_ok,
+        deliver,
+        Guard::always(),
+        Action::send(
+            receiver.signal,
+            vec![OUT_OK.into(), expr::local(notify_pid)],
+        ),
+        "OUT_OK to receive port",
+    );
+    p.transition(
+        deliver,
+        post_deliver,
+        Guard::always(),
+        Action::send(
+            receiver.data,
+            vec![
+                expr::local(out_data),
+                expr::local(out_tag),
+                expr::local(out_sender),
+                expr::local(notify_pid),
+            ],
+        ),
+        "deliver message to receive port",
+    );
+    // Notify the originating send port exactly once per message.
+    p.transition(
+        post_deliver,
+        clear_out,
+        Guard::when(expr::eq(expr::local(do_notify), 1.into())),
+        Action::send(
+            sender.signal,
+            vec![RECV_OK.into(), expr::local(out_sender)],
+        ),
+        "RECV_OK to send port",
+    );
+    let lay = copy_layout(&l);
+    let clear_out_op = NativeOp::new("clear delivery scratch", move |locals| {
+        locals[lay.out_data] = 0;
+        locals[lay.out_tag] = 0;
+        locals[lay.out_sender] = 0;
+        locals[lay.do_notify] = 0;
+    });
+    p.transition(
+        post_deliver,
+        idle,
+        Guard::when(expr::eq(expr::local(do_notify), 0.into())),
+        Action::Native(clear_out_op.clone()),
+        "skip RECV_OK (already notified)",
+    );
+    p.transition(
+        clear_out,
+        idle,
+        Guard::always(),
+        Action::Native(clear_out_op),
+        "clear delivery scratch",
+    );
+    p.transition(
+        reply_out_fail,
+        idle,
+        Guard::always(),
+        Action::send(
+            receiver.signal,
+            vec![OUT_FAIL.into(), expr::local(notify_pid)],
+        ),
+        "OUT_FAIL to receive port",
+    );
+
+    // A resting channel counts as properly terminated even while holding
+    // undelivered messages (the paper's buffers may end non-empty).
+    p.mark_end(idle);
+    p
+}
+
+/// The number of scratch locals following the buffer block in a channel
+/// process (see `Layout`).
+const SCRATCH_LOCALS: usize = 13;
+
+/// Reads how many messages a connector's channel process currently
+/// buffers, given a state view and the channel process's id.
+///
+/// Returns `None` if the process is not a channel building block. This is
+/// the supported way for properties to observe buffer occupancy (the
+/// buffer lives in the block's locals, not in a kernel queue).
+///
+/// ```
+/// # use pnp_core::*;
+/// # use pnp_kernel::Simulator;
+/// # let mut sys = SystemBuilder::new();
+/// # let conn = sys.connector("wire", ChannelKind::Fifo { capacity: 2 });
+/// # let tx = sys.send_port(conn, SendPortKind::AsynBlocking);
+/// # let rx = sys.recv_port(conn, RecvPortKind::blocking());
+/// # let mut c = ComponentBuilder::new("c");
+/// # let s0 = c.location("s0");
+/// # c.mark_end(s0);
+/// # sys.add_component(c);
+/// # let system = sys.build().unwrap();
+/// # let sim = Simulator::new(system.program(), 0);
+/// let pid = system.program().process_by_name("wire.channel").unwrap();
+/// assert_eq!(channel_occupancy(&sim.view(), pid), Some(0));
+/// ```
+pub fn channel_occupancy(
+    view: &pnp_kernel::StateView<'_>,
+    process: pnp_kernel::ProcId,
+) -> Option<i32> {
+    let def = view.program().processes().get(process.index())?;
+    if !def.name().ends_with(".channel") || def.local_count() < SCRATCH_LOCALS + SLOT_FIELDS {
+        return None;
+    }
+    Some(view.local(process, def.local_count() - SCRATCH_LOCALS))
+}
+
+/// `Layout` is tiny and `Copy`-like, but native closures each need an owned
+/// copy; this keeps the call sites readable.
+fn copy_layout(l: &Layout) -> Layout {
+    Layout {
+        cap: l.cap,
+        buf: l.buf,
+        len: l.len,
+        in_data: l.in_data,
+        in_tag: l.in_tag,
+        in_sender: l.in_sender,
+        req_sel: l.req_sel,
+        req_tag: l.req_tag,
+        req_pid: l.req_pid,
+        req_remove: l.req_remove,
+        out_data: l.out_data,
+        out_tag: l.out_tag,
+        out_sender: l.out_sender,
+        do_notify: l.do_notify,
+        notify_pid: l.notify_pid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_and_capacities() {
+        assert_eq!(ChannelKind::SingleSlot.name(), "SingleSlot");
+        assert_eq!(ChannelKind::SingleSlot.capacity(), 1);
+        assert_eq!(ChannelKind::Fifo { capacity: 5 }.name(), "FIFO(5)");
+        assert_eq!(ChannelKind::Fifo { capacity: 5 }.capacity(), 5);
+        assert_eq!(ChannelKind::Priority { capacity: 3 }.name(), "Priority(3)");
+        assert_eq!(ChannelKind::Dropping { capacity: 2 }.name(), "Dropping(2)");
+        assert_eq!(ChannelKind::Sliding { capacity: 2 }.name(), "Sliding(2)");
+        assert_eq!(ChannelKind::Sliding { capacity: 2 }.capacity(), 2);
+    }
+
+    #[test]
+    fn all_channel_templates_validate() {
+        use pnp_kernel::ProgramBuilder;
+        let kinds = [
+            ChannelKind::SingleSlot,
+            ChannelKind::Fifo { capacity: 3 },
+            ChannelKind::Priority { capacity: 3 },
+            ChannelKind::Dropping { capacity: 2 },
+            ChannelKind::Sliding { capacity: 2 },
+        ];
+        let mut pb = ProgramBuilder::new();
+        let s = SynChan::declare(&mut pb, "s");
+        let r = SynChan::declare(&mut pb, "r");
+        for (i, kind) in kinds.iter().enumerate() {
+            let chan = channel_process(&format!("chan{i}"), *kind, s, r);
+            pb.add_process(chan).unwrap();
+        }
+        pb.build().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_panics() {
+        let mut pb = pnp_kernel::ProgramBuilder::new();
+        let s = SynChan::declare(&mut pb, "s");
+        let r = SynChan::declare(&mut pb, "r");
+        channel_process("bad", ChannelKind::Fifo { capacity: 0 }, s, r);
+    }
+
+    /// Drive the native store/select ops directly on a locals array.
+    mod native_ops {
+        use super::*;
+
+        /// Builds a layout for direct native-op testing (mirrors the local
+        /// declaration order in `channel_process`).
+        fn layout(cap: usize) -> Layout {
+            let buf = 0;
+            let base = cap * SLOT_FIELDS;
+            Layout {
+                cap,
+                buf,
+                len: base,
+                in_data: base + 1,
+                in_tag: base + 2,
+                in_sender: base + 3,
+                req_sel: base + 4,
+                req_tag: base + 5,
+                req_pid: base + 6,
+                req_remove: base + 7,
+                out_data: base + 8,
+                out_tag: base + 9,
+                out_sender: base + 10,
+                do_notify: base + 11,
+                notify_pid: base + 12,
+            }
+        }
+
+        fn locals_for(cap: usize) -> Vec<i32> {
+            vec![0; cap * SLOT_FIELDS + 13]
+        }
+
+        fn store(l: &Layout, locals: &mut [i32], priority: bool, data: i32, tag: i32, sender: i32) {
+            locals[l.in_data] = data;
+            locals[l.in_tag] = tag;
+            locals[l.in_sender] = sender;
+            let n = locals[l.len] as usize;
+            let pos = if priority {
+                (0..n)
+                    .find(|&i| locals[l.slot(i, S_TAG)] < locals[l.in_tag])
+                    .unwrap_or(n)
+            } else {
+                n
+            };
+            let mut i = n;
+            while i > pos {
+                for f in 0..SLOT_FIELDS {
+                    locals[l.buf + i * SLOT_FIELDS + f] = locals[l.buf + (i - 1) * SLOT_FIELDS + f];
+                }
+                i -= 1;
+            }
+            locals[l.slot(pos, S_DATA)] = locals[l.in_data];
+            locals[l.slot(pos, S_TAG)] = locals[l.in_tag];
+            locals[l.slot(pos, S_SENDER)] = locals[l.in_sender];
+            locals[l.slot(pos, S_NOTIFIED)] = 0;
+            locals[l.len] += 1;
+        }
+
+        #[test]
+        fn fifo_store_appends() {
+            let l = layout(3);
+            let mut locals = locals_for(3);
+            store(&l, &mut locals, false, 10, 0, 5);
+            store(&l, &mut locals, false, 20, 0, 6);
+            assert_eq!(locals[l.len], 2);
+            assert_eq!(locals[l.slot(0, S_DATA)], 10);
+            assert_eq!(locals[l.slot(1, S_DATA)], 20);
+        }
+
+        #[test]
+        fn priority_store_keeps_sorted_order() {
+            let l = layout(4);
+            let mut locals = locals_for(4);
+            store(&l, &mut locals, true, 100, 1, 0);
+            store(&l, &mut locals, true, 200, 3, 0);
+            store(&l, &mut locals, true, 300, 2, 0);
+            store(&l, &mut locals, true, 400, 3, 0);
+            let tags: Vec<i32> = (0..4).map(|i| locals[l.slot(i, S_TAG)]).collect();
+            assert_eq!(tags, [3, 3, 2, 1]);
+            // FIFO among equal priorities: 200 (first tag-3) stays ahead.
+            assert_eq!(locals[l.slot(0, S_DATA)], 200);
+            assert_eq!(locals[l.slot(1, S_DATA)], 400);
+        }
+
+        #[test]
+        fn match_index_selects_head_or_tag() {
+            let l = layout(3);
+            let mut locals = locals_for(3);
+            store(&l, &mut locals, false, 10, 7, 0);
+            store(&l, &mut locals, false, 20, 9, 0);
+            // Non-selective: head.
+            locals[l.req_sel] = 0;
+            assert_eq!(match_index(&l, &locals), Some(0));
+            // Selective on tag 9: second slot.
+            locals[l.req_sel] = 1;
+            locals[l.req_tag] = 9;
+            assert_eq!(match_index(&l, &locals), Some(1));
+            // Selective on a missing tag: none.
+            locals[l.req_tag] = 42;
+            assert_eq!(match_index(&l, &locals), None);
+        }
+
+        #[test]
+        fn match_index_on_empty_buffer_is_none() {
+            let l = layout(2);
+            let locals = locals_for(2);
+            assert_eq!(match_index(&l, &locals), None);
+        }
+    }
+}

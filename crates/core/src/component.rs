@@ -1,0 +1,294 @@
+//! Component construction and the standard component interfaces.
+//!
+//! [`ComponentBuilder`] wraps the kernel's [`ProcessBuilder`] and adds the
+//! two standard interfaces of the paper (Fig. 3):
+//!
+//! * [`ComponentBuilder::send_msg`] — send a data message through a send
+//!   port, then block until the port's `SendStatus` arrives (Fig. 9);
+//! * [`ComponentBuilder::recv_msg`] — send a receive request through a
+//!   receive port, await the `RecvStatus`, then take the (possibly stub)
+//!   data message (Fig. 10).
+//!
+//! Because these interfaces are identical for every port kind, a connector
+//! can be re-composed from different building blocks without touching any
+//! component: the central claim of the plug-and-play approach.
+
+use pnp_kernel::{Action, Expr, FieldPat, Guard, LValue, Loc, LocalId, ProcessBuilder};
+
+use crate::signals::field;
+use crate::system::{RecvAttachment, SendAttachment};
+
+/// Where [`ComponentBuilder::recv_msg`] stores what it received.
+///
+/// Every field is optional; unbound fields are discarded.
+#[derive(Debug, Clone, Default)]
+pub struct ReceiveBinds {
+    /// Receives the `RecvStatus` signal (`RECV_SUCC` or `RECV_FAIL`).
+    pub status: Option<LocalId>,
+    /// Receives the message payload (unspecified on `RECV_FAIL`).
+    pub data: Option<LocalId>,
+    /// Receives the message tag.
+    pub tag: Option<LocalId>,
+}
+
+impl ReceiveBinds {
+    /// Binds nothing (fire-and-forget receive).
+    pub fn ignore() -> ReceiveBinds {
+        ReceiveBinds::default()
+    }
+
+    /// Binds only the payload.
+    pub fn data_into(data: LocalId) -> ReceiveBinds {
+        ReceiveBinds {
+            data: Some(data),
+            ..ReceiveBinds::default()
+        }
+    }
+
+    /// Binds the status signal.
+    pub fn with_status(mut self, status: LocalId) -> ReceiveBinds {
+        self.status = Some(status);
+        self
+    }
+
+    /// Binds the tag.
+    pub fn with_tag(mut self, tag: LocalId) -> ReceiveBinds {
+        self.tag = Some(tag);
+        self
+    }
+}
+
+/// Builder for an architectural component.
+///
+/// A component is an ordinary kernel process; this builder adds the
+/// standard interfaces for interacting with connectors. See the crate-level
+/// example.
+#[derive(Debug, Clone)]
+pub struct ComponentBuilder {
+    pub(crate) inner: ProcessBuilder,
+    name: String,
+    gensym: u32,
+    /// Labels of the send/receive ports this component talks through,
+    /// recorded for the architecture diagram.
+    pub(crate) used_send_ports: Vec<String>,
+    pub(crate) used_recv_ports: Vec<String>,
+}
+
+impl ComponentBuilder {
+    /// Starts building a component.
+    pub fn new(name: impl Into<String>) -> ComponentBuilder {
+        let name = name.into();
+        ComponentBuilder {
+            inner: ProcessBuilder::new(name.clone()),
+            name,
+            gensym: 0,
+            used_send_ports: Vec::new(),
+            used_recv_ports: Vec::new(),
+        }
+    }
+
+    /// The component's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares a local variable.
+    pub fn local(&mut self, name: impl Into<String>, init: i32) -> LocalId {
+        self.inner.local(name, init)
+    }
+
+    /// Adds a control location.
+    pub fn location(&mut self, name: impl Into<String>) -> Loc {
+        self.inner.location(name)
+    }
+
+    /// Marks a location as a valid end state.
+    pub fn mark_end(&mut self, loc: Loc) {
+        self.inner.mark_end(loc)
+    }
+
+    /// Sets the initial location (defaults to the first added).
+    pub fn set_initial(&mut self, loc: Loc) {
+        self.inner.set_initial(loc)
+    }
+
+    /// Adds a raw transition (guards, assignments, assertions — anything
+    /// not involving a connector).
+    pub fn transition(
+        &mut self,
+        from: Loc,
+        to: Loc,
+        guard: Guard,
+        action: Action,
+        label: impl Into<String>,
+    ) {
+        self.inner.transition(from, to, guard, action, label)
+    }
+
+    /// Adds an unguarded skip transition.
+    pub fn goto(&mut self, from: Loc, to: Loc, label: impl Into<String>) {
+        self.inner
+            .transition(from, to, Guard::always(), Action::Skip, label)
+    }
+
+    fn fresh_loc(&mut self, hint: &str) -> Loc {
+        self.gensym += 1;
+        let n = self.gensym;
+        self.inner.location(format!("{hint}#{n}"))
+    }
+
+    /// Emits the standard *send* interface between `from` and `to`
+    /// (paper Fig. 9): send `(data, tag)` through `port`, then wait for the
+    /// `SendStatus` signal, optionally binding it into `status`.
+    ///
+    /// The interface is the same for every [`crate::SendPortKind`]; which
+    /// point of the delivery the status confirms is the port's choice.
+    pub fn send_msg(
+        &mut self,
+        from: Loc,
+        to: Loc,
+        port: &SendAttachment,
+        data: Expr,
+        tag: Expr,
+        status: Option<LocalId>,
+    ) {
+        let link = port.component_link();
+        if !self.used_send_ports.iter().any(|l| l == port.label()) {
+            self.used_send_ports.push(port.label().to_string());
+        }
+        let awaiting = self.fresh_loc("await_send_status");
+        self.inner.transition(
+            from,
+            awaiting,
+            Guard::always(),
+            Action::send(link.data, vec![data, tag, 0.into(), 0.into()]),
+            format!("send via {}", port.label()),
+        );
+        let binds: Vec<(usize, LValue)> = status
+            .map(|s| vec![(0usize, LValue::from(s))])
+            .unwrap_or_default();
+        self.inner.transition(
+            awaiting,
+            to,
+            Guard::always(),
+            Action::recv(link.signal, vec![FieldPat::Any, FieldPat::Any], binds),
+            "await SendStatus",
+        );
+    }
+
+    /// Emits the standard *receive* interface between `from` and `to`
+    /// (paper Fig. 10): send a receive request through `port` (selective on
+    /// `selective`'s tag when given), wait for the `RecvStatus`, then take
+    /// the data message.
+    ///
+    /// On a non-blocking port the status may be `RECV_FAIL`, in which case
+    /// the data message is an empty stub and `binds.data`/`binds.tag`
+    /// receive meaningless values — check `binds.status` before use.
+    pub fn recv_msg(
+        &mut self,
+        from: Loc,
+        to: Loc,
+        port: &RecvAttachment,
+        selective: Option<Expr>,
+        binds: ReceiveBinds,
+    ) {
+        let link = port.component_link();
+        if !self.used_recv_ports.iter().any(|l| l == port.label()) {
+            self.used_recv_ports.push(port.label().to_string());
+        }
+        let (sel_flag, sel_tag): (Expr, Expr) = match selective {
+            Some(tag) => (1.into(), tag),
+            None => (0.into(), 0.into()),
+        };
+        let awaiting_status = self.fresh_loc("await_recv_status");
+        let awaiting_data = self.fresh_loc("await_recv_data");
+        self.inner.transition(
+            from,
+            awaiting_status,
+            Guard::always(),
+            Action::send(link.data, vec![sel_flag, sel_tag, 0.into(), 0.into()]),
+            format!("receive request via {}", port.label()),
+        );
+        let status_binds: Vec<(usize, LValue)> = binds
+            .status
+            .map(|s| vec![(0usize, LValue::from(s))])
+            .unwrap_or_default();
+        self.inner.transition(
+            awaiting_status,
+            awaiting_data,
+            Guard::always(),
+            Action::recv(
+                link.signal,
+                vec![FieldPat::Any, FieldPat::Any],
+                status_binds,
+            ),
+            "await RecvStatus",
+        );
+        let mut data_binds: Vec<(usize, LValue)> = Vec::new();
+        if let Some(d) = binds.data {
+            data_binds.push((field::DATA, d.into()));
+        }
+        if let Some(t) = binds.tag {
+            data_binds.push((field::TAG, t.into()));
+        }
+        self.inner.transition(
+            awaiting_data,
+            to,
+            Guard::always(),
+            Action::recv(link.data, vec![FieldPat::Any; 4], data_binds),
+            "receive message",
+        );
+    }
+
+    /// The number of locations created so far (interface emissions add
+    /// hidden intermediate locations).
+    pub fn location_count(&self) -> usize {
+        self.inner.location_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receive_binds_builders() {
+        let mut p = ProcessBuilder::new("x");
+        let a = p.local("a", 0);
+        let b = p.local("b", 0);
+        let c = p.local("c", 0);
+        let binds = ReceiveBinds::data_into(a).with_status(b).with_tag(c);
+        assert_eq!(binds.data, Some(a));
+        assert_eq!(binds.status, Some(b));
+        assert_eq!(binds.tag, Some(c));
+        let none = ReceiveBinds::ignore();
+        assert!(none.data.is_none() && none.status.is_none() && none.tag.is_none());
+    }
+
+    #[test]
+    fn send_msg_adds_one_hidden_location() {
+        // Built through a real system so attachments exist.
+        let mut sys = crate::SystemBuilder::new();
+        let conn = sys.connector("c", crate::ChannelKind::SingleSlot);
+        let tx = sys.send_port(conn, crate::SendPortKind::AsynBlocking);
+        let mut comp = ComponentBuilder::new("comp");
+        let s0 = comp.location("s0");
+        let s1 = comp.location("s1");
+        let before = comp.location_count();
+        comp.send_msg(s0, s1, &tx, 1.into(), 0.into(), None);
+        assert_eq!(comp.location_count(), before + 1);
+    }
+
+    #[test]
+    fn recv_msg_adds_two_hidden_locations() {
+        let mut sys = crate::SystemBuilder::new();
+        let conn = sys.connector("c", crate::ChannelKind::SingleSlot);
+        let rx = sys.recv_port(conn, crate::RecvPortKind::blocking());
+        let mut comp = ComponentBuilder::new("comp");
+        let s0 = comp.location("s0");
+        let s1 = comp.location("s1");
+        let before = comp.location_count();
+        comp.recv_msg(s0, s1, &rx, None, ReceiveBinds::ignore());
+        assert_eq!(comp.location_count(), before + 2);
+    }
+}

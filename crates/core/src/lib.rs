@@ -1,0 +1,101 @@
+//! # pnp-core — plug-and-play connector building blocks
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (*Plug-and-Play Architectural Design and Verification*, Wang, Avrunin,
+//! Clarke): a library of predefined, reusable **building blocks** from which
+//! connectors — the interaction glue between architectural components — are
+//! composed, together with **standard component interfaces** that keep
+//! component logic unchanged when connector semantics change.
+//!
+//! ## Building blocks
+//!
+//! A message-passing connector is composed of three kinds of blocks
+//! (paper Figs. 1–2):
+//!
+//! * **send ports** ([`SendPortKind`]) capture the sender-side
+//!   synchronization semantics: asynchronous non-blocking / blocking /
+//!   checking, synchronous blocking / checking;
+//! * **channels** ([`ChannelKind`]) capture storage and delivery: a
+//!   single-slot buffer, a FIFO queue, a priority queue, or a dropping
+//!   buffer;
+//! * **receive ports** ([`RecvPortKind`]) capture the receiver-side
+//!   semantics: blocking / non-blocking, each with remove or copy delivery
+//!   and optional selective (tag-matching) receive.
+//!
+//! Swapping any block changes the interaction semantics *without touching
+//! the components*, because components talk to every connector through the
+//! same two standard interfaces (paper Fig. 3): send a message then await a
+//! `SendStatus`; send a receive request, await a `RecvStatus`, then take the
+//! (possibly empty) message.
+//!
+//! ## Assembly and verification
+//!
+//! [`SystemBuilder`] wires components and connectors into a
+//! [`pnp_kernel::Program`]; the resulting [`System`] carries a
+//! [`Topology`] so counterexample traces can be explained at the
+//! building-block level. Verification (safety invariants, deadlock, LTL) is
+//! provided by the [`pnp_kernel`] checker; every building block has a
+//! predefined process model, so re-verification after a connector change
+//! reuses both the block models and the untouched component models.
+//!
+//! ## Example
+//!
+//! ```
+//! use pnp_core::{
+//!     ChannelKind, ComponentBuilder, ReceiveBinds, SendPortKind, RecvPortKind, SystemBuilder,
+//! };
+//! use pnp_kernel::{expr, Checker, SafetyChecks};
+//!
+//! let mut sys = SystemBuilder::new();
+//! let conn = sys.connector("wire", ChannelKind::SingleSlot);
+//! let tx = sys.send_port(conn, SendPortKind::AsynBlocking);
+//! let rx = sys.recv_port(conn, RecvPortKind::blocking());
+//!
+//! let mut producer = ComponentBuilder::new("producer");
+//! let p0 = producer.location("send");
+//! let p1 = producer.location("done");
+//! producer.mark_end(p1);
+//! producer.send_msg(p0, p1, &tx, 7.into(), 0.into(), None);
+//!
+//! let mut consumer = ComponentBuilder::new("consumer");
+//! let got = consumer.local("got", 0);
+//! let c0 = consumer.location("recv");
+//! let c1 = consumer.location("done");
+//! consumer.mark_end(c1);
+//! consumer.recv_msg(c0, c1, &rx, None, ReceiveBinds::data_into(got));
+//!
+//! sys.add_component(producer);
+//! sys.add_component(consumer);
+//! let system = sys.build()?;
+//!
+//! let report = Checker::new(system.program()).check_safety(&SafetyChecks::deadlock_only())?;
+//! assert!(report.outcome.is_holds());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+
+#![warn(missing_docs)]
+mod channels;
+mod component;
+mod diagram;
+mod explain;
+mod fused;
+mod library;
+mod ports;
+mod pubsub;
+mod rpc;
+pub mod signals;
+mod system;
+
+pub use channels::{channel_occupancy, ChannelKind};
+pub use component::{ComponentBuilder, ReceiveBinds};
+pub use fused::FusedConnectorKind;
+pub use library::{BlockCategory, BlockInfo, BlockLibrary};
+pub use ports::{RecvMode, RecvPortKind, SendPortKind};
+pub use pubsub::{EventChannelSpec, EventConnectorId, Subscription};
+pub use rpc::RpcConnector;
+pub use signals::SynChan;
+pub use system::{
+    ConnectorId, RecvAttachment, Role, SendAttachment, System, SystemBuildError, SystemBuilder,
+    Topology,
+};

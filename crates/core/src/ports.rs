@@ -1,0 +1,556 @@
+//! Port building blocks: the synchronization side of connectors.
+//!
+//! Ports mediate between a component and a channel (paper Figs. 5–8). A
+//! *send port* decides when the component's `SendStatus` is delivered —
+//! immediately (asynchronous non-blocking), after the channel stores the
+//! message (asynchronous blocking/checking), or after a receiver takes it
+//! (synchronous blocking/checking). A *receive port* decides whether a
+//! component waits for a message (blocking) or gets an immediate
+//! failure-status when none is available (non-blocking), and whether
+//! delivery removes the message from the channel or leaves a copy.
+//!
+//! Each port is generated as a [`pnp_kernel`] process from its kind and the
+//! two [`SynChan`] links it sits between; the generated processes are the
+//! "predefined reusable formal models" the paper provides for design-time
+//! verification.
+
+use pnp_kernel::{Action, FieldPat, Guard, LocalId, ProcessBuilder};
+
+use crate::signals::{
+    field, SynChan, IN_FAIL, IN_OK, NO_PID, OUT_FAIL, OUT_OK, RECV_FAIL, RECV_OK, RECV_SUCC,
+    SEND_FAIL, SEND_SUCC,
+};
+
+/// The send-port variants of the building-block library (paper Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SendPortKind {
+    /// Confirms to the component immediately; the message may or may not be
+    /// accepted by the channel.
+    AsynNonblocking,
+    /// Confirms after the channel stores the message, retrying while the
+    /// buffer is full.
+    AsynBlocking,
+    /// Confirms after the channel stores the message; reports `SEND_FAIL`
+    /// instead of retrying when the buffer is full.
+    AsynChecking,
+    /// Confirms only after the message has been received by a receiver,
+    /// retrying while the buffer is full.
+    SynBlocking,
+    /// Like `SynBlocking`, but reports `SEND_FAIL` when the buffer is full.
+    SynChecking,
+}
+
+impl SendPortKind {
+    /// Every send-port kind, in library order.
+    pub const ALL: [SendPortKind; 5] = [
+        SendPortKind::AsynNonblocking,
+        SendPortKind::AsynBlocking,
+        SendPortKind::AsynChecking,
+        SendPortKind::SynBlocking,
+        SendPortKind::SynChecking,
+    ];
+
+    /// The library name of the kind (e.g. `"AsynBlockingSend"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SendPortKind::AsynNonblocking => "AsynNonblockingSend",
+            SendPortKind::AsynBlocking => "AsynBlockingSend",
+            SendPortKind::AsynChecking => "AsynCheckingSend",
+            SendPortKind::SynBlocking => "SynBlockingSend",
+            SendPortKind::SynChecking => "SynCheckingSend",
+        }
+    }
+
+    /// Whether the component's confirmation waits for delivery to a
+    /// receiver (synchronous) rather than just storage (asynchronous).
+    pub fn is_synchronous(self) -> bool {
+        matches!(self, SendPortKind::SynBlocking | SendPortKind::SynChecking)
+    }
+
+    /// Whether a full buffer is reported to the component (`SEND_FAIL`)
+    /// instead of being retried.
+    pub fn is_checking(self) -> bool {
+        matches!(self, SendPortKind::AsynChecking | SendPortKind::SynChecking)
+    }
+}
+
+/// Whether a receive port removes the delivered message from the channel or
+/// leaves a copy behind (paper Fig. 1's `copy/remove` variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RecvMode {
+    /// Delivery removes the message.
+    #[default]
+    Remove,
+    /// Delivery leaves the message in the buffer.
+    Copy,
+}
+
+/// The receive-port variants of the building-block library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecvPortKind {
+    /// `true`: wait until a matching message is available. `false`: report
+    /// `RECV_FAIL` (with an empty stub message) when none is available.
+    pub blocking: bool,
+    /// Remove or copy delivery.
+    pub mode: RecvMode,
+}
+
+impl RecvPortKind {
+    /// Every receive-port kind, in library order.
+    pub const ALL: [RecvPortKind; 4] = [
+        RecvPortKind {
+            blocking: true,
+            mode: RecvMode::Remove,
+        },
+        RecvPortKind {
+            blocking: true,
+            mode: RecvMode::Copy,
+        },
+        RecvPortKind {
+            blocking: false,
+            mode: RecvMode::Remove,
+        },
+        RecvPortKind {
+            blocking: false,
+            mode: RecvMode::Copy,
+        },
+    ];
+
+    /// A blocking, removing receive port (the most common choice).
+    pub fn blocking() -> RecvPortKind {
+        RecvPortKind {
+            blocking: true,
+            mode: RecvMode::Remove,
+        }
+    }
+
+    /// A non-blocking, removing receive port.
+    pub fn nonblocking() -> RecvPortKind {
+        RecvPortKind {
+            blocking: false,
+            mode: RecvMode::Remove,
+        }
+    }
+
+    /// Sets the delivery mode.
+    pub fn with_mode(mut self, mode: RecvMode) -> RecvPortKind {
+        self.mode = mode;
+        self
+    }
+
+    /// The library name of the kind (e.g. `"BlRecv(remove)"`).
+    pub fn name(self) -> String {
+        let base = if self.blocking { "BlRecv" } else { "NbRecv" };
+        let mode = match self.mode {
+            RecvMode::Remove => "remove",
+            RecvMode::Copy => "copy",
+        };
+        format!("{base}({mode})")
+    }
+}
+
+/// Receives `(signal, self_pid)` from `link.signal`.
+fn recv_signal(link: SynChan, signal: i32) -> Action {
+    Action::recv(
+        link.signal,
+        vec![FieldPat::lit(signal), FieldPat::self_pid()],
+        vec![],
+    )
+}
+
+/// Receives any signal addressed to this port from `link.signal`
+/// (the paper's `channelChan.signal?_,eval(_pid)` discard).
+fn recv_any_signal(link: SynChan) -> Action {
+    Action::recv(
+        link.signal,
+        vec![FieldPat::Any, FieldPat::self_pid()],
+        vec![],
+    )
+}
+
+/// Receives a data message from the component side, binding payload and tag.
+fn recv_component_data(link: SynChan, data: LocalId, tag: LocalId) -> Action {
+    Action::recv(
+        link.data,
+        vec![FieldPat::Any; 4],
+        vec![(field::DATA, data.into()), (field::TAG, tag.into())],
+    )
+}
+
+/// Generates the process for a send port of the given kind.
+///
+/// `component` is the `SynChan` shared with the component; `channel` is the
+/// `SynChan` shared with the connector's channel process.
+pub(crate) fn send_port_process(
+    name: &str,
+    kind: SendPortKind,
+    component: SynChan,
+    channel: SynChan,
+) -> ProcessBuilder {
+    use pnp_kernel::expr;
+
+    let mut p = ProcessBuilder::new(name);
+    let m_data = p.local("m_data", 0);
+    let m_tag = p.local("m_tag", 0);
+
+    let idle = p.location("idle");
+    let trying = p.location("trying");
+    let succ = p.location("succ");
+
+    // Forwarding the component's message to the channel, stamped with our
+    // pid so the channel can address its status signals.
+    let forward = Action::send(
+        channel.data,
+        vec![
+            expr::local(m_data),
+            expr::local(m_tag),
+            expr::self_pid(),
+            0.into(),
+        ],
+    );
+    let send_succ = Action::send(component.signal, vec![SEND_SUCC.into(), NO_PID.into()]);
+    let send_fail = Action::send(component.signal, vec![SEND_FAIL.into(), NO_PID.into()]);
+
+    match kind {
+        SendPortKind::AsynNonblocking => {
+            // Paper Fig. 7: confirm first, forward afterwards, ignore every
+            // signal from the channel.
+            p.transition(
+                idle,
+                idle,
+                Guard::always(),
+                recv_any_signal(channel),
+                "discard channel signal",
+            );
+            p.transition(
+                idle,
+                succ,
+                Guard::always(),
+                recv_component_data(component, m_data, m_tag),
+                "accept message",
+            );
+            p.transition(succ, trying, Guard::always(), send_succ, "SEND_SUCC");
+            p.transition(trying, idle, Guard::always(), forward, "forward to channel");
+            // While waiting to forward, stale signals must still be drained
+            // or the channel and port would block on each other.
+            p.transition(
+                trying,
+                trying,
+                Guard::always(),
+                recv_any_signal(channel),
+                "discard channel signal",
+            );
+        }
+        SendPortKind::AsynBlocking
+        | SendPortKind::AsynChecking
+        | SendPortKind::SynBlocking
+        | SendPortKind::SynChecking => {
+            let wait_in = p.location("wait_in");
+            p.transition(
+                idle,
+                trying,
+                Guard::always(),
+                recv_component_data(component, m_data, m_tag),
+                "accept message",
+            );
+            p.transition(
+                trying,
+                wait_in,
+                Guard::always(),
+                forward,
+                "forward to channel",
+            );
+            p.transition(succ, idle, Guard::always(), send_succ, "SEND_SUCC");
+
+            // Full-buffer handling: retry (blocking) or report (checking).
+            if kind.is_checking() {
+                let fail = p.location("fail");
+                p.transition(
+                    wait_in,
+                    fail,
+                    Guard::always(),
+                    recv_signal(channel, IN_FAIL),
+                    "IN_FAIL from channel",
+                );
+                p.transition(fail, idle, Guard::always(), send_fail, "SEND_FAIL");
+            } else {
+                p.transition(
+                    wait_in,
+                    trying,
+                    Guard::always(),
+                    recv_signal(channel, IN_FAIL),
+                    "IN_FAIL from channel (retry)",
+                );
+            }
+
+            if kind.is_synchronous() {
+                // Wait for the receiver's confirmation before SEND_SUCC.
+                let wait_recv = p.location("wait_recv");
+                p.transition(
+                    wait_in,
+                    wait_recv,
+                    Guard::always(),
+                    recv_signal(channel, IN_OK),
+                    "IN_OK from channel",
+                );
+                p.transition(
+                    wait_recv,
+                    succ,
+                    Guard::always(),
+                    recv_signal(channel, RECV_OK),
+                    "RECV_OK from channel",
+                );
+            } else {
+                p.transition(
+                    wait_in,
+                    succ,
+                    Guard::always(),
+                    recv_signal(channel, IN_OK),
+                    "IN_OK from channel",
+                );
+                // Asynchronous ports return before delivery, so a RECV_OK
+                // for an earlier message can arrive at any time; drain it
+                // everywhere the port may rendezvous with the channel.
+                for loc in [idle, trying, wait_in] {
+                    p.transition(
+                        loc,
+                        loc,
+                        Guard::always(),
+                        recv_signal(channel, RECV_OK),
+                        "discard stale RECV_OK",
+                    );
+                }
+            }
+        }
+    }
+
+    // A resting send port counts as properly terminated.
+    p.mark_end(idle);
+    p
+}
+
+/// Generates the process for a receive port of the given kind.
+pub(crate) fn recv_port_process(
+    name: &str,
+    kind: RecvPortKind,
+    component: SynChan,
+    channel: SynChan,
+) -> ProcessBuilder {
+    use pnp_kernel::expr;
+
+    let mut p = ProcessBuilder::new(name);
+    let r_sel = p.local("req_selective", 0);
+    let r_tag = p.local("req_tag", 0);
+    let m_data = p.local("m_data", 0);
+    let m_tag = p.local("m_tag", 0);
+    let m_sender = p.local("m_sender", 0);
+
+    let idle = p.location("idle");
+    let trying = p.location("trying");
+    let wait_out = p.location("wait_out");
+    let get_data = p.location("get_data");
+    let ok_status = p.location("ok_status");
+    let ok_data = p.location("ok_data");
+
+    // Accept the component's receive request (selective flag + tag).
+    p.transition(
+        idle,
+        trying,
+        Guard::always(),
+        Action::recv(
+            component.data,
+            vec![FieldPat::Any; 4],
+            vec![(field::DATA, r_sel.into()), (field::TAG, r_tag.into())],
+        ),
+        "accept receive request",
+    );
+    // Forward it to the channel, stamped with our pid and our remove/copy
+    // mode (the port variant, not the component, fixes the mode).
+    let remove_flag: i32 = match kind.mode {
+        RecvMode::Remove => 1,
+        RecvMode::Copy => 0,
+    };
+    p.transition(
+        trying,
+        wait_out,
+        Guard::always(),
+        Action::send(
+            channel.data,
+            vec![
+                expr::local(r_sel),
+                expr::local(r_tag),
+                expr::self_pid(),
+                remove_flag.into(),
+            ],
+        ),
+        "forward receive request",
+    );
+    p.transition(
+        wait_out,
+        get_data,
+        Guard::always(),
+        recv_signal(channel, OUT_OK),
+        "OUT_OK from channel",
+    );
+    if kind.blocking {
+        // Blocking: keep asking until a message is available.
+        p.transition(
+            wait_out,
+            trying,
+            Guard::always(),
+            recv_signal(channel, OUT_FAIL),
+            "OUT_FAIL from channel (retry)",
+        );
+    } else {
+        // Non-blocking: report failure and deliver an empty stub message so
+        // the component's standard interface still sees a data message.
+        let fail_status = p.location("fail_status");
+        let fail_data = p.location("fail_data");
+        p.transition(
+            wait_out,
+            fail_status,
+            Guard::always(),
+            recv_signal(channel, OUT_FAIL),
+            "OUT_FAIL from channel",
+        );
+        p.transition(
+            fail_status,
+            fail_data,
+            Guard::always(),
+            Action::send(component.signal, vec![RECV_FAIL.into(), NO_PID.into()]),
+            "RECV_FAIL",
+        );
+        p.transition(
+            fail_data,
+            idle,
+            Guard::always(),
+            Action::send(
+                component.data,
+                vec![0.into(), 0.into(), NO_PID.into(), expr::self_pid()],
+            ),
+            "deliver empty stub",
+        );
+    }
+    // Take the message addressed to us, then confirm and deliver.
+    p.transition(
+        get_data,
+        ok_status,
+        Guard::always(),
+        Action::recv(
+            channel.data,
+            vec![
+                FieldPat::Any,
+                FieldPat::Any,
+                FieldPat::Any,
+                FieldPat::self_pid(),
+            ],
+            vec![
+                (field::DATA, m_data.into()),
+                (field::TAG, m_tag.into()),
+                (field::SENDER, m_sender.into()),
+            ],
+        ),
+        "message from channel",
+    );
+    p.transition(
+        ok_status,
+        ok_data,
+        Guard::always(),
+        Action::send(component.signal, vec![RECV_SUCC.into(), NO_PID.into()]),
+        "RECV_SUCC",
+    );
+    p.transition(
+        ok_data,
+        idle,
+        Guard::always(),
+        Action::send(
+            component.data,
+            vec![
+                expr::local(m_data),
+                expr::local(m_tag),
+                expr::local(m_sender),
+                expr::self_pid(),
+            ],
+        ),
+        "deliver message",
+    );
+
+    p.mark_end(idle);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_kind_names_are_unique() {
+        let names: Vec<&str> = SendPortKind::ALL.iter().map(|k| k.name()).collect();
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn send_kind_classification() {
+        assert!(SendPortKind::SynBlocking.is_synchronous());
+        assert!(SendPortKind::SynChecking.is_synchronous());
+        assert!(!SendPortKind::AsynBlocking.is_synchronous());
+        assert!(SendPortKind::AsynChecking.is_checking());
+        assert!(SendPortKind::SynChecking.is_checking());
+        assert!(!SendPortKind::AsynNonblocking.is_checking());
+    }
+
+    #[test]
+    fn recv_kind_names_cover_all_variants() {
+        let names: Vec<String> = RecvPortKind::ALL.iter().map(|k| k.name()).collect();
+        assert!(names.contains(&"BlRecv(remove)".to_string()));
+        assert!(names.contains(&"BlRecv(copy)".to_string()));
+        assert!(names.contains(&"NbRecv(remove)".to_string()));
+        assert!(names.contains(&"NbRecv(copy)".to_string()));
+    }
+
+    #[test]
+    fn recv_kind_constructors() {
+        assert!(RecvPortKind::blocking().blocking);
+        assert!(!RecvPortKind::nonblocking().blocking);
+        assert_eq!(
+            RecvPortKind::blocking().with_mode(RecvMode::Copy).mode,
+            RecvMode::Copy
+        );
+    }
+
+    /// Port templates must be valid processes referencing only their two
+    /// SynChans.
+    #[test]
+    fn all_port_templates_validate() {
+        use pnp_kernel::ProgramBuilder;
+        let mut pb = ProgramBuilder::new();
+        let comp = SynChan::declare(&mut pb, "comp");
+        let chan = SynChan::declare(&mut pb, "chan");
+        for kind in SendPortKind::ALL {
+            let port = send_port_process(kind.name(), kind, comp, chan);
+            pb.add_process(port).unwrap();
+        }
+        for kind in RecvPortKind::ALL {
+            let port = recv_port_process(&kind.name(), kind, comp, chan);
+            pb.add_process(port).unwrap();
+        }
+        let program = pb.build().unwrap();
+        assert_eq!(program.processes().len(), 9);
+    }
+
+    #[test]
+    fn synchronous_ports_have_a_wait_recv_stage() {
+        use pnp_kernel::ProgramBuilder;
+        let mut pb = ProgramBuilder::new();
+        let comp = SynChan::declare(&mut pb, "comp");
+        let chan = SynChan::declare(&mut pb, "chan");
+        let syn = send_port_process("syn", SendPortKind::SynBlocking, comp, chan);
+        let asyn = send_port_process("asyn", SendPortKind::AsynBlocking, comp, chan);
+        // The synchronous variant has one more location (wait_recv).
+        assert_eq!(syn.location_count(), asyn.location_count() + 1);
+    }
+}

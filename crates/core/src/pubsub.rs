@@ -1,0 +1,426 @@
+//! Publish/subscribe (event) connectors.
+//!
+//! The paper's Section 6 names publish/subscribe as the first interaction
+//! paradigm beyond message passing that the standard interfaces should
+//! extend to. This module provides that extension: an **event broker**
+//! building block that fans every published event out to all matching
+//! subscriptions, while publishers and subscribers keep using the ordinary
+//! send/receive ports and the unchanged standard component interfaces.
+//!
+//! * Publishing is fire-and-forget: the broker always confirms storage
+//!   (`IN_OK`) and silently drops events for subscriptions whose queue is
+//!   full. Synchronous send ports would wait forever for a delivery
+//!   confirmation, so [`crate::SystemBuilder::build`] rejects them.
+//! * Each subscription has its own bounded queue and an optional tag
+//!   filter; a subscriber only sees events whose tag matches its filter.
+
+use pnp_kernel::{expr, Action, FieldPat, Guard, NativeGuard, NativeOp, ProcessBuilder};
+
+use crate::ports::{RecvPortKind, SendPortKind};
+use crate::signals::{field, SynChan, IN_OK, OUT_FAIL, OUT_OK};
+use crate::system::{PortSite, RecvAttachment, RecvPortSpec, SendAttachment, SendPortSpec, SystemBuilder};
+
+/// Identifies an event connector within a [`SystemBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventConnectorId(usize);
+
+/// Configuration of an event connector.
+#[derive(Debug, Clone, Copy)]
+pub struct EventChannelSpec {
+    /// Capacity of each subscription's queue (≥ 1). Events arriving at a
+    /// full queue are dropped for that subscription only.
+    pub per_subscription_capacity: usize,
+}
+
+impl Default for EventChannelSpec {
+    fn default() -> EventChannelSpec {
+        EventChannelSpec {
+            per_subscription_capacity: 1,
+        }
+    }
+}
+
+/// A subscription: which events a subscriber sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subscription {
+    /// `None` receives every event; `Some(tag)` receives only events
+    /// published with that tag.
+    pub filter: Option<i32>,
+}
+
+impl Subscription {
+    /// Subscribes to every event.
+    pub fn all() -> Subscription {
+        Subscription { filter: None }
+    }
+
+    /// Subscribes to events with the given tag.
+    pub fn to_tag(tag: i32) -> Subscription {
+        Subscription { filter: Some(tag) }
+    }
+
+    fn matches(self, tag: i32) -> bool {
+        self.filter.is_none_or(|f| f == tag)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct SubscriptionSpec {
+    pub(crate) link: SynChan,
+    pub(crate) subscription: Subscription,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct EventConnectorSpec {
+    pub(crate) name: String,
+    pub(crate) capacity: usize,
+    pub(crate) sender_link: SynChan,
+    pub(crate) subscriptions: Vec<SubscriptionSpec>,
+}
+
+impl SystemBuilder {
+    /// Declares an event (publish/subscribe) connector.
+    pub fn event_connector(
+        &mut self,
+        name: impl Into<String>,
+        spec: EventChannelSpec,
+    ) -> EventConnectorId {
+        let name = name.into();
+        assert!(
+            spec.per_subscription_capacity >= 1,
+            "per-subscription capacity must be at least 1"
+        );
+        let sender_link = SynChan::declare(&mut self.prog, &format!("{name}.publishers"));
+        self.events.push(EventConnectorSpec {
+            name,
+            capacity: spec.per_subscription_capacity,
+            sender_link,
+            subscriptions: Vec::new(),
+        });
+        EventConnectorId(self.events.len() - 1)
+    }
+
+    /// Attaches a publisher (an ordinary send port) to an event connector.
+    ///
+    /// `kind` must be asynchronous; synchronous kinds are rejected at
+    /// [`SystemBuilder::build`] because event delivery is never confirmed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `connector` does not belong to this builder.
+    pub fn publisher(&mut self, connector: EventConnectorId, kind: SendPortKind) -> SendAttachment {
+        let spec = &self.events[connector.0];
+        let site_match = |s: &PortSite| matches!(s, PortSite::Event(e, _) if *e == connector.0);
+        let n = self
+            .send_ports
+            .iter()
+            .filter(|p| site_match(&p.site))
+            .count();
+        let label = format!("{}.pub[{n}]", spec.name);
+        let component_link = SynChan::declare(&mut self.prog, &label);
+        self.send_ports.push(SendPortSpec {
+            site: PortSite::Event(connector.0, 0),
+            kind,
+            component_link,
+            label: label.clone(),
+        });
+        SendAttachment {
+            index: Some(self.send_ports.len() - 1),
+            link: component_link,
+            label,
+        }
+    }
+
+    /// Attaches a subscriber: a new subscription queue on the broker plus
+    /// an ordinary receive port for the component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `connector` does not belong to this builder.
+    pub fn subscriber(
+        &mut self,
+        connector: EventConnectorId,
+        kind: RecvPortKind,
+        subscription: Subscription,
+    ) -> RecvAttachment {
+        let sub_index = self.events[connector.0].subscriptions.len();
+        let name = self.events[connector.0].name.clone();
+        let broker_label = format!("{name}.sub[{sub_index}]");
+        let broker_link = SynChan::declare(&mut self.prog, &broker_label);
+        self.events[connector.0].subscriptions.push(SubscriptionSpec {
+            link: broker_link,
+            subscription,
+        });
+        let label = format!("{broker_label}.port");
+        let component_link = SynChan::declare(&mut self.prog, &label);
+        self.recv_ports.push(RecvPortSpec {
+            site: PortSite::Event(connector.0, sub_index),
+            kind,
+            component_link,
+            label: label.clone(),
+        });
+        RecvAttachment {
+            index: Some(self.recv_ports.len() - 1),
+            link: component_link,
+            label,
+        }
+    }
+}
+
+/// Generates the broker process for an event connector.
+pub(crate) fn broker_process(spec: &EventConnectorSpec) -> ProcessBuilder {
+    const SLOT: usize = 2; // (data, tag)
+    let cap = spec.capacity;
+    let n_subs = spec.subscriptions.len();
+
+    let mut p = ProcessBuilder::new(format!("{}.broker", spec.name));
+
+    // Per-subscription queues followed by their lengths, then scratch.
+    let queues = p.local_block("queues", n_subs.max(1) * cap * SLOT, 0);
+    let lens = p.local_block("lens", n_subs.max(1), 0);
+    let in_data = p.local("in_data", 0);
+    let in_tag = p.local("in_tag", 0);
+    let in_sender = p.local("in_sender", 0);
+    let req_sel = p.local("req_sel", 0);
+    let req_tag = p.local("req_tag", 0);
+    let req_pid = p.local("req_pid", 0);
+    let req_remove = p.local("req_remove", 0);
+    let out_data = p.local("out_data", 0);
+    let out_tag = p.local("out_tag", 0);
+    let notify_pid = p.local("notify_pid", 0);
+
+    let q0 = queues.index();
+    let l0 = lens.index();
+    let (ind, int, ins) = (in_data.index(), in_tag.index(), in_sender.index());
+    let (rs, rt, rp, rr) = (
+        req_sel.index(),
+        req_tag.index(),
+        req_pid.index(),
+        req_remove.index(),
+    );
+    let (od, ot, np) = (out_data.index(), out_tag.index(), notify_pid.index());
+
+    let idle = p.location("idle");
+    let publish = p.location("publish");
+    let pub_ack = p.location("pub_ack");
+
+    p.transition(
+        idle,
+        publish,
+        Guard::always(),
+        Action::recv(
+            spec.sender_link.data,
+            vec![FieldPat::Any; 4],
+            vec![
+                (field::DATA, in_data.into()),
+                (field::TAG, in_tag.into()),
+                (field::SENDER, in_sender.into()),
+            ],
+        ),
+        "event from publisher",
+    );
+
+    let filters: Vec<Subscription> = spec.subscriptions.iter().map(|s| s.subscription).collect();
+    let fanout = NativeOp::new("fan out event", move |loc| {
+        for (j, sub) in filters.iter().enumerate() {
+            if !sub.matches(loc[int]) {
+                continue;
+            }
+            let len = loc[l0 + j] as usize;
+            if len >= cap {
+                continue; // drop for this full subscription
+            }
+            let base = q0 + (j * cap + len) * SLOT;
+            loc[base] = loc[ind];
+            loc[base + 1] = loc[int];
+            loc[l0 + j] += 1;
+        }
+        loc[np] = loc[ins];
+        loc[ind] = 0;
+        loc[int] = 0;
+        loc[ins] = 0;
+    });
+    p.transition(publish, pub_ack, Guard::always(), Action::Native(fanout), "fan out");
+    p.transition(
+        pub_ack,
+        idle,
+        Guard::always(),
+        Action::send(
+            spec.sender_link.signal,
+            vec![IN_OK.into(), expr::local(notify_pid)],
+        ),
+        "IN_OK to publisher",
+    );
+
+    // Per-subscription request handling.
+    for (j, sub) in spec.subscriptions.iter().enumerate() {
+        let got_req = p.location(format!("got_req[{j}]"));
+        let ok_status = p.location(format!("ok_status[{j}]"));
+        let ok_data = p.location(format!("ok_data[{j}]"));
+        let cleanup = p.location(format!("cleanup[{j}]"));
+        let fail = p.location(format!("fail[{j}]"));
+
+        p.transition(
+            idle,
+            got_req,
+            Guard::always(),
+            Action::recv(
+                sub.link.data,
+                vec![FieldPat::Any; 4],
+                vec![
+                    (field::DATA, req_sel.into()),
+                    (field::TAG, req_tag.into()),
+                    (field::SENDER, req_pid.into()),
+                    (field::DEST, req_remove.into()),
+                ],
+            ),
+            format!("receive request from subscription {j}"),
+        );
+
+        let match_at = move |loc: &[i32]| -> Option<usize> {
+            let n = loc[l0 + j] as usize;
+            if loc[rs] == 0 {
+                (n > 0).then_some(0)
+            } else {
+                (0..n).find(|&i| loc[q0 + (j * cap + i) * SLOT + 1] == loc[rt])
+            }
+        };
+        let has_match = NativeGuard::new("event available", move |loc| match_at(loc).is_some());
+        let no_match = NativeGuard::new("no event available", move |loc| match_at(loc).is_none());
+        let take = NativeOp::new("take event", move |loc| {
+            let i = match_at(loc).expect("take fired without a match");
+            let base = q0 + (j * cap + i) * SLOT;
+            loc[od] = loc[base];
+            loc[ot] = loc[base + 1];
+            if loc[rr] != 0 {
+                let n = loc[l0 + j] as usize;
+                for k in i..n - 1 {
+                    let dst = q0 + (j * cap + k) * SLOT;
+                    let src = q0 + (j * cap + k + 1) * SLOT;
+                    loc[dst] = loc[src];
+                    loc[dst + 1] = loc[src + 1];
+                }
+                let last = q0 + (j * cap + n - 1) * SLOT;
+                loc[last] = 0;
+                loc[last + 1] = 0;
+                loc[l0 + j] -= 1;
+            }
+            loc[np] = loc[rp];
+            loc[rs] = 0;
+            loc[rt] = 0;
+            loc[rp] = 0;
+            loc[rr] = 0;
+        });
+        let reject = NativeOp::new("reject receive request", move |loc| {
+            loc[np] = loc[rp];
+            loc[rs] = 0;
+            loc[rt] = 0;
+            loc[rp] = 0;
+            loc[rr] = 0;
+        });
+        let clear_out = NativeOp::new("clear delivery scratch", move |loc| {
+            loc[od] = 0;
+            loc[ot] = 0;
+        });
+
+        p.transition(got_req, ok_status, Guard::native(has_match), Action::Native(take), "take event");
+        p.transition(got_req, fail, Guard::native(no_match), Action::Native(reject), "no event");
+        p.transition(
+            ok_status,
+            ok_data,
+            Guard::always(),
+            Action::send(sub.link.signal, vec![OUT_OK.into(), expr::local(notify_pid)]),
+            "OUT_OK to subscription port",
+        );
+        p.transition(
+            ok_data,
+            cleanup,
+            Guard::always(),
+            Action::send(
+                sub.link.data,
+                vec![
+                    expr::local(out_data),
+                    expr::local(out_tag),
+                    crate::signals::NO_PID.into(),
+                    expr::local(notify_pid),
+                ],
+            ),
+            "deliver event",
+        );
+        p.transition(cleanup, idle, Guard::always(), Action::Native(clear_out), "cleanup");
+        p.transition(
+            fail,
+            idle,
+            Guard::always(),
+            Action::send(
+                sub.link.signal,
+                vec![OUT_FAIL.into(), expr::local(notify_pid)],
+            ),
+            "OUT_FAIL to subscription port",
+        );
+    }
+
+    p.mark_end(idle);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscription_matching() {
+        assert!(Subscription::all().matches(5));
+        assert!(Subscription::to_tag(5).matches(5));
+        assert!(!Subscription::to_tag(5).matches(6));
+    }
+
+    #[test]
+    fn default_spec_has_capacity_one() {
+        assert_eq!(EventChannelSpec::default().per_subscription_capacity, 1);
+    }
+
+    #[test]
+    fn broker_template_validates() {
+        let mut sys = SystemBuilder::new();
+        let ev = sys.event_connector("news", EventChannelSpec::default());
+        let _pub = sys.publisher(ev, SendPortKind::AsynNonblocking);
+        let _sub1 = sys.subscriber(ev, RecvPortKind::nonblocking(), Subscription::all());
+        let _sub2 = sys.subscriber(ev, RecvPortKind::nonblocking(), Subscription::to_tag(2));
+        let mut c = crate::ComponentBuilder::new("c");
+        let s0 = c.location("s0");
+        c.mark_end(s0);
+        sys.add_component(c);
+        let system = sys.build().unwrap();
+        // broker + pub port + 2 sub ports + component.
+        assert_eq!(system.program().processes().len(), 5);
+    }
+
+    #[test]
+    fn synchronous_publisher_is_rejected() {
+        let mut sys = SystemBuilder::new();
+        let ev = sys.event_connector("news", EventChannelSpec::default());
+        let _pub = sys.publisher(ev, SendPortKind::SynBlocking);
+        let _sub = sys.subscriber(ev, RecvPortKind::nonblocking(), Subscription::all());
+        let mut c = crate::ComponentBuilder::new("c");
+        let s0 = c.location("s0");
+        c.mark_end(s0);
+        sys.add_component(c);
+        assert!(matches!(
+            sys.build().unwrap_err(),
+            crate::SystemBuildError::SynchronousPublisher { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_event_connector_panics() {
+        let mut sys = SystemBuilder::new();
+        sys.event_connector(
+            "bad",
+            EventChannelSpec {
+                per_subscription_capacity: 0,
+            },
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Remote-procedure-call connectors.
+//!
+//! The second extension paradigm named in the paper's Section 6. An RPC
+//! connector is *composed from the existing message-passing building
+//! blocks* — a call connector and a reply connector — demonstrating that
+//! the standard interfaces generalize beyond plain message passing without
+//! any new block kinds:
+//!
+//! * the **call** path uses a synchronous blocking send into a single-slot
+//!   buffer, so the client knows the server has accepted the request;
+//! * the **reply** path uses an asynchronous blocking send, freeing the
+//!   server as soon as the reply is buffered.
+//!
+//! [`RpcConnector::emit_call`] emits the client side (request then blocking
+//! wait for the result); [`RpcConnector::emit_handle`] and
+//! [`RpcConnector::emit_reply`] emit the server side. This connector
+//! supports one client and one server; request/response correlation for
+//! multiple clients would be layered on tags.
+
+use pnp_kernel::{Expr, Loc, LocalId};
+
+use crate::channels::ChannelKind;
+use crate::component::{ComponentBuilder, ReceiveBinds};
+use crate::ports::{RecvPortKind, SendPortKind};
+use crate::system::{RecvAttachment, SendAttachment, SystemBuilder};
+
+/// A packaged RPC connector: a call path and a reply path.
+#[derive(Debug, Clone)]
+pub struct RpcConnector {
+    name: String,
+    call_tx: SendAttachment,
+    call_rx: RecvAttachment,
+    reply_tx: SendAttachment,
+    reply_rx: RecvAttachment,
+}
+
+impl RpcConnector {
+    /// Declares an RPC connector (two message-passing connectors) in `sys`.
+    pub fn declare(sys: &mut SystemBuilder, name: &str) -> RpcConnector {
+        let call = sys.connector(format!("{name}.call"), ChannelKind::SingleSlot);
+        let call_tx = sys.send_port(call, SendPortKind::SynBlocking);
+        let call_rx = sys.recv_port(call, RecvPortKind::blocking());
+        let reply = sys.connector(format!("{name}.reply"), ChannelKind::SingleSlot);
+        let reply_tx = sys.send_port(reply, SendPortKind::AsynBlocking);
+        let reply_rx = sys.recv_port(reply, RecvPortKind::blocking());
+        RpcConnector {
+            name: name.to_string(),
+            call_tx,
+            call_rx,
+            reply_tx,
+            reply_rx,
+        }
+    }
+
+    /// The connector's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Emits a client-side call between `from` and `to`: send `arg` (tagged
+    /// `tag`), then block until the result arrives in `result`.
+    pub fn emit_call(
+        &self,
+        client: &mut ComponentBuilder,
+        from: Loc,
+        to: Loc,
+        arg: Expr,
+        tag: Expr,
+        result: LocalId,
+    ) {
+        let mid = client.location(format!("{}.await_reply", self.name));
+        client.send_msg(from, mid, &self.call_tx, arg, tag, None);
+        client.recv_msg(mid, to, &self.reply_rx, None, ReceiveBinds::data_into(result));
+    }
+
+    /// Emits the server-side request wait between `from` and `to`, binding
+    /// the request's argument and tag.
+    pub fn emit_handle(
+        &self,
+        server: &mut ComponentBuilder,
+        from: Loc,
+        to: Loc,
+        arg: LocalId,
+        tag: Option<LocalId>,
+    ) {
+        let mut binds = ReceiveBinds::data_into(arg);
+        if let Some(t) = tag {
+            binds = binds.with_tag(t);
+        }
+        server.recv_msg(from, to, &self.call_rx, None, binds);
+    }
+
+    /// Emits the server-side reply between `from` and `to`.
+    pub fn emit_reply(&self, server: &mut ComponentBuilder, from: Loc, to: Loc, result: Expr) {
+        server.send_msg(from, to, &self.reply_tx, result, 0.into(), None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnp_kernel::{expr, Checker, SafetyChecks};
+
+    /// A client that calls `double(21)` and a server that doubles.
+    fn rpc_system() -> crate::System {
+        let mut sys = SystemBuilder::new();
+        let result_g = sys.global("observed_result", 0);
+        let rpc = RpcConnector::declare(&mut sys, "double");
+
+        let mut client = ComponentBuilder::new("client");
+        let result = client.local("result", 0);
+        let c0 = client.location("call");
+        let c1 = client.location("publish");
+        let c2 = client.location("done");
+        client.mark_end(c2);
+        rpc.emit_call(&mut client, c0, c1, 21.into(), 0.into(), result);
+        client.transition(
+            c1,
+            c2,
+            pnp_kernel::Guard::always(),
+            pnp_kernel::Action::assign(result_g, expr::local(result)),
+            "publish result",
+        );
+
+        let mut server = ComponentBuilder::new("server");
+        let arg = server.local("arg", 0);
+        let s0 = server.location("serve");
+        let s1 = server.location("reply");
+        let s2 = server.location("done");
+        server.mark_end(s2);
+        rpc.emit_handle(&mut server, s0, s1, arg, None);
+        rpc.emit_reply(&mut server, s1, s2, expr::local(arg) * 2.into());
+
+        sys.add_component(client);
+        sys.add_component(server);
+        sys.build().unwrap()
+    }
+
+    #[test]
+    fn rpc_round_trip_verifies_and_computes() {
+        let system = rpc_system();
+        let program = system.program();
+        let g = program.global_by_name("observed_result").unwrap();
+        let checker = Checker::new(program);
+
+        // Deadlock-free...
+        let report = checker.check_safety(&SafetyChecks::deadlock_only()).unwrap();
+        assert!(report.outcome.is_holds(), "{:?}", report.outcome);
+
+        // ...and the observed result is only ever 0 (not yet returned) or 42.
+        let ok = pnp_kernel::Predicate::from_expr(expr::or(
+            expr::eq(expr::global(g), 0.into()),
+            expr::eq(expr::global(g), 42.into()),
+        ));
+        let report = checker
+            .check_safety(&SafetyChecks::invariants(vec![("result is 42".into(), ok)]))
+            .unwrap();
+        assert!(report.outcome.is_holds(), "{:?}", report.outcome);
+
+        // And 42 is reachable (the call can complete): the claim "result is
+        // never 42" must be violated.
+        let never = pnp_kernel::Predicate::from_expr(expr::ne(expr::global(g), 42.into()));
+        let report = checker
+            .check_safety(&SafetyChecks {
+                deadlock: false,
+                invariants: vec![("never returns".into(), never)],
+            })
+            .unwrap();
+        assert!(!report.outcome.is_holds());
+    }
+
+    /// The paper-faithful blocking receive port *polls* the channel
+    /// (Fig. 8's retry loop), so "the call eventually returns" does not
+    /// hold even under weak fairness: a schedule may alternate the polling
+    /// port and the channel forever, and the reply send port — being
+    /// intermittently disabled while the channel handles each poll — is
+    /// not protected by weak fairness. SPIN reports the same for the
+    /// original Promela models; excluding the schedule needs strong
+    /// fairness. This test pins down that (correct) behavior.
+    #[test]
+    fn polling_receive_port_starves_liveness_under_weak_fairness() {
+        let system = rpc_system();
+        let program = system.program();
+        let g = program.global_by_name("observed_result").unwrap();
+        let done = pnp_kernel::Proposition::new(
+            "returned",
+            pnp_kernel::Predicate::from_expr(expr::eq(expr::global(g), 42.into())),
+        );
+        let report = Checker::new(program)
+            .check_ltl_str("<> returned", &[done])
+            .unwrap();
+        match report.outcome {
+            pnp_kernel::LtlOutcome::Violated { cycle, .. } => {
+                // The starving cycle is the receive port's poll loop.
+                let text = system.explain_trace(&cycle);
+                assert!(text.contains("no matching message") || text.contains("OUT_FAIL"), "{text}");
+            }
+            other => panic!("expected the polling livelock, got {other:?}"),
+        }
+    }
+}

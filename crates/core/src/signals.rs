@@ -1,0 +1,144 @@
+//! Protocol signals and message layouts used between components, ports, and
+//! channels.
+//!
+//! This module fixes the on-the-wire conventions of the PnP protocol (the
+//! paper's `mtype` declaration and `DataMsg`/`InternalMsg` typedefs):
+//!
+//! * **signal channels** carry 2-field messages `(signal, port_pid)`;
+//! * **data channels** carry 4-field messages whose interpretation depends
+//!   on direction:
+//!   * component → port → channel (a data message):
+//!     `(data, tag, sender_port_pid, 0)`;
+//!   * component → port → channel (a receive request):
+//!     `(selective, tag, requester_port_pid, remove)`;
+//!   * channel → port → component (a delivery):
+//!     `(data, tag, sender_port_pid, dest_port_pid)`.
+//!
+//! The `tag` field doubles as the selective-receive matching key and as the
+//! priority for [`crate::ChannelKind::Priority`] channels (larger = more
+//! urgent).
+
+use pnp_kernel::{ChanId, ProgramBuilder};
+
+/// Signal: the sent message was (or will be, for non-blocking ports)
+/// delivered successfully.
+pub const SEND_SUCC: i32 = 1;
+/// Signal: the sent message was rejected (checking ports, full buffer).
+pub const SEND_FAIL: i32 = 2;
+/// Signal: the channel stored the message.
+pub const IN_OK: i32 = 3;
+/// Signal: the channel's buffer is full.
+pub const IN_FAIL: i32 = 4;
+/// Signal: the channel accepted a receive request.
+pub const OUT_OK: i32 = 5;
+/// Signal: no matching message is currently available.
+pub const OUT_FAIL: i32 = 6;
+/// Signal: the message was received by a receiver (sent to the send port).
+pub const RECV_OK: i32 = 7;
+/// Signal: the receive request succeeded (sent to the component).
+pub const RECV_SUCC: i32 = 8;
+/// Signal: the receive request failed (non-blocking receive, no message).
+pub const RECV_FAIL: i32 = 9;
+
+/// Returns the conventional name of a signal constant, for diagnostics.
+pub fn signal_name(signal: i32) -> &'static str {
+    match signal {
+        SEND_SUCC => "SEND_SUCC",
+        SEND_FAIL => "SEND_FAIL",
+        IN_OK => "IN_OK",
+        IN_FAIL => "IN_FAIL",
+        OUT_OK => "OUT_OK",
+        OUT_FAIL => "OUT_FAIL",
+        RECV_OK => "RECV_OK",
+        RECV_SUCC => "RECV_SUCC",
+        RECV_FAIL => "RECV_FAIL",
+        _ => "UNKNOWN",
+    }
+}
+
+/// Number of fields in a signal message: `(signal, port_pid)`.
+pub const SIGNAL_ARITY: usize = 2;
+/// Number of fields in a data message (see the module docs for layouts).
+pub const DATA_ARITY: usize = 4;
+
+/// Data-message field indices.
+pub mod field {
+    /// Payload (data messages) or `selective` flag (receive requests).
+    pub const DATA: usize = 0;
+    /// Tag: selective-receive key and priority.
+    pub const TAG: usize = 1;
+    /// The sending port's pid (data) or requester port's pid (requests).
+    pub const SENDER: usize = 2;
+    /// Destination port pid on delivery; `remove` flag in receive requests.
+    pub const DEST: usize = 3;
+}
+
+/// The pid value used when a message is not addressed to a specific port
+/// (e.g. status signals delivered to a component).
+pub const NO_PID: i32 = -1;
+
+/// A bidirectional link in the PnP protocol: a pair of rendezvous kernel
+/// channels, one for status signals and one for data (the paper's `SynChan`
+/// typedef).
+///
+/// One `SynChan` connects a component to its port, or a set of ports to a
+/// channel (port pids disambiguate the shared case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynChan {
+    /// The rendezvous signal channel (`SIGNAL_ARITY` fields).
+    pub signal: ChanId,
+    /// The rendezvous data channel (`DATA_ARITY` fields).
+    pub data: ChanId,
+}
+
+impl SynChan {
+    /// Declares a fresh `SynChan` (two rendezvous kernel channels) in
+    /// `builder`, named `<name>.signal` and `<name>.data`.
+    pub fn declare(builder: &mut ProgramBuilder, name: &str) -> SynChan {
+        SynChan {
+            signal: builder.channel(format!("{name}.signal"), 0, SIGNAL_ARITY),
+            data: builder.channel(format!("{name}.data"), 0, DATA_ARITY),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_constants_are_distinct() {
+        let all = [
+            SEND_SUCC, SEND_FAIL, IN_OK, IN_FAIL, OUT_OK, OUT_FAIL, RECV_OK, RECV_SUCC, RECV_FAIL,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn signal_names_round_trip() {
+        assert_eq!(signal_name(SEND_SUCC), "SEND_SUCC");
+        assert_eq!(signal_name(RECV_FAIL), "RECV_FAIL");
+        assert_eq!(signal_name(0), "UNKNOWN");
+    }
+
+    #[test]
+    fn declare_creates_two_rendezvous_channels() {
+        let mut pb = ProgramBuilder::new();
+        let sc = SynChan::declare(&mut pb, "link");
+        assert_ne!(sc.signal, sc.data);
+        let mut p = pnp_kernel::ProcessBuilder::new("dummy");
+        p.location("s0");
+        pb.add_process(p).unwrap();
+        let program = pb.build().unwrap();
+        let decls = program.channels();
+        assert_eq!(decls[sc.signal.index()].name(), "link.signal");
+        assert!(decls[sc.signal.index()].is_rendezvous());
+        assert_eq!(decls[sc.signal.index()].arity(), SIGNAL_ARITY);
+        assert_eq!(decls[sc.data.index()].name(), "link.data");
+        assert_eq!(decls[sc.data.index()].arity(), DATA_ARITY);
+    }
+}

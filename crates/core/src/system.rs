@@ -1,0 +1,756 @@
+//! System assembly: wiring components and connectors into a checkable
+//! program.
+//!
+//! [`SystemBuilder`] is the programmatic equivalent of the paper's
+//! design-environment workflow: declare a connector by picking a channel
+//! kind, attach send and receive ports by picking port kinds, then add
+//! components that talk to the attachments through the standard interfaces.
+//! [`SystemBuilder::build`] instantiates the predefined process model of
+//! every building block plus the component processes into a single
+//! [`pnp_kernel::Program`], and records a [`Topology`] mapping kernel
+//! process ids back to architectural roles (used for building-block-level
+//! counterexample explanation).
+//!
+//! The builder is cheap to clone and `build` does not consume it, so
+//! swapping one building block and re-verifying — the plug-and-play loop —
+//! reuses every other block and all component models:
+//!
+//! ```
+//! # use pnp_core::*;
+//! let mut sys = SystemBuilder::new();
+//! let conn = sys.connector("wire", ChannelKind::SingleSlot);
+//! let tx = sys.send_port(conn, SendPortKind::AsynBlocking);
+//! # let rx = sys.recv_port(conn, RecvPortKind::blocking());
+//! # let mut c = ComponentBuilder::new("a");
+//! # let s0 = c.location("s0");
+//! # c.mark_end(s0);
+//! # sys.add_component(c);
+//! // ... add components ...
+//! let v1 = sys.build()?;                      // first design
+//! sys.set_send_port_kind(&tx, SendPortKind::SynBlocking);
+//! let v2 = sys.build()?;                      // one block swapped, rest reused
+//! # assert_eq!(v1.program().processes().len(), v2.program().processes().len());
+//! # Ok::<(), pnp_core::SystemBuildError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pnp_kernel::{BuildError, GlobalId, ProcId, Program, ProgramBuilder};
+
+use crate::channels::{channel_process, ChannelKind};
+use crate::component::ComponentBuilder;
+use crate::fused::{fused_process, FusedConnectorKind, FusedSpec};
+use crate::ports::{recv_port_process, send_port_process, RecvPortKind, SendPortKind};
+use crate::pubsub::{broker_process, EventConnectorSpec};
+use crate::signals::SynChan;
+
+/// Identifies a connector within a [`SystemBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConnectorId(pub(crate) usize);
+
+/// Which architectural element a port is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PortSite {
+    /// A regular message-passing connector.
+    Connector(usize),
+    /// An event (publish/subscribe) connector; for receive ports the second
+    /// field is the subscription index.
+    Event(usize, usize),
+}
+
+/// A component's handle to a send port: pass it to
+/// [`ComponentBuilder::send_msg`](crate::ComponentBuilder::send_msg).
+#[derive(Debug, Clone)]
+pub struct SendAttachment {
+    /// Index into the builder's send-port list; `None` for fused-connector
+    /// attachments, whose port semantics are baked into the fused process.
+    pub(crate) index: Option<usize>,
+    pub(crate) link: SynChan,
+    pub(crate) label: String,
+}
+
+impl SendAttachment {
+    /// The component-side [`SynChan`] of this port.
+    pub fn component_link(&self) -> SynChan {
+        self.link
+    }
+
+    /// The attachment's diagnostic label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// A component's handle to a receive port: pass it to
+/// [`ComponentBuilder::recv_msg`](crate::ComponentBuilder::recv_msg).
+#[derive(Debug, Clone)]
+pub struct RecvAttachment {
+    /// Index into the builder's receive-port list; `None` for fused
+    /// attachments.
+    pub(crate) index: Option<usize>,
+    pub(crate) link: SynChan,
+    pub(crate) label: String,
+}
+
+impl RecvAttachment {
+    /// The component-side [`SynChan`] of this port.
+    pub fn component_link(&self) -> SynChan {
+        self.link
+    }
+
+    /// The attachment's diagnostic label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// The architectural role of one kernel process (used to explain traces at
+/// the building-block level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Role {
+    /// A user-defined component.
+    Component {
+        /// The component's name.
+        name: String,
+    },
+    /// A send-port building block.
+    SendPort {
+        /// The port kind.
+        kind: SendPortKind,
+        /// The connector it belongs to.
+        connector: String,
+    },
+    /// A receive-port building block.
+    RecvPort {
+        /// The port kind.
+        kind: RecvPortKind,
+        /// The connector it belongs to.
+        connector: String,
+    },
+    /// A channel building block.
+    Channel {
+        /// The channel kind.
+        kind: ChannelKind,
+        /// The connector it belongs to.
+        connector: String,
+    },
+    /// A publish/subscribe event broker.
+    EventBroker {
+        /// The event connector it implements.
+        connector: String,
+    },
+    /// An optimized fused connector (send port + channel + receive port
+    /// collapsed into one process; see [`crate::FusedConnectorKind`]).
+    FusedConnector {
+        /// The fused kind.
+        kind: FusedConnectorKind,
+        /// The connector's name.
+        connector: String,
+    },
+}
+
+impl Role {
+    /// A short human-readable description, used in trace explanations.
+    pub fn describe(&self) -> String {
+        match self {
+            Role::Component { name } => format!("component {name}"),
+            Role::SendPort { kind, connector } => {
+                format!("send port {} of connector {connector}", kind.name())
+            }
+            Role::RecvPort { kind, connector } => {
+                format!("receive port {} of connector {connector}", kind.name())
+            }
+            Role::Channel { kind, connector } => {
+                format!("channel {} of connector {connector}", kind.name())
+            }
+            Role::EventBroker { connector } => format!("event broker of {connector}"),
+            Role::FusedConnector { kind, connector } => {
+                format!("fused connector {connector} ({})", kind.name())
+            }
+        }
+    }
+
+    /// Whether the process is part of a connector (not a component).
+    pub fn is_connector_part(&self) -> bool {
+        !matches!(self, Role::Component { .. })
+    }
+}
+
+/// Maps kernel process ids back to architectural roles.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    pub(crate) roles: Vec<Role>,
+}
+
+impl Topology {
+    /// The role of a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn role(&self, proc: ProcId) -> &Role {
+        &self.roles[proc.index()]
+    }
+
+    /// Iterates over `(ProcId, Role)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcId, &Role)> {
+        self.roles
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (ProcId::from_index(i), r))
+    }
+
+    /// The number of processes playing connector roles (ports, channels,
+    /// brokers, fused connectors).
+    pub fn connector_process_count(&self) -> usize {
+        self.roles.iter().filter(|r| r.is_connector_part()).count()
+    }
+
+    /// The number of component processes.
+    pub fn component_count(&self) -> usize {
+        self.roles.len() - self.connector_process_count()
+    }
+}
+
+/// An error from [`SystemBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemBuildError {
+    /// The underlying kernel program failed validation; usually a component
+    /// referenced a variable it does not own.
+    Kernel(BuildError),
+    /// No components were added.
+    NoComponents,
+    /// A connector has send ports but no receive port at all: sent
+    /// messages could never be delivered and synchronous senders would
+    /// block forever. (The converse — receive ports with no sender — is a
+    /// legal, merely quiet, configuration.)
+    UnusableConnector {
+        /// The connector's name.
+        connector: String,
+    },
+    /// An event connector's publisher uses a synchronous send port; event
+    /// brokers never confirm delivery, so the publisher would deadlock.
+    SynchronousPublisher {
+        /// The event connector's name.
+        connector: String,
+    },
+}
+
+impl fmt::Display for SystemBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemBuildError::Kernel(e) => write!(f, "kernel build error: {e}"),
+            SystemBuildError::NoComponents => write!(f, "system has no components"),
+            SystemBuildError::UnusableConnector { connector } => {
+                write!(
+                    f,
+                    "connector '{connector}' has send ports but no receive port; its messages could never be delivered"
+                )
+            }
+            SystemBuildError::SynchronousPublisher { connector } => {
+                write!(
+                    f,
+                    "event connector '{connector}' has a synchronous publisher; publishers must use asynchronous send ports"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemBuildError {}
+
+impl From<BuildError> for SystemBuildError {
+    fn from(e: BuildError) -> SystemBuildError {
+        SystemBuildError::Kernel(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ConnectorSpec {
+    pub(crate) name: String,
+    pub(crate) kind: ChannelKind,
+    pub(crate) sender_link: SynChan,
+    pub(crate) receiver_link: SynChan,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct SendPortSpec {
+    pub(crate) site: PortSite,
+    pub(crate) kind: SendPortKind,
+    pub(crate) component_link: SynChan,
+    pub(crate) label: String,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct RecvPortSpec {
+    pub(crate) site: PortSite,
+    pub(crate) kind: RecvPortKind,
+    pub(crate) component_link: SynChan,
+    pub(crate) label: String,
+}
+
+/// Builder for a PnP [`System`]. See the module docs for the workflow.
+#[derive(Debug, Clone, Default)]
+pub struct SystemBuilder {
+    pub(crate) prog: ProgramBuilder,
+    pub(crate) connectors: Vec<ConnectorSpec>,
+    pub(crate) events: Vec<EventConnectorSpec>,
+    pub(crate) fused: Vec<FusedSpec>,
+    pub(crate) send_ports: Vec<SendPortSpec>,
+    pub(crate) recv_ports: Vec<RecvPortSpec>,
+    pub(crate) components: Vec<ComponentBuilder>,
+}
+
+impl SystemBuilder {
+    /// Creates an empty system builder.
+    pub fn new() -> SystemBuilder {
+        SystemBuilder::default()
+    }
+
+    /// Declares a global variable (visible to all components and to
+    /// property predicates).
+    pub fn global(&mut self, name: impl Into<String>, init: i32) -> GlobalId {
+        self.prog.global(name, init)
+    }
+
+    /// Declares a connector with the given channel kind. Ports are attached
+    /// separately with [`SystemBuilder::send_port`] and
+    /// [`SystemBuilder::recv_port`].
+    pub fn connector(&mut self, name: impl Into<String>, kind: ChannelKind) -> ConnectorId {
+        let name = name.into();
+        let sender_link = SynChan::declare(&mut self.prog, &format!("{name}.senders"));
+        let receiver_link = SynChan::declare(&mut self.prog, &format!("{name}.receivers"));
+        self.connectors.push(ConnectorSpec {
+            name,
+            kind,
+            sender_link,
+            receiver_link,
+        });
+        ConnectorId(self.connectors.len() - 1)
+    }
+
+    /// Attaches a send port of the given kind to a connector, returning the
+    /// attachment a component needs to send through it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `connector` does not belong to this builder.
+    pub fn send_port(&mut self, connector: ConnectorId, kind: SendPortKind) -> SendAttachment {
+        let spec = &self.connectors[connector.0];
+        let site = PortSite::Connector(connector.0);
+        let n = self
+            .send_ports
+            .iter()
+            .filter(|p| p.site == site)
+            .count();
+        let label = format!("{}.send[{n}]", spec.name);
+        let component_link = SynChan::declare(&mut self.prog, &label);
+        self.send_ports.push(SendPortSpec {
+            site,
+            kind,
+            component_link,
+            label: label.clone(),
+        });
+        SendAttachment {
+            index: Some(self.send_ports.len() - 1),
+            link: component_link,
+            label,
+        }
+    }
+
+    /// Attaches a receive port of the given kind to a connector, returning
+    /// the attachment a component needs to receive through it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `connector` does not belong to this builder.
+    pub fn recv_port(&mut self, connector: ConnectorId, kind: RecvPortKind) -> RecvAttachment {
+        let spec = &self.connectors[connector.0];
+        let site = PortSite::Connector(connector.0);
+        let n = self
+            .recv_ports
+            .iter()
+            .filter(|p| matches!(p.site, PortSite::Connector(c) if c == connector.0))
+            .count();
+        let label = format!("{}.recv[{n}]", spec.name);
+        let component_link = SynChan::declare(&mut self.prog, &label);
+        self.recv_ports.push(RecvPortSpec {
+            site,
+            kind,
+            component_link,
+            label: label.clone(),
+        });
+        RecvAttachment {
+            index: Some(self.recv_ports.len() - 1),
+            link: component_link,
+            label,
+        }
+    }
+
+    /// Adds a finished component.
+    pub fn add_component(&mut self, component: ComponentBuilder) {
+        self.components.push(component);
+    }
+
+    /// Replaces the kind of an already-attached send port — the
+    /// plug-and-play swap. Components and every other block are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attachment came from a different builder or from a
+    /// fused connector (fused connectors bake their port semantics in).
+    pub fn set_send_port_kind(&mut self, attachment: &SendAttachment, kind: SendPortKind) {
+        let index = attachment
+            .index
+            .expect("fused-connector attachments cannot be re-ported");
+        self.send_ports[index].kind = kind;
+    }
+
+    /// Replaces the kind of an already-attached receive port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attachment came from a different builder or from a
+    /// fused connector.
+    pub fn set_recv_port_kind(&mut self, attachment: &RecvAttachment, kind: RecvPortKind) {
+        let index = attachment
+            .index
+            .expect("fused-connector attachments cannot be re-ported");
+        self.recv_ports[index].kind = kind;
+    }
+
+    /// Replaces a connector's channel kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `connector` does not belong to this builder.
+    pub fn set_channel_kind(&mut self, connector: ConnectorId, kind: ChannelKind) {
+        self.connectors[connector.0].kind = kind;
+    }
+
+    /// The kinds currently configured for a connector (channel kind plus
+    /// attached port kinds), for diagnostics.
+    pub fn connector_summary(&self, connector: ConnectorId) -> String {
+        let spec = &self.connectors[connector.0];
+        let site = PortSite::Connector(connector.0);
+        let sends: Vec<String> = self
+            .send_ports
+            .iter()
+            .filter(|p| p.site == site)
+            .map(|p| p.kind.name().to_string())
+            .collect();
+        let recvs: Vec<String> = self
+            .recv_ports
+            .iter()
+            .filter(|p| matches!(p.site, PortSite::Connector(c) if c == connector.0))
+            .map(|p| p.kind.name())
+            .collect();
+        format!(
+            "{}: [{}] -> {} -> [{}]",
+            spec.name,
+            sends.join(", "),
+            spec.kind.name(),
+            recvs.join(", ")
+        )
+    }
+
+    /// Instantiates every building-block model and component into a
+    /// checkable [`System`]. The builder is not consumed: swap a block and
+    /// build again to explore an alternative design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemBuildError`] when the system is empty, a connector
+    /// is one-sided, an event publisher is synchronous, or a component
+    /// fails kernel validation.
+    pub fn build(&self) -> Result<System, SystemBuildError> {
+        if self.components.is_empty() {
+            return Err(SystemBuildError::NoComponents);
+        }
+        for (i, spec) in self.connectors.iter().enumerate() {
+            let site = PortSite::Connector(i);
+            let has_send = self.send_ports.iter().any(|p| p.site == site);
+            let has_recv = self
+                .recv_ports
+                .iter()
+                .any(|p| matches!(p.site, PortSite::Connector(c) if c == i));
+            if has_send && !has_recv {
+                return Err(SystemBuildError::UnusableConnector {
+                    connector: spec.name.clone(),
+                });
+            }
+        }
+        for port in &self.send_ports {
+            if let PortSite::Event(e, _) = port.site {
+                if port.kind.is_synchronous() {
+                    return Err(SystemBuildError::SynchronousPublisher {
+                        connector: self.events[e].name.clone(),
+                    });
+                }
+            }
+        }
+
+        let mut prog = self.prog.clone();
+        let mut roles = Vec::new();
+
+        for spec in &self.connectors {
+            let process = channel_process(
+                &format!("{}.channel", spec.name),
+                spec.kind,
+                spec.sender_link,
+                spec.receiver_link,
+            );
+            prog.add_process(process)?;
+            roles.push(Role::Channel {
+                kind: spec.kind,
+                connector: spec.name.clone(),
+            });
+        }
+        for spec in &self.events {
+            let process = broker_process(spec);
+            prog.add_process(process)?;
+            roles.push(Role::EventBroker {
+                connector: spec.name.clone(),
+            });
+        }
+        for spec in &self.fused {
+            let process = fused_process(spec);
+            prog.add_process(process)?;
+            roles.push(Role::FusedConnector {
+                kind: spec.kind,
+                connector: spec.name.clone(),
+            });
+        }
+        for spec in &self.send_ports {
+            let (channel_link, connector_name) = match spec.site {
+                PortSite::Connector(c) => {
+                    let conn = &self.connectors[c];
+                    (conn.sender_link, conn.name.clone())
+                }
+                PortSite::Event(e, _) => {
+                    let conn = &self.events[e];
+                    (conn.sender_link, conn.name.clone())
+                }
+            };
+            let process =
+                send_port_process(&spec.label, spec.kind, spec.component_link, channel_link);
+            prog.add_process(process)?;
+            roles.push(Role::SendPort {
+                kind: spec.kind,
+                connector: connector_name,
+            });
+        }
+        for spec in &self.recv_ports {
+            let (channel_link, connector_name) = match spec.site {
+                PortSite::Connector(c) => {
+                    let conn = &self.connectors[c];
+                    (conn.receiver_link, conn.name.clone())
+                }
+                PortSite::Event(e, sub) => {
+                    let conn = &self.events[e];
+                    (conn.subscriptions[sub].link, conn.name.clone())
+                }
+            };
+            let process =
+                recv_port_process(&spec.label, spec.kind, spec.component_link, channel_link);
+            prog.add_process(process)?;
+            roles.push(Role::RecvPort {
+                kind: spec.kind,
+                connector: connector_name,
+            });
+        }
+        let mut wiring = HashMap::new();
+        for component in &self.components {
+            prog.add_process(component.inner.clone())?;
+            roles.push(Role::Component {
+                name: component.name().to_string(),
+            });
+            wiring.insert(
+                component.name().to_string(),
+                (
+                    component.used_send_ports.clone(),
+                    component.used_recv_ports.clone(),
+                ),
+            );
+        }
+
+        Ok(System {
+            program: prog.build()?,
+            topology: Topology { roles },
+            wiring,
+        })
+    }
+}
+
+/// A fully assembled PnP system: the kernel program plus the architectural
+/// topology.
+#[derive(Debug, Clone)]
+pub struct System {
+    program: Program,
+    topology: Topology,
+    /// Component name -> (send-port labels, receive-port labels) it uses.
+    wiring: HashMap<String, (Vec<String>, Vec<String>)>,
+}
+
+impl System {
+    /// The kernel program (pass it to [`pnp_kernel::Checker`] or
+    /// [`pnp_kernel::Simulator`]).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The architectural topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The port labels a component sends through and receives through, as
+    /// recorded while the component was built. `None` for unknown names.
+    pub fn wiring_for(&self, component: &str) -> Option<(&[String], &[String])> {
+        self.wiring
+            .get(component)
+            .map(|(s, r)| (s.as_slice(), r.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::ReceiveBinds;
+
+    fn one_wire_system(
+        send_kind: SendPortKind,
+        channel: ChannelKind,
+        recv_kind: RecvPortKind,
+    ) -> SystemBuilder {
+        let mut sys = SystemBuilder::new();
+        let conn = sys.connector("wire", channel);
+        let tx = sys.send_port(conn, send_kind);
+        let rx = sys.recv_port(conn, recv_kind);
+
+        let mut producer = ComponentBuilder::new("producer");
+        let p0 = producer.location("send");
+        let p1 = producer.location("done");
+        producer.mark_end(p1);
+        producer.send_msg(p0, p1, &tx, 7.into(), 0.into(), None);
+
+        let mut consumer = ComponentBuilder::new("consumer");
+        let got = consumer.local("got", 0);
+        let c0 = consumer.location("recv");
+        let c1 = consumer.location("done");
+        consumer.mark_end(c1);
+        consumer.recv_msg(c0, c1, &rx, None, ReceiveBinds::data_into(got));
+
+        sys.add_component(producer);
+        sys.add_component(consumer);
+        sys
+    }
+
+    #[test]
+    fn builds_a_minimal_system() {
+        let sys = one_wire_system(
+            SendPortKind::AsynBlocking,
+            ChannelKind::SingleSlot,
+            RecvPortKind::blocking(),
+        );
+        let system = sys.build().unwrap();
+        // 1 channel + 1 send port + 1 recv port + 2 components.
+        assert_eq!(system.program().processes().len(), 5);
+        assert_eq!(system.topology().connector_process_count(), 3);
+        assert_eq!(system.topology().component_count(), 2);
+    }
+
+    #[test]
+    fn empty_system_is_rejected() {
+        let sys = SystemBuilder::new();
+        assert_eq!(sys.build().unwrap_err(), SystemBuildError::NoComponents);
+    }
+
+    #[test]
+    fn one_sided_connector_is_rejected() {
+        let mut sys = SystemBuilder::new();
+        let conn = sys.connector("dangling", ChannelKind::SingleSlot);
+        let _tx = sys.send_port(conn, SendPortKind::AsynBlocking);
+        let mut c = ComponentBuilder::new("c");
+        let s0 = c.location("s0");
+        c.mark_end(s0);
+        sys.add_component(c);
+        assert!(matches!(
+            sys.build().unwrap_err(),
+            SystemBuildError::UnusableConnector { connector } if connector == "dangling"
+        ));
+    }
+
+    #[test]
+    fn build_is_repeatable_and_swaps_reuse_components() {
+        let mut sys = one_wire_system(
+            SendPortKind::AsynBlocking,
+            ChannelKind::SingleSlot,
+            RecvPortKind::blocking(),
+        );
+        let v1 = sys.build().unwrap();
+        // Swap the channel and rebuild: same process count, same component
+        // definitions (identical names and transition counts).
+        sys.set_channel_kind(ConnectorId(0), ChannelKind::Fifo { capacity: 2 });
+        let v2 = sys.build().unwrap();
+        assert_eq!(
+            v1.program().processes().len(),
+            v2.program().processes().len()
+        );
+        let comp1 = &v1.program().processes()[3];
+        let comp2 = &v2.program().processes()[3];
+        assert_eq!(comp1.name(), comp2.name());
+        assert_eq!(comp1.transition_count(), comp2.transition_count());
+    }
+
+    #[test]
+    fn connector_summary_describes_the_composition() {
+        let sys = one_wire_system(
+            SendPortKind::SynBlocking,
+            ChannelKind::Fifo { capacity: 5 },
+            RecvPortKind::blocking(),
+        );
+        let summary = sys.connector_summary(ConnectorId(0));
+        assert!(summary.contains("SynBlockingSend"), "{summary}");
+        assert!(summary.contains("FIFO(5)"), "{summary}");
+        assert!(summary.contains("BlRecv(remove)"), "{summary}");
+    }
+
+    #[test]
+    fn topology_roles_align_with_pids() {
+        let sys = one_wire_system(
+            SendPortKind::AsynBlocking,
+            ChannelKind::SingleSlot,
+            RecvPortKind::blocking(),
+        );
+        let system = sys.build().unwrap();
+        let names: Vec<String> = system
+            .program()
+            .processes()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+        for (pid, role) in system.topology().iter() {
+            match role {
+                Role::Component { name } => assert_eq!(&names[pid.index()], name),
+                Role::Channel { .. } => assert!(names[pid.index()].ends_with(".channel")),
+                Role::SendPort { .. } => assert!(names[pid.index()].contains(".send[")),
+                Role::RecvPort { .. } => assert!(names[pid.index()].contains(".recv[")),
+                other => panic!("unexpected role {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn role_descriptions_are_informative() {
+        let role = Role::SendPort {
+            kind: SendPortKind::SynBlocking,
+            connector: "wire".into(),
+        };
+        assert!(role.describe().contains("SynBlockingSend"));
+        assert!(role.describe().contains("wire"));
+        assert!(role.is_connector_part());
+        assert!(!Role::Component { name: "x".into() }.is_connector_part());
+    }
+}

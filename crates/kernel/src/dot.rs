@@ -1,0 +1,95 @@
+//! Graphviz rendering of process automata, for debugging models.
+
+use std::fmt::Write as _;
+
+use crate::program::{Action, ProcessDef, Program};
+
+impl ProcessDef {
+    /// Renders this process's control automaton in Graphviz dot format:
+    /// locations as nodes (end locations doubly circled, the initial
+    /// location marked), transitions as labeled edges.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name);
+        out.push_str("  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n");
+        for (i, name) in self.loc_names.iter().enumerate() {
+            let shape = if self.end_locs.contains(&(i as u32)) {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let _ = writeln!(out, "  l{i} [shape={shape}, label=\"{name}\"];");
+        }
+        let _ = writeln!(out, "  init [shape=point];");
+        let _ = writeln!(out, "  init -> l{};", self.init_loc);
+        for (from, transitions) in self.outgoing.iter().enumerate() {
+            for t in transitions {
+                let kind = match &t.action {
+                    Action::Skip => "",
+                    Action::Assign(_) => " [=]",
+                    Action::Send { .. } => " [!]",
+                    Action::Recv { .. } => " [?]",
+                    Action::Native(_) => " [op]",
+                    Action::Assert { .. } => " [assert]",
+                };
+                let label = format!("{}{kind}", t.label).replace('"', "'");
+                let _ = writeln!(out, "  l{from} -> l{} [label=\"{label}\"];", t.target);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl Program {
+    /// Renders every process automaton, concatenated (one digraph per
+    /// process); split on blank lines or render processes individually via
+    /// [`ProcessDef::to_dot`].
+    pub fn to_dot(&self) -> String {
+        self.processes
+            .iter()
+            .map(ProcessDef::to_dot)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::expression::expr;
+    use crate::program::{Action, Guard, ProcessBuilder, ProgramBuilder};
+
+    #[test]
+    fn process_dot_shows_locations_edges_and_markers() {
+        let mut prog = ProgramBuilder::new();
+        let ch = prog.channel("ch", 0, 1);
+        let mut p = ProcessBuilder::new("worker");
+        let n = p.local("n", 0);
+        let s0 = p.location("idle");
+        let s1 = p.location("busy");
+        let s2 = p.location("done");
+        p.set_initial(s0);
+        p.mark_end(s2);
+        p.transition(s0, s1, Guard::always(), Action::send(ch, vec![1.into()]), "emit");
+        p.transition(
+            s1,
+            s2,
+            Guard::always(),
+            Action::assign(n, expr::local(n) + 1.into()),
+            "count",
+        );
+        prog.add_process(p).unwrap();
+        let program = prog.build().unwrap();
+
+        let dot = program.processes()[0].to_dot();
+        assert!(dot.contains("digraph \"worker\""), "{dot}");
+        assert!(dot.contains("label=\"idle\""), "{dot}");
+        assert!(dot.contains("doublecircle, label=\"done\""), "{dot}");
+        assert!(dot.contains("init -> l0"), "{dot}");
+        assert!(dot.contains("emit [!]"), "{dot}");
+        assert!(dot.contains("count [=]"), "{dot}");
+
+        // Program-level rendering concatenates per-process graphs.
+        assert_eq!(program.to_dot(), dot);
+    }
+}

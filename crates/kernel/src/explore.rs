@@ -1,0 +1,802 @@
+//! Breadth-first safety checking: deadlocks, invariants, assertions.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::expression::{EvalCtx, Expr};
+use crate::program::Program;
+use crate::state::{
+    apply_step, enabled_steps, is_valid_end_state, KernelError, State, StateView, Step,
+};
+use crate::trace::Trace;
+
+/// A boolean predicate over system states, used for invariants and LTL
+/// propositions.
+#[derive(Clone)]
+pub struct Predicate(PredImpl);
+
+#[derive(Clone)]
+enum PredImpl {
+    /// An expression over the program's *globals* (locals are not in scope).
+    Expr(Expr),
+    /// An arbitrary native predicate.
+    Native {
+        name: String,
+        f: Arc<dyn Fn(&StateView<'_>) -> bool + Send + Sync>,
+    },
+}
+
+impl Predicate {
+    /// A predicate from an expression over the program's global variables.
+    ///
+    /// Local variables and `_pid` are not in scope; referencing them yields
+    /// a checking-time [`KernelError`].
+    pub fn from_expr(expr: Expr) -> Predicate {
+        Predicate(PredImpl::Expr(expr))
+    }
+
+    /// A predicate from a native function with full read access to the
+    /// state. The name appears in diagnostics.
+    pub fn native(
+        name: impl Into<String>,
+        f: impl Fn(&StateView<'_>) -> bool + Send + Sync + 'static,
+    ) -> Predicate {
+        Predicate(PredImpl::Native {
+            name: name.into(),
+            f: Arc::new(f),
+        })
+    }
+
+    /// Whether the predicate only reads global variables (and is therefore
+    /// invisible to partial-order-reduced local steps).
+    pub(crate) fn is_expr_only(&self) -> bool {
+        matches!(self.0, PredImpl::Expr(_))
+    }
+
+    /// Returns the logical negation of this predicate.
+    ///
+    /// ```
+    /// use pnp_kernel::{expr, Predicate};
+    /// let p = Predicate::from_expr(expr::konst(1));
+    /// let _not_p = p.negated();
+    /// ```
+    pub fn negated(&self) -> Predicate {
+        match &self.0 {
+            PredImpl::Expr(e) => {
+                Predicate(PredImpl::Expr(crate::expression::expr::not(e.clone())))
+            }
+            PredImpl::Native { name, f } => {
+                let f = Arc::clone(f);
+                Predicate(PredImpl::Native {
+                    name: format!("not ({name})"),
+                    f: Arc::new(move |view| !f(view)),
+                })
+            }
+        }
+    }
+
+    pub(crate) fn eval(&self, view: &StateView<'_>) -> Result<bool, KernelError> {
+        match &self.0 {
+            PredImpl::Expr(e) => {
+                let ctx = EvalCtx {
+                    locals: &[],
+                    globals: &view.state.globals,
+                    pid: -1,
+                };
+                e.eval_bool(&ctx).map_err(|error| KernelError::Eval {
+                    process: "(property)".to_string(),
+                    transition: e.to_string(),
+                    error,
+                })
+            }
+            PredImpl::Native { f, .. } => Ok(f(view)),
+        }
+    }
+}
+
+impl fmt::Debug for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            PredImpl::Expr(e) => write!(f, "Predicate({e})"),
+            PredImpl::Native { name, .. } => write!(f, "Predicate(native:{name})"),
+        }
+    }
+}
+
+/// What [`Checker::check_safety`] should look for.
+#[derive(Debug, Clone)]
+pub struct SafetyChecks {
+    /// Report states where no process can move and not every process is in
+    /// a marked end location.
+    pub deadlock: bool,
+    /// Named predicates that must hold in every reachable state.
+    pub invariants: Vec<(String, Predicate)>,
+}
+
+impl SafetyChecks {
+    /// Checks for deadlock only.
+    pub fn deadlock_only() -> SafetyChecks {
+        SafetyChecks {
+            deadlock: true,
+            invariants: Vec::new(),
+        }
+    }
+
+    /// Checks the given invariants (and deadlock).
+    pub fn invariants(invariants: Vec<(String, Predicate)>) -> SafetyChecks {
+        SafetyChecks {
+            deadlock: true,
+            invariants,
+        }
+    }
+}
+
+impl Default for SafetyChecks {
+    fn default() -> SafetyChecks {
+        SafetyChecks::deadlock_only()
+    }
+}
+
+/// Exploration limits and options.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchConfig {
+    /// Stop after interning this many unique states (default one million).
+    pub max_states: usize,
+    /// Apply partial-order reduction (default on). The reduction is sound
+    /// for deadlocks, assertions, and properties over *global* variables;
+    /// it switches itself off automatically when a property uses a native
+    /// predicate or when weak-fairness liveness search is requested.
+    pub partial_order_reduction: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> SearchConfig {
+        SearchConfig {
+            max_states: 1_000_000,
+            partial_order_reduction: true,
+        }
+    }
+}
+
+/// Statistics from one exploration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchStats {
+    /// Unique states interned.
+    pub unique_states: usize,
+    /// Transitions (edges) explored.
+    pub steps: usize,
+    /// Length of the longest shortest-path explored (BFS depth).
+    pub max_depth: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states, {} steps, depth {}, {:?}",
+            self.unique_states, self.steps, self.max_depth, self.elapsed
+        )
+    }
+}
+
+/// The result of a safety check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SafetyOutcome {
+    /// No violation found in the explored (complete, unless `LimitReached`)
+    /// state space.
+    Holds,
+    /// A named invariant does not hold in some reachable state.
+    InvariantViolated {
+        /// The invariant's name.
+        name: String,
+        /// Shortest counterexample.
+        trace: Trace,
+    },
+    /// An in-model assertion failed.
+    AssertionFailed {
+        /// The assertion's message.
+        message: String,
+        /// Shortest counterexample.
+        trace: Trace,
+    },
+    /// A reachable state has no enabled steps and is not a valid
+    /// termination.
+    Deadlock {
+        /// Shortest path to the deadlock.
+        trace: Trace,
+    },
+}
+
+impl SafetyOutcome {
+    /// `true` when no violation was found.
+    pub fn is_holds(&self) -> bool {
+        matches!(self, SafetyOutcome::Holds)
+    }
+
+    /// The counterexample trace, if there is a violation.
+    pub fn trace(&self) -> Option<&Trace> {
+        match self {
+            SafetyOutcome::Holds => None,
+            SafetyOutcome::InvariantViolated { trace, .. }
+            | SafetyOutcome::AssertionFailed { trace, .. }
+            | SafetyOutcome::Deadlock { trace } => Some(trace),
+        }
+    }
+}
+
+/// The report of a safety check: the outcome plus exploration statistics.
+#[derive(Debug, Clone)]
+pub struct SafetyReport {
+    /// What was found.
+    pub outcome: SafetyOutcome,
+    /// Exploration statistics.
+    pub stats: SearchStats,
+    /// `true` when the search stopped at [`SearchConfig::max_states`]
+    /// before exhausting the state space; a `Holds` outcome is then only
+    /// valid for the explored portion.
+    pub truncated: bool,
+}
+
+impl fmt::Display for SafetyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verdict = match &self.outcome {
+            SafetyOutcome::Holds => "holds".to_string(),
+            SafetyOutcome::InvariantViolated { name, trace } => {
+                format!("invariant '{name}' violated ({}-step trace)", trace.len())
+            }
+            SafetyOutcome::AssertionFailed { message, trace } => {
+                format!("assertion '{message}' failed ({}-step trace)", trace.len())
+            }
+            SafetyOutcome::Deadlock { trace } => {
+                format!("deadlock ({}-step trace)", trace.len())
+            }
+        };
+        write!(f, "{verdict} [{}]", self.stats)?;
+        if self.truncated {
+            write!(f, " (truncated)")?;
+        }
+        Ok(())
+    }
+}
+
+/// The explicit-state model checker.
+///
+/// Create one per [`Program`]; the checking methods are read-only and can be
+/// called repeatedly (e.g. once per property).
+#[derive(Debug, Clone)]
+pub struct Checker<'p> {
+    pub(crate) program: &'p Program,
+    pub(crate) config: SearchConfig,
+}
+
+impl<'p> Checker<'p> {
+    /// Creates a checker with the default [`SearchConfig`].
+    pub fn new(program: &'p Program) -> Checker<'p> {
+        Checker {
+            program,
+            config: SearchConfig::default(),
+        }
+    }
+
+    /// Creates a checker with explicit limits.
+    pub fn with_config(program: &'p Program, config: SearchConfig) -> Checker<'p> {
+        Checker { program, config }
+    }
+
+    /// The program under check.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Exhaustively explores the reachable state space (breadth-first) and
+    /// checks the requested safety properties. Counterexamples are
+    /// shortest-path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] when the model itself is broken (an
+    /// expression fails to evaluate).
+    pub fn check_safety(&self, checks: &SafetyChecks) -> Result<SafetyReport, KernelError> {
+        let start = Instant::now();
+        let program = self.program;
+
+        // Partial-order reduction is only sound when every property reads
+        // globals alone (local steps are then invisible).
+        let reduction = (self.config.partial_order_reduction
+            && checks.invariants.iter().all(|(_, p)| p.is_expr_only()))
+        .then(|| crate::reduction::LocalLocations::analyze(program));
+
+        // Interned states; parallel vectors indexed by state id.
+        let mut index: HashMap<Rc<State>, usize> = HashMap::new();
+        let mut states: Vec<Rc<State>> = Vec::new();
+        let mut parents: Vec<Option<(usize, Step)>> = Vec::new();
+        let mut depths: Vec<usize> = Vec::new();
+
+        let mut stats = SearchStats::default();
+        let mut truncated = false;
+
+        let rebuild_trace = |states: &[Rc<State>],
+                             parents: &[Option<(usize, Step)>],
+                             mut id: usize|
+         -> Result<Trace, KernelError> {
+            let mut chain = Vec::new();
+            while let Some((parent, step)) = parents[id] {
+                chain.push((parent, step));
+                id = parent;
+            }
+            chain.reverse();
+            let mut events = Vec::new();
+            for (parent, step) in chain {
+                let applied = apply_step(program, &states[parent], step)?;
+                events.extend(applied.events);
+            }
+            Ok(Trace::new(events))
+        };
+
+        let check_invariants = |view: &StateView<'_>| -> Result<Option<String>, KernelError> {
+            for (name, predicate) in &checks.invariants {
+                if !predicate.eval(view)? {
+                    return Ok(Some(name.clone()));
+                }
+            }
+            Ok(None)
+        };
+
+        let initial = Rc::new(State::initial(program));
+        if let Some(name) = check_invariants(&StateView::new(program, &initial))? {
+            return Ok(SafetyReport {
+                outcome: SafetyOutcome::InvariantViolated {
+                    name,
+                    trace: Trace::default(),
+                },
+                stats: SearchStats {
+                    unique_states: 1,
+                    elapsed: start.elapsed(),
+                    ..stats
+                },
+                truncated: false,
+            });
+        }
+        index.insert(Rc::clone(&initial), 0);
+        states.push(initial);
+        parents.push(None);
+        depths.push(0);
+
+        let mut queue: VecDeque<usize> = VecDeque::from([0]);
+        while let Some(id) = queue.pop_front() {
+            let state = Rc::clone(&states[id]);
+            let mut steps = enabled_steps(program, &state)?;
+            stats.max_depth = stats.max_depth.max(depths[id]);
+
+            if steps.is_empty() {
+                if checks.deadlock && !is_valid_end_state(program, &state) {
+                    let trace = rebuild_trace(&states, &parents, id)?;
+                    stats.unique_states = states.len();
+                    stats.elapsed = start.elapsed();
+                    return Ok(SafetyReport {
+                        outcome: SafetyOutcome::Deadlock { trace },
+                        stats,
+                        truncated,
+                    });
+                }
+                continue;
+            }
+
+            if let Some(analysis) = &reduction {
+                steps = crate::reduction::ample_subset(analysis, &state, steps);
+            }
+            for step in steps {
+                stats.steps += 1;
+                let applied = apply_step(program, &state, step)?;
+
+                // Assertions fire on the edge: report even when the target
+                // state was already visited.
+                if let Some(message) = applied.assertion_failure {
+                    let mut trace = rebuild_trace(&states, &parents, id)?;
+                    let mut events = trace.events().to_vec();
+                    events.extend(applied.events);
+                    trace = Trace::new(events);
+                    stats.unique_states = states.len();
+                    stats.elapsed = start.elapsed();
+                    return Ok(SafetyReport {
+                        outcome: SafetyOutcome::AssertionFailed { message, trace },
+                        stats,
+                        truncated,
+                    });
+                }
+
+                let next = Rc::new(applied.state);
+                if index.contains_key(&next) {
+                    continue;
+                }
+                if states.len() >= self.config.max_states {
+                    truncated = true;
+                    continue;
+                }
+                let next_id = states.len();
+                index.insert(Rc::clone(&next), next_id);
+                states.push(Rc::clone(&next));
+                parents.push(Some((id, step)));
+                depths.push(depths[id] + 1);
+
+                if let Some(name) = check_invariants(&StateView::new(program, &next))? {
+                    let trace = rebuild_trace(&states, &parents, next_id)?;
+                    stats.unique_states = states.len();
+                    stats.elapsed = start.elapsed();
+                    return Ok(SafetyReport {
+                        outcome: SafetyOutcome::InvariantViolated { name, trace },
+                        stats,
+                        truncated,
+                    });
+                }
+                queue.push_back(next_id);
+            }
+        }
+
+        stats.unique_states = states.len();
+        stats.elapsed = start.elapsed();
+        Ok(SafetyReport {
+            outcome: SafetyOutcome::Holds,
+            stats,
+            truncated,
+        })
+    }
+
+    /// Searches for a reachable state satisfying `predicate`, returning the
+    /// shortest witness trace if one exists (`Ok(Some(trace))`), or
+    /// `Ok(None)` when no reachable state satisfies it.
+    ///
+    /// Reachability is the dual of an invariant: this is implemented as a
+    /// violation search for `!predicate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] when the model is broken.
+    ///
+    /// ```
+    /// # use pnp_kernel::{expr, Action, Checker, Guard, Predicate,
+    /// #                  ProcessBuilder, ProgramBuilder};
+    /// # let mut prog = ProgramBuilder::new();
+    /// # let x = prog.global("x", 0);
+    /// # let mut p = ProcessBuilder::new("p");
+    /// # let s0 = p.location("s0");
+    /// # let s1 = p.location("s1");
+    /// # p.mark_end(s1);
+    /// # p.transition(s0, s1, Guard::always(), Action::assign(x, 5.into()), "set");
+    /// # prog.add_process(p)?;
+    /// # let program = prog.build()?;
+    /// let checker = Checker::new(&program);
+    /// let witness = checker.find_reachable(&Predicate::from_expr(
+    ///     expr::eq(expr::global(x), 5.into()),
+    /// ))?;
+    /// assert!(witness.is_some());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn find_reachable(
+        &self,
+        predicate: &Predicate,
+    ) -> Result<Option<Trace>, KernelError> {
+        let report = self.check_safety(&SafetyChecks {
+            deadlock: false,
+            invariants: vec![("(reachability probe)".into(), predicate.negated())],
+        })?;
+        Ok(match report.outcome {
+            SafetyOutcome::InvariantViolated { trace, .. } => Some(trace),
+            _ => None,
+        })
+    }
+
+    /// Counts the reachable state space without checking any property.
+    /// Useful for measuring the cost of a design (see the paper's Section 6
+    /// discussion of decomposition-induced state growth).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] when the model is broken.
+    pub fn state_space_size(&self) -> Result<SearchStats, KernelError> {
+        let report = self.check_safety(&SafetyChecks {
+            deadlock: false,
+            invariants: Vec::new(),
+        })?;
+        Ok(report.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expression::expr;
+    use crate::program::{Action, Guard, ProcessBuilder, ProgramBuilder};
+    use crate::trace::EventKind;
+
+    /// Two processes that each toggle a shared flag n times.
+    fn toggler(n: i32) -> Program {
+        let mut prog = ProgramBuilder::new();
+        let flag = prog.global("flag", 0);
+        for name in ["a", "b"] {
+            let mut p = ProcessBuilder::new(name);
+            let count = p.local("count", 0);
+            let s0 = p.location("loop");
+            let s1 = p.location("done");
+            p.mark_end(s1);
+            p.transition(
+                s0,
+                s0,
+                Guard::when(expr::lt(expr::local(count), n.into())),
+                Action::assign_all(vec![
+                    (flag.into(), expr::not(expr::global(flag))),
+                    (count.into(), expr::local(count) + 1.into()),
+                ]),
+                "toggle",
+            );
+            p.transition(
+                s0,
+                s1,
+                Guard::when(expr::ge(expr::local(count), n.into())),
+                Action::Skip,
+                "finish",
+            );
+            prog.add_process(p).unwrap();
+        }
+        prog.build().unwrap()
+    }
+
+    #[test]
+    fn holds_for_true_invariant() {
+        let program = toggler(2);
+        let flag = program.global_by_name("flag").unwrap();
+        let checker = Checker::new(&program);
+        let report = checker
+            .check_safety(&SafetyChecks::invariants(vec![(
+                "flag is 0 or 1".into(),
+                Predicate::from_expr(expr::and(
+                    expr::ge(expr::global(flag), 0.into()),
+                    expr::le(expr::global(flag), 1.into()),
+                )),
+            )]))
+            .unwrap();
+        assert!(report.outcome.is_holds());
+        assert!(!report.truncated);
+        assert!(report.stats.unique_states > 1);
+    }
+
+    #[test]
+    fn finds_invariant_violation_with_shortest_trace() {
+        let program = toggler(2);
+        let flag = program.global_by_name("flag").unwrap();
+        let checker = Checker::new(&program);
+        let report = checker
+            .check_safety(&SafetyChecks::invariants(vec![(
+                "flag stays 0".into(),
+                Predicate::from_expr(expr::eq(expr::global(flag), 0.into())),
+            )]))
+            .unwrap();
+        match report.outcome {
+            SafetyOutcome::InvariantViolated { name, trace } => {
+                assert_eq!(name, "flag stays 0");
+                // One toggle suffices; BFS must find the 1-step trace.
+                assert_eq!(trace.len(), 1);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn initial_state_violation_gives_empty_trace() {
+        let program = toggler(1);
+        let checker = Checker::new(&program);
+        let report = checker
+            .check_safety(&SafetyChecks::invariants(vec![(
+                "impossible".into(),
+                Predicate::from_expr(0.into()),
+            )]))
+            .unwrap();
+        match report.outcome {
+            SafetyOutcome::InvariantViolated { trace, .. } => assert!(trace.is_empty()),
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_deadlock_on_mutual_wait() {
+        // Two processes each wait to receive before sending: classic deadlock.
+        let mut prog = ProgramBuilder::new();
+        let c1 = prog.channel("c1", 0, 1);
+        let c2 = prog.channel("c2", 0, 1);
+        for (name, recv_chan, send_chan) in [("p", c1, c2), ("q", c2, c1)] {
+            let mut p = ProcessBuilder::new(name);
+            let s0 = p.location("wait");
+            let s1 = p.location("reply");
+            let s2 = p.location("done");
+            p.mark_end(s2);
+            p.transition(s0, s1, Guard::always(), Action::recv_any(recv_chan, 1), "recv");
+            p.transition(
+                s1,
+                s2,
+                Guard::always(),
+                Action::send(send_chan, vec![1.into()]),
+                "send",
+            );
+            prog.add_process(p).unwrap();
+        }
+        let program = prog.build().unwrap();
+        let report = Checker::new(&program)
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
+        match report.outcome {
+            SafetyOutcome::Deadlock { trace } => assert!(trace.is_empty()),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn valid_end_states_are_not_deadlocks() {
+        let program = toggler(1);
+        let report = Checker::new(&program)
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
+        assert!(report.outcome.is_holds());
+    }
+
+    #[test]
+    fn unmarked_termination_is_a_deadlock() {
+        let mut prog = ProgramBuilder::new();
+        let mut p = ProcessBuilder::new("p");
+        let s0 = p.location("start");
+        let s1 = p.location("stuck"); // not marked as an end location
+        p.transition(s0, s1, Guard::always(), Action::Skip, "step");
+        prog.add_process(p).unwrap();
+        let program = prog.build().unwrap();
+        let report = Checker::new(&program)
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
+        match report.outcome {
+            SafetyOutcome::Deadlock { trace } => {
+                assert_eq!(trace.len(), 1);
+                assert_eq!(trace.events()[0].label(), "step");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assertion_failures_are_found_with_trace() {
+        let mut prog = ProgramBuilder::new();
+        let x = prog.global("x", 0);
+        let mut p = ProcessBuilder::new("p");
+        let s0 = p.location("inc");
+        let s1 = p.location("check");
+        let s2 = p.location("done");
+        p.mark_end(s2);
+        p.transition(
+            s0,
+            s1,
+            Guard::always(),
+            Action::assign(x, expr::global(x) + 2.into()),
+            "x += 2",
+        );
+        p.transition(
+            s1,
+            s2,
+            Guard::always(),
+            Action::assert(expr::lt(expr::global(x), 2.into()), "x < 2"),
+            "assert",
+        );
+        prog.add_process(p).unwrap();
+        let program = prog.build().unwrap();
+        let report = Checker::new(&program)
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
+        match report.outcome {
+            SafetyOutcome::AssertionFailed { message, trace } => {
+                assert_eq!(message, "x < 2");
+                assert_eq!(trace.len(), 2);
+                assert!(matches!(trace.events()[1].kind(), EventKind::Internal));
+            }
+            other => panic!("expected assertion failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn native_predicates_see_full_state() {
+        let program = toggler(1);
+        let pid = program.process_by_name("a").unwrap();
+        let report = Checker::new(&program)
+            .check_safety(&SafetyChecks::invariants(vec![(
+                "a never finishes".into(),
+                Predicate::native("a not done", move |view| {
+                    view.location_name(pid) != "done"
+                }),
+            )]))
+            .unwrap();
+        assert!(matches!(
+            report.outcome,
+            SafetyOutcome::InvariantViolated { .. }
+        ));
+    }
+
+    #[test]
+    fn max_states_truncates_search() {
+        let program = toggler(10);
+        let checker = Checker::with_config(
+            &program,
+            SearchConfig {
+                max_states: 5,
+                ..SearchConfig::default()
+            },
+        );
+        let report = checker
+            .check_safety(&SafetyChecks {
+                deadlock: false,
+                invariants: Vec::new(),
+            })
+            .unwrap();
+        assert!(report.truncated);
+        assert!(report.stats.unique_states <= 5);
+    }
+
+    #[test]
+    fn state_space_size_counts_interleavings() {
+        // toggler(1): each process loops once then finishes.
+        let small = Checker::new(&toggler(1)).state_space_size().unwrap();
+        let large = Checker::new(&toggler(3)).state_space_size().unwrap();
+        assert!(small.unique_states > 0);
+        assert!(large.unique_states > small.unique_states);
+    }
+
+    #[test]
+    fn find_reachable_returns_shortest_witness() {
+        let program = toggler(2);
+        let flag = program.global_by_name("flag").unwrap();
+        let checker = Checker::new(&program);
+        let witness = checker
+            .find_reachable(&Predicate::from_expr(expr::eq(expr::global(flag), 1.into())))
+            .unwrap();
+        assert_eq!(witness.unwrap().len(), 1);
+        let none = checker
+            .find_reachable(&Predicate::from_expr(expr::eq(expr::global(flag), 9.into())))
+            .unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn negated_predicates_flip_both_variants() {
+        let program = toggler(1);
+        let view_holds = |p: &Predicate| {
+            let initial = crate::state::State::initial(&program);
+            p.eval(&StateView::new(&program, &initial)).unwrap()
+        };
+        let e = Predicate::from_expr(1.into());
+        assert!(view_holds(&e));
+        assert!(!view_holds(&e.negated()));
+        let n = Predicate::native("always true", |_| true);
+        assert!(view_holds(&n));
+        assert!(!view_holds(&n.negated()));
+    }
+
+    #[test]
+    fn reports_display_readably() {
+        let program = toggler(1);
+        let report = Checker::new(&program)
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
+        let text = report.to_string();
+        assert!(text.starts_with("holds ["), "{text}");
+        assert!(text.contains("states"), "{text}");
+    }
+
+    #[test]
+    fn broken_property_expression_is_an_error() {
+        let program = toggler(1);
+        let report = Checker::new(&program).check_safety(&SafetyChecks::invariants(vec![(
+            "bad".into(),
+            Predicate::from_expr(expr::eq(Expr::Global(99), 1.into())),
+        )]));
+        assert!(matches!(report, Err(KernelError::Eval { .. })));
+    }
+}

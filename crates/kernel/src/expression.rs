@@ -1,0 +1,513 @@
+//! Integer expressions over process locals, globals, and the process id.
+//!
+//! Expressions are the guard and assignment language of the kernel, playing
+//! the role of Promela's expression syntax. They evaluate to `i32`; any
+//! nonzero value is truthy. Build them with the constructors in the [`expr`]
+//! module and the arithmetic operator overloads:
+//!
+//! ```
+//! use pnp_kernel::expr;
+//! use pnp_kernel::{ProcessBuilder, ProgramBuilder};
+//!
+//! let mut prog = ProgramBuilder::new();
+//! let x = prog.global("x", 3);
+//! let mut p = ProcessBuilder::new("p");
+//! let v = p.local("v", 2);
+//! // v * 2 + x  >  5
+//! let guard = expr::gt(expr::local(v) * 2.into() + expr::global(x), 5.into());
+//! # let _ = guard;
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::program::{GlobalId, LocalId};
+
+/// An error raised while evaluating an [`Expr`].
+///
+/// Evaluation errors indicate a bug in the *model* (not the checker); the
+/// exploring APIs surface them as [`crate::KernelError`]s rather than
+/// panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Division or remainder by zero.
+    DivisionByZero,
+    /// A `LocalIdx` access fell outside the process's locals.
+    IndexOutOfBounds {
+        /// The resolved index.
+        index: i64,
+        /// The number of locals in the process.
+        len: usize,
+    },
+    /// Arithmetic overflowed `i32`.
+    Overflow,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::IndexOutOfBounds { index, len } => {
+                write!(f, "local index {index} out of bounds for {len} locals")
+            }
+            EvalError::Overflow => write!(f, "arithmetic overflow"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Binary operators of the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// An integer expression over a process's locals, the program's globals, and
+/// the evaluating process's id.
+///
+/// See the [`expr`] module for constructors. `From<i32>` provides literals,
+/// and `+`, `-`, `*` are overloaded.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// An integer literal.
+    Const(i32),
+    /// A process-local variable.
+    Local(usize),
+    /// A process-local variable addressed as `base + offset` where the
+    /// offset is computed at evaluation time (used for modeling buffers).
+    LocalIdx(usize, Arc<Expr>),
+    /// A global variable.
+    Global(usize),
+    /// The id (`_pid` in Promela) of the evaluating process.
+    SelfPid,
+    /// Logical negation (`!e`; zero becomes one and vice versa).
+    Not(Arc<Expr>),
+    /// Arithmetic negation (`-e`).
+    Neg(Arc<Expr>),
+    #[doc(hidden)]
+    Bin(BinOpToken, Arc<Expr>, Arc<Expr>),
+}
+
+/// Opaque binary operator token (kept public-in-name-only so that `Expr` can
+/// be matched exhaustively inside the crate while keeping the operator set
+/// extensible).
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BinOpToken(BinOp);
+
+/// Evaluation context: the evaluating process's locals and id, plus the
+/// global variables.
+pub(crate) struct EvalCtx<'a> {
+    pub locals: &'a [i32],
+    pub globals: &'a [i32],
+    pub pid: i32,
+}
+
+impl Expr {
+    pub(crate) fn eval(&self, ctx: &EvalCtx<'_>) -> Result<i32, EvalError> {
+        match self {
+            Expr::Const(v) => Ok(*v),
+            Expr::Local(i) => ctx.locals.get(*i).copied().ok_or(EvalError::IndexOutOfBounds {
+                index: *i as i64,
+                len: ctx.locals.len(),
+            }),
+            Expr::LocalIdx(base, offset) => {
+                let off = offset.eval(ctx)? as i64;
+                let index = *base as i64 + off;
+                if index < 0 || index >= ctx.locals.len() as i64 {
+                    return Err(EvalError::IndexOutOfBounds {
+                        index,
+                        len: ctx.locals.len(),
+                    });
+                }
+                Ok(ctx.locals[index as usize])
+            }
+            Expr::Global(i) => ctx.globals.get(*i).copied().ok_or(EvalError::IndexOutOfBounds {
+                index: *i as i64,
+                len: ctx.globals.len(),
+            }),
+            Expr::SelfPid => Ok(ctx.pid),
+            Expr::Not(e) => Ok((e.eval(ctx)? == 0) as i32),
+            Expr::Neg(e) => e.eval(ctx)?.checked_neg().ok_or(EvalError::Overflow),
+            Expr::Bin(BinOpToken(op), a, b) => {
+                let x = a.eval(ctx)?;
+                // Short-circuit the boolean connectives.
+                match op {
+                    BinOp::And if x == 0 => return Ok(0),
+                    BinOp::Or if x != 0 => return Ok(1),
+                    _ => {}
+                }
+                let y = b.eval(ctx)?;
+                match op {
+                    BinOp::Add => x.checked_add(y).ok_or(EvalError::Overflow),
+                    BinOp::Sub => x.checked_sub(y).ok_or(EvalError::Overflow),
+                    BinOp::Mul => x.checked_mul(y).ok_or(EvalError::Overflow),
+                    BinOp::Div => {
+                        if y == 0 {
+                            Err(EvalError::DivisionByZero)
+                        } else {
+                            x.checked_div(y).ok_or(EvalError::Overflow)
+                        }
+                    }
+                    BinOp::Rem => {
+                        if y == 0 {
+                            Err(EvalError::DivisionByZero)
+                        } else {
+                            x.checked_rem(y).ok_or(EvalError::Overflow)
+                        }
+                    }
+                    BinOp::Eq => Ok((x == y) as i32),
+                    BinOp::Ne => Ok((x != y) as i32),
+                    BinOp::Lt => Ok((x < y) as i32),
+                    BinOp::Le => Ok((x <= y) as i32),
+                    BinOp::Gt => Ok((x > y) as i32),
+                    BinOp::Ge => Ok((x >= y) as i32),
+                    BinOp::And => Ok((y != 0) as i32),
+                    BinOp::Or => Ok((y != 0) as i32),
+                }
+            }
+        }
+    }
+
+    pub(crate) fn eval_bool(&self, ctx: &EvalCtx<'_>) -> Result<bool, EvalError> {
+        Ok(self.eval(ctx)? != 0)
+    }
+
+    /// The largest local-variable index the expression mentions directly
+    /// (used by [`crate::ProgramBuilder`] validation). `LocalIdx` reports its
+    /// base slot only, since the offset is dynamic.
+    pub(crate) fn max_local(&self) -> Option<usize> {
+        match self {
+            Expr::Const(_) | Expr::Global(_) | Expr::SelfPid => None,
+            Expr::Local(i) => Some(*i),
+            Expr::LocalIdx(base, offset) => Some((*base).max(offset.max_local().unwrap_or(0))),
+            Expr::Not(e) | Expr::Neg(e) => e.max_local(),
+            Expr::Bin(_, a, b) => match (a.max_local(), b.max_local()) {
+                (None, x) | (x, None) => x,
+                (Some(x), Some(y)) => Some(x.max(y)),
+            },
+        }
+    }
+
+    /// The largest global-variable index the expression mentions.
+    pub(crate) fn max_global(&self) -> Option<usize> {
+        match self {
+            Expr::Const(_) | Expr::Local(_) | Expr::SelfPid => None,
+            Expr::Global(i) => Some(*i),
+            Expr::LocalIdx(_, offset) => offset.max_global(),
+            Expr::Not(e) | Expr::Neg(e) => e.max_global(),
+            Expr::Bin(_, a, b) => match (a.max_global(), b.max_global()) {
+                (None, x) | (x, None) => x,
+                (Some(x), Some(y)) => Some(x.max(y)),
+            },
+        }
+    }
+}
+
+impl From<i32> for Expr {
+    fn from(v: i32) -> Expr {
+        Expr::Const(v)
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        expr::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        expr::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        expr::mul(self, rhs)
+    }
+}
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Neg(Arc::new(self))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Local(i) => write!(f, "l{i}"),
+            Expr::LocalIdx(base, offset) => write!(f, "l[{base}+{offset}]"),
+            Expr::Global(i) => write!(f, "g{i}"),
+            Expr::SelfPid => write!(f, "_pid"),
+            Expr::Not(e) => write!(f, "!({e})"),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Bin(BinOpToken(op), a, b) => {
+                let symbol = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Rem => "%",
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::And => "&&",
+                    BinOp::Or => "||",
+                };
+                write!(f, "({a} {symbol} {b})")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Expr({self})")
+    }
+}
+
+/// Constructors for the expression language.
+///
+/// Free functions (rather than methods) are used for the comparison and
+/// boolean connectives to avoid clashing with `PartialEq`/`PartialOrd`
+/// method names.
+pub mod expr {
+    use super::*;
+
+    fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOpToken(op), Arc::new(a), Arc::new(b))
+    }
+
+    /// An integer literal (equivalent to `Expr::from(v)`).
+    pub fn konst(v: i32) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Reads a process-local variable.
+    pub fn local(id: LocalId) -> Expr {
+        Expr::Local(id.index())
+    }
+
+    /// Reads the local variable at `base + offset`, where `offset` is
+    /// evaluated at run time. Used together with contiguous blocks of locals
+    /// to model buffers.
+    pub fn local_idx(base: LocalId, offset: Expr) -> Expr {
+        Expr::LocalIdx(base.index(), Arc::new(offset))
+    }
+
+    /// Reads a global variable.
+    pub fn global(id: GlobalId) -> Expr {
+        Expr::Global(id.index())
+    }
+
+    /// The id of the evaluating process (Promela's `_pid`).
+    pub fn self_pid() -> Expr {
+        Expr::SelfPid
+    }
+
+    /// Addition (also available as `a + b`).
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Add, a, b)
+    }
+
+    /// Subtraction (also available as `a - b`).
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Sub, a, b)
+    }
+
+    /// Multiplication (also available as `a * b`).
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Mul, a, b)
+    }
+
+    /// Truncated integer division. Evaluation fails on a zero divisor.
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Div, a, b)
+    }
+
+    /// Remainder. Evaluation fails on a zero divisor.
+    pub fn rem(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Rem, a, b)
+    }
+
+    /// Equality test (`1` if equal, else `0`).
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Eq, a, b)
+    }
+
+    /// Inequality test.
+    pub fn ne(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Ne, a, b)
+    }
+
+    /// Strictly-less-than test.
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Lt, a, b)
+    }
+
+    /// Less-than-or-equal test.
+    pub fn le(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Le, a, b)
+    }
+
+    /// Strictly-greater-than test.
+    pub fn gt(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Gt, a, b)
+    }
+
+    /// Greater-than-or-equal test.
+    pub fn ge(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Ge, a, b)
+    }
+
+    /// Short-circuit conjunction (nonzero = true).
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::And, a, b)
+    }
+
+    /// Short-circuit disjunction.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        bin(BinOp::Or, a, b)
+    }
+
+    /// Logical negation.
+    pub fn not(a: Expr) -> Expr {
+        Expr::Not(Arc::new(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(locals: &'a [i32], globals: &'a [i32]) -> EvalCtx<'a> {
+        EvalCtx {
+            locals,
+            globals,
+            pid: 7,
+        }
+    }
+
+    fn eval(e: &Expr, locals: &[i32], globals: &[i32]) -> Result<i32, EvalError> {
+        e.eval(&ctx(locals, globals))
+    }
+
+    #[test]
+    fn literals_and_variables() {
+        assert_eq!(eval(&Expr::from(42), &[], &[]), Ok(42));
+        assert_eq!(eval(&Expr::Local(1), &[10, 20], &[]), Ok(20));
+        assert_eq!(eval(&Expr::Global(0), &[], &[5]), Ok(5));
+        assert_eq!(eval(&Expr::SelfPid, &[], &[]), Ok(7));
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let e = Expr::from(2) + Expr::from(3) * Expr::from(4);
+        assert_eq!(eval(&e, &[], &[]), Ok(14));
+        let e = Expr::from(10) - Expr::from(3);
+        assert_eq!(eval(&e, &[], &[]), Ok(7));
+        assert_eq!(eval(&expr::div(14.into(), 4.into()), &[], &[]), Ok(3));
+        assert_eq!(eval(&expr::rem(14.into(), 4.into()), &[], &[]), Ok(2));
+        assert_eq!(eval(&(-Expr::from(5)), &[], &[]), Ok(-5));
+    }
+
+    #[test]
+    fn comparisons_yield_zero_or_one() {
+        assert_eq!(eval(&expr::lt(1.into(), 2.into()), &[], &[]), Ok(1));
+        assert_eq!(eval(&expr::lt(2.into(), 2.into()), &[], &[]), Ok(0));
+        assert_eq!(eval(&expr::le(2.into(), 2.into()), &[], &[]), Ok(1));
+        assert_eq!(eval(&expr::gt(3.into(), 2.into()), &[], &[]), Ok(1));
+        assert_eq!(eval(&expr::ge(1.into(), 2.into()), &[], &[]), Ok(0));
+        assert_eq!(eval(&expr::eq(2.into(), 2.into()), &[], &[]), Ok(1));
+        assert_eq!(eval(&expr::ne(2.into(), 2.into()), &[], &[]), Ok(0));
+    }
+
+    #[test]
+    fn boolean_connectives_short_circuit() {
+        // 0 && (1/0) must not evaluate the right side.
+        let e = expr::and(0.into(), expr::div(1.into(), 0.into()));
+        assert_eq!(eval(&e, &[], &[]), Ok(0));
+        let e = expr::or(1.into(), expr::div(1.into(), 0.into()));
+        assert_eq!(eval(&e, &[], &[]), Ok(1));
+        assert_eq!(eval(&expr::not(0.into()), &[], &[]), Ok(1));
+        assert_eq!(eval(&expr::not(5.into()), &[], &[]), Ok(0));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert_eq!(
+            eval(&expr::div(1.into(), 0.into()), &[], &[]),
+            Err(EvalError::DivisionByZero)
+        );
+        assert_eq!(
+            eval(&expr::rem(1.into(), 0.into()), &[], &[]),
+            Err(EvalError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn overflow_is_an_error() {
+        let e = Expr::from(i32::MAX) + Expr::from(1);
+        assert_eq!(eval(&e, &[], &[]), Err(EvalError::Overflow));
+        let e = -Expr::from(i32::MIN);
+        assert_eq!(eval(&e, &[], &[]), Err(EvalError::Overflow));
+    }
+
+    #[test]
+    fn indexed_local_access() {
+        let e = Expr::LocalIdx(1, Arc::new(Expr::Local(0)));
+        // locals[1 + locals[0]] = locals[1 + 2] = 40
+        assert_eq!(eval(&e, &[2, 10, 30, 40], &[]), Ok(40));
+    }
+
+    #[test]
+    fn indexed_access_out_of_bounds() {
+        let e = Expr::LocalIdx(0, Arc::new(Expr::from(10)));
+        assert_eq!(
+            eval(&e, &[1, 2], &[]),
+            Err(EvalError::IndexOutOfBounds { index: 10, len: 2 })
+        );
+        let e = Expr::LocalIdx(0, Arc::new(Expr::from(-1)));
+        assert_eq!(
+            eval(&e, &[1, 2], &[]),
+            Err(EvalError::IndexOutOfBounds { index: -1, len: 2 })
+        );
+    }
+
+    #[test]
+    fn max_variable_indices() {
+        let e = expr::and(Expr::Local(3), Expr::Global(5) + Expr::Local(1));
+        assert_eq!(e.max_local(), Some(3));
+        assert_eq!(e.max_global(), Some(5));
+        assert_eq!(Expr::from(1).max_local(), None);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = expr::lt(Expr::Local(0) + 1.into(), Expr::Global(2));
+        assert_eq!(e.to_string(), "((l0 + 1) < g2)");
+    }
+}

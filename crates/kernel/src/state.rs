@@ -1,0 +1,989 @@
+//! Global states and the step semantics (enabledness and application).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::expression::{EvalCtx, EvalError};
+use crate::program::{Action, ChanId, FieldPat, Guard, LValue, Loc, ProcId, Program, RecvPolicy};
+use crate::trace::{EventKind, TraceEvent};
+
+/// A message: a fixed-arity tuple of integers.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Msg {
+    fields: Box<[i32]>,
+}
+
+impl Msg {
+    /// Creates a message from its field values.
+    pub fn new(fields: impl Into<Vec<i32>>) -> Msg {
+        Msg {
+            fields: fields.into().into_boxed_slice(),
+        }
+    }
+
+    /// The field values.
+    pub fn fields(&self) -> &[i32] {
+        &self.fields
+    }
+
+    /// The number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+impl fmt::Debug for Msg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Msg{:?}", self.fields)
+    }
+}
+
+impl fmt::Display for Msg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The state of one process: its control location and local variables.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ProcState {
+    pub(crate) loc: u32,
+    pub(crate) locals: Box<[i32]>,
+}
+
+/// A global system state.
+///
+/// States are value types: they hash and compare by content, which is what
+/// the explorer's visited-set relies on.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    pub(crate) procs: Box<[ProcState]>,
+    pub(crate) chans: Box<[VecDeque<Msg>]>,
+    pub(crate) globals: Box<[i32]>,
+}
+
+impl State {
+    /// The initial state of a program.
+    pub fn initial(program: &Program) -> State {
+        State {
+            procs: program
+                .processes
+                .iter()
+                .map(|p| ProcState {
+                    loc: p.init_loc,
+                    locals: p.locals.iter().map(|&(_, v)| v).collect(),
+                })
+                .collect(),
+            chans: program.channels.iter().map(|_| VecDeque::new()).collect(),
+            globals: program.globals.iter().map(|&(_, v)| v).collect(),
+        }
+    }
+}
+
+impl fmt::Debug for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "State {{ procs: [")?;
+        for (i, p) in self.procs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}@{:?}", p.loc, p.locals)?;
+        }
+        write!(f, "], chans: {:?}, globals: {:?} }}", self.chans, self.globals)
+    }
+}
+
+/// A read-only view of a [`State`] resolved against its [`Program`], used by
+/// native property predicates and simulation observers.
+#[derive(Clone, Copy)]
+pub struct StateView<'a> {
+    pub(crate) program: &'a Program,
+    pub(crate) state: &'a State,
+}
+
+impl<'a> StateView<'a> {
+    /// Creates a view of `state` under `program`.
+    pub fn new(program: &'a Program, state: &'a State) -> StateView<'a> {
+        StateView { program, state }
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &'a Program {
+        self.program
+    }
+
+    /// Reads a global variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn global(&self, id: crate::program::GlobalId) -> i32 {
+        self.state.globals[id.index()]
+    }
+
+    /// Reads a global variable by name, if it exists.
+    pub fn global_by_name(&self, name: &str) -> Option<i32> {
+        self.program
+            .global_by_name(name)
+            .map(|id| self.state.globals[id.index()])
+    }
+
+    /// The current control location of a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn location(&self, proc: ProcId) -> Loc {
+        Loc(self.state.procs[proc.index()].loc)
+    }
+
+    /// The name of the current location of a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn location_name(&self, proc: ProcId) -> &'a str {
+        let p = &self.state.procs[proc.index()];
+        &self.program.processes[proc.index()].loc_names[p.loc as usize]
+    }
+
+    /// Reads a local variable of a process by slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn local(&self, proc: ProcId, slot: usize) -> i32 {
+        self.state.procs[proc.index()].locals[slot]
+    }
+
+    /// The number of messages currently buffered in a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn channel_len(&self, chan: ChanId) -> usize {
+        self.state.chans[chan.index()].len()
+    }
+
+    /// The messages currently buffered in a channel, oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn channel_contents(&self, chan: ChanId) -> impl Iterator<Item = &Msg> {
+        self.state.chans[chan.index()].iter()
+    }
+}
+
+impl fmt::Debug for StateView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StateView({:?})", self.state)
+    }
+}
+
+/// One scheduling choice: which process fires which transition, and, for a
+/// rendezvous send, which process/transition receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// The acting process.
+    pub proc: ProcId,
+    /// Index of the transition within the process's current location.
+    pub trans: usize,
+    /// For a rendezvous send: the receiving process and its transition
+    /// index.
+    pub partner: Option<(ProcId, usize)>,
+}
+
+/// An error surfaced by the kernel while exploring or simulating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// Evaluating an expression failed; the model is buggy.
+    Eval {
+        /// The process whose expression failed.
+        process: String,
+        /// The transition being attempted.
+        transition: String,
+        /// The underlying error.
+        error: EvalError,
+    },
+    /// An LTL proposition name could not be resolved.
+    UnknownProposition {
+        /// The unresolved name.
+        name: String,
+    },
+    /// An LTL formula failed to parse.
+    LtlParse {
+        /// The parser's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Eval {
+                process,
+                transition,
+                error,
+            } => write!(
+                f,
+                "evaluation error in process '{process}', transition '{transition}': {error}"
+            ),
+            KernelError::UnknownProposition { name } => {
+                write!(f, "unknown proposition '{name}' in LTL formula")
+            }
+            KernelError::LtlParse { message } => write!(f, "LTL parse error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// The result of applying a [`Step`].
+pub(crate) struct Applied {
+    pub state: State,
+    pub events: Vec<TraceEvent>,
+    /// Set when the step executed a failing `Assert`.
+    pub assertion_failure: Option<String>,
+}
+
+fn eval_err(program: &Program, proc: ProcId, label: &str, error: EvalError) -> KernelError {
+    KernelError::Eval {
+        process: program.processes[proc.index()].name.clone(),
+        transition: label.to_string(),
+        error,
+    }
+}
+
+fn guard_holds(
+    program: &Program,
+    state: &State,
+    proc: usize,
+    guard: &Guard,
+    label: &str,
+) -> Result<bool, KernelError> {
+    let ps = &state.procs[proc];
+    if let Some(expr) = &guard.expr {
+        let ctx = EvalCtx {
+            locals: &ps.locals,
+            globals: &state.globals,
+            pid: proc as i32,
+        };
+        if !expr
+            .eval_bool(&ctx)
+            .map_err(|e| eval_err(program, ProcId(proc), label, e))?
+        {
+            return Ok(false);
+        }
+    }
+    if let Some(native) = &guard.native {
+        if !(native.f)(&ps.locals) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn eval_msg(
+    program: &Program,
+    state: &State,
+    proc: usize,
+    msg: &[crate::expression::Expr],
+    label: &str,
+) -> Result<Msg, KernelError> {
+    let ps = &state.procs[proc];
+    let ctx = EvalCtx {
+        locals: &ps.locals,
+        globals: &state.globals,
+        pid: proc as i32,
+    };
+    let fields: Result<Vec<i32>, EvalError> = msg.iter().map(|e| e.eval(&ctx)).collect();
+    Ok(Msg::new(
+        fields.map_err(|e| eval_err(program, ProcId(proc), label, e))?,
+    ))
+}
+
+fn pattern_matches(
+    program: &Program,
+    state: &State,
+    proc: usize,
+    pattern: &[FieldPat],
+    msg: &Msg,
+    label: &str,
+) -> Result<bool, KernelError> {
+    let ps = &state.procs[proc];
+    let ctx = EvalCtx {
+        locals: &ps.locals,
+        globals: &state.globals,
+        pid: proc as i32,
+    };
+    for (pat, &value) in pattern.iter().zip(msg.fields()) {
+        match pat {
+            FieldPat::Any => {}
+            FieldPat::Eq(e) => {
+                let want = e
+                    .eval(&ctx)
+                    .map_err(|e| eval_err(program, ProcId(proc), label, e))?;
+                if want != value {
+                    return Ok(false);
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// For a buffered receive: the index within the queue of the message that
+/// would be taken, if any.
+fn buffered_recv_index(
+    program: &Program,
+    state: &State,
+    proc: usize,
+    chan: ChanId,
+    pattern: &[FieldPat],
+    policy: RecvPolicy,
+    label: &str,
+) -> Result<Option<usize>, KernelError> {
+    let queue = &state.chans[chan.index()];
+    match policy {
+        RecvPolicy::Head => match queue.front() {
+            Some(msg) if pattern_matches(program, state, proc, pattern, msg, label)? => {
+                Ok(Some(0))
+            }
+            _ => Ok(None),
+        },
+        RecvPolicy::FirstMatch => {
+            for (i, msg) in queue.iter().enumerate() {
+                if pattern_matches(program, state, proc, pattern, msg, label)? {
+                    return Ok(Some(i));
+                }
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Computes every enabled [`Step`] of `state`, in a deterministic order
+/// (process index, then transition index, then partner index).
+pub(crate) fn enabled_steps(program: &Program, state: &State) -> Result<Vec<Step>, KernelError> {
+    let mut steps = Vec::new();
+    for (pi, ps) in state.procs.iter().enumerate() {
+        let def = &program.processes[pi];
+        for (ti, t) in def.outgoing[ps.loc as usize].iter().enumerate() {
+            if !guard_holds(program, state, pi, &t.guard, &t.label)? {
+                continue;
+            }
+            match &t.action {
+                Action::Skip | Action::Assign(_) | Action::Native(_) | Action::Assert { .. } => {
+                    steps.push(Step {
+                        proc: ProcId(pi),
+                        trans: ti,
+                        partner: None,
+                    });
+                }
+                Action::Send { chan, msg } => {
+                    let decl = &program.channels[chan.index()];
+                    if decl.capacity > 0 {
+                        if state.chans[chan.index()].len() < decl.capacity {
+                            steps.push(Step {
+                                proc: ProcId(pi),
+                                trans: ti,
+                                partner: None,
+                            });
+                        }
+                    } else {
+                        // Rendezvous: find matching receivers in other
+                        // processes.
+                        let outgoing = eval_msg(program, state, pi, msg, &t.label)?;
+                        for (qi, qs) in state.procs.iter().enumerate() {
+                            if qi == pi {
+                                continue;
+                            }
+                            let qdef = &program.processes[qi];
+                            for (ui, u) in qdef.outgoing[qs.loc as usize].iter().enumerate() {
+                                let Action::Recv {
+                                    chan: rchan,
+                                    pattern,
+                                    ..
+                                } = &u.action
+                                else {
+                                    continue;
+                                };
+                                if rchan != chan {
+                                    continue;
+                                }
+                                if !guard_holds(program, state, qi, &u.guard, &u.label)? {
+                                    continue;
+                                }
+                                if pattern_matches(
+                                    program, state, qi, pattern, &outgoing, &u.label,
+                                )? {
+                                    steps.push(Step {
+                                        proc: ProcId(pi),
+                                        trans: ti,
+                                        partner: Some((ProcId(qi), ui)),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                Action::Recv {
+                    chan,
+                    pattern,
+                    policy,
+                    ..
+                } => {
+                    let decl = &program.channels[chan.index()];
+                    if decl.capacity > 0
+                        && buffered_recv_index(
+                            program, state, pi, *chan, pattern, *policy, &t.label,
+                        )?
+                        .is_some()
+                    {
+                        steps.push(Step {
+                            proc: ProcId(pi),
+                            trans: ti,
+                            partner: None,
+                        });
+                    }
+                    // Rendezvous receives fire only as a send's partner.
+                }
+            }
+        }
+    }
+    Ok(steps)
+}
+
+fn apply_binds(
+    program: &Program,
+    state: &mut State,
+    proc: usize,
+    binds: &[(usize, LValue)],
+    msg: &Msg,
+    label: &str,
+) -> Result<(), KernelError> {
+    for (field, lv) in binds {
+        let value = msg.fields()[*field];
+        assign_lvalue(program, state, proc, lv, value, label)?;
+    }
+    Ok(())
+}
+
+fn assign_lvalue(
+    program: &Program,
+    state: &mut State,
+    proc: usize,
+    lv: &LValue,
+    value: i32,
+    label: &str,
+) -> Result<(), KernelError> {
+    match lv {
+        LValue::Local(i) => {
+            state.procs[proc].locals[*i] = value;
+        }
+        LValue::LocalIdx(base, offset) => {
+            let ps = &state.procs[proc];
+            let ctx = EvalCtx {
+                locals: &ps.locals,
+                globals: &state.globals,
+                pid: proc as i32,
+            };
+            let off = offset
+                .eval(&ctx)
+                .map_err(|e| eval_err(program, ProcId(proc), label, e))? as i64;
+            let index = *base as i64 + off;
+            let len = ps.locals.len();
+            if index < 0 || index >= len as i64 {
+                return Err(eval_err(
+                    program,
+                    ProcId(proc),
+                    label,
+                    EvalError::IndexOutOfBounds { index, len },
+                ));
+            }
+            state.procs[proc].locals[index as usize] = value;
+        }
+        LValue::Global(i) => {
+            state.globals[*i] = value;
+        }
+    }
+    Ok(())
+}
+
+/// Applies `step` to `state`, producing the successor state and the trace
+/// events describing what happened.
+///
+/// The caller must only pass steps obtained from [`enabled_steps`] on the
+/// same state.
+pub(crate) fn apply_step(
+    program: &Program,
+    state: &State,
+    step: Step,
+) -> Result<Applied, KernelError> {
+    let mut next = state.clone();
+    let mut events = Vec::new();
+    let mut assertion_failure = None;
+
+    let pi = step.proc.index();
+    let def = &program.processes[pi];
+    let t = &def.outgoing[state.procs[pi].loc as usize][step.trans];
+
+    match &t.action {
+        Action::Skip => {
+            events.push(TraceEvent::new(step.proc, &t.label, EventKind::Internal));
+        }
+        Action::Assign(assignments) => {
+            for (lv, e) in assignments {
+                let ctx = EvalCtx {
+                    locals: &next.procs[pi].locals,
+                    globals: &next.globals,
+                    pid: pi as i32,
+                };
+                let value = e
+                    .eval(&ctx)
+                    .map_err(|err| eval_err(program, step.proc, &t.label, err))?;
+                assign_lvalue(program, &mut next, pi, lv, value, &t.label)?;
+            }
+            events.push(TraceEvent::new(step.proc, &t.label, EventKind::Internal));
+        }
+        Action::Native(op) => {
+            (op.f)(&mut next.procs[pi].locals);
+            events.push(TraceEvent::new(step.proc, &t.label, EventKind::Internal));
+        }
+        Action::Assert { cond, message } => {
+            let ctx = EvalCtx {
+                locals: &next.procs[pi].locals,
+                globals: &next.globals,
+                pid: pi as i32,
+            };
+            let ok = cond
+                .eval_bool(&ctx)
+                .map_err(|err| eval_err(program, step.proc, &t.label, err))?;
+            if !ok {
+                assertion_failure = Some(message.clone());
+            }
+            events.push(TraceEvent::new(step.proc, &t.label, EventKind::Internal));
+        }
+        Action::Send { chan, msg } => {
+            let outgoing = eval_msg(program, state, pi, msg, &t.label)?;
+            match step.partner {
+                None => {
+                    // Buffered send.
+                    next.chans[chan.index()].push_back(outgoing.clone());
+                    events.push(TraceEvent::new(
+                        step.proc,
+                        &t.label,
+                        EventKind::Send {
+                            chan: *chan,
+                            msg: outgoing,
+                        },
+                    ));
+                }
+                Some((receiver, ui)) => {
+                    // Rendezvous: fire the receiver's transition too.
+                    let qi = receiver.index();
+                    let u = &program.processes[qi].outgoing[state.procs[qi].loc as usize][ui];
+                    let Action::Recv { binds, .. } = &u.action else {
+                        unreachable!("rendezvous partner is not a receive");
+                    };
+                    apply_binds(program, &mut next, qi, binds, &outgoing, &u.label)?;
+                    next.procs[qi].loc = u.target;
+                    events.push(TraceEvent::new(
+                        step.proc,
+                        &t.label,
+                        EventKind::Rendezvous {
+                            chan: *chan,
+                            msg: outgoing,
+                            receiver,
+                        },
+                    ));
+                }
+            }
+        }
+        Action::Recv {
+            chan,
+            pattern,
+            binds,
+            policy,
+        } => {
+            // Only buffered receives fire on their own.
+            let index = buffered_recv_index(program, state, pi, *chan, pattern, *policy, &t.label)?
+                .expect("apply_step called with a disabled receive");
+            let msg = next.chans[chan.index()]
+                .remove(index)
+                .expect("queue index vanished");
+            apply_binds(program, &mut next, pi, binds, &msg, &t.label)?;
+            events.push(TraceEvent::new(
+                step.proc,
+                &t.label,
+                EventKind::Recv { chan: *chan, msg },
+            ));
+        }
+    }
+
+    next.procs[pi].loc = t.target;
+    Ok(Applied {
+        state: next,
+        events,
+        assertion_failure,
+    })
+}
+
+/// Returns true when `state` is a *valid* termination: every process is in a
+/// marked end location and all channels are empty. A state with no enabled
+/// steps that is not a valid termination is a deadlock.
+pub(crate) fn is_valid_end_state(program: &Program, state: &State) -> bool {
+    state
+        .procs
+        .iter()
+        .enumerate()
+        .all(|(pi, ps)| program.processes[pi].end_locs.contains(&ps.loc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expression::expr;
+    use crate::program::{Action, Guard, ProcessBuilder, ProgramBuilder};
+
+    /// sender -> (rendezvous) -> receiver, binding the payload.
+    fn rendezvous_program() -> Program {
+        let mut prog = ProgramBuilder::new();
+        let ch = prog.channel("ch", 0, 2);
+        let mut sender = ProcessBuilder::new("sender");
+        let s0 = sender.location("send");
+        let s1 = sender.location("done");
+        sender.mark_end(s1);
+        sender.transition(
+            s0,
+            s1,
+            Guard::always(),
+            Action::send(ch, vec![41.into(), expr::self_pid()]),
+            "send m",
+        );
+        prog.add_process(sender).unwrap();
+
+        let mut receiver = ProcessBuilder::new("receiver");
+        let got = receiver.local("got", 0);
+        let r0 = receiver.location("recv");
+        let r1 = receiver.location("done");
+        receiver.mark_end(r1);
+        receiver.transition(
+            r0,
+            r1,
+            Guard::always(),
+            Action::recv(
+                ch,
+                vec![FieldPat::Any, FieldPat::Any],
+                vec![(0, got.into())],
+            ),
+            "recv m",
+        );
+        prog.add_process(receiver).unwrap();
+        prog.build().unwrap()
+    }
+
+    #[test]
+    fn rendezvous_fires_both_processes_atomically() {
+        let program = rendezvous_program();
+        let s0 = State::initial(&program);
+        let steps = enabled_steps(&program, &s0).unwrap();
+        assert_eq!(steps.len(), 1);
+        let step = steps[0];
+        assert_eq!(step.proc, ProcId(0));
+        assert_eq!(step.partner, Some((ProcId(1), 0)));
+
+        let applied = apply_step(&program, &s0, step).unwrap();
+        assert_eq!(applied.state.procs[0].loc, 1);
+        assert_eq!(applied.state.procs[1].loc, 1);
+        // Payload bound into the receiver's local.
+        assert_eq!(applied.state.procs[1].locals[0], 41);
+        // Channel remains empty.
+        assert!(applied.state.chans[0].is_empty());
+        assert!(is_valid_end_state(&program, &applied.state));
+        // One rendezvous event.
+        assert_eq!(applied.events.len(), 1);
+        assert!(matches!(
+            applied.events[0].kind(),
+            EventKind::Rendezvous { .. }
+        ));
+    }
+
+    #[test]
+    fn rendezvous_receive_does_not_fire_alone() {
+        let program = rendezvous_program();
+        let mut state = State::initial(&program);
+        // Move the sender to done manually; only the receiver remains.
+        state.procs[0].loc = 1;
+        let steps = enabled_steps(&program, &state).unwrap();
+        assert!(steps.is_empty());
+        assert!(!is_valid_end_state(&program, &state));
+    }
+
+    fn buffered_program(capacity: usize) -> (Program, ChanId) {
+        let mut prog = ProgramBuilder::new();
+        let ch = prog.channel("buf", capacity, 1);
+        let mut sender = ProcessBuilder::new("sender");
+        let s0 = sender.location("loop");
+        sender.mark_end(s0);
+        sender.transition(
+            s0,
+            s0,
+            Guard::always(),
+            Action::send(ch, vec![7.into()]),
+            "send",
+        );
+        prog.add_process(sender).unwrap();
+        let mut receiver = ProcessBuilder::new("receiver");
+        let r0 = receiver.location("loop");
+        receiver.mark_end(r0);
+        receiver.transition(
+            r0,
+            r0,
+            Guard::always(),
+            Action::recv_any(ch, 1),
+            "recv",
+        );
+        prog.add_process(receiver).unwrap();
+        (prog.build().unwrap(), ch)
+    }
+
+    #[test]
+    fn buffered_send_blocks_when_full() {
+        let (program, ch) = buffered_program(2);
+        let mut state = State::initial(&program);
+        state.chans[ch.index()].push_back(Msg::new(vec![1]));
+        state.chans[ch.index()].push_back(Msg::new(vec![2]));
+        let steps = enabled_steps(&program, &state).unwrap();
+        // Sender blocked; only the receiver can act.
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].proc, ProcId(1));
+    }
+
+    #[test]
+    fn buffered_receive_takes_fifo_order() {
+        let (program, ch) = buffered_program(2);
+        let mut state = State::initial(&program);
+        state.chans[ch.index()].push_back(Msg::new(vec![1]));
+        state.chans[ch.index()].push_back(Msg::new(vec![2]));
+        let step = Step {
+            proc: ProcId(1),
+            trans: 0,
+            partner: None,
+        };
+        let applied = apply_step(&program, &state, step).unwrap();
+        assert_eq!(applied.state.chans[ch.index()].len(), 1);
+        assert_eq!(applied.state.chans[ch.index()][0], Msg::new(vec![2]));
+    }
+
+    #[test]
+    fn head_policy_blocks_on_nonmatching_head() {
+        let mut prog = ProgramBuilder::new();
+        let ch = prog.channel("buf", 2, 1);
+        let mut receiver = ProcessBuilder::new("receiver");
+        let r0 = receiver.location("loop");
+        receiver.transition(
+            r0,
+            r0,
+            Guard::always(),
+            Action::recv(ch, vec![FieldPat::lit(9)], vec![]),
+            "recv 9",
+        );
+        prog.add_process(receiver).unwrap();
+        let program = prog.build().unwrap();
+        let mut state = State::initial(&program);
+        state.chans[0].push_back(Msg::new(vec![1]));
+        state.chans[0].push_back(Msg::new(vec![9]));
+        assert!(enabled_steps(&program, &state).unwrap().is_empty());
+    }
+
+    #[test]
+    fn first_match_policy_skips_nonmatching_head() {
+        let mut prog = ProgramBuilder::new();
+        let ch = prog.channel("buf", 2, 1);
+        let mut receiver = ProcessBuilder::new("receiver");
+        let r0 = receiver.location("loop");
+        receiver.transition(
+            r0,
+            r0,
+            Guard::always(),
+            Action::Recv {
+                chan: ch,
+                pattern: vec![FieldPat::lit(9)],
+                binds: vec![],
+                policy: RecvPolicy::FirstMatch,
+            },
+            "recv 9 anywhere",
+        );
+        prog.add_process(receiver).unwrap();
+        let program = prog.build().unwrap();
+        let mut state = State::initial(&program);
+        state.chans[0].push_back(Msg::new(vec![1]));
+        state.chans[0].push_back(Msg::new(vec![9]));
+        let steps = enabled_steps(&program, &state).unwrap();
+        assert_eq!(steps.len(), 1);
+        let applied = apply_step(&program, &state, steps[0]).unwrap();
+        // The non-matching head stays; the matching message is gone.
+        assert_eq!(applied.state.chans[0].len(), 1);
+        assert_eq!(applied.state.chans[0][0], Msg::new(vec![1]));
+    }
+
+    #[test]
+    fn self_pid_pattern_routes_to_the_right_receiver() {
+        // One sender tags messages with a target pid; two receivers match on
+        // their own pid. Only the addressed receiver may synchronize.
+        let mut prog = ProgramBuilder::new();
+        let ch = prog.channel("ch", 0, 1);
+        let mut sender = ProcessBuilder::new("sender");
+        let s0 = sender.location("send");
+        let s1 = sender.location("done");
+        sender.mark_end(s1);
+        // Address process 2 (the second receiver).
+        sender.transition(
+            s0,
+            s1,
+            Guard::always(),
+            Action::send(ch, vec![2.into()]),
+            "send to pid 2",
+        );
+        prog.add_process(sender).unwrap();
+        for name in ["rcv1", "rcv2"] {
+            let mut r = ProcessBuilder::new(name);
+            let r0 = r.location("recv");
+            let r1 = r.location("done");
+            r.mark_end(r1);
+            r.transition(
+                r0,
+                r1,
+                Guard::always(),
+                Action::recv(ch, vec![FieldPat::self_pid()], vec![]),
+                "recv mine",
+            );
+            prog.add_process(r).unwrap();
+        }
+        let program = prog.build().unwrap();
+        let state = State::initial(&program);
+        let steps = enabled_steps(&program, &state).unwrap();
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].partner, Some((ProcId(2), 0)));
+    }
+
+    #[test]
+    fn failing_assert_is_reported() {
+        let mut prog = ProgramBuilder::new();
+        let g = prog.global("x", 3);
+        let mut p = ProcessBuilder::new("p");
+        let s0 = p.location("check");
+        let s1 = p.location("done");
+        p.mark_end(s1);
+        p.transition(
+            s0,
+            s1,
+            Guard::always(),
+            Action::assert(expr::lt(expr::global(g), 3.into()), "x must stay below 3"),
+            "assert x<3",
+        );
+        prog.add_process(p).unwrap();
+        let program = prog.build().unwrap();
+        let state = State::initial(&program);
+        let steps = enabled_steps(&program, &state).unwrap();
+        let applied = apply_step(&program, &state, steps[0]).unwrap();
+        assert_eq!(
+            applied.assertion_failure.as_deref(),
+            Some("x must stay below 3")
+        );
+    }
+
+    #[test]
+    fn native_guard_and_op_work_on_locals() {
+        use crate::program::{NativeGuard, NativeOp};
+        let mut prog = ProgramBuilder::new();
+        let mut p = ProcessBuilder::new("p");
+        let _n = p.local("n", 2);
+        let s0 = p.location("loop");
+        p.transition(
+            s0,
+            s0,
+            Guard::native(NativeGuard::new("n>0", |l| l[0] > 0)),
+            Action::Native(NativeOp::new("decrement", |l| l[0] -= 1)),
+            "dec",
+        );
+        prog.add_process(p).unwrap();
+        let program = prog.build().unwrap();
+        let mut state = State::initial(&program);
+        for _ in 0..2 {
+            let steps = enabled_steps(&program, &state).unwrap();
+            assert_eq!(steps.len(), 1);
+            state = apply_step(&program, &state, steps[0]).unwrap().state;
+        }
+        // n reached 0: the native guard now disables the transition.
+        assert!(enabled_steps(&program, &state).unwrap().is_empty());
+    }
+
+    #[test]
+    fn eval_error_is_surfaced_not_panicked() {
+        let mut prog = ProgramBuilder::new();
+        let g = prog.global("x", 0);
+        let mut p = ProcessBuilder::new("p");
+        let s0 = p.location("s0");
+        p.transition(
+            s0,
+            s0,
+            Guard::when(expr::eq(expr::div(1.into(), expr::global(g)), 1.into())),
+            Action::Skip,
+            "divide by x",
+        );
+        prog.add_process(p).unwrap();
+        let program = prog.build().unwrap();
+        let state = State::initial(&program);
+        let err = enabled_steps(&program, &state).unwrap_err();
+        assert!(matches!(err, KernelError::Eval { .. }));
+        assert!(err.to_string().contains("divide by x"));
+    }
+
+    #[test]
+    fn states_hash_by_content() {
+        use std::collections::HashSet;
+        let program = rendezvous_program();
+        let a = State::initial(&program);
+        let b = State::initial(&program);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn state_view_accessors() {
+        let mut prog = ProgramBuilder::new();
+        let g = prog.global("flag", 5);
+        let ch = prog.channel("c", 3, 1);
+        let mut p = ProcessBuilder::new("p");
+        let l = p.local("v", 9);
+        let s0 = p.location("home");
+        p.mark_end(s0);
+        p.transition(s0, s0, Guard::always(), Action::Skip, "noop");
+        let pid = prog.add_process(p).unwrap();
+        let program = prog.build().unwrap();
+        let mut state = State::initial(&program);
+        state.chans[ch.index()].push_back(Msg::new(vec![4]));
+        let view = StateView::new(&program, &state);
+        assert_eq!(view.global(g), 5);
+        assert_eq!(view.global_by_name("flag"), Some(5));
+        assert_eq!(view.global_by_name("nope"), None);
+        assert_eq!(view.location_name(pid), "home");
+        assert_eq!(view.local(pid, l.index()), 9);
+        assert_eq!(view.channel_len(ch), 1);
+        assert_eq!(
+            view.channel_contents(ch).next(),
+            Some(&Msg::new(vec![4]))
+        );
+    }
+}

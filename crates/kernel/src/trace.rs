@@ -1,0 +1,239 @@
+//! Counterexample traces and their events.
+
+use std::fmt;
+
+use crate::program::{ChanId, ProcId, Program};
+use crate::state::Msg;
+
+/// What a trace step did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A local step (guard, assignment, native op, or assertion).
+    Internal,
+    /// A buffered send.
+    Send {
+        /// The channel sent on.
+        chan: ChanId,
+        /// The message.
+        msg: Msg,
+    },
+    /// A buffered receive.
+    Recv {
+        /// The channel received from.
+        chan: ChanId,
+        /// The message.
+        msg: Msg,
+    },
+    /// A rendezvous handshake (send and receive in one atomic step).
+    Rendezvous {
+        /// The channel synchronized on.
+        chan: ChanId,
+        /// The message.
+        msg: Msg,
+        /// The receiving process.
+        receiver: ProcId,
+    },
+    /// A stutter step inserted by the liveness checker when the system has
+    /// terminated (no real step exists).
+    Stutter,
+}
+
+/// One step of a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    proc: ProcId,
+    label: String,
+    kind: EventKind,
+}
+
+impl TraceEvent {
+    pub(crate) fn new(proc: ProcId, label: &str, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            proc,
+            label: label.to_string(),
+            kind,
+        }
+    }
+
+    pub(crate) fn stutter() -> TraceEvent {
+        TraceEvent {
+            proc: ProcId(usize::MAX),
+            label: "(stutter)".to_string(),
+            kind: EventKind::Stutter,
+        }
+    }
+
+    /// The acting process (meaningless for stutter events).
+    pub fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    /// The fired transition's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// What the step did.
+    pub fn kind(&self) -> &EventKind {
+        &self.kind
+    }
+
+    /// Renders the event with names resolved against `program`.
+    pub fn display<'a>(&'a self, program: &'a Program) -> impl fmt::Display + 'a {
+        DisplayEvent {
+            event: self,
+            program,
+        }
+    }
+}
+
+struct DisplayEvent<'a> {
+    event: &'a TraceEvent,
+    program: &'a Program,
+}
+
+impl fmt::Display for DisplayEvent<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let e = self.event;
+        if matches!(e.kind, EventKind::Stutter) {
+            return write!(f, "(stutter)");
+        }
+        let proc_name = &self.program.processes[e.proc.index()].name;
+        match &e.kind {
+            EventKind::Internal => write!(f, "{proc_name}: {}", e.label),
+            EventKind::Send { chan, msg } => {
+                let chan_name = &self.program.channels[chan.index()].name;
+                write!(f, "{proc_name}: {} — {chan_name}!{msg}", e.label)
+            }
+            EventKind::Recv { chan, msg } => {
+                let chan_name = &self.program.channels[chan.index()].name;
+                write!(f, "{proc_name}: {} — {chan_name}?{msg}", e.label)
+            }
+            EventKind::Rendezvous {
+                chan,
+                msg,
+                receiver,
+            } => {
+                let chan_name = &self.program.channels[chan.index()].name;
+                let recv_name = &self.program.processes[receiver.index()].name;
+                write!(
+                    f,
+                    "{proc_name} -> {recv_name}: {} — {chan_name}!{msg} (rendezvous)",
+                    e.label
+                )
+            }
+            EventKind::Stutter => unreachable!(),
+        }
+    }
+}
+
+/// A counterexample: the sequence of events from the initial state to the
+/// violation (for safety) or around a lasso (for liveness).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub(crate) fn new(events: Vec<TraceEvent>) -> Trace {
+        Trace { events }
+    }
+
+    /// The events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The number of steps.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace has no steps (a violation in the initial state).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the whole trace, one numbered line per event, with names
+    /// resolved against `program`.
+    pub fn display<'a>(&'a self, program: &'a Program) -> impl fmt::Display + 'a {
+        DisplayTrace {
+            trace: self,
+            program,
+        }
+    }
+}
+
+struct DisplayTrace<'a> {
+    trace: &'a Trace,
+    program: &'a Program,
+}
+
+impl fmt::Display for DisplayTrace<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, event) in self.trace.events.iter().enumerate() {
+            writeln!(f, "{:3}. {}", i + 1, event.display(self.program))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Action, Guard, ProcessBuilder, ProgramBuilder};
+
+    fn tiny_program() -> Program {
+        let mut prog = ProgramBuilder::new();
+        prog.channel("wire", 0, 1);
+        let mut p = ProcessBuilder::new("alpha");
+        let s0 = p.location("s0");
+        p.transition(s0, s0, Guard::always(), Action::Skip, "noop");
+        prog.add_process(p).unwrap();
+        let mut q = ProcessBuilder::new("beta");
+        q.location("s0");
+        prog.add_process(q).unwrap();
+        prog.build().unwrap()
+    }
+
+    #[test]
+    fn event_display_resolves_names() {
+        let program = tiny_program();
+        let e = TraceEvent::new(
+            ProcId(0),
+            "send m",
+            EventKind::Rendezvous {
+                chan: ChanId(0),
+                msg: Msg::new(vec![5]),
+                receiver: ProcId(1),
+            },
+        );
+        let text = e.display(&program).to_string();
+        assert!(text.contains("alpha"), "{text}");
+        assert!(text.contains("beta"), "{text}");
+        assert!(text.contains("wire"), "{text}");
+        assert!(text.contains("(5)"), "{text}");
+    }
+
+    #[test]
+    fn trace_display_numbers_lines() {
+        let program = tiny_program();
+        let trace = Trace::new(vec![
+            TraceEvent::new(ProcId(0), "a", EventKind::Internal),
+            TraceEvent::new(ProcId(1), "b", EventKind::Internal),
+        ]);
+        let text = trace.display(&program).to_string();
+        assert!(text.contains("  1. alpha: a"));
+        assert!(text.contains("  2. beta: b"));
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn stutter_event_displays() {
+        let program = tiny_program();
+        let e = TraceEvent::stutter();
+        assert_eq!(e.display(&program).to_string(), "(stutter)");
+        assert_eq!(*e.kind(), EventKind::Stutter);
+    }
+}

@@ -1,0 +1,252 @@
+//! Abstract syntax tree of the architecture-description language.
+
+use crate::Pos;
+
+/// A parsed `system { ... }` specification.
+#[derive(Debug, Clone)]
+pub struct SystemAst {
+    /// `global NAME = INT;` declarations.
+    pub globals: Vec<(String, i32, Pos)>,
+    /// Connector declarations.
+    pub connectors: Vec<ConnectorAst>,
+    /// Event (publish/subscribe) connectors.
+    pub events: Vec<EventAst>,
+    /// Component declarations.
+    pub components: Vec<ComponentAst>,
+    /// Property declarations.
+    pub properties: Vec<PropertyAst>,
+}
+
+/// A `connector NAME { channel ...; send ...; recv ...; }` declaration.
+#[derive(Debug, Clone)]
+pub struct ConnectorAst {
+    /// The connector's name.
+    pub name: String,
+    /// The channel kind.
+    pub channel: ChannelAst,
+    /// Named send ports: `(port name, kind)`.
+    pub sends: Vec<(String, SendKindAst, Pos)>,
+    /// Named receive ports: `(port name, kind)`.
+    pub recvs: Vec<(String, RecvKindAst, Pos)>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// An `event NAME { capacity N; publish ...; subscribe ...; }` declaration.
+#[derive(Debug, Clone)]
+pub struct EventAst {
+    /// The event connector's name.
+    pub name: String,
+    /// Per-subscription queue capacity.
+    pub capacity: usize,
+    /// Named publisher ports.
+    pub publishers: Vec<(String, SendKindAst, Pos)>,
+    /// Named subscriber ports with an optional tag filter.
+    pub subscribers: Vec<(String, RecvKindAst, Option<i32>, Pos)>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A channel kind in the surface syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelAst {
+    /// `single_slot`
+    SingleSlot,
+    /// `fifo(N)`
+    Fifo(usize),
+    /// `priority(N)`
+    Priority(usize),
+    /// `dropping(N)`
+    Dropping(usize),
+    /// `sliding(N)`
+    Sliding(usize),
+}
+
+/// A send-port kind in the surface syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendKindAst {
+    /// `asyn_nonblocking`
+    AsynNonblocking,
+    /// `asyn_blocking`
+    AsynBlocking,
+    /// `asyn_checking`
+    AsynChecking,
+    /// `syn_blocking`
+    SynBlocking,
+    /// `syn_checking`
+    SynChecking,
+}
+
+/// A receive-port kind in the surface syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvKindAst {
+    /// `blocking` vs `nonblocking`.
+    pub blocking: bool,
+    /// With the `copy` modifier, delivery leaves the message buffered.
+    pub copy: bool,
+}
+
+/// A `component NAME { ... }` declaration.
+#[derive(Debug, Clone)]
+pub struct ComponentAst {
+    /// The component's name.
+    pub name: String,
+    /// `var NAME = INT;` locals.
+    pub vars: Vec<(String, i32, Pos)>,
+    /// `state a, b, c;` control locations (first is initial unless `init`).
+    pub states: Vec<(String, Pos)>,
+    /// `init NAME;` override.
+    pub init: Option<(String, Pos)>,
+    /// `end NAME, NAME;` end locations.
+    pub ends: Vec<(String, Pos)>,
+    /// Transitions.
+    pub stmts: Vec<StmtAst>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// One `from S ... goto T;` transition.
+#[derive(Debug, Clone)]
+pub struct StmtAst {
+    /// Source state name.
+    pub from: String,
+    /// Optional `if EXPR` guard.
+    pub guard: Option<ExprAst>,
+    /// The action.
+    pub action: ActionAst,
+    /// Target state name.
+    pub goto: String,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// The action of a transition.
+#[derive(Debug, Clone)]
+pub enum ActionAst {
+    /// No effect (`from S goto T;` or guard-only).
+    Skip,
+    /// `do NAME = EXPR, NAME = EXPR`
+    Assign(Vec<(String, ExprAst)>),
+    /// `send PORT(DATA)` or `send PORT(DATA, TAG)`, optional `status VAR`.
+    Send {
+        /// The port name.
+        port: String,
+        /// Payload expression.
+        data: ExprAst,
+        /// Tag expression (defaults to 0).
+        tag: Option<ExprAst>,
+        /// Optional local receiving the `SendStatus`.
+        status: Option<String>,
+    },
+    /// `receive PORT [tag EXPR] [into VAR] [status VAR] [tagvar VAR]`
+    Receive {
+        /// The port name.
+        port: String,
+        /// Selective-receive tag.
+        selective: Option<ExprAst>,
+        /// Local receiving the payload.
+        into: Option<String>,
+        /// Local receiving the `RecvStatus`.
+        status: Option<String>,
+        /// Local receiving the message tag.
+        tagvar: Option<String>,
+    },
+    /// `assert EXPR "message"`
+    Assert(ExprAst, String),
+}
+
+/// An expression in the surface syntax.
+#[derive(Debug, Clone)]
+pub enum ExprAst {
+    /// Integer literal.
+    Int(i32),
+    /// A variable reference (resolved to a component local or a global).
+    Var(String, Pos),
+    /// Unary operator.
+    Unary(UnOp, Box<ExprAst>),
+    /// Binary operator.
+    Binary(BinOp, Box<ExprAst>, Box<ExprAst>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-e`
+    Neg,
+    /// `!e`
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// A `property NAME: ...;` declaration.
+#[derive(Debug, Clone)]
+pub enum PropertyAst {
+    /// `property NAME: invariant EXPR;` (over globals).
+    Invariant {
+        /// The property's name.
+        name: String,
+        /// The invariant expression.
+        expr: ExprAst,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `property NAME: ltl "FORMULA" where p = EXPR, q = EXPR;`
+    Ltl {
+        /// The property's name.
+        name: String,
+        /// The LTL formula text (SPIN-like syntax).
+        formula: String,
+        /// Proposition bindings (over globals).
+        bindings: Vec<(String, ExprAst)>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `property NAME: no_deadlock;`
+    NoDeadlock {
+        /// The property's name.
+        name: String,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+impl PropertyAst {
+    /// The property's name.
+    pub fn name(&self) -> &str {
+        match self {
+            PropertyAst::Invariant { name, .. }
+            | PropertyAst::Ltl { name, .. }
+            | PropertyAst::NoDeadlock { name, .. } => name,
+        }
+    }
+}

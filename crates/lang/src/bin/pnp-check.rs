@@ -1,0 +1,116 @@
+//! `pnp-check` — verify a `.pnp` architecture specification.
+//!
+//! Usage: `pnp-check FILE.pnp [--quiet] [--dot] [--sim STEPS [--seed N]]`
+//!
+//! Compiles the specification, checks every declared property, prints one
+//! line per property (plus explained counterexamples unless `--quiet`), and
+//! exits nonzero if any property is violated. With `--dot` the architecture
+//! diagram is printed as Graphviz dot instead; with `--sim STEPS` a random
+//! execution is run and the final global values printed (no verification).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: pnp-check FILE.pnp [--quiet] [--dot]");
+        return ExitCode::from(2);
+    };
+    let rest: Vec<String> = args.collect();
+    let quiet = rest.iter().any(|a| a == "--quiet");
+    let dot = rest.iter().any(|a| a == "--dot");
+    let flag_value = |name: &str| -> Option<u64> {
+        rest.iter()
+            .position(|a| a == name)
+            .and_then(|i| rest.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    let sim_steps = flag_value("--sim");
+    let seed = flag_value("--seed").unwrap_or(0);
+
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pnp-check: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let spec = match pnp_lang::compile(&source) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{path}:{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if dot {
+        print!("{}", spec.system().to_dot());
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(steps) = sim_steps {
+        let program = spec.system().program();
+        let mut sim = pnp_kernel::Simulator::new(program, seed);
+        let report = match sim.run(steps as usize) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("pnp-check: simulation failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        println!(
+            "{path}: simulated {} steps (seed {seed}){}",
+            report.steps,
+            if report.deadlock {
+                " — DEADLOCKED"
+            } else if report.halted {
+                " — halted (all processes done)"
+            } else {
+                ""
+            }
+        );
+        for (i, (name, _)) in program.globals().iter().enumerate() {
+            let value = sim.view().global(pnp_kernel::GlobalId::from_index(i));
+            println!("  {name} = {value}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let program = spec.system().program();
+    println!(
+        "{path}: {} processes ({} connector parts, {} components), {} properties",
+        program.processes().len(),
+        spec.system().topology().connector_process_count(),
+        spec.system().topology().component_count(),
+        spec.properties().len()
+    );
+
+    let results = match spec.verify_all() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pnp-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = 0;
+    for result in &results {
+        println!("  {result}");
+        if !result.holds {
+            failed += 1;
+            if !quiet {
+                for line in result.detail.lines() {
+                    println!("    {line}");
+                }
+            }
+        }
+    }
+    if failed == 0 {
+        println!("all {} properties hold", results.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("{failed} of {} properties violated", results.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,589 @@
+//! Compilation of the AST onto the PnP core builder.
+
+use std::collections::HashMap;
+
+use pnp_core::{
+    ChannelKind, ComponentBuilder, EventChannelSpec, ReceiveBinds, RecvAttachment, RecvMode,
+    RecvPortKind, SendAttachment, SendPortKind, Subscription, System, SystemBuilder,
+};
+use pnp_kernel::{expr, Action, Expr, GlobalId, Guard, LocalId, Predicate, Proposition};
+
+use crate::ast::*;
+use crate::parser::parse_system;
+use crate::report::PropertySpec;
+use crate::{LangError, Pos};
+
+/// A compiled specification: the assembled system and its properties.
+#[derive(Debug, Clone)]
+pub struct ArchSpec {
+    system: System,
+    properties: Vec<PropertySpec>,
+}
+
+impl ArchSpec {
+    /// The assembled system.
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// The declared properties, in source order.
+    pub fn properties(&self) -> &[PropertySpec] {
+        &self.properties
+    }
+}
+
+/// Parses and compiles a specification.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] for syntax errors, unresolved names, port-usage
+/// violations, or a system that fails to assemble.
+pub fn compile(source: &str) -> Result<ArchSpec, LangError> {
+    compile_ast(&parse_system(source)?)
+}
+
+/// Compiles an already-parsed specification.
+///
+/// # Errors
+///
+/// As for [`compile`].
+pub fn compile_ast(ast: &SystemAst) -> Result<ArchSpec, LangError> {
+    Compiler::new(ast)?.run()
+}
+
+fn channel_kind(ast: ChannelAst) -> ChannelKind {
+    match ast {
+        ChannelAst::SingleSlot => ChannelKind::SingleSlot,
+        ChannelAst::Fifo(capacity) => ChannelKind::Fifo { capacity },
+        ChannelAst::Priority(capacity) => ChannelKind::Priority { capacity },
+        ChannelAst::Dropping(capacity) => ChannelKind::Dropping { capacity },
+        ChannelAst::Sliding(capacity) => ChannelKind::Sliding { capacity },
+    }
+}
+
+fn send_kind(ast: SendKindAst) -> SendPortKind {
+    match ast {
+        SendKindAst::AsynNonblocking => SendPortKind::AsynNonblocking,
+        SendKindAst::AsynBlocking => SendPortKind::AsynBlocking,
+        SendKindAst::AsynChecking => SendPortKind::AsynChecking,
+        SendKindAst::SynBlocking => SendPortKind::SynBlocking,
+        SendKindAst::SynChecking => SendPortKind::SynChecking,
+    }
+}
+
+fn recv_kind(ast: RecvKindAst) -> RecvPortKind {
+    let base = if ast.blocking {
+        RecvPortKind::blocking()
+    } else {
+        RecvPortKind::nonblocking()
+    };
+    if ast.copy {
+        base.with_mode(RecvMode::Copy)
+    } else {
+        base
+    }
+}
+
+struct Compiler<'a> {
+    ast: &'a SystemAst,
+    sys: SystemBuilder,
+    globals: HashMap<String, GlobalId>,
+    send_ports: HashMap<String, (SendAttachment, Option<String>)>,
+    recv_ports: HashMap<String, (RecvAttachment, Option<String>)>,
+}
+
+impl<'a> Compiler<'a> {
+    fn new(ast: &'a SystemAst) -> Result<Compiler<'a>, LangError> {
+        let mut sys = SystemBuilder::new();
+        let mut globals = HashMap::new();
+        for (name, init, pos) in &ast.globals {
+            if globals.contains_key(name) {
+                return Err(LangError::new(format!("duplicate global '{name}'"), *pos));
+            }
+            globals.insert(name.clone(), sys.global(name.clone(), *init));
+        }
+
+        let mut send_ports = HashMap::new();
+        let mut recv_ports = HashMap::new();
+        let mut register_send = |name: &str, att: SendAttachment, pos: Pos| {
+            if send_ports.contains_key(name) {
+                return Err(LangError::new(format!("duplicate port '{name}'"), pos));
+            }
+            send_ports.insert(name.to_string(), (att, None));
+            Ok(())
+        };
+        for conn in &ast.connectors {
+            let id = sys.connector(conn.name.clone(), channel_kind(conn.channel));
+            for (pname, kind, pos) in &conn.sends {
+                let att = sys.send_port(id, send_kind(*kind));
+                register_send(pname, att, *pos)?;
+            }
+            for (pname, kind, pos) in &conn.recvs {
+                if recv_ports.contains_key(pname) {
+                    return Err(LangError::new(format!("duplicate port '{pname}'"), *pos));
+                }
+                let att = sys.recv_port(id, recv_kind(*kind));
+                recv_ports.insert(pname.clone(), (att, None));
+            }
+        }
+        for ev in &ast.events {
+            let id = sys.event_connector(
+                ev.name.clone(),
+                EventChannelSpec {
+                    per_subscription_capacity: ev.capacity,
+                },
+            );
+            for (pname, kind, pos) in &ev.publishers {
+                let att = sys.publisher(id, send_kind(*kind));
+                register_send(pname, att, *pos)?;
+            }
+            for (pname, kind, filter, pos) in &ev.subscribers {
+                if recv_ports.contains_key(pname) {
+                    return Err(LangError::new(format!("duplicate port '{pname}'"), *pos));
+                }
+                let subscription = match filter {
+                    Some(tag) => Subscription::to_tag(*tag),
+                    None => Subscription::all(),
+                };
+                let att = sys.subscriber(id, recv_kind(*kind), subscription);
+                recv_ports.insert(pname.clone(), (att, None));
+            }
+        }
+
+        Ok(Compiler {
+            ast,
+            sys,
+            globals,
+            send_ports,
+            recv_ports,
+        })
+    }
+
+    fn run(mut self) -> Result<ArchSpec, LangError> {
+        for comp in &self.ast.components {
+            let built = self.component(comp)?;
+            self.sys.add_component(built);
+        }
+        let mut properties = Vec::new();
+        for prop in &self.ast.properties {
+            properties.push(self.property(prop)?);
+        }
+        let system = self
+            .sys
+            .build()
+            .map_err(|e| LangError::new(format!("system assembly failed: {e}"), Pos { line: 1, col: 1 }))?;
+        Ok(ArchSpec { system, properties })
+    }
+
+    /// Compiles an expression; locals shadow globals.
+    fn expr(
+        &self,
+        ast: &ExprAst,
+        locals: Option<&HashMap<String, LocalId>>,
+    ) -> Result<Expr, LangError> {
+        Ok(match ast {
+            ExprAst::Int(v) => (*v).into(),
+            ExprAst::Var(name, pos) => {
+                if let Some(locals) = locals {
+                    if let Some(&id) = locals.get(name) {
+                        return Ok(expr::local(id));
+                    }
+                }
+                match self.globals.get(name) {
+                    Some(&id) => expr::global(id),
+                    None => {
+                        let scope = if locals.is_some() {
+                            "variable or global"
+                        } else {
+                            "global (properties may only read globals)"
+                        };
+                        return Err(LangError::new(
+                            format!("unknown {scope} '{name}'"),
+                            *pos,
+                        ));
+                    }
+                }
+            }
+            ExprAst::Unary(op, inner) => {
+                let inner = self.expr(inner, locals)?;
+                match op {
+                    UnOp::Neg => -inner,
+                    UnOp::Not => expr::not(inner),
+                }
+            }
+            ExprAst::Binary(op, a, b) => {
+                let a = self.expr(a, locals)?;
+                let b = self.expr(b, locals)?;
+                match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => expr::div(a, b),
+                    BinOp::Rem => expr::rem(a, b),
+                    BinOp::Eq => expr::eq(a, b),
+                    BinOp::Ne => expr::ne(a, b),
+                    BinOp::Lt => expr::lt(a, b),
+                    BinOp::Le => expr::le(a, b),
+                    BinOp::Gt => expr::gt(a, b),
+                    BinOp::Ge => expr::ge(a, b),
+                    BinOp::And => expr::and(a, b),
+                    BinOp::Or => expr::or(a, b),
+                }
+            }
+        })
+    }
+
+    /// Resolves an assignment target: local first, then global.
+    fn lvalue(
+        &self,
+        name: &str,
+        pos: Pos,
+        locals: &HashMap<String, LocalId>,
+    ) -> Result<pnp_kernel::LValue, LangError> {
+        if let Some(&id) = locals.get(name) {
+            return Ok(id.into());
+        }
+        match self.globals.get(name) {
+            Some(&id) => Ok(id.into()),
+            None => Err(LangError::new(
+                format!("unknown variable or global '{name}'"),
+                pos,
+            )),
+        }
+    }
+
+    fn claim_send_port(&mut self, port: &str, component: &str, pos: Pos) -> Result<SendAttachment, LangError> {
+        match self.send_ports.get_mut(port) {
+            None => Err(LangError::new(format!("unknown send port '{port}'"), pos)),
+            Some((att, owner)) => {
+                match owner {
+                    Some(existing) if existing != component => Err(LangError::new(
+                        format!("send port '{port}' is already used by component '{existing}'"),
+                        pos,
+                    )),
+                    _ => {
+                        *owner = Some(component.to_string());
+                        Ok(att.clone())
+                    }
+                }
+            }
+        }
+    }
+
+    fn claim_recv_port(&mut self, port: &str, component: &str, pos: Pos) -> Result<RecvAttachment, LangError> {
+        match self.recv_ports.get_mut(port) {
+            None => Err(LangError::new(format!("unknown receive port '{port}'"), pos)),
+            Some((att, owner)) => {
+                match owner {
+                    Some(existing) if existing != component => Err(LangError::new(
+                        format!("receive port '{port}' is already used by component '{existing}'"),
+                        pos,
+                    )),
+                    _ => {
+                        *owner = Some(component.to_string());
+                        Ok(att.clone())
+                    }
+                }
+            }
+        }
+    }
+
+    fn component(&mut self, ast: &ComponentAst) -> Result<ComponentBuilder, LangError> {
+        if ast.states.is_empty() {
+            return Err(LangError::new(
+                format!("component '{}' has no states", ast.name),
+                ast.pos,
+            ));
+        }
+        let mut builder = ComponentBuilder::new(&ast.name);
+        let mut locals = HashMap::new();
+        for (name, init, pos) in &ast.vars {
+            if locals.contains_key(name) {
+                return Err(LangError::new(format!("duplicate variable '{name}'"), *pos));
+            }
+            locals.insert(name.clone(), builder.local(name.clone(), *init));
+        }
+        let mut states = HashMap::new();
+        for (name, pos) in &ast.states {
+            if states.contains_key(name) {
+                return Err(LangError::new(format!("duplicate state '{name}'"), *pos));
+            }
+            states.insert(name.clone(), builder.location(name.clone()));
+        }
+        let lookup_state = |name: &str, pos: Pos| {
+            states
+                .get(name)
+                .copied()
+                .ok_or_else(|| LangError::new(format!("unknown state '{name}'"), pos))
+        };
+        if let Some((name, pos)) = &ast.init {
+            builder.set_initial(lookup_state(name, *pos)?);
+        }
+        for (name, pos) in &ast.ends {
+            builder.mark_end(lookup_state(name, *pos)?);
+        }
+
+        for stmt in &ast.stmts {
+            let from = lookup_state(&stmt.from, stmt.pos)?;
+            let to = lookup_state(&stmt.goto, stmt.pos)?;
+            let guard = match &stmt.guard {
+                Some(g) => Guard::when(self.expr(g, Some(&locals))?),
+                None => Guard::always(),
+            };
+            let lookup_local = |name: &str| -> Result<LocalId, LangError> {
+                locals.get(name).copied().ok_or_else(|| {
+                    LangError::new(
+                        format!("'{name}' must be a declared component variable"),
+                        stmt.pos,
+                    )
+                })
+            };
+            match &stmt.action {
+                ActionAst::Skip => {
+                    builder.transition(from, to, guard, Action::Skip, format!("{} -> {}", stmt.from, stmt.goto));
+                }
+                ActionAst::Assign(assigns) => {
+                    let mut compiled = Vec::new();
+                    for (name, value) in assigns {
+                        compiled.push((
+                            self.lvalue(name, stmt.pos, &locals)?,
+                            self.expr(value, Some(&locals))?,
+                        ));
+                    }
+                    builder.transition(
+                        from,
+                        to,
+                        guard,
+                        Action::assign_all(compiled),
+                        format!("do @ {}", stmt.from),
+                    );
+                }
+                ActionAst::Send {
+                    port,
+                    data,
+                    tag,
+                    status,
+                } => {
+                    let att = self.claim_send_port(port, &ast.name, stmt.pos)?;
+                    let data = self.expr(data, Some(&locals))?;
+                    let tag = match tag {
+                        Some(t) => self.expr(t, Some(&locals))?,
+                        None => 0.into(),
+                    };
+                    let status = status.as_deref().map(lookup_local).transpose()?;
+                    // The guard applies to the first hop of the interface;
+                    // gate with a skip when present.
+                    let start = if stmt.guard.is_some() {
+                        let gate = builder.location(format!("{}@send_gate", stmt.from));
+                        builder.transition(from, gate, guard, Action::Skip, "guard");
+                        gate
+                    } else {
+                        from
+                    };
+                    builder.send_msg(start, to, &att, data, tag, status);
+                }
+                ActionAst::Receive {
+                    port,
+                    selective,
+                    into,
+                    status,
+                    tagvar,
+                } => {
+                    let att = self.claim_recv_port(port, &ast.name, stmt.pos)?;
+                    let selective = selective
+                        .as_ref()
+                        .map(|e| self.expr(e, Some(&locals)))
+                        .transpose()?;
+                    let mut binds = ReceiveBinds::ignore();
+                    if let Some(name) = into {
+                        binds.data = Some(lookup_local(name)?);
+                    }
+                    if let Some(name) = status {
+                        binds.status = Some(lookup_local(name)?);
+                    }
+                    if let Some(name) = tagvar {
+                        binds.tag = Some(lookup_local(name)?);
+                    }
+                    let start = if stmt.guard.is_some() {
+                        let gate = builder.location(format!("{}@recv_gate", stmt.from));
+                        builder.transition(from, gate, guard, Action::Skip, "guard");
+                        gate
+                    } else {
+                        from
+                    };
+                    builder.recv_msg(start, to, &att, selective, binds);
+                }
+                ActionAst::Assert(cond, message) => {
+                    let cond = self.expr(cond, Some(&locals))?;
+                    builder.transition(
+                        from,
+                        to,
+                        guard,
+                        Action::assert(cond, message.clone()),
+                        format!("assert @ {}", stmt.from),
+                    );
+                }
+            }
+        }
+        Ok(builder)
+    }
+
+    fn property(&self, ast: &PropertyAst) -> Result<PropertySpec, LangError> {
+        Ok(match ast {
+            PropertyAst::Invariant { name, expr, .. } => PropertySpec::Invariant {
+                name: name.clone(),
+                predicate: Predicate::from_expr(self.expr(expr, None)?),
+            },
+            PropertyAst::Ltl {
+                name,
+                formula,
+                bindings,
+                pos,
+            } => {
+                let parsed = pnp_ltl::parse(formula).map_err(|e| {
+                    LangError::new(format!("LTL formula does not parse: {e}"), *pos)
+                })?;
+                let mut props = Vec::new();
+                for (pname, expr) in bindings {
+                    props.push(Proposition::new(
+                        pname.clone(),
+                        Predicate::from_expr(self.expr(expr, None)?),
+                    ));
+                }
+                // Validate that every proposition the formula uses is bound.
+                for used in parsed.propositions() {
+                    if !bindings.iter().any(|(n, _)| *n == used) {
+                        return Err(LangError::new(
+                            format!("proposition '{used}' is not bound by a 'where' clause"),
+                            *pos,
+                        ));
+                    }
+                }
+                PropertySpec::Ltl {
+                    name: name.clone(),
+                    formula: parsed,
+                    props,
+                }
+            }
+            PropertyAst::NoDeadlock { name, .. } => PropertySpec::NoDeadlock { name: name.clone() },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WIRE: &str = r#"
+        system {
+            global delivered = 0;
+            connector wire {
+                channel fifo(2);
+                send tx: asyn_blocking;
+                recv rx: blocking;
+            }
+            component producer {
+                state start, done;
+                end done;
+                from start send tx(42) goto done;
+            }
+            component consumer {
+                var got = 0;
+                state recv, publish, done;
+                end done;
+                from recv receive rx into got goto publish;
+                from publish do delivered = got goto done;
+            }
+            property ok: invariant delivered == 0 || delivered == 42;
+            property live: no_deadlock;
+        }
+    "#;
+
+    #[test]
+    fn compiles_a_full_system() {
+        let spec = compile(WIRE).unwrap();
+        // 1 channel + 2 ports + 2 components.
+        assert_eq!(spec.system().program().processes().len(), 5);
+        assert_eq!(spec.properties().len(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_port() {
+        let src = r#"system {
+            component x { state a, b; end b; from a send nowhere(1) goto b; }
+        }"#;
+        let err = compile(src).unwrap_err();
+        assert!(err.to_string().contains("unknown send port"), "{err}");
+    }
+
+    #[test]
+    fn rejects_port_shared_across_components() {
+        let src = r#"system {
+            connector c { channel single_slot; send tx: asyn_blocking; recv rx: blocking; }
+            component a { state s, t; end t; from s send tx(1) goto t; }
+            component b { state s, t; end t; from s send tx(2) goto t; }
+        }"#;
+        let err = compile(src).unwrap_err();
+        assert!(err.to_string().contains("already used"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let src = r#"system {
+            component x { state a, b; end b; from a do nope = 1 goto b; }
+        }"#;
+        let err = compile(src).unwrap_err();
+        assert!(err.to_string().contains("unknown variable"), "{err}");
+    }
+
+    #[test]
+    fn rejects_locals_in_properties() {
+        let src = r#"system {
+            component x { var v = 0; state a; end a; }
+            property p: invariant v == 0;
+        }"#;
+        let err = compile(src).unwrap_err();
+        assert!(err.to_string().contains("global"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unbound_ltl_proposition() {
+        let src = r#"system {
+            global g = 0;
+            component x { state a; end a; }
+            property p: ltl "<> mystery" where other = g == 1;
+        }"#;
+        let err = compile(src).unwrap_err();
+        assert!(err.to_string().contains("mystery"), "{err}");
+    }
+
+    #[test]
+    fn locals_shadow_globals() {
+        let src = r#"system {
+            global x = 5;
+            component c {
+                var x = 0;
+                state a, b;
+                end b;
+                from a if x == 0 do x = 1 goto b;
+            }
+            property p: invariant x == 5;
+        }"#;
+        let spec = compile(src).unwrap();
+        // The property reads the *global* x (untouched), so it holds.
+        let results = spec.verify_all().unwrap();
+        assert!(results[0].holds, "{:?}", results[0]);
+    }
+
+    #[test]
+    fn status_variable_must_be_local() {
+        let src = r#"system {
+            global g = 0;
+            connector c { channel single_slot; send tx: asyn_checking; recv rx: blocking; }
+            component p { state a, b; end b; from a send tx(1) status g goto b; }
+            component q { state a, b; end b; from a receive rx goto b; }
+        }"#;
+        let err = compile(src).unwrap_err();
+        assert!(err.to_string().contains("component variable"), "{err}");
+    }
+}

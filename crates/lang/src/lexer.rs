@@ -1,0 +1,289 @@
+//! Tokenizer for the architecture-description language.
+
+use crate::{LangError, Pos};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Int(i32),
+    Str(String),
+    // Punctuation.
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Colon,
+    Assign,
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Token {
+    pub tok: Tok,
+    pub pos: Pos,
+}
+
+pub(crate) fn lex(source: &str) -> Result<Vec<Token>, LangError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            tokens.push(Token {
+                tok: $tok,
+                pos: Pos { line, col },
+            });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => push!(Tok::LBrace, 1),
+            '}' => push!(Tok::RBrace, 1),
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            ',' => push!(Tok::Comma, 1),
+            ';' => push!(Tok::Semi, 1),
+            ':' => push!(Tok::Colon, 1),
+            '+' => push!(Tok::Plus, 1),
+            '-' => push!(Tok::Minus, 1),
+            '*' => push!(Tok::Star, 1),
+            '%' => push!(Tok::Percent, 1),
+            '/' => push!(Tok::Slash, 1),
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::EqEq, 2)
+                } else {
+                    push!(Tok::Assign, 1)
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::NotEq, 2)
+                } else {
+                    push!(Tok::Bang, 1)
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Le, 2)
+                } else {
+                    push!(Tok::Lt, 1)
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Ge, 2)
+                } else {
+                    push!(Tok::Gt, 1)
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    push!(Tok::AndAnd, 2)
+                } else {
+                    return Err(LangError::new("expected '&&'", Pos { line, col }));
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    push!(Tok::OrOr, 2)
+                } else {
+                    return Err(LangError::new("expected '||'", Pos { line, col }));
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let start_col = col;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                if bytes.get(j) != Some(&b'"') {
+                    return Err(LangError::new(
+                        "unterminated string literal",
+                        Pos { line, col },
+                    ));
+                }
+                let text = source[start..j].to_string();
+                tokens.push(Token {
+                    tok: Tok::Str(text),
+                    pos: Pos {
+                        line,
+                        col: start_col,
+                    },
+                });
+                col += (j + 1 - i) as u32;
+                i = j + 1;
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                let start_col = col;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                let text = &source[start..i];
+                let value: i32 = text.parse().map_err(|_| {
+                    LangError::new(
+                        format!("integer literal '{text}' out of range"),
+                        Pos {
+                            line,
+                            col: start_col,
+                        },
+                    )
+                })?;
+                tokens.push(Token {
+                    tok: Tok::Int(value),
+                    pos: Pos {
+                        line,
+                        col: start_col,
+                    },
+                });
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let start_col = col;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                    col += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(source[start..i].to_string()),
+                    pos: Pos {
+                        line,
+                        col: start_col,
+                    },
+                });
+            }
+            _ => {
+                return Err(LangError::new(
+                    format!("unexpected character '{c}'"),
+                    Pos { line, col },
+                ))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_punctuation_and_operators() {
+        assert_eq!(
+            kinds("{ } ( ) , ; : = == != < <= > >= && || ! + - * / %"),
+            vec![
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Comma,
+                Tok::Semi,
+                Tok::Colon,
+                Tok::Assign,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Percent,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_identifiers_numbers_and_strings() {
+        assert_eq!(
+            kinds(r#"hello_1 42 "a formula""#),
+            vec![
+                Tok::Ident("hello_1".into()),
+                Tok::Int(42),
+                Tok::Str("a formula".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        assert_eq!(
+            kinds("a // comment\nb"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!(tokens[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(tokens[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn reports_bad_characters_with_position() {
+        let err = lex("a\n @").unwrap_err();
+        assert_eq!(err.pos(), Pos { line: 2, col: 2 });
+    }
+
+    #[test]
+    fn reports_unterminated_string() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_int() {
+        assert!(lex("99999999999").is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! # pnp-lang — a textual architecture-description language
+//!
+//! The paper's designers work in a design environment (ArchStudio) and a
+//! modeling language (Promela); this crate provides the equivalent textual
+//! surface for the PnP library: an architecture-description language in
+//! which connectors are composed from named building blocks, components
+//! are small guarded automata using the standard interfaces, and
+//! properties are declared alongside the design.
+//!
+//! ```text
+//! system {
+//!     global delivered = 0;
+//!
+//!     connector wire {
+//!         channel fifo(2);
+//!         send tx: asyn_blocking;
+//!         recv rx: blocking;
+//!     }
+//!
+//!     component producer {
+//!         state start, done;
+//!         end done;
+//!         from start send tx(42) goto done;
+//!     }
+//!
+//!     component consumer {
+//!         var got = 0;
+//!         state recv, publish, done;
+//!         end done;
+//!         from recv receive rx into got goto publish;
+//!         from publish do delivered = got goto done;
+//!     }
+//!
+//!     property no_phantom: invariant delivered == 0 || delivered == 42;
+//!     property arrives: ltl "<> ok" where ok = delivered == 42;
+//! }
+//! ```
+//!
+//! [`compile`] turns a source string into an [`ArchSpec`]: a verified-
+//! buildable [`pnp_core::System`] plus its declared properties, ready to
+//! check:
+//!
+//! ```
+//! let spec = pnp_lang::compile(r#"
+//!     system {
+//!         global x = 0;
+//!         component ticker {
+//!             state a, b;
+//!             end b;
+//!             from a do x = 1 goto b;
+//!         }
+//!         property done: invariant x == 0 || x == 1;
+//!     }
+//! "#)?;
+//! let results = spec.verify_all()?;
+//! assert!(results.iter().all(|r| r.holds));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The `pnp-check` binary wraps this for `.pnp` files on disk.
+
+
+#![warn(missing_docs)]
+mod ast;
+mod compile;
+mod lexer;
+mod parser;
+mod printer;
+mod report;
+
+pub use ast::{
+    ActionAst, BinOp, ChannelAst, ComponentAst, ConnectorAst, EventAst, ExprAst, PropertyAst,
+    RecvKindAst, SendKindAst, StmtAst, SystemAst, UnOp,
+};
+pub use compile::{compile, compile_ast, ArchSpec};
+pub use parser::parse_system;
+pub use report::{PropertyResult, PropertySpec, VerifyError};
+
+use std::fmt;
+
+/// A source location (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error produced while lexing, parsing, or compiling a specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    message: String,
+    pos: Pos,
+}
+
+impl LangError {
+    pub(crate) fn new(message: impl Into<String>, pos: Pos) -> LangError {
+        LangError {
+            message: message.into(),
+            pos,
+        }
+    }
+
+    /// The source position of the error.
+    pub fn pos(&self) -> Pos {
+        self.pos
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}

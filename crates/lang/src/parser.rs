@@ -1,0 +1,804 @@
+//! Recursive-descent parser for the architecture-description language.
+
+use crate::ast::*;
+use crate::lexer::{lex, Tok, Token};
+use crate::{LangError, Pos};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    end: Pos,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn here(&self) -> Pos {
+        self.tokens.get(self.pos).map(|t| t.pos).unwrap_or(self.end)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), LangError> {
+        if self.peek() == Some(&tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(LangError::new(format!("expected {what}"), self.here()))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Pos), LangError> {
+        let pos = self.here();
+        match self.bump() {
+            Some(Tok::Ident(name)) => Ok((name, pos)),
+            _ => Err(LangError::new(format!("expected {what}"), pos)),
+        }
+    }
+
+    /// Accepts a specific contextual keyword.
+    fn keyword(&mut self, word: &str) -> Result<Pos, LangError> {
+        let pos = self.here();
+        match self.bump() {
+            Some(Tok::Ident(name)) if name == word => Ok(pos),
+            _ => Err(LangError::new(format!("expected '{word}'"), pos)),
+        }
+    }
+
+    fn at_keyword(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(name)) if name == word)
+    }
+
+    fn int(&mut self, what: &str) -> Result<i32, LangError> {
+        let pos = self.here();
+        // Allow a leading minus.
+        let negative = if self.peek() == Some(&Tok::Minus) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(if negative { -v } else { v }),
+            _ => Err(LangError::new(format!("expected {what}"), pos)),
+        }
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, LangError> {
+        let pos = self.here();
+        match self.bump() {
+            Some(Tok::Str(s)) => Ok(s),
+            _ => Err(LangError::new(format!("expected {what}"), pos)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<ExprAst, LangError> {
+        self.expr_or()
+    }
+
+    fn expr_or(&mut self) -> Result<ExprAst, LangError> {
+        let mut lhs = self.expr_and()?;
+        while self.peek() == Some(&Tok::OrOr) {
+            self.pos += 1;
+            let rhs = self.expr_and()?;
+            lhs = ExprAst::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_and(&mut self) -> Result<ExprAst, LangError> {
+        let mut lhs = self.expr_cmp()?;
+        while self.peek() == Some(&Tok::AndAnd) {
+            self.pos += 1;
+            let rhs = self.expr_cmp()?;
+            lhs = ExprAst::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_cmp(&mut self) -> Result<ExprAst, LangError> {
+        let lhs = self.expr_add()?;
+        let op = match self.peek() {
+            Some(Tok::EqEq) => Some(BinOp::Eq),
+            Some(Tok::NotEq) => Some(BinOp::Ne),
+            Some(Tok::Lt) => Some(BinOp::Lt),
+            Some(Tok::Le) => Some(BinOp::Le),
+            Some(Tok::Gt) => Some(BinOp::Gt),
+            Some(Tok::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.expr_add()?;
+            Ok(ExprAst::Binary(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn expr_add(&mut self) -> Result<ExprAst, LangError> {
+        let mut lhs = self.expr_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.expr_mul()?;
+            lhs = ExprAst::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_mul(&mut self) -> Result<ExprAst, LangError> {
+        let mut lhs = self.expr_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Rem,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.expr_unary()?;
+            lhs = ExprAst::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_unary(&mut self) -> Result<ExprAst, LangError> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                Ok(ExprAst::Unary(UnOp::Neg, Box::new(self.expr_unary()?)))
+            }
+            Some(Tok::Bang) => {
+                self.pos += 1;
+                Ok(ExprAst::Unary(UnOp::Not, Box::new(self.expr_unary()?)))
+            }
+            _ => self.expr_atom(),
+        }
+    }
+
+    fn expr_atom(&mut self) -> Result<ExprAst, LangError> {
+        let pos = self.here();
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(ExprAst::Int(v)),
+            Some(Tok::Ident(name)) => Ok(ExprAst::Var(name, pos)),
+            Some(Tok::LParen) => {
+                let inner = self.expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(inner)
+            }
+            other => Err(LangError::new(
+                format!("expected expression, found {other:?}"),
+                pos,
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Declarations
+    // ------------------------------------------------------------------
+
+    fn channel_kind(&mut self) -> Result<ChannelAst, LangError> {
+        let (word, pos) = self.ident("channel kind")?;
+        let sized = |p: &mut Parser| -> Result<usize, LangError> {
+            p.expect(Tok::LParen, "'('")?;
+            let n = p.int("capacity")?;
+            p.expect(Tok::RParen, "')'")?;
+            if n < 1 {
+                return Err(LangError::new("capacity must be at least 1", pos));
+            }
+            Ok(n as usize)
+        };
+        match word.as_str() {
+            "single_slot" => Ok(ChannelAst::SingleSlot),
+            "fifo" => Ok(ChannelAst::Fifo(sized(self)?)),
+            "priority" => Ok(ChannelAst::Priority(sized(self)?)),
+            "dropping" => Ok(ChannelAst::Dropping(sized(self)?)),
+            "sliding" => Ok(ChannelAst::Sliding(sized(self)?)),
+            other => Err(LangError::new(
+                format!("unknown channel kind '{other}' (expected single_slot, fifo(N), priority(N), dropping(N), sliding(N))"),
+                pos,
+            )),
+        }
+    }
+
+    fn send_kind(&mut self) -> Result<SendKindAst, LangError> {
+        let (word, pos) = self.ident("send-port kind")?;
+        match word.as_str() {
+            "asyn_nonblocking" => Ok(SendKindAst::AsynNonblocking),
+            "asyn_blocking" => Ok(SendKindAst::AsynBlocking),
+            "asyn_checking" => Ok(SendKindAst::AsynChecking),
+            "syn_blocking" => Ok(SendKindAst::SynBlocking),
+            "syn_checking" => Ok(SendKindAst::SynChecking),
+            other => Err(LangError::new(
+                format!(
+                    "unknown send-port kind '{other}' (expected asyn_nonblocking, asyn_blocking, asyn_checking, syn_blocking, syn_checking)"
+                ),
+                pos,
+            )),
+        }
+    }
+
+    fn recv_kind(&mut self) -> Result<RecvKindAst, LangError> {
+        let (word, pos) = self.ident("receive-port kind")?;
+        let blocking = match word.as_str() {
+            "blocking" => true,
+            "nonblocking" => false,
+            other => {
+                return Err(LangError::new(
+                    format!("unknown receive-port kind '{other}' (expected blocking or nonblocking)"),
+                    pos,
+                ))
+            }
+        };
+        let copy = if self.at_keyword("copy") {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        Ok(RecvKindAst { blocking, copy })
+    }
+
+    fn connector(&mut self) -> Result<ConnectorAst, LangError> {
+        let pos = self.keyword("connector")?;
+        let (name, _) = self.ident("connector name")?;
+        self.expect(Tok::LBrace, "'{'")?;
+        let mut channel = None;
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            let item_pos = self.here();
+            if self.at_keyword("channel") {
+                self.pos += 1;
+                if channel.is_some() {
+                    return Err(LangError::new("duplicate channel declaration", item_pos));
+                }
+                channel = Some(self.channel_kind()?);
+                self.expect(Tok::Semi, "';'")?;
+            } else if self.at_keyword("send") {
+                self.pos += 1;
+                let (port, ppos) = self.ident("port name")?;
+                self.expect(Tok::Colon, "':'")?;
+                let kind = self.send_kind()?;
+                self.expect(Tok::Semi, "';'")?;
+                sends.push((port, kind, ppos));
+            } else if self.at_keyword("recv") {
+                self.pos += 1;
+                let (port, ppos) = self.ident("port name")?;
+                self.expect(Tok::Colon, "':'")?;
+                let kind = self.recv_kind()?;
+                self.expect(Tok::Semi, "';'")?;
+                recvs.push((port, kind, ppos));
+            } else {
+                return Err(LangError::new(
+                    "expected 'channel', 'send', or 'recv' in connector",
+                    item_pos,
+                ));
+            }
+        }
+        self.expect(Tok::RBrace, "'}'")?;
+        let channel = channel
+            .ok_or_else(|| LangError::new(format!("connector '{name}' has no channel"), pos))?;
+        Ok(ConnectorAst {
+            name,
+            channel,
+            sends,
+            recvs,
+            pos,
+        })
+    }
+
+    fn event(&mut self) -> Result<EventAst, LangError> {
+        let pos = self.keyword("event")?;
+        let (name, _) = self.ident("event connector name")?;
+        self.expect(Tok::LBrace, "'{'")?;
+        let mut capacity = 1usize;
+        let mut publishers = Vec::new();
+        let mut subscribers = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            let item_pos = self.here();
+            if self.at_keyword("capacity") {
+                self.pos += 1;
+                let n = self.int("capacity")?;
+                if n < 1 {
+                    return Err(LangError::new("capacity must be at least 1", item_pos));
+                }
+                capacity = n as usize;
+                self.expect(Tok::Semi, "';'")?;
+            } else if self.at_keyword("publish") {
+                self.pos += 1;
+                let (port, ppos) = self.ident("port name")?;
+                self.expect(Tok::Colon, "':'")?;
+                let kind = self.send_kind()?;
+                self.expect(Tok::Semi, "';'")?;
+                publishers.push((port, kind, ppos));
+            } else if self.at_keyword("subscribe") {
+                self.pos += 1;
+                let (port, ppos) = self.ident("port name")?;
+                self.expect(Tok::Colon, "':'")?;
+                let kind = self.recv_kind()?;
+                let filter = if self.at_keyword("tag") {
+                    self.pos += 1;
+                    Some(self.int("tag")?)
+                } else {
+                    None
+                };
+                self.expect(Tok::Semi, "';'")?;
+                subscribers.push((port, kind, filter, ppos));
+            } else {
+                return Err(LangError::new(
+                    "expected 'capacity', 'publish', or 'subscribe' in event connector",
+                    item_pos,
+                ));
+            }
+        }
+        self.expect(Tok::RBrace, "'}'")?;
+        Ok(EventAst {
+            name,
+            capacity,
+            publishers,
+            subscribers,
+            pos,
+        })
+    }
+
+    fn component(&mut self) -> Result<ComponentAst, LangError> {
+        let pos = self.keyword("component")?;
+        let (name, _) = self.ident("component name")?;
+        self.expect(Tok::LBrace, "'{'")?;
+        let mut vars = Vec::new();
+        let mut states = Vec::new();
+        let mut init = None;
+        let mut ends = Vec::new();
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            let item_pos = self.here();
+            if self.at_keyword("var") {
+                self.pos += 1;
+                let (vname, vpos) = self.ident("variable name")?;
+                self.expect(Tok::Assign, "'='")?;
+                let value = self.int("initial value")?;
+                self.expect(Tok::Semi, "';'")?;
+                vars.push((vname, value, vpos));
+            } else if self.at_keyword("state") {
+                self.pos += 1;
+                loop {
+                    let (sname, spos) = self.ident("state name")?;
+                    states.push((sname, spos));
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(Tok::Semi, "';'")?;
+            } else if self.at_keyword("init") {
+                self.pos += 1;
+                let (sname, spos) = self.ident("state name")?;
+                self.expect(Tok::Semi, "';'")?;
+                if init.is_some() {
+                    return Err(LangError::new("duplicate init declaration", item_pos));
+                }
+                init = Some((sname, spos));
+            } else if self.at_keyword("end") {
+                self.pos += 1;
+                loop {
+                    let (sname, spos) = self.ident("state name")?;
+                    ends.push((sname, spos));
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(Tok::Semi, "';'")?;
+            } else if self.at_keyword("from") {
+                stmts.push(self.stmt()?);
+            } else {
+                return Err(LangError::new(
+                    "expected 'var', 'state', 'init', 'end', or 'from' in component",
+                    item_pos,
+                ));
+            }
+        }
+        self.expect(Tok::RBrace, "'}'")?;
+        Ok(ComponentAst {
+            name,
+            vars,
+            states,
+            init,
+            ends,
+            stmts,
+            pos,
+        })
+    }
+
+    fn stmt(&mut self) -> Result<StmtAst, LangError> {
+        let pos = self.keyword("from")?;
+        let (from, _) = self.ident("state name")?;
+        let guard = if self.at_keyword("if") {
+            self.pos += 1;
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let action = if self.at_keyword("do") {
+            self.pos += 1;
+            let mut assigns = Vec::new();
+            loop {
+                let (vname, _) = self.ident("variable name")?;
+                self.expect(Tok::Assign, "'='")?;
+                let value = self.expr()?;
+                assigns.push((vname, value));
+                if self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            ActionAst::Assign(assigns)
+        } else if self.at_keyword("send") {
+            self.pos += 1;
+            let (port, _) = self.ident("port name")?;
+            self.expect(Tok::LParen, "'('")?;
+            let data = self.expr()?;
+            let tag = if self.peek() == Some(&Tok::Comma) {
+                self.pos += 1;
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(Tok::RParen, "')'")?;
+            let status = if self.at_keyword("status") {
+                self.pos += 1;
+                Some(self.ident("status variable")?.0)
+            } else {
+                None
+            };
+            ActionAst::Send {
+                port,
+                data,
+                tag,
+                status,
+            }
+        } else if self.at_keyword("receive") {
+            self.pos += 1;
+            let (port, _) = self.ident("port name")?;
+            let mut selective = None;
+            let mut into = None;
+            let mut status = None;
+            let mut tagvar = None;
+            loop {
+                if self.at_keyword("tag") {
+                    self.pos += 1;
+                    selective = Some(self.expr()?);
+                } else if self.at_keyword("into") {
+                    self.pos += 1;
+                    into = Some(self.ident("variable name")?.0);
+                } else if self.at_keyword("status") {
+                    self.pos += 1;
+                    status = Some(self.ident("variable name")?.0);
+                } else if self.at_keyword("tagvar") {
+                    self.pos += 1;
+                    tagvar = Some(self.ident("variable name")?.0);
+                } else {
+                    break;
+                }
+            }
+            ActionAst::Receive {
+                port,
+                selective,
+                into,
+                status,
+                tagvar,
+            }
+        } else if self.at_keyword("assert") {
+            self.pos += 1;
+            let cond = self.expr()?;
+            let message = self.string("assertion message")?;
+            ActionAst::Assert(cond, message)
+        } else {
+            ActionAst::Skip
+        };
+        self.keyword("goto")?;
+        let (goto, _) = self.ident("state name")?;
+        self.expect(Tok::Semi, "';'")?;
+        Ok(StmtAst {
+            from,
+            guard,
+            action,
+            goto,
+            pos,
+        })
+    }
+
+    fn property(&mut self) -> Result<PropertyAst, LangError> {
+        let pos = self.keyword("property")?;
+        let (name, _) = self.ident("property name")?;
+        self.expect(Tok::Colon, "':'")?;
+        let kind_pos = self.here();
+        let prop = if self.at_keyword("invariant") {
+            self.pos += 1;
+            let expr = self.expr()?;
+            PropertyAst::Invariant { name, expr, pos }
+        } else if self.at_keyword("ltl") {
+            self.pos += 1;
+            let formula = self.string("LTL formula string")?;
+            let mut bindings = Vec::new();
+            if self.at_keyword("where") {
+                self.pos += 1;
+                loop {
+                    let (pname, _) = self.ident("proposition name")?;
+                    self.expect(Tok::Assign, "'='")?;
+                    let expr = self.expr()?;
+                    bindings.push((pname, expr));
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            PropertyAst::Ltl {
+                name,
+                formula,
+                bindings,
+                pos,
+            }
+        } else if self.at_keyword("no_deadlock") {
+            self.pos += 1;
+            PropertyAst::NoDeadlock { name, pos }
+        } else {
+            return Err(LangError::new(
+                "expected 'invariant', 'ltl', or 'no_deadlock'",
+                kind_pos,
+            ));
+        };
+        self.expect(Tok::Semi, "';'")?;
+        Ok(prop)
+    }
+
+    fn system(&mut self) -> Result<SystemAst, LangError> {
+        self.keyword("system")?;
+        self.expect(Tok::LBrace, "'{'")?;
+        let mut ast = SystemAst {
+            globals: Vec::new(),
+            connectors: Vec::new(),
+            events: Vec::new(),
+            components: Vec::new(),
+            properties: Vec::new(),
+        };
+        while self.peek() != Some(&Tok::RBrace) {
+            let pos = self.here();
+            if self.at_keyword("global") {
+                self.pos += 1;
+                let (name, gpos) = self.ident("global name")?;
+                self.expect(Tok::Assign, "'='")?;
+                let value = self.int("initial value")?;
+                self.expect(Tok::Semi, "';'")?;
+                ast.globals.push((name, value, gpos));
+            } else if self.at_keyword("connector") {
+                ast.connectors.push(self.connector()?);
+            } else if self.at_keyword("event") {
+                ast.events.push(self.event()?);
+            } else if self.at_keyword("component") {
+                ast.components.push(self.component()?);
+            } else if self.at_keyword("property") {
+                ast.properties.push(self.property()?);
+            } else {
+                return Err(LangError::new(
+                    "expected 'global', 'connector', 'event', 'component', or 'property'",
+                    pos,
+                ));
+            }
+        }
+        self.expect(Tok::RBrace, "'}'")?;
+        if self.pos != self.tokens.len() {
+            return Err(LangError::new("unexpected trailing input", self.here()));
+        }
+        Ok(ast)
+    }
+}
+
+/// Parses a `system { ... }` specification into its AST.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] with a source position for malformed input.
+pub fn parse_system(source: &str) -> Result<SystemAst, LangError> {
+    let tokens = lex(source)?;
+    let end = tokens
+        .last()
+        .map(|t| Pos {
+            line: t.pos.line,
+            col: t.pos.col + 1,
+        })
+        .unwrap_or(Pos { line: 1, col: 1 });
+    Parser {
+        tokens,
+        pos: 0,
+        end,
+    }
+    .system()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WIRE: &str = r#"
+        system {
+            global delivered = 0;
+            connector wire {
+                channel fifo(2);
+                send tx: asyn_blocking;
+                recv rx: blocking;
+            }
+            component producer {
+                state start, done;
+                end done;
+                from start send tx(42) goto done;
+            }
+            component consumer {
+                var got = 0;
+                state recv, publish, done;
+                end done;
+                from recv receive rx into got goto publish;
+                from publish do delivered = got goto done;
+            }
+            property ok: invariant delivered == 0 || delivered == 42;
+            property arrives: ltl "<> seen" where seen = delivered == 42;
+            property live: no_deadlock;
+        }
+    "#;
+
+    #[test]
+    fn parses_a_full_system() {
+        let ast = parse_system(WIRE).unwrap();
+        assert_eq!(ast.globals.len(), 1);
+        assert_eq!(ast.connectors.len(), 1);
+        assert_eq!(ast.components.len(), 2);
+        assert_eq!(ast.properties.len(), 3);
+        let conn = &ast.connectors[0];
+        assert_eq!(conn.name, "wire");
+        assert_eq!(conn.channel, ChannelAst::Fifo(2));
+        assert_eq!(conn.sends.len(), 1);
+        assert_eq!(conn.recvs.len(), 1);
+        let consumer = &ast.components[1];
+        assert_eq!(consumer.vars.len(), 1);
+        assert_eq!(consumer.states.len(), 3);
+        assert_eq!(consumer.stmts.len(), 2);
+    }
+
+    #[test]
+    fn parses_all_channel_kinds() {
+        for (text, expected) in [
+            ("single_slot", ChannelAst::SingleSlot),
+            ("fifo(3)", ChannelAst::Fifo(3)),
+            ("priority(4)", ChannelAst::Priority(4)),
+            ("dropping(1)", ChannelAst::Dropping(1)),
+            ("sliding(2)", ChannelAst::Sliding(2)),
+        ] {
+            let src = format!(
+                "system {{ connector c {{ channel {text}; send s: asyn_blocking; recv r: blocking; }} component x {{ state a; end a; }} }}"
+            );
+            let ast = parse_system(&src).unwrap();
+            assert_eq!(ast.connectors[0].channel, expected, "{text}");
+        }
+    }
+
+    #[test]
+    fn parses_recv_modifiers() {
+        let src = "system { connector c { channel single_slot; send s: syn_blocking; recv r: nonblocking copy; } component x { state a; end a; } }";
+        let ast = parse_system(src).unwrap();
+        let (_, kind, _) = &ast.connectors[0].recvs[0];
+        assert!(!kind.blocking);
+        assert!(kind.copy);
+    }
+
+    #[test]
+    fn parses_event_connectors() {
+        let src = r#"system {
+            event news {
+                capacity 2;
+                publish agency: asyn_blocking;
+                subscribe sports: nonblocking tag 7;
+                subscribe all: nonblocking;
+            }
+            component x { state a; end a; }
+        }"#;
+        let ast = parse_system(src).unwrap();
+        let ev = &ast.events[0];
+        assert_eq!(ev.capacity, 2);
+        assert_eq!(ev.publishers.len(), 1);
+        assert_eq!(ev.subscribers.len(), 2);
+        assert_eq!(ev.subscribers[0].2, Some(7));
+        assert_eq!(ev.subscribers[1].2, None);
+    }
+
+    #[test]
+    fn parses_guards_sends_and_asserts() {
+        let src = r#"system {
+            global g = -1;
+            connector c { channel single_slot; send s: syn_blocking; recv r: blocking; }
+            component x {
+                var v = 0;
+                state a, b, cst;
+                init a;
+                end cst;
+                from a if v < 3 do v = v + 1 goto a;
+                from a if v >= 3 send s(v * 2, 1) status v goto b;
+                from b assert g != 0 "g must not be zero" goto cst;
+            }
+        }"#;
+        let ast = parse_system(src).unwrap();
+        let comp = &ast.components[0];
+        assert_eq!(comp.init.as_ref().unwrap().0, "a");
+        assert_eq!(comp.stmts.len(), 3);
+        assert!(matches!(comp.stmts[1].action, ActionAst::Send { .. }));
+        assert!(matches!(comp.stmts[2].action, ActionAst::Assert(..)));
+        assert_eq!(ast.globals[0].1, -1);
+    }
+
+    #[test]
+    fn parses_receive_clauses_in_any_order() {
+        let src = r#"system {
+            connector c { channel single_slot; send s: syn_blocking; recv r: blocking; }
+            component x {
+                var d = 0; var st = 0; var t = 0;
+                state a, b;
+                end b;
+                from a receive r status st tag 5 into d tagvar t goto b;
+            }
+        }"#;
+        let ast = parse_system(src).unwrap();
+        let ActionAst::Receive {
+            selective,
+            into,
+            status,
+            tagvar,
+            ..
+        } = &ast.components[0].stmts[0].action
+        else {
+            panic!("expected receive");
+        };
+        assert!(selective.is_some());
+        assert_eq!(into.as_deref(), Some("d"));
+        assert_eq!(status.as_deref(), Some("st"));
+        assert_eq!(tagvar.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn error_positions_are_meaningful() {
+        let err = parse_system("system {\n  widget w;\n}").unwrap_err();
+        assert_eq!(err.pos().line, 2);
+        let err = parse_system("system { connector c { } component x { state a; end a; } }").unwrap_err();
+        assert!(err.to_string().contains("no channel"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_channel() {
+        let src = "system { connector c { channel single_slot; channel fifo(2); send s: syn_blocking; recv r: blocking; } component x { state a; end a; } }";
+        assert!(parse_system(src).unwrap_err().to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_system("system { } extra").is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! Pretty-printer for the architecture-description language.
+//!
+//! [`SystemAst`] implements `Display`, producing canonical source text that
+//! re-parses to an equivalent AST (checked by the round-trip property
+//! tests). Useful for formatting specifications and for emitting specs
+//! generated programmatically.
+
+use std::fmt;
+
+use crate::ast::*;
+
+impl fmt::Display for ChannelAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelAst::SingleSlot => write!(f, "single_slot"),
+            ChannelAst::Fifo(n) => write!(f, "fifo({n})"),
+            ChannelAst::Priority(n) => write!(f, "priority({n})"),
+            ChannelAst::Dropping(n) => write!(f, "dropping({n})"),
+            ChannelAst::Sliding(n) => write!(f, "sliding({n})"),
+        }
+    }
+}
+
+impl fmt::Display for SendKindAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            SendKindAst::AsynNonblocking => "asyn_nonblocking",
+            SendKindAst::AsynBlocking => "asyn_blocking",
+            SendKindAst::AsynChecking => "asyn_checking",
+            SendKindAst::SynBlocking => "syn_blocking",
+            SendKindAst::SynChecking => "syn_checking",
+        };
+        write!(f, "{text}")
+    }
+}
+
+impl fmt::Display for RecvKindAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", if self.blocking { "blocking" } else { "nonblocking" })?;
+        if self.copy {
+            write!(f, " copy")?;
+        }
+        Ok(())
+    }
+}
+
+impl ExprAst {
+    fn precedence(&self) -> u8 {
+        match self {
+            ExprAst::Int(_) | ExprAst::Var(..) => 7,
+            ExprAst::Unary(..) => 6,
+            ExprAst::Binary(op, ..) => match op {
+                BinOp::Mul | BinOp::Div | BinOp::Rem => 5,
+                BinOp::Add | BinOp::Sub => 4,
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+                BinOp::And => 2,
+                BinOp::Or => 1,
+            },
+        }
+    }
+}
+
+impl fmt::Display for ExprAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Children at equal-or-looser precedence are parenthesized, which
+        // is conservative but guarantees a faithful re-parse.
+        let child = |f: &mut fmt::Formatter<'_>, parent: &ExprAst, e: &ExprAst| -> fmt::Result {
+            if e.precedence() <= parent.precedence() && !matches!(e, ExprAst::Int(_) | ExprAst::Var(..))
+            {
+                write!(f, "({e})")
+            } else {
+                write!(f, "{e}")
+            }
+        };
+        match self {
+            ExprAst::Int(v) => write!(f, "{v}"),
+            ExprAst::Var(name, _) => write!(f, "{name}"),
+            ExprAst::Unary(op, e) => {
+                write!(f, "{}", match op { UnOp::Neg => "-", UnOp::Not => "!" })?;
+                child(f, self, e)
+            }
+            ExprAst::Binary(op, a, b) => {
+                let symbol = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Rem => "%",
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::And => "&&",
+                    BinOp::Or => "||",
+                };
+                child(f, self, a)?;
+                write!(f, " {symbol} ")?;
+                child(f, self, b)
+            }
+        }
+    }
+}
+
+impl fmt::Display for StmtAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "from {}", self.from)?;
+        if let Some(guard) = &self.guard {
+            write!(f, " if {guard}")?;
+        }
+        match &self.action {
+            ActionAst::Skip => {}
+            ActionAst::Assign(assigns) => {
+                write!(f, " do ")?;
+                for (i, (name, value)) in assigns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name} = {value}")?;
+                }
+            }
+            ActionAst::Send {
+                port,
+                data,
+                tag,
+                status,
+            } => {
+                write!(f, " send {port}({data}")?;
+                if let Some(tag) = tag {
+                    write!(f, ", {tag}")?;
+                }
+                write!(f, ")")?;
+                if let Some(status) = status {
+                    write!(f, " status {status}")?;
+                }
+            }
+            ActionAst::Receive {
+                port,
+                selective,
+                into,
+                status,
+                tagvar,
+            } => {
+                write!(f, " receive {port}")?;
+                if let Some(tag) = selective {
+                    write!(f, " tag {tag}")?;
+                }
+                if let Some(into) = into {
+                    write!(f, " into {into}")?;
+                }
+                if let Some(status) = status {
+                    write!(f, " status {status}")?;
+                }
+                if let Some(tagvar) = tagvar {
+                    write!(f, " tagvar {tagvar}")?;
+                }
+            }
+            ActionAst::Assert(cond, message) => {
+                write!(f, " assert {cond} \"{message}\"")?;
+            }
+        }
+        write!(f, " goto {};", self.goto)
+    }
+}
+
+impl fmt::Display for SystemAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "system {{")?;
+        for (name, init, _) in &self.globals {
+            writeln!(f, "    global {name} = {init};")?;
+        }
+        for conn in &self.connectors {
+            writeln!(f, "    connector {} {{", conn.name)?;
+            writeln!(f, "        channel {};", conn.channel)?;
+            for (port, kind, _) in &conn.sends {
+                writeln!(f, "        send {port}: {kind};")?;
+            }
+            for (port, kind, _) in &conn.recvs {
+                writeln!(f, "        recv {port}: {kind};")?;
+            }
+            writeln!(f, "    }}")?;
+        }
+        for ev in &self.events {
+            writeln!(f, "    event {} {{", ev.name)?;
+            writeln!(f, "        capacity {};", ev.capacity)?;
+            for (port, kind, _) in &ev.publishers {
+                writeln!(f, "        publish {port}: {kind};")?;
+            }
+            for (port, kind, filter, _) in &ev.subscribers {
+                write!(f, "        subscribe {port}: {kind}")?;
+                if let Some(tag) = filter {
+                    write!(f, " tag {tag}")?;
+                }
+                writeln!(f, ";")?;
+            }
+            writeln!(f, "    }}")?;
+        }
+        for comp in &self.components {
+            writeln!(f, "    component {} {{", comp.name)?;
+            for (name, init, _) in &comp.vars {
+                writeln!(f, "        var {name} = {init};")?;
+            }
+            if !comp.states.is_empty() {
+                let names: Vec<&str> = comp.states.iter().map(|(n, _)| n.as_str()).collect();
+                writeln!(f, "        state {};", names.join(", "))?;
+            }
+            if let Some((init, _)) = &comp.init {
+                writeln!(f, "        init {init};")?;
+            }
+            if !comp.ends.is_empty() {
+                let names: Vec<&str> = comp.ends.iter().map(|(n, _)| n.as_str()).collect();
+                writeln!(f, "        end {};", names.join(", "))?;
+            }
+            for stmt in &comp.stmts {
+                writeln!(f, "        {stmt}")?;
+            }
+            writeln!(f, "    }}")?;
+        }
+        for prop in &self.properties {
+            match prop {
+                PropertyAst::Invariant { name, expr, .. } => {
+                    writeln!(f, "    property {name}: invariant {expr};")?;
+                }
+                PropertyAst::Ltl {
+                    name,
+                    formula,
+                    bindings,
+                    ..
+                } => {
+                    write!(f, "    property {name}: ltl \"{formula}\"")?;
+                    if !bindings.is_empty() {
+                        write!(f, " where ")?;
+                        for (i, (pname, expr)) in bindings.iter().enumerate() {
+                            if i > 0 {
+                                write!(f, ", ")?;
+                            }
+                            write!(f, "{pname} = {expr}")?;
+                        }
+                    }
+                    writeln!(f, ";")?;
+                }
+                PropertyAst::NoDeadlock { name, .. } => {
+                    writeln!(f, "    property {name}: no_deadlock;")?;
+                }
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_system;
+
+    /// Canonical form: printing is a fixpoint of parse-then-print.
+    #[test]
+    fn printing_is_stable_on_the_shipped_specs() {
+        for source in [
+            include_str!("../../../examples/specs/wire.pnp"),
+            include_str!("../../../examples/specs/bridge_buggy.pnp"),
+            include_str!("../../../examples/specs/priority_mail.pnp"),
+            include_str!("../../../examples/specs/newswire.pnp"),
+        ] {
+            let ast = parse_system(source).unwrap();
+            let printed = ast.to_string();
+            let reparsed = parse_system(&printed)
+                .unwrap_or_else(|e| panic!("printed form does not re-parse: {e}\n{printed}"));
+            assert_eq!(printed, reparsed.to_string());
+        }
+    }
+
+    #[test]
+    fn printed_expressions_preserve_precedence() {
+        let src = r#"system {
+            global a = 0; global b = 0; global c = 0;
+            component x { state s; end s; }
+            property p: invariant a + b * c == 0 || !(a < b && b < c);
+        }"#;
+        let ast = parse_system(src).unwrap();
+        let printed = ast.to_string();
+        let reparsed = parse_system(&printed).unwrap();
+        assert_eq!(printed, reparsed.to_string());
+        assert!(printed.contains("a + (b * c)") || printed.contains("a + b * c"), "{printed}");
+    }
+}

@@ -1,0 +1,238 @@
+//! Verification of compiled specifications and result reporting.
+
+use std::fmt;
+
+use pnp_kernel::{
+    Checker, KernelError, LtlOutcome, Predicate, Proposition, SafetyChecks, SafetyOutcome,
+};
+use pnp_ltl::Ltl;
+
+use crate::compile::ArchSpec;
+
+/// A compiled property, ready to check.
+#[derive(Debug, Clone)]
+pub enum PropertySpec {
+    /// An invariant over globals.
+    Invariant {
+        /// The property's name.
+        name: String,
+        /// The compiled predicate.
+        predicate: Predicate,
+    },
+    /// An LTL property with its proposition bindings.
+    Ltl {
+        /// The property's name.
+        name: String,
+        /// The parsed formula.
+        formula: Ltl,
+        /// The bound propositions.
+        props: Vec<Proposition>,
+    },
+    /// Absence of deadlock.
+    NoDeadlock {
+        /// The property's name.
+        name: String,
+    },
+}
+
+impl PropertySpec {
+    /// The property's name.
+    pub fn name(&self) -> &str {
+        match self {
+            PropertySpec::Invariant { name, .. }
+            | PropertySpec::Ltl { name, .. }
+            | PropertySpec::NoDeadlock { name } => name,
+        }
+    }
+}
+
+/// The verdict for one property of a specification.
+#[derive(Debug, Clone)]
+pub struct PropertyResult {
+    /// The property's name.
+    pub name: String,
+    /// Whether the property holds over the full state space.
+    pub holds: bool,
+    /// A one-line summary; for violations, includes the counterexample
+    /// rendered at the building-block level.
+    pub detail: String,
+    /// States explored while checking.
+    pub states: usize,
+}
+
+impl fmt::Display for PropertyResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<24} {} ({} states)",
+            self.name,
+            if self.holds { "HOLDS" } else { "VIOLATED" },
+            self.states
+        )
+    }
+}
+
+/// An error while verifying a specification (a broken model expression).
+#[derive(Debug, Clone)]
+pub struct VerifyError(pub KernelError);
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl ArchSpec {
+    /// Checks every declared property, in source order.
+    ///
+    /// Invariants and deadlock run the BFS safety search; LTL properties
+    /// run the nested-DFS search under weak fairness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] when the model itself fails to evaluate.
+    pub fn verify_all(&self) -> Result<Vec<PropertyResult>, VerifyError> {
+        let program = self.system().program();
+        let checker = Checker::new(program);
+        let mut results = Vec::new();
+        for prop in self.properties() {
+            let result = match prop {
+                PropertySpec::Invariant { name, predicate } => {
+                    let report = checker
+                        .check_safety(&SafetyChecks {
+                            deadlock: false,
+                            invariants: vec![(name.clone(), predicate.clone())],
+                        })
+                        .map_err(VerifyError)?;
+                    let (holds, detail) = match report.outcome {
+                        SafetyOutcome::Holds => (true, "invariant holds".to_string()),
+                        SafetyOutcome::InvariantViolated { trace, .. } => (
+                            false,
+                            format!(
+                                "invariant violated after {} steps:\n{}",
+                                trace.len(),
+                                self.system().explain_trace(&trace)
+                            ),
+                        ),
+                        SafetyOutcome::AssertionFailed { message, trace } => (
+                            false,
+                            format!(
+                                "assertion '{message}' failed after {} steps:\n{}",
+                                trace.len(),
+                                self.system().explain_trace(&trace)
+                            ),
+                        ),
+                        SafetyOutcome::Deadlock { trace } => (
+                            false,
+                            format!(
+                                "deadlock after {} steps:\n{}",
+                                trace.len(),
+                                self.system().explain_trace(&trace)
+                            ),
+                        ),
+                    };
+                    PropertyResult {
+                        name: name.clone(),
+                        holds,
+                        detail,
+                        states: report.stats.unique_states,
+                    }
+                }
+                PropertySpec::NoDeadlock { name } => {
+                    let report = checker
+                        .check_safety(&SafetyChecks::deadlock_only())
+                        .map_err(VerifyError)?;
+                    let (holds, detail) = match report.outcome {
+                        SafetyOutcome::Holds => (true, "no deadlock".to_string()),
+                        SafetyOutcome::Deadlock { trace } => (
+                            false,
+                            format!(
+                                "deadlock after {} steps:\n{}",
+                                trace.len(),
+                                self.system().explain_trace(&trace)
+                            ),
+                        ),
+                        SafetyOutcome::AssertionFailed { message, trace } => (
+                            false,
+                            format!(
+                                "assertion '{message}' failed after {} steps:\n{}",
+                                trace.len(),
+                                self.system().explain_trace(&trace)
+                            ),
+                        ),
+                        other => (false, format!("{other:?}")),
+                    };
+                    PropertyResult {
+                        name: name.clone(),
+                        holds,
+                        detail,
+                        states: report.stats.unique_states,
+                    }
+                }
+                PropertySpec::Ltl {
+                    name,
+                    formula,
+                    props,
+                } => {
+                    let report = checker.check_ltl(formula, props).map_err(VerifyError)?;
+                    let (holds, detail) = match report.outcome {
+                        LtlOutcome::Holds => {
+                            (true, "LTL property holds (weak fairness)".to_string())
+                        }
+                        LtlOutcome::Violated { prefix, cycle } => (
+                            false,
+                            format!(
+                                "violated by a lasso ({}-step prefix, {}-step cycle):\n{}  -- cycle --\n{}",
+                                prefix.len(),
+                                cycle.len(),
+                                self.system().explain_trace(&prefix),
+                                self.system().explain_trace(&cycle)
+                            ),
+                        ),
+                    };
+                    PropertyResult {
+                        name: name.clone(),
+                        holds,
+                        detail,
+                        states: report.stats.unique_states,
+                    }
+                }
+            };
+            results.push(result);
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+
+    #[test]
+    fn verify_all_reports_every_property() {
+        let spec = compile(
+            r#"system {
+                global x = 0;
+                component c {
+                    state a, b;
+                    end b;
+                    from a do x = 1 goto b;
+                }
+                property stays_small: invariant x <= 1;
+                property reaches_one: ltl "<> one" where one = x == 1;
+                property live: no_deadlock;
+                property wrong: invariant x == 0;
+            }"#,
+        )
+        .unwrap();
+        let results = spec.verify_all().unwrap();
+        assert_eq!(results.len(), 4);
+        assert!(results[0].holds);
+        assert!(results[1].holds);
+        assert!(results[2].holds);
+        assert!(!results[3].holds);
+        assert!(results[3].detail.contains("component c"), "{}", results[3].detail);
+    }
+}

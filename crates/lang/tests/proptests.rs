@@ -1,0 +1,131 @@
+//! Property-based tests for the architecture-description language:
+//! randomly generated specifications survive a print -> parse -> print
+//! round trip, and random garbage never panics the front end.
+
+use proptest::prelude::*;
+
+/// A tiny pool of identifiers so cross-references resolve.
+fn ident() -> impl Strategy<Value = String> {
+    proptest::sample::select(vec![
+        "alpha".to_string(),
+        "beta".to_string(),
+        "gamma".to_string(),
+        "delta_1".to_string(),
+        "x".to_string(),
+    ])
+}
+
+fn expr_text() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (-50i32..50).prop_map(|v| v.to_string()),
+        ident(),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} == {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} && {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} || {b})")),
+            inner.prop_map(|a| format!("!({a})")),
+        ]
+    })
+}
+
+/// Generates source text for a random but *valid* specification: globals
+/// named by the identifier pool, one connector, one component whose guards
+/// reference globals and whose own variable pool matches.
+fn spec_source() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(ident(), 1..4),
+        expr_text(),
+        expr_text(),
+        prop_oneof![
+            Just("single_slot"),
+            Just("fifo(2)"),
+            Just("priority(2)"),
+            Just("dropping(1)"),
+            Just("sliding(2)")
+        ],
+        prop_oneof![
+            Just("asyn_nonblocking"),
+            Just("asyn_blocking"),
+            Just("syn_blocking")
+        ],
+        prop_oneof![Just("blocking"), Just("nonblocking copy")],
+    )
+        .prop_map(|(globals, guard, inv, channel, send, recv)| {
+            let mut names: Vec<String> = globals;
+            names.sort();
+            names.dedup();
+            let global_decls: String = names
+                .iter()
+                .map(|n| format!("    global {n} = 0;\n"))
+                .collect();
+            // Declare every pool identifier as a global so random
+            // expressions always resolve.
+            let mut all = vec!["alpha", "beta", "gamma", "delta_1", "x"];
+            all.retain(|n| !names.iter().any(|g| g == n));
+            let extra: String = all
+                .iter()
+                .map(|n| format!("    global {n} = 0;\n"))
+                .collect();
+            let body = [
+                "    connector wire {",
+                &format!("        channel {channel};"),
+                &format!("        send tx: {send};"),
+                &format!("        recv rx: {recv};"),
+                "    }",
+                "    component writer {",
+                "        state s0, s1;",
+                "        end s1;",
+                &format!("        from s0 if {guard} send tx(1, 0) goto s1;"),
+                &format!("        from s0 if !({guard}) goto s1;"),
+                "    }",
+                "    component reader {",
+                "        var got = 0;",
+                "        state r0, r1;",
+                "        end r1;",
+                "        from r0 receive rx into got goto r1;",
+                "        from r0 goto r1;",
+                "    }",
+                &format!("    property inv: invariant ({inv}) || 1 == 1;"),
+                "    property live: no_deadlock;",
+                "}",
+            ]
+            .join("\n");
+            format!("system {{\n{global_decls}{extra}{body}")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Valid random specs parse, and printing reaches a fixpoint after one
+    /// parse -> print cycle.
+    #[test]
+    fn print_parse_round_trip(source in spec_source()) {
+        let ast = pnp_lang::parse_system(&source)
+            .unwrap_or_else(|e| panic!("generated spec does not parse: {e}\n{source}"));
+        let printed = ast.to_string();
+        let reparsed = pnp_lang::parse_system(&printed)
+            .unwrap_or_else(|e| panic!("printed form does not re-parse: {e}\n{printed}"));
+        prop_assert_eq!(printed, reparsed.to_string());
+    }
+
+    /// Valid random specs also compile and verify without panicking; the
+    /// tautological invariant always holds.
+    #[test]
+    fn random_specs_compile_and_verify(source in spec_source()) {
+        let spec = pnp_lang::compile(&source)
+            .unwrap_or_else(|e| panic!("generated spec does not compile: {e}\n{source}"));
+        let results = spec.verify_all().unwrap();
+        prop_assert!(results[0].holds, "tautology violated?!");
+    }
+
+    /// Arbitrary byte soup must produce an error, never a panic.
+    #[test]
+    fn garbage_never_panics(source in "[ -~\\n]{0,200}") {
+        let _ = pnp_lang::compile(&source);
+    }
+}

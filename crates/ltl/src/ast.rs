@@ -1,0 +1,322 @@
+//! Abstract syntax tree for linear temporal logic formulas.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A linear temporal logic formula.
+///
+/// Atomic propositions are identified by name; the model-checking kernel
+/// resolves names to state predicates when a property is checked. Formulas
+/// are immutable and cheaply cloneable (subterms are reference-counted).
+///
+/// # Example
+///
+/// ```
+/// use pnp_ltl::Ltl;
+///
+/// let safety = Ltl::globally(Ltl::prop("mutex").implies(Ltl::not(Ltl::prop("crash"))));
+/// assert_eq!(safety.to_string(), "[] (mutex -> ! crash)");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Ltl {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// An atomic proposition, referenced by name.
+    Prop(Arc<str>),
+    /// Logical negation.
+    Not(Arc<Ltl>),
+    /// Logical conjunction.
+    And(Arc<Ltl>, Arc<Ltl>),
+    /// Logical disjunction.
+    Or(Arc<Ltl>, Arc<Ltl>),
+    /// Implication (sugar; rewritten away by [`Ltl::nnf`]).
+    Implies(Arc<Ltl>, Arc<Ltl>),
+    /// Bi-implication (sugar; rewritten away by [`Ltl::nnf`]).
+    Iff(Arc<Ltl>, Arc<Ltl>),
+    /// The *next* operator `X p`.
+    Next(Arc<Ltl>),
+    /// The *until* operator `p U q`.
+    Until(Arc<Ltl>, Arc<Ltl>),
+    /// The *release* operator `p R q` (dual of until).
+    Release(Arc<Ltl>, Arc<Ltl>),
+    /// The *weak until* operator `p W q` (sugar; rewritten by [`Ltl::nnf`]).
+    WeakUntil(Arc<Ltl>, Arc<Ltl>),
+    /// The *eventually* operator `<> p` (sugar for `true U p`).
+    Eventually(Arc<Ltl>),
+    /// The *always* operator `[] p` (sugar for `false R p`).
+    Globally(Arc<Ltl>),
+}
+
+impl Ltl {
+    /// Creates an atomic proposition with the given name.
+    pub fn prop(name: impl AsRef<str>) -> Ltl {
+        Ltl::Prop(Arc::from(name.as_ref()))
+    }
+
+    /// Creates the negation `! p` (also available as the `!` operator).
+    #[allow(clippy::should_implement_trait)] // `std::ops::Not` is implemented too
+    pub fn not(p: Ltl) -> Ltl {
+        Ltl::Not(Arc::new(p))
+    }
+
+    /// Creates the conjunction `p && q`.
+    pub fn and(p: Ltl, q: Ltl) -> Ltl {
+        Ltl::And(Arc::new(p), Arc::new(q))
+    }
+
+    /// Creates the disjunction `p || q`.
+    pub fn or(p: Ltl, q: Ltl) -> Ltl {
+        Ltl::Or(Arc::new(p), Arc::new(q))
+    }
+
+    /// Creates the implication `self -> q`.
+    pub fn implies(self, q: Ltl) -> Ltl {
+        Ltl::Implies(Arc::new(self), Arc::new(q))
+    }
+
+    /// Creates the bi-implication `self <-> q`.
+    pub fn iff(self, q: Ltl) -> Ltl {
+        Ltl::Iff(Arc::new(self), Arc::new(q))
+    }
+
+    /// Creates `X p`: `p` holds in the next state.
+    pub fn next(p: Ltl) -> Ltl {
+        Ltl::Next(Arc::new(p))
+    }
+
+    /// Creates `p U q`: `q` eventually holds and `p` holds until then.
+    pub fn until(p: Ltl, q: Ltl) -> Ltl {
+        Ltl::Until(Arc::new(p), Arc::new(q))
+    }
+
+    /// Creates `p R q`: `q` holds up to and including the first state where
+    /// `p` holds (or forever, if `p` never holds).
+    pub fn release(p: Ltl, q: Ltl) -> Ltl {
+        Ltl::Release(Arc::new(p), Arc::new(q))
+    }
+
+    /// Creates `p W q`: like `p U q` but `q` is not required to ever hold.
+    pub fn weak_until(p: Ltl, q: Ltl) -> Ltl {
+        Ltl::WeakUntil(Arc::new(p), Arc::new(q))
+    }
+
+    /// Creates `<> p`: `p` eventually holds.
+    pub fn eventually(p: Ltl) -> Ltl {
+        Ltl::Eventually(Arc::new(p))
+    }
+
+    /// Creates `[] p`: `p` holds in every state.
+    pub fn globally(p: Ltl) -> Ltl {
+        Ltl::Globally(Arc::new(p))
+    }
+
+    /// Returns the negation of this formula.
+    ///
+    /// Model checking verifies a property `phi` by searching for an accepting
+    /// run of the automaton for `! phi`, so this is typically the first step
+    /// of a verification query.
+    pub fn negated(&self) -> Ltl {
+        Ltl::Not(Arc::new(self.clone()))
+    }
+
+    /// Collects the names of all atomic propositions in the formula, in
+    /// first-occurrence order and without duplicates.
+    ///
+    /// ```
+    /// use pnp_ltl::parse;
+    /// let f = parse("[] (p -> <> (q && p))").unwrap();
+    /// assert_eq!(f.propositions(), ["p", "q"]);
+    /// ```
+    pub fn propositions(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_props(&mut out);
+        out
+    }
+
+    fn collect_props(&self, out: &mut Vec<String>) {
+        match self {
+            Ltl::True | Ltl::False => {}
+            Ltl::Prop(name) => {
+                if !out.iter().any(|n| n.as_str() == name.as_ref()) {
+                    out.push(name.to_string());
+                }
+            }
+            Ltl::Not(p) | Ltl::Next(p) | Ltl::Eventually(p) | Ltl::Globally(p) => {
+                p.collect_props(out)
+            }
+            Ltl::And(p, q)
+            | Ltl::Or(p, q)
+            | Ltl::Implies(p, q)
+            | Ltl::Iff(p, q)
+            | Ltl::Until(p, q)
+            | Ltl::Release(p, q)
+            | Ltl::WeakUntil(p, q) => {
+                p.collect_props(out);
+                q.collect_props(out);
+            }
+        }
+    }
+
+    /// Returns the number of AST nodes in the formula (a rough size measure
+    /// used by benchmarks and tests).
+    pub fn size(&self) -> usize {
+        match self {
+            Ltl::True | Ltl::False | Ltl::Prop(_) => 1,
+            Ltl::Not(p) | Ltl::Next(p) | Ltl::Eventually(p) | Ltl::Globally(p) => 1 + p.size(),
+            Ltl::And(p, q)
+            | Ltl::Or(p, q)
+            | Ltl::Implies(p, q)
+            | Ltl::Iff(p, q)
+            | Ltl::Until(p, q)
+            | Ltl::Release(p, q)
+            | Ltl::WeakUntil(p, q) => 1 + p.size() + q.size(),
+        }
+    }
+
+    fn precedence(&self) -> u8 {
+        match self {
+            Ltl::True | Ltl::False | Ltl::Prop(_) => 6,
+            Ltl::Not(_) | Ltl::Next(_) | Ltl::Eventually(_) | Ltl::Globally(_) => 5,
+            Ltl::Until(..) | Ltl::Release(..) | Ltl::WeakUntil(..) => 4,
+            Ltl::And(..) => 3,
+            Ltl::Or(..) => 2,
+            Ltl::Implies(..) | Ltl::Iff(..) => 1,
+        }
+    }
+
+    fn fmt_child(&self, child: &Ltl, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Parenthesize when the child binds looser than (or, for binary
+        // operators, as loose as) the parent; the printed form re-parses to
+        // the same AST, which the proptest round-trip test relies on.
+        if child.precedence() <= self.precedence() && !matches!(child, Ltl::True | Ltl::False | Ltl::Prop(_))
+        {
+            write!(f, "({child})")
+        } else {
+            write!(f, "{child}")
+        }
+    }
+}
+
+impl std::ops::Not for Ltl {
+    type Output = Ltl;
+
+    fn not(self) -> Ltl {
+        Ltl::Not(Arc::new(self))
+    }
+}
+
+impl fmt::Display for Ltl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ltl::True => write!(f, "true"),
+            Ltl::False => write!(f, "false"),
+            Ltl::Prop(name) => write!(f, "{name}"),
+            Ltl::Not(p) => {
+                write!(f, "! ")?;
+                self.fmt_child(p, f)
+            }
+            Ltl::Next(p) => {
+                write!(f, "X ")?;
+                self.fmt_child(p, f)
+            }
+            Ltl::Eventually(p) => {
+                write!(f, "<> ")?;
+                self.fmt_child(p, f)
+            }
+            Ltl::Globally(p) => {
+                write!(f, "[] ")?;
+                self.fmt_child(p, f)
+            }
+            Ltl::And(p, q) => {
+                self.fmt_child(p, f)?;
+                write!(f, " && ")?;
+                self.fmt_child(q, f)
+            }
+            Ltl::Or(p, q) => {
+                self.fmt_child(p, f)?;
+                write!(f, " || ")?;
+                self.fmt_child(q, f)
+            }
+            Ltl::Implies(p, q) => {
+                self.fmt_child(p, f)?;
+                write!(f, " -> ")?;
+                self.fmt_child(q, f)
+            }
+            Ltl::Iff(p, q) => {
+                self.fmt_child(p, f)?;
+                write!(f, " <-> ")?;
+                self.fmt_child(q, f)
+            }
+            Ltl::Until(p, q) => {
+                self.fmt_child(p, f)?;
+                write!(f, " U ")?;
+                self.fmt_child(q, f)
+            }
+            Ltl::Release(p, q) => {
+                self.fmt_child(p, f)?;
+                write!(f, " R ")?;
+                self.fmt_child(q, f)
+            }
+            Ltl::WeakUntil(p, q) => {
+                self.fmt_child(p, f)?;
+                write!(f, " W ")?;
+                self.fmt_child(q, f)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Ltl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ltl({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_spin_syntax() {
+        let f = Ltl::globally(Ltl::prop("req").implies(Ltl::eventually(Ltl::prop("ack"))));
+        assert_eq!(f.to_string(), "[] (req -> <> ack)");
+    }
+
+    #[test]
+    fn display_parenthesizes_mixed_binary_operators() {
+        let f = Ltl::or(Ltl::and(Ltl::prop("a"), Ltl::prop("b")), Ltl::prop("c"));
+        assert_eq!(f.to_string(), "a && b || c");
+        let g = Ltl::and(Ltl::prop("a"), Ltl::or(Ltl::prop("b"), Ltl::prop("c")));
+        assert_eq!(g.to_string(), "a && (b || c)");
+    }
+
+    #[test]
+    fn propositions_deduplicates_in_order() {
+        let f = Ltl::until(
+            Ltl::prop("b"),
+            Ltl::and(Ltl::prop("a"), Ltl::prop("b")),
+        );
+        assert_eq!(f.propositions(), ["b", "a"]);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Ltl::True.size(), 1);
+        let f = Ltl::globally(Ltl::prop("p").implies(Ltl::prop("q")));
+        assert_eq!(f.size(), 4);
+    }
+
+    #[test]
+    fn negated_wraps_in_not() {
+        let f = Ltl::prop("p");
+        assert_eq!(f.negated(), Ltl::not(Ltl::prop("p")));
+    }
+
+    #[test]
+    fn nested_unary_operators_display() {
+        let f = Ltl::globally(Ltl::eventually(Ltl::prop("p")));
+        assert_eq!(f.to_string(), "[] (<> p)");
+    }
+}

@@ -1,0 +1,815 @@
+//! Translation of LTL formulas to Büchi automata.
+//!
+//! The construction follows Gerth, Peled, Vardi, and Wolper's on-the-fly
+//! tableau algorithm ("Simple on-the-fly automatic verification of linear
+//! temporal logic", PSTV 1995):
+//!
+//! 1. the formula is rewritten to negation normal form ([`crate::Ltl::nnf`]);
+//! 2. tableau nodes are expanded into a *generalized* Büchi automaton whose
+//!    acceptance sets correspond to the `U`-subformulas;
+//! 3. the generalized automaton is degeneralized with the usual counter
+//!    construction into an ordinary Büchi automaton.
+//!
+//! The resulting automaton is transition-labeled: each transition carries a
+//! conjunction of [`Literal`]s over the formula's atomic propositions and is
+//! taken while *reading* the label of the state being entered. State `0` is
+//! always the unique initial state.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::Ltl;
+
+/// A positive or negated atomic proposition, as used in transition labels.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    /// The proposition name.
+    pub prop: Arc<str>,
+    /// `true` for `p`, `false` for `! p`.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// Creates a positive literal for `prop`.
+    pub fn pos(prop: impl AsRef<str>) -> Literal {
+        Literal {
+            prop: Arc::from(prop.as_ref()),
+            positive: true,
+        }
+    }
+
+    /// Creates a negative literal for `prop`.
+    pub fn neg(prop: impl AsRef<str>) -> Literal {
+        Literal {
+            prop: Arc::from(prop.as_ref()),
+            positive: false,
+        }
+    }
+
+    /// Evaluates the literal under a truth assignment.
+    pub fn holds(&self, assignment: &dyn Fn(&str) -> bool) -> bool {
+        assignment(&self.prop) == self.positive
+    }
+}
+
+/// One transition of a [`Buchi`] automaton.
+///
+/// The transition may be taken when every literal in `label` holds in the
+/// state being read; an empty label is the constant `true`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuchiTransition {
+    /// Conjunction of literals guarding the transition.
+    pub label: Vec<Literal>,
+    /// Target state index.
+    pub target: usize,
+}
+
+impl BuchiTransition {
+    /// Returns `true` if the label holds under the given truth assignment.
+    pub fn enabled(&self, assignment: &dyn Fn(&str) -> bool) -> bool {
+        self.label.iter().all(|lit| lit.holds(assignment))
+    }
+}
+
+/// A (nondeterministic) Büchi automaton over truth assignments of named
+/// propositions.
+///
+/// State `0` is the unique initial state. A run is accepting if it visits an
+/// accepting state infinitely often. Produced by [`translate`].
+#[derive(Debug, Clone)]
+pub struct Buchi {
+    transitions: Vec<Vec<BuchiTransition>>,
+    accepting: Vec<bool>,
+}
+
+impl Buchi {
+    /// The number of states, including the initial state `0`.
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The index of the initial state (always `0`).
+    pub fn initial(&self) -> usize {
+        0
+    }
+
+    /// The transitions leaving `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn transitions_from(&self, state: usize) -> &[BuchiTransition] {
+        &self.transitions[state]
+    }
+
+    /// Whether `state` is accepting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accepting[state]
+    }
+
+    /// The total number of transitions (a size measure for benchmarks).
+    pub fn transition_count(&self) -> usize {
+        self.transitions.iter().map(Vec::len).sum()
+    }
+
+    /// Removes transitions into states that cannot contribute to any
+    /// accepting run (states from which no accepting cycle is reachable),
+    /// and deduplicates identical transitions — the standard never-claim
+    /// pruning, which shrinks the product the model checker explores.
+    ///
+    /// States are kept in place (indices stay stable); useless states
+    /// simply end up with no incoming or outgoing transitions.
+    fn prune(&mut self) {
+        let n = self.state_count();
+        // 1. States on an accepting cycle: an accepting state that can
+        //    reach itself.
+        let reachable_from = |start: usize, transitions: &Vec<Vec<BuchiTransition>>| -> Vec<bool> {
+            let mut seen = vec![false; n];
+            let mut stack: Vec<usize> = transitions[start].iter().map(|t| t.target).collect();
+            while let Some(v) = stack.pop() {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.extend(transitions[v].iter().map(|t| t.target));
+                }
+            }
+            seen
+        };
+        let mut on_accepting_cycle = vec![false; n];
+        for (state, flag) in on_accepting_cycle.iter_mut().enumerate() {
+            if self.accepting[state] && reachable_from(state, &self.transitions)[state] {
+                *flag = true;
+            }
+        }
+        // 2. States that can reach an accepting cycle (backward closure).
+        let mut useful = on_accepting_cycle;
+        loop {
+            let mut changed = false;
+            for state in 0..n {
+                if useful[state] {
+                    continue;
+                }
+                if self.transitions[state].iter().any(|t| useful[t.target]) {
+                    useful[state] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // 3. Drop transitions into useless states; dedup the rest.
+        for outgoing in &mut self.transitions {
+            outgoing.retain(|t| useful[t.target]);
+            outgoing.sort_by(|a, b| (a.target, &a.label).cmp(&(b.target, &b.label)));
+            outgoing.dedup();
+        }
+    }
+
+    /// Renders the automaton in Graphviz dot format, for debugging.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph buchi {\n  rankdir=LR;\n");
+        for state in 0..self.state_count() {
+            let shape = if self.accepting[state] {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let _ = writeln!(out, "  s{state} [shape={shape}];");
+        }
+        for (source, outgoing) in self.transitions.iter().enumerate() {
+            for t in outgoing {
+                let label = if t.label.is_empty() {
+                    "true".to_string()
+                } else {
+                    t.label
+                        .iter()
+                        .map(|lit| {
+                            if lit.positive {
+                                lit.prop.to_string()
+                            } else {
+                                format!("!{}", lit.prop)
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" & ")
+                };
+                let _ = writeln!(out, "  s{source} -> s{} [label=\"{label}\"];", t.target);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Interned representation of core-NNF formulas so tableau nodes can use
+/// integer sets.
+struct FormulaTable {
+    formulas: Vec<Core>,
+    index: HashMap<Core, u32>,
+}
+
+/// Core NNF formula with children as table indices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Core {
+    True,
+    False,
+    Pos(Arc<str>),
+    Neg(Arc<str>),
+    And(u32, u32),
+    Or(u32, u32),
+    Next(u32),
+    Until(u32, u32),
+    Release(u32, u32),
+}
+
+impl FormulaTable {
+    fn new() -> FormulaTable {
+        FormulaTable {
+            formulas: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    fn intern(&mut self, core: Core) -> u32 {
+        if let Some(&id) = self.index.get(&core) {
+            return id;
+        }
+        let id = self.formulas.len() as u32;
+        self.formulas.push(core.clone());
+        self.index.insert(core, id);
+        id
+    }
+
+    fn intern_ltl(&mut self, f: &Ltl) -> u32 {
+        let core = match f {
+            Ltl::True => Core::True,
+            Ltl::False => Core::False,
+            Ltl::Prop(name) => Core::Pos(name.clone()),
+            Ltl::Not(inner) => match inner.as_ref() {
+                Ltl::Prop(name) => Core::Neg(name.clone()),
+                other => unreachable!("non-NNF negation of {other}"),
+            },
+            Ltl::And(p, q) => Core::And(self.intern_ltl(p), self.intern_ltl(q)),
+            Ltl::Or(p, q) => Core::Or(self.intern_ltl(p), self.intern_ltl(q)),
+            Ltl::Next(p) => Core::Next(self.intern_ltl(p)),
+            Ltl::Until(p, q) => Core::Until(self.intern_ltl(p), self.intern_ltl(q)),
+            Ltl::Release(p, q) => Core::Release(self.intern_ltl(p), self.intern_ltl(q)),
+            other => unreachable!("non-core operator {other} survived NNF"),
+        };
+        self.intern(core)
+    }
+
+    fn get(&self, id: u32) -> &Core {
+        &self.formulas[id as usize]
+    }
+
+    /// The id of the contradiction of a literal, if the literal's dual has
+    /// been interned (used for early pruning).
+    fn negation_of_literal(&mut self, id: u32) -> Option<u32> {
+        match self.get(id).clone() {
+            Core::Pos(name) => Some(self.intern(Core::Neg(name))),
+            Core::Neg(name) => Some(self.intern(Core::Pos(name))),
+            _ => None,
+        }
+    }
+}
+
+/// A tableau node in the GPVW construction.
+#[derive(Debug, Clone)]
+struct Node {
+    incoming: BTreeSet<usize>,
+    new: BTreeSet<u32>,
+    old: BTreeSet<u32>,
+    next: BTreeSet<u32>,
+}
+
+/// Sentinel "incoming" marker for initial nodes.
+const INIT: usize = usize::MAX;
+
+struct Tableau {
+    table: FormulaTable,
+    /// Completed nodes (old/new exhausted); index = node id.
+    nodes: Vec<Node>,
+}
+
+impl Tableau {
+    fn expand(&mut self, mut node: Node) {
+        let Some(&eta) = node.new.iter().next() else {
+            // New is exhausted: merge with an existing equivalent node or
+            // record a fresh one and expand its successor obligations.
+            for existing in self.nodes.iter_mut() {
+                if existing.old == node.old && existing.next == node.next {
+                    existing.incoming.extend(node.incoming.iter().copied());
+                    return;
+                }
+            }
+            let id = self.nodes.len();
+            self.nodes.push(node.clone());
+            let successor = Node {
+                incoming: BTreeSet::from([id]),
+                new: node.next.clone(),
+                old: BTreeSet::new(),
+                next: BTreeSet::new(),
+            };
+            self.expand(successor);
+            return;
+        };
+        node.new.remove(&eta);
+        match self.table.get(eta).clone() {
+            Core::False => { /* contradiction: drop this node */ }
+            Core::True => {
+                node.old.insert(eta);
+                self.expand(node);
+            }
+            Core::Pos(_) | Core::Neg(_) => {
+                let negation = self.table.negation_of_literal(eta);
+                if negation.is_some_and(|n| node.old.contains(&n)) {
+                    return; // contradictory literal set: drop
+                }
+                node.old.insert(eta);
+                self.expand(node);
+            }
+            Core::And(p, q) => {
+                node.old.insert(eta);
+                for sub in [p, q] {
+                    if !node.old.contains(&sub) {
+                        node.new.insert(sub);
+                    }
+                }
+                self.expand(node);
+            }
+            Core::Or(p, q) => {
+                node.old.insert(eta);
+                let mut left = node.clone();
+                if !left.old.contains(&p) {
+                    left.new.insert(p);
+                }
+                let mut right = node;
+                if !right.old.contains(&q) {
+                    right.new.insert(q);
+                }
+                self.expand(left);
+                self.expand(right);
+            }
+            Core::Next(p) => {
+                node.old.insert(eta);
+                node.next.insert(p);
+                self.expand(node);
+            }
+            Core::Until(p, q) => {
+                // p U q  ==  q || (p && X(p U q))
+                node.old.insert(eta);
+                let mut left = node.clone();
+                if !left.old.contains(&p) {
+                    left.new.insert(p);
+                }
+                left.next.insert(eta);
+                let mut right = node;
+                if !right.old.contains(&q) {
+                    right.new.insert(q);
+                }
+                self.expand(left);
+                self.expand(right);
+            }
+            Core::Release(p, q) => {
+                // p R q  ==  (p && q) || (q && X(p R q))
+                node.old.insert(eta);
+                let mut left = node.clone();
+                if !left.old.contains(&q) {
+                    left.new.insert(q);
+                }
+                left.next.insert(eta);
+                let mut right = node;
+                for sub in [p, q] {
+                    if !right.old.contains(&sub) {
+                        right.new.insert(sub);
+                    }
+                }
+                self.expand(left);
+                self.expand(right);
+            }
+        }
+    }
+}
+
+/// Translates an LTL formula into an equivalent Büchi automaton.
+///
+/// The formula is first rewritten to negation normal form; the automaton
+/// accepts exactly the infinite words (sequences of truth assignments over
+/// the formula's propositions) that satisfy the formula.
+///
+/// Note that a model checker verifies `phi` by translating `! phi` (see
+/// [`crate::Ltl::negated`]) and searching the product for accepting cycles.
+///
+/// # Example
+///
+/// ```
+/// use pnp_ltl::{parse, translate};
+/// let automaton = translate(&parse("[] <> tick")?);
+/// assert!(automaton.state_count() >= 2);
+/// # Ok::<(), pnp_ltl::ParseError>(())
+/// ```
+pub fn translate(formula: &Ltl) -> Buchi {
+    let nnf = formula.nnf();
+    let mut table = FormulaTable::new();
+    let root = table.intern_ltl(&nnf);
+
+    let mut tableau = Tableau {
+        table,
+        nodes: Vec::new(),
+    };
+    let initial = Node {
+        incoming: BTreeSet::from([INIT]),
+        new: BTreeSet::from([root]),
+        old: BTreeSet::new(),
+        next: BTreeSet::new(),
+    };
+    tableau.expand(initial);
+
+    // Collect the U-subformulas that define the generalized acceptance sets.
+    let until_ids: Vec<u32> = tableau
+        .table
+        .formulas
+        .iter()
+        .enumerate()
+        .filter_map(|(id, core)| matches!(core, Core::Until(..)).then_some(id as u32))
+        .collect();
+
+    // Node labels: the literals in Old.
+    let labels: Vec<Vec<Literal>> = tableau
+        .nodes
+        .iter()
+        .map(|node| {
+            let mut literals: Vec<Literal> = node
+                .old
+                .iter()
+                .filter_map(|&id| match tableau.table.get(id) {
+                    Core::Pos(name) => Some(Literal {
+                        prop: name.clone(),
+                        positive: true,
+                    }),
+                    Core::Neg(name) => Some(Literal {
+                        prop: name.clone(),
+                        positive: false,
+                    }),
+                    _ => None,
+                })
+                .collect();
+            literals.sort();
+            literals
+        })
+        .collect();
+
+    // Membership of node n in generalized acceptance set j:
+    // (p U q) not in Old(n), or q in Old(n).
+    let in_acceptance_set = |node: &Node, j: usize| -> bool {
+        let until = until_ids[j];
+        if !node.old.contains(&until) {
+            return true;
+        }
+        match tableau.table.get(until) {
+            Core::Until(_, q) => node.old.contains(q),
+            _ => unreachable!(),
+        }
+    };
+
+    // Degeneralize with the counter construction. BA states are (node,
+    // counter) pairs plus a fresh initial state 0; counter k (== number of
+    // acceptance sets) marks accepting states and resets to 0.
+    let k = until_ids.len();
+    let n_nodes = tableau.nodes.len();
+    let next_counter = |counter: usize, target_node: usize| -> usize {
+        let mut c = if counter == k { 0 } else { counter };
+        while c < k && in_acceptance_set(&tableau.nodes[target_node], c) {
+            c += 1;
+        }
+        c
+    };
+
+    // Lazily discover reachable (node, counter) pairs.
+    let mut state_index: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut order: Vec<(usize, usize)> = Vec::new();
+    let intern_state = |pair: (usize, usize),
+                            order: &mut Vec<(usize, usize)>,
+                            state_index: &mut HashMap<(usize, usize), usize>|
+     -> usize {
+        *state_index.entry(pair).or_insert_with(|| {
+            order.push(pair);
+            // State 0 is the fresh initial state, so product states start at 1.
+            order.len()
+        })
+    };
+
+    let mut transitions: Vec<Vec<BuchiTransition>> = vec![Vec::new()];
+    let mut worklist: Vec<usize> = Vec::new();
+
+    // Initial transitions: into every node whose incoming set contains INIT.
+    for (node_id, node) in tableau.nodes.iter().enumerate() {
+        if node.incoming.contains(&INIT) {
+            let counter = next_counter(0, node_id);
+            let target = intern_state((node_id, counter), &mut order, &mut state_index);
+            if target == transitions.len() {
+                transitions.push(Vec::new());
+                worklist.push(target);
+            }
+            transitions[0].push(BuchiTransition {
+                label: labels[node_id].clone(),
+                target,
+            });
+        }
+    }
+
+    // Successor transitions: node m follows node n iff n is in m.incoming.
+    while let Some(state) = worklist.pop() {
+        let (node_id, counter) = order[state - 1];
+        #[allow(clippy::needless_range_loop)] // index drives three parallel tables
+        for target_node in 0..n_nodes {
+            if !tableau.nodes[target_node].incoming.contains(&node_id) {
+                continue;
+            }
+            let target_counter = next_counter(counter, target_node);
+            let target = intern_state((target_node, target_counter), &mut order, &mut state_index);
+            if target == transitions.len() {
+                transitions.push(Vec::new());
+                worklist.push(target);
+            }
+            transitions[state].push(BuchiTransition {
+                label: labels[target_node].clone(),
+                target,
+            });
+        }
+    }
+
+    let mut accepting = vec![false; transitions.len()];
+    for (pair, &state) in &state_index {
+        // With no acceptance sets (k == 0) every state is accepting.
+        accepting[state] = pair.1 == k;
+    }
+    if k == 0 {
+        accepting[0] = true;
+    }
+
+    let mut automaton = Buchi {
+        transitions,
+        accepting,
+    };
+    automaton.prune();
+    automaton
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use std::collections::HashSet;
+
+    /// A truth assignment over proposition names.
+    type Letter = Vec<(&'static str, bool)>;
+
+    fn holds(letter: &Letter, prop: &str) -> bool {
+        letter
+            .iter()
+            .find(|(name, _)| *name == prop)
+            .map(|&(_, v)| v)
+            .unwrap_or(false)
+    }
+
+    /// Checks whether the automaton accepts the ultimately-periodic word
+    /// `prefix . cycle^omega` by searching the (automaton x position) product
+    /// for a reachable accepting cycle.
+    fn accepts(buchi: &Buchi, prefix: &[Letter], cycle: &[Letter]) -> bool {
+        assert!(!cycle.is_empty(), "cycle must be nonempty");
+        let total = prefix.len() + cycle.len();
+        let letter = |pos: usize| -> &Letter {
+            if pos < prefix.len() {
+                &prefix[pos]
+            } else {
+                &cycle[pos - prefix.len()]
+            }
+        };
+        let next_pos = |pos: usize| -> usize {
+            if pos + 1 < total {
+                pos + 1
+            } else {
+                prefix.len()
+            }
+        };
+
+        // Product node: (buchi state, index of next letter to read).
+        let successors = |(b, pos): (usize, usize)| -> Vec<(usize, usize)> {
+            let l = letter(pos);
+            buchi
+                .transitions_from(b)
+                .iter()
+                .filter(|t| t.enabled(&|p| holds(l, p)))
+                .map(|t| (t.target, next_pos(pos)))
+                .collect()
+        };
+
+        // Reachable product nodes from (initial, 0).
+        let mut reachable = HashSet::new();
+        let mut stack = vec![(buchi.initial(), 0usize)];
+        while let Some(node) = stack.pop() {
+            if reachable.insert(node) {
+                stack.extend(successors(node));
+            }
+        }
+
+        // Accepting product nodes that lie on a cycle (can reach themselves).
+        for &node in &reachable {
+            if !buchi.is_accepting(node.0) {
+                continue;
+            }
+            let mut seen = HashSet::new();
+            let mut stack = successors(node);
+            while let Some(m) = stack.pop() {
+                if m == node {
+                    return true;
+                }
+                if seen.insert(m) {
+                    stack.extend(successors(m));
+                }
+            }
+        }
+        false
+    }
+
+    fn automaton(text: &str) -> Buchi {
+        translate(&parse(text).unwrap())
+    }
+
+    const P: &str = "p";
+    const Q: &str = "q";
+
+    fn l(pairs: &[(&'static str, bool)]) -> Letter {
+        pairs.to_vec()
+    }
+
+    #[test]
+    fn true_accepts_everything() {
+        let b = automaton("true");
+        assert!(accepts(&b, &[], &[l(&[])]));
+        assert!(accepts(&b, &[l(&[(P, true)])], &[l(&[(P, false)])]));
+    }
+
+    #[test]
+    fn false_accepts_nothing() {
+        let b = automaton("false");
+        assert!(!accepts(&b, &[], &[l(&[])]));
+        assert!(!accepts(&b, &[l(&[(P, true)])], &[l(&[(P, true)])]));
+    }
+
+    #[test]
+    fn proposition_checks_first_letter() {
+        let b = automaton("p");
+        assert!(accepts(&b, &[l(&[(P, true)])], &[l(&[])]));
+        assert!(!accepts(&b, &[l(&[(P, false)])], &[l(&[])]));
+    }
+
+    #[test]
+    fn next_checks_second_letter() {
+        let b = automaton("X p");
+        assert!(accepts(&b, &[l(&[]), l(&[(P, true)])], &[l(&[])]));
+        assert!(!accepts(&b, &[l(&[(P, true)]), l(&[(P, false)])], &[l(&[])]));
+    }
+
+    #[test]
+    fn globally_requires_p_forever() {
+        let b = automaton("[] p");
+        assert!(accepts(&b, &[], &[l(&[(P, true)])]));
+        assert!(!accepts(&b, &[l(&[(P, true)])], &[l(&[(P, false)])]));
+        assert!(!accepts(&b, &[l(&[(P, false)])], &[l(&[(P, true)])]));
+    }
+
+    #[test]
+    fn eventually_requires_p_once() {
+        let b = automaton("<> p");
+        assert!(accepts(&b, &[l(&[]), l(&[]), l(&[(P, true)])], &[l(&[])]));
+        assert!(accepts(&b, &[], &[l(&[(P, true)]), l(&[])]));
+        assert!(!accepts(&b, &[], &[l(&[])]));
+    }
+
+    #[test]
+    fn until_requires_q_and_p_before() {
+        let b = automaton("p U q");
+        assert!(accepts(
+            &b,
+            &[l(&[(P, true)]), l(&[(P, true), (Q, true)])],
+            &[l(&[])]
+        ));
+        // q immediately: p need not hold at all.
+        assert!(accepts(&b, &[l(&[(Q, true)])], &[l(&[])]));
+        // p forever without q: rejected.
+        assert!(!accepts(&b, &[], &[l(&[(P, true)])]));
+        // p gap before q: rejected.
+        assert!(!accepts(
+            &b,
+            &[l(&[(P, true)]), l(&[]), l(&[(Q, true)])],
+            &[l(&[])]
+        ));
+    }
+
+    #[test]
+    fn release_allows_q_forever() {
+        let b = automaton("p R q");
+        assert!(accepts(&b, &[], &[l(&[(Q, true)])]));
+        // q until p&&q, then free.
+        assert!(accepts(
+            &b,
+            &[l(&[(Q, true)]), l(&[(P, true), (Q, true)])],
+            &[l(&[])]
+        ));
+        // q fails before p: rejected.
+        assert!(!accepts(&b, &[l(&[(Q, true)]), l(&[])], &[l(&[(Q, true)])]));
+    }
+
+    #[test]
+    fn infinitely_often_needs_recurring_p() {
+        let b = automaton("[] <> p");
+        assert!(accepts(&b, &[], &[l(&[(P, true)]), l(&[])]));
+        assert!(accepts(&b, &[l(&[])], &[l(&[(P, true)])]));
+        assert!(!accepts(&b, &[l(&[(P, true)])], &[l(&[])]));
+    }
+
+    #[test]
+    fn eventually_always_needs_stable_p() {
+        let b = automaton("<> [] p");
+        assert!(accepts(&b, &[l(&[])], &[l(&[(P, true)])]));
+        assert!(!accepts(&b, &[], &[l(&[(P, true)]), l(&[])]));
+    }
+
+    #[test]
+    fn response_property() {
+        let b = automaton("[] (p -> <> q)");
+        // Every p followed by q eventually.
+        assert!(accepts(
+            &b,
+            &[],
+            &[l(&[(P, true)]), l(&[(Q, true)])]
+        ));
+        // No p at all: vacuously true.
+        assert!(accepts(&b, &[], &[l(&[])]));
+        // p once, q never: rejected.
+        assert!(!accepts(&b, &[l(&[(P, true)])], &[l(&[])]));
+    }
+
+    #[test]
+    fn negated_response_finds_unanswered_request() {
+        let b = automaton("!([] (p -> <> q))");
+        assert!(accepts(&b, &[l(&[(P, true)])], &[l(&[])]));
+        assert!(!accepts(&b, &[], &[l(&[(P, true)]), l(&[(Q, true)])]));
+    }
+
+    #[test]
+    fn conflicting_literals_are_pruned() {
+        let b = automaton("p && !p");
+        assert!(!accepts(&b, &[l(&[(P, true)])], &[l(&[])]));
+        assert!(!accepts(&b, &[l(&[(P, false)])], &[l(&[])]));
+    }
+
+    #[test]
+    fn weak_until_allows_p_forever() {
+        let b = automaton("p W q");
+        assert!(accepts(&b, &[], &[l(&[(P, true)])]));
+        assert!(accepts(&b, &[l(&[(Q, true)])], &[l(&[])]));
+        assert!(!accepts(&b, &[l(&[])], &[l(&[])]));
+    }
+
+    #[test]
+    fn dot_output_mentions_all_states() {
+        let b = automaton("[] <> p");
+        let dot = b.to_dot();
+        for state in 0..b.state_count() {
+            assert!(dot.contains(&format!("s{state} [")));
+        }
+    }
+
+    #[test]
+    fn pruning_removes_dead_transitions() {
+        // `false` admits no run at all: every transition is pruned.
+        assert_eq!(automaton("false").transition_count(), 0);
+        // A contradiction likewise.
+        assert_eq!(automaton("p && !p").transition_count(), 0);
+        // `[] p` keeps exactly the p self-loop structure (no useless junk).
+        let b = automaton("[] p");
+        for state in 0..b.state_count() {
+            for t in b.transitions_from(state) {
+                assert!(!t.label.is_empty(), "[] p has no unconstrained moves");
+            }
+        }
+    }
+
+    #[test]
+    fn automaton_sizes_are_reasonable() {
+        // GPVW should produce small automata for these staples.
+        assert!(automaton("[] p").state_count() <= 4);
+        assert!(automaton("<> p").state_count() <= 5);
+        assert!(automaton("p U q").state_count() <= 6);
+        assert!(automaton("[] (p -> <> q)").state_count() <= 10);
+    }
+}

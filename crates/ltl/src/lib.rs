@@ -1,0 +1,40 @@
+//! Linear temporal logic (LTL) for the PnP verifier.
+//!
+//! This crate provides everything the PnP design-time verifier needs to turn
+//! a textual LTL property into an automaton that the model-checking kernel
+//! can run against a system:
+//!
+//! * an [`Ltl`] abstract syntax tree with the usual temporal operators,
+//! * a parser ([`parse`]) for a SPIN-like concrete syntax
+//!   (`[]`, `<>`, `X`, `U`, `R`, `W`, `!`, `&&`, `||`, `->`, `<->`),
+//! * negation-normal-form rewriting ([`Ltl::nnf`]),
+//! * an on-the-fly tableau translation to Büchi automata
+//!   ([`translate`], after Gerth–Peled–Vardi–Wolper), including
+//!   degeneralization of the intermediate generalized automaton.
+//!
+//! The crate is deliberately free of dependencies so that it can be tested
+//! and reused independently of the model-checking kernel.
+//!
+//! # Example
+//!
+//! ```
+//! use pnp_ltl::{parse, translate};
+//!
+//! // "every request is eventually acknowledged"
+//! let formula = parse("[] (request -> <> ack)")?;
+//! // The checker explores the *negation* of the property.
+//! let buchi = translate(&formula.negated());
+//! assert!(buchi.state_count() > 0);
+//! # Ok::<(), pnp_ltl::ParseError>(())
+//! ```
+
+
+#![warn(missing_docs)]
+mod ast;
+mod buchi;
+mod nnf;
+mod parse;
+
+pub use ast::Ltl;
+pub use buchi::{translate, Buchi, BuchiTransition, Literal};
+pub use parse::{parse, ParseError};

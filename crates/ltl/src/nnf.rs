@@ -1,0 +1,234 @@
+//! Negation normal form rewriting.
+//!
+//! The tableau construction in [`crate::buchi`] operates on a core fragment
+//! of LTL: `true`, `false`, literals, `&&`, `||`, `X`, `U`, and `R`, with
+//! negation applied only to atomic propositions. [`Ltl::nnf`] rewrites an
+//! arbitrary formula into that fragment using the standard dualities:
+//!
+//! ```text
+//! !(p && q)  =  !p || !q          !(p U q)  =  !p R !q
+//! !(p || q)  =  !p && !q          !(p R q)  =  !p U !q
+//! !X p       =  X !p              !<> p     =  [] !p
+//! p -> q     =  !p || q           p W q     =  q R (p || q)
+//! p <-> q    =  (p && q) || (!p && !q)
+//! <> p       =  true U p          [] p      =  false R p
+//! ```
+
+use crate::Ltl;
+
+impl Ltl {
+    /// Rewrites the formula into negation normal form.
+    ///
+    /// The result contains only `true`, `false`, propositions, negated
+    /// propositions, `&&`, `||`, `X`, `U`, and `R`, and is logically
+    /// equivalent to `self`.
+    ///
+    /// ```
+    /// use pnp_ltl::parse;
+    /// let f = parse("!(p U q)").unwrap();
+    /// assert_eq!(f.nnf().to_string(), "! p R ! q");
+    /// ```
+    pub fn nnf(&self) -> Ltl {
+        self.to_nnf(false)
+    }
+
+    fn to_nnf(&self, negate: bool) -> Ltl {
+        match self {
+            Ltl::True => {
+                if negate {
+                    Ltl::False
+                } else {
+                    Ltl::True
+                }
+            }
+            Ltl::False => {
+                if negate {
+                    Ltl::True
+                } else {
+                    Ltl::False
+                }
+            }
+            Ltl::Prop(name) => {
+                let p = Ltl::Prop(name.clone());
+                if negate {
+                    Ltl::not(p)
+                } else {
+                    p
+                }
+            }
+            Ltl::Not(p) => p.to_nnf(!negate),
+            Ltl::And(p, q) => {
+                if negate {
+                    Ltl::or(p.to_nnf(true), q.to_nnf(true))
+                } else {
+                    Ltl::and(p.to_nnf(false), q.to_nnf(false))
+                }
+            }
+            Ltl::Or(p, q) => {
+                if negate {
+                    Ltl::and(p.to_nnf(true), q.to_nnf(true))
+                } else {
+                    Ltl::or(p.to_nnf(false), q.to_nnf(false))
+                }
+            }
+            Ltl::Implies(p, q) => {
+                // p -> q  ==  !p || q
+                if negate {
+                    // !(p -> q)  ==  p && !q
+                    Ltl::and(p.to_nnf(false), q.to_nnf(true))
+                } else {
+                    Ltl::or(p.to_nnf(true), q.to_nnf(false))
+                }
+            }
+            Ltl::Iff(p, q) => {
+                // p <-> q  ==  (p && q) || (!p && !q)
+                // !(p <-> q) ==  (p && !q) || (!p && q)
+                if negate {
+                    Ltl::or(
+                        Ltl::and(p.to_nnf(false), q.to_nnf(true)),
+                        Ltl::and(p.to_nnf(true), q.to_nnf(false)),
+                    )
+                } else {
+                    Ltl::or(
+                        Ltl::and(p.to_nnf(false), q.to_nnf(false)),
+                        Ltl::and(p.to_nnf(true), q.to_nnf(true)),
+                    )
+                }
+            }
+            Ltl::Next(p) => Ltl::next(p.to_nnf(negate)),
+            Ltl::Until(p, q) => {
+                if negate {
+                    Ltl::release(p.to_nnf(true), q.to_nnf(true))
+                } else {
+                    Ltl::until(p.to_nnf(false), q.to_nnf(false))
+                }
+            }
+            Ltl::Release(p, q) => {
+                if negate {
+                    Ltl::until(p.to_nnf(true), q.to_nnf(true))
+                } else {
+                    Ltl::release(p.to_nnf(false), q.to_nnf(false))
+                }
+            }
+            Ltl::WeakUntil(p, q) => {
+                // p W q  ==  q R (p || q)
+                let rewritten = Ltl::release(
+                    q.as_ref().clone(),
+                    Ltl::or(p.as_ref().clone(), q.as_ref().clone()),
+                );
+                rewritten.to_nnf(negate)
+            }
+            Ltl::Eventually(p) => {
+                if negate {
+                    // !<> p == [] !p == false R !p
+                    Ltl::release(Ltl::False, p.to_nnf(true))
+                } else {
+                    Ltl::until(Ltl::True, p.to_nnf(false))
+                }
+            }
+            Ltl::Globally(p) => {
+                if negate {
+                    // ![] p == <> !p == true U !p
+                    Ltl::until(Ltl::True, p.to_nnf(true))
+                } else {
+                    Ltl::release(Ltl::False, p.to_nnf(false))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+    use crate::Ltl;
+
+    fn nnf_of(text: &str) -> String {
+        parse(text).unwrap().nnf().to_string()
+    }
+
+    /// Asserts the result is in the NNF core fragment.
+    fn assert_core(f: &Ltl) {
+        match f {
+            Ltl::True | Ltl::False | Ltl::Prop(_) => {}
+            Ltl::Not(inner) => {
+                assert!(
+                    matches!(inner.as_ref(), Ltl::Prop(_)),
+                    "negation of non-proposition in NNF: {f}"
+                );
+            }
+            Ltl::And(p, q) | Ltl::Or(p, q) | Ltl::Until(p, q) | Ltl::Release(p, q) => {
+                assert_core(p);
+                assert_core(q);
+            }
+            Ltl::Next(p) => assert_core(p),
+            other => panic!("non-core operator survived NNF: {other}"),
+        }
+    }
+
+    #[test]
+    fn negated_until_becomes_release() {
+        assert_eq!(nnf_of("!(p U q)"), "! p R ! q");
+    }
+
+    #[test]
+    fn negated_release_becomes_until() {
+        assert_eq!(nnf_of("!(p R q)"), "! p U ! q");
+    }
+
+    #[test]
+    fn globally_becomes_false_release() {
+        assert_eq!(nnf_of("[] p"), "false R p");
+    }
+
+    #[test]
+    fn eventually_becomes_true_until() {
+        assert_eq!(nnf_of("<> p"), "true U p");
+    }
+
+    #[test]
+    fn negated_globally_becomes_eventually_not() {
+        assert_eq!(nnf_of("![] p"), "true U ! p");
+    }
+
+    #[test]
+    fn implication_is_rewritten() {
+        assert_eq!(nnf_of("p -> q"), "! p || q");
+        assert_eq!(nnf_of("!(p -> q)"), "p && ! q");
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        assert_eq!(nnf_of("!!p"), "p");
+        assert_eq!(nnf_of("!!!p"), "! p");
+    }
+
+    #[test]
+    fn next_commutes_with_negation() {
+        assert_eq!(nnf_of("!X p"), "X (! p)");
+    }
+
+    #[test]
+    fn weak_until_rewrites_to_release() {
+        assert_eq!(nnf_of("p W q"), "q R (p || q)");
+    }
+
+    #[test]
+    fn constants_flip_under_negation() {
+        assert_eq!(nnf_of("!true"), "false");
+        assert_eq!(nnf_of("!false"), "true");
+    }
+
+    #[test]
+    fn nnf_output_is_in_core_fragment() {
+        for text in [
+            "[] (req -> <> ack)",
+            "!( (a <-> b) W (c -> d) )",
+            "!( [] <> p -> <> [] q )",
+            "((a U b) R !(c && d)) <-> X e",
+        ] {
+            let f = parse(text).unwrap().nnf();
+            assert_core(&f);
+        }
+    }
+}

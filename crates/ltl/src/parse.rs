@@ -1,0 +1,454 @@
+//! Parser for a SPIN-like LTL concrete syntax.
+//!
+//! Grammar (loosest to tightest binding):
+//!
+//! ```text
+//! iff     := implies ( "<->" implies )*
+//! implies := or ( "->" or )*            (right associative)
+//! or      := and ( "||" and )*
+//! and     := until ( "&&" until )*
+//! until   := unary ( ("U" | "R" | "W") unary )*   (right associative)
+//! unary   := ("!" | "X" | "<>" | "[]" | "F" | "G") unary | atom
+//! atom    := "true" | "false" | ident | "(" iff ")"
+//! ```
+//!
+//! `F`/`G` are accepted as synonyms for `<>`/`[]`. Identifiers are
+//! `[A-Za-z_][A-Za-z0-9_]*` minus the reserved operator letters.
+
+use std::fmt;
+
+use crate::Ltl;
+
+/// An error produced while parsing an LTL formula.
+///
+/// The offset is a byte position into the input string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    offset: usize,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>, offset: usize) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+
+    /// The byte offset in the input at which the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    True,
+    False,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    Next,
+    Until,
+    Release,
+    WeakUntil,
+    Eventually,
+    Globally,
+    LParen,
+    RParen,
+}
+
+fn lex(input: &str) -> Result<Vec<(Token, usize)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push((Token::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((Token::RParen, i));
+                i += 1;
+            }
+            '!' => {
+                tokens.push((Token::Not, i));
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push((Token::And, i));
+                    i += 2;
+                } else {
+                    return Err(ParseError::new("expected '&&'", i));
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push((Token::Or, i));
+                    i += 2;
+                } else {
+                    return Err(ParseError::new("expected '||'", i));
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push((Token::Implies, i));
+                    i += 2;
+                } else {
+                    return Err(ParseError::new("expected '->'", i));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'>') => {
+                    tokens.push((Token::Eventually, i));
+                    i += 2;
+                }
+                Some(&b'-') if bytes.get(i + 2) == Some(&b'>') => {
+                    tokens.push((Token::Iff, i));
+                    i += 3;
+                }
+                _ => return Err(ParseError::new("expected '<>' or '<->'", i)),
+            },
+            '[' => {
+                if bytes.get(i + 1) == Some(&b']') {
+                    tokens.push((Token::Globally, i));
+                    i += 2;
+                } else {
+                    return Err(ParseError::new("expected '[]'", i));
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let token = match word {
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    "X" => Token::Next,
+                    "U" => Token::Until,
+                    "R" | "V" => Token::Release,
+                    "W" => Token::WeakUntil,
+                    "F" => Token::Eventually,
+                    "G" => Token::Globally,
+                    _ => Token::Ident(word.to_string()),
+                };
+                tokens.push((token, start));
+            }
+            _ => return Err(ParseError::new(format!("unexpected character '{c}'"), i)),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|&(_, o)| o)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, token: Token) -> Result<(), ParseError> {
+        if self.peek() == Some(&token) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError::new(format!("expected {token:?}"), self.offset()))
+        }
+    }
+
+    fn parse_iff(&mut self) -> Result<Ltl, ParseError> {
+        let mut lhs = self.parse_implies()?;
+        while self.peek() == Some(&Token::Iff) {
+            self.bump();
+            let rhs = self.parse_implies()?;
+            lhs = lhs.iff(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_implies(&mut self) -> Result<Ltl, ParseError> {
+        let lhs = self.parse_or()?;
+        if self.peek() == Some(&Token::Implies) {
+            self.bump();
+            // Right associative: a -> b -> c parses as a -> (b -> c).
+            let rhs = self.parse_implies()?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Ltl, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(&Token::Or) {
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = Ltl::or(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Ltl, ParseError> {
+        let mut lhs = self.parse_until()?;
+        while self.peek() == Some(&Token::And) {
+            self.bump();
+            let rhs = self.parse_until()?;
+            lhs = Ltl::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_until(&mut self) -> Result<Ltl, ParseError> {
+        let lhs = self.parse_unary()?;
+        match self.peek() {
+            Some(&Token::Until) => {
+                self.bump();
+                let rhs = self.parse_until()?;
+                Ok(Ltl::until(lhs, rhs))
+            }
+            Some(&Token::Release) => {
+                self.bump();
+                let rhs = self.parse_until()?;
+                Ok(Ltl::release(lhs, rhs))
+            }
+            Some(&Token::WeakUntil) => {
+                self.bump();
+                let rhs = self.parse_until()?;
+                Ok(Ltl::weak_until(lhs, rhs))
+            }
+            _ => Ok(lhs),
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Ltl, ParseError> {
+        match self.peek() {
+            Some(&Token::Not) => {
+                self.bump();
+                Ok(Ltl::not(self.parse_unary()?))
+            }
+            Some(&Token::Next) => {
+                self.bump();
+                Ok(Ltl::next(self.parse_unary()?))
+            }
+            Some(&Token::Eventually) => {
+                self.bump();
+                Ok(Ltl::eventually(self.parse_unary()?))
+            }
+            Some(&Token::Globally) => {
+                self.bump();
+                Ok(Ltl::globally(self.parse_unary()?))
+            }
+            _ => self.parse_atom(),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Ltl, ParseError> {
+        let offset = self.offset();
+        match self.bump() {
+            Some(Token::True) => Ok(Ltl::True),
+            Some(Token::False) => Ok(Ltl::False),
+            Some(Token::Ident(name)) => Ok(Ltl::prop(name)),
+            Some(Token::LParen) => {
+                let inner = self.parse_iff()?;
+                self.expect(Token::RParen)?;
+                Ok(inner)
+            }
+            other => Err(ParseError::new(
+                format!("expected proposition, 'true', 'false', or '(', found {other:?}"),
+                offset,
+            )),
+        }
+    }
+}
+
+/// Parses an LTL formula from its SPIN-like textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a byte offset when the input is not a
+/// well-formed formula.
+///
+/// # Example
+///
+/// ```
+/// use pnp_ltl::parse;
+/// let f = parse("[] (send -> X (!send U ack))")?;
+/// assert_eq!(f.propositions(), ["send", "ack"]);
+/// # Ok::<(), pnp_ltl::ParseError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Ltl, ParseError> {
+    let tokens = lex(input)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let formula = parser.parse_iff()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(ParseError::new("unexpected trailing input", parser.offset()));
+    }
+    Ok(formula)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_atoms() {
+        assert_eq!(parse("true").unwrap(), Ltl::True);
+        assert_eq!(parse("false").unwrap(), Ltl::False);
+        assert_eq!(parse("hello_1").unwrap(), Ltl::prop("hello_1"));
+    }
+
+    #[test]
+    fn parses_spin_temporal_operators() {
+        assert_eq!(parse("[] p").unwrap(), Ltl::globally(Ltl::prop("p")));
+        assert_eq!(parse("<> p").unwrap(), Ltl::eventually(Ltl::prop("p")));
+        assert_eq!(parse("X p").unwrap(), Ltl::next(Ltl::prop("p")));
+        assert_eq!(parse("G p").unwrap(), Ltl::globally(Ltl::prop("p")));
+        assert_eq!(parse("F p").unwrap(), Ltl::eventually(Ltl::prop("p")));
+    }
+
+    #[test]
+    fn until_is_right_associative() {
+        let f = parse("a U b U c").unwrap();
+        assert_eq!(
+            f,
+            Ltl::until(Ltl::prop("a"), Ltl::until(Ltl::prop("b"), Ltl::prop("c")))
+        );
+    }
+
+    #[test]
+    fn implies_is_right_associative() {
+        let f = parse("a -> b -> c").unwrap();
+        assert_eq!(
+            f,
+            Ltl::prop("a").implies(Ltl::prop("b").implies(Ltl::prop("c")))
+        );
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let f = parse("a || b && c").unwrap();
+        assert_eq!(
+            f,
+            Ltl::or(Ltl::prop("a"), Ltl::and(Ltl::prop("b"), Ltl::prop("c")))
+        );
+    }
+
+    #[test]
+    fn until_binds_tighter_than_and() {
+        let f = parse("a U b && c").unwrap();
+        assert_eq!(
+            f,
+            Ltl::and(Ltl::until(Ltl::prop("a"), Ltl::prop("b")), Ltl::prop("c"))
+        );
+    }
+
+    #[test]
+    fn unary_binds_tightest() {
+        let f = parse("! a U b").unwrap();
+        assert_eq!(f, Ltl::until(Ltl::not(Ltl::prop("a")), Ltl::prop("b")));
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let f = parse("(a || b) && c").unwrap();
+        assert_eq!(
+            f,
+            Ltl::and(Ltl::or(Ltl::prop("a"), Ltl::prop("b")), Ltl::prop("c"))
+        );
+    }
+
+    #[test]
+    fn v_is_release_synonym() {
+        assert_eq!(parse("a V b").unwrap(), parse("a R b").unwrap());
+    }
+
+    #[test]
+    fn weak_until_parses() {
+        assert_eq!(
+            parse("a W b").unwrap(),
+            Ltl::weak_until(Ltl::prop("a"), Ltl::prop("b"))
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse("a b").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_unbalanced_parens() {
+        assert!(parse("(a").is_err());
+        assert!(parse("a)").is_err());
+    }
+
+    #[test]
+    fn rejects_single_ampersand() {
+        let err = parse("a & b").unwrap_err();
+        assert_eq!(err.offset(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse("").is_err());
+        assert!(parse("   ").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in [
+            "[] (req -> <> ack)",
+            "(a U b) W (c R d)",
+            "! (a && b) || X c",
+            "a <-> b <-> c",
+            "[] (<> p)",
+            "true U (false R p)",
+        ] {
+            let f = parse(text).unwrap();
+            let printed = f.to_string();
+            let reparsed = parse(&printed).unwrap();
+            assert_eq!(f, reparsed, "round trip failed for {text} -> {printed}");
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Property-based tests for the LTL crate.
+//!
+//! The central property: for random formulas and random ultimately-periodic
+//! words, the Büchi automaton produced by [`pnp_ltl::translate`] accepts the
+//! word exactly when a direct semantic evaluation of the formula says it
+//! holds. This exercises the parser/printer, NNF rewriting, the tableau
+//! construction, and degeneralization against an independent oracle.
+
+use std::collections::HashSet;
+
+use pnp_ltl::{parse, translate, Buchi, Ltl};
+use proptest::prelude::*;
+
+const PROPS: [&str; 3] = ["p", "q", "r"];
+
+/// A truth assignment for one position: bitmask over PROPS.
+type Letter = u8;
+
+fn holds(letter: Letter, name: &str) -> bool {
+    let i = PROPS.iter().position(|p| *p == name).unwrap();
+    letter & (1 << i) != 0
+}
+
+/// Direct semantics of LTL on the lasso `prefix . cycle^omega`, by
+/// fixpoint iteration over the unrolled positions.
+fn eval_lasso(f: &Ltl, prefix: &[Letter], cycle: &[Letter]) -> bool {
+    let total = prefix.len() + cycle.len();
+    let letter = |i: usize| -> Letter {
+        if i < prefix.len() {
+            prefix[i]
+        } else {
+            cycle[i - prefix.len()]
+        }
+    };
+    let next = |i: usize| -> usize {
+        if i + 1 < total {
+            i + 1
+        } else {
+            prefix.len()
+        }
+    };
+
+    fn values(
+        f: &Ltl,
+        total: usize,
+        letter: &dyn Fn(usize) -> Letter,
+        next: &dyn Fn(usize) -> usize,
+    ) -> Vec<bool> {
+        match f {
+            Ltl::True => vec![true; total],
+            Ltl::False => vec![false; total],
+            Ltl::Prop(name) => (0..total).map(|i| holds(letter(i), name)).collect(),
+            Ltl::Not(p) => values(p, total, letter, next).iter().map(|v| !v).collect(),
+            Ltl::And(p, q) => {
+                let a = values(p, total, letter, next);
+                let b = values(q, total, letter, next);
+                a.iter().zip(b).map(|(x, y)| *x && y).collect()
+            }
+            Ltl::Or(p, q) => {
+                let a = values(p, total, letter, next);
+                let b = values(q, total, letter, next);
+                a.iter().zip(b).map(|(x, y)| *x || y).collect()
+            }
+            Ltl::Implies(p, q) => {
+                let a = values(p, total, letter, next);
+                let b = values(q, total, letter, next);
+                a.iter().zip(b).map(|(x, y)| !*x || y).collect()
+            }
+            Ltl::Iff(p, q) => {
+                let a = values(p, total, letter, next);
+                let b = values(q, total, letter, next);
+                a.iter().zip(b).map(|(x, y)| *x == y).collect()
+            }
+            Ltl::Next(p) => {
+                let a = values(p, total, letter, next);
+                (0..total).map(|i| a[next(i)]).collect()
+            }
+            Ltl::Until(p, q) => {
+                let a = values(p, total, letter, next);
+                let b = values(q, total, letter, next);
+                // Least fixpoint of v(i) = b(i) || (a(i) && v(next(i))).
+                let mut v = vec![false; total];
+                for _ in 0..=total {
+                    for i in (0..total).rev() {
+                        v[i] = b[i] || (a[i] && v[next(i)]);
+                    }
+                }
+                v
+            }
+            Ltl::Release(p, q) => {
+                let a = values(p, total, letter, next);
+                let b = values(q, total, letter, next);
+                // Greatest fixpoint of v(i) = b(i) && (a(i) || v(next(i))).
+                let mut v = vec![true; total];
+                for _ in 0..=total {
+                    for i in (0..total).rev() {
+                        v[i] = b[i] && (a[i] || v[next(i)]);
+                    }
+                }
+                v
+            }
+            Ltl::WeakUntil(p, q) => {
+                // p W q == (p U q) || [] p == q R (p || q)
+                let rewritten = Ltl::release(
+                    q.as_ref().clone(),
+                    Ltl::or(p.as_ref().clone(), q.as_ref().clone()),
+                );
+                values(&rewritten, total, letter, next)
+            }
+            Ltl::Eventually(p) => {
+                let rewritten = Ltl::until(Ltl::True, p.as_ref().clone());
+                values(&rewritten, total, letter, next)
+            }
+            Ltl::Globally(p) => {
+                let rewritten = Ltl::release(Ltl::False, p.as_ref().clone());
+                values(&rewritten, total, letter, next)
+            }
+        }
+    }
+
+    values(f, total, &letter, &next)[0]
+}
+
+/// Whether the automaton accepts the lasso word (product reachability +
+/// cycle detection, as in the unit tests but over bitmask letters).
+fn accepts(buchi: &Buchi, prefix: &[Letter], cycle: &[Letter]) -> bool {
+    let total = prefix.len() + cycle.len();
+    let letter = |i: usize| -> Letter {
+        if i < prefix.len() {
+            prefix[i]
+        } else {
+            cycle[i - prefix.len()]
+        }
+    };
+    let next_pos = |i: usize| -> usize {
+        if i + 1 < total {
+            i + 1
+        } else {
+            prefix.len()
+        }
+    };
+    let successors = |(b, pos): (usize, usize)| -> Vec<(usize, usize)> {
+        let l = letter(pos);
+        buchi
+            .transitions_from(b)
+            .iter()
+            .filter(|t| t.enabled(&|p| holds(l, p)))
+            .map(|t| (t.target, next_pos(pos)))
+            .collect()
+    };
+    let mut reachable = HashSet::new();
+    let mut stack = vec![(buchi.initial(), 0usize)];
+    while let Some(node) = stack.pop() {
+        if reachable.insert(node) {
+            stack.extend(successors(node));
+        }
+    }
+    for &node in &reachable {
+        if !buchi.is_accepting(node.0) {
+            continue;
+        }
+        let mut seen = HashSet::new();
+        let mut stack = successors(node);
+        while let Some(m) = stack.pop() {
+            if m == node {
+                return true;
+            }
+            if seen.insert(m) {
+                stack.extend(successors(m));
+            }
+        }
+    }
+    false
+}
+
+/// Random formula strategy (depth-bounded).
+fn formula() -> impl Strategy<Value = Ltl> {
+    let leaf = prop_oneof![
+        Just(Ltl::True),
+        Just(Ltl::False),
+        proptest::sample::select(PROPS.to_vec()).prop_map(Ltl::prop),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Ltl::not),
+            inner.clone().prop_map(Ltl::next),
+            inner.clone().prop_map(Ltl::eventually),
+            inner.clone().prop_map(Ltl::globally),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.iff(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::until(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::release(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Ltl::weak_until(a, b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Printing and re-parsing a random formula is the identity.
+    #[test]
+    fn display_parse_round_trip(f in formula()) {
+        let printed = f.to_string();
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reparse failed for `{printed}`: {e}"));
+        prop_assert_eq!(f, reparsed);
+    }
+
+    /// NNF preserves semantics on random lasso words.
+    #[test]
+    fn nnf_preserves_semantics(
+        f in formula(),
+        prefix in proptest::collection::vec(0u8..8, 0..4),
+        cycle in proptest::collection::vec(0u8..8, 1..4),
+    ) {
+        prop_assert_eq!(
+            eval_lasso(&f, &prefix, &cycle),
+            eval_lasso(&f.nnf(), &prefix, &cycle)
+        );
+    }
+
+    /// The Büchi automaton accepts exactly the words satisfying the formula.
+    #[test]
+    fn buchi_matches_direct_semantics(
+        f in formula(),
+        prefix in proptest::collection::vec(0u8..8, 0..3),
+        cycle in proptest::collection::vec(0u8..8, 1..3),
+    ) {
+        let expected = eval_lasso(&f, &prefix, &cycle);
+        let automaton = translate(&f);
+        prop_assert_eq!(
+            accepts(&automaton, &prefix, &cycle),
+            expected,
+            "formula {} on {:?}.{:?}^w", f, prefix, cycle
+        );
+    }
+
+    /// The negation's automaton accepts the complement language (on these
+    /// sampled words).
+    #[test]
+    fn negation_complements_acceptance(
+        f in formula(),
+        prefix in proptest::collection::vec(0u8..8, 0..3),
+        cycle in proptest::collection::vec(0u8..8, 1..3),
+    ) {
+        let pos = translate(&f);
+        let neg = translate(&f.negated());
+        prop_assert_ne!(
+            accepts(&pos, &prefix, &cycle),
+            accepts(&neg, &prefix, &cycle)
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! The plug-and-play workflow driven entirely from the textual
+//! architecture-description language: compile a spec, verify it, apply the
+//! one-block fix *as a textual edit*, and verify again.
+//!
+//! Run with: `cargo run --release --example adl_workflow`
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let buggy = include_str!("specs/bridge_buggy.pnp");
+
+    println!("== verifying the initial design (asyn_blocking enter ports) ==");
+    let spec = pnp::lang::compile(buggy)?;
+    let results = spec.verify_all()?;
+    for result in &results {
+        println!("  {result}");
+    }
+
+    // The paper's fix, as a one-token textual substitution on the enter
+    // connectors only.
+    let fixed = buggy.replace(
+        "send blue_enter_tx: asyn_blocking",
+        "send blue_enter_tx: syn_blocking",
+    );
+    let fixed = fixed.replace(
+        "send red_enter_tx: asyn_blocking",
+        "send red_enter_tx: syn_blocking",
+    );
+
+    println!("\n== after the one-block fix (syn_blocking enter ports) ==");
+    let spec = pnp::lang::compile(&fixed)?;
+    let results = spec.verify_all()?;
+    for result in &results {
+        println!("  {result}");
+    }
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! A second plug-and-play case study: a fire-alarm panel.
+//!
+//! A sensor reports alarms for two zones through a connector to the siren
+//! panel. The initial design uses a *dropping* single-slot buffer with a
+//! fire-and-forget send — verification finds that a zone's alarm can be
+//! lost without anyone noticing. Swapping two building blocks (FIFO
+//! channel + blocking send) repairs the design; the sensor and panel
+//! components are untouched.
+//!
+//! Run with: `cargo run --release --example alarm_system`
+
+use pnp::core::{
+    ChannelKind, ComponentBuilder, ReceiveBinds, RecvPortKind, SendPortKind, SystemBuilder,
+};
+use pnp::kernel::{expr, Action, Checker, Guard, Predicate};
+
+const RECV_SUCC: i32 = pnp::core::signals::RECV_SUCC;
+
+fn build(channel: ChannelKind, send: SendPortKind) -> (pnp::core::System, [pnp::kernel::GlobalId; 3]) {
+    let mut sys = SystemBuilder::new();
+    let sensor_done = sys.global("sensor_done", 0);
+    let zone1 = sys.global("zone1_alarmed", 0);
+    let zone2 = sys.global("zone2_alarmed", 0);
+
+    let alarms = sys.connector("alarms", channel);
+    let tx = sys.send_port(alarms, send);
+    let rx = sys.recv_port(alarms, RecvPortKind::nonblocking());
+
+    let mut sensor = ComponentBuilder::new("sensor");
+    let s0 = sensor.location("zone1");
+    let s1 = sensor.location("zone2");
+    let s2 = sensor.location("mark");
+    let s3 = sensor.location("done");
+    sensor.mark_end(s3);
+    sensor.send_msg(s0, s1, &tx, 1.into(), 0.into(), None);
+    sensor.send_msg(s1, s2, &tx, 2.into(), 0.into(), None);
+    sensor.transition(
+        s2,
+        s3,
+        Guard::always(),
+        Action::assign(sensor_done, 1.into()),
+        "all zones reported",
+    );
+
+    let mut panel = ComponentBuilder::new("panel");
+    let status = panel.local("status", 0);
+    let zone = panel.local("zone", 0);
+    // Snapshot of sensor_done taken *before* each poll: deciding "all
+    // quiet" from a poll result older than the sensor's completion is a
+    // race the checker catches (try deciding on sensor_done directly!).
+    let pre_done = panel.local("pre_done", 0);
+    let p_poll = panel.location("poll");
+    let p_polling = panel.location("polling");
+    let p_check = panel.location("check");
+    let p_z1 = panel.location("sound_zone1");
+    let p_z2 = panel.location("sound_zone2");
+    let p_done = panel.location("done");
+    panel.mark_end(p_done);
+    panel.transition(
+        p_poll,
+        p_polling,
+        Guard::always(),
+        Action::assign(pre_done, expr::global(sensor_done)),
+        "snapshot sensor state",
+    );
+    panel.recv_msg(
+        p_polling,
+        p_check,
+        &rx,
+        None,
+        ReceiveBinds::data_into(zone).with_status(status),
+    );
+    let got = Guard::when(expr::eq(expr::local(status), RECV_SUCC.into()));
+    panel.transition(
+        p_check,
+        p_z1,
+        got.clone().and_when(expr::eq(expr::local(zone), 1.into())),
+        Action::assign(zone1, 1.into()),
+        "sound zone 1",
+    );
+    panel.transition(
+        p_check,
+        p_z2,
+        got.and_when(expr::eq(expr::local(zone), 2.into())),
+        Action::assign(zone2, 1.into()),
+        "sound zone 2",
+    );
+    panel.goto(p_z1, p_poll, "keep polling");
+    panel.goto(p_z2, p_poll, "keep polling");
+    // Nothing pending AND the sensor had already finished before this
+    // poll was issued: everything it sent must have been visible.
+    panel.transition(
+        p_check,
+        p_done,
+        Guard::when(expr::and(
+            expr::ne(expr::local(status), RECV_SUCC.into()),
+            expr::eq(expr::local(pre_done), 1.into()),
+        )),
+        Action::Skip,
+        "all quiet",
+    );
+    panel.transition(
+        p_check,
+        p_poll,
+        Guard::when(expr::and(
+            expr::ne(expr::local(status), RECV_SUCC.into()),
+            expr::ne(expr::local(pre_done), 1.into()),
+        )),
+        Action::Skip,
+        "nothing yet",
+    );
+
+    sys.add_component(sensor);
+    sys.add_component(panel);
+    (sys.build().unwrap(), [sensor_done, zone1, zone2])
+}
+
+fn lost_alarm(system: &pnp::core::System, ids: [pnp::kernel::GlobalId; 3]) -> Option<usize> {
+    let [_, _, zone2] = ids;
+    let panel = system.program().process_by_name("panel").unwrap();
+    // A lost alarm: the panel declared "all quiet" but zone 2 never sounded.
+    let lost = Predicate::native("panel done, zone 2 silent", move |view| {
+        view.location_name(panel) == "done" && view.global(zone2) == 0
+    });
+    Checker::new(system.program())
+        .find_reachable(&lost)
+        .unwrap()
+        .map(|t| t.len())
+}
+
+fn main() {
+    println!("== initial design: AsynNonblockingSend -> Dropping(1) ==");
+    let (buggy, ids) = build(ChannelKind::Dropping { capacity: 1 }, SendPortKind::AsynNonblocking);
+    match lost_alarm(&buggy, ids) {
+        Some(steps) => println!("ALARM LOST: zone 2 can go silent ({steps}-step witness)"),
+        None => println!("no lost alarms (unexpected!)"),
+    }
+
+    println!("\n== two-block fix: AsynBlockingSend -> FIFO(2) ==");
+    let (fixed, ids) = build(ChannelKind::Fifo { capacity: 2 }, SendPortKind::AsynBlocking);
+    match lost_alarm(&fixed, ids) {
+        Some(steps) => println!("still lossy ({steps}-step witness)?!"),
+        None => println!("verified: every alarm sounds before the panel rests"),
+    }
+    println!("(sensor and panel components identical in both designs)");
+}

@@ -1,0 +1,20 @@
+//! Prints the building-block library (the paper's Fig. 1 table).
+//!
+//! Run with: `cargo run --example library_catalog`
+
+use pnp::core::{BlockCategory, BlockLibrary};
+
+fn main() {
+    let catalog = BlockLibrary::catalog();
+    for category in [
+        BlockCategory::SendPort,
+        BlockCategory::RecvPort,
+        BlockCategory::Channel,
+    ] {
+        println!("== {} ==", category.label());
+        for block in catalog.iter().filter(|b| b.category == category) {
+            println!("  {:<22} {}", block.name, block.description);
+        }
+        println!();
+    }
+}

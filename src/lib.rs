@@ -1,0 +1,21 @@
+//! # pnp — Plug-and-Play Architectural Design and Verification
+//!
+//! Facade crate re-exporting the PnP workspace:
+//!
+//! * [`kernel`] — explicit-state model-checking kernel and random simulator,
+//! * [`ltl`] — LTL parsing and Büchi automaton translation,
+//! * [`core`] — the plug-and-play connector building blocks, standard
+//!   component interfaces, and system assembly API (the paper's primary
+//!   contribution),
+//! * [`lang`] — a textual architecture-description language compiled onto
+//!   the core builder (the role Promela/ArchStudio play in the paper),
+//! * [`bridge`] — the single-lane bridge case study from the paper.
+//!
+//! See the repository README for a tour and `EXPERIMENTS.md` for the mapping
+//! from the paper's figures and claims to runnable artifacts.
+
+pub use pnp_bridge as bridge;
+pub use pnp_core as core;
+pub use pnp_kernel as kernel;
+pub use pnp_lang as lang;
+pub use pnp_ltl as ltl;

@@ -1,0 +1,161 @@
+//! The fire-alarm case study (see `examples/alarm_system.rs`): a dropping
+//! buffer silently loses an alarm; a two-block swap repairs the design with
+//! identical components.
+
+use pnp_core::{
+    ChannelKind, ComponentBuilder, ReceiveBinds, RecvPortKind, SendPortKind, System,
+    SystemBuilder,
+};
+use pnp_kernel::{expr, Action, Checker, GlobalId, Guard, Predicate};
+
+const RECV_SUCC: i32 = pnp_core::signals::RECV_SUCC;
+
+fn build(channel: ChannelKind, send: SendPortKind) -> (System, GlobalId) {
+    let mut sys = SystemBuilder::new();
+    let sensor_done = sys.global("sensor_done", 0);
+    let zone1 = sys.global("zone1_alarmed", 0);
+    let zone2 = sys.global("zone2_alarmed", 0);
+
+    let alarms = sys.connector("alarms", channel);
+    let tx = sys.send_port(alarms, send);
+    let rx = sys.recv_port(alarms, RecvPortKind::nonblocking());
+
+    let mut sensor = ComponentBuilder::new("sensor");
+    let s0 = sensor.location("zone1");
+    let s1 = sensor.location("zone2");
+    let s2 = sensor.location("mark");
+    let s3 = sensor.location("done");
+    sensor.mark_end(s3);
+    sensor.send_msg(s0, s1, &tx, 1.into(), 0.into(), None);
+    sensor.send_msg(s1, s2, &tx, 2.into(), 0.into(), None);
+    sensor.transition(
+        s2,
+        s3,
+        Guard::always(),
+        Action::assign(sensor_done, 1.into()),
+        "all zones reported",
+    );
+
+    let mut panel = ComponentBuilder::new("panel");
+    let status = panel.local("status", 0);
+    let zone = panel.local("zone", 0);
+    let pre_done = panel.local("pre_done", 0);
+    let p_poll = panel.location("poll");
+    let p_polling = panel.location("polling");
+    let p_check = panel.location("check");
+    let p_sound = panel.location("sound");
+    let p_done = panel.location("done");
+    panel.mark_end(p_done);
+    panel.transition(
+        p_poll,
+        p_polling,
+        Guard::always(),
+        Action::assign(pre_done, expr::global(sensor_done)),
+        "snapshot sensor state",
+    );
+    panel.recv_msg(
+        p_polling,
+        p_check,
+        &rx,
+        None,
+        ReceiveBinds::data_into(zone).with_status(status),
+    );
+    let got = Guard::when(expr::eq(expr::local(status), RECV_SUCC.into()));
+    panel.transition(
+        p_check,
+        p_sound,
+        got.clone().and_when(expr::eq(expr::local(zone), 1.into())),
+        Action::assign(zone1, 1.into()),
+        "sound zone 1",
+    );
+    panel.transition(
+        p_check,
+        p_sound,
+        got.and_when(expr::eq(expr::local(zone), 2.into())),
+        Action::assign(zone2, 1.into()),
+        "sound zone 2",
+    );
+    panel.goto(p_sound, p_poll, "keep polling");
+    panel.transition(
+        p_check,
+        p_done,
+        Guard::when(expr::and(
+            expr::ne(expr::local(status), RECV_SUCC.into()),
+            expr::eq(expr::local(pre_done), 1.into()),
+        )),
+        Action::Skip,
+        "all quiet",
+    );
+    panel.transition(
+        p_check,
+        p_poll,
+        Guard::when(expr::and(
+            expr::ne(expr::local(status), RECV_SUCC.into()),
+            expr::ne(expr::local(pre_done), 1.into()),
+        )),
+        Action::Skip,
+        "nothing yet",
+    );
+
+    sys.add_component(sensor);
+    sys.add_component(panel);
+    (sys.build().unwrap(), zone2)
+}
+
+fn lost_alarm(system: &System, zone2: GlobalId) -> bool {
+    let panel = system.program().process_by_name("panel").unwrap();
+    let lost = Predicate::native("panel done, zone 2 silent", move |view| {
+        view.location_name(panel) == "done" && view.global(zone2) == 0
+    });
+    Checker::new(system.program())
+        .find_reachable(&lost)
+        .unwrap()
+        .is_some()
+}
+
+#[test]
+fn dropping_buffer_can_lose_an_alarm() {
+    let (system, zone2) = build(
+        ChannelKind::Dropping { capacity: 1 },
+        SendPortKind::AsynNonblocking,
+    );
+    assert!(lost_alarm(&system, zone2));
+}
+
+#[test]
+fn fifo_with_blocking_send_never_loses_alarms() {
+    let (system, zone2) = build(ChannelKind::Fifo { capacity: 2 }, SendPortKind::AsynBlocking);
+    assert!(!lost_alarm(&system, zone2));
+}
+
+/// Even a plain single-slot (non-dropping) buffer suffices once the send
+/// port blocks for space: lossiness came from the *dropping* channel plus
+/// the fire-and-forget port, not the capacity.
+#[test]
+fn single_slot_with_blocking_send_is_also_safe() {
+    let (system, zone2) = build(ChannelKind::SingleSlot, SendPortKind::AsynBlocking);
+    assert!(!lost_alarm(&system, zone2));
+}
+
+/// The components are structurally identical in every variant.
+#[test]
+fn alarm_components_are_design_independent() {
+    let shapes: Vec<Vec<(String, usize)>> = [
+        build(ChannelKind::Dropping { capacity: 1 }, SendPortKind::AsynNonblocking).0,
+        build(ChannelKind::Fifo { capacity: 2 }, SendPortKind::AsynBlocking).0,
+        build(ChannelKind::SingleSlot, SendPortKind::SynBlocking).0,
+    ]
+    .iter()
+    .map(|system| {
+        system
+            .program()
+            .processes()
+            .iter()
+            .filter(|p| p.name() == "sensor" || p.name() == "panel")
+            .map(|p| (p.name().to_string(), p.transition_count()))
+            .collect()
+    })
+    .collect();
+    assert_eq!(shapes[0], shapes[1]);
+    assert_eq!(shapes[1], shapes[2]);
+}

@@ -1,0 +1,192 @@
+//! Shared builders for the integration test suite: small producer/consumer
+//! systems wired through configurable connectors.
+#![allow(dead_code)] // each integration test binary uses a subset
+
+use pnp_core::{
+    ChannelKind, ComponentBuilder, ReceiveBinds, RecvAttachment, RecvPortKind, SendAttachment,
+    SendPortKind, System, SystemBuilder,
+};
+use pnp_kernel::{
+    expr, Action, Checker, Expr, GlobalId, Guard, Predicate, SafetyChecks, SafetyReport,
+};
+
+/// Signal value a component sees in its bound status local on success.
+pub const RECV_SUCC: i32 = pnp_core::signals::RECV_SUCC;
+
+/// Builds a producer that sends each `(data, tag)` pair in order through
+/// `port`, sets `all_sent` to 1, and terminates.
+pub fn producer(
+    name: &str,
+    port: &SendAttachment,
+    messages: &[(i32, i32)],
+    all_sent: GlobalId,
+) -> ComponentBuilder {
+    let mut p = ComponentBuilder::new(name);
+    let mut at = p.location("start");
+    for (i, &(data, tag)) in messages.iter().enumerate() {
+        let next = p.location(format!("sent{i}"));
+        p.send_msg(at, next, port, data.into(), tag.into(), None);
+        at = next;
+    }
+    let done = p.location("done");
+    p.mark_end(done);
+    p.transition(
+        at,
+        done,
+        Guard::always(),
+        Action::assign(all_sent, 1.into()),
+        "mark all sent",
+    );
+    p
+}
+
+/// Builds a consumer that receives `got.len()` messages (retrying on
+/// `RECV_FAIL`, so it works with blocking and non-blocking ports alike) and
+/// records the i-th payload into `got[i]`. An optional `selective` tag
+/// filters every receive; with `wait_for` the consumer first waits for that
+/// global to become 1.
+pub fn consumer(
+    name: &str,
+    port: &RecvAttachment,
+    got: &[GlobalId],
+    selective: Option<i32>,
+    wait_for: Option<GlobalId>,
+) -> ComponentBuilder {
+    let mut c = ComponentBuilder::new(name);
+    let status = c.local("status", 0);
+    let data = c.local("data", 0);
+    let mut at = c.location("start");
+    if let Some(flag) = wait_for {
+        let go = c.location("go");
+        c.transition(
+            at,
+            go,
+            Guard::when(expr::eq(expr::global(flag), 1.into())),
+            Action::Skip,
+            "wait for producer",
+        );
+        at = go;
+    }
+    for (i, &slot) in got.iter().enumerate() {
+        let check = c.location(format!("check{i}"));
+        c.recv_msg(
+            at,
+            check,
+            port,
+            selective.map(Into::into),
+            ReceiveBinds::data_into(data).with_status(status),
+        );
+        let store = c.location(format!("store{i}"));
+        c.transition(
+            check,
+            store,
+            Guard::when(expr::eq(expr::local(status), RECV_SUCC.into())),
+            Action::assign(slot, expr::local(data)),
+            format!("record message {i}"),
+        );
+        // Retry on failure (non-blocking port with nothing available yet).
+        c.transition(
+            check,
+            at,
+            Guard::when(expr::ne(expr::local(status), RECV_SUCC.into())),
+            Action::Skip,
+            "retry receive",
+        );
+        at = store;
+    }
+    let done = c.location("done");
+    c.mark_end(done);
+    c.goto(at, done, "consumer done");
+    c
+}
+
+/// A one-producer / one-consumer system through a single connector.
+pub struct Wire {
+    /// The assembled system.
+    pub system: System,
+    /// The `all_sent` marker global.
+    pub all_sent: GlobalId,
+    /// Ids of the `got*` globals (one per expected receive).
+    pub got: Vec<GlobalId>,
+}
+
+/// Builds a system where a producer sends `messages` through the
+/// `(send, channel, recv)` connector composition and a consumer receives
+/// `recv_count` of them (optionally selectively; optionally only after all
+/// sends completed).
+pub fn wire_system(
+    send: SendPortKind,
+    channel: ChannelKind,
+    recv: RecvPortKind,
+    messages: &[(i32, i32)],
+    recv_count: usize,
+    selective: Option<i32>,
+    wait_for_all_sent: bool,
+) -> Wire {
+    let mut sys = SystemBuilder::new();
+    let all_sent = sys.global("all_sent", 0);
+    let got: Vec<_> = (0..recv_count)
+        .map(|i| sys.global(format!("got{i}"), 0))
+        .collect();
+    let conn = sys.connector("wire", channel);
+    let tx = sys.send_port(conn, send);
+    let rx = sys.recv_port(conn, recv);
+    let p = producer("producer", &tx, messages, all_sent);
+    let c = consumer(
+        "consumer",
+        &rx,
+        &got,
+        selective,
+        wait_for_all_sent.then_some(all_sent),
+    );
+    sys.add_component(p);
+    sys.add_component(c);
+    Wire {
+        system: sys.build().expect("wire system builds"),
+        all_sent,
+        got,
+    }
+}
+
+/// Runs a safety check with the given invariants (deadlock detection off).
+pub fn check_invariants(system: &System, invariants: Vec<(String, Predicate)>) -> SafetyReport {
+    Checker::new(system.program())
+        .check_safety(&SafetyChecks {
+            deadlock: false,
+            invariants,
+        })
+        .expect("model evaluates")
+}
+
+/// `true` when a state satisfying `condition` (over globals) is reachable.
+pub fn reachable(system: &System, condition: Expr) -> bool {
+    let report = check_invariants(
+        system,
+        vec![(
+            "reachability probe".to_string(),
+            Predicate::from_expr(expr::not(condition)),
+        )],
+    );
+    !report.outcome.is_holds()
+}
+
+/// Asserts the invariant holds over the full state space.
+pub fn assert_invariant(system: &System, name: &str, condition: Expr) {
+    let report = check_invariants(
+        system,
+        vec![(name.to_string(), Predicate::from_expr(condition))],
+    );
+    assert!(
+        report.outcome.is_holds(),
+        "invariant '{name}' violated: {:?}",
+        report.outcome
+    );
+    assert!(!report.truncated, "search truncated for '{name}'");
+}
+
+/// Runs a deadlock check and returns the report.
+pub fn check_deadlock(system: &System) -> SafetyReport {
+    Checker::new(system.program())
+        .check_safety(&SafetyChecks::deadlock_only())
+        .expect("model evaluates")
+}

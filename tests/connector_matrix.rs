@@ -1,0 +1,131 @@
+//! E1/E3 — the building-block library conformance matrix (paper Figs. 1–3).
+//!
+//! Every send-port kind x channel kind x receive-port kind composition is
+//! assembled around the *same* producer and consumer components (the
+//! standard component interfaces) and verified:
+//!
+//! * a sent message is always deliverable (reachability),
+//! * the consumer never observes a value that was not sent (invariant),
+//! * the composition is deadlock-free.
+//!
+//! Per-kind semantics (ordering, loss, priority, selectivity, copy
+//! delivery) are pinned down in `connector_semantics.rs`.
+
+mod common;
+
+use common::{check_deadlock, reachable, wire_system};
+use pnp_core::{ChannelKind, RecvPortKind, SendPortKind};
+use pnp_kernel::expr;
+
+fn all_channels() -> Vec<ChannelKind> {
+    vec![
+        ChannelKind::SingleSlot,
+        ChannelKind::Fifo { capacity: 2 },
+        ChannelKind::Priority { capacity: 2 },
+        ChannelKind::Dropping { capacity: 2 },
+        ChannelKind::Sliding { capacity: 2 },
+    ]
+}
+
+/// The full 5 x 5 x 4 composition matrix, one message end to end.
+#[test]
+fn every_composition_delivers_and_is_deadlock_free() {
+    for send in SendPortKind::ALL {
+        for channel in all_channels() {
+            for recv in RecvPortKind::ALL {
+                let wire = wire_system(send, channel, recv, &[(7, 0)], 1, None, false);
+                let label = format!("{} -> {} -> {}", send.name(), channel.name(), recv.name());
+
+                // The payload is deliverable...
+                assert!(
+                    reachable(&wire.system, expr::eq(expr::global(wire.got[0]), 7.into())),
+                    "{label}: message not deliverable"
+                );
+                // ...nothing else ever arrives...
+                let ok = expr::or(
+                    expr::eq(expr::global(wire.got[0]), 0.into()),
+                    expr::eq(expr::global(wire.got[0]), 7.into()),
+                );
+                common::assert_invariant(&wire.system, &format!("{label}: no phantom"), ok);
+                // ...and the composition cannot deadlock.
+                let report = check_deadlock(&wire.system);
+                assert!(
+                    report.outcome.is_holds(),
+                    "{label}: deadlock: {:?}",
+                    report.outcome.trace().map(|t| wire.system.explain_trace(t))
+                );
+            }
+        }
+    }
+}
+
+/// The consumer component is byte-identical across the whole matrix: the
+/// standard interfaces hide every connector difference (paper Fig. 3).
+#[test]
+fn components_are_identical_across_the_matrix() {
+    let mut shapes = Vec::new();
+    for send in SendPortKind::ALL {
+        for recv in RecvPortKind::ALL {
+            let wire = wire_system(
+                send,
+                ChannelKind::SingleSlot,
+                recv,
+                &[(7, 0)],
+                1,
+                None,
+                false,
+            );
+            let shape: Vec<(String, usize, usize)> = wire
+                .system
+                .program()
+                .processes()
+                .iter()
+                .filter(|p| p.name() == "producer" || p.name() == "consumer")
+                .map(|p| (p.name().to_string(), p.location_count(), p.transition_count()))
+                .collect();
+            shapes.push(shape);
+        }
+    }
+    for pair in shapes.windows(2) {
+        assert_eq!(pair[0], pair[1], "component models differ across connectors");
+    }
+}
+
+/// Two messages through every non-dropping channel arrive exactly once
+/// each, in some order, with no loss.
+#[test]
+fn two_messages_survive_non_dropping_channels() {
+    for channel in [ChannelKind::Fifo { capacity: 2 }, ChannelKind::Priority { capacity: 2 }] {
+        for send in [SendPortKind::AsynBlocking, SendPortKind::SynBlocking] {
+            let wire = wire_system(
+                send,
+                channel,
+                RecvPortKind::blocking(),
+                &[(1, 0), (2, 0)],
+                2,
+                None,
+                false,
+            );
+            let label = format!("{} -> {}", send.name(), channel.name());
+            // Both end up delivered (in FIFO order for the FIFO channel,
+            // checked separately); the multiset {1,2} is preserved.
+            let both = expr::or(
+                expr::and(
+                    expr::eq(expr::global(wire.got[0]), 1.into()),
+                    expr::eq(expr::global(wire.got[1]), 2.into()),
+                ),
+                expr::and(
+                    expr::eq(expr::global(wire.got[0]), 2.into()),
+                    expr::eq(expr::global(wire.got[1]), 1.into()),
+                ),
+            );
+            assert!(
+                reachable(&wire.system, both.clone()),
+                "{label}: both messages never delivered"
+            );
+            // Termination implies both delivered: consumer done => both set.
+            let deadlock = check_deadlock(&wire.system);
+            assert!(deadlock.outcome.is_holds(), "{label}: {:?}", deadlock.outcome);
+        }
+    }
+}

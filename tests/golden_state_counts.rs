@@ -1,0 +1,84 @@
+//! Golden state-space sizes: exploration is deterministic, so these exact
+//! counts pin down the semantics of the step engine, the block models, and
+//! the partial-order reduction. A change to any of them shows up here
+//! first — deliberate changes should update the numbers (and the matching
+//! tables in EXPERIMENTS.md).
+
+mod common;
+
+use common::wire_system;
+use pnp_bridge::{exactly_n_bridge, safety_invariant, BridgeConfig};
+use pnp_core::{ChannelKind, RecvPortKind, SendPortKind};
+use pnp_kernel::{Checker, SafetyChecks};
+
+#[test]
+fn buggy_bridge_explores_exactly_the_recorded_states() {
+    let system = exactly_n_bridge(&BridgeConfig::buggy()).unwrap();
+    let program = system.program();
+    let report = Checker::new(program)
+        .check_safety(&SafetyChecks {
+            deadlock: false,
+            invariants: vec![safety_invariant(program)],
+        })
+        .unwrap();
+    assert_eq!(report.stats.unique_states, 1047);
+    assert_eq!(report.outcome.trace().unwrap().len(), 14);
+}
+
+#[test]
+fn pipe_state_counts_match_experiments_table() {
+    // Deadlock check of the shared test harness's 2-message pipe, POR on.
+    // (EXPERIMENTS.md's E2 table uses the slightly leaner bench-crate
+    // consumer, hence different absolute values; the *ordering* — sync
+    // ports prune roughly half the states — is the same.)
+    let expectations = [
+        (SendPortKind::AsynNonblocking, 226usize),
+        (SendPortKind::AsynBlocking, 194),
+        (SendPortKind::AsynChecking, 194),
+        (SendPortKind::SynBlocking, 95),
+        (SendPortKind::SynChecking, 95),
+    ];
+    for (send, expected) in expectations {
+        let wire = wire_system(
+            send,
+            ChannelKind::Fifo { capacity: 2 },
+            RecvPortKind::blocking(),
+            &[(1, 0), (2, 0)],
+            2,
+            None,
+            false,
+        );
+        let report = Checker::new(wire.system.program())
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
+        assert_eq!(
+            report.stats.unique_states,
+            expected,
+            "{} composition drifted",
+            send.name()
+        );
+    }
+}
+
+#[test]
+fn exploration_is_deterministic_across_runs() {
+    let count = || {
+        let wire = wire_system(
+            SendPortKind::AsynBlocking,
+            ChannelKind::Priority { capacity: 2 },
+            RecvPortKind::blocking(),
+            &[(1, 2), (2, 1)],
+            2,
+            None,
+            false,
+        );
+        Checker::new(wire.system.program())
+            .state_space_size()
+            .unwrap()
+            .unique_states
+    };
+    let first = count();
+    for _ in 0..3 {
+        assert_eq!(count(), first);
+    }
+}

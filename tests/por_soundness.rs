@@ -1,0 +1,201 @@
+//! Partial-order reduction soundness: the reduced search must agree with
+//! full exploration on every verdict, while exploring no more states.
+
+mod common;
+
+use common::wire_system;
+use pnp_bridge::{exactly_n_bridge, safety_invariant, BridgeConfig};
+use pnp_core::{ChannelKind, RecvPortKind, SendPortKind};
+use pnp_kernel::{expr, Checker, Predicate, SafetyChecks, SafetyOutcome, SearchConfig};
+
+fn outcomes_match(a: &SafetyOutcome, b: &SafetyOutcome) -> bool {
+    matches!(
+        (a, b),
+        (SafetyOutcome::Holds, SafetyOutcome::Holds)
+            | (
+                SafetyOutcome::InvariantViolated { .. },
+                SafetyOutcome::InvariantViolated { .. }
+            )
+            | (
+                SafetyOutcome::AssertionFailed { .. },
+                SafetyOutcome::AssertionFailed { .. }
+            )
+            | (SafetyOutcome::Deadlock { .. }, SafetyOutcome::Deadlock { .. })
+    )
+}
+
+fn check_both(program: &pnp_kernel::Program, checks: &SafetyChecks) -> (SafetyOutcome, usize, usize) {
+    let full = Checker::with_config(
+        program,
+        SearchConfig {
+            partial_order_reduction: false,
+            ..SearchConfig::default()
+        },
+    )
+    .check_safety(checks)
+    .unwrap();
+    let reduced = Checker::new(program).check_safety(checks).unwrap();
+    assert!(
+        outcomes_match(&full.outcome, &reduced.outcome),
+        "verdicts diverge: full={:?} reduced={:?}",
+        full.outcome,
+        reduced.outcome
+    );
+    // State-count dominance only holds for complete (Holds) searches.
+    if full.outcome.is_holds() {
+        assert!(
+            reduced.stats.unique_states <= full.stats.unique_states,
+            "reduction explored more states"
+        );
+    }
+    (
+        reduced.outcome,
+        full.stats.unique_states,
+        reduced.stats.unique_states,
+    )
+}
+
+#[test]
+fn por_agrees_on_the_buggy_bridge() {
+    let system = exactly_n_bridge(&BridgeConfig::buggy()).unwrap();
+    let program = system.program();
+    let checks = SafetyChecks {
+        deadlock: false,
+        invariants: vec![safety_invariant(program)],
+    };
+    let (outcome, _, _) = check_both(program, &checks);
+    assert!(matches!(outcome, SafetyOutcome::InvariantViolated { .. }));
+}
+
+#[test]
+fn por_agrees_on_the_fixed_bridge_and_shrinks_it() {
+    let system = exactly_n_bridge(&BridgeConfig::fixed().with_laps(Some(1))).unwrap();
+    let program = system.program();
+    let checks = SafetyChecks {
+        deadlock: false,
+        invariants: vec![safety_invariant(program)],
+    };
+    let (outcome, full, reduced) = check_both(program, &checks);
+    assert!(outcome.is_holds());
+    assert!(
+        reduced * 2 < full,
+        "expected >=2x shrink, got full={full} reduced={reduced}"
+    );
+}
+
+#[test]
+fn por_agrees_across_connector_compositions() {
+    for send in [
+        SendPortKind::AsynNonblocking,
+        SendPortKind::SynBlocking,
+        SendPortKind::AsynChecking,
+    ] {
+        for channel in [ChannelKind::SingleSlot, ChannelKind::Dropping { capacity: 1 }] {
+            for recv in [RecvPortKind::blocking(), RecvPortKind::nonblocking()] {
+                let wire = wire_system(send, channel, recv, &[(7, 0), (9, 0)], 2, None, false);
+                let program = wire.system.program();
+                // Deadlock + a payload invariant together.
+                let checks = SafetyChecks {
+                    deadlock: true,
+                    invariants: vec![(
+                        "payloads are 0, 7 or 9".into(),
+                        Predicate::from_expr(expr::and(
+                            expr::or(
+                                expr::or(
+                                    expr::eq(expr::global(wire.got[0]), 0.into()),
+                                    expr::eq(expr::global(wire.got[0]), 7.into()),
+                                ),
+                                expr::eq(expr::global(wire.got[0]), 9.into()),
+                            ),
+                            expr::or(
+                                expr::or(
+                                    expr::eq(expr::global(wire.got[1]), 0.into()),
+                                    expr::eq(expr::global(wire.got[1]), 7.into()),
+                                ),
+                                expr::eq(expr::global(wire.got[1]), 9.into()),
+                            ),
+                        )),
+                    )],
+                };
+                check_both(program, &checks);
+            }
+        }
+    }
+}
+
+/// Native predicates force the reduction off automatically (they may read
+/// locals); the verdict still matches an explicitly-unreduced run.
+#[test]
+fn native_predicates_disable_reduction_soundly() {
+    let wire = wire_system(
+        SendPortKind::AsynBlocking,
+        ChannelKind::SingleSlot,
+        RecvPortKind::blocking(),
+        &[(7, 0)],
+        1,
+        None,
+        false,
+    );
+    let program = wire.system.program();
+    let consumer = program.process_by_name("consumer").unwrap();
+    let checks = SafetyChecks {
+        deadlock: false,
+        invariants: vec![(
+            "consumer data local is 0 or 7".into(),
+            Predicate::native("local probe", move |view| {
+                let v = view.local(consumer, 1);
+                v == 0 || v == 7
+            }),
+        )],
+    };
+    let auto = Checker::new(program).check_safety(&checks).unwrap();
+    let manual = Checker::with_config(
+        program,
+        SearchConfig {
+            partial_order_reduction: false,
+            ..SearchConfig::default()
+        },
+    )
+    .check_safety(&checks)
+    .unwrap();
+    assert!(auto.outcome.is_holds());
+    // Identical state counts prove the automatic opt-out kicked in.
+    assert_eq!(auto.stats.unique_states, manual.stats.unique_states);
+}
+
+/// LTL verdicts agree with and without reduction (fairness off, where the
+/// reduction is permitted).
+#[test]
+fn por_agrees_on_ltl_without_fairness() {
+    let wire = wire_system(
+        SendPortKind::AsynBlocking,
+        ChannelKind::SingleSlot,
+        RecvPortKind::blocking(),
+        &[(7, 0)],
+        1,
+        None,
+        false,
+    );
+    let program = wire.system.program();
+    let delivered = pnp_kernel::Proposition::new(
+        "delivered",
+        Predicate::from_expr(expr::eq(expr::global(wire.got[0]), 7.into())),
+    );
+    let formula = pnp_ltl::parse("[] ! delivered").unwrap(); // must be violated
+    for por in [true, false] {
+        let report = Checker::with_config(
+            program,
+            SearchConfig {
+                partial_order_reduction: por,
+                ..SearchConfig::default()
+            },
+        )
+        .check_ltl_with(&formula, std::slice::from_ref(&delivered), pnp_kernel::Fairness::None)
+        .unwrap();
+        assert!(
+            !report.outcome.is_holds(),
+            "por={por}: expected violation, got {:?}",
+            report.outcome
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! E11/E12 — the Section 6 extensions: publish/subscribe connectors, and
+//! fused (optimized) connectors with their state-space ablation.
+
+mod common;
+
+use common::{check_deadlock, consumer, reachable};
+use pnp_core::{
+    ChannelKind, ComponentBuilder, EventChannelSpec, FusedConnectorKind,
+    RecvPortKind, SendPortKind, Subscription, SystemBuilder,
+};
+use pnp_kernel::{expr, Checker, Guard};
+
+/// One publisher, two subscribers (one tag-filtered): every matching
+/// subscriber sees the event; the filtered one never sees foreign tags.
+#[test]
+fn events_fan_out_to_matching_subscriptions() {
+    let mut sys = SystemBuilder::new();
+    let all_sent = sys.global("all_sent", 0);
+    let got_all = sys.global("got0", 0);
+    let got_filtered = sys.global("got1", 0);
+
+    let news = sys.event_connector(
+        "news",
+        EventChannelSpec {
+            per_subscription_capacity: 2,
+        },
+    );
+    let pub_port = sys.publisher(news, SendPortKind::AsynBlocking);
+    let sub_all = sys.subscriber(news, RecvPortKind::nonblocking(), Subscription::all());
+    let sub_sports = sys.subscriber(news, RecvPortKind::nonblocking(), Subscription::to_tag(2));
+
+    // Publish (data 10, tag 1) then (data 20, tag 2).
+    let publisher = common::producer("publisher", &pub_port, &[(10, 1), (20, 2)], all_sent);
+    // The unfiltered subscriber reads one event; the filtered one reads one
+    // event (which can only be the tag-2 event).
+    let s1 = consumer("sub_all", &sub_all, &[got_all], None, Some(all_sent));
+    let s2 = consumer(
+        "sub_sports",
+        &sub_sports,
+        &[got_filtered],
+        None,
+        Some(all_sent),
+    );
+    sys.add_component(publisher);
+    sys.add_component(s1);
+    sys.add_component(s2);
+    let system = sys.build().unwrap();
+
+    // The filtered subscriber can only ever observe the tag-2 payload.
+    common::assert_invariant(
+        &system,
+        "filter admits only tag 2",
+        expr::or(
+            expr::eq(expr::global(got_filtered), 0.into()),
+            expr::eq(expr::global(got_filtered), 20.into()),
+        ),
+    );
+    // Both events reach the unfiltered subscriber's queue; its first read
+    // is the earlier event (per-subscription FIFO).
+    common::assert_invariant(
+        &system,
+        "unfiltered sees fifo head",
+        expr::or(
+            expr::eq(expr::global(got_all), 0.into()),
+            expr::eq(expr::global(got_all), 10.into()),
+        ),
+    );
+    assert!(reachable(&system, expr::eq(expr::global(got_filtered), 20.into())));
+    assert!(reachable(&system, expr::eq(expr::global(got_all), 10.into())));
+    assert!(check_deadlock(&system).outcome.is_holds());
+}
+
+/// A full subscription queue drops new events for that subscriber only;
+/// other subscribers still receive them.
+#[test]
+fn slow_subscribers_lose_events_quietly() {
+    let mut sys = SystemBuilder::new();
+    let all_sent = sys.global("all_sent", 0);
+    let got = sys.global("got0", 0);
+
+    let news = sys.event_connector("news", EventChannelSpec::default()); // capacity 1
+    let pub_port = sys.publisher(news, SendPortKind::AsynBlocking);
+    let sub = sys.subscriber(news, RecvPortKind::nonblocking(), Subscription::all());
+
+    // Two publishes before the subscriber wakes: the second is dropped.
+    let publisher = common::producer("publisher", &pub_port, &[(1, 0), (2, 0)], all_sent);
+    let s = consumer("sub", &sub, &[got], None, Some(all_sent));
+    sys.add_component(publisher);
+    sys.add_component(s);
+    let system = sys.build().unwrap();
+
+    common::assert_invariant(
+        &system,
+        "only the first event survives a full queue",
+        expr::or(
+            expr::eq(expr::global(got), 0.into()),
+            expr::eq(expr::global(got), 1.into()),
+        ),
+    );
+    // The publisher always completes: publishing is fire-and-forget.
+    assert!(check_deadlock(&system).outcome.is_holds());
+}
+
+/// Builds equivalent composed and fused async-FIFO systems and checks they
+/// agree observably while the fused one explores far fewer states (the
+/// Section 6 optimization, quantified).
+#[test]
+fn fused_async_fifo_matches_composed_and_is_smaller() {
+    let build = |fused: bool| -> (pnp_core::System, pnp_kernel::GlobalId) {
+        let mut sys = SystemBuilder::new();
+        let all_sent = sys.global("all_sent", 0);
+        let got = sys.global("got0", 0);
+        let (tx, rx) = if fused {
+            sys.fused_connector("wire", FusedConnectorKind::AsyncFifo { capacity: 2 })
+        } else {
+            let conn = sys.connector("wire", ChannelKind::Fifo { capacity: 2 });
+            (
+                sys.send_port(conn, SendPortKind::AsynBlocking),
+                sys.recv_port(conn, RecvPortKind::blocking()),
+            )
+        };
+        let p = common::producer("producer", &tx, &[(7, 0), (8, 0)], all_sent);
+        let c = consumer("consumer", &rx, &[got], None, None);
+        sys.add_component(p);
+        sys.add_component(c);
+        (sys.build().unwrap(), got)
+    };
+
+    let (composed, got_c) = build(false);
+    let (fused, got_f) = build(true);
+
+    // Same observable facts: first delivery is the first message.
+    for (system, got) in [(&composed, got_c), (&fused, got_f)] {
+        common::assert_invariant(
+            system,
+            "fifo head first",
+            expr::or(
+                expr::eq(expr::global(got), 0.into()),
+                expr::eq(expr::global(got), 7.into()),
+            ),
+        );
+        assert!(reachable(system, expr::eq(expr::global(got), 7.into())));
+        assert!(check_deadlock(system).outcome.is_holds());
+    }
+
+    // Ablation: the fused model's reachable state space is substantially
+    // smaller even after partial-order reduction.
+    let size = |s: &pnp_core::System| {
+        Checker::new(s.program())
+            .state_space_size()
+            .unwrap()
+            .unique_states
+    };
+    let composed_states = size(&composed);
+    let fused_states = size(&fused);
+    assert!(
+        fused_states * 2 < composed_states,
+        "expected >=2x reduction: fused {fused_states} vs composed {composed_states}"
+    );
+}
+
+/// The fused synchronous handshake releases the sender only after delivery,
+/// matching the composed SynBlocking -> SingleSlot -> BlRecv stack.
+#[test]
+fn fused_sync_handshake_is_synchronous() {
+    let mut sys = SystemBuilder::new();
+    let all_sent = sys.global("all_sent", 0);
+    let got = sys.global("got0", 0);
+    let (tx, rx) = sys.fused_connector("wire", FusedConnectorKind::SyncHandshake);
+    let p = common::producer("producer", &tx, &[(7, 0)], all_sent);
+    let c = consumer("consumer", &rx, &[got], None, None);
+    sys.add_component(p);
+    sys.add_component(c);
+    let system = sys.build().unwrap();
+
+    // Synchrony: the producer is never done while the message is
+    // undelivered. Delivery is the rendezvous that binds the consumer's
+    // `data` local, so probe that local directly (the `got` global is one
+    // internal bookkeeping step behind).
+    let consumer_pid = system.program().process_by_name("consumer").unwrap();
+    let report = common::check_invariants(
+        &system,
+        vec![(
+            "confirmation implies delivery".into(),
+            pnp_kernel::Predicate::native("sent implies consumer holds data", move |view| {
+                view.global(all_sent) == 0 || view.local(consumer_pid, 1) == 7
+            }),
+        )],
+    );
+    assert!(report.outcome.is_holds(), "{:?}", report.outcome);
+    assert!(reachable(&system, expr::eq(expr::global(got), 7.into())));
+    assert!(check_deadlock(&system).outcome.is_holds());
+}
+
+/// Fused connectors appear in trace explanations under their own role.
+#[test]
+fn fused_role_appears_in_topology() {
+    let mut sys = SystemBuilder::new();
+    let (tx, _rx) = sys.fused_connector("wire", FusedConnectorKind::SyncHandshake);
+    let mut c = ComponentBuilder::new("lonely");
+    let s0 = c.location("s0");
+    let s1 = c.location("s1");
+    c.mark_end(s1);
+    c.send_msg(s0, s1, &tx, 1.into(), 0.into(), None);
+    // Add a guard-free consumer to keep the build well-formed.
+    let _ = Guard::always();
+    sys.add_component(c);
+    let system = sys.build().unwrap();
+    let described: Vec<String> = system
+        .topology()
+        .iter()
+        .map(|(_, role)| role.describe())
+        .collect();
+    assert!(
+        described.iter().any(|d| d.contains("FusedSyncHandshake")),
+        "{described:?}"
+    );
+}
