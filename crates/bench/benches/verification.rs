@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use pnp_bench::{composed_pipe, fused_pipe, verify_bridge};
+use pnp_bench::{composed_pipe, fault_pipes, fused_pipe, verify_bridge};
 use pnp_bridge::{exactly_n_bridge, BridgeConfig};
 use pnp_core::{ChannelKind, FusedConnectorKind, RecvPortKind, SendPortKind};
 use pnp_kernel::{Checker, SafetyChecks};
@@ -89,11 +89,22 @@ fn fused_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+fn fault_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_injection_overhead");
+    for (label, system) in fault_pipes(2) {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &system, |b, system| {
+            b.iter(|| Checker::new(system.program()).state_space_size().unwrap())
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bridge_verification,
     por_ablation,
     connector_compositions,
-    fused_ablation
+    fused_ablation,
+    fault_overhead
 );
 criterion_main!(benches);

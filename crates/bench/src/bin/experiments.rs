@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use pnp_bench::{bridges, composed_pipe, fused_pipe, verify_bridge};
+use pnp_bench::{bridges, composed_pipe, fault_pipes, fused_pipe, verify_bridge};
 use pnp_bridge::{at_most_n_bridge, crossings_in, exactly_n_bridge, BridgeConfig};
 use pnp_core::{ChannelKind, FusedConnectorKind, RecvPortKind, SendPortKind, SystemBuilder};
 use pnp_kernel::{Checker, SafetyChecks, SafetyOutcome};
@@ -22,6 +22,26 @@ fn main() {
     e11_fused_vs_composed();
     e14_scaling(full);
     por_ablation();
+    fault_costs();
+}
+
+fn fault_costs() {
+    println!("== Fault injection — verification cost under each fault kind ==");
+    println!(
+        "{:<26} {:>12} {:>10}",
+        "pipe variant (2 msgs)", "states", "time"
+    );
+    for (label, system) in fault_pipes(2) {
+        let t0 = Instant::now();
+        let stats = Checker::new(system.program()).state_space_size().unwrap();
+        println!(
+            "{:<26} {:>12} {:>9.2?}",
+            label,
+            stats.unique_states,
+            t0.elapsed()
+        );
+    }
+    println!();
 }
 
 fn e6_e7_e8_bridge_verdicts() {
@@ -35,7 +55,10 @@ fn e6_e7_e8_bridge_verdicts() {
         let (outcome, stats) = verify_bridge(&system, true);
         let (verdict, trace_len) = match &outcome {
             SafetyOutcome::Holds => ("SAFE", "-".to_string()),
-            o => ("UNSAFE", o.trace().map(|t| t.len().to_string()).unwrap_or_default()),
+            o => (
+                "UNSAFE",
+                o.trace().map(|t| t.len().to_string()).unwrap_or_default(),
+            ),
         };
         println!(
             "{:<22} {:>10} {:>10} {:>14} {:>9.2?}",
@@ -51,10 +74,7 @@ fn e6_e7_e8_bridge_verdicts() {
 
 fn e2_connector_swap_costs() {
     println!("== E2 — plug-and-play swaps: re-verification after one block change ==");
-    println!(
-        "{:<52} {:>10} {:>10}",
-        "composition", "states", "verdict"
-    );
+    println!("{:<52} {:>10} {:>10}", "composition", "states", "verdict");
     let channel = ChannelKind::Fifo { capacity: 2 };
     for send in SendPortKind::ALL {
         let system = composed_pipe(send, channel, RecvPortKind::blocking(), 2);
@@ -65,7 +85,11 @@ fn e2_connector_swap_costs() {
             "{:<52} {:>10} {:>10}",
             format!("{} -> FIFO(2) -> BlRecv(remove)", send.name()),
             report.stats.unique_states,
-            if report.outcome.is_holds() { "ok" } else { "FAIL" }
+            if report.outcome.is_holds() {
+                "ok"
+            } else {
+                "FAIL"
+            }
         );
     }
     for ch in [
@@ -82,7 +106,11 @@ fn e2_connector_swap_costs() {
             "{:<52} {:>10} {:>10}",
             format!("AsynBlockingSend -> {} -> BlRecv(remove)", ch.name()),
             report.stats.unique_states,
-            if report.outcome.is_holds() { "ok" } else { "FAIL" }
+            if report.outcome.is_holds() {
+                "ok"
+            } else {
+                "FAIL"
+            }
         );
     }
     println!();
@@ -155,10 +183,7 @@ fn e10_model_reuse() {
 
 fn e11_fused_vs_composed() {
     println!("== E11 — Section 6 ablation: composed blocks vs fused connector ==");
-    println!(
-        "{:<46} {:>10} {:>10}",
-        "connector", "states", "time"
-    );
+    println!("{:<46} {:>10} {:>10}", "connector", "states", "time");
     for messages in [2usize, 3] {
         let composed = composed_pipe(
             SendPortKind::AsynBlocking,

@@ -7,12 +7,11 @@
 //!
 //! Helpers here build the standard systems the benchmarks measure.
 
-
 #![warn(missing_docs)]
 use pnp_bridge::{at_most_n_bridge, exactly_n_bridge, safety_invariant, BridgeConfig};
 use pnp_core::{
-    ChannelKind, ComponentBuilder, FusedConnectorKind, ReceiveBinds, RecvAttachment,
-    RecvPortKind, SendAttachment, SendPortKind, System, SystemBuilder,
+    ChannelKind, ComponentBuilder, FusedConnectorKind, ReceiveBinds, RecvAttachment, RecvPortKind,
+    SendAttachment, SendPortKind, System, SystemBuilder,
 };
 use pnp_kernel::{
     expr, Checker, GlobalId, Guard, SafetyChecks, SafetyOutcome, SearchConfig, SearchStats,
@@ -102,6 +101,61 @@ pub fn verify_bridge(system: &System, por: bool) -> (SafetyOutcome, SearchStats)
         })
         .expect("bridge evaluates");
     (report.outcome, report.stats)
+}
+
+/// Builds the fault-injection cost ladder: the same retrying
+/// producer/consumer pipe composed with a fault-free channel, each channel
+/// fault decorator, and crash-restart ports on both sides. Verifying each
+/// variant measures what a fault block costs the checker.
+pub fn fault_pipes(messages: usize) -> Vec<(&'static str, System)> {
+    let base = ChannelKind::Fifo { capacity: 2 };
+    vec![
+        (
+            "fault-free",
+            composed_pipe(
+                SendPortKind::AsynBlocking,
+                base,
+                RecvPortKind::blocking(),
+                messages,
+            ),
+        ),
+        (
+            "lossy channel",
+            composed_pipe(
+                SendPortKind::AsynBlocking,
+                ChannelKind::lossy(base),
+                RecvPortKind::blocking(),
+                messages,
+            ),
+        ),
+        (
+            "duplicating channel",
+            composed_pipe(
+                SendPortKind::AsynBlocking,
+                ChannelKind::duplicating(base),
+                RecvPortKind::blocking(),
+                messages,
+            ),
+        ),
+        (
+            "reordering channel",
+            composed_pipe(
+                SendPortKind::AsynBlocking,
+                ChannelKind::reordering(base),
+                RecvPortKind::blocking(),
+                messages,
+            ),
+        ),
+        (
+            "crash-restart ports",
+            composed_pipe(
+                SendPortKind::CrashRestart,
+                base,
+                RecvPortKind::crash_restart(),
+                messages,
+            ),
+        ),
+    ]
 }
 
 /// Builds the standard experiment bridges.

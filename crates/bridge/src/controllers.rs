@@ -51,7 +51,13 @@ pub fn exactly_n_controller(
         Action::Skip,
         "may admit another",
     );
-    ctrl.recv_msg(admit_gate, admitted_one, enter, None, ReceiveBinds::ignore());
+    ctrl.recv_msg(
+        admit_gate,
+        admitted_one,
+        enter,
+        None,
+        ReceiveBinds::ignore(),
+    );
     let count_admit = Action::assign(admitted, expr::local(admitted) + 1.into());
     ctrl.transition(
         admitted_one,
@@ -206,7 +212,13 @@ pub fn at_most_n_controller(
         None,
         ReceiveBinds::data_into(needed).with_status(status),
     );
-    ctrl.transition(handover_check, collect, succ.clone(), Action::Skip, "turn received");
+    ctrl.transition(
+        handover_check,
+        collect,
+        succ.clone(),
+        Action::Skip,
+        "turn received",
+    );
     ctrl.transition(
         handover_check,
         handover_wait,

@@ -1,8 +1,6 @@
 //! Assembly of the two bridge designs from the PnP building blocks.
 
-use pnp_core::{
-    ChannelKind, RecvPortKind, SendPortKind, System, SystemBuildError, SystemBuilder,
-};
+use pnp_core::{ChannelKind, RecvPortKind, SendPortKind, System, SystemBuildError, SystemBuilder};
 
 use crate::cars::car_component;
 use crate::controllers::{at_most_n_controller, exactly_n_controller, ControllerSide};
@@ -57,6 +55,45 @@ impl BridgeConfig {
             enter_send: SendPortKind::SynBlocking,
             ..BridgeConfig::buggy()
         }
+    }
+
+    /// The fixed design deployed over a *lossy* enter channel, with a
+    /// checking (non-retrying) synchronous send port. The channel may drop
+    /// an enter request and report the loss as `SEND_FAIL`; the checking
+    /// port passes the failure on instead of retrying, and the car —
+    /// unchanged, as always — drives on regardless. Verification finds an
+    /// opposite-direction crash again: the deployment fault re-opens the
+    /// fixed design's safety argument.
+    pub fn lossy_enter() -> BridgeConfig {
+        BridgeConfig {
+            enter_send: SendPortKind::SynChecking,
+            enter_channel: ChannelKind::lossy(ChannelKind::Fifo { capacity: 2 }),
+            ..BridgeConfig::buggy()
+        }
+    }
+
+    /// The one-block repair for [`BridgeConfig::lossy_enter`]: swap the
+    /// checking send port for the *blocking* (retrying) synchronous
+    /// variant. The port re-offers the request until the channel accepts
+    /// it, masking the loss entirely — the design re-verifies clean on the
+    /// same lossy channel without touching any component model.
+    pub fn lossy_enter_fixed() -> BridgeConfig {
+        BridgeConfig {
+            enter_send: SendPortKind::SynBlocking,
+            ..BridgeConfig::lossy_enter()
+        }
+    }
+
+    /// Sets the enter-request send-port kind.
+    pub fn with_enter_send(mut self, kind: SendPortKind) -> BridgeConfig {
+        self.enter_send = kind;
+        self
+    }
+
+    /// Sets the enter-request channel kind.
+    pub fn with_enter_channel(mut self, kind: ChannelKind) -> BridgeConfig {
+        self.enter_channel = kind;
+        self
     }
 
     /// Sets the car counts.
@@ -214,7 +251,10 @@ pub fn at_most_n_bridge(config: &BridgeConfig) -> Result<System, SystemBuildErro
 /// # Errors
 ///
 /// As for the specific builders.
-pub fn build_bridge(design: BridgeDesign, config: &BridgeConfig) -> Result<System, SystemBuildError> {
+pub fn build_bridge(
+    design: BridgeDesign,
+    config: &BridgeConfig,
+) -> Result<System, SystemBuildError> {
     match design {
         BridgeDesign::ExactlyN => exactly_n_bridge(config),
         BridgeDesign::AtMostN => at_most_n_bridge(config),
@@ -271,7 +311,13 @@ mod tests {
                 .iter()
                 .zip(s.topology().iter())
                 .filter(|(_, (_, role))| !role.is_connector_part())
-                .map(|(p, _)| (p.name().to_string(), p.location_count(), p.transition_count()))
+                .map(|(p, _)| {
+                    (
+                        p.name().to_string(),
+                        p.location_count(),
+                        p.transition_count(),
+                    )
+                })
                 .collect()
         };
         assert_eq!(components(&buggy), components(&fixed));

@@ -27,7 +27,6 @@
 //! simulator, quantifying the paper's informal claim that the at-most-`N`
 //! design yields better traffic flow.
 
-
 #![warn(missing_docs)]
 mod cars;
 mod controllers;

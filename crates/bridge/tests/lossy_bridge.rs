@@ -1,0 +1,87 @@
+//! The bridge case study under fault injection (ISSUE acceptance
+//! criterion): deploying the *fixed* Fig. 13 design over a lossy enter
+//! channel re-opens the safety argument — the checker produces an
+//! opposite-direction crash counterexample — and a one-building-block
+//! retry-port swap repairs it, re-verifying clean without touching any
+//! component model.
+
+use pnp_bridge::{exactly_n_bridge, safety_invariant, BridgeConfig, ChannelKind, SendPortKind};
+use pnp_core::System;
+use pnp_kernel::{Checker, SafetyChecks, SafetyOutcome};
+
+fn check_safety(system: &System) -> SafetyOutcome {
+    let program = system.program();
+    let inv = safety_invariant(program);
+    Checker::new(program)
+        .check_safety(&SafetyChecks {
+            deadlock: false,
+            invariants: vec![inv],
+        })
+        .unwrap()
+        .outcome
+}
+
+/// The lossy deployment crashes: a dropped enter request is reported as
+/// `SEND_FAIL`, the checking port passes the failure on, and the car
+/// drives onto the bridge without the controller's permission.
+#[test]
+fn lossy_enter_channel_reopens_the_safety_bug() {
+    let system = exactly_n_bridge(&BridgeConfig::lossy_enter()).unwrap();
+    match check_safety(&system) {
+        SafetyOutcome::InvariantViolated { name, trace } => {
+            assert!(name.contains("opposite-direction"));
+            assert!(!trace.is_empty());
+        }
+        other => panic!("expected the lossy-deployment crash, got {other:?}"),
+    }
+}
+
+/// Control experiment: the very same checking port is safe on the
+/// fault-free channel — the counterexample above is caused by the channel
+/// fault, not by the port swap.
+#[test]
+fn checking_port_is_safe_without_the_channel_fault() {
+    let config = BridgeConfig::lossy_enter()
+        .with_enter_channel(ChannelKind::Fifo { capacity: 2 })
+        .with_laps(Some(1));
+    let system = exactly_n_bridge(&config).unwrap();
+    assert!(check_safety(&system).is_holds());
+}
+
+/// The repair: one building block (checking send → blocking/retrying
+/// send) and the design re-verifies clean on the *same* lossy channel.
+#[test]
+fn retry_port_masks_the_loss_and_reverifies_clean() {
+    let config = BridgeConfig::lossy_enter_fixed().with_laps(Some(1));
+    let system = exactly_n_bridge(&config).unwrap();
+    assert!(check_safety(&system).is_holds());
+}
+
+/// The reuse claim extends to fault repair: the broken lossy deployment
+/// and its retry-port fix share structurally identical component models —
+/// only connector-part processes differ.
+#[test]
+fn lossy_fix_reuses_component_models() {
+    let broken = exactly_n_bridge(&BridgeConfig::lossy_enter()).unwrap();
+    let repaired = exactly_n_bridge(&BridgeConfig::lossy_enter_fixed()).unwrap();
+    let components = |s: &System| -> Vec<(String, usize, usize)> {
+        s.program()
+            .processes()
+            .iter()
+            .zip(s.topology().iter())
+            .filter(|(_, (_, role))| !role.is_connector_part())
+            .map(|(p, _)| {
+                (
+                    p.name().to_string(),
+                    p.location_count(),
+                    p.transition_count(),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(components(&broken), components(&repaired));
+    assert_eq!(
+        BridgeConfig::lossy_enter_fixed().enter_send,
+        SendPortKind::SynBlocking
+    );
+}

@@ -22,14 +22,113 @@
 //! All kinds support *selective receive* (requests carrying a tag match
 //! only messages with that tag) and *copy receive* (delivery leaves the
 //! message buffered; `RECV_OK` is only sent on first delivery).
+//!
+//! # Fault decorators
+//!
+//! Any base kind can be wrapped in a [`ChannelFault`] decorator
+//! ([`ChannelKind::lossy`], [`ChannelKind::duplicating`],
+//! [`ChannelKind::reordering`]) to model an unreliable medium. The
+//! decorated channel keeps the base kind's storage discipline and adds
+//! nondeterministic faulty behaviour that the checker explores alongside
+//! the normal behaviour:
+//!
+//! * **lossy** — an incoming message may be lost in transit; the channel
+//!   discards it and replies `IN_FAIL` to the send port (so a retrying or
+//!   checking port can compensate, while a fire-and-forget port silently
+//!   loses data);
+//! * **duplicating** — an incoming message may be stored twice (the
+//!   duplicate never triggers a second `RECV_OK`, so synchronous senders
+//!   are acknowledged exactly once);
+//! * **reordering** — delivery may take *any* matching buffered message
+//!   (bag delivery), not just the head.
+//!
+//! Decorators do not nest: faults compose with base disciplines, not with
+//! each other.
 
-use pnp_kernel::{
-    expr, Action, FieldPat, Guard, NativeGuard, NativeOp, ProcessBuilder,
-};
+use pnp_kernel::{expr, Action, FieldPat, Guard, NativeGuard, NativeOp, ProcessBuilder};
 
 use crate::signals::{field, SynChan, IN_FAIL, IN_OK, OUT_FAIL, OUT_OK, RECV_OK};
 
-/// The channel variants of the building-block library (paper Fig. 1).
+/// A fault-injection decorator for channels (robustness extension; not in
+/// the paper's Fig. 1 library).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelFault {
+    /// May lose an incoming message in transit, replying `IN_FAIL`.
+    Lossy,
+    /// May store an incoming message twice.
+    Duplicating,
+    /// May deliver any matching buffered message, not just the head.
+    Reordering,
+}
+
+impl ChannelFault {
+    /// Every fault decorator, in library order.
+    pub const ALL: [ChannelFault; 3] = [
+        ChannelFault::Lossy,
+        ChannelFault::Duplicating,
+        ChannelFault::Reordering,
+    ];
+
+    /// The decorator's library name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChannelFault::Lossy => "Lossy",
+            ChannelFault::Duplicating => "Duplicating",
+            ChannelFault::Reordering => "Reordering",
+        }
+    }
+}
+
+/// The base storage disciplines a [`ChannelFault`] decorator can wrap: the
+/// five non-faulty [`ChannelKind`]s, kept as a separate `Copy` enum so
+/// decorated kinds stay `Copy` and decorators provably do not nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseChannel {
+    /// A buffer holding a single message.
+    SingleSlot,
+    /// A FIFO queue of the given capacity.
+    Fifo {
+        /// Maximum number of buffered messages (≥ 1).
+        capacity: usize,
+    },
+    /// A priority queue of the given capacity.
+    Priority {
+        /// Maximum number of buffered messages (≥ 1).
+        capacity: usize,
+    },
+    /// A FIFO queue that silently drops new messages when full.
+    Dropping {
+        /// Maximum number of buffered messages (≥ 1).
+        capacity: usize,
+    },
+    /// A sliding-window FIFO (evicts the oldest message when full).
+    Sliding {
+        /// Maximum number of buffered messages (≥ 1).
+        capacity: usize,
+    },
+}
+
+impl BaseChannel {
+    /// The equivalent undecorated [`ChannelKind`].
+    pub fn kind(self) -> ChannelKind {
+        match self {
+            BaseChannel::SingleSlot => ChannelKind::SingleSlot,
+            BaseChannel::Fifo { capacity } => ChannelKind::Fifo { capacity },
+            BaseChannel::Priority { capacity } => ChannelKind::Priority { capacity },
+            BaseChannel::Dropping { capacity } => ChannelKind::Dropping { capacity },
+            BaseChannel::Sliding { capacity } => ChannelKind::Sliding { capacity },
+        }
+    }
+}
+
+impl From<BaseChannel> for ChannelKind {
+    fn from(base: BaseChannel) -> ChannelKind {
+        base.kind()
+    }
+}
+
+/// The channel variants of the building-block library (paper Fig. 1), plus
+/// the fault decorators of the robustness extension (module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChannelKind {
     /// A buffer holding a single message.
@@ -56,21 +155,120 @@ pub enum ChannelKind {
         /// Maximum number of buffered messages (≥ 1).
         capacity: usize,
     },
+    /// A base kind that may nondeterministically lose a message in transit
+    /// (the channel discards it and replies `IN_FAIL`).
+    Lossy {
+        /// The wrapped storage discipline.
+        base: BaseChannel,
+    },
+    /// A base kind that may nondeterministically store a message twice.
+    Duplicating {
+        /// The wrapped storage discipline.
+        base: BaseChannel,
+    },
+    /// A base kind whose delivery may take any matching buffered message
+    /// (bag delivery) instead of the head.
+    Reordering {
+        /// The wrapped storage discipline.
+        base: BaseChannel,
+    },
 }
 
 impl ChannelKind {
+    /// Wraps a base kind in the lossy fault decorator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner` is already decorated (faults do not nest).
+    pub fn lossy(inner: ChannelKind) -> ChannelKind {
+        ChannelKind::Lossy {
+            base: inner.into_base(),
+        }
+    }
+
+    /// Wraps a base kind in the duplicating fault decorator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner` is already decorated (faults do not nest).
+    pub fn duplicating(inner: ChannelKind) -> ChannelKind {
+        ChannelKind::Duplicating {
+            base: inner.into_base(),
+        }
+    }
+
+    /// Wraps a base kind in the reordering fault decorator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner` is already decorated (faults do not nest).
+    pub fn reordering(inner: ChannelKind) -> ChannelKind {
+        ChannelKind::Reordering {
+            base: inner.into_base(),
+        }
+    }
+
+    /// Wraps a base kind in the given fault decorator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner` is already decorated (faults do not nest).
+    pub fn with_fault(fault: ChannelFault, inner: ChannelKind) -> ChannelKind {
+        match fault {
+            ChannelFault::Lossy => ChannelKind::lossy(inner),
+            ChannelFault::Duplicating => ChannelKind::duplicating(inner),
+            ChannelFault::Reordering => ChannelKind::reordering(inner),
+        }
+    }
+
+    fn into_base(self) -> BaseChannel {
+        match self {
+            ChannelKind::SingleSlot => BaseChannel::SingleSlot,
+            ChannelKind::Fifo { capacity } => BaseChannel::Fifo { capacity },
+            ChannelKind::Priority { capacity } => BaseChannel::Priority { capacity },
+            ChannelKind::Dropping { capacity } => BaseChannel::Dropping { capacity },
+            ChannelKind::Sliding { capacity } => BaseChannel::Sliding { capacity },
+            ChannelKind::Lossy { .. }
+            | ChannelKind::Duplicating { .. }
+            | ChannelKind::Reordering { .. } => {
+                panic!("fault decorators do not nest")
+            }
+        }
+    }
+
+    /// The fault decorator, if any.
+    pub fn fault(self) -> Option<ChannelFault> {
+        match self {
+            ChannelKind::Lossy { .. } => Some(ChannelFault::Lossy),
+            ChannelKind::Duplicating { .. } => Some(ChannelFault::Duplicating),
+            ChannelKind::Reordering { .. } => Some(ChannelFault::Reordering),
+            _ => None,
+        }
+    }
+
+    /// The storage discipline with any fault decorator stripped.
+    pub fn undecorated(self) -> ChannelKind {
+        match self {
+            ChannelKind::Lossy { base }
+            | ChannelKind::Duplicating { base }
+            | ChannelKind::Reordering { base } => base.kind(),
+            other => other,
+        }
+    }
+
     /// The buffer capacity.
     pub fn capacity(self) -> usize {
-        match self {
+        match self.undecorated() {
             ChannelKind::SingleSlot => 1,
             ChannelKind::Fifo { capacity }
             | ChannelKind::Priority { capacity }
             | ChannelKind::Dropping { capacity }
             | ChannelKind::Sliding { capacity } => capacity,
+            decorated => unreachable!("undecorated returned {decorated:?}"),
         }
     }
 
-    /// The library name of the kind (e.g. `"FIFO(5)"`).
+    /// The library name of the kind (e.g. `"FIFO(5)"`, `"Lossy(FIFO(5))"`).
     pub fn name(self) -> String {
         match self {
             ChannelKind::SingleSlot => "SingleSlot".to_string(),
@@ -78,19 +276,26 @@ impl ChannelKind {
             ChannelKind::Priority { capacity } => format!("Priority({capacity})"),
             ChannelKind::Dropping { capacity } => format!("Dropping({capacity})"),
             ChannelKind::Sliding { capacity } => format!("Sliding({capacity})"),
+            ChannelKind::Lossy { base } => format!("Lossy({})", base.kind().name()),
+            ChannelKind::Duplicating { base } => {
+                format!("Duplicating({})", base.kind().name())
+            }
+            ChannelKind::Reordering { base } => {
+                format!("Reordering({})", base.kind().name())
+            }
         }
     }
 
     fn is_priority(self) -> bool {
-        matches!(self, ChannelKind::Priority { .. })
+        matches!(self.undecorated(), ChannelKind::Priority { .. })
     }
 
     fn is_dropping(self) -> bool {
-        matches!(self, ChannelKind::Dropping { .. })
+        matches!(self.undecorated(), ChannelKind::Dropping { .. })
     }
 
     fn is_sliding(self) -> bool {
-        matches!(self, ChannelKind::Sliding { .. })
+        matches!(self.undecorated(), ChannelKind::Sliding { .. })
     }
 }
 
@@ -148,6 +353,78 @@ fn match_index(l: &Layout, locals: &[i32]) -> Option<usize> {
     }
 }
 
+/// Whether slot `i` is occupied and satisfies the pending request (used by
+/// reordering channels, whose delivery may take any matching slot).
+fn slot_matches(l: &Layout, locals: &[i32], i: usize) -> bool {
+    let len = locals[l.len] as usize;
+    i < len && (locals[l.req_sel] == 0 || locals[l.slot(i, S_TAG)] == locals[l.req_tag])
+}
+
+/// Inserts the staged incoming message (`in_*`) into the buffer at the
+/// position the storage discipline dictates: the tail for FIFO, sorted
+/// descending by tag (stable) for priority. `pre_notified` marks the slot
+/// as already acknowledged — fault duplicates use it so a message never
+/// triggers a second `RECV_OK`.
+fn insert_incoming(l: &Layout, locals: &mut [i32], priority: bool, pre_notified: bool) {
+    let n = locals[l.len] as usize;
+    let pos = if priority {
+        (0..n)
+            .find(|&i| locals[l.slot(i, S_TAG)] < locals[l.in_tag])
+            .unwrap_or(n)
+    } else {
+        n
+    };
+    let mut i = n;
+    while i > pos {
+        for f in 0..SLOT_FIELDS {
+            locals[l.buf + i * SLOT_FIELDS + f] = locals[l.buf + (i - 1) * SLOT_FIELDS + f];
+        }
+        i -= 1;
+    }
+    locals[l.slot(pos, S_DATA)] = locals[l.in_data];
+    locals[l.slot(pos, S_TAG)] = locals[l.in_tag];
+    locals[l.slot(pos, S_SENDER)] = locals[l.in_sender];
+    locals[l.slot(pos, S_NOTIFIED)] = pre_notified as i32;
+    locals[l.len] += 1;
+}
+
+/// Latches the reply address and clears the incoming scratch.
+fn finish_incoming(l: &Layout, locals: &mut [i32]) {
+    locals[l.notify_pid] = locals[l.in_sender];
+    locals[l.in_data] = 0;
+    locals[l.in_tag] = 0;
+    locals[l.in_sender] = 0;
+}
+
+/// Copies slot `i` into the outgoing scratch and removes or marks it
+/// according to the pending request, then clears the request scratch.
+fn take_slot(l: &Layout, locals: &mut [i32], i: usize) {
+    locals[l.out_data] = locals[l.slot(i, S_DATA)];
+    locals[l.out_tag] = locals[l.slot(i, S_TAG)];
+    locals[l.out_sender] = locals[l.slot(i, S_SENDER)];
+    locals[l.do_notify] = (locals[l.slot(i, S_NOTIFIED)] == 0) as i32;
+    if locals[l.req_remove] != 0 {
+        // Remove slot i, shifting the tail left.
+        let n = locals[l.len] as usize;
+        for j in i..n - 1 {
+            for f in 0..SLOT_FIELDS {
+                locals[l.buf + j * SLOT_FIELDS + f] = locals[l.buf + (j + 1) * SLOT_FIELDS + f];
+            }
+        }
+        for f in 0..SLOT_FIELDS {
+            locals[l.buf + (n - 1) * SLOT_FIELDS + f] = 0;
+        }
+        locals[l.len] -= 1;
+    } else {
+        locals[l.slot(i, S_NOTIFIED)] = 1;
+    }
+    locals[l.notify_pid] = locals[l.req_pid];
+    locals[l.req_sel] = 0;
+    locals[l.req_tag] = 0;
+    locals[l.req_pid] = 0;
+    locals[l.req_remove] = 0;
+}
+
 /// Generates the channel process for the given kind.
 ///
 /// `sender` is the `SynChan` shared with every send port of the connector;
@@ -163,6 +440,7 @@ pub(crate) fn channel_process(
     receiver: SynChan,
 ) -> ProcessBuilder {
     let cap = kind.capacity();
+    let fault = kind.fault();
     assert!(cap >= 1, "channel capacity must be at least 1");
 
     let mut p = ProcessBuilder::new(name);
@@ -256,40 +534,13 @@ pub(crate) fn channel_process(
     let lay = copy_layout(&l);
     let priority = kind.is_priority();
     let store = NativeOp::new("store message", move |locals| {
-        let n = locals[lay.len] as usize;
-        // Insert position: end for FIFO; sorted descending by tag for
-        // priority (stable: after existing equal tags).
-        let pos = if priority {
-            (0..n)
-                .find(|&i| locals[lay.slot(i, S_TAG)] < locals[lay.in_tag])
-                .unwrap_or(n)
-        } else {
-            n
-        };
-        let mut i = n;
-        while i > pos {
-            for f in 0..SLOT_FIELDS {
-                locals[lay.buf + i * SLOT_FIELDS + f] = locals[lay.buf + (i - 1) * SLOT_FIELDS + f];
-            }
-            i -= 1;
-        }
-        locals[lay.slot(pos, S_DATA)] = locals[lay.in_data];
-        locals[lay.slot(pos, S_TAG)] = locals[lay.in_tag];
-        locals[lay.slot(pos, S_SENDER)] = locals[lay.in_sender];
-        locals[lay.slot(pos, S_NOTIFIED)] = 0;
-        locals[lay.len] += 1;
-        locals[lay.notify_pid] = locals[lay.in_sender];
-        locals[lay.in_data] = 0;
-        locals[lay.in_tag] = 0;
-        locals[lay.in_sender] = 0;
+        insert_incoming(&lay, locals, priority, false);
+        finish_incoming(&lay, locals);
     });
 
     let lay = copy_layout(&l);
     let discard_incoming = NativeOp::new("discard incoming message", move |locals| {
-        locals[lay.notify_pid] = locals[lay.in_sender];
-        locals[lay.in_data] = 0;
-        locals[lay.in_tag] = 0;
-        locals[lay.in_sender] = 0;
+        finish_incoming(&lay, locals);
     });
 
     p.transition(
@@ -299,6 +550,40 @@ pub(crate) fn channel_process(
         Action::Native(store),
         "store in buffer",
     );
+    if fault == Some(ChannelFault::Lossy) {
+        // The medium may lose the message in transit, whatever the buffer
+        // state. The channel reports the loss with IN_FAIL, so a retrying
+        // or checking send port can compensate while a fire-and-forget
+        // port loses the message silently.
+        p.transition(
+            got_msg,
+            reply_in_fail,
+            Guard::always(),
+            Action::Native(discard_incoming.clone()),
+            "lose message in transit (lossy fault)",
+        );
+    }
+    if fault == Some(ChannelFault::Duplicating) {
+        let lay = copy_layout(&l);
+        let has_space_for_two = NativeGuard::new("buffer has space for two", move |locals| {
+            (locals[lay.len] as usize) + 2 <= lay.cap
+        });
+        let lay = copy_layout(&l);
+        let store_twice = NativeOp::new("store message twice", move |locals| {
+            insert_incoming(&lay, locals, priority, false);
+            // The duplicate is pre-notified: only the original triggers
+            // RECV_OK, so synchronous senders are released exactly once.
+            insert_incoming(&lay, locals, priority, true);
+            finish_incoming(&lay, locals);
+        });
+        p.transition(
+            got_msg,
+            stored,
+            Guard::native(has_space_for_two),
+            Action::Native(store_twice),
+            "duplicate message (duplicating fault)",
+        );
+    }
     if kind.is_sliding() {
         // Full buffer: evict the oldest message, then store the new one.
         let lay = copy_layout(&l);
@@ -349,20 +634,14 @@ pub(crate) fn channel_process(
         stored,
         idle,
         Guard::always(),
-        Action::send(
-            sender.signal,
-            vec![IN_OK.into(), expr::local(notify_pid)],
-        ),
+        Action::send(sender.signal, vec![IN_OK.into(), expr::local(notify_pid)]),
         "IN_OK to send port",
     );
     p.transition(
         reply_in_fail,
         idle,
         Guard::always(),
-        Action::send(
-            sender.signal,
-            vec![IN_FAIL.into(), expr::local(notify_pid)],
-        ),
+        Action::send(sender.signal, vec![IN_FAIL.into(), expr::local(notify_pid)]),
         "IN_FAIL to send port",
     );
 
@@ -379,31 +658,7 @@ pub(crate) fn channel_process(
     let lay = copy_layout(&l);
     let select = NativeOp::new("select message", move |locals| {
         let i = match_index(&lay, locals).expect("select fired without a match");
-        locals[lay.out_data] = locals[lay.slot(i, S_DATA)];
-        locals[lay.out_tag] = locals[lay.slot(i, S_TAG)];
-        locals[lay.out_sender] = locals[lay.slot(i, S_SENDER)];
-        locals[lay.do_notify] = (locals[lay.slot(i, S_NOTIFIED)] == 0) as i32;
-        if locals[lay.req_remove] != 0 {
-            // Remove slot i, shifting the tail left.
-            let n = locals[lay.len] as usize;
-            for j in i..n - 1 {
-                for f in 0..SLOT_FIELDS {
-                    locals[lay.buf + j * SLOT_FIELDS + f] =
-                        locals[lay.buf + (j + 1) * SLOT_FIELDS + f];
-                }
-            }
-            for f in 0..SLOT_FIELDS {
-                locals[lay.buf + (n - 1) * SLOT_FIELDS + f] = 0;
-            }
-            locals[lay.len] -= 1;
-        } else {
-            locals[lay.slot(i, S_NOTIFIED)] = 1;
-        }
-        locals[lay.notify_pid] = locals[lay.req_pid];
-        locals[lay.req_sel] = 0;
-        locals[lay.req_tag] = 0;
-        locals[lay.req_pid] = 0;
-        locals[lay.req_remove] = 0;
+        take_slot(&lay, locals, i);
     });
 
     let lay = copy_layout(&l);
@@ -415,13 +670,36 @@ pub(crate) fn channel_process(
         locals[lay.req_remove] = 0;
     });
 
-    p.transition(
-        got_req,
-        reply_out_ok,
-        Guard::native(has_match),
-        Action::Native(select),
-        "select matching message",
-    );
+    if fault == Some(ChannelFault::Reordering) {
+        // Bag delivery: any matching buffered message may be taken, not
+        // just the one `match_index` picks. One transition per slot keeps
+        // each choice a distinct nondeterministic branch.
+        for i in 0..cap {
+            let lay = copy_layout(&l);
+            let slot_ready = NativeGuard::new(format!("slot {i} matches"), move |locals| {
+                slot_matches(&lay, locals, i)
+            });
+            let lay = copy_layout(&l);
+            let take_any = NativeOp::new(format!("take slot {i}"), move |locals| {
+                take_slot(&lay, locals, i);
+            });
+            p.transition(
+                got_req,
+                reply_out_ok,
+                Guard::native(slot_ready),
+                Action::Native(take_any),
+                "take any matching message (reordering fault)",
+            );
+        }
+    } else {
+        p.transition(
+            got_req,
+            reply_out_ok,
+            Guard::native(has_match),
+            Action::Native(select),
+            "select matching message",
+        );
+    }
     p.transition(
         got_req,
         reply_out_fail,
@@ -459,10 +737,7 @@ pub(crate) fn channel_process(
         post_deliver,
         clear_out,
         Guard::when(expr::eq(expr::local(do_notify), 1.into())),
-        Action::send(
-            sender.signal,
-            vec![RECV_OK.into(), expr::local(out_sender)],
-        ),
+        Action::send(sender.signal, vec![RECV_OK.into(), expr::local(out_sender)]),
         "RECV_OK to send port",
     );
     let lay = copy_layout(&l);
@@ -608,6 +883,61 @@ mod tests {
         channel_process("bad", ChannelKind::Fifo { capacity: 0 }, s, r);
     }
 
+    #[test]
+    fn fault_decorators_wrap_names_and_keep_base_semantics_flags() {
+        let base = ChannelKind::Fifo { capacity: 3 };
+        let lossy = ChannelKind::lossy(base);
+        assert_eq!(lossy.name(), "Lossy(FIFO(3))");
+        assert_eq!(lossy.capacity(), 3);
+        assert_eq!(lossy.fault(), Some(ChannelFault::Lossy));
+        assert_eq!(lossy.undecorated(), base);
+        assert_eq!(base.fault(), None);
+        assert_eq!(base.undecorated(), base);
+
+        let dup = ChannelKind::duplicating(ChannelKind::Priority { capacity: 2 });
+        assert_eq!(dup.name(), "Duplicating(Priority(2))");
+        assert!(dup.is_priority());
+        let reo = ChannelKind::reordering(ChannelKind::Sliding { capacity: 4 });
+        assert_eq!(reo.name(), "Reordering(Sliding(4))");
+        assert!(reo.is_sliding());
+
+        for fault in ChannelFault::ALL {
+            let k = ChannelKind::with_fault(fault, ChannelKind::SingleSlot);
+            assert_eq!(k.fault(), Some(fault));
+            assert_eq!(k.undecorated(), ChannelKind::SingleSlot);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fault decorators do not nest")]
+    fn fault_decorators_do_not_nest() {
+        ChannelKind::lossy(ChannelKind::duplicating(ChannelKind::SingleSlot));
+    }
+
+    #[test]
+    fn decorated_channel_templates_validate() {
+        use pnp_kernel::ProgramBuilder;
+        let mut pb = ProgramBuilder::new();
+        let s = SynChan::declare(&mut pb, "s");
+        let r = SynChan::declare(&mut pb, "r");
+        let mut i = 0;
+        for fault in ChannelFault::ALL {
+            for base in [
+                ChannelKind::SingleSlot,
+                ChannelKind::Fifo { capacity: 3 },
+                ChannelKind::Priority { capacity: 3 },
+                ChannelKind::Dropping { capacity: 2 },
+                ChannelKind::Sliding { capacity: 2 },
+            ] {
+                let kind = ChannelKind::with_fault(fault, base);
+                let chan = channel_process(&format!("chan{i}"), kind, s, r);
+                pb.add_process(chan).unwrap();
+                i += 1;
+            }
+        }
+        pb.build().unwrap();
+    }
+
     /// Drive the native store/select ops directly on a locals array.
     mod native_ops {
         use super::*;
@@ -715,6 +1045,63 @@ mod tests {
             let l = layout(2);
             let locals = locals_for(2);
             assert_eq!(match_index(&l, &locals), None);
+        }
+
+        #[test]
+        fn duplicate_insert_marks_the_copy_as_notified() {
+            let l = layout(3);
+            let mut locals = locals_for(3);
+            locals[l.in_data] = 42;
+            locals[l.in_tag] = 7;
+            locals[l.in_sender] = 5;
+            insert_incoming(&l, &mut locals, false, false);
+            insert_incoming(&l, &mut locals, false, true);
+            finish_incoming(&l, &mut locals);
+            assert_eq!(locals[l.len], 2);
+            assert_eq!(locals[l.slot(0, S_NOTIFIED)], 0);
+            assert_eq!(locals[l.slot(1, S_NOTIFIED)], 1);
+            assert_eq!(locals[l.slot(1, S_DATA)], 42);
+            assert_eq!(locals[l.notify_pid], 5);
+        }
+
+        #[test]
+        fn take_slot_removes_any_index_and_notifies_once() {
+            let l = layout(3);
+            let mut locals = locals_for(3);
+            store(&l, &mut locals, false, 10, 0, 4);
+            store(&l, &mut locals, false, 20, 0, 5);
+            store(&l, &mut locals, false, 30, 0, 6);
+            locals[l.req_pid] = 9;
+            locals[l.req_remove] = 1;
+            // Reordering takes the middle slot; the tail shifts left.
+            assert!(slot_matches(&l, &locals, 1));
+            take_slot(&l, &mut locals, 1);
+            assert_eq!(locals[l.out_data], 20);
+            assert_eq!(locals[l.out_sender], 5);
+            assert_eq!(locals[l.do_notify], 1);
+            assert_eq!(locals[l.notify_pid], 9);
+            assert_eq!(locals[l.len], 2);
+            let data: Vec<i32> = (0..2).map(|i| locals[l.slot(i, S_DATA)]).collect();
+            assert_eq!(data, [10, 30]);
+            // A pre-notified slot delivers without a second RECV_OK.
+            locals[l.slot(0, S_NOTIFIED)] = 1;
+            locals[l.req_pid] = 9;
+            locals[l.req_remove] = 1;
+            take_slot(&l, &mut locals, 0);
+            assert_eq!(locals[l.do_notify], 0);
+        }
+
+        #[test]
+        fn slot_matches_respects_selective_tags() {
+            let l = layout(2);
+            let mut locals = locals_for(2);
+            store(&l, &mut locals, false, 10, 7, 0);
+            store(&l, &mut locals, false, 20, 9, 0);
+            locals[l.req_sel] = 1;
+            locals[l.req_tag] = 9;
+            assert!(!slot_matches(&l, &locals, 0));
+            assert!(slot_matches(&l, &locals, 1));
+            assert!(!slot_matches(&l, &locals, 2));
         }
     }
 }

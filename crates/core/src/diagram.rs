@@ -32,16 +32,16 @@ impl System {
                 | Role::Channel { connector, .. }
                 | Role::EventBroker { connector }
                 | Role::FusedConnector { connector, .. } => {
-                    clusters.entry(connector).or_default().push((pid.index(), role));
+                    clusters
+                        .entry(connector)
+                        .or_default()
+                        .push((pid.index(), role));
                 }
             }
         }
 
         for (pid, name) in &components {
-            let _ = writeln!(
-                out,
-                "  p{pid} [shape=box, style=bold, label=\"{name}\"];"
-            );
+            let _ = writeln!(out, "  p{pid} [shape=box, style=bold, label=\"{name}\"];");
         }
 
         let mut cluster_names: Vec<&&str> = clusters.keys().collect();
@@ -72,7 +72,9 @@ impl System {
                 .filter(|(_, r)| {
                     matches!(
                         r,
-                        Role::Channel { .. } | Role::EventBroker { .. } | Role::FusedConnector { .. }
+                        Role::Channel { .. }
+                            | Role::EventBroker { .. }
+                            | Role::FusedConnector { .. }
                     )
                 })
                 .map(|(pid, _)| *pid)

@@ -80,7 +80,9 @@ fn decode(chan_name: &str, arity: usize, fields: &[i32]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ChannelKind, ComponentBuilder, ReceiveBinds, RecvPortKind, SendPortKind, SystemBuilder};
+    use crate::{
+        ChannelKind, ComponentBuilder, ReceiveBinds, RecvPortKind, SendPortKind, SystemBuilder,
+    };
     use pnp_kernel::{Checker, Predicate, SafetyChecks};
 
     fn small_system() -> System {
@@ -128,7 +130,11 @@ mod tests {
                 Predicate::from_expr(pnp_kernel::expr::ne(pnp_kernel::expr::global(g), 7.into())),
             )]))
             .unwrap();
-        let trace = report.outcome.trace().expect("expected a violation").clone();
+        let trace = report
+            .outcome
+            .trace()
+            .expect("expected a violation")
+            .clone();
         let text = system.explain_trace(&trace);
         assert!(text.contains("component producer"), "{text}");
         assert!(text.contains("send port AsynBlockingSend"), "{text}");

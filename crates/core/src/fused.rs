@@ -154,8 +154,7 @@ fn async_fifo_process(
         out_tag.index(),
     );
 
-    let has_space =
-        NativeGuard::new("buffer has space", move |loc| (loc[l] as usize) < capacity);
+    let has_space = NativeGuard::new("buffer has space", move |loc| (loc[l] as usize) < capacity);
     let push = NativeOp::new("buffer message", move |loc| {
         let n = loc[l] as usize;
         loc[b + n * SLOT] = loc[md];
@@ -217,9 +216,27 @@ fn async_fifo_process(
         recv_msg.clone(),
         "accept message",
     );
-    p.transition(store_msg, ack_send, Guard::always(), Action::Native(push.clone()), "buffer");
-    p.transition(ack_send, idle, Guard::always(), send_succ.clone(), "SEND_SUCC");
-    p.transition(idle, pending, Guard::always(), recv_req, "accept receive request");
+    p.transition(
+        store_msg,
+        ack_send,
+        Guard::always(),
+        Action::Native(push.clone()),
+        "buffer",
+    );
+    p.transition(
+        ack_send,
+        idle,
+        Guard::always(),
+        send_succ.clone(),
+        "SEND_SUCC",
+    );
+    p.transition(
+        idle,
+        pending,
+        Guard::always(),
+        recv_req,
+        "accept receive request",
+    );
     // While a receive request waits for a matching message, the sender may
     // continue filling the buffer.
     p.transition(
@@ -236,7 +253,13 @@ fn async_fifo_process(
         Action::Native(push),
         "buffer",
     );
-    p.transition(pending_ack, pending, Guard::always(), send_succ, "SEND_SUCC");
+    p.transition(
+        pending_ack,
+        pending,
+        Guard::always(),
+        send_succ,
+        "SEND_SUCC",
+    );
     p.transition(
         pending,
         deliver_status,
@@ -266,7 +289,13 @@ fn async_fifo_process(
         ),
         "deliver message",
     );
-    p.transition(cleanup, idle, Guard::always(), Action::Native(clear_out), "cleanup");
+    p.transition(
+        cleanup,
+        idle,
+        Guard::always(),
+        Action::Native(clear_out),
+        "cleanup",
+    );
 
     p.mark_end(idle);
     p
@@ -291,10 +320,34 @@ fn sync_handshake_process(name: &str, sender: SynChan, receiver: SynChan) -> Pro
     );
     let recv_req = Action::recv(receiver.data, vec![FieldPat::Any; 4], vec![]);
 
-    p.transition(idle, have_msg, Guard::always(), recv_msg.clone(), "accept message");
-    p.transition(idle, have_req, Guard::always(), recv_req.clone(), "accept receive request");
-    p.transition(have_msg, deliver_status, Guard::always(), recv_req, "accept receive request");
-    p.transition(have_req, deliver_status, Guard::always(), recv_msg, "accept message");
+    p.transition(
+        idle,
+        have_msg,
+        Guard::always(),
+        recv_msg.clone(),
+        "accept message",
+    );
+    p.transition(
+        idle,
+        have_req,
+        Guard::always(),
+        recv_req.clone(),
+        "accept receive request",
+    );
+    p.transition(
+        have_msg,
+        deliver_status,
+        Guard::always(),
+        recv_req,
+        "accept receive request",
+    );
+    p.transition(
+        have_req,
+        deliver_status,
+        Guard::always(),
+        recv_msg,
+        "accept message",
+    );
     p.transition(
         deliver_status,
         deliver_data,
@@ -348,8 +401,7 @@ mod tests {
     #[test]
     fn fused_templates_validate() {
         let mut sys = SystemBuilder::new();
-        let (tx, rx) =
-            sys.fused_connector("f1", FusedConnectorKind::AsyncFifo { capacity: 2 });
+        let (tx, rx) = sys.fused_connector("f1", FusedConnectorKind::AsyncFifo { capacity: 2 });
         let (tx2, rx2) = sys.fused_connector("f2", FusedConnectorKind::SyncHandshake);
         assert!(tx.index.is_none() && rx.index.is_none());
         assert_ne!(tx.component_link(), tx2.component_link());

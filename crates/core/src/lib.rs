@@ -28,6 +28,17 @@
 //! `SendStatus`; send a receive request, await a `RecvStatus`, then take the
 //! (possibly empty) message.
 //!
+//! ## Fault injection
+//!
+//! Channels can be wrapped in *fault decorators* ([`ChannelFault`]): lossy,
+//! duplicating, and reordering variants of every base kind
+//! ([`BaseChannel`]). Ports have crash-restart fault variants
+//! ([`SendPortKind::CrashRestart`], [`RecvPortKind::with_crash_restart`])
+//! that nondeterministically lose a message or request and report the
+//! failure on restart. Fault blocks plug in like any other block, so a
+//! design can be verified against an unreliable environment — and hardened
+//! by swapping ports — without touching its components.
+//!
 //! ## Assembly and verification
 //!
 //! [`SystemBuilder`] wires components and connectors into a
@@ -73,7 +84,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-
 #![warn(missing_docs)]
 mod channels;
 mod component;
@@ -87,7 +97,7 @@ mod rpc;
 pub mod signals;
 mod system;
 
-pub use channels::{channel_occupancy, ChannelKind};
+pub use channels::{channel_occupancy, BaseChannel, ChannelFault, ChannelKind};
 pub use component::{ComponentBuilder, ReceiveBinds};
 pub use fused::FusedConnectorKind;
 pub use library::{BlockCategory, BlockInfo, BlockLibrary};

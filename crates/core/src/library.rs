@@ -5,7 +5,7 @@
 //! `library_catalog` example prints it, and each entry's semantics is pinned
 //! down by the conformance tests in `tests/`.
 
-use crate::channels::ChannelKind;
+use crate::channels::{BaseChannel, ChannelKind};
 use crate::ports::{RecvPortKind, SendPortKind};
 
 /// Which side of a connector a block belongs to.
@@ -76,6 +76,8 @@ impl BlockLibrary {
                         "Like synchronous blocking send, except a full channel is reported \
                          to the sender instead of retried"
                     }
+                    // ALL contains only fault-free kinds.
+                    SendPortKind::CrashRestart => unreachable!(),
                 },
             });
         }
@@ -117,6 +119,48 @@ impl BlockLibrary {
         }
         out
     }
+
+    /// Enumerates the *fault-injection* blocks: decorators and port
+    /// variants that model an unreliable environment rather than a design
+    /// choice. They extend — and are kept separate from — the paper's
+    /// Fig. 1 library returned by [`BlockLibrary::catalog`].
+    pub fn fault_catalog() -> Vec<BlockInfo> {
+        let base = BaseChannel::Fifo { capacity: 5 };
+        vec![
+            BlockInfo {
+                name: SendPortKind::CrashRestart.name().to_string(),
+                category: BlockCategory::SendPort,
+                description: "Like asynchronous checking send, except the port may crash \
+                              before engaging the channel; the message is lost and the \
+                              restart reports SEND_FAIL",
+            },
+            BlockInfo {
+                name: RecvPortKind::crash_restart().name(),
+                category: BlockCategory::RecvPort,
+                description: "Like blocking receive, except the port may crash before \
+                              engaging the channel; the restart reports RECV_FAIL and an \
+                              empty message",
+            },
+            BlockInfo {
+                name: ChannelKind::lossy(base.into()).name(),
+                category: BlockCategory::Channel,
+                description: "A decorated channel that may lose any incoming message in \
+                              transit, reporting the loss as IN_FAIL",
+            },
+            BlockInfo {
+                name: ChannelKind::duplicating(base.into()).name(),
+                category: BlockCategory::Channel,
+                description: "A decorated channel that may store an incoming message \
+                              twice when the buffer has room for both copies",
+            },
+            BlockInfo {
+                name: ChannelKind::reordering(base.into()).name(),
+                category: BlockCategory::Channel,
+                description: "A decorated channel whose delivery may take any matching \
+                              buffered message (bag delivery), not just the head",
+            },
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -152,8 +196,26 @@ mod tests {
     }
 
     #[test]
+    fn fault_catalog_covers_every_fault_block() {
+        let faults = BlockLibrary::fault_catalog();
+        // 1 send port + 1 receive port + 3 channel decorators.
+        assert_eq!(faults.len(), 5);
+        let names: Vec<&str> = faults.iter().map(|b| b.name.as_str()).collect();
+        assert!(names.contains(&"CrashRestartSend"));
+        assert!(names.contains(&"CrashRestartBlRecv(remove)"));
+        assert!(names.contains(&"Lossy(FIFO(5))"));
+        assert!(names.contains(&"Duplicating(FIFO(5))"));
+        assert!(names.contains(&"Reordering(FIFO(5))"));
+        // Fault blocks never shadow a Fig. 1 entry.
+        for entry in BlockLibrary::catalog() {
+            assert!(!names.contains(&entry.name.as_str()));
+        }
+    }
+
+    #[test]
     fn catalog_names_are_unique_and_described() {
-        let catalog = BlockLibrary::catalog();
+        let mut catalog = BlockLibrary::catalog();
+        catalog.extend(BlockLibrary::fault_catalog());
         for (i, a) in catalog.iter().enumerate() {
             assert!(!a.description.is_empty());
             for b in &catalog[i + 1..] {

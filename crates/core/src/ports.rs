@@ -38,10 +38,20 @@ pub enum SendPortKind {
     SynBlocking,
     /// Like `SynBlocking`, but reports `SEND_FAIL` when the buffer is full.
     SynChecking,
+    /// A fault-injection variant of `AsynChecking`: the port may crash
+    /// after accepting a message but before engaging the channel. The
+    /// message is lost; on restart the port reports `SEND_FAIL`, so the
+    /// component's standard interface is never wedged.
+    ///
+    /// Not part of [`SendPortKind::ALL`] — it models an environment fault,
+    /// not a library choice (see the fault library in DESIGN.md).
+    CrashRestart,
 }
 
 impl SendPortKind {
-    /// Every send-port kind, in library order.
+    /// Every *fault-free* send-port kind, in library order (paper Fig. 1).
+    /// [`SendPortKind::CrashRestart`] is deliberately excluded: it is a
+    /// fault-injection block, not a design choice.
     pub const ALL: [SendPortKind; 5] = [
         SendPortKind::AsynNonblocking,
         SendPortKind::AsynBlocking,
@@ -58,6 +68,7 @@ impl SendPortKind {
             SendPortKind::AsynChecking => "AsynCheckingSend",
             SendPortKind::SynBlocking => "SynBlockingSend",
             SendPortKind::SynChecking => "SynCheckingSend",
+            SendPortKind::CrashRestart => "CrashRestartSend",
         }
     }
 
@@ -70,7 +81,15 @@ impl SendPortKind {
     /// Whether a full buffer is reported to the component (`SEND_FAIL`)
     /// instead of being retried.
     pub fn is_checking(self) -> bool {
-        matches!(self, SendPortKind::AsynChecking | SendPortKind::SynChecking)
+        matches!(
+            self,
+            SendPortKind::AsynChecking | SendPortKind::SynChecking | SendPortKind::CrashRestart
+        )
+    }
+
+    /// Whether the port can nondeterministically crash and restart.
+    pub fn is_crash_restart(self) -> bool {
+        matches!(self, SendPortKind::CrashRestart)
     }
 }
 
@@ -93,26 +112,38 @@ pub struct RecvPortKind {
     pub blocking: bool,
     /// Remove or copy delivery.
     pub mode: RecvMode,
+    /// Fault injection: the port may crash after accepting a receive
+    /// request but before engaging the channel. On restart it reports
+    /// `RECV_FAIL` plus an empty stub message, so the component's standard
+    /// interface is never wedged. Not set in any [`RecvPortKind::ALL`]
+    /// entry — it models an environment fault, not a library choice.
+    pub crash_restart: bool,
 }
 
 impl RecvPortKind {
-    /// Every receive-port kind, in library order.
+    /// Every *fault-free* receive-port kind, in library order. Crash-restart
+    /// variants are deliberately excluded: they are fault-injection blocks,
+    /// not design choices.
     pub const ALL: [RecvPortKind; 4] = [
         RecvPortKind {
             blocking: true,
             mode: RecvMode::Remove,
+            crash_restart: false,
         },
         RecvPortKind {
             blocking: true,
             mode: RecvMode::Copy,
+            crash_restart: false,
         },
         RecvPortKind {
             blocking: false,
             mode: RecvMode::Remove,
+            crash_restart: false,
         },
         RecvPortKind {
             blocking: false,
             mode: RecvMode::Copy,
+            crash_restart: false,
         },
     ];
 
@@ -121,6 +152,7 @@ impl RecvPortKind {
         RecvPortKind {
             blocking: true,
             mode: RecvMode::Remove,
+            crash_restart: false,
         }
     }
 
@@ -129,7 +161,13 @@ impl RecvPortKind {
         RecvPortKind {
             blocking: false,
             mode: RecvMode::Remove,
+            crash_restart: false,
         }
+    }
+
+    /// A blocking, removing receive port that may crash and restart.
+    pub fn crash_restart() -> RecvPortKind {
+        RecvPortKind::blocking().with_crash_restart()
     }
 
     /// Sets the delivery mode.
@@ -138,14 +176,25 @@ impl RecvPortKind {
         self
     }
 
+    /// Marks the port as a crash-restart fault variant.
+    pub fn with_crash_restart(mut self) -> RecvPortKind {
+        self.crash_restart = true;
+        self
+    }
+
     /// The library name of the kind (e.g. `"BlRecv(remove)"`).
     pub fn name(self) -> String {
+        let crash = if self.crash_restart {
+            "CrashRestart"
+        } else {
+            ""
+        };
         let base = if self.blocking { "BlRecv" } else { "NbRecv" };
         let mode = match self.mode {
             RecvMode::Remove => "remove",
             RecvMode::Copy => "copy",
         };
-        format!("{base}({mode})")
+        format!("{crash}{base}({mode})")
     }
 }
 
@@ -244,7 +293,8 @@ pub(crate) fn send_port_process(
         SendPortKind::AsynBlocking
         | SendPortKind::AsynChecking
         | SendPortKind::SynBlocking
-        | SendPortKind::SynChecking => {
+        | SendPortKind::SynChecking
+        | SendPortKind::CrashRestart => {
             let wait_in = p.location("wait_in");
             p.transition(
                 idle,
@@ -261,6 +311,34 @@ pub(crate) fn send_port_process(
                 "forward to channel",
             );
             p.transition(succ, idle, Guard::always(), send_succ, "SEND_SUCC");
+
+            if kind.is_crash_restart() {
+                // The crash strikes before the channel is engaged, so the
+                // connector protocol is never left half-done: the message
+                // is simply lost and the restart reports the loss.
+                let crashed = p.location("crashed");
+                p.transition(
+                    trying,
+                    crashed,
+                    Guard::always(),
+                    Action::Skip,
+                    "crash (message lost)",
+                );
+                p.transition(
+                    crashed,
+                    idle,
+                    Guard::always(),
+                    send_fail.clone(),
+                    "restart: SEND_FAIL",
+                );
+                p.transition(
+                    crashed,
+                    crashed,
+                    Guard::always(),
+                    recv_signal(channel, RECV_OK),
+                    "discard stale RECV_OK",
+                );
+            }
 
             // Full-buffer handling: retry (blocking) or report (checking).
             if kind.is_checking() {
@@ -385,6 +463,37 @@ pub(crate) fn recv_port_process(
         ),
         "forward receive request",
     );
+    if kind.crash_restart {
+        // The crash strikes before the channel is engaged, so the channel
+        // never holds a dangling request; the restart reports RECV_FAIL
+        // plus the empty stub the standard interface expects.
+        let crashed = p.location("crashed");
+        let crash_fail = p.location("crash_fail");
+        p.transition(
+            trying,
+            crashed,
+            Guard::always(),
+            Action::Skip,
+            "crash (request lost)",
+        );
+        p.transition(
+            crashed,
+            crash_fail,
+            Guard::always(),
+            Action::send(component.signal, vec![RECV_FAIL.into(), NO_PID.into()]),
+            "restart: RECV_FAIL",
+        );
+        p.transition(
+            crash_fail,
+            idle,
+            Guard::always(),
+            Action::send(
+                component.data,
+                vec![0.into(), 0.into(), NO_PID.into(), expr::self_pid()],
+            ),
+            "deliver empty stub",
+        );
+    }
     p.transition(
         wait_out,
         get_data,
@@ -540,6 +649,48 @@ mod tests {
         }
         let program = pb.build().unwrap();
         assert_eq!(program.processes().len(), 9);
+    }
+
+    #[test]
+    fn crash_restart_ports_are_outside_the_library_and_validate() {
+        use pnp_kernel::ProgramBuilder;
+        // Crash variants are fault blocks, not library entries.
+        assert!(!SendPortKind::ALL.contains(&SendPortKind::CrashRestart));
+        assert!(RecvPortKind::ALL.iter().all(|k| !k.crash_restart));
+        assert!(SendPortKind::CrashRestart.is_checking());
+        assert!(SendPortKind::CrashRestart.is_crash_restart());
+        assert!(!SendPortKind::CrashRestart.is_synchronous());
+        assert_eq!(SendPortKind::CrashRestart.name(), "CrashRestartSend");
+        assert_eq!(
+            RecvPortKind::crash_restart().name(),
+            "CrashRestartBlRecv(remove)"
+        );
+        assert_eq!(
+            RecvPortKind::nonblocking()
+                .with_mode(RecvMode::Copy)
+                .with_crash_restart()
+                .name(),
+            "CrashRestartNbRecv(copy)"
+        );
+
+        let mut pb = ProgramBuilder::new();
+        let comp = SynChan::declare(&mut pb, "comp");
+        let chan = SynChan::declare(&mut pb, "chan");
+        pb.add_process(send_port_process(
+            "crash_send",
+            SendPortKind::CrashRestart,
+            comp,
+            chan,
+        ))
+        .unwrap();
+        pb.add_process(recv_port_process(
+            "crash_recv",
+            RecvPortKind::crash_restart(),
+            comp,
+            chan,
+        ))
+        .unwrap();
+        pb.build().unwrap();
     }
 
     #[test]

@@ -18,7 +18,9 @@ use pnp_kernel::{expr, Action, FieldPat, Guard, NativeGuard, NativeOp, ProcessBu
 
 use crate::ports::{RecvPortKind, SendPortKind};
 use crate::signals::{field, SynChan, IN_OK, OUT_FAIL, OUT_OK};
-use crate::system::{PortSite, RecvAttachment, RecvPortSpec, SendAttachment, SendPortSpec, SystemBuilder};
+use crate::system::{
+    PortSite, RecvAttachment, RecvPortSpec, SendAttachment, SendPortSpec, SystemBuilder,
+};
 
 /// Identifies an event connector within a [`SystemBuilder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -147,10 +149,12 @@ impl SystemBuilder {
         let name = self.events[connector.0].name.clone();
         let broker_label = format!("{name}.sub[{sub_index}]");
         let broker_link = SynChan::declare(&mut self.prog, &broker_label);
-        self.events[connector.0].subscriptions.push(SubscriptionSpec {
-            link: broker_link,
-            subscription,
-        });
+        self.events[connector.0]
+            .subscriptions
+            .push(SubscriptionSpec {
+                link: broker_link,
+                subscription,
+            });
         let label = format!("{broker_label}.port");
         let component_link = SynChan::declare(&mut self.prog, &label);
         self.recv_ports.push(RecvPortSpec {
@@ -240,7 +244,13 @@ pub(crate) fn broker_process(spec: &EventConnectorSpec) -> ProcessBuilder {
         loc[int] = 0;
         loc[ins] = 0;
     });
-    p.transition(publish, pub_ack, Guard::always(), Action::Native(fanout), "fan out");
+    p.transition(
+        publish,
+        pub_ack,
+        Guard::always(),
+        Action::Native(fanout),
+        "fan out",
+    );
     p.transition(
         pub_ack,
         idle,
@@ -323,13 +333,28 @@ pub(crate) fn broker_process(spec: &EventConnectorSpec) -> ProcessBuilder {
             loc[ot] = 0;
         });
 
-        p.transition(got_req, ok_status, Guard::native(has_match), Action::Native(take), "take event");
-        p.transition(got_req, fail, Guard::native(no_match), Action::Native(reject), "no event");
+        p.transition(
+            got_req,
+            ok_status,
+            Guard::native(has_match),
+            Action::Native(take),
+            "take event",
+        );
+        p.transition(
+            got_req,
+            fail,
+            Guard::native(no_match),
+            Action::Native(reject),
+            "no event",
+        );
         p.transition(
             ok_status,
             ok_data,
             Guard::always(),
-            Action::send(sub.link.signal, vec![OUT_OK.into(), expr::local(notify_pid)]),
+            Action::send(
+                sub.link.signal,
+                vec![OUT_OK.into(), expr::local(notify_pid)],
+            ),
             "OUT_OK to subscription port",
         );
         p.transition(
@@ -347,7 +372,13 @@ pub(crate) fn broker_process(spec: &EventConnectorSpec) -> ProcessBuilder {
             ),
             "deliver event",
         );
-        p.transition(cleanup, idle, Guard::always(), Action::Native(clear_out), "cleanup");
+        p.transition(
+            cleanup,
+            idle,
+            Guard::always(),
+            Action::Native(clear_out),
+            "cleanup",
+        );
         p.transition(
             fail,
             idle,

@@ -70,7 +70,13 @@ impl RpcConnector {
     ) {
         let mid = client.location(format!("{}.await_reply", self.name));
         client.send_msg(from, mid, &self.call_tx, arg, tag, None);
-        client.recv_msg(mid, to, &self.reply_rx, None, ReceiveBinds::data_into(result));
+        client.recv_msg(
+            mid,
+            to,
+            &self.reply_rx,
+            None,
+            ReceiveBinds::data_into(result),
+        );
     }
 
     /// Emits the server-side request wait between `from` and `to`, binding
@@ -144,7 +150,9 @@ mod tests {
         let checker = Checker::new(program);
 
         // Deadlock-free...
-        let report = checker.check_safety(&SafetyChecks::deadlock_only()).unwrap();
+        let report = checker
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
         assert!(report.outcome.is_holds(), "{:?}", report.outcome);
 
         // ...and the observed result is only ever 0 (not yet returned) or 42.
@@ -193,7 +201,10 @@ mod tests {
             pnp_kernel::LtlOutcome::Violated { cycle, .. } => {
                 // The starving cycle is the receive port's poll loop.
                 let text = system.explain_trace(&cycle);
-                assert!(text.contains("no matching message") || text.contains("OUT_FAIL"), "{text}");
+                assert!(
+                    text.contains("no matching message") || text.contains("OUT_FAIL"),
+                    "{text}"
+                );
             }
             other => panic!("expected the polling livelock, got {other:?}"),
         }

@@ -339,11 +339,7 @@ impl SystemBuilder {
     pub fn send_port(&mut self, connector: ConnectorId, kind: SendPortKind) -> SendAttachment {
         let spec = &self.connectors[connector.0];
         let site = PortSite::Connector(connector.0);
-        let n = self
-            .send_ports
-            .iter()
-            .filter(|p| p.site == site)
-            .count();
+        let n = self.send_ports.iter().filter(|p| p.site == site).count();
         let label = format!("{}.send[{n}]", spec.name);
         let component_link = SynChan::declare(&mut self.prog, &label);
         self.send_ports.push(SendPortSpec {

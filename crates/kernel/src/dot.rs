@@ -70,7 +70,13 @@ mod tests {
         let s2 = p.location("done");
         p.set_initial(s0);
         p.mark_end(s2);
-        p.transition(s0, s1, Guard::always(), Action::send(ch, vec![1.into()]), "emit");
+        p.transition(
+            s0,
+            s1,
+            Guard::always(),
+            Action::send(ch, vec![1.into()]),
+            "emit",
+        );
         p.transition(
             s1,
             s2,

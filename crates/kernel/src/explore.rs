@@ -2,7 +2,9 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -65,9 +67,7 @@ impl Predicate {
     /// ```
     pub fn negated(&self) -> Predicate {
         match &self.0 {
-            PredImpl::Expr(e) => {
-                Predicate(PredImpl::Expr(crate::expression::expr::not(e.clone())))
-            }
+            PredImpl::Expr(e) => Predicate(PredImpl::Expr(crate::expression::expr::not(e.clone()))),
             PredImpl::Native { name, f } => {
                 let f = Arc::clone(f);
                 Predicate(PredImpl::Native {
@@ -140,7 +140,65 @@ impl Default for SafetyChecks {
     }
 }
 
+/// A cooperative cancellation handle for long-running searches.
+///
+/// Clone it, hand one copy to [`Checker::with_cancellation`], and call
+/// [`CancelToken::cancel`] from anywhere (another thread, a signal
+/// handler) to make the search stop at its next budget checkpoint with a
+/// [`SafetyOutcome::LimitReached`] partial result.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Which search budget stopped an exploration early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetKind {
+    /// [`SearchConfig::max_states`] unique states were interned.
+    States,
+    /// [`SearchConfig::max_time`] wall-clock time elapsed.
+    Time,
+    /// [`SearchConfig::max_depth`] was reached on every remaining
+    /// frontier state.
+    Depth,
+    /// The [`SearchConfig::max_memory_bytes`] estimate was exceeded.
+    Memory,
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BudgetKind::States => "state budget",
+            BudgetKind::Time => "time budget",
+            BudgetKind::Depth => "depth budget",
+            BudgetKind::Memory => "memory budget",
+            BudgetKind::Cancelled => "cancellation",
+        })
+    }
+}
+
 /// Exploration limits and options.
+///
+/// All budgets degrade gracefully: tripping one ends the search with a
+/// [`SafetyOutcome::LimitReached`] carrying partial [`SearchStats`]
+/// instead of a panic or a silently-truncated `Holds`.
 #[derive(Debug, Clone, Copy)]
 pub struct SearchConfig {
     /// Stop after interning this many unique states (default one million).
@@ -150,6 +208,16 @@ pub struct SearchConfig {
     /// it switches itself off automatically when a property uses a native
     /// predicate or when weak-fairness liveness search is requested.
     pub partial_order_reduction: bool,
+    /// Stop once this much wall-clock time has elapsed (default none).
+    pub max_time: Option<Duration>,
+    /// Do not expand states deeper than this many steps from the initial
+    /// state (default none). Everything up to the bound is still checked.
+    pub max_depth: Option<usize>,
+    /// Stop once the *estimated* memory footprint of the visited set and
+    /// frontier exceeds this many bytes (default none). The estimate
+    /// counts state payloads plus interning overhead; it is deterministic
+    /// and usually within a small factor of the true footprint.
+    pub max_memory_bytes: Option<usize>,
 }
 
 impl Default for SearchConfig {
@@ -157,11 +225,19 @@ impl Default for SearchConfig {
         SearchConfig {
             max_states: 1_000_000,
             partial_order_reduction: true,
+            max_time: None,
+            max_depth: None,
+            max_memory_bytes: None,
         }
     }
 }
 
 /// Statistics from one exploration.
+///
+/// Also the partial-progress record when a budget trips: together with
+/// [`SafetyOutcome::LimitReached`] these fields make a budget trip
+/// diagnosable from the report alone (how far the search got, how much it
+/// still had queued, and roughly how much memory it was holding).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SearchStats {
     /// Unique states interned.
@@ -172,14 +248,24 @@ pub struct SearchStats {
     pub max_depth: usize,
     /// Wall-clock time.
     pub elapsed: Duration,
+    /// Largest BFS frontier (queue length) observed.
+    pub peak_frontier: usize,
+    /// Estimated peak memory footprint in bytes of the visited hash table
+    /// plus frontier (state payloads and interning overhead).
+    pub approx_memory_bytes: usize,
 }
 
 impl fmt::Display for SearchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} states, {} steps, depth {}, {:?}",
-            self.unique_states, self.steps, self.max_depth, self.elapsed
+            "{} states, {} steps, depth {}, peak frontier {}, ~{} KiB, {:?}",
+            self.unique_states,
+            self.steps,
+            self.max_depth,
+            self.peak_frontier,
+            self.approx_memory_bytes / 1024,
+            self.elapsed
         )
     }
 }
@@ -210,6 +296,32 @@ pub enum SafetyOutcome {
         /// Shortest path to the deadlock.
         trace: Trace,
     },
+    /// A search budget tripped before the state space was exhausted.
+    ///
+    /// This is a *partial* result, not an error: no violation was found
+    /// in the portion covered (`states_covered` interned states; see the
+    /// report's [`SearchStats`] for depth, frontier, and memory
+    /// figures). The property may still fail in the unexplored part.
+    LimitReached {
+        /// Which budget stopped the search.
+        budget: BudgetKind,
+        /// Unique states fully or partially explored before the stop.
+        states_covered: usize,
+        /// Queue length (states discovered but not yet expanded) at the
+        /// moment the budget tripped.
+        frontier: usize,
+    },
+    /// A native invariant predicate panicked while evaluating a reachable
+    /// state. The panic is caught and isolated to this outcome instead of
+    /// unwinding through the search.
+    PredicateError {
+        /// The invariant whose predicate panicked.
+        name: String,
+        /// The panic payload, if it was a string.
+        message: String,
+        /// Shortest path to the state that made the predicate panic.
+        trace: Trace,
+    },
 }
 
 impl SafetyOutcome {
@@ -221,11 +333,17 @@ impl SafetyOutcome {
     /// The counterexample trace, if there is a violation.
     pub fn trace(&self) -> Option<&Trace> {
         match self {
-            SafetyOutcome::Holds => None,
+            SafetyOutcome::Holds | SafetyOutcome::LimitReached { .. } => None,
             SafetyOutcome::InvariantViolated { trace, .. }
             | SafetyOutcome::AssertionFailed { trace, .. }
+            | SafetyOutcome::PredicateError { trace, .. }
             | SafetyOutcome::Deadlock { trace } => Some(trace),
         }
+    }
+
+    /// `true` when the search stopped on a budget with a partial result.
+    pub fn is_limit_reached(&self) -> bool {
+        matches!(self, SafetyOutcome::LimitReached { .. })
     }
 }
 
@@ -236,9 +354,11 @@ pub struct SafetyReport {
     pub outcome: SafetyOutcome,
     /// Exploration statistics.
     pub stats: SearchStats,
-    /// `true` when the search stopped at [`SearchConfig::max_states`]
-    /// before exhausting the state space; a `Holds` outcome is then only
-    /// valid for the explored portion.
+    /// `true` when a search budget ([`SearchConfig::max_states`],
+    /// `max_time`, `max_depth`, `max_memory_bytes`, or cancellation)
+    /// stopped exploration before the state space was exhausted. The
+    /// outcome is then [`SafetyOutcome::LimitReached`] unless a violation
+    /// was found first.
     pub truncated: bool,
 }
 
@@ -255,6 +375,17 @@ impl fmt::Display for SafetyReport {
             SafetyOutcome::Deadlock { trace } => {
                 format!("deadlock ({}-step trace)", trace.len())
             }
+            SafetyOutcome::LimitReached {
+                budget,
+                states_covered,
+                frontier,
+            } => format!(
+                "inconclusive: {budget} tripped after {states_covered} states \
+                 ({frontier} queued)"
+            ),
+            SafetyOutcome::PredicateError { name, message, .. } => {
+                format!("predicate error in '{name}': {message}")
+            }
         };
         write!(f, "{verdict} [{}]", self.stats)?;
         if self.truncated {
@@ -262,6 +393,55 @@ impl fmt::Display for SafetyReport {
         }
         Ok(())
     }
+}
+
+/// What evaluating the invariants at one state produced.
+enum InvariantHit {
+    /// Some invariant is false there.
+    Violated(String),
+    /// Some native predicate panicked there.
+    Panicked {
+        /// The invariant's name.
+        name: String,
+        /// The stringified panic payload.
+        message: String,
+    },
+}
+
+/// Extracts a readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "(non-string panic payload)".to_string()
+    }
+}
+
+/// Estimated bytes one interned state costs: the `State` payload (control
+/// locations, process locals, channel buffers, globals) plus bookkeeping
+/// overhead (hash-map entry, `Rc` headers, parent link, depth). A flat
+/// per-state figure keeps the memory budget deterministic.
+fn approx_state_bytes(program: &Program) -> usize {
+    use std::mem::size_of;
+    let payload: usize = size_of::<State>()
+        + program
+            .processes
+            .iter()
+            .map(|p| size_of::<crate::state::ProcState>() + p.locals.len() * size_of::<i32>())
+            .sum::<usize>()
+        + program
+            .channels
+            .iter()
+            .map(|c| {
+                size_of::<VecDeque<crate::state::Msg>>()
+                    + c.capacity.max(1)
+                        * (size_of::<crate::state::Msg>() + c.arity * size_of::<i32>())
+            })
+            .sum::<usize>()
+        + program.globals.len() * size_of::<i32>();
+    payload + 96
 }
 
 /// The explicit-state model checker.
@@ -272,6 +452,7 @@ impl fmt::Display for SafetyReport {
 pub struct Checker<'p> {
     pub(crate) program: &'p Program,
     pub(crate) config: SearchConfig,
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 impl<'p> Checker<'p> {
@@ -280,12 +461,25 @@ impl<'p> Checker<'p> {
         Checker {
             program,
             config: SearchConfig::default(),
+            cancel: None,
         }
     }
 
     /// Creates a checker with explicit limits.
     pub fn with_config(program: &'p Program, config: SearchConfig) -> Checker<'p> {
-        Checker { program, config }
+        Checker {
+            program,
+            config,
+            cancel: None,
+        }
+    }
+
+    /// Attaches a cooperative cancellation token; cancelling it makes any
+    /// running search stop at its next checkpoint with
+    /// [`SafetyOutcome::LimitReached`].
+    pub fn with_cancellation(mut self, token: CancelToken) -> Checker<'p> {
+        self.cancel = Some(token);
+        self
     }
 
     /// The program under check.
@@ -318,7 +512,6 @@ impl<'p> Checker<'p> {
         let mut depths: Vec<usize> = Vec::new();
 
         let mut stats = SearchStats::default();
-        let mut truncated = false;
 
         let rebuild_trace = |states: &[Rc<State>],
                              parents: &[Option<(usize, Step)>],
@@ -338,22 +531,40 @@ impl<'p> Checker<'p> {
             Ok(Trace::new(events))
         };
 
-        let check_invariants = |view: &StateView<'_>| -> Result<Option<String>, KernelError> {
+        let check_invariants = |view: &StateView<'_>| -> Result<Option<InvariantHit>, KernelError> {
             for (name, predicate) in &checks.invariants {
-                if !predicate.eval(view)? {
-                    return Ok(Some(name.clone()));
+                // Native predicates are user code; a panic there is
+                // isolated to a `PredicateError` outcome instead of
+                // unwinding through (and aborting) the whole search.
+                match catch_unwind(AssertUnwindSafe(|| predicate.eval(view))) {
+                    Ok(Ok(true)) => {}
+                    Ok(Ok(false)) => return Ok(Some(InvariantHit::Violated(name.clone()))),
+                    Ok(Err(error)) => return Err(error),
+                    Err(payload) => {
+                        return Ok(Some(InvariantHit::Panicked {
+                            name: name.clone(),
+                            message: panic_message(payload.as_ref()),
+                        }))
+                    }
                 }
             }
             Ok(None)
         };
+        let hit_outcome = |hit: InvariantHit, trace: Trace| -> SafetyOutcome {
+            match hit {
+                InvariantHit::Violated(name) => SafetyOutcome::InvariantViolated { name, trace },
+                InvariantHit::Panicked { name, message } => SafetyOutcome::PredicateError {
+                    name,
+                    message,
+                    trace,
+                },
+            }
+        };
 
         let initial = Rc::new(State::initial(program));
-        if let Some(name) = check_invariants(&StateView::new(program, &initial))? {
+        if let Some(hit) = check_invariants(&StateView::new(program, &initial))? {
             return Ok(SafetyReport {
-                outcome: SafetyOutcome::InvariantViolated {
-                    name,
-                    trace: Trace::default(),
-                },
+                outcome: hit_outcome(hit, Trace::default()),
                 stats: SearchStats {
                     unique_states: 1,
                     elapsed: start.elapsed(),
@@ -367,8 +578,42 @@ impl<'p> Checker<'p> {
         parents.push(None);
         depths.push(0);
 
+        let per_state_bytes = approx_state_bytes(program);
         let mut queue: VecDeque<usize> = VecDeque::from([0]);
-        while let Some(id) = queue.pop_front() {
+        stats.peak_frontier = 1;
+        let mut tripped: Option<BudgetKind> = None;
+        let mut depth_trimmed = false;
+
+        'search: while let Some(id) = queue.pop_front() {
+            // Budget checkpoints run once per expanded state, so a trip is
+            // detected within one state-expansion of when it occurs.
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                tripped = Some(BudgetKind::Cancelled);
+                break 'search;
+            }
+            if let Some(limit) = self.config.max_time {
+                if start.elapsed() >= limit {
+                    tripped = Some(BudgetKind::Time);
+                    break 'search;
+                }
+            }
+            let mem = states.len() * per_state_bytes + queue.len() * std::mem::size_of::<usize>();
+            stats.approx_memory_bytes = stats.approx_memory_bytes.max(mem);
+            if let Some(limit) = self.config.max_memory_bytes {
+                if mem >= limit {
+                    tripped = Some(BudgetKind::Memory);
+                    break 'search;
+                }
+            }
+            if let Some(limit) = self.config.max_depth {
+                if depths[id] >= limit {
+                    // The state itself was already checked when it was
+                    // discovered; only its expansion is skipped.
+                    depth_trimmed = true;
+                    continue;
+                }
+            }
+
             let state = Rc::clone(&states[id]);
             let mut steps = enabled_steps(program, &state)?;
             stats.max_depth = stats.max_depth.max(depths[id]);
@@ -381,7 +626,7 @@ impl<'p> Checker<'p> {
                     return Ok(SafetyReport {
                         outcome: SafetyOutcome::Deadlock { trace },
                         stats,
-                        truncated,
+                        truncated: false,
                     });
                 }
                 continue;
@@ -406,7 +651,7 @@ impl<'p> Checker<'p> {
                     return Ok(SafetyReport {
                         outcome: SafetyOutcome::AssertionFailed { message, trace },
                         stats,
-                        truncated,
+                        truncated: false,
                     });
                 }
 
@@ -415,8 +660,8 @@ impl<'p> Checker<'p> {
                     continue;
                 }
                 if states.len() >= self.config.max_states {
-                    truncated = true;
-                    continue;
+                    tripped = Some(BudgetKind::States);
+                    break 'search;
                 }
                 let next_id = states.len();
                 index.insert(Rc::clone(&next), next_id);
@@ -424,26 +669,39 @@ impl<'p> Checker<'p> {
                 parents.push(Some((id, step)));
                 depths.push(depths[id] + 1);
 
-                if let Some(name) = check_invariants(&StateView::new(program, &next))? {
+                if let Some(hit) = check_invariants(&StateView::new(program, &next))? {
                     let trace = rebuild_trace(&states, &parents, next_id)?;
                     stats.unique_states = states.len();
                     stats.elapsed = start.elapsed();
                     return Ok(SafetyReport {
-                        outcome: SafetyOutcome::InvariantViolated { name, trace },
+                        outcome: hit_outcome(hit, trace),
                         stats,
-                        truncated,
+                        truncated: false,
                     });
                 }
                 queue.push_back(next_id);
+                stats.peak_frontier = stats.peak_frontier.max(queue.len());
             }
         }
 
+        // A depth-trimmed search that found nothing is still incomplete.
+        if tripped.is_none() && depth_trimmed {
+            tripped = Some(BudgetKind::Depth);
+        }
         stats.unique_states = states.len();
         stats.elapsed = start.elapsed();
+        let outcome = match tripped {
+            Some(budget) => SafetyOutcome::LimitReached {
+                budget,
+                states_covered: states.len(),
+                frontier: queue.len(),
+            },
+            None => SafetyOutcome::Holds,
+        };
         Ok(SafetyReport {
-            outcome: SafetyOutcome::Holds,
+            outcome,
             stats,
-            truncated,
+            truncated: tripped.is_some(),
         })
     }
 
@@ -477,10 +735,7 @@ impl<'p> Checker<'p> {
     /// assert!(witness.is_some());
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
-    pub fn find_reachable(
-        &self,
-        predicate: &Predicate,
-    ) -> Result<Option<Trace>, KernelError> {
+    pub fn find_reachable(&self, predicate: &Predicate) -> Result<Option<Trace>, KernelError> {
         let report = self.check_safety(&SafetyChecks {
             deadlock: false,
             invariants: vec![("(reachability probe)".into(), predicate.negated())],
@@ -614,7 +869,13 @@ mod tests {
             let s1 = p.location("reply");
             let s2 = p.location("done");
             p.mark_end(s2);
-            p.transition(s0, s1, Guard::always(), Action::recv_any(recv_chan, 1), "recv");
+            p.transition(
+                s0,
+                s1,
+                Guard::always(),
+                Action::recv_any(recv_chan, 1),
+                "recv",
+            );
             p.transition(
                 s1,
                 s2,
@@ -709,9 +970,7 @@ mod tests {
         let report = Checker::new(&program)
             .check_safety(&SafetyChecks::invariants(vec![(
                 "a never finishes".into(),
-                Predicate::native("a not done", move |view| {
-                    view.location_name(pid) != "done"
-                }),
+                Predicate::native("a not done", move |view| view.location_name(pid) != "done"),
             )]))
             .unwrap();
         assert!(matches!(
@@ -741,6 +1000,183 @@ mod tests {
     }
 
     #[test]
+    fn zero_time_budget_returns_partial_result() {
+        let program = toggler(10);
+        let checker = Checker::with_config(
+            &program,
+            SearchConfig {
+                max_time: Some(Duration::ZERO),
+                ..SearchConfig::default()
+            },
+        );
+        let report = checker
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
+        match report.outcome {
+            SafetyOutcome::LimitReached {
+                budget,
+                states_covered,
+                ..
+            } => {
+                assert_eq!(budget, BudgetKind::Time);
+                assert!(states_covered >= 1);
+            }
+            other => panic!("expected LimitReached, got {other:?}"),
+        }
+        assert!(report.truncated);
+        // Partial stats are still populated.
+        assert_eq!(report.stats.unique_states, 1);
+    }
+
+    #[test]
+    fn tiny_memory_budget_trips_with_partial_stats() {
+        let program = toggler(10);
+        let checker = Checker::with_config(
+            &program,
+            SearchConfig {
+                max_memory_bytes: Some(1024),
+                ..SearchConfig::default()
+            },
+        );
+        let report = checker
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
+        match report.outcome {
+            SafetyOutcome::LimitReached { budget, .. } => {
+                assert_eq!(budget, BudgetKind::Memory);
+            }
+            other => panic!("expected LimitReached, got {other:?}"),
+        }
+        assert!(report.stats.approx_memory_bytes >= 1024);
+    }
+
+    #[test]
+    fn depth_budget_trims_but_still_checks_shallow_states() {
+        let program = toggler(10);
+        let flag = program.global_by_name("flag").unwrap();
+        let checker = Checker::with_config(
+            &program,
+            SearchConfig {
+                max_depth: Some(1),
+                ..SearchConfig::default()
+            },
+        );
+        // A violation within the depth bound is still found...
+        let report = checker
+            .check_safety(&SafetyChecks::invariants(vec![(
+                "flag stays 0".into(),
+                Predicate::from_expr(expr::eq(expr::global(flag), 0.into())),
+            )]))
+            .unwrap();
+        assert!(matches!(
+            report.outcome,
+            SafetyOutcome::InvariantViolated { .. }
+        ));
+        // ...and an exhausted-at-the-bound search reports the trim.
+        let report = checker
+            .check_safety(&SafetyChecks {
+                deadlock: false,
+                invariants: Vec::new(),
+            })
+            .unwrap();
+        assert!(matches!(
+            report.outcome,
+            SafetyOutcome::LimitReached {
+                budget: BudgetKind::Depth,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn cancellation_stops_the_search() {
+        let program = toggler(10);
+        let token = CancelToken::new();
+        token.cancel();
+        let report = Checker::new(&program)
+            .with_cancellation(token)
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
+        assert!(matches!(
+            report.outcome,
+            SafetyOutcome::LimitReached {
+                budget: BudgetKind::Cancelled,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn max_states_reports_limit_reached() {
+        let program = toggler(10);
+        let checker = Checker::with_config(
+            &program,
+            SearchConfig {
+                max_states: 5,
+                ..SearchConfig::default()
+            },
+        );
+        let report = checker
+            .check_safety(&SafetyChecks {
+                deadlock: false,
+                invariants: Vec::new(),
+            })
+            .unwrap();
+        match report.outcome {
+            SafetyOutcome::LimitReached {
+                budget,
+                states_covered,
+                frontier,
+            } => {
+                assert_eq!(budget, BudgetKind::States);
+                assert_eq!(states_covered, 5);
+                assert!(frontier > 0, "an early stop must leave a frontier");
+            }
+            other => panic!("expected LimitReached, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_native_predicate_is_isolated() {
+        let program = toggler(2);
+        let flag = program.global_by_name("flag").unwrap();
+        let report = Checker::new(&program)
+            .check_safety(&SafetyChecks::invariants(vec![(
+                "panicky".into(),
+                Predicate::native("explodes when flag set", move |view| {
+                    assert!(view.global(flag) == 0, "predicate blew up");
+                    true
+                }),
+            )]))
+            .unwrap();
+        match report.outcome {
+            SafetyOutcome::PredicateError {
+                name,
+                message,
+                trace,
+            } => {
+                assert_eq!(name, "panicky");
+                assert!(message.contains("predicate blew up"), "{message}");
+                // BFS reaches the offending state in one toggle.
+                assert_eq!(trace.len(), 1);
+            }
+            other => panic!("expected PredicateError, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_report_peak_frontier_and_memory() {
+        let program = toggler(3);
+        let report = Checker::new(&program)
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
+        assert!(report.stats.peak_frontier >= 1);
+        assert!(report.stats.approx_memory_bytes > 0);
+        let text = report.stats.to_string();
+        assert!(text.contains("peak frontier"), "{text}");
+    }
+
+    #[test]
     fn state_space_size_counts_interleavings() {
         // toggler(1): each process loops once then finishes.
         let small = Checker::new(&toggler(1)).state_space_size().unwrap();
@@ -755,11 +1191,17 @@ mod tests {
         let flag = program.global_by_name("flag").unwrap();
         let checker = Checker::new(&program);
         let witness = checker
-            .find_reachable(&Predicate::from_expr(expr::eq(expr::global(flag), 1.into())))
+            .find_reachable(&Predicate::from_expr(expr::eq(
+                expr::global(flag),
+                1.into(),
+            )))
             .unwrap();
         assert_eq!(witness.unwrap().len(), 1);
         let none = checker
-            .find_reachable(&Predicate::from_expr(expr::eq(expr::global(flag), 9.into())))
+            .find_reachable(&Predicate::from_expr(expr::eq(
+                expr::global(flag),
+                9.into(),
+            )))
             .unwrap();
         assert!(none.is_none());
     }

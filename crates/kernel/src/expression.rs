@@ -120,10 +120,14 @@ impl Expr {
     pub(crate) fn eval(&self, ctx: &EvalCtx<'_>) -> Result<i32, EvalError> {
         match self {
             Expr::Const(v) => Ok(*v),
-            Expr::Local(i) => ctx.locals.get(*i).copied().ok_or(EvalError::IndexOutOfBounds {
-                index: *i as i64,
-                len: ctx.locals.len(),
-            }),
+            Expr::Local(i) => ctx
+                .locals
+                .get(*i)
+                .copied()
+                .ok_or(EvalError::IndexOutOfBounds {
+                    index: *i as i64,
+                    len: ctx.locals.len(),
+                }),
             Expr::LocalIdx(base, offset) => {
                 let off = offset.eval(ctx)? as i64;
                 let index = *base as i64 + off;
@@ -135,10 +139,14 @@ impl Expr {
                 }
                 Ok(ctx.locals[index as usize])
             }
-            Expr::Global(i) => ctx.globals.get(*i).copied().ok_or(EvalError::IndexOutOfBounds {
-                index: *i as i64,
-                len: ctx.globals.len(),
-            }),
+            Expr::Global(i) => ctx
+                .globals
+                .get(*i)
+                .copied()
+                .ok_or(EvalError::IndexOutOfBounds {
+                    index: *i as i64,
+                    len: ctx.globals.len(),
+                }),
             Expr::SelfPid => Ok(ctx.pid),
             Expr::Not(e) => Ok((e.eval(ctx)? == 0) as i32),
             Expr::Neg(e) => e.eval(ctx)?.checked_neg().ok_or(EvalError::Overflow),

@@ -69,7 +69,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-
 #![warn(missing_docs)]
 mod dot;
 mod explore;
@@ -81,15 +80,16 @@ mod sim;
 mod state;
 mod trace;
 
-pub use expression::{expr, EvalError, Expr};
 pub use explore::{
-    Checker, Predicate, SafetyChecks, SafetyOutcome, SafetyReport, SearchConfig, SearchStats,
+    BudgetKind, CancelToken, Checker, Predicate, SafetyChecks, SafetyOutcome, SafetyReport,
+    SearchConfig, SearchStats,
 };
+pub use expression::{expr, EvalError, Expr};
 pub use liveness::{Fairness, LtlOutcome, LtlReport, Proposition};
 pub use program::{
     Action, BuildError, ChanId, ChannelDecl, FieldPat, GlobalId, Guard, LValue, Loc, LocalId,
-    NativeGuard, NativeOp, ProcId, ProcessBuilder, ProcessDef, Program, ProgramBuilder,
-    RecvPolicy, Transition,
+    NativeGuard, NativeOp, ProcId, ProcessBuilder, ProcessDef, Program, ProgramBuilder, RecvPolicy,
+    Transition,
 };
 pub use sim::{SimObservation, SimReport, Simulator};
 pub use state::{KernelError, Msg, State, StateView, Step};

@@ -357,7 +357,11 @@ impl Checker<'_> {
     /// Returns [`KernelError`] when the model is broken, a proposition name
     /// in the formula is not bound by `props`, or a predicate fails to
     /// evaluate.
-    pub fn check_ltl(&self, formula: &Ltl, props: &[Proposition]) -> Result<LtlReport, KernelError> {
+    pub fn check_ltl(
+        &self,
+        formula: &Ltl,
+        props: &[Proposition],
+    ) -> Result<LtlReport, KernelError> {
         self.check_ltl_with(formula, props, Fairness::Weak)
     }
 
@@ -476,7 +480,9 @@ impl Checker<'_> {
                                 found = Some((seed, target));
                                 break 'roots;
                             }
-                            if let std::collections::hash_map::Entry::Vacant(e) = visited2.entry(target) {
+                            if let std::collections::hash_map::Entry::Vacant(e) =
+                                visited2.entry(target)
+                            {
                                 e.insert(());
                                 parent2.insert(target, (source, edge));
                                 let succs = graph.successors(target)?;
@@ -497,6 +503,7 @@ impl Checker<'_> {
             steps: graph.edges_explored,
             max_depth: 0,
             elapsed: start.elapsed(),
+            ..SearchStats::default()
         };
 
         let Some((seed, hit)) = found else {
@@ -693,8 +700,20 @@ mod tests {
         let mut p = ProcessBuilder::new("alt");
         let s0 = p.location("off");
         let s1 = p.location("on");
-        p.transition(s0, s1, Guard::always(), Action::assign(flag, 1.into()), "turn on");
-        p.transition(s1, s0, Guard::always(), Action::assign(flag, 0.into()), "turn off");
+        p.transition(
+            s0,
+            s1,
+            Guard::always(),
+            Action::assign(flag, 1.into()),
+            "turn on",
+        );
+        p.transition(
+            s1,
+            s0,
+            Guard::always(),
+            Action::assign(flag, 0.into()),
+            "turn off",
+        );
         prog.add_process(p).unwrap();
         prog.build().unwrap()
     }
@@ -775,7 +794,9 @@ mod tests {
     #[test]
     fn malformed_formula_is_an_error() {
         let program = counter(1);
-        let err = Checker::new(&program).check_ltl_str("<> (", &[]).unwrap_err();
+        let err = Checker::new(&program)
+            .check_ltl_str("<> (", &[])
+            .unwrap_err();
         assert!(matches!(err, KernelError::LtlParse { .. }));
     }
 
@@ -794,7 +815,13 @@ mod tests {
         let t0 = setter.location("set");
         let t1 = setter.location("done");
         setter.mark_end(t1);
-        setter.transition(t0, t1, Guard::always(), Action::assign(flag, 1.into()), "set flag");
+        setter.transition(
+            t0,
+            t1,
+            Guard::always(),
+            Action::assign(flag, 1.into()),
+            "set flag",
+        );
         prog.add_process(setter).unwrap();
         let program = prog.build().unwrap();
 
@@ -806,7 +833,11 @@ mod tests {
         // Under weak fairness the setter, being continuously enabled, must
         // eventually move.
         let fair = checker
-            .check_ltl_with(&pnp_ltl::parse("<> set").unwrap(), std::slice::from_ref(&set), Fairness::Weak)
+            .check_ltl_with(
+                &pnp_ltl::parse("<> set").unwrap(),
+                std::slice::from_ref(&set),
+                Fairness::Weak,
+            )
             .unwrap();
         assert!(fair.outcome.is_holds(), "{:?}", fair.outcome);
         // Without fairness the spinner may be scheduled forever.
@@ -831,7 +862,13 @@ mod tests {
         let t0 = sender.location("send");
         let t1 = sender.location("done");
         sender.mark_end(t1);
-        sender.transition(t0, t1, Guard::always(), Action::send(ch, vec![1.into()]), "send");
+        sender.transition(
+            t0,
+            t1,
+            Guard::always(),
+            Action::send(ch, vec![1.into()]),
+            "send",
+        );
         prog.add_process(sender).unwrap();
         let mut receiver = ProcessBuilder::new("receiver");
         let r0 = receiver.location("recv");
@@ -839,7 +876,13 @@ mod tests {
         let r2 = receiver.location("done");
         receiver.mark_end(r2);
         receiver.transition(r0, r1, Guard::always(), Action::recv_any(ch, 1), "recv");
-        receiver.transition(r1, r2, Guard::always(), Action::assign(flag, 1.into()), "mark");
+        receiver.transition(
+            r1,
+            r2,
+            Guard::always(),
+            Action::assign(flag, 1.into()),
+            "mark",
+        );
         prog.add_process(receiver).unwrap();
         let program = prog.build().unwrap();
         let set = Proposition::new(

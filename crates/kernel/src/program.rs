@@ -201,7 +201,10 @@ pub struct NativeGuard {
 impl NativeGuard {
     /// Creates a native guard. The name appears in `Debug` output and
     /// diagnostics.
-    pub fn new(name: impl Into<String>, f: impl Fn(&[i32]) -> bool + Send + Sync + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&[i32]) -> bool + Send + Sync + 'static,
+    ) -> Self {
         NativeGuard {
             name: name.into(),
             f: Arc::new(f),
@@ -620,7 +623,10 @@ impl Program {
 
     /// Total transition count over all processes (a size measure).
     pub fn transition_count(&self) -> usize {
-        self.processes.iter().map(ProcessDef::transition_count).sum()
+        self.processes
+            .iter()
+            .map(ProcessDef::transition_count)
+            .sum()
     }
 }
 

@@ -256,7 +256,13 @@ mod tests {
         );
         p.transition(s1, s2, Guard::always(), Action::Skip, "skip on");
         // s2 is visible (writes a global), breaking any local cycle.
-        p.transition(s2, s0, Guard::always(), Action::assign(g, 1.into()), "write g");
+        p.transition(
+            s2,
+            s0,
+            Guard::always(),
+            Action::assign(g, 1.into()),
+            "write g",
+        );
         prog.add_process(p).unwrap();
         let program = prog.build().unwrap();
         let analysis = LocalLocations::analyze(&program);

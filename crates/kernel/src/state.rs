@@ -96,7 +96,11 @@ impl fmt::Debug for State {
             }
             write!(f, "{}@{:?}", p.loc, p.locals)?;
         }
-        write!(f, "], chans: {:?}, globals: {:?} }}", self.chans, self.globals)
+        write!(
+            f,
+            "], chans: {:?}, globals: {:?} }}",
+            self.chans, self.globals
+        )
     }
 }
 
@@ -354,9 +358,7 @@ fn buffered_recv_index(
     let queue = &state.chans[chan.index()];
     match policy {
         RecvPolicy::Head => match queue.front() {
-            Some(msg) if pattern_matches(program, state, proc, pattern, msg, label)? => {
-                Ok(Some(0))
-            }
+            Some(msg) if pattern_matches(program, state, proc, pattern, msg, label)? => Ok(Some(0)),
             _ => Ok(None),
         },
         RecvPolicy::FirstMatch => {
@@ -498,7 +500,8 @@ fn assign_lvalue(
             };
             let off = offset
                 .eval(&ctx)
-                .map_err(|e| eval_err(program, ProcId(proc), label, e))? as i64;
+                .map_err(|e| eval_err(program, ProcId(proc), label, e))?
+                as i64;
             let index = *base as i64 + off;
             let len = ps.locals.len();
             if index < 0 || index >= len as i64 {
@@ -745,13 +748,7 @@ mod tests {
         let mut receiver = ProcessBuilder::new("receiver");
         let r0 = receiver.location("loop");
         receiver.mark_end(r0);
-        receiver.transition(
-            r0,
-            r0,
-            Guard::always(),
-            Action::recv_any(ch, 1),
-            "recv",
-        );
+        receiver.transition(r0, r0, Guard::always(), Action::recv_any(ch, 1), "recv");
         prog.add_process(receiver).unwrap();
         (prog.build().unwrap(), ch)
     }
@@ -981,9 +978,6 @@ mod tests {
         assert_eq!(view.location_name(pid), "home");
         assert_eq!(view.local(pid, l.index()), 9);
         assert_eq!(view.channel_len(ch), 1);
-        assert_eq!(
-            view.channel_contents(ch).next(),
-            Some(&Msg::new(vec![4]))
-        );
+        assert_eq!(view.channel_contents(ch).next(), Some(&Msg::new(vec![4])));
     }
 }

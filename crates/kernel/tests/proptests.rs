@@ -133,6 +133,8 @@ fn verdict_kind(outcome: &SafetyOutcome) -> &'static str {
         SafetyOutcome::InvariantViolated { .. } => "invariant",
         SafetyOutcome::AssertionFailed { .. } => "assertion",
         SafetyOutcome::Deadlock { .. } => "deadlock",
+        SafetyOutcome::LimitReached { .. } => "limit",
+        SafetyOutcome::PredicateError { .. } => "predicate-error",
     }
 }
 
@@ -284,8 +286,7 @@ fn arb_ref_expr() -> impl Strategy<Value = RefExpr> {
                 .prop_map(|(a, b)| RefExpr::Sub(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| RefExpr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| RefExpr::Lt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RefExpr::Lt(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| RefExpr::And(Box::new(a), Box::new(b))),
             inner.prop_map(|a| RefExpr::Not(Box::new(a))),

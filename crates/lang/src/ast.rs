@@ -24,6 +24,12 @@ pub struct ConnectorAst {
     pub name: String,
     /// The channel kind.
     pub channel: ChannelAst,
+    /// Optional fault decorator on the channel
+    /// (`channel lossy fifo(3);`).
+    pub fault: Option<ChannelFaultAst>,
+    /// Ports converted to crash-restart fault variants by a
+    /// `faults { crash_restart PORT; ... }` block.
+    pub crash_ports: Vec<(String, Pos)>,
     /// Named send ports: `(port name, kind)`.
     pub sends: Vec<(String, SendKindAst, Pos)>,
     /// Named receive ports: `(port name, kind)`.
@@ -60,6 +66,19 @@ pub enum ChannelAst {
     Dropping(usize),
     /// `sliding(N)`
     Sliding(usize),
+}
+
+/// A channel fault decorator in the surface syntax
+/// (`channel lossy fifo(3);`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelFaultAst {
+    /// `lossy` — the channel may lose a message in transit (reported as an
+    /// input failure to the send port).
+    Lossy,
+    /// `duplicating` — the channel may store a message twice.
+    Duplicating,
+    /// `reordering` — delivery may take any matching buffered message.
+    Reordering,
 }
 
 /// A send-port kind in the surface syntax.

@@ -1,20 +1,127 @@
 //! `pnp-check` — verify a `.pnp` architecture specification.
 //!
-//! Usage: `pnp-check FILE.pnp [--quiet] [--dot] [--sim STEPS [--seed N]]`
+//! Usage:
+//! `pnp-check FILE.pnp [--quiet] [--dot] [--sim STEPS [--seed N]]
+//!  [--fault SPEC]... [--budget SPEC]`
 //!
 //! Compiles the specification, checks every declared property, prints one
 //! line per property (plus explained counterexamples unless `--quiet`), and
 //! exits nonzero if any property is violated. With `--dot` the architecture
 //! diagram is printed as Graphviz dot instead; with `--sim STEPS` a random
 //! execution is run and the final global values printed (no verification).
+//!
+//! Fault injection (`--fault`, repeatable) rewrites the parsed design
+//! before compiling, without editing the source file:
+//!
+//! - `--fault CONN=lossy|duplicating|reordering` decorates connector
+//!   `CONN`'s channel;
+//! - `--fault CONN.PORT=crash_restart` turns the named send or receive
+//!   port into its crash-restart variant.
+//!
+//! Budgets (`--budget states=N,time=MS,depth=D,mem=BYTES`; any subset of
+//! keys) bound the search. A tripped budget reports INCONCLUSIVE with the
+//! partial coverage and exits with code 3 — never a panic.
 
 use std::process::ExitCode;
+use std::time::Duration;
+
+use pnp_kernel::SearchConfig;
+use pnp_lang::{ChannelFaultAst, Pos, SystemAst};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pnp-check FILE.pnp [--quiet] [--dot] [--sim STEPS [--seed N]]\n\
+         \u{20}                [--fault CONN=lossy|duplicating|reordering]\n\
+         \u{20}                [--fault CONN.PORT=crash_restart]\n\
+         \u{20}                [--budget states=N,time=MS,depth=D,mem=BYTES]"
+    );
+    ExitCode::from(2)
+}
+
+/// Applies one `--fault` specification to the parsed design.
+fn apply_fault(ast: &mut SystemAst, spec: &str) -> Result<(), String> {
+    let (target, fault) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("--fault '{spec}': expected TARGET=FAULT"))?;
+    if let Some((conn_name, port)) = target.split_once('.') {
+        if fault != "crash_restart" {
+            return Err(format!(
+                "--fault '{spec}': port faults must be 'crash_restart'"
+            ));
+        }
+        let conn = ast
+            .connectors
+            .iter_mut()
+            .find(|c| c.name == conn_name)
+            .ok_or_else(|| format!("--fault '{spec}': no connector '{conn_name}'"))?;
+        let known = conn
+            .sends
+            .iter()
+            .map(|(p, _, _)| p)
+            .chain(conn.recvs.iter().map(|(p, _, _)| p))
+            .any(|p| p == port);
+        if !known {
+            return Err(format!(
+                "--fault '{spec}': connector '{conn_name}' has no port '{port}'"
+            ));
+        }
+        if !conn.crash_ports.iter().any(|(p, _)| p == port) {
+            conn.crash_ports
+                .push((port.to_string(), Pos { line: 0, col: 0 }));
+        }
+        Ok(())
+    } else {
+        let decorator = match fault {
+            "lossy" => ChannelFaultAst::Lossy,
+            "duplicating" => ChannelFaultAst::Duplicating,
+            "reordering" => ChannelFaultAst::Reordering,
+            other => {
+                return Err(format!(
+                    "--fault '{spec}': unknown channel fault '{other}' \
+                     (want lossy, duplicating, or reordering)"
+                ))
+            }
+        };
+        let conn = ast
+            .connectors
+            .iter_mut()
+            .find(|c| c.name == target)
+            .ok_or_else(|| format!("--fault '{spec}': no connector '{target}'"))?;
+        conn.fault = Some(decorator);
+        Ok(())
+    }
+}
+
+/// Parses `--budget states=N,time=MS,depth=D,mem=BYTES` (any subset).
+fn parse_budget(spec: &str) -> Result<SearchConfig, String> {
+    let mut config = SearchConfig::default();
+    for item in spec.split(',').filter(|s| !s.is_empty()) {
+        let (key, value) = item
+            .split_once('=')
+            .ok_or_else(|| format!("--budget '{item}': expected KEY=VALUE"))?;
+        let n: u64 = value
+            .parse()
+            .map_err(|_| format!("--budget '{item}': '{value}' is not a number"))?;
+        match key {
+            "states" => config.max_states = n as usize,
+            "time" => config.max_time = Some(Duration::from_millis(n)),
+            "depth" => config.max_depth = Some(n as usize),
+            "mem" => config.max_memory_bytes = Some(n as usize),
+            other => {
+                return Err(format!(
+                    "--budget '{spec}': unknown key '{other}' \
+                     (want states, time, depth, or mem)"
+                ))
+            }
+        }
+    }
+    Ok(config)
+}
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
-        eprintln!("usage: pnp-check FILE.pnp [--quiet] [--dot]");
-        return ExitCode::from(2);
+        return usage();
     };
     let rest: Vec<String> = args.collect();
     let quiet = rest.iter().any(|a| a == "--quiet");
@@ -27,6 +134,26 @@ fn main() -> ExitCode {
     };
     let sim_steps = flag_value("--sim");
     let seed = flag_value("--seed").unwrap_or(0);
+    let fault_flags = rest.iter().filter(|a| *a == "--fault").count();
+    let faults: Vec<&String> = rest
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--fault")
+        .filter_map(|(i, _)| rest.get(i + 1))
+        .collect();
+    if faults.len() < fault_flags {
+        eprintln!("pnp-check: --fault requires a value (TARGET=FAULT)");
+        return ExitCode::from(2);
+    }
+    let budget_flags = rest.iter().filter(|a| *a == "--budget").count();
+    let budget = rest
+        .iter()
+        .position(|a| a == "--budget")
+        .and_then(|i| rest.get(i + 1));
+    if budget.is_none() && budget_flags > 0 {
+        eprintln!("pnp-check: --budget requires a value (states=N,time=MS,depth=D,mem=BYTES)");
+        return ExitCode::from(2);
+    }
 
     let source = match std::fs::read_to_string(&path) {
         Ok(s) => s,
@@ -36,7 +163,28 @@ fn main() -> ExitCode {
         }
     };
 
-    let spec = match pnp_lang::compile(&source) {
+    let mut ast = match pnp_lang::parse_system(&source) {
+        Ok(ast) => ast,
+        Err(e) => {
+            eprintln!("{path}:{e}");
+            return ExitCode::from(2);
+        }
+    };
+    for fault in &faults {
+        if let Err(message) = apply_fault(&mut ast, fault) {
+            eprintln!("pnp-check: {message}");
+            return ExitCode::from(2);
+        }
+    }
+    let config = match budget.map(|b| parse_budget(b)).transpose() {
+        Ok(config) => config.unwrap_or_default(),
+        Err(message) => {
+            eprintln!("pnp-check: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let spec = match pnp_lang::compile_ast(&ast) {
         Ok(spec) => spec,
         Err(e) => {
             eprintln!("{path}:{e}");
@@ -85,8 +233,18 @@ fn main() -> ExitCode {
         spec.system().topology().component_count(),
         spec.properties().len()
     );
+    if !faults.is_empty() {
+        println!(
+            "  injected faults: {}",
+            faults
+                .iter()
+                .map(|f| f.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
 
-    let results = match spec.verify_all() {
+    let results = match spec.verify_all_with_config(config) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("pnp-check: {e}");
@@ -95,9 +253,17 @@ fn main() -> ExitCode {
     };
 
     let mut failed = 0;
+    let mut inconclusive = 0;
     for result in &results {
         println!("  {result}");
-        if !result.holds {
+        if result.inconclusive {
+            inconclusive += 1;
+            if !quiet {
+                for line in result.detail.lines() {
+                    println!("    {line}");
+                }
+            }
+        } else if !result.holds {
             failed += 1;
             if !quiet {
                 for line in result.detail.lines() {
@@ -106,11 +272,17 @@ fn main() -> ExitCode {
             }
         }
     }
-    if failed == 0 {
+    if failed == 0 && inconclusive == 0 {
         println!("all {} properties hold", results.len());
         ExitCode::SUCCESS
-    } else {
+    } else if failed > 0 {
         println!("{failed} of {} properties violated", results.len());
         ExitCode::FAILURE
+    } else {
+        println!(
+            "{inconclusive} of {} properties inconclusive (budget exhausted)",
+            results.len()
+        );
+        ExitCode::from(3)
     }
 }

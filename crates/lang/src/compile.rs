@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 
 use pnp_core::{
-    ChannelKind, ComponentBuilder, EventChannelSpec, ReceiveBinds, RecvAttachment, RecvMode,
-    RecvPortKind, SendAttachment, SendPortKind, Subscription, System, SystemBuilder,
+    ChannelFault, ChannelKind, ComponentBuilder, EventChannelSpec, ReceiveBinds, RecvAttachment,
+    RecvMode, RecvPortKind, SendAttachment, SendPortKind, Subscription, System, SystemBuilder,
 };
 use pnp_kernel::{expr, Action, Expr, GlobalId, Guard, LocalId, Predicate, Proposition};
 
@@ -61,6 +61,14 @@ fn channel_kind(ast: ChannelAst) -> ChannelKind {
     }
 }
 
+fn channel_fault(ast: ChannelFaultAst) -> ChannelFault {
+    match ast {
+        ChannelFaultAst::Lossy => ChannelFault::Lossy,
+        ChannelFaultAst::Duplicating => ChannelFault::Duplicating,
+        ChannelFaultAst::Reordering => ChannelFault::Reordering,
+    }
+}
+
 fn send_kind(ast: SendKindAst) -> SendPortKind {
     match ast {
         SendKindAst::AsynNonblocking => SendPortKind::AsynNonblocking,
@@ -113,17 +121,47 @@ impl<'a> Compiler<'a> {
             Ok(())
         };
         for conn in &ast.connectors {
-            let id = sys.connector(conn.name.clone(), channel_kind(conn.channel));
+            let mut kind = channel_kind(conn.channel);
+            if let Some(fault) = conn.fault {
+                kind = ChannelKind::with_fault(channel_fault(fault), kind);
+            }
+            let id = sys.connector(conn.name.clone(), kind);
+            let crashes = |pname: &str| conn.crash_ports.iter().any(|(p, _)| p == pname);
             for (pname, kind, pos) in &conn.sends {
-                let att = sys.send_port(id, send_kind(*kind));
+                let kind = if crashes(pname) {
+                    // The faults block overrides the declared kind: the
+                    // crash-restart send is its own (checking) variant.
+                    SendPortKind::CrashRestart
+                } else {
+                    send_kind(*kind)
+                };
+                let att = sys.send_port(id, kind);
                 register_send(pname, att, *pos)?;
             }
             for (pname, kind, pos) in &conn.recvs {
                 if recv_ports.contains_key(pname) {
                     return Err(LangError::new(format!("duplicate port '{pname}'"), *pos));
                 }
-                let att = sys.recv_port(id, recv_kind(*kind));
+                let mut kind = recv_kind(*kind);
+                if crashes(pname) {
+                    kind = kind.with_crash_restart();
+                }
+                let att = sys.recv_port(id, kind);
                 recv_ports.insert(pname.clone(), (att, None));
+            }
+            for (pname, pos) in &conn.crash_ports {
+                let known = conn.sends.iter().any(|(p, _, _)| p == pname)
+                    || conn.recvs.iter().any(|(p, _, _)| p == pname);
+                if !known {
+                    return Err(LangError::new(
+                        format!(
+                            "faults block names unknown port '{pname}' (not a send or recv \
+                             port of connector '{}')",
+                            conn.name
+                        ),
+                        *pos,
+                    ));
+                }
             }
         }
         for ev in &ast.events {
@@ -168,10 +206,12 @@ impl<'a> Compiler<'a> {
         for prop in &self.ast.properties {
             properties.push(self.property(prop)?);
         }
-        let system = self
-            .sys
-            .build()
-            .map_err(|e| LangError::new(format!("system assembly failed: {e}"), Pos { line: 1, col: 1 }))?;
+        let system = self.sys.build().map_err(|e| {
+            LangError::new(
+                format!("system assembly failed: {e}"),
+                Pos { line: 1, col: 1 },
+            )
+        })?;
         Ok(ArchSpec { system, properties })
     }
 
@@ -197,10 +237,7 @@ impl<'a> Compiler<'a> {
                         } else {
                             "global (properties may only read globals)"
                         };
-                        return Err(LangError::new(
-                            format!("unknown {scope} '{name}'"),
-                            *pos,
-                        ));
+                        return Err(LangError::new(format!("unknown {scope} '{name}'"), *pos));
                     }
                 }
             }
@@ -252,39 +289,48 @@ impl<'a> Compiler<'a> {
         }
     }
 
-    fn claim_send_port(&mut self, port: &str, component: &str, pos: Pos) -> Result<SendAttachment, LangError> {
+    fn claim_send_port(
+        &mut self,
+        port: &str,
+        component: &str,
+        pos: Pos,
+    ) -> Result<SendAttachment, LangError> {
         match self.send_ports.get_mut(port) {
             None => Err(LangError::new(format!("unknown send port '{port}'"), pos)),
-            Some((att, owner)) => {
-                match owner {
-                    Some(existing) if existing != component => Err(LangError::new(
-                        format!("send port '{port}' is already used by component '{existing}'"),
-                        pos,
-                    )),
-                    _ => {
-                        *owner = Some(component.to_string());
-                        Ok(att.clone())
-                    }
+            Some((att, owner)) => match owner {
+                Some(existing) if existing != component => Err(LangError::new(
+                    format!("send port '{port}' is already used by component '{existing}'"),
+                    pos,
+                )),
+                _ => {
+                    *owner = Some(component.to_string());
+                    Ok(att.clone())
                 }
-            }
+            },
         }
     }
 
-    fn claim_recv_port(&mut self, port: &str, component: &str, pos: Pos) -> Result<RecvAttachment, LangError> {
+    fn claim_recv_port(
+        &mut self,
+        port: &str,
+        component: &str,
+        pos: Pos,
+    ) -> Result<RecvAttachment, LangError> {
         match self.recv_ports.get_mut(port) {
-            None => Err(LangError::new(format!("unknown receive port '{port}'"), pos)),
-            Some((att, owner)) => {
-                match owner {
-                    Some(existing) if existing != component => Err(LangError::new(
-                        format!("receive port '{port}' is already used by component '{existing}'"),
-                        pos,
-                    )),
-                    _ => {
-                        *owner = Some(component.to_string());
-                        Ok(att.clone())
-                    }
+            None => Err(LangError::new(
+                format!("unknown receive port '{port}'"),
+                pos,
+            )),
+            Some((att, owner)) => match owner {
+                Some(existing) if existing != component => Err(LangError::new(
+                    format!("receive port '{port}' is already used by component '{existing}'"),
+                    pos,
+                )),
+                _ => {
+                    *owner = Some(component.to_string());
+                    Ok(att.clone())
                 }
-            }
+            },
         }
     }
 
@@ -340,7 +386,13 @@ impl<'a> Compiler<'a> {
             };
             match &stmt.action {
                 ActionAst::Skip => {
-                    builder.transition(from, to, guard, Action::Skip, format!("{} -> {}", stmt.from, stmt.goto));
+                    builder.transition(
+                        from,
+                        to,
+                        guard,
+                        Action::Skip,
+                        format!("{} -> {}", stmt.from, stmt.goto),
+                    );
                 }
                 ActionAst::Assign(assigns) => {
                     let mut compiled = Vec::new();
@@ -505,6 +557,65 @@ mod tests {
         // 1 channel + 2 ports + 2 components.
         assert_eq!(spec.system().program().processes().len(), 5);
         assert_eq!(spec.properties().len(), 2);
+    }
+
+    #[test]
+    fn compiles_fault_decorators_and_crash_ports() {
+        let src = r#"system {
+            global delivered = 0;
+            connector wire {
+                channel lossy fifo(2);
+                faults { crash_restart rx; }
+                send tx: asyn_blocking;
+                recv rx: blocking;
+            }
+            component producer {
+                state start, done;
+                end done;
+                from start send tx(42) goto done;
+            }
+            component consumer {
+                var got = 0; var st = 0;
+                state recv, publish, done;
+                end done;
+                from recv receive rx into got status st goto publish;
+                from publish do delivered = got goto done;
+            }
+            property ok: invariant delivered == 0 || delivered == 42;
+        }"#;
+        let spec = compile(src).unwrap();
+        let roles: Vec<String> = spec
+            .system()
+            .topology()
+            .iter()
+            .map(|(_, role)| role.describe())
+            .collect();
+        // The decorated channel and the crash port surface in the topology.
+        assert!(
+            roles.iter().any(|r| r.contains("Lossy(FIFO(2))")),
+            "{roles:?}"
+        );
+        assert!(
+            roles.iter().any(|r| r.contains("CrashRestartBlRecv")),
+            "{roles:?}"
+        );
+        let results = spec.verify_all().unwrap();
+        assert!(results[0].holds, "{}", results[0].detail);
+    }
+
+    #[test]
+    fn rejects_unknown_crash_port() {
+        let src = r#"system {
+            connector c {
+                channel single_slot;
+                faults { crash_restart nowhere; }
+                send tx: asyn_blocking;
+                recv rx: blocking;
+            }
+            component x { state a; end a; }
+        }"#;
+        let err = compile(src).unwrap_err();
+        assert!(err.to_string().contains("unknown port 'nowhere'"), "{err}");
     }
 
     #[test]

@@ -59,7 +59,6 @@
 //!
 //! The `pnp-check` binary wraps this for `.pnp` files on disk.
 
-
 #![warn(missing_docs)]
 mod ast;
 mod compile;
@@ -69,8 +68,8 @@ mod printer;
 mod report;
 
 pub use ast::{
-    ActionAst, BinOp, ChannelAst, ComponentAst, ConnectorAst, EventAst, ExprAst, PropertyAst,
-    RecvKindAst, SendKindAst, StmtAst, SystemAst, UnOp,
+    ActionAst, BinOp, ChannelAst, ChannelFaultAst, ComponentAst, ConnectorAst, EventAst, ExprAst,
+    PropertyAst, RecvKindAst, SendKindAst, StmtAst, SystemAst, UnOp,
 };
 pub use compile::{compile, compile_ast, ArchSpec};
 pub use parser::parse_system;

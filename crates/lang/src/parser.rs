@@ -240,7 +240,9 @@ impl Parser {
             "nonblocking" => false,
             other => {
                 return Err(LangError::new(
-                    format!("unknown receive-port kind '{other}' (expected blocking or nonblocking)"),
+                    format!(
+                        "unknown receive-port kind '{other}' (expected blocking or nonblocking)"
+                    ),
                     pos,
                 ))
             }
@@ -254,11 +256,28 @@ impl Parser {
         Ok(RecvKindAst { blocking, copy })
     }
 
+    /// Parses an optional fault-decorator keyword before a channel kind.
+    fn channel_fault(&mut self) -> Option<ChannelFaultAst> {
+        let fault = if self.at_keyword("lossy") {
+            ChannelFaultAst::Lossy
+        } else if self.at_keyword("duplicating") {
+            ChannelFaultAst::Duplicating
+        } else if self.at_keyword("reordering") {
+            ChannelFaultAst::Reordering
+        } else {
+            return None;
+        };
+        self.pos += 1;
+        Some(fault)
+    }
+
     fn connector(&mut self) -> Result<ConnectorAst, LangError> {
         let pos = self.keyword("connector")?;
         let (name, _) = self.ident("connector name")?;
         self.expect(Tok::LBrace, "'{'")?;
         let mut channel = None;
+        let mut fault = None;
+        let mut crash_ports: Vec<(String, Pos)> = Vec::new();
         let mut sends = Vec::new();
         let mut recvs = Vec::new();
         while self.peek() != Some(&Tok::RBrace) {
@@ -268,8 +287,25 @@ impl Parser {
                 if channel.is_some() {
                     return Err(LangError::new("duplicate channel declaration", item_pos));
                 }
+                fault = self.channel_fault();
                 channel = Some(self.channel_kind()?);
                 self.expect(Tok::Semi, "';'")?;
+            } else if self.at_keyword("faults") {
+                self.pos += 1;
+                self.expect(Tok::LBrace, "'{'")?;
+                while self.peek() != Some(&Tok::RBrace) {
+                    self.keyword("crash_restart")?;
+                    let (port, ppos) = self.ident("port name")?;
+                    if crash_ports.iter().any(|(p, _)| p == &port) {
+                        return Err(LangError::new(
+                            format!("port '{port}' listed twice in faults block"),
+                            ppos,
+                        ));
+                    }
+                    crash_ports.push((port, ppos));
+                    self.expect(Tok::Semi, "';'")?;
+                }
+                self.expect(Tok::RBrace, "'}'")?;
             } else if self.at_keyword("send") {
                 self.pos += 1;
                 let (port, ppos) = self.ident("port name")?;
@@ -286,7 +322,7 @@ impl Parser {
                 recvs.push((port, kind, ppos));
             } else {
                 return Err(LangError::new(
-                    "expected 'channel', 'send', or 'recv' in connector",
+                    "expected 'channel', 'faults', 'send', or 'recv' in connector",
                     item_pos,
                 ));
             }
@@ -297,6 +333,8 @@ impl Parser {
         Ok(ConnectorAst {
             name,
             channel,
+            fault,
+            crash_ports,
             sends,
             recvs,
             pos,
@@ -712,6 +750,53 @@ mod tests {
     }
 
     #[test]
+    fn parses_channel_fault_decorators() {
+        for (text, expected) in [
+            ("lossy fifo(3)", Some(ChannelFaultAst::Lossy)),
+            (
+                "duplicating single_slot",
+                Some(ChannelFaultAst::Duplicating),
+            ),
+            ("reordering priority(2)", Some(ChannelFaultAst::Reordering)),
+            ("fifo(3)", None),
+        ] {
+            let src = format!(
+                "system {{ connector c {{ channel {text}; send s: asyn_blocking; recv r: blocking; }} component x {{ state a; end a; }} }}"
+            );
+            let ast = parse_system(&src).unwrap();
+            assert_eq!(ast.connectors[0].fault, expected, "{text}");
+        }
+    }
+
+    #[test]
+    fn parses_faults_block() {
+        let src = r#"system {
+            connector c {
+                channel lossy fifo(2);
+                faults {
+                    crash_restart tx;
+                    crash_restart rx;
+                }
+                send tx: asyn_checking;
+                recv rx: blocking;
+            }
+            component x { state a; end a; }
+        }"#;
+        let ast = parse_system(src).unwrap();
+        let conn = &ast.connectors[0];
+        assert_eq!(conn.fault, Some(ChannelFaultAst::Lossy));
+        let ports: Vec<&str> = conn.crash_ports.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(ports, ["tx", "rx"]);
+    }
+
+    #[test]
+    fn rejects_duplicate_crash_port() {
+        let src = "system { connector c { channel single_slot; faults { crash_restart tx; crash_restart tx; } send tx: asyn_blocking; recv rx: blocking; } component x { state a; end a; } }";
+        let err = parse_system(src).unwrap_err();
+        assert!(err.to_string().contains("listed twice"), "{err}");
+    }
+
+    #[test]
     fn parses_event_connectors() {
         let src = r#"system {
             event news {
@@ -787,14 +872,18 @@ mod tests {
     fn error_positions_are_meaningful() {
         let err = parse_system("system {\n  widget w;\n}").unwrap_err();
         assert_eq!(err.pos().line, 2);
-        let err = parse_system("system { connector c { } component x { state a; end a; } }").unwrap_err();
+        let err =
+            parse_system("system { connector c { } component x { state a; end a; } }").unwrap_err();
         assert!(err.to_string().contains("no channel"), "{err}");
     }
 
     #[test]
     fn rejects_duplicate_channel() {
         let src = "system { connector c { channel single_slot; channel fifo(2); send s: syn_blocking; recv r: blocking; } component x { state a; end a; } }";
-        assert!(parse_system(src).unwrap_err().to_string().contains("duplicate"));
+        assert!(parse_system(src)
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate"));
     }
 
     #[test]

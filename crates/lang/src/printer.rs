@@ -21,6 +21,17 @@ impl fmt::Display for ChannelAst {
     }
 }
 
+impl fmt::Display for ChannelFaultAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            ChannelFaultAst::Lossy => "lossy",
+            ChannelFaultAst::Duplicating => "duplicating",
+            ChannelFaultAst::Reordering => "reordering",
+        };
+        write!(f, "{text}")
+    }
+}
+
 impl fmt::Display for SendKindAst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let text = match self {
@@ -36,7 +47,15 @@ impl fmt::Display for SendKindAst {
 
 impl fmt::Display for RecvKindAst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", if self.blocking { "blocking" } else { "nonblocking" })?;
+        write!(
+            f,
+            "{}",
+            if self.blocking {
+                "blocking"
+            } else {
+                "nonblocking"
+            }
+        )?;
         if self.copy {
             write!(f, " copy")?;
         }
@@ -65,7 +84,8 @@ impl fmt::Display for ExprAst {
         // Children at equal-or-looser precedence are parenthesized, which
         // is conservative but guarantees a faithful re-parse.
         let child = |f: &mut fmt::Formatter<'_>, parent: &ExprAst, e: &ExprAst| -> fmt::Result {
-            if e.precedence() <= parent.precedence() && !matches!(e, ExprAst::Int(_) | ExprAst::Var(..))
+            if e.precedence() <= parent.precedence()
+                && !matches!(e, ExprAst::Int(_) | ExprAst::Var(..))
             {
                 write!(f, "({e})")
             } else {
@@ -76,7 +96,14 @@ impl fmt::Display for ExprAst {
             ExprAst::Int(v) => write!(f, "{v}"),
             ExprAst::Var(name, _) => write!(f, "{name}"),
             ExprAst::Unary(op, e) => {
-                write!(f, "{}", match op { UnOp::Neg => "-", UnOp::Not => "!" })?;
+                write!(
+                    f,
+                    "{}",
+                    match op {
+                        UnOp::Neg => "-",
+                        UnOp::Not => "!",
+                    }
+                )?;
                 child(f, self, e)
             }
             ExprAst::Binary(op, a, b) => {
@@ -172,7 +199,17 @@ impl fmt::Display for SystemAst {
         }
         for conn in &self.connectors {
             writeln!(f, "    connector {} {{", conn.name)?;
-            writeln!(f, "        channel {};", conn.channel)?;
+            match conn.fault {
+                Some(fault) => writeln!(f, "        channel {fault} {};", conn.channel)?,
+                None => writeln!(f, "        channel {};", conn.channel)?,
+            }
+            if !conn.crash_ports.is_empty() {
+                writeln!(f, "        faults {{")?;
+                for (port, _) in &conn.crash_ports {
+                    writeln!(f, "            crash_restart {port};")?;
+                }
+                writeln!(f, "        }}")?;
+            }
             for (port, kind, _) in &conn.sends {
                 writeln!(f, "        send {port}: {kind};")?;
             }
@@ -258,6 +295,7 @@ mod tests {
     fn printing_is_stable_on_the_shipped_specs() {
         for source in [
             include_str!("../../../examples/specs/wire.pnp"),
+            include_str!("../../../examples/specs/wire_lossy.pnp"),
             include_str!("../../../examples/specs/bridge_buggy.pnp"),
             include_str!("../../../examples/specs/priority_mail.pnp"),
             include_str!("../../../examples/specs/newswire.pnp"),
@@ -281,6 +319,9 @@ mod tests {
         let printed = ast.to_string();
         let reparsed = parse_system(&printed).unwrap();
         assert_eq!(printed, reparsed.to_string());
-        assert!(printed.contains("a + (b * c)") || printed.contains("a + b * c"), "{printed}");
+        assert!(
+            printed.contains("a + (b * c)") || printed.contains("a + b * c"),
+            "{printed}"
+        );
     }
 }

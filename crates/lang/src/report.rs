@@ -4,6 +4,7 @@ use std::fmt;
 
 use pnp_kernel::{
     Checker, KernelError, LtlOutcome, Predicate, Proposition, SafetyChecks, SafetyOutcome,
+    SearchConfig,
 };
 use pnp_ltl::Ltl;
 
@@ -51,8 +52,14 @@ impl PropertySpec {
 pub struct PropertyResult {
     /// The property's name.
     pub name: String,
-    /// Whether the property holds over the full state space.
+    /// Whether the property holds over the full state space. Always
+    /// `false` when [`PropertyResult::inconclusive`] is set: a partial
+    /// search cannot establish a property.
     pub holds: bool,
+    /// `true` when a search budget tripped before the state space was
+    /// exhausted: no violation was found in the covered portion, but the
+    /// property may still fail in the unexplored part.
+    pub inconclusive: bool,
     /// A one-line summary; for violations, includes the counterexample
     /// rendered at the building-block level.
     pub detail: String,
@@ -62,13 +69,14 @@ pub struct PropertyResult {
 
 impl fmt::Display for PropertyResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{:<24} {} ({} states)",
-            self.name,
-            if self.holds { "HOLDS" } else { "VIOLATED" },
-            self.states
-        )
+        let verdict = if self.inconclusive {
+            "INCONCLUSIVE"
+        } else if self.holds {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        };
+        write!(f, "{:<24} {} ({} states)", self.name, verdict, self.states)
     }
 }
 
@@ -85,7 +93,8 @@ impl fmt::Display for VerifyError {
 impl std::error::Error for VerifyError {}
 
 impl ArchSpec {
-    /// Checks every declared property, in source order.
+    /// Checks every declared property, in source order, with default
+    /// search limits.
     ///
     /// Invariants and deadlock run the BFS safety search; LTL properties
     /// run the nested-DFS search under weak fairness.
@@ -94,8 +103,24 @@ impl ArchSpec {
     ///
     /// Returns [`VerifyError`] when the model itself fails to evaluate.
     pub fn verify_all(&self) -> Result<Vec<PropertyResult>, VerifyError> {
+        self.verify_all_with_config(SearchConfig::default())
+    }
+
+    /// Checks every declared property under explicit search limits.
+    ///
+    /// A tripped budget (`max_states`, `max_time`, `max_depth`,
+    /// `max_memory_bytes`) degrades gracefully into an *inconclusive*
+    /// [`PropertyResult`] carrying the partial coverage, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] when the model itself fails to evaluate.
+    pub fn verify_all_with_config(
+        &self,
+        config: SearchConfig,
+    ) -> Result<Vec<PropertyResult>, VerifyError> {
         let program = self.system().program();
-        let checker = Checker::new(program);
+        let checker = Checker::with_config(program, config);
         let mut results = Vec::new();
         for prop in self.properties() {
             let result = match prop {
@@ -106,36 +131,12 @@ impl ArchSpec {
                             invariants: vec![(name.clone(), predicate.clone())],
                         })
                         .map_err(VerifyError)?;
-                    let (holds, detail) = match report.outcome {
-                        SafetyOutcome::Holds => (true, "invariant holds".to_string()),
-                        SafetyOutcome::InvariantViolated { trace, .. } => (
-                            false,
-                            format!(
-                                "invariant violated after {} steps:\n{}",
-                                trace.len(),
-                                self.system().explain_trace(&trace)
-                            ),
-                        ),
-                        SafetyOutcome::AssertionFailed { message, trace } => (
-                            false,
-                            format!(
-                                "assertion '{message}' failed after {} steps:\n{}",
-                                trace.len(),
-                                self.system().explain_trace(&trace)
-                            ),
-                        ),
-                        SafetyOutcome::Deadlock { trace } => (
-                            false,
-                            format!(
-                                "deadlock after {} steps:\n{}",
-                                trace.len(),
-                                self.system().explain_trace(&trace)
-                            ),
-                        ),
-                    };
+                    let (holds, inconclusive, detail) =
+                        self.safety_verdict(&report.outcome, "invariant holds");
                     PropertyResult {
                         name: name.clone(),
                         holds,
+                        inconclusive,
                         detail,
                         states: report.stats.unique_states,
                     }
@@ -144,29 +145,12 @@ impl ArchSpec {
                     let report = checker
                         .check_safety(&SafetyChecks::deadlock_only())
                         .map_err(VerifyError)?;
-                    let (holds, detail) = match report.outcome {
-                        SafetyOutcome::Holds => (true, "no deadlock".to_string()),
-                        SafetyOutcome::Deadlock { trace } => (
-                            false,
-                            format!(
-                                "deadlock after {} steps:\n{}",
-                                trace.len(),
-                                self.system().explain_trace(&trace)
-                            ),
-                        ),
-                        SafetyOutcome::AssertionFailed { message, trace } => (
-                            false,
-                            format!(
-                                "assertion '{message}' failed after {} steps:\n{}",
-                                trace.len(),
-                                self.system().explain_trace(&trace)
-                            ),
-                        ),
-                        other => (false, format!("{other:?}")),
-                    };
+                    let (holds, inconclusive, detail) =
+                        self.safety_verdict(&report.outcome, "no deadlock");
                     PropertyResult {
                         name: name.clone(),
                         holds,
+                        inconclusive,
                         detail,
                         states: report.stats.unique_states,
                     }
@@ -177,11 +161,28 @@ impl ArchSpec {
                     props,
                 } => {
                     let report = checker.check_ltl(formula, props).map_err(VerifyError)?;
-                    let (holds, detail) = match report.outcome {
-                        LtlOutcome::Holds => {
-                            (true, "LTL property holds (weak fairness)".to_string())
-                        }
+                    // A truncated product search that found no acceptance
+                    // cycle is NOT a proof: report it inconclusive. A
+                    // violation found within the budget is still a real
+                    // violation.
+                    let (holds, inconclusive, detail) = match report.outcome {
+                        LtlOutcome::Holds if report.truncated => (
+                            false,
+                            true,
+                            format!(
+                                "inconclusive: state budget tripped after {} product \
+                                 states; no acceptance cycle found in the covered \
+                                 portion",
+                                report.stats.unique_states
+                            ),
+                        ),
+                        LtlOutcome::Holds => (
+                            true,
+                            false,
+                            "LTL property holds (weak fairness)".to_string(),
+                        ),
                         LtlOutcome::Violated { prefix, cycle } => (
+                            false,
                             false,
                             format!(
                                 "violated by a lasso ({}-step prefix, {}-step cycle):\n{}  -- cycle --\n{}",
@@ -195,6 +196,7 @@ impl ArchSpec {
                     PropertyResult {
                         name: name.clone(),
                         holds,
+                        inconclusive,
                         detail,
                         states: report.stats.unique_states,
                     }
@@ -204,35 +206,126 @@ impl ArchSpec {
         }
         Ok(results)
     }
+
+    /// Renders a safety outcome as `(holds, inconclusive, detail)`.
+    fn safety_verdict(&self, outcome: &SafetyOutcome, holds_detail: &str) -> (bool, bool, String) {
+        match outcome {
+            SafetyOutcome::Holds => (true, false, holds_detail.to_string()),
+            SafetyOutcome::InvariantViolated { trace, .. } => (
+                false,
+                false,
+                format!(
+                    "invariant violated after {} steps:\n{}",
+                    trace.len(),
+                    self.system().explain_trace(trace)
+                ),
+            ),
+            SafetyOutcome::AssertionFailed { message, trace } => (
+                false,
+                false,
+                format!(
+                    "assertion '{message}' failed after {} steps:\n{}",
+                    trace.len(),
+                    self.system().explain_trace(trace)
+                ),
+            ),
+            SafetyOutcome::Deadlock { trace } => (
+                false,
+                false,
+                format!(
+                    "deadlock after {} steps:\n{}",
+                    trace.len(),
+                    self.system().explain_trace(trace)
+                ),
+            ),
+            SafetyOutcome::LimitReached {
+                budget,
+                states_covered,
+                frontier,
+            } => (
+                false,
+                true,
+                format!(
+                    "inconclusive: {budget} tripped after {states_covered} states \
+                     ({frontier} frontier states unexpanded); no violation found in \
+                     the covered portion"
+                ),
+            ),
+            SafetyOutcome::PredicateError {
+                name,
+                message,
+                trace,
+            } => (
+                false,
+                false,
+                format!(
+                    "predicate '{name}' failed to evaluate ('{message}') after {} steps:\n{}",
+                    trace.len(),
+                    self.system().explain_trace(trace)
+                ),
+            ),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::compile;
+
+    const COUNTER_SPEC: &str = r#"system {
+        global x = 0;
+        component c {
+            state a, b;
+            end b;
+            from a do x = 1 goto b;
+        }
+        property stays_small: invariant x <= 1;
+        property reaches_one: ltl "<> one" where one = x == 1;
+        property live: no_deadlock;
+        property wrong: invariant x == 0;
+    }"#;
 
     #[test]
     fn verify_all_reports_every_property() {
-        let spec = compile(
-            r#"system {
-                global x = 0;
-                component c {
-                    state a, b;
-                    end b;
-                    from a do x = 1 goto b;
-                }
-                property stays_small: invariant x <= 1;
-                property reaches_one: ltl "<> one" where one = x == 1;
-                property live: no_deadlock;
-                property wrong: invariant x == 0;
-            }"#,
-        )
-        .unwrap();
+        let spec = compile(COUNTER_SPEC).unwrap();
         let results = spec.verify_all().unwrap();
         assert_eq!(results.len(), 4);
         assert!(results[0].holds);
         assert!(results[1].holds);
         assert!(results[2].holds);
         assert!(!results[3].holds);
-        assert!(results[3].detail.contains("component c"), "{}", results[3].detail);
+        assert!(!results.iter().any(|r| r.inconclusive));
+        assert!(
+            results[3].detail.contains("component c"),
+            "{}",
+            results[3].detail
+        );
+    }
+
+    #[test]
+    fn exhausted_budget_reports_inconclusive_not_a_panic() {
+        let spec = compile(COUNTER_SPEC).unwrap();
+        let config = SearchConfig {
+            max_states: 1,
+            ..SearchConfig::default()
+        };
+        let results = spec.verify_all_with_config(config).unwrap();
+        // Safety properties trip the one-state budget; their verdicts are
+        // inconclusive (not violations) and carry the partial coverage.
+        let stays_small = &results[0];
+        assert!(stays_small.inconclusive, "{stays_small:?}");
+        assert!(!stays_small.holds);
+        assert!(
+            stays_small.detail.contains("state budget"),
+            "{}",
+            stays_small.detail
+        );
+        assert!(stays_small.to_string().contains("INCONCLUSIVE"));
+        // The LTL search truncates too: a no-cycle-found verdict from a
+        // partial product search must not be reported as a proof.
+        let reaches_one = &results[1];
+        assert!(reaches_one.inconclusive, "{reaches_one:?}");
+        assert!(!reaches_one.holds);
     }
 }

@@ -16,10 +16,7 @@ fn ident() -> impl Strategy<Value = String> {
 }
 
 fn expr_text() -> impl Strategy<Value = String> {
-    let leaf = prop_oneof![
-        (-50i32..50).prop_map(|v| v.to_string()),
-        ident(),
-    ];
+    let leaf = prop_oneof![(-50i32..50).prop_map(|v| v.to_string()), ident(),];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),

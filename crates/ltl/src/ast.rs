@@ -190,7 +190,8 @@ impl Ltl {
         // Parenthesize when the child binds looser than (or, for binary
         // operators, as loose as) the parent; the printed form re-parses to
         // the same AST, which the proptest round-trip test relies on.
-        if child.precedence() <= self.precedence() && !matches!(child, Ltl::True | Ltl::False | Ltl::Prop(_))
+        if child.precedence() <= self.precedence()
+            && !matches!(child, Ltl::True | Ltl::False | Ltl::Prop(_))
         {
             write!(f, "({child})")
         } else {
@@ -294,10 +295,7 @@ mod tests {
 
     #[test]
     fn propositions_deduplicates_in_order() {
-        let f = Ltl::until(
-            Ltl::prop("b"),
-            Ltl::and(Ltl::prop("a"), Ltl::prop("b")),
-        );
+        let f = Ltl::until(Ltl::prop("b"), Ltl::and(Ltl::prop("a"), Ltl::prop("b")));
         assert_eq!(f.propositions(), ["b", "a"]);
     }
 

@@ -495,8 +495,8 @@ pub fn translate(formula: &Ltl) -> Buchi {
     let mut state_index: HashMap<(usize, usize), usize> = HashMap::new();
     let mut order: Vec<(usize, usize)> = Vec::new();
     let intern_state = |pair: (usize, usize),
-                            order: &mut Vec<(usize, usize)>,
-                            state_index: &mut HashMap<(usize, usize), usize>|
+                        order: &mut Vec<(usize, usize)>,
+                        state_index: &mut HashMap<(usize, usize), usize>|
      -> usize {
         *state_index.entry(pair).or_insert_with(|| {
             order.push(pair);
@@ -675,7 +675,11 @@ mod tests {
     fn next_checks_second_letter() {
         let b = automaton("X p");
         assert!(accepts(&b, &[l(&[]), l(&[(P, true)])], &[l(&[])]));
-        assert!(!accepts(&b, &[l(&[(P, true)]), l(&[(P, false)])], &[l(&[])]));
+        assert!(!accepts(
+            &b,
+            &[l(&[(P, true)]), l(&[(P, false)])],
+            &[l(&[])]
+        ));
     }
 
     #[test]
@@ -747,11 +751,7 @@ mod tests {
     fn response_property() {
         let b = automaton("[] (p -> <> q)");
         // Every p followed by q eventually.
-        assert!(accepts(
-            &b,
-            &[],
-            &[l(&[(P, true)]), l(&[(Q, true)])]
-        ));
+        assert!(accepts(&b, &[], &[l(&[(P, true)]), l(&[(Q, true)])]));
         // No p at all: vacuously true.
         assert!(accepts(&b, &[], &[l(&[])]));
         // p once, q never: rejected.

@@ -28,7 +28,6 @@
 //! # Ok::<(), pnp_ltl::ParseError>(())
 //! ```
 
-
 #![warn(missing_docs)]
 mod ast;
 mod buchi;

@@ -189,7 +189,10 @@ impl Parser {
             self.pos += 1;
             Ok(())
         } else {
-            Err(ParseError::new(format!("expected {token:?}"), self.offset()))
+            Err(ParseError::new(
+                format!("expected {token:?}"),
+                self.offset(),
+            ))
         }
     }
 
@@ -322,7 +325,10 @@ pub fn parse(input: &str) -> Result<Ltl, ParseError> {
     };
     let formula = parser.parse_iff()?;
     if parser.pos != parser.tokens.len() {
-        return Err(ParseError::new("unexpected trailing input", parser.offset()));
+        return Err(ParseError::new(
+            "unexpected trailing input",
+            parser.offset(),
+        ));
     }
     Ok(formula)
 }

@@ -1,0 +1,159 @@
+//! A vendored, offline subset of the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the slice of the proptest API its test suites actually use:
+//! strategies (`Just`, ranges, tuples, `prop_map`, `prop_recursive`,
+//! `prop_oneof!`, `collection::vec`, `sample::select`, string patterns),
+//! the `proptest!` macro, and `prop_assert*` macros.
+//!
+//! Differences from the real crate are deliberate and small:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs (via
+//!   the `Debug` bound at the call site's panic message) but is not
+//!   minimized.
+//! * **Deterministic seeds.** Case `i` of every test derives its RNG from
+//!   a fixed constant and `i`, so CI runs are reproducible.
+//! * **String patterns** support the subset of regex syntax used here:
+//!   character classes with ranges/escapes and `{m,n}`/`*`/`+`/`?`
+//!   quantifiers over a concatenated sequence.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+    pub use crate::strategy::{vec, SizeBounds, VecStrategy};
+}
+
+pub mod sample {
+    //! Sampling strategies (`select`).
+    pub use crate::strategy::{select, Select};
+}
+
+pub mod string {
+    //! String-pattern strategies (compiled from a regex subset).
+    pub use crate::strategy::PatternStrategy;
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` test module needs.
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0i32..100, b in 0i32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($cfg);
+                runner.run(stringify!($name), |__pnp_rng| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), __pnp_rng);
+                    )*
+                    #[allow(clippy::redundant_closure_call)]
+                    (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+/// A strategy choosing uniformly among the given strategies (all of the
+/// same value type). Weights are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)*)),
+            ));
+        }
+    }};
+}
+
+/// Fails the current test case unless the two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l != *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)*)),
+            ));
+        }
+    }};
+}

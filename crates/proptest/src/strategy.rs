@@ -1,0 +1,508 @@
+//! Value-generation strategies: the composable half of the shim.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// The deterministic RNG handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub(crate) fn seed_from_u64(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..bound` (`bound` nonzero). Modulo bias is
+    /// negligible at test scales and irrelevant for coverage.
+    pub(crate) fn index(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0, "index() with empty range");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform value in `[lo, hi]` over i128 (covers every integer type).
+    pub(crate) fn int_in(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u128 + 1;
+        lo + (self.next_u64() as u128 % span) as i128
+    }
+}
+
+/// A source of random values of one type.
+///
+/// Mirrors `proptest::strategy::Strategy`, minus shrinking: `generate`
+/// replaces `new_tree`, and combinators build derived strategies.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F>(self, func: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, func }
+    }
+
+    /// Builds a recursive strategy: `depth` levels of `branch` applied over
+    /// this leaf strategy. The `_desired_size`/`_expected_branch_size`
+    /// parameters exist for signature compatibility; depth alone bounds
+    /// recursion here. Each level picks the leaf or the deeper strategy
+    /// with equal probability, which keeps generated trees small.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut current: BoxedStrategy<Self::Value> = self.clone().boxed();
+        for _ in 0..depth {
+            let deeper = branch(current).boxed();
+            current = Union::new(vec![self.clone().boxed(), deeper]).boxed();
+        }
+        current
+    }
+
+    /// Erases the strategy type (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    func: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.func)(self.source.generate(rng))
+    }
+}
+
+/// Chooses uniformly among type-erased strategies ([`crate::prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.index(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.int_in(self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                rng.int_in(*self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident . $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+/// Inclusive size bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeBounds {
+    min: usize,
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeBounds {
+    fn from(r: Range<usize>) -> SizeBounds {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeBounds {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeBounds {
+    fn from(r: RangeInclusive<usize>) -> SizeBounds {
+        SizeBounds {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeBounds {
+    fn from(n: usize) -> SizeBounds {
+        SizeBounds { min: n, max: n }
+    }
+}
+
+/// Generates `Vec`s whose length lies in the given bounds
+/// (`proptest::collection::vec`).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    bounds: SizeBounds,
+}
+
+/// Creates a [`VecStrategy`].
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeBounds>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        bounds: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.int_in(self.bounds.min as i128, self.bounds.max as i128) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Chooses uniformly from a fixed pool (`proptest::sample::select`).
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// Creates a [`Select`]; panics on an empty pool.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.index(self.options.len())].clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// String patterns (regex subset)
+// ---------------------------------------------------------------------
+
+/// One repeatable element of a pattern.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A set of candidate characters (literal or `[...]` class).
+    Class(Vec<char>),
+}
+
+/// A parsed pattern: atoms with repetition bounds.
+#[derive(Debug, Clone)]
+pub struct PatternStrategy {
+    parts: Vec<(Atom, usize, usize)>,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Parses the supported regex subset: literals, escapes, `[...]` classes
+/// with ranges, and `{m,n}` / `{m}` / `*` / `+` / `?` quantifiers.
+///
+/// Panics on syntax it does not understand — a test author error, caught
+/// the first time the test runs.
+fn parse_pattern(pattern: &str) -> PatternStrategy {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut parts = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    // A range `a-z` (a trailing `-` is a literal).
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = if chars[i + 2] == '\\' {
+                            i += 1;
+                            unescape(chars[i + 2])
+                        } else {
+                            chars[i + 2]
+                        };
+                        assert!(lo <= hi, "bad range in pattern `{pattern}`");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(lo);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in `{pattern}`");
+                i += 1; // consume ']'
+                assert!(!set.is_empty(), "empty class in `{pattern}`");
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "trailing backslash in `{pattern}`");
+                let c = unescape(chars[i]);
+                i += 1;
+                Atom::Class(vec![c])
+            }
+            c => {
+                assert!(
+                    !"(){}|.^$".contains(c),
+                    "unsupported regex syntax `{c}` in `{pattern}`"
+                );
+                i += 1;
+                Atom::Class(vec![c])
+            }
+        };
+        // Quantifier?
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated {} quantifier")
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad quantifier"),
+                            hi.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        parts.push((atom, min, max));
+    }
+    PatternStrategy { parts }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Parsing per call is cheap at test scales (patterns are tiny).
+        parse_pattern(self).generate(rng)
+    }
+}
+
+impl Strategy for PatternStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, min, max) in &self.parts {
+            let count = rng.int_in(*min as i128, *max as i128) as usize;
+            for _ in 0..count {
+                match atom {
+                    Atom::Class(set) => out.push(set[rng.index(set.len())]),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (3i32..7).generate(&mut r);
+            assert!((3..7).contains(&v));
+            let w = (0u8..2).generate(&mut r);
+            assert!(w < 2);
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = vec(0i32..10, 1..5).generate(&mut r);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn pattern_generates_matching_strings() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[ -~\\n]{0,20}".generate(&mut r);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+        let t = "ab?c+".generate(&mut r);
+        assert!(t.starts_with('a'));
+        assert!(t.contains('c'));
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i32),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!((0..10).contains(v));
+                    1
+                }
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i32..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(depth(&strat.generate(&mut r)) <= 4);
+        }
+    }
+}

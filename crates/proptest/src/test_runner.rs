@@ -1,0 +1,84 @@
+//! The case-running half of the shim: configuration, errors, and the loop
+//! the `proptest!` macro expands into.
+
+use crate::strategy::TestRng;
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running the given number of cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed test case (from `prop_assert*` or an explicit `Err`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runs the configured number of cases with per-case deterministic RNGs.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+/// Fixed base seed: every run of the suite explores the same cases.
+const BASE_SEED: u64 = 0x5eed_cafe_f00d_0001;
+
+impl TestRunner {
+    /// Creates a runner for one `proptest!` test.
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner { config }
+    }
+
+    /// Runs `case` once per configured case, panicking (with the case
+    /// index, so the failure is reproducible) on the first error.
+    pub fn run(
+        &mut self,
+        name: &str,
+        mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        for i in 0..self.config.cases {
+            // Mix the test name in so sibling tests see different streams.
+            let mut h: u64 = BASE_SEED ^ u64::from(i).wrapping_mul(0x2545_f491_4f6c_dd1d);
+            for b in name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+            }
+            let mut rng = TestRng::seed_from_u64(h);
+            if let Err(e) = case(&mut rng) {
+                panic!(
+                    "proptest `{name}`: case {i}/{} failed: {e}",
+                    self.config.cases
+                );
+            }
+        }
+    }
+}

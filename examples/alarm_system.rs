@@ -16,7 +16,10 @@ use pnp::kernel::{expr, Action, Checker, Guard, Predicate};
 
 const RECV_SUCC: i32 = pnp::core::signals::RECV_SUCC;
 
-fn build(channel: ChannelKind, send: SendPortKind) -> (pnp::core::System, [pnp::kernel::GlobalId; 3]) {
+fn build(
+    channel: ChannelKind,
+    send: SendPortKind,
+) -> (pnp::core::System, [pnp::kernel::GlobalId; 3]) {
     let mut sys = SystemBuilder::new();
     let sensor_done = sys.global("sensor_done", 0);
     let zone1 = sys.global("zone1_alarmed", 0);
@@ -130,14 +133,20 @@ fn lost_alarm(system: &pnp::core::System, ids: [pnp::kernel::GlobalId; 3]) -> Op
 
 fn main() {
     println!("== initial design: AsynNonblockingSend -> Dropping(1) ==");
-    let (buggy, ids) = build(ChannelKind::Dropping { capacity: 1 }, SendPortKind::AsynNonblocking);
+    let (buggy, ids) = build(
+        ChannelKind::Dropping { capacity: 1 },
+        SendPortKind::AsynNonblocking,
+    );
     match lost_alarm(&buggy, ids) {
         Some(steps) => println!("ALARM LOST: zone 2 can go silent ({steps}-step witness)"),
         None => println!("no lost alarms (unexpected!)"),
     }
 
     println!("\n== two-block fix: AsynBlockingSend -> FIFO(2) ==");
-    let (fixed, ids) = build(ChannelKind::Fifo { capacity: 2 }, SendPortKind::AsynBlocking);
+    let (fixed, ids) = build(
+        ChannelKind::Fifo { capacity: 2 },
+        SendPortKind::AsynBlocking,
+    );
     match lost_alarm(&fixed, ids) {
         Some(steps) => println!("still lossy ({steps}-step witness)?!"),
         None => println!("verified: every alarm sounds before the panel rests"),

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
     let agency = sys.publisher(newswire, SendPortKind::AsynBlocking);
-    let sports_desk = sys.subscriber(newswire, RecvPortKind::nonblocking(), Subscription::to_tag(SPORTS));
+    let sports_desk = sys.subscriber(
+        newswire,
+        RecvPortKind::nonblocking(),
+        Subscription::to_tag(SPORTS),
+    );
     let archive = sys.subscriber(newswire, RecvPortKind::nonblocking(), Subscription::all());
 
     // Publisher: one weather item, one sports item.

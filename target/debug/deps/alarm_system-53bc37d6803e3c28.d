@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alarm_system-53bc37d6803e3c28.d: tests/alarm_system.rs
+
+/root/repo/target/debug/deps/alarm_system-53bc37d6803e3c28: tests/alarm_system.rs
+
+tests/alarm_system.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alarm_system-fddc070128236732.d: tests/alarm_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalarm_system-fddc070128236732.rmeta: tests/alarm_system.rs Cargo.toml
+
+tests/alarm_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bridge_experiments-9bed4fc8687885f2.d: tests/bridge_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbridge_experiments-9bed4fc8687885f2.rmeta: tests/bridge_experiments.rs Cargo.toml
+
+tests/bridge_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

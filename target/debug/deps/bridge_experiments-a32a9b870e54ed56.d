@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bridge_experiments-a32a9b870e54ed56.d: tests/bridge_experiments.rs
+
+/root/repo/target/debug/deps/bridge_experiments-a32a9b870e54ed56: tests/bridge_experiments.rs
+
+tests/bridge_experiments.rs:

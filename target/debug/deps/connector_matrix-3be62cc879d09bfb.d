@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/connector_matrix-3be62cc879d09bfb.d: tests/connector_matrix.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconnector_matrix-3be62cc879d09bfb.rmeta: tests/connector_matrix.rs tests/common/mod.rs Cargo.toml
+
+tests/connector_matrix.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/connector_matrix-83320834acc957c0.d: tests/connector_matrix.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/connector_matrix-83320834acc957c0: tests/connector_matrix.rs tests/common/mod.rs
+
+tests/connector_matrix.rs:
+tests/common/mod.rs:

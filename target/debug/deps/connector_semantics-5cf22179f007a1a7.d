@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/connector_semantics-5cf22179f007a1a7.d: tests/connector_semantics.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/connector_semantics-5cf22179f007a1a7: tests/connector_semantics.rs tests/common/mod.rs
+
+tests/connector_semantics.rs:
+tests/common/mod.rs:

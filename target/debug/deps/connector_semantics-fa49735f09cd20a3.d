@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/connector_semantics-fa49735f09cd20a3.d: tests/connector_semantics.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconnector_semantics-fa49735f09cd20a3.rmeta: tests/connector_semantics.rs tests/common/mod.rs Cargo.toml
+
+tests/connector_semantics.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

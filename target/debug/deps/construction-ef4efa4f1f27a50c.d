@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/construction-ef4efa4f1f27a50c.d: crates/bench/benches/construction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconstruction-ef4efa4f1f27a50c.rmeta: crates/bench/benches/construction.rs Cargo.toml
+
+crates/bench/benches/construction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-21d7bd65bc979066.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-21d7bd65bc979066.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-21d7bd65bc979066.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-7ebbdc4ff379f581.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-7ebbdc4ff379f581: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

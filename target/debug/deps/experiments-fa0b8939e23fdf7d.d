@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-fa0b8939e23fdf7d.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-fa0b8939e23fdf7d: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

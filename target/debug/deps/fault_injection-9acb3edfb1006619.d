@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fault_injection-9acb3edfb1006619.d: tests/fault_injection.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_injection-9acb3edfb1006619.rmeta: tests/fault_injection.rs tests/common/mod.rs Cargo.toml
+
+tests/fault_injection.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

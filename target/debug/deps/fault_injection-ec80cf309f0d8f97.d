@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fault_injection-ec80cf309f0d8f97.d: tests/fault_injection.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/fault_injection-ec80cf309f0d8f97: tests/fault_injection.rs tests/common/mod.rs
+
+tests/fault_injection.rs:
+tests/common/mod.rs:

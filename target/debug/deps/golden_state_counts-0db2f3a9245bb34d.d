@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden_state_counts-0db2f3a9245bb34d.d: tests/golden_state_counts.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_state_counts-0db2f3a9245bb34d.rmeta: tests/golden_state_counts.rs tests/common/mod.rs Cargo.toml
+
+tests/golden_state_counts.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

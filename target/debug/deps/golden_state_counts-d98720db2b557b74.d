@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/golden_state_counts-d98720db2b557b74.d: tests/golden_state_counts.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/golden_state_counts-d98720db2b557b74: tests/golden_state_counts.rs tests/common/mod.rs
+
+tests/golden_state_counts.rs:
+tests/common/mod.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lang-7d9e9d1c7ad1ed5a.d: crates/bench/benches/lang.rs crates/bench/benches/../../../examples/specs/wire.pnp crates/bench/benches/../../../examples/specs/bridge_buggy.pnp Cargo.toml
+
+/root/repo/target/debug/deps/liblang-7d9e9d1c7ad1ed5a.rmeta: crates/bench/benches/lang.rs crates/bench/benches/../../../examples/specs/wire.pnp crates/bench/benches/../../../examples/specs/bridge_buggy.pnp Cargo.toml
+
+crates/bench/benches/lang.rs:
+crates/bench/benches/../../../examples/specs/wire.pnp:
+crates/bench/benches/../../../examples/specs/bridge_buggy.pnp:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

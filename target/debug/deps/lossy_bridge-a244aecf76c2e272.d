@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lossy_bridge-a244aecf76c2e272.d: crates/bridge/tests/lossy_bridge.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblossy_bridge-a244aecf76c2e272.rmeta: crates/bridge/tests/lossy_bridge.rs Cargo.toml
+
+crates/bridge/tests/lossy_bridge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

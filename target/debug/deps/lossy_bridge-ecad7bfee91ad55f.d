@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lossy_bridge-ecad7bfee91ad55f.d: crates/bridge/tests/lossy_bridge.rs
+
+/root/repo/target/debug/deps/lossy_bridge-ecad7bfee91ad55f: crates/bridge/tests/lossy_bridge.rs
+
+crates/bridge/tests/lossy_bridge.rs:

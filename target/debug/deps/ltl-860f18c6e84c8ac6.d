@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ltl-860f18c6e84c8ac6.d: crates/bench/benches/ltl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libltl-860f18c6e84c8ac6.rmeta: crates/bench/benches/ltl.rs Cargo.toml
+
+crates/bench/benches/ltl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pnp-1fa9d421de5e8542.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpnp-1fa9d421de5e8542.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pnp-455600c5b76e1204.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpnp-455600c5b76e1204.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpnp-455600c5b76e1204.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pnp-47ea9f681dba6bdc.d: src/lib.rs
+
+/root/repo/target/debug/deps/pnp-47ea9f681dba6bdc: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pnp_bench-5a746e7fdd4e15ed.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpnp_bench-5a746e7fdd4e15ed.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpnp_bench-5a746e7fdd4e15ed.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

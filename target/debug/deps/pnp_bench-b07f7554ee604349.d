@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pnp_bench-b07f7554ee604349.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pnp_bench-b07f7554ee604349: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pnp_bench-c3702f60b0046c91.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpnp_bench-c3702f60b0046c91.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pnp_bench-d38ac4cd016a01cc.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpnp_bench-d38ac4cd016a01cc.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

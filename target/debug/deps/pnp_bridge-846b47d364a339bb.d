@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pnp_bridge-846b47d364a339bb.d: crates/bridge/src/lib.rs crates/bridge/src/cars.rs crates/bridge/src/controllers.rs crates/bridge/src/designs.rs crates/bridge/src/props.rs
+
+/root/repo/target/debug/deps/pnp_bridge-846b47d364a339bb: crates/bridge/src/lib.rs crates/bridge/src/cars.rs crates/bridge/src/controllers.rs crates/bridge/src/designs.rs crates/bridge/src/props.rs
+
+crates/bridge/src/lib.rs:
+crates/bridge/src/cars.rs:
+crates/bridge/src/controllers.rs:
+crates/bridge/src/designs.rs:
+crates/bridge/src/props.rs:

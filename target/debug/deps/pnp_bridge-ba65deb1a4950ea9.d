@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pnp_bridge-ba65deb1a4950ea9.d: crates/bridge/src/lib.rs crates/bridge/src/cars.rs crates/bridge/src/controllers.rs crates/bridge/src/designs.rs crates/bridge/src/props.rs
+
+/root/repo/target/debug/deps/libpnp_bridge-ba65deb1a4950ea9.rlib: crates/bridge/src/lib.rs crates/bridge/src/cars.rs crates/bridge/src/controllers.rs crates/bridge/src/designs.rs crates/bridge/src/props.rs
+
+/root/repo/target/debug/deps/libpnp_bridge-ba65deb1a4950ea9.rmeta: crates/bridge/src/lib.rs crates/bridge/src/cars.rs crates/bridge/src/controllers.rs crates/bridge/src/designs.rs crates/bridge/src/props.rs
+
+crates/bridge/src/lib.rs:
+crates/bridge/src/cars.rs:
+crates/bridge/src/controllers.rs:
+crates/bridge/src/designs.rs:
+crates/bridge/src/props.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pnp_bridge-ee240b5831217249.d: crates/bridge/src/lib.rs crates/bridge/src/cars.rs crates/bridge/src/controllers.rs crates/bridge/src/designs.rs crates/bridge/src/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpnp_bridge-ee240b5831217249.rmeta: crates/bridge/src/lib.rs crates/bridge/src/cars.rs crates/bridge/src/controllers.rs crates/bridge/src/designs.rs crates/bridge/src/props.rs Cargo.toml
+
+crates/bridge/src/lib.rs:
+crates/bridge/src/cars.rs:
+crates/bridge/src/controllers.rs:
+crates/bridge/src/designs.rs:
+crates/bridge/src/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pnp_check-2aa9f8070af2529e.d: crates/lang/src/bin/pnp-check.rs
+
+/root/repo/target/debug/deps/libpnp_check-2aa9f8070af2529e.rmeta: crates/lang/src/bin/pnp-check.rs
+
+crates/lang/src/bin/pnp-check.rs:

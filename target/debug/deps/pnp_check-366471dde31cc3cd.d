@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pnp_check-366471dde31cc3cd.d: crates/lang/src/bin/pnp-check.rs
+
+/root/repo/target/debug/deps/pnp_check-366471dde31cc3cd: crates/lang/src/bin/pnp-check.rs
+
+crates/lang/src/bin/pnp-check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pnp_check-73dc24a9a4ad0a6e.d: crates/lang/src/bin/pnp-check.rs
+
+/root/repo/target/debug/deps/pnp_check-73dc24a9a4ad0a6e: crates/lang/src/bin/pnp-check.rs
+
+crates/lang/src/bin/pnp-check.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pnp_check-d37a64138a3613cf.d: crates/lang/src/bin/pnp-check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpnp_check-d37a64138a3613cf.rmeta: crates/lang/src/bin/pnp-check.rs Cargo.toml
+
+crates/lang/src/bin/pnp-check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pnp_core-285f02c8bc132dee.d: crates/core/src/lib.rs crates/core/src/channels.rs crates/core/src/component.rs crates/core/src/diagram.rs crates/core/src/explain.rs crates/core/src/fused.rs crates/core/src/library.rs crates/core/src/ports.rs crates/core/src/pubsub.rs crates/core/src/rpc.rs crates/core/src/signals.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/pnp_core-285f02c8bc132dee: crates/core/src/lib.rs crates/core/src/channels.rs crates/core/src/component.rs crates/core/src/diagram.rs crates/core/src/explain.rs crates/core/src/fused.rs crates/core/src/library.rs crates/core/src/ports.rs crates/core/src/pubsub.rs crates/core/src/rpc.rs crates/core/src/signals.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/channels.rs:
+crates/core/src/component.rs:
+crates/core/src/diagram.rs:
+crates/core/src/explain.rs:
+crates/core/src/fused.rs:
+crates/core/src/library.rs:
+crates/core/src/ports.rs:
+crates/core/src/pubsub.rs:
+crates/core/src/rpc.rs:
+crates/core/src/signals.rs:
+crates/core/src/system.rs:

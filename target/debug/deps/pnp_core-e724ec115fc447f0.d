@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/pnp_core-e724ec115fc447f0.d: crates/core/src/lib.rs crates/core/src/channels.rs crates/core/src/component.rs crates/core/src/diagram.rs crates/core/src/explain.rs crates/core/src/fused.rs crates/core/src/library.rs crates/core/src/ports.rs crates/core/src/pubsub.rs crates/core/src/rpc.rs crates/core/src/signals.rs crates/core/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpnp_core-e724ec115fc447f0.rmeta: crates/core/src/lib.rs crates/core/src/channels.rs crates/core/src/component.rs crates/core/src/diagram.rs crates/core/src/explain.rs crates/core/src/fused.rs crates/core/src/library.rs crates/core/src/ports.rs crates/core/src/pubsub.rs crates/core/src/rpc.rs crates/core/src/signals.rs crates/core/src/system.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/channels.rs:
+crates/core/src/component.rs:
+crates/core/src/diagram.rs:
+crates/core/src/explain.rs:
+crates/core/src/fused.rs:
+crates/core/src/library.rs:
+crates/core/src/ports.rs:
+crates/core/src/pubsub.rs:
+crates/core/src/rpc.rs:
+crates/core/src/signals.rs:
+crates/core/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

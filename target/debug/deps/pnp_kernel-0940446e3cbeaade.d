@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pnp_kernel-0940446e3cbeaade.d: crates/kernel/src/lib.rs crates/kernel/src/dot.rs crates/kernel/src/explore.rs crates/kernel/src/expression.rs crates/kernel/src/liveness.rs crates/kernel/src/program.rs crates/kernel/src/reduction.rs crates/kernel/src/sim.rs crates/kernel/src/state.rs crates/kernel/src/trace.rs
+
+/root/repo/target/debug/deps/libpnp_kernel-0940446e3cbeaade.rlib: crates/kernel/src/lib.rs crates/kernel/src/dot.rs crates/kernel/src/explore.rs crates/kernel/src/expression.rs crates/kernel/src/liveness.rs crates/kernel/src/program.rs crates/kernel/src/reduction.rs crates/kernel/src/sim.rs crates/kernel/src/state.rs crates/kernel/src/trace.rs
+
+/root/repo/target/debug/deps/libpnp_kernel-0940446e3cbeaade.rmeta: crates/kernel/src/lib.rs crates/kernel/src/dot.rs crates/kernel/src/explore.rs crates/kernel/src/expression.rs crates/kernel/src/liveness.rs crates/kernel/src/program.rs crates/kernel/src/reduction.rs crates/kernel/src/sim.rs crates/kernel/src/state.rs crates/kernel/src/trace.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/dot.rs:
+crates/kernel/src/explore.rs:
+crates/kernel/src/expression.rs:
+crates/kernel/src/liveness.rs:
+crates/kernel/src/program.rs:
+crates/kernel/src/reduction.rs:
+crates/kernel/src/sim.rs:
+crates/kernel/src/state.rs:
+crates/kernel/src/trace.rs:

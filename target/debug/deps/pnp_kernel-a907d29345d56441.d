@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pnp_kernel-a907d29345d56441.d: crates/kernel/src/lib.rs crates/kernel/src/dot.rs crates/kernel/src/explore.rs crates/kernel/src/expression.rs crates/kernel/src/liveness.rs crates/kernel/src/program.rs crates/kernel/src/reduction.rs crates/kernel/src/sim.rs crates/kernel/src/state.rs crates/kernel/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpnp_kernel-a907d29345d56441.rmeta: crates/kernel/src/lib.rs crates/kernel/src/dot.rs crates/kernel/src/explore.rs crates/kernel/src/expression.rs crates/kernel/src/liveness.rs crates/kernel/src/program.rs crates/kernel/src/reduction.rs crates/kernel/src/sim.rs crates/kernel/src/state.rs crates/kernel/src/trace.rs Cargo.toml
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/dot.rs:
+crates/kernel/src/explore.rs:
+crates/kernel/src/expression.rs:
+crates/kernel/src/liveness.rs:
+crates/kernel/src/program.rs:
+crates/kernel/src/reduction.rs:
+crates/kernel/src/sim.rs:
+crates/kernel/src/state.rs:
+crates/kernel/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pnp_kernel-b8d5edc972944fea.d: crates/kernel/src/lib.rs crates/kernel/src/dot.rs crates/kernel/src/explore.rs crates/kernel/src/expression.rs crates/kernel/src/liveness.rs crates/kernel/src/program.rs crates/kernel/src/reduction.rs crates/kernel/src/sim.rs crates/kernel/src/state.rs crates/kernel/src/trace.rs
+
+/root/repo/target/debug/deps/pnp_kernel-b8d5edc972944fea: crates/kernel/src/lib.rs crates/kernel/src/dot.rs crates/kernel/src/explore.rs crates/kernel/src/expression.rs crates/kernel/src/liveness.rs crates/kernel/src/program.rs crates/kernel/src/reduction.rs crates/kernel/src/sim.rs crates/kernel/src/state.rs crates/kernel/src/trace.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/dot.rs:
+crates/kernel/src/explore.rs:
+crates/kernel/src/expression.rs:
+crates/kernel/src/liveness.rs:
+crates/kernel/src/program.rs:
+crates/kernel/src/reduction.rs:
+crates/kernel/src/sim.rs:
+crates/kernel/src/state.rs:
+crates/kernel/src/trace.rs:

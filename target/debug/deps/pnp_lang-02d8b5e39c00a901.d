@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/pnp_lang-02d8b5e39c00a901.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/report.rs crates/lang/src/../../../examples/specs/wire.pnp crates/lang/src/../../../examples/specs/wire_lossy.pnp crates/lang/src/../../../examples/specs/bridge_buggy.pnp crates/lang/src/../../../examples/specs/priority_mail.pnp crates/lang/src/../../../examples/specs/newswire.pnp Cargo.toml
+
+/root/repo/target/debug/deps/libpnp_lang-02d8b5e39c00a901.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/report.rs crates/lang/src/../../../examples/specs/wire.pnp crates/lang/src/../../../examples/specs/wire_lossy.pnp crates/lang/src/../../../examples/specs/bridge_buggy.pnp crates/lang/src/../../../examples/specs/priority_mail.pnp crates/lang/src/../../../examples/specs/newswire.pnp Cargo.toml
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/compile.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:
+crates/lang/src/report.rs:
+crates/lang/src/../../../examples/specs/wire.pnp:
+crates/lang/src/../../../examples/specs/wire_lossy.pnp:
+crates/lang/src/../../../examples/specs/bridge_buggy.pnp:
+crates/lang/src/../../../examples/specs/priority_mail.pnp:
+crates/lang/src/../../../examples/specs/newswire.pnp:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

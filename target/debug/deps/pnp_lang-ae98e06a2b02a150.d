@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pnp_lang-ae98e06a2b02a150.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/report.rs
+
+/root/repo/target/debug/deps/libpnp_lang-ae98e06a2b02a150.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/report.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/compile.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:
+crates/lang/src/report.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pnp_lang-bdae42ca315aed19.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/report.rs
+
+/root/repo/target/debug/deps/libpnp_lang-bdae42ca315aed19.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/report.rs
+
+/root/repo/target/debug/deps/libpnp_lang-bdae42ca315aed19.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/report.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/compile.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:
+crates/lang/src/report.rs:

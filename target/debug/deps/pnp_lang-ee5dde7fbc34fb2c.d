@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pnp_lang-ee5dde7fbc34fb2c.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/report.rs crates/lang/src/../../../examples/specs/wire.pnp crates/lang/src/../../../examples/specs/wire_lossy.pnp crates/lang/src/../../../examples/specs/bridge_buggy.pnp crates/lang/src/../../../examples/specs/priority_mail.pnp crates/lang/src/../../../examples/specs/newswire.pnp
+
+/root/repo/target/debug/deps/pnp_lang-ee5dde7fbc34fb2c: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/compile.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/report.rs crates/lang/src/../../../examples/specs/wire.pnp crates/lang/src/../../../examples/specs/wire_lossy.pnp crates/lang/src/../../../examples/specs/bridge_buggy.pnp crates/lang/src/../../../examples/specs/priority_mail.pnp crates/lang/src/../../../examples/specs/newswire.pnp
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/compile.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:
+crates/lang/src/report.rs:
+crates/lang/src/../../../examples/specs/wire.pnp:
+crates/lang/src/../../../examples/specs/wire_lossy.pnp:
+crates/lang/src/../../../examples/specs/bridge_buggy.pnp:
+crates/lang/src/../../../examples/specs/priority_mail.pnp:
+crates/lang/src/../../../examples/specs/newswire.pnp:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pnp_ltl-19bc8ee8badd9637.d: crates/ltl/src/lib.rs crates/ltl/src/ast.rs crates/ltl/src/buchi.rs crates/ltl/src/nnf.rs crates/ltl/src/parse.rs
+
+/root/repo/target/debug/deps/pnp_ltl-19bc8ee8badd9637: crates/ltl/src/lib.rs crates/ltl/src/ast.rs crates/ltl/src/buchi.rs crates/ltl/src/nnf.rs crates/ltl/src/parse.rs
+
+crates/ltl/src/lib.rs:
+crates/ltl/src/ast.rs:
+crates/ltl/src/buchi.rs:
+crates/ltl/src/nnf.rs:
+crates/ltl/src/parse.rs:

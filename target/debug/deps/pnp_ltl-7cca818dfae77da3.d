@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pnp_ltl-7cca818dfae77da3.d: crates/ltl/src/lib.rs crates/ltl/src/ast.rs crates/ltl/src/buchi.rs crates/ltl/src/nnf.rs crates/ltl/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpnp_ltl-7cca818dfae77da3.rmeta: crates/ltl/src/lib.rs crates/ltl/src/ast.rs crates/ltl/src/buchi.rs crates/ltl/src/nnf.rs crates/ltl/src/parse.rs Cargo.toml
+
+crates/ltl/src/lib.rs:
+crates/ltl/src/ast.rs:
+crates/ltl/src/buchi.rs:
+crates/ltl/src/nnf.rs:
+crates/ltl/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pnp_ltl-cd26c4438541a00d.d: crates/ltl/src/lib.rs crates/ltl/src/ast.rs crates/ltl/src/buchi.rs crates/ltl/src/nnf.rs crates/ltl/src/parse.rs
+
+/root/repo/target/debug/deps/libpnp_ltl-cd26c4438541a00d.rlib: crates/ltl/src/lib.rs crates/ltl/src/ast.rs crates/ltl/src/buchi.rs crates/ltl/src/nnf.rs crates/ltl/src/parse.rs
+
+/root/repo/target/debug/deps/libpnp_ltl-cd26c4438541a00d.rmeta: crates/ltl/src/lib.rs crates/ltl/src/ast.rs crates/ltl/src/buchi.rs crates/ltl/src/nnf.rs crates/ltl/src/parse.rs
+
+crates/ltl/src/lib.rs:
+crates/ltl/src/ast.rs:
+crates/ltl/src/buchi.rs:
+crates/ltl/src/nnf.rs:
+crates/ltl/src/parse.rs:

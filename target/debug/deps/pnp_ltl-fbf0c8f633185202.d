@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pnp_ltl-fbf0c8f633185202.d: crates/ltl/src/lib.rs crates/ltl/src/ast.rs crates/ltl/src/buchi.rs crates/ltl/src/nnf.rs crates/ltl/src/parse.rs
+
+/root/repo/target/debug/deps/libpnp_ltl-fbf0c8f633185202.rmeta: crates/ltl/src/lib.rs crates/ltl/src/ast.rs crates/ltl/src/buchi.rs crates/ltl/src/nnf.rs crates/ltl/src/parse.rs
+
+crates/ltl/src/lib.rs:
+crates/ltl/src/ast.rs:
+crates/ltl/src/buchi.rs:
+crates/ltl/src/nnf.rs:
+crates/ltl/src/parse.rs:

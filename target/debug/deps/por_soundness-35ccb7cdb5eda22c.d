@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/por_soundness-35ccb7cdb5eda22c.d: tests/por_soundness.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/por_soundness-35ccb7cdb5eda22c: tests/por_soundness.rs tests/common/mod.rs
+
+tests/por_soundness.rs:
+tests/common/mod.rs:

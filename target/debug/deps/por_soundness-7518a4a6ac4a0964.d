@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/por_soundness-7518a4a6ac4a0964.d: tests/por_soundness.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpor_soundness-7518a4a6ac4a0964.rmeta: tests/por_soundness.rs tests/common/mod.rs Cargo.toml
+
+tests/por_soundness.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

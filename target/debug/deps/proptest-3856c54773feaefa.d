@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-3856c54773feaefa.d: crates/proptest/src/lib.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-3856c54773feaefa: crates/proptest/src/lib.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/strategy.rs:
+crates/proptest/src/test_runner.rs:

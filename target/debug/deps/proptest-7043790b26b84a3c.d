@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-7043790b26b84a3c.d: crates/proptest/src/lib.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-7043790b26b84a3c.rlib: crates/proptest/src/lib.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-7043790b26b84a3c.rmeta: crates/proptest/src/lib.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/strategy.rs:
+crates/proptest/src/test_runner.rs:

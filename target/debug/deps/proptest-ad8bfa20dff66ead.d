@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-ad8bfa20dff66ead.d: crates/proptest/src/lib.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-ad8bfa20dff66ead.rmeta: crates/proptest/src/lib.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs Cargo.toml
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/strategy.rs:
+crates/proptest/src/test_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-67e7ed850ae2406f.d: crates/kernel/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-67e7ed850ae2406f: crates/kernel/tests/proptests.rs
+
+crates/kernel/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-6d903a0700c034cf.d: crates/lang/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-6d903a0700c034cf.rmeta: crates/lang/tests/proptests.rs Cargo.toml
+
+crates/lang/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

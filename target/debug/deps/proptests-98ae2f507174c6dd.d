@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-98ae2f507174c6dd.d: crates/kernel/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-98ae2f507174c6dd.rmeta: crates/kernel/tests/proptests.rs Cargo.toml
+
+crates/kernel/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c3ff4eb96d57928b.d: crates/lang/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c3ff4eb96d57928b: crates/lang/tests/proptests.rs
+
+crates/lang/tests/proptests.rs:

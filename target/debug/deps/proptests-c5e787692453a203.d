@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c5e787692453a203.d: crates/ltl/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c5e787692453a203.rmeta: crates/ltl/tests/proptests.rs Cargo.toml
+
+crates/ltl/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

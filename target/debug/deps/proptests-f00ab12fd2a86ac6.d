@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f00ab12fd2a86ac6.d: crates/ltl/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f00ab12fd2a86ac6: crates/ltl/tests/proptests.rs
+
+crates/ltl/tests/proptests.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pubsub_and_fused-a623680a075cc7b3.d: tests/pubsub_and_fused.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/pubsub_and_fused-a623680a075cc7b3: tests/pubsub_and_fused.rs tests/common/mod.rs
+
+tests/pubsub_and_fused.rs:
+tests/common/mod.rs:

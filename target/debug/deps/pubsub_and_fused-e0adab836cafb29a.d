@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pubsub_and_fused-e0adab836cafb29a.d: tests/pubsub_and_fused.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpubsub_and_fused-e0adab836cafb29a.rmeta: tests/pubsub_and_fused.rs tests/common/mod.rs Cargo.toml
+
+tests/pubsub_and_fused.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

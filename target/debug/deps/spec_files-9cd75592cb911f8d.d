@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/spec_files-9cd75592cb911f8d.d: crates/lang/tests/spec_files.rs crates/lang/tests/../../../examples/specs/wire.pnp crates/lang/tests/../../../examples/specs/bridge_buggy.pnp crates/lang/tests/../../../examples/specs/bridge_fixed.pnp crates/lang/tests/../../../examples/specs/priority_mail.pnp crates/lang/tests/../../../examples/specs/newswire.pnp
+
+/root/repo/target/debug/deps/spec_files-9cd75592cb911f8d: crates/lang/tests/spec_files.rs crates/lang/tests/../../../examples/specs/wire.pnp crates/lang/tests/../../../examples/specs/bridge_buggy.pnp crates/lang/tests/../../../examples/specs/bridge_fixed.pnp crates/lang/tests/../../../examples/specs/priority_mail.pnp crates/lang/tests/../../../examples/specs/newswire.pnp
+
+crates/lang/tests/spec_files.rs:
+crates/lang/tests/../../../examples/specs/wire.pnp:
+crates/lang/tests/../../../examples/specs/bridge_buggy.pnp:
+crates/lang/tests/../../../examples/specs/bridge_fixed.pnp:
+crates/lang/tests/../../../examples/specs/priority_mail.pnp:
+crates/lang/tests/../../../examples/specs/newswire.pnp:

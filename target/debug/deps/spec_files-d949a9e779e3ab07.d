@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/spec_files-d949a9e779e3ab07.d: crates/lang/tests/spec_files.rs crates/lang/tests/../../../examples/specs/wire.pnp crates/lang/tests/../../../examples/specs/bridge_buggy.pnp crates/lang/tests/../../../examples/specs/bridge_fixed.pnp crates/lang/tests/../../../examples/specs/priority_mail.pnp crates/lang/tests/../../../examples/specs/newswire.pnp Cargo.toml
+
+/root/repo/target/debug/deps/libspec_files-d949a9e779e3ab07.rmeta: crates/lang/tests/spec_files.rs crates/lang/tests/../../../examples/specs/wire.pnp crates/lang/tests/../../../examples/specs/bridge_buggy.pnp crates/lang/tests/../../../examples/specs/bridge_fixed.pnp crates/lang/tests/../../../examples/specs/priority_mail.pnp crates/lang/tests/../../../examples/specs/newswire.pnp Cargo.toml
+
+crates/lang/tests/spec_files.rs:
+crates/lang/tests/../../../examples/specs/wire.pnp:
+crates/lang/tests/../../../examples/specs/bridge_buggy.pnp:
+crates/lang/tests/../../../examples/specs/bridge_fixed.pnp:
+crates/lang/tests/../../../examples/specs/priority_mail.pnp:
+crates/lang/tests/../../../examples/specs/newswire.pnp:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

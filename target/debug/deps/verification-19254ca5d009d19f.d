@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verification-19254ca5d009d19f.d: crates/bench/benches/verification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverification-19254ca5d009d19f.rmeta: crates/bench/benches/verification.rs Cargo.toml
+
+crates/bench/benches/verification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

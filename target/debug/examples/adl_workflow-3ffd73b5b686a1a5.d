@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/adl_workflow-3ffd73b5b686a1a5.d: examples/adl_workflow.rs examples/specs/bridge_buggy.pnp Cargo.toml
+
+/root/repo/target/debug/examples/libadl_workflow-3ffd73b5b686a1a5.rmeta: examples/adl_workflow.rs examples/specs/bridge_buggy.pnp Cargo.toml
+
+examples/adl_workflow.rs:
+examples/specs/bridge_buggy.pnp:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/examples/adl_workflow-b23012e9a8928ad1.d: examples/adl_workflow.rs examples/specs/bridge_buggy.pnp
+
+/root/repo/target/debug/examples/adl_workflow-b23012e9a8928ad1: examples/adl_workflow.rs examples/specs/bridge_buggy.pnp
+
+examples/adl_workflow.rs:
+examples/specs/bridge_buggy.pnp:

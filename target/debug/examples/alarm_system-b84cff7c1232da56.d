@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/alarm_system-b84cff7c1232da56.d: examples/alarm_system.rs Cargo.toml
+
+/root/repo/target/debug/examples/libalarm_system-b84cff7c1232da56.rmeta: examples/alarm_system.rs Cargo.toml
+
+examples/alarm_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

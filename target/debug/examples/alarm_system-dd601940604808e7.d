@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/alarm_system-dd601940604808e7.d: examples/alarm_system.rs
+
+/root/repo/target/debug/examples/alarm_system-dd601940604808e7: examples/alarm_system.rs
+
+examples/alarm_system.rs:

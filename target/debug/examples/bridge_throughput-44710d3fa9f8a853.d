@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bridge_throughput-44710d3fa9f8a853.d: examples/bridge_throughput.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbridge_throughput-44710d3fa9f8a853.rmeta: examples/bridge_throughput.rs Cargo.toml
+
+examples/bridge_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

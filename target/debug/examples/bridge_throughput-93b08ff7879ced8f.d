@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bridge_throughput-93b08ff7879ced8f.d: examples/bridge_throughput.rs
+
+/root/repo/target/debug/examples/bridge_throughput-93b08ff7879ced8f: examples/bridge_throughput.rs
+
+examples/bridge_throughput.rs:

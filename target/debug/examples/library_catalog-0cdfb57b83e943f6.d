@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/library_catalog-0cdfb57b83e943f6.d: examples/library_catalog.rs
+
+/root/repo/target/debug/examples/library_catalog-0cdfb57b83e943f6: examples/library_catalog.rs
+
+examples/library_catalog.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/library_catalog-8ce74e39da1b716b.d: examples/library_catalog.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblibrary_catalog-8ce74e39da1b716b.rmeta: examples/library_catalog.rs Cargo.toml
+
+examples/library_catalog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

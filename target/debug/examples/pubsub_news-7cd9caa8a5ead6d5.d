@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pubsub_news-7cd9caa8a5ead6d5.d: examples/pubsub_news.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpubsub_news-7cd9caa8a5ead6d5.rmeta: examples/pubsub_news.rs Cargo.toml
+
+examples/pubsub_news.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pubsub_news-8014ea85e0b2f277.d: examples/pubsub_news.rs
+
+/root/repo/target/debug/examples/pubsub_news-8014ea85e0b2f277: examples/pubsub_news.rs
+
+examples/pubsub_news.rs:

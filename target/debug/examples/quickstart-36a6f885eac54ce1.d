@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-36a6f885eac54ce1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-36a6f885eac54ce1: examples/quickstart.rs
+
+examples/quickstart.rs:

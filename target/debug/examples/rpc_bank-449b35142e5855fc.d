@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rpc_bank-449b35142e5855fc.d: examples/rpc_bank.rs Cargo.toml
+
+/root/repo/target/debug/examples/librpc_bank-449b35142e5855fc.rmeta: examples/rpc_bank.rs Cargo.toml
+
+examples/rpc_bank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

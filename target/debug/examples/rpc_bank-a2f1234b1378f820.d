@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rpc_bank-a2f1234b1378f820.d: examples/rpc_bank.rs
+
+/root/repo/target/debug/examples/rpc_bank-a2f1234b1378f820: examples/rpc_bank.rs
+
+examples/rpc_bank.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/single_lane_bridge-aea5342354f69ebc.d: examples/single_lane_bridge.rs
+
+/root/repo/target/debug/examples/single_lane_bridge-aea5342354f69ebc: examples/single_lane_bridge.rs
+
+examples/single_lane_bridge.rs:

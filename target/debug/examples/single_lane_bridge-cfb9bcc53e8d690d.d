@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/single_lane_bridge-cfb9bcc53e8d690d.d: examples/single_lane_bridge.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsingle_lane_bridge-cfb9bcc53e8d690d.rmeta: examples/single_lane_bridge.rs Cargo.toml
+
+examples/single_lane_bridge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-c5b607ca66bf9276.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c5b607ca66bf9276.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c5b607ca66bf9276.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-4a4c11afb74e957d.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-4a4c11afb74e957d: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

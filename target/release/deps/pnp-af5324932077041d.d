@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pnp-af5324932077041d.d: src/lib.rs
+
+/root/repo/target/release/deps/libpnp-af5324932077041d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpnp-af5324932077041d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pnp_bench-7523c8d40c6167ab.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpnp_bench-7523c8d40c6167ab.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpnp_bench-7523c8d40c6167ab.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pnp_bridge-5696fc860214a66b.d: crates/bridge/src/lib.rs crates/bridge/src/cars.rs crates/bridge/src/controllers.rs crates/bridge/src/designs.rs crates/bridge/src/props.rs
+
+/root/repo/target/release/deps/libpnp_bridge-5696fc860214a66b.rlib: crates/bridge/src/lib.rs crates/bridge/src/cars.rs crates/bridge/src/controllers.rs crates/bridge/src/designs.rs crates/bridge/src/props.rs
+
+/root/repo/target/release/deps/libpnp_bridge-5696fc860214a66b.rmeta: crates/bridge/src/lib.rs crates/bridge/src/cars.rs crates/bridge/src/controllers.rs crates/bridge/src/designs.rs crates/bridge/src/props.rs
+
+crates/bridge/src/lib.rs:
+crates/bridge/src/cars.rs:
+crates/bridge/src/controllers.rs:
+crates/bridge/src/designs.rs:
+crates/bridge/src/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pnp_check-25705c714fce4522.d: crates/lang/src/bin/pnp-check.rs
+
+/root/repo/target/release/deps/pnp_check-25705c714fce4522: crates/lang/src/bin/pnp-check.rs
+
+crates/lang/src/bin/pnp-check.rs:

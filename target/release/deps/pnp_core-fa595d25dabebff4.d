@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/pnp_core-fa595d25dabebff4.d: crates/core/src/lib.rs crates/core/src/channels.rs crates/core/src/component.rs crates/core/src/diagram.rs crates/core/src/explain.rs crates/core/src/fused.rs crates/core/src/library.rs crates/core/src/ports.rs crates/core/src/pubsub.rs crates/core/src/rpc.rs crates/core/src/signals.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libpnp_core-fa595d25dabebff4.rlib: crates/core/src/lib.rs crates/core/src/channels.rs crates/core/src/component.rs crates/core/src/diagram.rs crates/core/src/explain.rs crates/core/src/fused.rs crates/core/src/library.rs crates/core/src/ports.rs crates/core/src/pubsub.rs crates/core/src/rpc.rs crates/core/src/signals.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libpnp_core-fa595d25dabebff4.rmeta: crates/core/src/lib.rs crates/core/src/channels.rs crates/core/src/component.rs crates/core/src/diagram.rs crates/core/src/explain.rs crates/core/src/fused.rs crates/core/src/library.rs crates/core/src/ports.rs crates/core/src/pubsub.rs crates/core/src/rpc.rs crates/core/src/signals.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/channels.rs:
+crates/core/src/component.rs:
+crates/core/src/diagram.rs:
+crates/core/src/explain.rs:
+crates/core/src/fused.rs:
+crates/core/src/library.rs:
+crates/core/src/ports.rs:
+crates/core/src/pubsub.rs:
+crates/core/src/rpc.rs:
+crates/core/src/signals.rs:
+crates/core/src/system.rs:

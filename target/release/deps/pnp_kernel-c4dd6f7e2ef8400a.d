@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pnp_kernel-c4dd6f7e2ef8400a.d: crates/kernel/src/lib.rs crates/kernel/src/dot.rs crates/kernel/src/explore.rs crates/kernel/src/expression.rs crates/kernel/src/liveness.rs crates/kernel/src/program.rs crates/kernel/src/reduction.rs crates/kernel/src/sim.rs crates/kernel/src/state.rs crates/kernel/src/trace.rs
+
+/root/repo/target/release/deps/libpnp_kernel-c4dd6f7e2ef8400a.rlib: crates/kernel/src/lib.rs crates/kernel/src/dot.rs crates/kernel/src/explore.rs crates/kernel/src/expression.rs crates/kernel/src/liveness.rs crates/kernel/src/program.rs crates/kernel/src/reduction.rs crates/kernel/src/sim.rs crates/kernel/src/state.rs crates/kernel/src/trace.rs
+
+/root/repo/target/release/deps/libpnp_kernel-c4dd6f7e2ef8400a.rmeta: crates/kernel/src/lib.rs crates/kernel/src/dot.rs crates/kernel/src/explore.rs crates/kernel/src/expression.rs crates/kernel/src/liveness.rs crates/kernel/src/program.rs crates/kernel/src/reduction.rs crates/kernel/src/sim.rs crates/kernel/src/state.rs crates/kernel/src/trace.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/dot.rs:
+crates/kernel/src/explore.rs:
+crates/kernel/src/expression.rs:
+crates/kernel/src/liveness.rs:
+crates/kernel/src/program.rs:
+crates/kernel/src/reduction.rs:
+crates/kernel/src/sim.rs:
+crates/kernel/src/state.rs:
+crates/kernel/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pnp_ltl-d2c3fc682bb57ba7.d: crates/ltl/src/lib.rs crates/ltl/src/ast.rs crates/ltl/src/buchi.rs crates/ltl/src/nnf.rs crates/ltl/src/parse.rs
+
+/root/repo/target/release/deps/libpnp_ltl-d2c3fc682bb57ba7.rlib: crates/ltl/src/lib.rs crates/ltl/src/ast.rs crates/ltl/src/buchi.rs crates/ltl/src/nnf.rs crates/ltl/src/parse.rs
+
+/root/repo/target/release/deps/libpnp_ltl-d2c3fc682bb57ba7.rmeta: crates/ltl/src/lib.rs crates/ltl/src/ast.rs crates/ltl/src/buchi.rs crates/ltl/src/nnf.rs crates/ltl/src/parse.rs
+
+crates/ltl/src/lib.rs:
+crates/ltl/src/ast.rs:
+crates/ltl/src/buchi.rs:
+crates/ltl/src/nnf.rs:
+crates/ltl/src/parse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-588b91b1f645ac78.d: crates/proptest/src/lib.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-588b91b1f645ac78.rlib: crates/proptest/src/lib.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-588b91b1f645ac78.rmeta: crates/proptest/src/lib.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/strategy.rs:
+crates/proptest/src/test_runner.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libproptest.rlib: /root/repo/crates/proptest/src/lib.rs /root/repo/crates/proptest/src/strategy.rs /root/repo/crates/proptest/src/test_runner.rs

@@ -3,8 +3,7 @@
 //! identical components.
 
 use pnp_core::{
-    ChannelKind, ComponentBuilder, ReceiveBinds, RecvPortKind, SendPortKind, System,
-    SystemBuilder,
+    ChannelKind, ComponentBuilder, ReceiveBinds, RecvPortKind, SendPortKind, System, SystemBuilder,
 };
 use pnp_kernel::{expr, Action, Checker, GlobalId, Guard, Predicate};
 
@@ -124,7 +123,10 @@ fn dropping_buffer_can_lose_an_alarm() {
 
 #[test]
 fn fifo_with_blocking_send_never_loses_alarms() {
-    let (system, zone2) = build(ChannelKind::Fifo { capacity: 2 }, SendPortKind::AsynBlocking);
+    let (system, zone2) = build(
+        ChannelKind::Fifo { capacity: 2 },
+        SendPortKind::AsynBlocking,
+    );
     assert!(!lost_alarm(&system, zone2));
 }
 
@@ -141,8 +143,16 @@ fn single_slot_with_blocking_send_is_also_safe() {
 #[test]
 fn alarm_components_are_design_independent() {
     let shapes: Vec<Vec<(String, usize)>> = [
-        build(ChannelKind::Dropping { capacity: 1 }, SendPortKind::AsynNonblocking).0,
-        build(ChannelKind::Fifo { capacity: 2 }, SendPortKind::AsynBlocking).0,
+        build(
+            ChannelKind::Dropping { capacity: 1 },
+            SendPortKind::AsynNonblocking,
+        )
+        .0,
+        build(
+            ChannelKind::Fifo { capacity: 2 },
+            SendPortKind::AsynBlocking,
+        )
+        .0,
         build(ChannelKind::SingleSlot, SendPortKind::SynBlocking).0,
     ]
     .iter()

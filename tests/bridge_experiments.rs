@@ -63,7 +63,14 @@ fn one_block_fix_verifies_with_identical_components() {
             .iter()
             .zip(s.topology().iter())
             .filter(|(_, (_, role))| !role.is_connector_part())
-            .map(|(p, _)| format!("{}:{}:{}", p.name(), p.location_count(), p.transition_count()))
+            .map(|(p, _)| {
+                format!(
+                    "{}:{}:{}",
+                    p.name(),
+                    p.location_count(),
+                    p.transition_count()
+                )
+            })
             .collect()
     };
     assert_eq!(shape(&buggy), shape(&fixed));
@@ -82,11 +89,7 @@ fn one_block_fix_verifies_with_identical_components() {
     };
     let before = port_kinds(&buggy);
     let after = port_kinds(&fixed);
-    let changed = before
-        .iter()
-        .zip(&after)
-        .filter(|(b, a)| b != a)
-        .count();
+    let changed = before.iter().zip(&after).filter(|(b, a)| b != a).count();
     assert_eq!(changed, 2, "exactly the two enter send ports change");
 }
 

@@ -81,13 +81,22 @@ fn components_are_identical_across_the_matrix() {
                 .processes()
                 .iter()
                 .filter(|p| p.name() == "producer" || p.name() == "consumer")
-                .map(|p| (p.name().to_string(), p.location_count(), p.transition_count()))
+                .map(|p| {
+                    (
+                        p.name().to_string(),
+                        p.location_count(),
+                        p.transition_count(),
+                    )
+                })
                 .collect();
             shapes.push(shape);
         }
     }
     for pair in shapes.windows(2) {
-        assert_eq!(pair[0], pair[1], "component models differ across connectors");
+        assert_eq!(
+            pair[0], pair[1],
+            "component models differ across connectors"
+        );
     }
 }
 
@@ -95,7 +104,10 @@ fn components_are_identical_across_the_matrix() {
 /// each, in some order, with no loss.
 #[test]
 fn two_messages_survive_non_dropping_channels() {
-    for channel in [ChannelKind::Fifo { capacity: 2 }, ChannelKind::Priority { capacity: 2 }] {
+    for channel in [
+        ChannelKind::Fifo { capacity: 2 },
+        ChannelKind::Priority { capacity: 2 },
+    ] {
         for send in [SendPortKind::AsynBlocking, SendPortKind::SynBlocking] {
             let wire = wire_system(
                 send,
@@ -125,7 +137,11 @@ fn two_messages_survive_non_dropping_channels() {
             );
             // Termination implies both delivered: consumer done => both set.
             let deadlock = check_deadlock(&wire.system);
-            assert!(deadlock.outcome.is_holds(), "{label}: {:?}", deadlock.outcome);
+            assert!(
+                deadlock.outcome.is_holds(),
+                "{label}: {:?}",
+                deadlock.outcome
+            );
         }
     }
 }

@@ -250,10 +250,7 @@ fn async_confirms_before_delivery_sync_after() {
                 Predicate::native("not (confirmed and buffered)", move |view| {
                     let buffered: i32 = (0..view.program().processes().len())
                         .filter_map(|pi| {
-                            pnp_core::channel_occupancy(
-                                view,
-                                pnp_kernel::ProcId::from_index(pi),
-                            )
+                            pnp_core::channel_occupancy(view, pnp_kernel::ProcId::from_index(pi))
                         })
                         .sum();
                     !(view.global(all_sent) == 1 && buffered > 0)
@@ -362,4 +359,3 @@ fn checking_send_reports_full_buffer() {
         }
     }
 }
-

@@ -1,0 +1,300 @@
+//! Fault-injection blocks: lossy / duplicating / reordering channel
+//! decorators and crash-restart ports.
+//!
+//! The example tests pin down each fault's observable behaviour; the
+//! property tests check the robustness contract the fault library promises:
+//! decorating a channel (or crashing a port) never introduces a deadlock a
+//! fault-free composition lacks, because every fault is reported through
+//! the same status signals the standard interfaces already accept.
+
+mod common;
+
+use common::{check_deadlock, reachable, wire_system};
+use pnp_core::signals::{SEND_FAIL, SEND_SUCC};
+use pnp_core::{
+    ChannelFault, ChannelKind, ComponentBuilder, RecvMode, RecvPortKind, SendPortKind,
+    SystemBuilder,
+};
+use pnp_kernel::{expr, Action, Guard};
+use proptest::prelude::*;
+
+/// A one-shot producer that records the send status into a global, plus a
+/// one-message consumer recording the payload — the smallest system where
+/// both sides' observations are visible to properties.
+fn status_wire(
+    send: SendPortKind,
+    channel: ChannelKind,
+    recv: RecvPortKind,
+) -> (pnp_core::System, pnp_kernel::GlobalId, pnp_kernel::GlobalId) {
+    let mut sys = SystemBuilder::new();
+    let sent_status = sys.global("sent_status", 0);
+    let got = sys.global("got", 0);
+    let conn = sys.connector("wire", channel);
+    let tx = sys.send_port(conn, send);
+    let rx = sys.recv_port(conn, recv);
+
+    let mut p = ComponentBuilder::new("producer");
+    let status = p.local("status", 0);
+    let s0 = p.location("send");
+    let s1 = p.location("record");
+    let s2 = p.location("done");
+    p.mark_end(s2);
+    p.send_msg(s0, s1, &tx, 7.into(), 0.into(), Some(status));
+    p.transition(
+        s1,
+        s2,
+        Guard::always(),
+        Action::assign(sent_status, expr::local(status)),
+        "record send status",
+    );
+
+    let c = common::consumer("consumer", &rx, &[got], None, None);
+    sys.add_component(p);
+    sys.add_component(c);
+    (sys.build().expect("system builds"), sent_status, got)
+}
+
+/// A lossy channel may drop the message in transit; a checking send port
+/// surfaces the loss as `SEND_FAIL`. On the fault-free channel the same
+/// composition can never fail (one message into a capacity-2 buffer).
+#[test]
+fn lossy_channel_reports_loss_to_a_checking_sender() {
+    let base = ChannelKind::Fifo { capacity: 2 };
+    let (faulty, status, got) = status_wire(
+        SendPortKind::AsynChecking,
+        ChannelKind::lossy(base),
+        RecvPortKind::blocking(),
+    );
+    assert!(reachable(
+        &faulty,
+        expr::eq(expr::global(status), SEND_FAIL.into())
+    ));
+    // The no-fault branch still exists: delivery remains possible.
+    assert!(reachable(&faulty, expr::eq(expr::global(got), 7.into())));
+
+    let (clean, status, _) =
+        status_wire(SendPortKind::AsynChecking, base, RecvPortKind::blocking());
+    assert!(!reachable(
+        &clean,
+        expr::eq(expr::global(status), SEND_FAIL.into())
+    ));
+}
+
+/// Swapping the checking port for a *blocking* (retrying) one masks the
+/// loss entirely: the component can never observe `SEND_FAIL`, on the very
+/// same lossy channel, without any change to the component model.
+#[test]
+fn lossy_loss_is_masked_by_a_retrying_sender() {
+    let (sys, status, _) = status_wire(
+        SendPortKind::AsynBlocking,
+        ChannelKind::lossy(ChannelKind::Fifo { capacity: 2 }),
+        RecvPortKind::blocking(),
+    );
+    assert!(!reachable(
+        &sys,
+        expr::eq(expr::global(status), SEND_FAIL.into())
+    ));
+    assert!(reachable(
+        &sys,
+        expr::eq(expr::global(status), SEND_SUCC.into())
+    ));
+    assert!(check_deadlock(&sys).outcome.is_holds());
+}
+
+/// A duplicating channel can deliver one send twice — and never invents
+/// payloads that were not sent.
+#[test]
+fn duplicating_channel_can_deliver_twice() {
+    let wire = wire_system(
+        SendPortKind::AsynBlocking,
+        ChannelKind::duplicating(ChannelKind::Fifo { capacity: 2 }),
+        RecvPortKind::blocking(),
+        &[(7, 0)],
+        2,
+        None,
+        false,
+    );
+    assert!(reachable(
+        &wire.system,
+        expr::and(
+            expr::eq(expr::global(wire.got[0]), 7.into()),
+            expr::eq(expr::global(wire.got[1]), 7.into()),
+        ),
+    ));
+    for g in &wire.got {
+        common::assert_invariant(
+            &wire.system,
+            "no phantom payloads",
+            expr::or(
+                expr::eq(expr::global(*g), 0.into()),
+                expr::eq(expr::global(*g), 7.into()),
+            ),
+        );
+    }
+}
+
+/// A reordering channel may deliver any buffered message, so the FIFO
+/// order guarantee (`fifo_preserves_order` in connector_semantics.rs) is
+/// lost: receiving 2-then-1 becomes reachable.
+#[test]
+fn reordering_channel_can_swap_delivery_order() {
+    let wire = wire_system(
+        SendPortKind::AsynBlocking,
+        ChannelKind::reordering(ChannelKind::Fifo { capacity: 2 }),
+        RecvPortKind::blocking(),
+        &[(1, 0), (2, 0)],
+        2,
+        None,
+        true, // consumer starts only after both sends are buffered
+    );
+    assert!(reachable(
+        &wire.system,
+        expr::and(
+            expr::eq(expr::global(wire.got[0]), 2.into()),
+            expr::eq(expr::global(wire.got[1]), 1.into()),
+        ),
+    ));
+    // In-order delivery also stays possible.
+    assert!(reachable(
+        &wire.system,
+        expr::and(
+            expr::eq(expr::global(wire.got[0]), 1.into()),
+            expr::eq(expr::global(wire.got[1]), 2.into()),
+        ),
+    ));
+}
+
+/// A crash-restart send port may lose the message, but always reports the
+/// loss (`SEND_FAIL`) — the component is never wedged, and the no-crash
+/// delivery path survives.
+#[test]
+fn crash_restart_send_loses_but_reports() {
+    let (sys, status, got) = status_wire(
+        SendPortKind::CrashRestart,
+        ChannelKind::Fifo { capacity: 2 },
+        RecvPortKind::blocking(),
+    );
+    assert!(reachable(
+        &sys,
+        expr::eq(expr::global(status), SEND_FAIL.into())
+    ));
+    assert!(reachable(&sys, expr::eq(expr::global(got), 7.into())));
+    assert!(check_deadlock(&sys).outcome.is_holds());
+}
+
+/// A crash-restart receive port reports `RECV_FAIL` on crash; a retrying
+/// component still gets the message eventually (the crash only loses the
+/// *request*, never a buffered message).
+#[test]
+fn crash_restart_recv_reports_and_recovers() {
+    let wire = wire_system(
+        SendPortKind::AsynBlocking,
+        ChannelKind::Fifo { capacity: 2 },
+        RecvPortKind::crash_restart(),
+        &[(7, 0)],
+        1,
+        None,
+        false,
+    );
+    assert!(reachable(
+        &wire.system,
+        expr::eq(expr::global(wire.got[0]), 7.into())
+    ));
+    assert!(check_deadlock(&wire.system).outcome.is_holds());
+}
+
+// ---------------------------------------------------------------------
+// Robustness contract (property tests)
+// ---------------------------------------------------------------------
+
+fn arb_send() -> impl Strategy<Value = SendPortKind> {
+    (0usize..SendPortKind::ALL.len()).prop_map(|i| SendPortKind::ALL[i])
+}
+
+fn arb_recv() -> impl Strategy<Value = RecvPortKind> {
+    (0usize..RecvPortKind::ALL.len()).prop_map(|i| RecvPortKind::ALL[i])
+}
+
+fn arb_base() -> impl Strategy<Value = ChannelKind> {
+    (0usize..5, 1usize..3).prop_map(|(i, cap)| match i {
+        0 => ChannelKind::SingleSlot,
+        1 => ChannelKind::Fifo { capacity: cap },
+        2 => ChannelKind::Priority { capacity: cap },
+        3 => ChannelKind::Dropping { capacity: cap },
+        _ => ChannelKind::Sliding { capacity: cap },
+    })
+}
+
+fn arb_fault() -> impl Strategy<Value = ChannelFault> {
+    (0usize..ChannelFault::ALL.len()).prop_map(|i| ChannelFault::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Decorating the channel with any fault never introduces a deadlock:
+    /// every `ALL x ALL` fault-free composition is deadlock-free (pinned by
+    /// tests/connector_matrix.rs), and the decorated one must stay so.
+    #[test]
+    fn fault_decorators_never_introduce_deadlocks(
+        send in arb_send(),
+        recv in arb_recv(),
+        base in arb_base(),
+        fault in arb_fault(),
+    ) {
+        let recv = if send.is_synchronous() && recv.mode == RecvMode::Copy {
+            // Copy delivery never removes, so a synchronous sender would
+            // wait forever on fault-free channels too; normalise to the
+            // same remove-mode pairing the matrix test uses for delivery.
+            recv.with_mode(RecvMode::Remove)
+        } else {
+            recv
+        };
+        let clean = wire_system(send, base, recv, &[(7, 0)], 1, None, false);
+        prop_assert!(
+            check_deadlock(&clean.system).outcome.is_holds(),
+            "fault-free base {} deadlocks", base.name()
+        );
+        let decorated = wire_system(
+            send,
+            ChannelKind::with_fault(fault, base),
+            recv,
+            &[(7, 0)],
+            1,
+            None,
+            false,
+        );
+        prop_assert!(
+            check_deadlock(&decorated.system).outcome.is_holds(),
+            "{} introduced a deadlock under {}Send/{}",
+            ChannelKind::with_fault(fault, base).name(), send.name(), recv.name()
+        );
+    }
+
+    /// Crash-restart ports always re-enable: the system never deadlocks,
+    /// and delivery stays reachable (the no-crash branch always exists).
+    #[test]
+    fn crash_restart_ports_always_reenable(
+        recv in arb_recv(),
+        base in arb_base(),
+        crash_send in (0usize..2).prop_map(|i| i == 1),
+    ) {
+        let send = if crash_send {
+            SendPortKind::CrashRestart
+        } else {
+            SendPortKind::AsynBlocking
+        };
+        let recv = recv.with_crash_restart();
+        let wire = wire_system(send, base, recv, &[(7, 0)], 1, None, false);
+        prop_assert!(
+            check_deadlock(&wire.system).outcome.is_holds(),
+            "crash ports deadlocked under {}Send/{}/{}",
+            send.name(), base.name(), recv.name()
+        );
+        prop_assert!(
+            reachable(&wire.system, expr::eq(expr::global(wire.got[0]), 7.into())),
+            "delivery unreachable under {}Send/{}/{}",
+            send.name(), base.name(), recv.name()
+        );
+    }
+}

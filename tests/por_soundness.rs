@@ -20,11 +20,17 @@ fn outcomes_match(a: &SafetyOutcome, b: &SafetyOutcome) -> bool {
                 SafetyOutcome::AssertionFailed { .. },
                 SafetyOutcome::AssertionFailed { .. }
             )
-            | (SafetyOutcome::Deadlock { .. }, SafetyOutcome::Deadlock { .. })
+            | (
+                SafetyOutcome::Deadlock { .. },
+                SafetyOutcome::Deadlock { .. }
+            )
     )
 }
 
-fn check_both(program: &pnp_kernel::Program, checks: &SafetyChecks) -> (SafetyOutcome, usize, usize) {
+fn check_both(
+    program: &pnp_kernel::Program,
+    checks: &SafetyChecks,
+) -> (SafetyOutcome, usize, usize) {
     let full = Checker::with_config(
         program,
         SearchConfig {
@@ -90,7 +96,10 @@ fn por_agrees_across_connector_compositions() {
         SendPortKind::SynBlocking,
         SendPortKind::AsynChecking,
     ] {
-        for channel in [ChannelKind::SingleSlot, ChannelKind::Dropping { capacity: 1 }] {
+        for channel in [
+            ChannelKind::SingleSlot,
+            ChannelKind::Dropping { capacity: 1 },
+        ] {
             for recv in [RecvPortKind::blocking(), RecvPortKind::nonblocking()] {
                 let wire = wire_system(send, channel, recv, &[(7, 0), (9, 0)], 2, None, false);
                 let program = wire.system.program();
@@ -190,7 +199,11 @@ fn por_agrees_on_ltl_without_fairness() {
                 ..SearchConfig::default()
             },
         )
-        .check_ltl_with(&formula, std::slice::from_ref(&delivered), pnp_kernel::Fairness::None)
+        .check_ltl_with(
+            &formula,
+            std::slice::from_ref(&delivered),
+            pnp_kernel::Fairness::None,
+        )
         .unwrap();
         assert!(
             !report.outcome.is_holds(),

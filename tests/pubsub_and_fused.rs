@@ -5,8 +5,8 @@ mod common;
 
 use common::{check_deadlock, consumer, reachable};
 use pnp_core::{
-    ChannelKind, ComponentBuilder, EventChannelSpec, FusedConnectorKind,
-    RecvPortKind, SendPortKind, Subscription, SystemBuilder,
+    ChannelKind, ComponentBuilder, EventChannelSpec, FusedConnectorKind, RecvPortKind,
+    SendPortKind, Subscription, SystemBuilder,
 };
 use pnp_kernel::{expr, Checker, Guard};
 
@@ -65,8 +65,14 @@ fn events_fan_out_to_matching_subscriptions() {
             expr::eq(expr::global(got_all), 10.into()),
         ),
     );
-    assert!(reachable(&system, expr::eq(expr::global(got_filtered), 20.into())));
-    assert!(reachable(&system, expr::eq(expr::global(got_all), 10.into())));
+    assert!(reachable(
+        &system,
+        expr::eq(expr::global(got_filtered), 20.into())
+    ));
+    assert!(reachable(
+        &system,
+        expr::eq(expr::global(got_all), 10.into())
+    ));
     assert!(check_deadlock(&system).outcome.is_holds());
 }
 
