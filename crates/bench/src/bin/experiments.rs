@@ -8,10 +8,12 @@
 
 use std::time::Instant;
 
-use pnp_bench::{bridges, composed_pipe, fault_pipes, fused_pipe, verify_bridge};
+use pnp_bench::{
+    bridges, composed_pipe, fault_pipes, fused_pipe, verify_bridge, verify_bridge_with_backend,
+};
 use pnp_bridge::{at_most_n_bridge, crossings_in, exactly_n_bridge, BridgeConfig};
 use pnp_core::{ChannelKind, FusedConnectorKind, RecvPortKind, SendPortKind, SystemBuilder};
-use pnp_kernel::{Checker, SafetyChecks, SafetyOutcome};
+use pnp_kernel::{Checker, SafetyChecks, SafetyOutcome, VisitedKind};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -23,6 +25,49 @@ fn main() {
     e14_scaling(full);
     por_ablation();
     fault_costs();
+    visited_backends();
+}
+
+fn visited_backends() {
+    println!("== Visited-set backends — memory vs coverage on the fixed bridge ==");
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>14} {:>10}",
+        "backend", "verdict", "states", "est. memory", "omission prob", "time"
+    );
+    let system = exactly_n_bridge(&BridgeConfig::fixed().with_cars(2, 1).with_laps(Some(1)))
+        .expect("fixed bridge builds");
+    for (label, kind) in [
+        ("exact", VisitedKind::Exact),
+        ("compact (64-bit)", VisitedKind::Compact),
+        ("bitstate (1 MiB)", VisitedKind::bitstate(1 << 20)),
+    ] {
+        let t0 = Instant::now();
+        let (outcome, stats) = verify_bridge_with_backend(&system, kind);
+        let (verdict, omission) = match &outcome {
+            SafetyOutcome::Holds => ("SAFE", "0".to_string()),
+            SafetyOutcome::HoldsApprox {
+                omission_probability,
+                ..
+            } => ("SAFE*", format!("{omission_probability:.2e}")),
+            o => (
+                "UNSAFE",
+                o.trace()
+                    .map(|t| format!("trace {}", t.len()))
+                    .unwrap_or_default(),
+            ),
+        };
+        println!(
+            "{:<22} {:>10} {:>10} {:>12} {:>14} {:>9.2?}",
+            label,
+            verdict,
+            stats.unique_states,
+            format!("{} KiB", stats.approx_memory_bytes / 1024),
+            omission,
+            t0.elapsed()
+        );
+    }
+    println!("(SAFE* = holds modulo hashing: lossy backend, estimated omission probability shown)");
+    println!();
 }
 
 fn fault_costs() {

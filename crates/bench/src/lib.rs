@@ -15,6 +15,7 @@ use pnp_core::{
 };
 use pnp_kernel::{
     expr, Checker, GlobalId, Guard, SafetyChecks, SafetyOutcome, SearchConfig, SearchStats,
+    VisitedKind,
 };
 
 /// Builds a producer/consumer pair around the given attachments: `messages`
@@ -100,6 +101,30 @@ pub fn verify_bridge(system: &System, por: bool) -> (SafetyOutcome, SearchStats)
             invariants: vec![safety_invariant(program)],
         })
         .expect("bridge evaluates");
+    (report.outcome, report.stats)
+}
+
+/// Verifies the bridge's safety invariant under an explicit visited-set
+/// backend, measuring the memory/coverage trade the backend makes. Returns
+/// the outcome plus the search stats (`approx_memory_bytes` is the
+/// backend-aware peak estimate).
+pub fn verify_bridge_with_backend(
+    system: &System,
+    visited: VisitedKind,
+) -> (SafetyOutcome, SearchStats) {
+    let program = system.program();
+    let report = Checker::with_config(
+        program,
+        SearchConfig {
+            visited,
+            ..SearchConfig::default()
+        },
+    )
+    .check_safety(&SafetyChecks {
+        deadlock: false,
+        invariants: vec![safety_invariant(program)],
+    })
+    .expect("bridge evaluates");
     (report.outcome, report.stats)
 }
 

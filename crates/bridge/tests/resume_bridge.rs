@@ -1,0 +1,209 @@
+//! Crash-tolerant verification on the bridge case study (ISSUE acceptance
+//! criteria):
+//!
+//! * an interrupted bridge verification, resumed from its flushed
+//!   snapshot, reports exactly the state counts and verdict of an
+//!   uninterrupted run;
+//! * the bitstate backend verifies the fixed bridge inside a caller-set
+//!   arena, reporting coverage plus the pinned Bloom omission estimate;
+//! * a seeded violation found under a lossy backend is validated by exact
+//!   replay — never a hash-collision artifact.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pnp_bridge::{exactly_n_bridge, safety_invariant, BridgeConfig};
+use pnp_kernel::{
+    bloom_omission_probability, Checker, FileSink, SafetyChecks, SafetyOutcome, SearchConfig,
+    Snapshot, SnapshotError, VisitedKind,
+};
+
+fn bridge_checks(program: &pnp_kernel::Program) -> SafetyChecks {
+    SafetyChecks {
+        deadlock: false,
+        invariants: vec![safety_invariant(program)],
+    }
+}
+
+/// Interrupt the fixed-bridge search at a states budget, snapshot to a
+/// file, resume from disk, and require the exact totals and verdict of the
+/// uninterrupted run — repeatedly, at several interruption points.
+#[test]
+fn interrupted_bridge_resume_matches_uninterrupted_run() {
+    let system = exactly_n_bridge(&BridgeConfig::fixed().with_laps(Some(1))).unwrap();
+    let program = system.program();
+    let checks = bridge_checks(program);
+
+    let full = Checker::new(program).check_safety(&checks).unwrap();
+    assert!(full.outcome.is_holds(), "{:?}", full.outcome);
+
+    for interrupt_at in [5, 37, 200] {
+        let dir = std::env::temp_dir().join(format!(
+            "pnp_resume_bridge_{}_{interrupt_at}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bridge.pnpsnap");
+
+        let interrupted = Checker::with_config(
+            program,
+            SearchConfig {
+                max_states: interrupt_at,
+                ..SearchConfig::default()
+            },
+        )
+        .checkpoint_to(FileSink::new(&path))
+        .checkpoint_tag("no crash")
+        .check_safety(&checks)
+        .unwrap();
+        assert!(
+            matches!(interrupted.outcome, SafetyOutcome::LimitReached { .. }),
+            "budget must trip: {:?}",
+            interrupted.outcome
+        );
+        assert_eq!(interrupted.stats.unique_states, interrupt_at);
+
+        let snapshot = pnp_kernel::load_snapshot(&path).unwrap();
+        assert_eq!(snapshot.tag(), "no crash");
+        assert_eq!(snapshot.states_covered(), interrupt_at);
+        let resumed = Checker::resume_from(program, snapshot)
+            .unwrap()
+            .with_search_config(SearchConfig::default())
+            .check_safety(&checks)
+            .unwrap();
+
+        assert_eq!(
+            format!("{:?}", resumed.outcome),
+            format!("{:?}", full.outcome)
+        );
+        assert_eq!(resumed.stats.unique_states, full.stats.unique_states);
+        assert_eq!(resumed.stats.steps, full.stats.steps);
+        assert_eq!(resumed.stats.max_depth, full.stats.max_depth);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A snapshot of one program must refuse to resume a different program.
+#[test]
+fn resume_refuses_a_mismatched_program() {
+    let fixed = exactly_n_bridge(&BridgeConfig::fixed().with_laps(Some(1))).unwrap();
+    let buggy = exactly_n_bridge(&BridgeConfig::buggy()).unwrap();
+
+    let sink = Rc::new(RefCell::new(Vec::new()));
+    Checker::with_config(
+        fixed.program(),
+        SearchConfig {
+            max_states: 10,
+            ..SearchConfig::default()
+        },
+    )
+    .checkpoint_to(Rc::clone(&sink))
+    .check_safety(&bridge_checks(fixed.program()))
+    .unwrap();
+
+    let snapshot = Snapshot::decode(&sink.borrow()).unwrap();
+    match Checker::resume_from(buggy.program(), snapshot) {
+        Err(SnapshotError::FingerprintMismatch { .. }) => {}
+        other => panic!("expected a fingerprint mismatch, got {other:?}"),
+    }
+}
+
+/// The bitstate backend verifies the fixed bridge within a caller-set
+/// arena and reports HoldsApprox with the standard Bloom omission
+/// estimate — pinned here against the formula on a known run.
+#[test]
+fn bitstate_verifies_fixed_bridge_with_pinned_omission_estimate() {
+    let system = exactly_n_bridge(&BridgeConfig::fixed().with_laps(Some(1))).unwrap();
+    let program = system.program();
+    let checks = bridge_checks(program);
+
+    let exact = Checker::new(program).check_safety(&checks).unwrap();
+    assert!(exact.outcome.is_holds());
+
+    let arena_bytes = 1 << 20; // 1 MiB: plenty for this run, still bounded
+    let kind = VisitedKind::Bitstate {
+        arena_bytes,
+        hashes: 3,
+    };
+    let report = Checker::with_config(
+        program,
+        SearchConfig {
+            visited: kind,
+            ..SearchConfig::default()
+        },
+    )
+    .check_safety(&checks)
+    .unwrap();
+
+    // The arena is far from saturated, so no omissions are expected: the
+    // approximate run covers exactly the exact run's state space.
+    match report.outcome {
+        SafetyOutcome::HoldsApprox {
+            hash_mode,
+            states_visited,
+            omission_probability,
+        } => {
+            assert_eq!(hash_mode, kind);
+            assert_eq!(states_visited, exact.stats.unique_states);
+            let arena_bits = (arena_bytes as u64).div_ceil(8) * 64;
+            assert_eq!(
+                omission_probability,
+                bloom_omission_probability(arena_bits, 3, states_visited)
+            );
+            assert!(omission_probability > 0.0 && omission_probability < 1e-3);
+        }
+        other => panic!("expected HoldsApprox, got {other:?}"),
+    }
+    assert!(!report.outcome.is_holds(), "approx is not an exact proof");
+    assert!(report.outcome.holds_modulo_hashing());
+    // Memory stays within the caller-set arena (plus bookkeeping, well
+    // under the exact search's per-state payload cost for large runs).
+    assert!(report.stats.approx_memory_bytes >= arena_bytes);
+}
+
+/// A genuine seeded violation (the paper's buggy design) is still found
+/// under the lossy backends, and its trace is exact-replay-validated: the
+/// counterexample equals the exact backend's, with zero replay rejections.
+#[test]
+fn lossy_backends_find_the_seeded_violation_with_validated_trace() {
+    let system = exactly_n_bridge(&BridgeConfig::buggy()).unwrap();
+    let program = system.program();
+    let checks = bridge_checks(program);
+
+    let exact = Checker::new(program).check_safety(&checks).unwrap();
+    let SafetyOutcome::InvariantViolated { name, trace } = &exact.outcome else {
+        panic!("buggy bridge must violate: {:?}", exact.outcome);
+    };
+
+    for kind in [
+        VisitedKind::Compact,
+        VisitedKind::Bitstate {
+            arena_bytes: 1 << 20,
+            hashes: 3,
+        },
+    ] {
+        let report = Checker::with_config(
+            program,
+            SearchConfig {
+                visited: kind,
+                ..SearchConfig::default()
+            },
+        )
+        .check_safety(&checks)
+        .unwrap();
+        let SafetyOutcome::InvariantViolated {
+            name: lossy_name,
+            trace: lossy_trace,
+        } = &report.outcome
+        else {
+            panic!("{kind} missed the seeded violation: {:?}", report.outcome);
+        };
+        assert_eq!(lossy_name, name);
+        assert_eq!(
+            lossy_trace.len(),
+            trace.len(),
+            "{kind}: same shortest trace"
+        );
+        assert_eq!(report.stats.replay_rejected, 0, "{kind}: trace is genuine");
+    }
+}

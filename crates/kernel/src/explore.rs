@@ -1,6 +1,7 @@
 //! Breadth-first safety checking: deadlocks, invariants, assertions.
 
-use std::collections::{HashMap, VecDeque};
+use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
@@ -10,10 +11,16 @@ use std::time::{Duration, Instant};
 
 use crate::expression::{EvalCtx, Expr};
 use crate::program::Program;
+use crate::snapshot::{
+    program_fingerprint, SnapStats, Snapshot, SnapshotError, SnapshotSink, VisitedPayload,
+};
 use crate::state::{
     apply_step, enabled_steps, is_valid_end_state, KernelError, State, StateView, Step,
 };
 use crate::trace::Trace;
+use crate::visited::{
+    AnyVisited, BitstateVisited, CompactVisited, ExactVisited, VisitedKind, VisitedSet,
+};
 
 /// A boolean predicate over system states, used for invariants and LTL
 /// propositions.
@@ -218,6 +225,13 @@ pub struct SearchConfig {
     /// counts state payloads plus interning overhead; it is deterministic
     /// and usually within a small factor of the true footprint.
     pub max_memory_bytes: Option<usize>,
+    /// Which visited-set backend to use (default [`VisitedKind::Exact`]).
+    /// The lossy backends ([`VisitedKind::Compact`],
+    /// [`VisitedKind::Bitstate`]) trade completeness for memory: a
+    /// completed search then reports [`SafetyOutcome::HoldsApprox`] with
+    /// the estimated omission probability instead of a definitive
+    /// [`SafetyOutcome::Holds`].
+    pub visited: VisitedKind,
 }
 
 impl Default for SearchConfig {
@@ -228,6 +242,7 @@ impl Default for SearchConfig {
             max_time: None,
             max_depth: None,
             max_memory_bytes: None,
+            visited: VisitedKind::Exact,
         }
     }
 }
@@ -253,6 +268,10 @@ pub struct SearchStats {
     /// Estimated peak memory footprint in bytes of the visited hash table
     /// plus frontier (state payloads and interning overhead).
     pub approx_memory_bytes: usize,
+    /// Violations found under a lossy visited-set backend that exact
+    /// replay could not confirm and were therefore *not* reported (zero in
+    /// practice; the counter exists so silent drops are visible).
+    pub replay_rejected: usize,
 }
 
 impl fmt::Display for SearchStats {
@@ -271,11 +290,28 @@ impl fmt::Display for SearchStats {
 }
 
 /// The result of a safety check.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SafetyOutcome {
     /// No violation found in the explored (complete, unless `LimitReached`)
     /// state space.
     Holds,
+    /// The search completed under a *lossy* visited-set backend: no
+    /// violation was found, but a hash collision could have hidden part of
+    /// the state space, so this is a strong probabilistic verdict rather
+    /// than a proof. (The converse direction is exact: violations reported
+    /// under lossy backends are always real — see
+    /// [`SearchStats::replay_rejected`].)
+    HoldsApprox {
+        /// The lossy backend that was used.
+        hash_mode: VisitedKind,
+        /// Unique states the search believes it visited.
+        states_visited: usize,
+        /// Estimated probability that any single new distinct state would
+        /// have been wrongly skipped at the end of the search (for
+        /// bitstate, the Bloom-filter estimate `(1 − e^(−kn/m))^k`; for
+        /// compact hashing, `n / 2^64`).
+        omission_probability: f64,
+    },
     /// A named invariant does not hold in some reachable state.
     InvariantViolated {
         /// The invariant's name.
@@ -325,15 +361,29 @@ pub enum SafetyOutcome {
 }
 
 impl SafetyOutcome {
-    /// `true` when no violation was found.
+    /// `true` when the full state space was searched and no violation was
+    /// found. An approximate verdict ([`SafetyOutcome::HoldsApprox`]) is
+    /// *not* `Holds`: use [`SafetyOutcome::holds_modulo_hashing`] to
+    /// accept both.
     pub fn is_holds(&self) -> bool {
         matches!(self, SafetyOutcome::Holds)
+    }
+
+    /// `true` when no violation was found in a completed search, whether
+    /// the visited set was exact or lossy.
+    pub fn holds_modulo_hashing(&self) -> bool {
+        matches!(
+            self,
+            SafetyOutcome::Holds | SafetyOutcome::HoldsApprox { .. }
+        )
     }
 
     /// The counterexample trace, if there is a violation.
     pub fn trace(&self) -> Option<&Trace> {
         match self {
-            SafetyOutcome::Holds | SafetyOutcome::LimitReached { .. } => None,
+            SafetyOutcome::Holds
+            | SafetyOutcome::HoldsApprox { .. }
+            | SafetyOutcome::LimitReached { .. } => None,
             SafetyOutcome::InvariantViolated { trace, .. }
             | SafetyOutcome::AssertionFailed { trace, .. }
             | SafetyOutcome::PredicateError { trace, .. }
@@ -366,6 +416,14 @@ impl fmt::Display for SafetyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let verdict = match &self.outcome {
             SafetyOutcome::Holds => "holds".to_string(),
+            SafetyOutcome::HoldsApprox {
+                hash_mode,
+                states_visited,
+                omission_probability,
+            } => format!(
+                "holds modulo hashing ({hash_mode}; {states_visited} states; \
+                 omission probability ≈ {omission_probability:.2e})"
+            ),
             SafetyOutcome::InvariantViolated { name, trace } => {
                 format!("invariant '{name}' violated ({}-step trace)", trace.len())
             }
@@ -444,25 +502,155 @@ fn approx_state_bytes(program: &Program) -> usize {
     payload + 96
 }
 
+/// Captures the visited-set backend's content for a snapshot. Exact sets
+/// serialize nothing — their content is reconstructed from the parent links
+/// on resume, which is smaller and self-validating.
+fn visited_payload(visited: &AnyVisited) -> VisitedPayload {
+    match visited {
+        AnyVisited::Exact(_) => VisitedPayload::Exact,
+        AnyVisited::Compact(set) => VisitedPayload::Compact(set.snapshot_hashes()),
+        AnyVisited::Bitstate(set) => {
+            let (arena, inserted) = set.snapshot_arena();
+            VisitedPayload::Bitstate {
+                arena: arena.to_vec(),
+                inserted: inserted as u64,
+            }
+        }
+    }
+}
+
+/// Encodes the current search state into a [`Snapshot`] and hands it to the
+/// sink. Sink failures surface as [`KernelError::Snapshot`].
+#[allow(clippy::too_many_arguments)]
+fn flush_checkpoint(
+    sink: &Rc<RefCell<dyn SnapshotSink>>,
+    fingerprint: u64,
+    tag: &str,
+    visited: &AnyVisited,
+    parents: &[Option<(usize, Step)>],
+    depths: &[usize],
+    frontier: &VecDeque<(usize, Rc<State>)>,
+    stats: &SearchStats,
+    elapsed: Duration,
+) -> Result<(), KernelError> {
+    let snapshot = Snapshot {
+        fingerprint,
+        tag: tag.to_string(),
+        kind: visited.kind(),
+        stats: SnapStats {
+            steps: stats.steps as u64,
+            max_depth: stats.max_depth as u64,
+            peak_frontier: stats.peak_frontier as u64,
+            approx_memory_bytes: stats.approx_memory_bytes as u64,
+            elapsed_nanos: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            replay_rejected: stats.replay_rejected as u64,
+        },
+        parents: parents.to_vec(),
+        depths: depths.to_vec(),
+        frontier: frontier
+            .iter()
+            .map(|(id, state)| (*id, (**state).clone()))
+            .collect(),
+        visited: visited_payload(visited),
+    };
+    sink.borrow_mut()
+        .store(&snapshot.encode())
+        .map_err(|error| KernelError::Snapshot {
+            message: error.to_string(),
+        })
+}
+
+/// Rebuilds the visited-set backend recorded in a snapshot. Exact sets are
+/// reconstructed by replaying every state's discovery chain (parent ids are
+/// strictly increasing, so a single forward pass suffices); lossy backends
+/// restore their serialized hash content directly.
+fn restore_visited(
+    program: &Program,
+    snapshot: &Snapshot,
+    per_state_bytes: usize,
+) -> Result<AnyVisited, KernelError> {
+    match &snapshot.visited {
+        VisitedPayload::Exact => {
+            let mut set = ExactVisited::new(per_state_bytes);
+            let mut states: Vec<Rc<State>> = Vec::with_capacity(snapshot.parents.len());
+            for (id, parent) in snapshot.parents.iter().enumerate() {
+                let state = match parent {
+                    None if id == 0 => Rc::new(State::initial(program)),
+                    None => {
+                        return Err(KernelError::Snapshot {
+                            message: format!("state {id} has no parent but is not the root"),
+                        })
+                    }
+                    Some((parent_id, step)) => {
+                        let applied = apply_step(program, &states[*parent_id], *step)?;
+                        Rc::new(applied.state)
+                    }
+                };
+                set.insert(&state);
+                states.push(state);
+            }
+            Ok(AnyVisited::Exact(set))
+        }
+        VisitedPayload::Compact(hashes) => Ok(AnyVisited::Compact(CompactVisited::from_hashes(
+            hashes.iter().copied(),
+        ))),
+        VisitedPayload::Bitstate { arena, inserted } => {
+            let VisitedKind::Bitstate {
+                arena_bytes,
+                hashes,
+            } = snapshot.kind
+            else {
+                return Err(KernelError::Snapshot {
+                    message: "bitstate payload under a non-bitstate visited kind".to_string(),
+                });
+            };
+            Ok(AnyVisited::Bitstate(BitstateVisited::from_arena(
+                arena_bytes,
+                hashes,
+                arena.clone(),
+                usize::try_from(*inserted).unwrap_or(usize::MAX),
+            )))
+        }
+    }
+}
+
 /// The explicit-state model checker.
 ///
 /// Create one per [`Program`]; the checking methods are read-only and can be
 /// called repeatedly (e.g. once per property).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Checker<'p> {
     pub(crate) program: &'p Program,
     pub(crate) config: SearchConfig,
     pub(crate) cancel: Option<CancelToken>,
+    /// Flush a checkpoint every this many newly interned states (0 = only
+    /// on a budget trip or cancellation).
+    checkpoint_every: usize,
+    /// Where checkpoints go, when checkpointing is enabled.
+    sink: Option<Rc<RefCell<dyn SnapshotSink>>>,
+    /// Caller label stored in snapshots (e.g. the property name).
+    tag: String,
+    /// Search state to resume from, set by [`Checker::resume_from`].
+    resume: Option<Snapshot>,
+}
+
+impl fmt::Debug for Checker<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Checker")
+            .field("config", &self.config)
+            .field("cancel", &self.cancel)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("has_sink", &self.sink.is_some())
+            .field("tag", &self.tag)
+            .field("resuming", &self.resume.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'p> Checker<'p> {
     /// Creates a checker with the default [`SearchConfig`].
     pub fn new(program: &'p Program) -> Checker<'p> {
-        Checker {
-            program,
-            config: SearchConfig::default(),
-            cancel: None,
-        }
+        Checker::with_config(program, SearchConfig::default())
     }
 
     /// Creates a checker with explicit limits.
@@ -471,14 +659,90 @@ impl<'p> Checker<'p> {
             program,
             config,
             cancel: None,
+            checkpoint_every: 0,
+            sink: None,
+            tag: String::new(),
+            resume: None,
         }
+    }
+
+    /// Creates a checker that resumes an interrupted safety search from a
+    /// [`Snapshot`].
+    ///
+    /// The snapshot's program fingerprint must match `program`; the
+    /// visited-set backend recorded in the snapshot is used regardless of
+    /// any later [`Checker::with_search_config`] (a search cannot change
+    /// backend midway). Budgets start at the default config — callers
+    /// typically raise them via [`Checker::with_search_config`], otherwise
+    /// the same budget that tripped the original run trips again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::FingerprintMismatch`] when the snapshot
+    /// was taken from a different program.
+    pub fn resume_from(
+        program: &'p Program,
+        snapshot: Snapshot,
+    ) -> Result<Checker<'p>, SnapshotError> {
+        let expected = program_fingerprint(program);
+        if snapshot.fingerprint != expected {
+            return Err(SnapshotError::FingerprintMismatch {
+                expected,
+                found: snapshot.fingerprint,
+            });
+        }
+        let mut checker = Checker::with_config(
+            program,
+            SearchConfig {
+                visited: snapshot.kind,
+                ..SearchConfig::default()
+            },
+        );
+        checker.tag = snapshot.tag.clone();
+        checker.resume = Some(snapshot);
+        Ok(checker)
+    }
+
+    /// Replaces the search configuration. On a resuming checker the
+    /// visited-set backend stays pinned to the snapshot's backend.
+    pub fn with_search_config(mut self, config: SearchConfig) -> Checker<'p> {
+        self.config = config;
+        if let Some(snapshot) = &self.resume {
+            self.config.visited = snapshot.kind;
+        }
+        self
     }
 
     /// Attaches a cooperative cancellation token; cancelling it makes any
     /// running search stop at its next checkpoint with
-    /// [`SafetyOutcome::LimitReached`].
+    /// [`SafetyOutcome::LimitReached`] (and flush a final snapshot when a
+    /// checkpoint sink is attached).
     pub fn with_cancellation(mut self, token: CancelToken) -> Checker<'p> {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a checkpoint sink. While a safety search runs, snapshots
+    /// are flushed to the sink periodically (see
+    /// [`Checker::checkpoint_every`]) and — always — when a budget trips
+    /// or the search is cancelled, so an interrupted run loses no work.
+    pub fn checkpoint_to(mut self, sink: impl SnapshotSink + 'static) -> Checker<'p> {
+        self.sink = Some(Rc::new(RefCell::new(sink)));
+        self
+    }
+
+    /// Flush a checkpoint every `n_states` newly interned states (in
+    /// addition to the final flush on a trip or cancellation). `0`
+    /// (the default) disables periodic flushes.
+    pub fn checkpoint_every(mut self, n_states: usize) -> Checker<'p> {
+        self.checkpoint_every = n_states;
+        self
+    }
+
+    /// Sets the label stored in snapshots, so a multi-property driver can
+    /// tell which property an interrupted checkpoint belongs to.
+    pub fn checkpoint_tag(mut self, tag: impl Into<String>) -> Checker<'p> {
+        self.tag = tag.into();
         self
     }
 
@@ -491,10 +755,22 @@ impl<'p> Checker<'p> {
     /// checks the requested safety properties. Counterexamples are
     /// shortest-path.
     ///
+    /// With a lossy visited-set backend ([`SearchConfig::visited`]), a
+    /// completed search reports [`SafetyOutcome::HoldsApprox`]; any
+    /// violation is re-validated by exact replay from the initial state
+    /// before being reported, so lossy backends can hide violations but
+    /// never fabricate them.
+    ///
+    /// With a checkpoint sink attached ([`Checker::checkpoint_to`]),
+    /// snapshots are flushed periodically and on every budget trip or
+    /// cancellation; [`Checker::resume_from`] continues such a search with
+    /// identical results to an uninterrupted run.
+    ///
     /// # Errors
     ///
     /// Returns [`KernelError`] when the model itself is broken (an
-    /// expression fails to evaluate).
+    /// expression fails to evaluate), when storing a checkpoint fails, or
+    /// when a resume snapshot's contents do not replay.
     pub fn check_safety(&self, checks: &SafetyChecks) -> Result<SafetyReport, KernelError> {
         let start = Instant::now();
         let program = self.program;
@@ -505,30 +781,14 @@ impl<'p> Checker<'p> {
             && checks.invariants.iter().all(|(_, p)| p.is_expr_only()))
         .then(|| crate::reduction::LocalLocations::analyze(program));
 
-        // Interned states; parallel vectors indexed by state id.
-        let mut index: HashMap<Rc<State>, usize> = HashMap::new();
-        let mut states: Vec<Rc<State>> = Vec::new();
-        let mut parents: Vec<Option<(usize, Step)>> = Vec::new();
-        let mut depths: Vec<usize> = Vec::new();
-
-        let mut stats = SearchStats::default();
-
-        let rebuild_trace = |states: &[Rc<State>],
-                             parents: &[Option<(usize, Step)>],
-                             mut id: usize|
-         -> Result<Trace, KernelError> {
-            let mut chain = Vec::new();
-            while let Some((parent, step)) = parents[id] {
-                chain.push((parent, step));
-                id = parent;
-            }
-            chain.reverse();
-            let mut events = Vec::new();
-            for (parent, step) in chain {
-                let applied = apply_step(program, &states[parent], step)?;
-                events.extend(applied.events);
-            }
-            Ok(Trace::new(events))
+        let per_state_bytes = approx_state_bytes(program);
+        let lossy = self.config.visited.is_lossy();
+        // Only needed when snapshots are written (resume verified it
+        // already); computing it walks the whole program, so gate it.
+        let fingerprint = if self.sink.is_some() {
+            program_fingerprint(program)
+        } else {
+            0
         };
 
         let check_invariants = |view: &StateView<'_>| -> Result<Option<InvariantHit>, KernelError> {
@@ -561,43 +821,124 @@ impl<'p> Checker<'p> {
             }
         };
 
-        let initial = Rc::new(State::initial(program));
-        if let Some(hit) = check_invariants(&StateView::new(program, &initial))? {
-            return Ok(SafetyReport {
-                outcome: hit_outcome(hit, Trace::default()),
-                stats: SearchStats {
-                    unique_states: 1,
-                    elapsed: start.elapsed(),
-                    ..stats
-                },
-                truncated: false,
-            });
-        }
-        index.insert(Rc::clone(&initial), 0);
-        states.push(initial);
-        parents.push(None);
-        depths.push(0);
+        // Rebuilds the counterexample trace for state `id` by replaying its
+        // discovery chain from the initial state. Under a lossy backend
+        // (`verify`), each step is additionally checked for enabledness and
+        // the replay must land exactly on `expect` — `Ok(None)` means the
+        // chain does not replay (a hash-collision artifact) and the finding
+        // must be dropped, so lossy backends never report a false alarm.
+        let rebuild_trace = |parents: &[Option<(usize, Step)>],
+                             id: usize,
+                             expect: &State,
+                             verify: bool|
+         -> Result<Option<Trace>, KernelError> {
+            let mut chain = Vec::new();
+            let mut cur = id;
+            while let Some((parent, step)) = parents[cur] {
+                chain.push(step);
+                cur = parent;
+            }
+            chain.reverse();
+            let mut state = State::initial(program);
+            let mut events = Vec::new();
+            for step in chain {
+                if verify && !enabled_steps(program, &state)?.contains(&step) {
+                    return Ok(None);
+                }
+                let applied = apply_step(program, &state, step)?;
+                events.extend(applied.events);
+                state = applied.state;
+            }
+            if verify && state != *expect {
+                return Ok(None);
+            }
+            Ok(Some(Trace::new(events)))
+        };
 
-        let per_state_bytes = approx_state_bytes(program);
-        let mut queue: VecDeque<usize> = VecDeque::from([0]);
-        stats.peak_frontier = 1;
+        // Search state: parent links and depths per interned state id, the
+        // frontier (discovered, unexpanded states with payloads), and the
+        // visited-set backend. Fresh, or restored from a snapshot.
+        let mut stats = SearchStats::default();
+        let mut base_elapsed = Duration::ZERO;
+        let mut visited: AnyVisited;
+        let mut parents: Vec<Option<(usize, Step)>>;
+        let mut depths: Vec<usize>;
+        let mut frontier: VecDeque<(usize, Rc<State>)>;
+
+        if let Some(snapshot) = &self.resume {
+            visited = restore_visited(program, snapshot, per_state_bytes)?;
+            parents = snapshot.parents.clone();
+            depths = snapshot.depths.clone();
+            frontier = snapshot
+                .frontier
+                .iter()
+                .map(|(id, state)| (*id, Rc::new(state.clone())))
+                .collect();
+            stats.steps = snapshot.stats.steps as usize;
+            stats.max_depth = snapshot.stats.max_depth as usize;
+            stats.peak_frontier = snapshot.stats.peak_frontier as usize;
+            stats.approx_memory_bytes = snapshot.stats.approx_memory_bytes as usize;
+            stats.replay_rejected = snapshot.stats.replay_rejected as usize;
+            base_elapsed = Duration::from_nanos(snapshot.stats.elapsed_nanos);
+        } else {
+            let initial = Rc::new(State::initial(program));
+            if let Some(hit) = check_invariants(&StateView::new(program, &initial))? {
+                return Ok(SafetyReport {
+                    outcome: hit_outcome(hit, Trace::default()),
+                    stats: SearchStats {
+                        unique_states: 1,
+                        elapsed: start.elapsed(),
+                        ..stats
+                    },
+                    truncated: false,
+                });
+            }
+            visited = AnyVisited::new(self.config.visited, per_state_bytes);
+            visited.insert(&initial);
+            parents = vec![None];
+            depths = vec![0];
+            frontier = VecDeque::from([(0, initial)]);
+            stats.peak_frontier = 1;
+        }
+
         let mut tripped: Option<BudgetKind> = None;
         let mut depth_trimmed = false;
+        let mut states_at_last_flush = parents.len();
 
-        'search: while let Some(id) = queue.pop_front() {
-            // Budget checkpoints run once per expanded state, so a trip is
-            // detected within one state-expansion of when it occurs.
+        'search: loop {
+            if frontier.is_empty() {
+                break 'search;
+            }
+            // Budget checkpoints run once per expanded state, *before* the
+            // state is popped, so a tripped search's frontier (and thus its
+            // snapshot) is complete and resumable without loss.
             if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
                 tripped = Some(BudgetKind::Cancelled);
                 break 'search;
             }
             if let Some(limit) = self.config.max_time {
-                if start.elapsed() >= limit {
+                if base_elapsed + start.elapsed() >= limit {
                     tripped = Some(BudgetKind::Time);
                     break 'search;
                 }
             }
-            let mem = states.len() * per_state_bytes + queue.len() * std::mem::size_of::<usize>();
+            let mem = match &visited {
+                AnyVisited::Exact(_) => {
+                    // Frontier states share their payload with the visited
+                    // set; only the queue entries themselves count.
+                    visited.approx_bytes() + frontier.len() * std::mem::size_of::<usize>()
+                }
+                _ => {
+                    // Lossy backends keep no payloads: the per-state cost is
+                    // the parent/depth bookkeeping plus the frontier's
+                    // exclusive payloads.
+                    let parent_entry =
+                        std::mem::size_of::<Option<(usize, Step)>>() + std::mem::size_of::<usize>();
+                    visited.approx_bytes()
+                        + parents.len() * parent_entry
+                        + frontier.len() * per_state_bytes
+                }
+            };
             stats.approx_memory_bytes = stats.approx_memory_bytes.max(mem);
             if let Some(limit) = self.config.max_memory_bytes {
                 if mem >= limit {
@@ -605,6 +946,27 @@ impl<'p> Checker<'p> {
                     break 'search;
                 }
             }
+            if self.checkpoint_every > 0
+                && parents.len() - states_at_last_flush >= self.checkpoint_every
+            {
+                if let Some(sink) = &self.sink {
+                    stats.unique_states = parents.len();
+                    flush_checkpoint(
+                        sink,
+                        fingerprint,
+                        &self.tag,
+                        &visited,
+                        &parents,
+                        &depths,
+                        &frontier,
+                        &stats,
+                        base_elapsed + start.elapsed(),
+                    )?;
+                    states_at_last_flush = parents.len();
+                }
+            }
+
+            let (id, state) = frontier.pop_front().expect("frontier checked non-empty");
             if let Some(limit) = self.config.max_depth {
                 if depths[id] >= limit {
                     // The state itself was already checked when it was
@@ -614,20 +976,23 @@ impl<'p> Checker<'p> {
                 }
             }
 
-            let state = Rc::clone(&states[id]);
             let mut steps = enabled_steps(program, &state)?;
             stats.max_depth = stats.max_depth.max(depths[id]);
 
             if steps.is_empty() {
                 if checks.deadlock && !is_valid_end_state(program, &state) {
-                    let trace = rebuild_trace(&states, &parents, id)?;
-                    stats.unique_states = states.len();
-                    stats.elapsed = start.elapsed();
-                    return Ok(SafetyReport {
-                        outcome: SafetyOutcome::Deadlock { trace },
-                        stats,
-                        truncated: false,
-                    });
+                    match rebuild_trace(&parents, id, &state, lossy)? {
+                        Some(trace) => {
+                            stats.unique_states = parents.len();
+                            stats.elapsed = base_elapsed + start.elapsed();
+                            return Ok(SafetyReport {
+                                outcome: SafetyOutcome::Deadlock { trace },
+                                stats,
+                                truncated: false,
+                            });
+                        }
+                        None => stats.replay_rejected += 1,
+                    }
                 }
                 continue;
             }
@@ -635,52 +1000,72 @@ impl<'p> Checker<'p> {
             if let Some(analysis) = &reduction {
                 steps = crate::reduction::ample_subset(analysis, &state, steps);
             }
+            let mut steps_this_expansion = 0;
             for step in steps {
                 stats.steps += 1;
+                steps_this_expansion += 1;
                 let applied = apply_step(program, &state, step)?;
 
                 // Assertions fire on the edge: report even when the target
                 // state was already visited.
                 if let Some(message) = applied.assertion_failure {
-                    let mut trace = rebuild_trace(&states, &parents, id)?;
-                    let mut events = trace.events().to_vec();
-                    events.extend(applied.events);
-                    trace = Trace::new(events);
-                    stats.unique_states = states.len();
-                    stats.elapsed = start.elapsed();
-                    return Ok(SafetyReport {
-                        outcome: SafetyOutcome::AssertionFailed { message, trace },
-                        stats,
-                        truncated: false,
-                    });
+                    match rebuild_trace(&parents, id, &state, lossy)? {
+                        Some(prefix) => {
+                            let mut events = prefix.events().to_vec();
+                            events.extend(applied.events);
+                            stats.unique_states = parents.len();
+                            stats.elapsed = base_elapsed + start.elapsed();
+                            return Ok(SafetyReport {
+                                outcome: SafetyOutcome::AssertionFailed {
+                                    message,
+                                    trace: Trace::new(events),
+                                },
+                                stats,
+                                truncated: false,
+                            });
+                        }
+                        None => {
+                            stats.replay_rejected += 1;
+                            continue;
+                        }
+                    }
                 }
 
                 let next = Rc::new(applied.state);
-                if index.contains_key(&next) {
+                if visited.contains(&next) {
                     continue;
                 }
-                if states.len() >= self.config.max_states {
+                if parents.len() >= self.config.max_states {
+                    // Roll this partial expansion back and requeue the
+                    // current state at the *front*, so the snapshot frontier
+                    // is exact and a resumed run re-expands it — counting
+                    // precisely the steps an uninterrupted run would.
+                    stats.steps -= steps_this_expansion;
+                    frontier.push_front((id, Rc::clone(&state)));
                     tripped = Some(BudgetKind::States);
                     break 'search;
                 }
-                let next_id = states.len();
-                index.insert(Rc::clone(&next), next_id);
-                states.push(Rc::clone(&next));
+                let next_id = parents.len();
+                visited.insert(&next);
                 parents.push(Some((id, step)));
                 depths.push(depths[id] + 1);
 
                 if let Some(hit) = check_invariants(&StateView::new(program, &next))? {
-                    let trace = rebuild_trace(&states, &parents, next_id)?;
-                    stats.unique_states = states.len();
-                    stats.elapsed = start.elapsed();
-                    return Ok(SafetyReport {
-                        outcome: hit_outcome(hit, trace),
-                        stats,
-                        truncated: false,
-                    });
+                    match rebuild_trace(&parents, next_id, &next, lossy)? {
+                        Some(trace) => {
+                            stats.unique_states = parents.len();
+                            stats.elapsed = base_elapsed + start.elapsed();
+                            return Ok(SafetyReport {
+                                outcome: hit_outcome(hit, trace),
+                                stats,
+                                truncated: false,
+                            });
+                        }
+                        None => stats.replay_rejected += 1,
+                    }
                 }
-                queue.push_back(next_id);
-                stats.peak_frontier = stats.peak_frontier.max(queue.len());
+                frontier.push_back((next_id, next));
+                stats.peak_frontier = stats.peak_frontier.max(frontier.len());
             }
         }
 
@@ -688,13 +1073,35 @@ impl<'p> Checker<'p> {
         if tripped.is_none() && depth_trimmed {
             tripped = Some(BudgetKind::Depth);
         }
-        stats.unique_states = states.len();
-        stats.elapsed = start.elapsed();
+        stats.unique_states = parents.len();
+        stats.elapsed = base_elapsed + start.elapsed();
         let outcome = match tripped {
-            Some(budget) => SafetyOutcome::LimitReached {
-                budget,
-                states_covered: states.len(),
-                frontier: queue.len(),
+            Some(budget) => {
+                // An interrupted search always flushes a final snapshot:
+                // budget trips and cancellation lose no work.
+                if let Some(sink) = &self.sink {
+                    flush_checkpoint(
+                        sink,
+                        fingerprint,
+                        &self.tag,
+                        &visited,
+                        &parents,
+                        &depths,
+                        &frontier,
+                        &stats,
+                        stats.elapsed,
+                    )?;
+                }
+                SafetyOutcome::LimitReached {
+                    budget,
+                    states_covered: parents.len(),
+                    frontier: frontier.len(),
+                }
+            }
+            None if lossy => SafetyOutcome::HoldsApprox {
+                hash_mode: visited.kind(),
+                states_visited: parents.len(),
+                omission_probability: visited.omission_probability(),
             },
             None => SafetyOutcome::Holds,
         };

@@ -76,9 +76,12 @@ mod expression;
 mod liveness;
 mod program;
 mod reduction;
+mod rng;
 mod sim;
+mod snapshot;
 mod state;
 mod trace;
+mod visited;
 
 pub use explore::{
     BudgetKind, CancelToken, Checker, Predicate, SafetyChecks, SafetyOutcome, SafetyReport,
@@ -91,6 +94,14 @@ pub use program::{
     NativeGuard, NativeOp, ProcId, ProcessBuilder, ProcessDef, Program, ProgramBuilder, RecvPolicy,
     Transition,
 };
+pub use rng::{mix64, SplitMix64};
 pub use sim::{SimObservation, SimReport, Simulator};
+pub use snapshot::{
+    load_snapshot, program_fingerprint, FileSink, Snapshot, SnapshotError, SnapshotSink,
+};
 pub use state::{KernelError, Msg, State, StateView, Step};
 pub use trace::{EventKind, Trace, TraceEvent};
+pub use visited::{
+    bloom_omission_probability, BitstateVisited, CompactVisited, ExactVisited, VisitedKind,
+    VisitedSet,
+};

@@ -8,6 +8,7 @@
 //! flow) are quantified with it.
 
 use crate::program::Program;
+use crate::rng::SplitMix64;
 use crate::state::{apply_step, enabled_steps, is_valid_end_state, KernelError, State, StateView};
 use crate::trace::TraceEvent;
 
@@ -33,42 +34,6 @@ pub struct SimReport {
     pub halted: bool,
     /// Whether the halt was a deadlock.
     pub deadlock: bool,
-}
-
-/// A small deterministic PRNG (SplitMix64) so simulation runs are
-/// reproducible without an external dependency. The output quality is far
-/// beyond what uniform scheduler picks need.
-#[derive(Debug, Clone)]
-pub(crate) struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    pub(crate) fn seed_from_u64(seed: u64) -> SplitMix64 {
-        SplitMix64 { state: seed }
-    }
-
-    pub(crate) fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    /// A uniform index in `0..bound` (`bound` must be nonzero). Uses
-    /// rejection sampling to avoid modulo bias.
-    pub(crate) fn gen_index(&mut self, bound: usize) -> usize {
-        debug_assert!(bound > 0);
-        let bound = bound as u64;
-        let zone = u64::MAX - (u64::MAX % bound);
-        loop {
-            let v = self.next_u64();
-            if v < zone {
-                return (v % bound) as usize;
-            }
-        }
-    }
 }
 
 /// A seeded random-walk executor over a [`Program`].

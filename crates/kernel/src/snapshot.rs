@@ -1,0 +1,778 @@
+//! Versioned, self-describing binary snapshots of an interrupted safety
+//! search, with their own little serializer (no external dependencies).
+//!
+//! A snapshot captures everything needed to resume a breadth-first safety
+//! search exactly where it stopped: the search tree's parent links and
+//! depths, the unexpanded frontier (with full state payloads), the visited
+//! set's backend payload, cumulative statistics, and a fingerprint of the
+//! compiled [`Program`] so a snapshot can never be resumed against a
+//! different model.
+//!
+//! ## Wire format (version 1, little-endian)
+//!
+//! ```text
+//! magic     8 B   "PNPSNAP1"
+//! version   u32
+//! fingerprint u64            -- program_fingerprint() of the model
+//! tag       str              -- caller label (e.g. the property name)
+//! backend   u8 (+ params)    -- 0 exact | 1 compact | 2 bitstate
+//! stats     6 × u64          -- steps, max_depth, peak_frontier,
+//!                               approx_memory, elapsed_ns, replay_rejected
+//! parents   u64 count, entries (flag u8, parent u64, step)
+//! depths    u64 count, u64 each
+//! frontier  u64 count, (id u64, state) each
+//! visited   backend payload  -- exact: none (rebuilt by replay);
+//!                               compact: hashes; bitstate: arena words
+//! checksum  u64              -- FNV-1a + mix64 over all preceding bytes
+//! ```
+//!
+//! The trailing checksum makes truncation and bit corruption detectable:
+//! decoding verifies it before parsing, so a damaged file yields a clean
+//! [`SnapshotError`], never a panic or a garbage resume. The exact
+//! backend's visited payload is deliberately *not* serialized — it is the
+//! heaviest structure and is fully determined by the parent links, so
+//! resume rebuilds it by replaying each state's discovery step.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::PathBuf;
+
+use crate::program::{ProcId, Program};
+use crate::rng::mix64;
+use crate::state::{Msg, ProcState, State, Step};
+use crate::visited::VisitedKind;
+
+const MAGIC: &[u8; 8] = b"PNPSNAP1";
+const VERSION: u32 = 1;
+
+/// A stable 64-bit fingerprint of a compiled [`Program`].
+///
+/// Computed over the program's canonical debug rendering, which covers
+/// every structural detail (channels, processes, transitions, guards,
+/// initial values); native functions contribute their names. Two programs
+/// with the same fingerprint are structurally identical for search
+/// purposes, so resuming a snapshot against a program with a different
+/// fingerprint is refused.
+pub fn program_fingerprint(program: &Program) -> u64 {
+    fnv64(format!("{program:?}").as_bytes())
+}
+
+/// FNV-1a over `bytes`, finished with the SplitMix64 mixer.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    mix64(h)
+}
+
+/// Why a snapshot could not be written, read, or resumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// An I/O failure while storing or loading.
+    Io(String),
+    /// The bytes do not start with the snapshot magic.
+    BadMagic,
+    /// The snapshot was written by an unknown format version.
+    UnsupportedVersion(u32),
+    /// The data ends before the encoded structures do.
+    Truncated,
+    /// The checksum does not match, or a structural invariant is broken.
+    Corrupted(String),
+    /// The snapshot belongs to a different program.
+    FingerprintMismatch {
+        /// Fingerprint of the program being resumed.
+        expected: u64,
+        /// Fingerprint stored in the snapshot.
+        found: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a PnP snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (this build reads {VERSION})"
+                )
+            }
+            SnapshotError::Truncated => write!(f, "snapshot is truncated"),
+            SnapshotError::Corrupted(what) => write!(f, "snapshot is corrupted: {what}"),
+            SnapshotError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "snapshot belongs to a different program \
+                 (program fingerprint {expected:#018x}, snapshot has {found:#018x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Cumulative statistics carried inside a snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SnapStats {
+    pub steps: u64,
+    pub max_depth: u64,
+    pub peak_frontier: u64,
+    pub approx_memory_bytes: u64,
+    pub elapsed_nanos: u64,
+    pub replay_rejected: u64,
+}
+
+/// The visited-set backend payload carried inside a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum VisitedPayload {
+    /// Exact sets are rebuilt by replaying the parent links.
+    Exact,
+    /// The compacted 64-bit hashes.
+    Compact(Vec<u64>),
+    /// The bitstate arena words plus the insert count.
+    Bitstate { arena: Vec<u64>, inserted: u64 },
+}
+
+/// A decoded checkpoint of an interrupted safety search.
+///
+/// Produced by [`crate::Checker::checkpoint_to`] flushes; load one with
+/// [`Snapshot::decode`] and hand it to [`crate::Checker::resume_from`].
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub(crate) fingerprint: u64,
+    pub(crate) tag: String,
+    pub(crate) kind: VisitedKind,
+    pub(crate) stats: SnapStats,
+    pub(crate) parents: Vec<Option<(usize, Step)>>,
+    pub(crate) depths: Vec<usize>,
+    pub(crate) frontier: Vec<(usize, State)>,
+    pub(crate) visited: VisitedPayload,
+}
+
+impl Snapshot {
+    /// The fingerprint of the program this snapshot belongs to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The caller-supplied label (e.g. the property name being checked).
+    pub fn tag(&self) -> &str {
+        &self.tag
+    }
+
+    /// The visited-set backend the interrupted search was using.
+    pub fn visited_kind(&self) -> VisitedKind {
+        self.kind
+    }
+
+    /// Unique states discovered before the interruption.
+    pub fn states_covered(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// States discovered but not yet expanded.
+    pub fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// Whether this snapshot was taken from a search over `program`.
+    pub fn matches_program(&self, program: &Program) -> bool {
+        self.fingerprint == program_fingerprint(program)
+    }
+
+    /// Serializes the snapshot to its versioned binary form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(MAGIC);
+        w.u32(VERSION);
+        w.u64(self.fingerprint);
+        w.str(&self.tag);
+        match self.kind {
+            VisitedKind::Exact => w.u8(0),
+            VisitedKind::Compact => w.u8(1),
+            VisitedKind::Bitstate {
+                arena_bytes,
+                hashes,
+            } => {
+                w.u8(2);
+                w.u64(arena_bytes as u64);
+                w.u32(hashes);
+            }
+        }
+        w.u64(self.stats.steps);
+        w.u64(self.stats.max_depth);
+        w.u64(self.stats.peak_frontier);
+        w.u64(self.stats.approx_memory_bytes);
+        w.u64(self.stats.elapsed_nanos);
+        w.u64(self.stats.replay_rejected);
+        w.u64(self.parents.len() as u64);
+        for parent in &self.parents {
+            match parent {
+                None => w.u8(0),
+                Some((id, step)) => {
+                    w.u8(1);
+                    w.u64(*id as u64);
+                    w.step(step);
+                }
+            }
+        }
+        w.u64(self.depths.len() as u64);
+        for &d in &self.depths {
+            w.u64(d as u64);
+        }
+        w.u64(self.frontier.len() as u64);
+        for (id, state) in &self.frontier {
+            w.u64(*id as u64);
+            w.state(state);
+        }
+        match &self.visited {
+            VisitedPayload::Exact => {}
+            VisitedPayload::Compact(hashes) => {
+                w.u64(hashes.len() as u64);
+                for &h in hashes {
+                    w.u64(h);
+                }
+            }
+            VisitedPayload::Bitstate { arena, inserted } => {
+                w.u64(arena.len() as u64);
+                for &word in arena {
+                    w.u64(word);
+                }
+                w.u64(*inserted);
+            }
+        }
+        let checksum = fnv64(&w.out);
+        w.u64(checksum);
+        w.out
+    }
+
+    /// Parses a snapshot from its binary form, verifying magic, version,
+    /// and checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] for anything that is not a well-formed
+    /// version-1 snapshot — wrong magic, unknown version, truncation, a
+    /// checksum mismatch, or internally inconsistent structures. Never
+    /// panics on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        if bytes.len() < MAGIC.len() + 4 + 8 {
+            return Err(
+                if bytes.starts_with(MAGIC) || MAGIC.starts_with(&bytes[..bytes.len().min(8)]) {
+                    SnapshotError::Truncated
+                } else {
+                    SnapshotError::BadMagic
+                },
+            );
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let body = &bytes[..bytes.len() - 8];
+        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        if fnv64(body) != stored {
+            return Err(SnapshotError::Corrupted("checksum mismatch".into()));
+        }
+        let mut r = Reader {
+            bytes: body,
+            pos: 8,
+        };
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let fingerprint = r.u64()?;
+        let tag = r.str()?;
+        let kind = match r.u8()? {
+            0 => VisitedKind::Exact,
+            1 => VisitedKind::Compact,
+            2 => {
+                let arena_bytes = r.usize()?;
+                let hashes = r.u32()?;
+                VisitedKind::Bitstate {
+                    arena_bytes,
+                    hashes,
+                }
+            }
+            other => {
+                return Err(SnapshotError::Corrupted(format!(
+                    "unknown visited-set backend tag {other}"
+                )))
+            }
+        };
+        let stats = SnapStats {
+            steps: r.u64()?,
+            max_depth: r.u64()?,
+            peak_frontier: r.u64()?,
+            approx_memory_bytes: r.u64()?,
+            elapsed_nanos: r.u64()?,
+            replay_rejected: r.u64()?,
+        };
+        let n_parents = r.usize()?;
+        let mut parents = Vec::new();
+        for i in 0..n_parents {
+            match r.u8()? {
+                0 => parents.push(None),
+                1 => {
+                    let id = r.usize()?;
+                    if id >= i {
+                        return Err(SnapshotError::Corrupted(format!(
+                            "state {i} claims later/self parent {id}"
+                        )));
+                    }
+                    let step = r.step()?;
+                    parents.push(Some((id, step)));
+                }
+                other => {
+                    return Err(SnapshotError::Corrupted(format!(
+                        "bad parent flag {other} at state {i}"
+                    )))
+                }
+            }
+        }
+        let n_depths = r.usize()?;
+        if n_depths != n_parents {
+            return Err(SnapshotError::Corrupted(format!(
+                "{n_parents} parents but {n_depths} depths"
+            )));
+        }
+        let mut depths = Vec::new();
+        for _ in 0..n_depths {
+            depths.push(r.usize()?);
+        }
+        let n_frontier = r.usize()?;
+        let mut frontier = Vec::new();
+        for _ in 0..n_frontier {
+            let id = r.usize()?;
+            if id >= n_parents {
+                return Err(SnapshotError::Corrupted(format!(
+                    "frontier references unknown state {id}"
+                )));
+            }
+            let state = r.state()?;
+            frontier.push((id, state));
+        }
+        let visited = match kind {
+            VisitedKind::Exact => VisitedPayload::Exact,
+            VisitedKind::Compact => {
+                let n = r.usize()?;
+                let mut hashes = Vec::new();
+                for _ in 0..n {
+                    hashes.push(r.u64()?);
+                }
+                VisitedPayload::Compact(hashes)
+            }
+            VisitedKind::Bitstate { .. } => {
+                let n = r.usize()?;
+                let mut arena = Vec::new();
+                for _ in 0..n {
+                    arena.push(r.u64()?);
+                }
+                let inserted = r.u64()?;
+                VisitedPayload::Bitstate { arena, inserted }
+            }
+        };
+        if r.pos != r.bytes.len() {
+            return Err(SnapshotError::Corrupted(format!(
+                "{} trailing bytes",
+                r.bytes.len() - r.pos
+            )));
+        }
+        Ok(Snapshot {
+            fingerprint,
+            tag,
+            kind,
+            stats,
+            parents,
+            depths,
+            frontier,
+            visited,
+        })
+    }
+}
+
+/// Where checkpoint bytes go. Implementations must replace, not append:
+/// each flush stores a complete snapshot superseding the previous one.
+pub trait SnapshotSink {
+    /// Atomically replaces the stored snapshot with `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] when storing fails.
+    fn store(&mut self, bytes: &[u8]) -> Result<(), SnapshotError>;
+}
+
+/// A [`SnapshotSink`] that writes to a file, atomically: bytes go to a
+/// `.tmp` sibling first, then rename over the target, so an interrupted
+/// flush can never leave a half-written snapshot at the target path.
+#[derive(Debug, Clone)]
+pub struct FileSink {
+    path: PathBuf,
+}
+
+impl FileSink {
+    /// A sink writing snapshots to `path`.
+    pub fn new(path: impl Into<PathBuf>) -> FileSink {
+        FileSink { path: path.into() }
+    }
+
+    /// The target path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl SnapshotSink for FileSink {
+    fn store(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut tmp = self.path.clone().into_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, bytes)
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, &self.path)
+            .map_err(|e| SnapshotError::Io(format!("{}: {e}", self.path.display())))
+    }
+}
+
+/// An in-memory sink: each flush replaces the buffer's contents. Keep a
+/// clone of the `Rc` to read the latest snapshot back (tests, embedding).
+impl SnapshotSink for std::rc::Rc<std::cell::RefCell<Vec<u8>>> {
+    fn store(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        *self.borrow_mut() = bytes.to_vec();
+        Ok(())
+    }
+}
+
+/// Loads and decodes a snapshot file.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Io`] when the file cannot be read, or any
+/// decoding error for malformed contents.
+pub fn load_snapshot(path: impl AsRef<std::path::Path>) -> Result<Snapshot, SnapshotError> {
+    let path = path.as_ref();
+    let bytes =
+        std::fs::read(path).map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))?;
+    Snapshot::decode(&bytes)
+}
+
+// ---------------------------------------------------------------------
+// The serializer
+// ---------------------------------------------------------------------
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer { out: Vec::new() }
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.out.extend_from_slice(b);
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i32(&mut self, v: i32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn step(&mut self, step: &Step) {
+        self.u64(step.proc.index() as u64);
+        self.u64(step.trans as u64);
+        match step.partner {
+            None => self.u8(0),
+            Some((proc, trans)) => {
+                self.u8(1);
+                self.u64(proc.index() as u64);
+                self.u64(trans as u64);
+            }
+        }
+    }
+
+    fn state(&mut self, state: &State) {
+        self.u64(state.procs.len() as u64);
+        for proc in state.procs.iter() {
+            self.u32(proc.loc);
+            self.u64(proc.locals.len() as u64);
+            for &v in proc.locals.iter() {
+                self.i32(v);
+            }
+        }
+        self.u64(state.chans.len() as u64);
+        for chan in state.chans.iter() {
+            self.u64(chan.len() as u64);
+            for msg in chan.iter() {
+                self.u64(msg.fields().len() as u64);
+                for &v in msg.fields() {
+                    self.i32(v);
+                }
+            }
+        }
+        self.u64(state.globals.len() as u64);
+        for &v in state.globals.iter() {
+            self.i32(v);
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, SnapshotError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn usize(&mut self) -> Result<usize, SnapshotError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| SnapshotError::Corrupted(format!("count {v} overflows")))
+    }
+
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.usize()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Corrupted("tag is not UTF-8".into()))
+    }
+
+    fn step(&mut self) -> Result<Step, SnapshotError> {
+        let proc = ProcId::from_index(self.usize()?);
+        let trans = self.usize()?;
+        let partner = match self.u8()? {
+            0 => None,
+            1 => Some((ProcId::from_index(self.usize()?), self.usize()?)),
+            other => {
+                return Err(SnapshotError::Corrupted(format!(
+                    "bad partner flag {other}"
+                )))
+            }
+        };
+        Ok(Step {
+            proc,
+            trans,
+            partner,
+        })
+    }
+
+    fn state(&mut self) -> Result<State, SnapshotError> {
+        let n_procs = self.usize()?;
+        let mut procs = Vec::new();
+        for _ in 0..n_procs {
+            let loc = self.u32()?;
+            let n_locals = self.usize()?;
+            let mut locals = Vec::new();
+            for _ in 0..n_locals {
+                locals.push(self.i32()?);
+            }
+            procs.push(ProcState {
+                loc,
+                locals: locals.into_boxed_slice(),
+            });
+        }
+        let n_chans = self.usize()?;
+        let mut chans = Vec::new();
+        for _ in 0..n_chans {
+            let n_msgs = self.usize()?;
+            let mut queue = VecDeque::new();
+            for _ in 0..n_msgs {
+                let n_fields = self.usize()?;
+                let mut fields = Vec::new();
+                for _ in 0..n_fields {
+                    fields.push(self.i32()?);
+                }
+                queue.push_back(Msg::new(fields));
+            }
+            chans.push(queue);
+        }
+        let n_globals = self.usize()?;
+        let mut globals = Vec::new();
+        for _ in 0..n_globals {
+            globals.push(self.i32()?);
+        }
+        Ok(State {
+            procs: procs.into_boxed_slice(),
+            chans: chans.into_boxed_slice(),
+            globals: globals.into_boxed_slice(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        let state = State {
+            procs: vec![ProcState {
+                loc: 3,
+                locals: vec![1, -2].into_boxed_slice(),
+            }]
+            .into_boxed_slice(),
+            chans: vec![VecDeque::from([Msg::new(vec![7, 8])])].into_boxed_slice(),
+            globals: vec![-9, 0, 42].into_boxed_slice(),
+        };
+        let step = Step {
+            proc: ProcId::from_index(0),
+            trans: 1,
+            partner: Some((ProcId::from_index(2), 0)),
+        };
+        Snapshot {
+            fingerprint: 0xdead_beef_1234_5678,
+            tag: "no_deadlock".into(),
+            kind: VisitedKind::Bitstate {
+                arena_bytes: 1024,
+                hashes: 3,
+            },
+            stats: SnapStats {
+                steps: 10,
+                max_depth: 4,
+                peak_frontier: 6,
+                approx_memory_bytes: 4096,
+                elapsed_nanos: 1_000_000,
+                replay_rejected: 1,
+            },
+            parents: vec![None, Some((0, step))],
+            depths: vec![0, 1],
+            frontier: vec![(1, state)],
+            visited: VisitedPayload::Bitstate {
+                arena: vec![0b1011, 0, u64::MAX],
+                inserted: 2,
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let snap = sample_snapshot();
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded.fingerprint, snap.fingerprint);
+        assert_eq!(decoded.tag, snap.tag);
+        assert_eq!(decoded.kind, snap.kind);
+        assert_eq!(decoded.stats, snap.stats);
+        assert_eq!(decoded.parents, snap.parents);
+        assert_eq!(decoded.depths, snap.depths);
+        assert_eq!(decoded.frontier.len(), 1);
+        assert_eq!(decoded.frontier[0].0, 1);
+        assert_eq!(decoded.frontier[0].1, snap.frontier[0].1);
+        assert_eq!(decoded.visited, snap.visited);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert_eq!(
+            Snapshot::decode(b"definitely not a snapshot, sorry").err(),
+            Some(SnapshotError::BadMagic)
+        );
+        assert!(Snapshot::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn every_truncation_is_a_clean_error() {
+        let bytes = sample_snapshot().encode();
+        for len in 0..bytes.len() {
+            let err = Snapshot::decode(&bytes[..len])
+                .expect_err(&format!("truncation to {len} bytes must fail"));
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated
+                        | SnapshotError::BadMagic
+                        | SnapshotError::Corrupted(_)
+                ),
+                "unexpected error at {len}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = sample_snapshot().encode();
+        // Flip one bit in each byte: the checksum (or magic) must catch it.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                Snapshot::decode(&bad).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_reported() {
+        let snap = sample_snapshot();
+        let mut bytes = snap.encode();
+        // Overwrite the version field (offset 8) and re-seal the checksum.
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let checksum = fnv64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        assert_eq!(
+            Snapshot::decode(&bytes).err(),
+            Some(SnapshotError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn file_sink_roundtrips_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("pnp_snap_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("search.pnpsnap");
+        let mut sink = FileSink::new(&path);
+        sink.store(b"old").unwrap();
+        let snap = sample_snapshot();
+        sink.store(&snap.encode()).unwrap();
+        let loaded = load_snapshot(&path).unwrap();
+        assert_eq!(loaded.tag, "no_deadlock");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load_snapshot("/nonexistent/dir/nope.pnpsnap").unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)), "{err:?}");
+    }
+}

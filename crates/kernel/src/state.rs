@@ -227,6 +227,11 @@ pub enum KernelError {
         /// The parser's message.
         message: String,
     },
+    /// A checkpoint snapshot could not be written or replayed.
+    Snapshot {
+        /// Description of the failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -244,6 +249,7 @@ impl fmt::Display for KernelError {
                 write!(f, "unknown proposition '{name}' in LTL formula")
             }
             KernelError::LtlParse { message } => write!(f, "LTL parse error: {message}"),
+            KernelError::Snapshot { message } => write!(f, "snapshot error: {message}"),
         }
     }
 }

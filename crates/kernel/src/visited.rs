@@ -1,0 +1,549 @@
+//! Visited-set backends for the safety search: exact, hash-compaction, and
+//! bitstate (multi-hash Bloom filter).
+//!
+//! The exact backend is today's behavior: every state is stored, membership
+//! is precise, and memory grows linearly with the payload size. The two
+//! lossy backends trade completeness for memory, exactly as SPIN's
+//! `-DCOLLAPSE`-free hash compaction and `-DBITSTATE` modes do:
+//!
+//! * **Compact** stores one 64-bit hash per state (~16 bytes each
+//!   regardless of payload size). Two distinct states colliding on the full
+//!   64-bit hash causes one of them to be treated as already visited — an
+//!   *omission*, never a false alarm.
+//! * **Bitstate** stores `k` bits per state in a fixed-size bit arena, so
+//!   memory is *constant* no matter how many states the search reaches.
+//!   Collision probability rises smoothly as the arena fills.
+//!
+//! Lossy backends can only ever *omit* states (a hash collision makes a new
+//! state look visited). Omission can hide a violation, so a completed lossy
+//! search weakens `Holds` to `HoldsApprox` with the estimated per-state
+//! omission probability; and because the search's bookkeeping (parent
+//! links) is hash-indexed too, any violation found under a lossy backend is
+//! re-validated by exact replay before being reported.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::rng::{mix64, SplitMix64};
+use crate::state::State;
+
+/// Seed for the deterministic hash family used by the lossy backends.
+/// Derived hashes must be stable across runs so that a resumed search
+/// agrees with the snapshot it came from.
+const HASH_FAMILY_SEED: u64 = 0xb175_7a7e_5eed_0001;
+
+/// Which visited-set backend the safety search uses.
+///
+/// Selected via [`crate::SearchConfig::visited`]; the default is
+/// [`VisitedKind::Exact`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum VisitedKind {
+    /// Store every state; precise membership (today's behavior).
+    #[default]
+    Exact,
+    /// Store a 64-bit hash per state (SPIN-style hash compaction).
+    Compact,
+    /// Store `hashes` bits per state in a fixed arena of `arena_bytes`
+    /// bytes (SPIN-style bitstate hashing / Bloom filter).
+    Bitstate {
+        /// Size of the bit arena in bytes. Rounded up to a whole number of
+        /// 64-bit words; must be nonzero.
+        arena_bytes: usize,
+        /// Number of hash functions (bits set per state), at least 1.
+        hashes: u32,
+    },
+}
+
+impl VisitedKind {
+    /// Default bitstate arena: 64 MiB (≈ 5.4 × 10⁸ bits).
+    pub const DEFAULT_BITSTATE_ARENA: usize = 64 << 20;
+    /// Default number of bitstate hash functions.
+    pub const DEFAULT_BITSTATE_HASHES: u32 = 3;
+
+    /// A bitstate backend with the given arena size and the default number
+    /// of hash functions.
+    pub fn bitstate(arena_bytes: usize) -> VisitedKind {
+        VisitedKind::Bitstate {
+            arena_bytes,
+            hashes: VisitedKind::DEFAULT_BITSTATE_HASHES,
+        }
+    }
+
+    /// Whether this backend can omit states (and therefore weakens a
+    /// completed search's verdict to approximate).
+    pub fn is_lossy(&self) -> bool {
+        !matches!(self, VisitedKind::Exact)
+    }
+}
+
+impl fmt::Display for VisitedKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VisitedKind::Exact => write!(f, "exact"),
+            VisitedKind::Compact => write!(f, "hash-compact (64-bit)"),
+            VisitedKind::Bitstate {
+                arena_bytes,
+                hashes,
+            } => write!(
+                f,
+                "bitstate ({} KiB arena, {hashes} hashes)",
+                arena_bytes / 1024
+            ),
+        }
+    }
+}
+
+/// A 64-bit content hash of a state under the given seed.
+///
+/// FNV-1a over every scalar in the state (with container lengths mixed in
+/// so variable-length channel queues cannot alias), finished with the
+/// SplitMix64 output mixer. Different seeds give effectively independent
+/// hash functions, which is what the bitstate family needs.
+pub(crate) fn state_hash(state: &State, seed: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = FNV_OFFSET ^ mix64(seed);
+    let mut absorb = |v: u64| h = (h ^ v).wrapping_mul(FNV_PRIME);
+    for proc in state.procs.iter() {
+        absorb(u64::from(proc.loc));
+        for &local in proc.locals.iter() {
+            absorb(local as u32 as u64);
+        }
+    }
+    for chan in state.chans.iter() {
+        absorb(chan.len() as u64);
+        for msg in chan.iter() {
+            for &field in msg.fields() {
+                absorb(field as u32 as u64);
+            }
+        }
+    }
+    for &global in state.globals.iter() {
+        absorb(global as u32 as u64);
+    }
+    mix64(h)
+}
+
+/// A set of visited states, with backend-specific precision and cost.
+///
+/// Implemented by [`ExactVisited`], [`CompactVisited`], and
+/// [`BitstateVisited`]; the safety search is generic over this trait.
+pub trait VisitedSet {
+    /// Whether `state` is (believed to be) already visited. Lossy backends
+    /// may return `true` for a state never inserted (a collision), never
+    /// `false` for one that was.
+    fn contains(&self, state: &State) -> bool;
+
+    /// Records `state` as visited.
+    fn insert(&mut self, state: &Rc<State>);
+
+    /// Number of states inserted.
+    fn len(&self) -> usize;
+
+    /// Whether no state has been inserted yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate memory held by the backend, in bytes.
+    fn approx_bytes(&self) -> usize;
+
+    /// The backend's kind (and parameters).
+    fn kind(&self) -> VisitedKind;
+
+    /// Estimated probability that a *new* distinct state would collide with
+    /// the current contents and be wrongly treated as visited. Zero for the
+    /// exact backend.
+    fn omission_probability(&self) -> f64;
+}
+
+/// The precise backend: every state payload is stored.
+pub struct ExactVisited {
+    set: HashSet<Rc<State>>,
+    per_state_bytes: usize,
+}
+
+impl ExactVisited {
+    /// An empty exact set; `per_state_bytes` is the caller's estimate of
+    /// the full cost of one stored state (payload plus container overhead).
+    pub fn new(per_state_bytes: usize) -> ExactVisited {
+        ExactVisited {
+            set: HashSet::new(),
+            per_state_bytes,
+        }
+    }
+}
+
+impl VisitedSet for ExactVisited {
+    fn contains(&self, state: &State) -> bool {
+        self.set.contains(state)
+    }
+
+    fn insert(&mut self, state: &Rc<State>) {
+        self.set.insert(Rc::clone(state));
+    }
+
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.set.len() * self.per_state_bytes
+    }
+
+    fn kind(&self) -> VisitedKind {
+        VisitedKind::Exact
+    }
+
+    fn omission_probability(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Hash compaction: one 64-bit hash per state.
+pub struct CompactVisited {
+    hashes: HashSet<u64>,
+    seed: u64,
+}
+
+impl CompactVisited {
+    /// An empty compacted set.
+    pub fn new() -> CompactVisited {
+        let mut family = SplitMix64::seed_from_u64(HASH_FAMILY_SEED);
+        CompactVisited {
+            hashes: HashSet::new(),
+            seed: family.next_u64(),
+        }
+    }
+
+    /// Rebuilds the set from a snapshot payload.
+    pub(crate) fn from_hashes(hashes: impl IntoIterator<Item = u64>) -> CompactVisited {
+        let mut set = CompactVisited::new();
+        set.hashes.extend(hashes);
+        set
+    }
+
+    /// The stored hashes, for snapshotting (sorted for determinism).
+    pub(crate) fn snapshot_hashes(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.hashes.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl Default for CompactVisited {
+    fn default() -> Self {
+        CompactVisited::new()
+    }
+}
+
+impl VisitedSet for CompactVisited {
+    fn contains(&self, state: &State) -> bool {
+        self.hashes.contains(&state_hash(state, self.seed))
+    }
+
+    fn insert(&mut self, state: &Rc<State>) {
+        self.hashes.insert(state_hash(state, self.seed));
+    }
+
+    fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // 8 bytes of hash plus ~8 bytes of HashSet overhead per entry.
+        self.hashes.len() * 16
+    }
+
+    fn kind(&self) -> VisitedKind {
+        VisitedKind::Compact
+    }
+
+    fn omission_probability(&self) -> f64 {
+        // A new state collides if its 64-bit hash equals any of the n
+        // stored ones: p ≈ n / 2^64.
+        self.hashes.len() as f64 / 2f64.powi(64)
+    }
+}
+
+/// Bitstate hashing: `k` bits per state in a fixed arena (Bloom filter).
+pub struct BitstateVisited {
+    arena: Vec<u64>,
+    bits: u64,
+    hashes: u32,
+    inserted: usize,
+    arena_bytes: usize,
+    seed1: u64,
+    seed2: u64,
+}
+
+impl BitstateVisited {
+    /// An empty arena of (at least) `arena_bytes` bytes using `hashes` hash
+    /// functions per state. The hash family is seeded from the workspace's
+    /// [`SplitMix64`] so it is stable across checkpoint/resume.
+    pub fn new(arena_bytes: usize, hashes: u32) -> BitstateVisited {
+        let arena_bytes = arena_bytes.max(8);
+        let hashes = hashes.max(1);
+        let words = arena_bytes.div_ceil(8);
+        let mut family = SplitMix64::seed_from_u64(HASH_FAMILY_SEED);
+        // Burn the compact backend's seed so the two backends use
+        // independent hash functions.
+        let _compact_seed = family.next_u64();
+        BitstateVisited {
+            arena: vec![0u64; words],
+            bits: (words as u64) * 64,
+            hashes,
+            inserted: 0,
+            arena_bytes,
+            seed1: family.next_u64(),
+            seed2: family.next_u64(),
+        }
+    }
+
+    /// Rebuilds the arena from a snapshot payload.
+    pub(crate) fn from_arena(
+        arena_bytes: usize,
+        hashes: u32,
+        arena: Vec<u64>,
+        inserted: usize,
+    ) -> BitstateVisited {
+        let mut set = BitstateVisited::new(arena_bytes, hashes);
+        debug_assert_eq!(set.arena.len(), arena.len());
+        set.arena = arena;
+        set.inserted = inserted;
+        set
+    }
+
+    /// The arena words and insert count, for snapshotting.
+    pub(crate) fn snapshot_arena(&self) -> (&[u64], usize) {
+        (&self.arena, self.inserted)
+    }
+
+    /// The `k` bit indices for a state (double hashing: `h1 + i·h2`).
+    fn bit_indices(&self, state: &State) -> impl Iterator<Item = u64> + use<> {
+        let h1 = state_hash(state, self.seed1);
+        let h2 = state_hash(state, self.seed2) | 1; // odd: full period
+        let bits = self.bits;
+        (0..self.hashes as u64).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % bits)
+    }
+}
+
+impl VisitedSet for BitstateVisited {
+    fn contains(&self, state: &State) -> bool {
+        self.bit_indices(state)
+            .all(|bit| self.arena[(bit / 64) as usize] & (1 << (bit % 64)) != 0)
+    }
+
+    fn insert(&mut self, state: &Rc<State>) {
+        let mut fresh = false;
+        for bit in self.bit_indices(state).collect::<Vec<_>>() {
+            let word = &mut self.arena[(bit / 64) as usize];
+            let mask = 1u64 << (bit % 64);
+            fresh |= *word & mask == 0;
+            *word |= mask;
+        }
+        if fresh {
+            self.inserted += 1;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inserted
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.arena.len() * 8
+    }
+
+    fn kind(&self) -> VisitedKind {
+        VisitedKind::Bitstate {
+            arena_bytes: self.arena_bytes,
+            hashes: self.hashes,
+        }
+    }
+
+    fn omission_probability(&self) -> f64 {
+        bloom_omission_probability(self.bits, self.hashes, self.inserted)
+    }
+}
+
+/// The standard Bloom-filter false-positive estimate for `m` bits, `k`
+/// hash functions, and `n` inserted elements: `(1 − e^(−k·n/m))^k`.
+///
+/// This is the probability that a new distinct state maps onto `k` bits
+/// that are all already set — i.e. the chance it is wrongly skipped.
+pub fn bloom_omission_probability(m_bits: u64, k_hashes: u32, n_inserted: usize) -> f64 {
+    if n_inserted == 0 {
+        return 0.0;
+    }
+    let m = m_bits as f64;
+    let k = f64::from(k_hashes);
+    let n = n_inserted as f64;
+    (1.0 - (-k * n / m).exp()).powf(k)
+}
+
+/// The concrete backend held by the explorer (avoids `dyn` so snapshots can
+/// extract backend payloads without downcasting).
+pub(crate) enum AnyVisited {
+    Exact(ExactVisited),
+    Compact(CompactVisited),
+    Bitstate(BitstateVisited),
+}
+
+impl AnyVisited {
+    pub(crate) fn new(kind: VisitedKind, per_state_bytes: usize) -> AnyVisited {
+        match kind {
+            VisitedKind::Exact => AnyVisited::Exact(ExactVisited::new(per_state_bytes)),
+            VisitedKind::Compact => AnyVisited::Compact(CompactVisited::new()),
+            VisitedKind::Bitstate {
+                arena_bytes,
+                hashes,
+            } => AnyVisited::Bitstate(BitstateVisited::new(arena_bytes, hashes)),
+        }
+    }
+
+    fn inner(&self) -> &dyn VisitedSet {
+        match self {
+            AnyVisited::Exact(s) => s,
+            AnyVisited::Compact(s) => s,
+            AnyVisited::Bitstate(s) => s,
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut dyn VisitedSet {
+        match self {
+            AnyVisited::Exact(s) => s,
+            AnyVisited::Compact(s) => s,
+            AnyVisited::Bitstate(s) => s,
+        }
+    }
+}
+
+impl VisitedSet for AnyVisited {
+    fn contains(&self, state: &State) -> bool {
+        self.inner().contains(state)
+    }
+
+    fn insert(&mut self, state: &Rc<State>) {
+        self.inner_mut().insert(state);
+    }
+
+    fn len(&self) -> usize {
+        self.inner().len()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.inner().approx_bytes()
+    }
+
+    fn kind(&self) -> VisitedKind {
+        self.inner().kind()
+    }
+
+    fn omission_probability(&self) -> f64 {
+        self.inner().omission_probability()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Action, Guard, ProcessBuilder, ProgramBuilder};
+    use crate::state::State;
+
+    fn two_states() -> (State, State) {
+        let mut prog = ProgramBuilder::new();
+        let g = prog.global("g", 0);
+        let mut p = ProcessBuilder::new("p");
+        let s0 = p.location("s0");
+        p.transition(
+            s0,
+            s0,
+            Guard::always(),
+            Action::assign(g, crate::expression::expr::global(g) + 1.into()),
+            "bump",
+        );
+        prog.add_process(p).unwrap();
+        let program = prog.build().unwrap();
+        let a = State::initial(&program);
+        let step = crate::state::enabled_steps(&program, &a).unwrap()[0];
+        let b = crate::state::apply_step(&program, &a, step).unwrap().state;
+        (a, b)
+    }
+
+    #[test]
+    fn state_hash_distinguishes_states_and_seeds() {
+        let (a, b) = two_states();
+        assert_ne!(state_hash(&a, 1), state_hash(&b, 1));
+        assert_ne!(state_hash(&a, 1), state_hash(&a, 2));
+        assert_eq!(state_hash(&a, 7), state_hash(&a, 7));
+    }
+
+    #[test]
+    fn every_backend_remembers_inserted_states() {
+        let (a, b) = two_states();
+        let (a, b) = (Rc::new(a), Rc::new(b));
+        let backends: Vec<Box<dyn VisitedSet>> = vec![
+            Box::new(ExactVisited::new(128)),
+            Box::new(CompactVisited::new()),
+            Box::new(BitstateVisited::new(1024, 3)),
+        ];
+        for mut set in backends {
+            assert!(!set.contains(&a), "{} starts empty", set.kind());
+            set.insert(&a);
+            assert!(set.contains(&a), "{} remembers inserts", set.kind());
+            assert!(!set.contains(&b), "{} distinguishes states", set.kind());
+            set.insert(&b);
+            assert_eq!(set.len(), 2, "{} counts inserts", set.kind());
+            assert!(set.approx_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn exact_backend_reports_zero_omission() {
+        let (a, _) = two_states();
+        let mut set = ExactVisited::new(128);
+        set.insert(&Rc::new(a));
+        assert_eq!(set.omission_probability(), 0.0);
+        assert!(!set.kind().is_lossy());
+    }
+
+    #[test]
+    fn lossy_omission_probabilities_are_small_but_positive() {
+        let (a, b) = two_states();
+        let mut compact = CompactVisited::new();
+        compact.insert(&Rc::new(a.clone()));
+        let p = compact.omission_probability();
+        assert!(p > 0.0 && p < 1e-15, "compact omission {p}");
+
+        let mut bitstate = BitstateVisited::new(1024, 3);
+        bitstate.insert(&Rc::new(a));
+        bitstate.insert(&Rc::new(b));
+        let p = bitstate.omission_probability();
+        assert!(p > 0.0 && p < 1e-3, "bitstate omission {p}");
+        assert_eq!(p, bloom_omission_probability(1024 * 8, 3, 2));
+    }
+
+    #[test]
+    fn bitstate_arena_is_constant_size() {
+        let (a, b) = two_states();
+        let mut set = BitstateVisited::new(4096, 2);
+        let before = set.approx_bytes();
+        set.insert(&Rc::new(a));
+        set.insert(&Rc::new(b));
+        assert_eq!(set.approx_bytes(), before);
+        assert!(before >= 4096);
+    }
+
+    #[test]
+    fn bloom_formula_matches_known_values() {
+        assert_eq!(bloom_omission_probability(1000, 3, 0), 0.0);
+        // m = 1000 bits, k = 1, n = 100: 1 − e^(−0.1) ≈ 0.09516.
+        let p = bloom_omission_probability(1000, 1, 100);
+        assert!((p - 0.095_162_58).abs() < 1e-6, "{p}");
+        // Saturated arena: probability approaches 1.
+        let p = bloom_omission_probability(64, 3, 1000);
+        assert!(p > 0.99, "{p}");
+    }
+}

@@ -9,11 +9,14 @@
 //!   reachable according to the exhaustive search;
 //! * the expression evaluator agrees with a wide-integer oracle.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use proptest::prelude::*;
 
 use pnp_kernel::{
     expr, Action, Checker, Expr, Guard, Predicate, ProcessBuilder, Program, ProgramBuilder,
-    SafetyChecks, SafetyOutcome, SearchConfig, Simulator,
+    SafetyChecks, SafetyOutcome, SearchConfig, Simulator, Snapshot, VisitedKind,
 };
 
 // ---------------------------------------------------------------------
@@ -130,6 +133,7 @@ fn build_program(procs: &[Vec<Move>]) -> Program {
 fn verdict_kind(outcome: &SafetyOutcome) -> &'static str {
     match outcome {
         SafetyOutcome::Holds => "holds",
+        SafetyOutcome::HoldsApprox { .. } => "holds",
         SafetyOutcome::InvariantViolated { .. } => "invariant",
         SafetyOutcome::AssertionFailed { .. } => "assertion",
         SafetyOutcome::Deadlock { .. } => "deadlock",
@@ -319,5 +323,139 @@ proptest! {
         let mut sim = Simulator::new(&program, 0);
         sim.run(2).unwrap();
         prop_assert_eq!(sim.view().global(out) as i64, expected);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crash tolerance: checkpoint/resume and lossy visited-set backends
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Interrupting a search at an arbitrary states budget, snapshotting,
+    /// and resuming explores exactly the state/transition counts — and
+    /// reaches exactly the verdict — of an uninterrupted run.
+    #[test]
+    fn interrupted_resume_is_equivalent_to_one_run(
+        procs in proptest::collection::vec(
+            proptest::collection::vec(arb_move(), 1..5),
+            2..4,
+        ),
+        interrupt_at in 2usize..40,
+    ) {
+        let program = build_program(&procs);
+        let checks = SafetyChecks::deadlock_only();
+        let full = Checker::new(&program).check_safety(&checks).unwrap();
+
+        let sink = Rc::new(RefCell::new(Vec::new()));
+        let mut report = Checker::with_config(
+            &program,
+            SearchConfig { max_states: interrupt_at, ..SearchConfig::default() },
+        )
+        .checkpoint_to(Rc::clone(&sink))
+        .check_safety(&checks)
+        .unwrap();
+
+        // Resume (possibly repeatedly: each round widens the budget by the
+        // same increment, exercising multi-generation snapshots).
+        let mut budget = interrupt_at;
+        while matches!(report.outcome, SafetyOutcome::LimitReached { .. }) {
+            budget += interrupt_at;
+            let snapshot = Snapshot::decode(&sink.borrow()).unwrap();
+            report = Checker::resume_from(&program, snapshot)
+                .unwrap()
+                .with_search_config(SearchConfig { max_states: budget, ..SearchConfig::default() })
+                .checkpoint_to(Rc::clone(&sink))
+                .check_safety(&checks)
+                .unwrap();
+        }
+
+        prop_assert_eq!(
+            format!("{:?}", &report.outcome),
+            format!("{:?}", &full.outcome),
+            "procs: {:?}", procs
+        );
+        prop_assert_eq!(report.stats.unique_states, full.stats.unique_states);
+        prop_assert_eq!(report.stats.steps, full.stats.steps);
+        prop_assert_eq!(report.stats.max_depth, full.stats.max_depth);
+    }
+
+    /// A truncated or bit-flipped snapshot fails to decode with a clean
+    /// `SnapshotError` — never a panic, never a bogus resume.
+    #[test]
+    fn corrupted_snapshots_are_rejected_cleanly(
+        procs in proptest::collection::vec(
+            proptest::collection::vec(arb_move(), 1..4),
+            2..3,
+        ),
+        cut in 0usize..10_000,
+        flip in 0usize..10_000,
+    ) {
+        let program = build_program(&procs);
+        let sink = Rc::new(RefCell::new(Vec::new()));
+        Checker::with_config(
+            &program,
+            SearchConfig { max_states: 4, ..SearchConfig::default() },
+        )
+        .checkpoint_to(Rc::clone(&sink))
+        .check_safety(&SafetyChecks::deadlock_only())
+        .unwrap();
+        let bytes = sink.borrow().clone();
+        if bytes.is_empty() {
+            return Ok(()); // search finished under budget: nothing flushed
+        }
+
+        let truncated = &bytes[..cut % bytes.len()];
+        prop_assert!(Snapshot::decode(truncated).is_err());
+
+        let mut flipped = bytes.clone();
+        let i = flip % flipped.len();
+        flipped[i] ^= 1 << (flip % 8);
+        prop_assert!(Snapshot::decode(&flipped).is_err(), "flip at byte {}", i);
+    }
+
+    /// Lossy backends never fabricate a violation: whenever hash
+    /// compaction or bitstate hashing reports a counterexample, the exact
+    /// search confirms the program really is unsafe. (Collisions may only
+    /// *hide* states — soundness of reported violations is absolute.)
+    #[test]
+    fn lossy_backends_never_fabricate_violations(
+        procs in proptest::collection::vec(
+            proptest::collection::vec(arb_move(), 1..5),
+            2..4,
+        ),
+    ) {
+        let program = build_program(&procs);
+        let checks = SafetyChecks::deadlock_only();
+        let exact = Checker::new(&program).check_safety(&checks).unwrap();
+
+        // A deliberately tiny arena forces collisions on larger runs, so
+        // the exact-replay validation path actually fires.
+        for kind in [
+            VisitedKind::Compact,
+            VisitedKind::Bitstate { arena_bytes: 64, hashes: 2 },
+        ] {
+            let report = Checker::with_config(
+                &program,
+                SearchConfig { visited: kind, ..SearchConfig::default() },
+            )
+            .check_safety(&checks)
+            .unwrap();
+            let lossy_violated = report.outcome.trace().is_some();
+            if lossy_violated {
+                prop_assert!(
+                    !exact.outcome.is_holds(),
+                    "{} fabricated a violation on a safe program: {:?}",
+                    kind, procs
+                );
+            }
+            if report.outcome.holds_modulo_hashing() {
+                prop_assert!(
+                    report.stats.unique_states <= exact.stats.unique_states,
+                    "{} visited more states than exist", kind
+                );
+            }
+        }
     }
 }

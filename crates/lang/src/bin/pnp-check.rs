@@ -21,22 +21,87 @@
 //! Budgets (`--budget states=N,time=MS,depth=D,mem=BYTES`; any subset of
 //! keys) bound the search. A tripped budget reports INCONCLUSIVE with the
 //! partial coverage and exits with code 3 — never a panic.
+//!
+//! Crash tolerance:
+//!
+//! - `--visited exact|compact|bitstate[:MB]` selects the visited-set
+//!   backend; the lossy backends (`compact`, `bitstate`) trade exactness
+//!   for memory and report HOLDS (approx) with an omission estimate;
+//! - `--checkpoint FILE` flushes search snapshots to `FILE` (periodically
+//!   per `--checkpoint-every N` states, default 4096, and always when a
+//!   budget trips or the run is interrupted with Ctrl-C);
+//! - `--resume FILE` continues an interrupted run from a snapshot.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use pnp_kernel::SearchConfig;
-use pnp_lang::{ChannelFaultAst, Pos, SystemAst};
+use pnp_kernel::{CancelToken, SearchConfig, VisitedKind};
+use pnp_lang::{ChannelFaultAst, Pos, SystemAst, VerifyOptions};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: pnp-check FILE.pnp [--quiet] [--dot] [--sim STEPS [--seed N]]\n\
          \u{20}                [--fault CONN=lossy|duplicating|reordering]\n\
          \u{20}                [--fault CONN.PORT=crash_restart]\n\
-         \u{20}                [--budget states=N,time=MS,depth=D,mem=BYTES]"
+         \u{20}                [--budget states=N,time=MS,depth=D,mem=BYTES]\n\
+         \u{20}                [--visited exact|compact|bitstate[:MB]]\n\
+         \u{20}                [--checkpoint FILE [--checkpoint-every N]]\n\
+         \u{20}                [--resume FILE]"
     );
     ExitCode::from(2)
 }
+
+/// Parses `--visited exact|compact|bitstate[:MB]`.
+fn parse_visited(spec: &str) -> Result<VisitedKind, String> {
+    match spec {
+        "exact" => Ok(VisitedKind::Exact),
+        "compact" => Ok(VisitedKind::Compact),
+        "bitstate" => Ok(VisitedKind::bitstate(VisitedKind::DEFAULT_BITSTATE_ARENA)),
+        other => {
+            let mb = other
+                .strip_prefix("bitstate:")
+                .and_then(|mb| mb.parse::<usize>().ok())
+                .filter(|mb| *mb > 0)
+                .ok_or_else(|| {
+                    format!(
+                        "--visited '{spec}': want exact, compact, or bitstate[:MB] \
+                         with MB a positive arena size in MiB"
+                    )
+                })?;
+            Ok(VisitedKind::bitstate(mb << 20))
+        }
+    }
+}
+
+/// Cancels `token` when SIGINT (Ctrl-C) arrives, so an interrupted search
+/// stops at its next budget checkpoint and flushes a final snapshot
+/// instead of dying mid-write. No external crates: the handler sets an
+/// atomic flag and a watcher thread forwards it to the token.
+#[cfg(unix)]
+fn cancel_on_sigint(token: CancelToken) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_sigint(_signum: i32) {
+        SIGINT_SEEN.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+    std::thread::spawn(move || loop {
+        if SIGINT_SEEN.load(Ordering::Relaxed) {
+            token.cancel();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    });
+}
+
+#[cfg(not(unix))]
+fn cancel_on_sigint(_token: CancelToken) {}
 
 /// Applies one `--fault` specification to the parsed design.
 fn apply_fault(ast: &mut SystemAst, spec: &str) -> Result<(), String> {
@@ -145,15 +210,35 @@ fn main() -> ExitCode {
         eprintln!("pnp-check: --fault requires a value (TARGET=FAULT)");
         return ExitCode::from(2);
     }
-    let budget_flags = rest.iter().filter(|a| *a == "--budget").count();
-    let budget = rest
-        .iter()
-        .position(|a| a == "--budget")
-        .and_then(|i| rest.get(i + 1));
-    if budget.is_none() && budget_flags > 0 {
-        eprintln!("pnp-check: --budget requires a value (states=N,time=MS,depth=D,mem=BYTES)");
-        return ExitCode::from(2);
-    }
+    let flag_str = |name: &str| -> Result<Option<&String>, ExitCode> {
+        let present = rest.iter().any(|a| a == name);
+        let value = rest
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| rest.get(i + 1));
+        if present && value.is_none() {
+            eprintln!("pnp-check: {name} requires a value");
+            return Err(ExitCode::from(2));
+        }
+        Ok(value)
+    };
+    let budget = match flag_str("--budget") {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let visited_spec = match flag_str("--visited") {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let checkpoint_path = match flag_str("--checkpoint") {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let resume_path = match flag_str("--resume") {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let checkpoint_every = flag_value("--checkpoint-every").unwrap_or(4096) as usize;
 
     let source = match std::fs::read_to_string(&path) {
         Ok(s) => s,
@@ -176,12 +261,38 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    let config = match budget.map(|b| parse_budget(b)).transpose() {
+    let mut config = match budget.map(|b| parse_budget(b)).transpose() {
         Ok(config) => config.unwrap_or_default(),
         Err(message) => {
             eprintln!("pnp-check: {message}");
             return ExitCode::from(2);
         }
+    };
+    if let Some(spec) = visited_spec {
+        config.visited = match parse_visited(spec) {
+            Ok(kind) => kind,
+            Err(message) => {
+                eprintln!("pnp-check: {message}");
+                return ExitCode::from(2);
+            }
+        };
+    }
+    let resume = match resume_path {
+        Some(file) => match pnp_kernel::load_snapshot(file) {
+            Ok(snapshot) => {
+                println!(
+                    "resuming property '{}' from {file} ({} states already covered)",
+                    snapshot.tag(),
+                    snapshot.states_covered()
+                );
+                Some(snapshot)
+            }
+            Err(e) => {
+                eprintln!("pnp-check: cannot resume from {file}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
     };
 
     let spec = match pnp_lang::compile_ast(&ast) {
@@ -226,6 +337,26 @@ fn main() -> ExitCode {
     }
 
     let program = spec.system().program();
+    if let Some(snapshot) = &resume {
+        // Refuse up front, rather than silently ignoring a snapshot whose
+        // tag matches no property of this specification.
+        if !snapshot.matches_program(program) {
+            eprintln!(
+                "pnp-check: cannot resume: snapshot belongs to a different program \
+                 (program fingerprint {:#018x}, snapshot has {:#018x})",
+                pnp_kernel::program_fingerprint(program),
+                snapshot.fingerprint()
+            );
+            return ExitCode::from(2);
+        }
+        if !spec.properties().iter().any(|p| p.name() == snapshot.tag()) {
+            eprintln!(
+                "pnp-check: cannot resume: this specification declares no property '{}'",
+                snapshot.tag()
+            );
+            return ExitCode::from(2);
+        }
+    }
     println!(
         "{path}: {} processes ({} connector parts, {} components), {} properties",
         program.processes().len(),
@@ -244,7 +375,15 @@ fn main() -> ExitCode {
         );
     }
 
-    let results = match spec.verify_all_with_config(config) {
+    let cancel = CancelToken::new();
+    cancel_on_sigint(cancel.clone());
+    let options = VerifyOptions {
+        config,
+        cancel: Some(cancel),
+        checkpoint: checkpoint_path.map(|p| (p.into(), checkpoint_every)),
+        resume,
+    };
+    let results = match spec.verify_all_with_options(&options) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("pnp-check: {e}");
@@ -256,20 +395,25 @@ fn main() -> ExitCode {
     let mut inconclusive = 0;
     for result in &results {
         println!("  {result}");
+        let interesting = result.inconclusive || !result.holds || result.approx;
         if result.inconclusive {
             inconclusive += 1;
-            if !quiet {
-                for line in result.detail.lines() {
-                    println!("    {line}");
-                }
-            }
         } else if !result.holds {
             failed += 1;
-            if !quiet {
-                for line in result.detail.lines() {
-                    println!("    {line}");
-                }
+        }
+        if interesting && !quiet {
+            for line in result.detail.lines() {
+                println!("    {line}");
             }
+        }
+    }
+    if inconclusive > 0 {
+        if let Some((path, _)) = &options.checkpoint {
+            println!(
+                "checkpoint flushed to {}; resume with --resume {}",
+                path.display(),
+                path.display()
+            );
         }
     }
     if failed == 0 && inconclusive == 0 {
@@ -280,7 +424,7 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         println!(
-            "{inconclusive} of {} properties inconclusive (budget exhausted)",
+            "{inconclusive} of {} properties inconclusive (budget exhausted or interrupted)",
             results.len()
         );
         ExitCode::from(3)

@@ -1,10 +1,11 @@
 //! Verification of compiled specifications and result reporting.
 
 use std::fmt;
+use std::path::PathBuf;
 
 use pnp_kernel::{
-    Checker, KernelError, LtlOutcome, Predicate, Proposition, SafetyChecks, SafetyOutcome,
-    SearchConfig,
+    CancelToken, Checker, FileSink, KernelError, LtlOutcome, Predicate, Proposition, SafetyChecks,
+    SafetyOutcome, SearchConfig, Snapshot,
 };
 use pnp_ltl::Ltl;
 
@@ -60,6 +61,11 @@ pub struct PropertyResult {
     /// exhausted: no violation was found in the covered portion, but the
     /// property may still fail in the unexplored part.
     pub inconclusive: bool,
+    /// `true` when the property holds *modulo hashing*: the search ran
+    /// under a lossy visited-set backend ([`pnp_kernel::VisitedKind`])
+    /// whose hash collisions may have hidden part of the state space. The
+    /// detail carries the estimated omission probability.
+    pub approx: bool,
     /// A one-line summary; for violations, includes the counterexample
     /// rendered at the building-block level.
     pub detail: String,
@@ -71,6 +77,8 @@ impl fmt::Display for PropertyResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let verdict = if self.inconclusive {
             "INCONCLUSIVE"
+        } else if self.holds && self.approx {
+            "HOLDS (approx)"
         } else if self.holds {
             "HOLDS"
         } else {
@@ -78,6 +86,26 @@ impl fmt::Display for PropertyResult {
         };
         write!(f, "{:<24} {} ({} states)", self.name, verdict, self.states)
     }
+}
+
+/// Options for a verification run: search limits plus the crash-tolerance
+/// machinery (cancellation, checkpointing, resume).
+#[derive(Debug, Clone, Default)]
+pub struct VerifyOptions {
+    /// Search budgets and the visited-set backend.
+    pub config: SearchConfig,
+    /// Cooperative cancellation, typically wired to SIGINT. A cancelled
+    /// run reports the affected property as inconclusive and — when
+    /// checkpointing is on — flushes a final snapshot first.
+    pub cancel: Option<CancelToken>,
+    /// `(path, every)`: write snapshots of safety searches to `path`,
+    /// flushing every `every` newly discovered states (`0` = only when a
+    /// budget trips or the run is cancelled).
+    pub checkpoint: Option<(PathBuf, usize)>,
+    /// Resume a previously interrupted run. The snapshot applies to the
+    /// property whose name matches the snapshot's tag; properties before
+    /// it in source order are re-verified from scratch.
+    pub resume: Option<Snapshot>,
 }
 
 /// An error while verifying a specification (a broken model expression).
@@ -119,13 +147,61 @@ impl ArchSpec {
         &self,
         config: SearchConfig,
     ) -> Result<Vec<PropertyResult>, VerifyError> {
+        self.verify_all_with_options(&VerifyOptions {
+            config,
+            ..VerifyOptions::default()
+        })
+    }
+
+    /// Checks every declared property with full crash tolerance: optional
+    /// cancellation, checkpointing of safety searches, and resume from a
+    /// snapshot (see [`VerifyOptions`]).
+    ///
+    /// LTL properties run the nested-DFS search, which supports
+    /// cancellation but not checkpoint/resume; a resume snapshot tagged
+    /// with an LTL property's name is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] when the model itself fails to evaluate,
+    /// when a checkpoint cannot be written, or when the resume snapshot
+    /// belongs to a different system.
+    pub fn verify_all_with_options(
+        &self,
+        options: &VerifyOptions,
+    ) -> Result<Vec<PropertyResult>, VerifyError> {
         let program = self.system().program();
-        let checker = Checker::with_config(program, config);
+        // Each safety property gets its own checker so the resume snapshot
+        // and the checkpoint tag bind to the right property.
+        let safety_checker = |name: &str| -> Result<Checker<'_>, VerifyError> {
+            let mut checker = match &options.resume {
+                Some(snapshot) if snapshot.tag() == name => {
+                    Checker::resume_from(program, snapshot.clone())
+                        .map_err(|error| {
+                            VerifyError(KernelError::Snapshot {
+                                message: error.to_string(),
+                            })
+                        })?
+                        .with_search_config(options.config)
+                }
+                _ => Checker::with_config(program, options.config),
+            };
+            if let Some(cancel) = &options.cancel {
+                checker = checker.with_cancellation(cancel.clone());
+            }
+            if let Some((path, every)) = &options.checkpoint {
+                checker = checker
+                    .checkpoint_to(FileSink::new(path))
+                    .checkpoint_every(*every)
+                    .checkpoint_tag(name);
+            }
+            Ok(checker)
+        };
         let mut results = Vec::new();
         for prop in self.properties() {
             let result = match prop {
                 PropertySpec::Invariant { name, predicate } => {
-                    let report = checker
+                    let report = safety_checker(name)?
                         .check_safety(&SafetyChecks {
                             deadlock: false,
                             invariants: vec![(name.clone(), predicate.clone())],
@@ -137,12 +213,13 @@ impl ArchSpec {
                         name: name.clone(),
                         holds,
                         inconclusive,
+                        approx: matches!(report.outcome, SafetyOutcome::HoldsApprox { .. }),
                         detail,
                         states: report.stats.unique_states,
                     }
                 }
                 PropertySpec::NoDeadlock { name } => {
-                    let report = checker
+                    let report = safety_checker(name)?
                         .check_safety(&SafetyChecks::deadlock_only())
                         .map_err(VerifyError)?;
                     let (holds, inconclusive, detail) =
@@ -151,6 +228,7 @@ impl ArchSpec {
                         name: name.clone(),
                         holds,
                         inconclusive,
+                        approx: matches!(report.outcome, SafetyOutcome::HoldsApprox { .. }),
                         detail,
                         states: report.stats.unique_states,
                     }
@@ -160,6 +238,10 @@ impl ArchSpec {
                     formula,
                     props,
                 } => {
+                    let mut checker = Checker::with_config(program, options.config);
+                    if let Some(cancel) = &options.cancel {
+                        checker = checker.with_cancellation(cancel.clone());
+                    }
                     let report = checker.check_ltl(formula, props).map_err(VerifyError)?;
                     // A truncated product search that found no acceptance
                     // cycle is NOT a proof: report it inconclusive. A
@@ -197,6 +279,7 @@ impl ArchSpec {
                         name: name.clone(),
                         holds,
                         inconclusive,
+                        approx: false,
                         detail,
                         states: report.stats.unique_states,
                     }
@@ -211,6 +294,19 @@ impl ArchSpec {
     fn safety_verdict(&self, outcome: &SafetyOutcome, holds_detail: &str) -> (bool, bool, String) {
         match outcome {
             SafetyOutcome::Holds => (true, false, holds_detail.to_string()),
+            SafetyOutcome::HoldsApprox {
+                hash_mode,
+                states_visited,
+                omission_probability,
+            } => (
+                true,
+                false,
+                format!(
+                    "{holds_detail} modulo hashing: {states_visited} states visited \
+                     under {hash_mode}; estimated per-state omission probability \
+                     ≈ {omission_probability:.2e}"
+                ),
+            ),
             SafetyOutcome::InvariantViolated { trace, .. } => (
                 false,
                 false,

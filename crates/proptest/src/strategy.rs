@@ -3,23 +3,24 @@
 use std::ops::{Range, RangeInclusive};
 use std::rc::Rc;
 
-/// The deterministic RNG handed to strategies (SplitMix64).
+use pnp_kernel::SplitMix64;
+
+/// The deterministic RNG handed to strategies. Delegates to the workspace's
+/// one vendored PRNG ([`pnp_kernel::SplitMix64`]) instead of carrying a copy.
 #[derive(Debug, Clone)]
 pub struct TestRng {
-    state: u64,
+    inner: SplitMix64,
 }
 
 impl TestRng {
     pub(crate) fn seed_from_u64(seed: u64) -> TestRng {
-        TestRng { state: seed }
+        TestRng {
+            inner: SplitMix64::seed_from_u64(seed),
+        }
     }
 
     pub(crate) fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        self.inner.next_u64()
     }
 
     /// Uniform index in `0..bound` (`bound` nonzero). Modulo bias is
