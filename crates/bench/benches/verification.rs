@@ -4,7 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use pnp_bench::{composed_pipe, fault_pipes, fused_pipe, verify_bridge};
+use pnp_bench::{
+    composed_pipe, fault_pipes, fused_pipe, verify_bridge, verify_bridge_threads,
+    verify_deadlock_threads,
+};
 use pnp_bridge::{exactly_n_bridge, BridgeConfig};
 use pnp_core::{ChannelKind, FusedConnectorKind, RecvPortKind, SendPortKind};
 use pnp_kernel::{Checker, SafetyChecks};
@@ -99,12 +102,45 @@ fn fault_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn parallel_scaling(c: &mut Criterion) {
+    // Thread-scaling of the safety search (paper-scale numbers live in the
+    // experiments binary's E15 table; this group tracks regressions).
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+
+    let fixed = exactly_n_bridge(&BridgeConfig::fixed().with_laps(Some(1))).unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("bridge_fixed", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let (outcome, _) = verify_bridge_threads(&fixed, threads);
+                    assert!(outcome.is_holds());
+                })
+            },
+        );
+    }
+
+    let (label, crash_pipe) = fault_pipes(2)
+        .into_iter()
+        .last()
+        .expect("fault ladder is non-empty");
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+            b.iter(|| verify_deadlock_threads(&crash_pipe, threads))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bridge_verification,
     por_ablation,
     connector_compositions,
     fused_ablation,
-    fault_overhead
+    fault_overhead,
+    parallel_scaling
 );
 criterion_main!(benches);

@@ -128,6 +128,42 @@ pub fn verify_bridge_with_backend(
     (report.outcome, report.stats)
 }
 
+/// Verifies the bridge safety property with `threads` worker threads (POR
+/// on, exact backend). `threads == 1` is the sequential kernel; any other
+/// count runs the level-synchronised parallel search, which reports the
+/// same verdict and — for exhaustive runs — the same state counts.
+pub fn verify_bridge_threads(system: &System, threads: usize) -> (SafetyOutcome, SearchStats) {
+    let program = system.program();
+    let report = Checker::with_config(
+        program,
+        SearchConfig {
+            threads,
+            ..SearchConfig::default()
+        },
+    )
+    .check_safety(&SafetyChecks {
+        deadlock: false,
+        invariants: vec![safety_invariant(program)],
+    })
+    .expect("bridge evaluates");
+    (report.outcome, report.stats)
+}
+
+/// Deadlock-checks `system` with `threads` worker threads (used for the
+/// fault-pipe scaling rows, whose interesting property is deadlock).
+pub fn verify_deadlock_threads(system: &System, threads: usize) -> (SafetyOutcome, SearchStats) {
+    let report = Checker::with_config(
+        system.program(),
+        SearchConfig {
+            threads,
+            ..SearchConfig::default()
+        },
+    )
+    .check_safety(&SafetyChecks::deadlock_only())
+    .expect("pipe evaluates");
+    (report.outcome, report.stats)
+}
+
 /// Builds the fault-injection cost ladder: the same retrying
 /// producer/consumer pipe composed with a fault-free channel, each channel
 /// fault decorator, and crash-restart ports on both sides. Verifying each

@@ -232,6 +232,17 @@ pub struct SearchConfig {
     /// the estimated omission probability instead of a definitive
     /// [`SafetyOutcome::Holds`].
     pub visited: VisitedKind,
+    /// Number of worker threads for the safety search (default 1).
+    ///
+    /// `0` or `1` runs the exact sequential kernel. Larger values run a
+    /// level-synchronized parallel BFS with per-worker work-stealing
+    /// deques over a sharded visited set: the verdict is always identical
+    /// to the sequential one, and for a completed exhaustive run so are
+    /// `unique_states`, `steps`, and `max_depth` (see the crate docs for
+    /// which report fields may vary). LTL checking
+    /// ([`Checker::check_ltl`]) is inherently sequential (nested DFS) and
+    /// ignores this setting.
+    pub threads: usize,
 }
 
 impl Default for SearchConfig {
@@ -243,6 +254,7 @@ impl Default for SearchConfig {
             max_depth: None,
             max_memory_bytes: None,
             visited: VisitedKind::Exact,
+            threads: 1,
         }
     }
 }
@@ -454,7 +466,8 @@ impl fmt::Display for SafetyReport {
 }
 
 /// What evaluating the invariants at one state produced.
-enum InvariantHit {
+#[derive(Clone)]
+pub(crate) enum InvariantHit {
     /// Some invariant is false there.
     Violated(String),
     /// Some native predicate panicked there.
@@ -464,6 +477,77 @@ enum InvariantHit {
         /// The stringified panic payload.
         message: String,
     },
+}
+
+/// Evaluates every invariant at one state; `Some` when one is violated or
+/// its native predicate panicked (the panic is caught and isolated to a
+/// [`SafetyOutcome::PredicateError`] instead of unwinding the search).
+pub(crate) fn eval_invariants(
+    checks: &SafetyChecks,
+    view: &StateView<'_>,
+) -> Result<Option<InvariantHit>, KernelError> {
+    for (name, predicate) in &checks.invariants {
+        match catch_unwind(AssertUnwindSafe(|| predicate.eval(view))) {
+            Ok(Ok(true)) => {}
+            Ok(Ok(false)) => return Ok(Some(InvariantHit::Violated(name.clone()))),
+            Ok(Err(error)) => return Err(error),
+            Err(payload) => {
+                return Ok(Some(InvariantHit::Panicked {
+                    name: name.clone(),
+                    message: panic_message(payload.as_ref()),
+                }))
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Converts an [`InvariantHit`] plus its counterexample into an outcome.
+pub(crate) fn hit_outcome(hit: InvariantHit, trace: Trace) -> SafetyOutcome {
+    match hit {
+        InvariantHit::Violated(name) => SafetyOutcome::InvariantViolated { name, trace },
+        InvariantHit::Panicked { name, message } => SafetyOutcome::PredicateError {
+            name,
+            message,
+            trace,
+        },
+    }
+}
+
+/// Rebuilds the counterexample trace for state `id` by replaying its
+/// discovery chain from the initial state. Under a lossy backend
+/// (`verify`), each step is additionally checked for enabledness and the
+/// replay must land exactly on `expect` — `Ok(None)` means the chain does
+/// not replay (a hash-collision artifact) and the finding must be
+/// dropped, so lossy backends never report a false alarm.
+pub(crate) fn rebuild_trace(
+    program: &Program,
+    parents: &[Option<(usize, Step)>],
+    id: usize,
+    expect: &State,
+    verify: bool,
+) -> Result<Option<Trace>, KernelError> {
+    let mut chain = Vec::new();
+    let mut cur = id;
+    while let Some((parent, step)) = parents[cur] {
+        chain.push(step);
+        cur = parent;
+    }
+    chain.reverse();
+    let mut state = State::initial(program);
+    let mut events = Vec::new();
+    for step in chain {
+        if verify && !enabled_steps(program, &state)?.contains(&step) {
+            return Ok(None);
+        }
+        let applied = apply_step(program, &state, step)?;
+        events.extend(applied.events);
+        state = applied.state;
+    }
+    if verify && state != *expect {
+        return Ok(None);
+    }
+    Ok(Some(Trace::new(events)))
 }
 
 /// Extracts a readable message from a caught panic payload.
@@ -481,7 +565,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// locations, process locals, channel buffers, globals) plus bookkeeping
 /// overhead (hash-map entry, `Rc` headers, parent link, depth). A flat
 /// per-state figure keeps the memory budget deterministic.
-fn approx_state_bytes(program: &Program) -> usize {
+pub(crate) fn approx_state_bytes(program: &Program) -> usize {
     use std::mem::size_of;
     let payload: usize = size_of::<State>()
         + program
@@ -505,7 +589,7 @@ fn approx_state_bytes(program: &Program) -> usize {
 /// Captures the visited-set backend's content for a snapshot. Exact sets
 /// serialize nothing — their content is reconstructed from the parent links
 /// on resume, which is smaller and self-validating.
-fn visited_payload(visited: &AnyVisited) -> VisitedPayload {
+pub(crate) fn visited_payload(visited: &AnyVisited) -> VisitedPayload {
     match visited {
         AnyVisited::Exact(_) => VisitedPayload::Exact,
         AnyVisited::Compact(set) => VisitedPayload::Compact(set.snapshot_hashes()),
@@ -520,23 +604,27 @@ fn visited_payload(visited: &AnyVisited) -> VisitedPayload {
 }
 
 /// Encodes the current search state into a [`Snapshot`] and hands it to the
-/// sink. Sink failures surface as [`KernelError::Snapshot`].
+/// sink. Sink failures surface as [`KernelError::Snapshot`]. The visited
+/// payload and kind are passed separately so the sequential and parallel
+/// explorers (whose backends differ in type) share this path — and their
+/// snapshots stay mutually resumable.
 #[allow(clippy::too_many_arguments)]
-fn flush_checkpoint(
+pub(crate) fn flush_checkpoint(
     sink: &Rc<RefCell<dyn SnapshotSink>>,
     fingerprint: u64,
     tag: &str,
-    visited: &AnyVisited,
+    kind: VisitedKind,
+    visited: VisitedPayload,
     parents: &[Option<(usize, Step)>],
     depths: &[usize],
-    frontier: &VecDeque<(usize, Rc<State>)>,
+    frontier: Vec<(usize, State)>,
     stats: &SearchStats,
     elapsed: Duration,
 ) -> Result<(), KernelError> {
     let snapshot = Snapshot {
         fingerprint,
         tag: tag.to_string(),
-        kind: visited.kind(),
+        kind,
         stats: SnapStats {
             steps: stats.steps as u64,
             max_depth: stats.max_depth as u64,
@@ -547,11 +635,8 @@ fn flush_checkpoint(
         },
         parents: parents.to_vec(),
         depths: depths.to_vec(),
-        frontier: frontier
-            .iter()
-            .map(|(id, state)| (*id, (**state).clone()))
-            .collect(),
-        visited: visited_payload(visited),
+        frontier,
+        visited,
     };
     sink.borrow_mut()
         .store(&snapshot.encode())
@@ -625,13 +710,13 @@ pub struct Checker<'p> {
     pub(crate) cancel: Option<CancelToken>,
     /// Flush a checkpoint every this many newly interned states (0 = only
     /// on a budget trip or cancellation).
-    checkpoint_every: usize,
+    pub(crate) checkpoint_every: usize,
     /// Where checkpoints go, when checkpointing is enabled.
-    sink: Option<Rc<RefCell<dyn SnapshotSink>>>,
+    pub(crate) sink: Option<Rc<RefCell<dyn SnapshotSink>>>,
     /// Caller label stored in snapshots (e.g. the property name).
-    tag: String,
+    pub(crate) tag: String,
     /// Search state to resume from, set by [`Checker::resume_from`].
-    resume: Option<Snapshot>,
+    pub(crate) resume: Option<Snapshot>,
 }
 
 impl fmt::Debug for Checker<'_> {
@@ -772,6 +857,9 @@ impl<'p> Checker<'p> {
     /// expression fails to evaluate), when storing a checkpoint fails, or
     /// when a resume snapshot's contents do not replay.
     pub fn check_safety(&self, checks: &SafetyChecks) -> Result<SafetyReport, KernelError> {
+        if self.config.threads > 1 {
+            return crate::parallel::check_safety_parallel(self, checks);
+        }
         let start = Instant::now();
         let program = self.program;
 
@@ -789,70 +877,6 @@ impl<'p> Checker<'p> {
             program_fingerprint(program)
         } else {
             0
-        };
-
-        let check_invariants = |view: &StateView<'_>| -> Result<Option<InvariantHit>, KernelError> {
-            for (name, predicate) in &checks.invariants {
-                // Native predicates are user code; a panic there is
-                // isolated to a `PredicateError` outcome instead of
-                // unwinding through (and aborting) the whole search.
-                match catch_unwind(AssertUnwindSafe(|| predicate.eval(view))) {
-                    Ok(Ok(true)) => {}
-                    Ok(Ok(false)) => return Ok(Some(InvariantHit::Violated(name.clone()))),
-                    Ok(Err(error)) => return Err(error),
-                    Err(payload) => {
-                        return Ok(Some(InvariantHit::Panicked {
-                            name: name.clone(),
-                            message: panic_message(payload.as_ref()),
-                        }))
-                    }
-                }
-            }
-            Ok(None)
-        };
-        let hit_outcome = |hit: InvariantHit, trace: Trace| -> SafetyOutcome {
-            match hit {
-                InvariantHit::Violated(name) => SafetyOutcome::InvariantViolated { name, trace },
-                InvariantHit::Panicked { name, message } => SafetyOutcome::PredicateError {
-                    name,
-                    message,
-                    trace,
-                },
-            }
-        };
-
-        // Rebuilds the counterexample trace for state `id` by replaying its
-        // discovery chain from the initial state. Under a lossy backend
-        // (`verify`), each step is additionally checked for enabledness and
-        // the replay must land exactly on `expect` — `Ok(None)` means the
-        // chain does not replay (a hash-collision artifact) and the finding
-        // must be dropped, so lossy backends never report a false alarm.
-        let rebuild_trace = |parents: &[Option<(usize, Step)>],
-                             id: usize,
-                             expect: &State,
-                             verify: bool|
-         -> Result<Option<Trace>, KernelError> {
-            let mut chain = Vec::new();
-            let mut cur = id;
-            while let Some((parent, step)) = parents[cur] {
-                chain.push(step);
-                cur = parent;
-            }
-            chain.reverse();
-            let mut state = State::initial(program);
-            let mut events = Vec::new();
-            for step in chain {
-                if verify && !enabled_steps(program, &state)?.contains(&step) {
-                    return Ok(None);
-                }
-                let applied = apply_step(program, &state, step)?;
-                events.extend(applied.events);
-                state = applied.state;
-            }
-            if verify && state != *expect {
-                return Ok(None);
-            }
-            Ok(Some(Trace::new(events)))
         };
 
         // Search state: parent links and depths per interned state id, the
@@ -882,7 +906,7 @@ impl<'p> Checker<'p> {
             base_elapsed = Duration::from_nanos(snapshot.stats.elapsed_nanos);
         } else {
             let initial = Rc::new(State::initial(program));
-            if let Some(hit) = check_invariants(&StateView::new(program, &initial))? {
+            if let Some(hit) = eval_invariants(checks, &StateView::new(program, &initial))? {
                 return Ok(SafetyReport {
                     outcome: hit_outcome(hit, Trace::default()),
                     stats: SearchStats {
@@ -955,10 +979,14 @@ impl<'p> Checker<'p> {
                         sink,
                         fingerprint,
                         &self.tag,
-                        &visited,
+                        visited.kind(),
+                        visited_payload(&visited),
                         &parents,
                         &depths,
-                        &frontier,
+                        frontier
+                            .iter()
+                            .map(|(id, state)| (*id, (**state).clone()))
+                            .collect(),
                         &stats,
                         base_elapsed + start.elapsed(),
                     )?;
@@ -981,7 +1009,7 @@ impl<'p> Checker<'p> {
 
             if steps.is_empty() {
                 if checks.deadlock && !is_valid_end_state(program, &state) {
-                    match rebuild_trace(&parents, id, &state, lossy)? {
+                    match rebuild_trace(program, &parents, id, &state, lossy)? {
                         Some(trace) => {
                             stats.unique_states = parents.len();
                             stats.elapsed = base_elapsed + start.elapsed();
@@ -1009,7 +1037,7 @@ impl<'p> Checker<'p> {
                 // Assertions fire on the edge: report even when the target
                 // state was already visited.
                 if let Some(message) = applied.assertion_failure {
-                    match rebuild_trace(&parents, id, &state, lossy)? {
+                    match rebuild_trace(program, &parents, id, &state, lossy)? {
                         Some(prefix) => {
                             let mut events = prefix.events().to_vec();
                             events.extend(applied.events);
@@ -1035,6 +1063,12 @@ impl<'p> Checker<'p> {
                 if visited.contains(&next) {
                     continue;
                 }
+                // Budget counting point: this check runs strictly *after*
+                // the `visited.contains` dedup above, so only genuinely
+                // new states are charged against `max_states` — the same
+                // counting point the parallel kernel's `StateBudget`
+                // enforces atomically (see `tests/golden_state_counts.rs`
+                // for the regression pinning both).
                 if parents.len() >= self.config.max_states {
                     // Roll this partial expansion back and requeue the
                     // current state at the *front*, so the snapshot frontier
@@ -1050,8 +1084,8 @@ impl<'p> Checker<'p> {
                 parents.push(Some((id, step)));
                 depths.push(depths[id] + 1);
 
-                if let Some(hit) = check_invariants(&StateView::new(program, &next))? {
-                    match rebuild_trace(&parents, next_id, &next, lossy)? {
+                if let Some(hit) = eval_invariants(checks, &StateView::new(program, &next))? {
+                    match rebuild_trace(program, &parents, next_id, &next, lossy)? {
                         Some(trace) => {
                             stats.unique_states = parents.len();
                             stats.elapsed = base_elapsed + start.elapsed();
@@ -1084,10 +1118,14 @@ impl<'p> Checker<'p> {
                         sink,
                         fingerprint,
                         &self.tag,
-                        &visited,
+                        visited.kind(),
+                        visited_payload(&visited),
                         &parents,
                         &depths,
-                        &frontier,
+                        frontier
+                            .iter()
+                            .map(|(id, state)| (*id, (**state).clone()))
+                            .collect(),
                         &stats,
                         stats.elapsed,
                     )?;
@@ -1151,6 +1189,45 @@ impl<'p> Checker<'p> {
             SafetyOutcome::InvariantViolated { trace, .. } => Some(trace),
             _ => None,
         })
+    }
+
+    /// Replays a counterexample [`Trace`] against the program, verifying
+    /// that its event sequence corresponds to a chain of enabled steps
+    /// from the initial state. Returns the state the trace ends in, or
+    /// `None` when the trace does not replay (no enabled step matches the
+    /// next events at some point).
+    ///
+    /// Matching is greedy over the events each candidate step produces; a
+    /// program whose distinct transitions emit identical event sequences
+    /// from the same state can in principle make a genuine trace fail to
+    /// replay, but every trace the checker itself reports uses the
+    /// discovery chain and replays under this method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] when the model is broken.
+    pub fn replay_trace(&self, trace: &Trace) -> Result<Option<State>, KernelError> {
+        let program = self.program;
+        let mut state = State::initial(program);
+        let events = trace.events();
+        let mut pos = 0;
+        while pos < events.len() {
+            let mut advanced = false;
+            for step in enabled_steps(program, &state)? {
+                let applied = apply_step(program, &state, step)?;
+                let n = applied.events.len();
+                if n > 0 && pos + n <= events.len() && applied.events[..] == events[pos..pos + n] {
+                    state = applied.state;
+                    pos += n;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return Ok(None);
+            }
+        }
+        Ok(Some(state))
     }
 
     /// Counts the reachable state space without checking any property.

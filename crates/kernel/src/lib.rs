@@ -74,6 +74,7 @@ mod dot;
 mod explore;
 mod expression;
 mod liveness;
+mod parallel;
 mod program;
 mod reduction;
 mod rng;
@@ -102,6 +103,7 @@ pub use snapshot::{
 pub use state::{KernelError, Msg, State, StateView, Step};
 pub use trace::{EventKind, Trace, TraceEvent};
 pub use visited::{
-    bloom_omission_probability, BitstateVisited, CompactVisited, ExactVisited, VisitedKind,
-    VisitedSet,
+    bloom_omission_probability, BitstateVisited, CompactVisited, ExactVisited,
+    ShardedBitstateVisited, ShardedCompactVisited, ShardedExactVisited, SharedInsert,
+    SharedVisitedSet, StateBudget, VisitedKind, VisitedSet,
 };

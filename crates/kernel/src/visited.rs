@@ -24,6 +24,8 @@
 use std::collections::HashSet;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::rng::{mix64, SplitMix64};
 use crate::state::State;
@@ -32,6 +34,15 @@ use crate::state::State;
 /// Derived hashes must be stable across runs so that a resumed search
 /// agrees with the snapshot it came from.
 const HASH_FAMILY_SEED: u64 = 0xb175_7a7e_5eed_0001;
+
+/// Seed for picking a shard in [`ShardedExactVisited`]. Distinct from the
+/// lossy-backend family so shard choice and membership hashing stay
+/// independent.
+const SHARD_SEED: u64 = 0xb175_7a7e_5eed_0002;
+
+/// Number of shards in the concurrent visited-set variants. A power of two
+/// so the shard index is a mask of the shard hash.
+const SHARD_COUNT: usize = 64;
 
 /// Which visited-set backend the safety search uses.
 ///
@@ -446,6 +457,472 @@ impl VisitedSet for AnyVisited {
     }
 }
 
+/// A shared counter of interned states with a hard cap, used by the
+/// parallel search so `max_states` is charged exactly once per *new*
+/// state across all workers — the same counting point as the sequential
+/// kernel (duplicates never touch the budget).
+#[derive(Debug)]
+pub struct StateBudget {
+    interned: AtomicUsize,
+    max_states: usize,
+}
+
+impl StateBudget {
+    /// A budget that already accounts for `already_interned` states (the
+    /// initial state, or everything restored from a snapshot) and trips
+    /// once `max_states` is reached.
+    pub fn new(already_interned: usize, max_states: usize) -> StateBudget {
+        StateBudget {
+            interned: AtomicUsize::new(already_interned),
+            max_states,
+        }
+    }
+
+    /// A budget that never trips (used when rebuilding a visited set from
+    /// a snapshot, where every state was already paid for).
+    pub fn unlimited() -> StateBudget {
+        StateBudget::new(0, usize::MAX)
+    }
+
+    /// Reserves one state slot; `false` when the cap is already reached.
+    pub fn try_reserve(&self) -> bool {
+        self.interned
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.max_states).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    /// Returns a slot reserved by [`StateBudget::try_reserve`] that turned
+    /// out not to be needed (the state lost an insert race).
+    pub fn release(&self) {
+        self.interned.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// States currently charged against the budget.
+    pub fn reserved(&self) -> usize {
+        self.interned.load(Ordering::SeqCst)
+    }
+}
+
+/// What [`SharedVisitedSet::insert_if_new`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharedInsert {
+    /// The state was new; one budget slot was consumed and the state is
+    /// now a member.
+    Inserted,
+    /// The state was already a member (or, for a lossy backend, collided
+    /// with one); the budget is untouched.
+    Duplicate,
+    /// The state was new but the budget cap is reached; nothing was
+    /// inserted (except possibly bits in the bitstate arena — see
+    /// [`ShardedBitstateVisited`]).
+    BudgetExhausted,
+}
+
+/// A visited set shared by concurrent search workers.
+///
+/// The mirror of [`VisitedSet`] for the parallel kernel: membership and
+/// insertion take `&self` and are safe to call from many threads. The
+/// budget is threaded through [`SharedVisitedSet::insert_if_new`] so the
+/// *"is it new?"* test and the budget charge happen atomically — a
+/// duplicate racing with a distinct new state can never trip `max_states`
+/// spuriously.
+pub trait SharedVisitedSet: Sync {
+    /// Whether `state` is (believed to be) already visited. Lossy backends
+    /// may return `true` for a state never inserted (a collision), never
+    /// `false` for one that was.
+    fn contains(&self, state: &State) -> bool;
+
+    /// Inserts `state` if absent, charging one slot of `budget` for a
+    /// genuinely new state. See [`SharedInsert`].
+    fn insert_if_new(&self, state: &Arc<State>, budget: &StateBudget) -> SharedInsert;
+
+    /// Number of states inserted.
+    fn len(&self) -> usize;
+
+    /// Whether no state has been inserted yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate memory held by the backend, in bytes.
+    fn approx_bytes(&self) -> usize;
+
+    /// The backend's kind (and parameters).
+    fn kind(&self) -> VisitedKind;
+
+    /// Estimated probability that a new distinct state would be wrongly
+    /// treated as visited. Zero for the exact backend.
+    fn omission_probability(&self) -> f64;
+}
+
+/// Concurrent variant of [`ExactVisited`]: full state payloads sharded by
+/// hash across [`SHARD_COUNT`] per-shard [`Mutex`]-protected hash sets.
+///
+/// Membership is precise, exactly like the sequential backend; the shard
+/// lock makes the *contains → charge budget → insert* sequence atomic per
+/// state, so parallel searches intern exactly the set of states a
+/// sequential search would.
+pub struct ShardedExactVisited {
+    shards: Vec<Mutex<HashSet<Arc<State>>>>,
+    per_state_bytes: usize,
+}
+
+impl ShardedExactVisited {
+    /// An empty sharded exact set; `per_state_bytes` as in
+    /// [`ExactVisited::new`].
+    pub fn new(per_state_bytes: usize) -> ShardedExactVisited {
+        ShardedExactVisited {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashSet::new()))
+                .collect(),
+            per_state_bytes,
+        }
+    }
+
+    fn shard(&self, state: &State) -> &Mutex<HashSet<Arc<State>>> {
+        let idx = state_hash(state, SHARD_SEED) as usize & (SHARD_COUNT - 1);
+        &self.shards[idx]
+    }
+}
+
+impl SharedVisitedSet for ShardedExactVisited {
+    fn contains(&self, state: &State) -> bool {
+        self.shard(state)
+            .lock()
+            .expect("shard poisoned")
+            .contains(state)
+    }
+
+    fn insert_if_new(&self, state: &Arc<State>, budget: &StateBudget) -> SharedInsert {
+        let mut shard = self.shard(state).lock().expect("shard poisoned");
+        if shard.contains(&**state) {
+            return SharedInsert::Duplicate;
+        }
+        if !budget.try_reserve() {
+            return SharedInsert::BudgetExhausted;
+        }
+        shard.insert(Arc::clone(state));
+        SharedInsert::Inserted
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.len() * self.per_state_bytes
+    }
+
+    fn kind(&self) -> VisitedKind {
+        VisitedKind::Exact
+    }
+
+    fn omission_probability(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Concurrent variant of [`CompactVisited`]: 64-bit state hashes sharded
+/// by their own low bits across per-shard locked sets.
+///
+/// Uses the *same* hash seed as the sequential compact backend, so a
+/// snapshot written by a parallel search restores into a sequential one
+/// (and vice versa) with identical membership.
+pub struct ShardedCompactVisited {
+    shards: Vec<Mutex<HashSet<u64>>>,
+    seed: u64,
+}
+
+impl ShardedCompactVisited {
+    /// An empty sharded compacted set.
+    pub fn new() -> ShardedCompactVisited {
+        let mut family = SplitMix64::seed_from_u64(HASH_FAMILY_SEED);
+        ShardedCompactVisited {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashSet::new()))
+                .collect(),
+            seed: family.next_u64(),
+        }
+    }
+
+    /// Rebuilds the set from a snapshot payload.
+    pub(crate) fn from_hashes(hashes: impl IntoIterator<Item = u64>) -> ShardedCompactVisited {
+        let set = ShardedCompactVisited::new();
+        for h in hashes {
+            set.shards[h as usize & (SHARD_COUNT - 1)]
+                .lock()
+                .expect("shard poisoned")
+                .insert(h);
+        }
+        set
+    }
+
+    /// The stored hashes, for snapshotting (sorted for determinism).
+    pub(crate) fn snapshot_hashes(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("shard poisoned")
+                    .iter()
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl Default for ShardedCompactVisited {
+    fn default() -> Self {
+        ShardedCompactVisited::new()
+    }
+}
+
+impl SharedVisitedSet for ShardedCompactVisited {
+    fn contains(&self, state: &State) -> bool {
+        let h = state_hash(state, self.seed);
+        self.shards[h as usize & (SHARD_COUNT - 1)]
+            .lock()
+            .expect("shard poisoned")
+            .contains(&h)
+    }
+
+    fn insert_if_new(&self, state: &Arc<State>, budget: &StateBudget) -> SharedInsert {
+        let h = state_hash(state, self.seed);
+        let mut shard = self.shards[h as usize & (SHARD_COUNT - 1)]
+            .lock()
+            .expect("shard poisoned");
+        if shard.contains(&h) {
+            return SharedInsert::Duplicate;
+        }
+        if !budget.try_reserve() {
+            return SharedInsert::BudgetExhausted;
+        }
+        shard.insert(h);
+        SharedInsert::Inserted
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.len() * 16
+    }
+
+    fn kind(&self) -> VisitedKind {
+        VisitedKind::Compact
+    }
+
+    fn omission_probability(&self) -> f64 {
+        self.len() as f64 / 2f64.powi(64)
+    }
+}
+
+/// Concurrent variant of [`BitstateVisited`]: the same fixed bit arena,
+/// but made of [`AtomicU64`] words written with a compare-free `fetch_or`.
+///
+/// Setting bits with atomic OR is commutative, so a parallel run produces
+/// the *same final arena* as a sequential run over the same states (the
+/// hash seeds are shared), and the Bloom-filter omission estimate applies
+/// unchanged. Two caveats, both conservative:
+///
+/// * two workers racing to insert the *same* new state can each observe a
+///   fresh bit and both report [`SharedInsert::Inserted`] — the state is
+///   then expanded twice (sound, terminating: its successors deduplicate)
+///   and `len()` slightly over-counts, which only *raises* the reported
+///   omission probability;
+/// * a [`SharedInsert::BudgetExhausted`] insert may leave some bits set,
+///   which can only cause extra omissions, never a fabricated violation.
+pub struct ShardedBitstateVisited {
+    arena: Vec<AtomicU64>,
+    bits: u64,
+    hashes: u32,
+    inserted: AtomicUsize,
+    arena_bytes: usize,
+    seed1: u64,
+    seed2: u64,
+}
+
+impl ShardedBitstateVisited {
+    /// An empty atomic arena; parameters as in [`BitstateVisited::new`],
+    /// and the same hash seeds so snapshots interoperate.
+    pub fn new(arena_bytes: usize, hashes: u32) -> ShardedBitstateVisited {
+        let arena_bytes = arena_bytes.max(8);
+        let hashes = hashes.max(1);
+        let words = arena_bytes.div_ceil(8);
+        let mut family = SplitMix64::seed_from_u64(HASH_FAMILY_SEED);
+        let _compact_seed = family.next_u64();
+        ShardedBitstateVisited {
+            arena: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            bits: (words as u64) * 64,
+            hashes,
+            inserted: AtomicUsize::new(0),
+            arena_bytes,
+            seed1: family.next_u64(),
+            seed2: family.next_u64(),
+        }
+    }
+
+    /// Rebuilds the arena from a snapshot payload.
+    pub(crate) fn from_arena(
+        arena_bytes: usize,
+        hashes: u32,
+        arena: Vec<u64>,
+        inserted: usize,
+    ) -> ShardedBitstateVisited {
+        let set = ShardedBitstateVisited::new(arena_bytes, hashes);
+        debug_assert_eq!(set.arena.len(), arena.len());
+        for (word, value) in set.arena.iter().zip(arena) {
+            word.store(value, Ordering::Relaxed);
+        }
+        set.inserted.store(inserted, Ordering::Relaxed);
+        set
+    }
+
+    /// The arena words and insert count, for snapshotting.
+    pub(crate) fn snapshot_arena(&self) -> (Vec<u64>, usize) {
+        (
+            self.arena
+                .iter()
+                .map(|w| w.load(Ordering::SeqCst))
+                .collect(),
+            self.inserted.load(Ordering::SeqCst),
+        )
+    }
+
+    fn bit_indices(&self, state: &State) -> impl Iterator<Item = u64> + use<> {
+        let h1 = state_hash(state, self.seed1);
+        let h2 = state_hash(state, self.seed2) | 1;
+        let bits = self.bits;
+        (0..self.hashes as u64).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % bits)
+    }
+}
+
+impl SharedVisitedSet for ShardedBitstateVisited {
+    fn contains(&self, state: &State) -> bool {
+        self.bit_indices(state).all(|bit| {
+            self.arena[(bit / 64) as usize].load(Ordering::SeqCst) & (1 << (bit % 64)) != 0
+        })
+    }
+
+    fn insert_if_new(&self, state: &Arc<State>, budget: &StateBudget) -> SharedInsert {
+        if self.contains(state) {
+            return SharedInsert::Duplicate;
+        }
+        if !budget.try_reserve() {
+            return SharedInsert::BudgetExhausted;
+        }
+        let mut fresh = false;
+        for bit in self.bit_indices(state).collect::<Vec<_>>() {
+            let mask = 1u64 << (bit % 64);
+            let prev = self.arena[(bit / 64) as usize].fetch_or(mask, Ordering::SeqCst);
+            fresh |= prev & mask == 0;
+        }
+        if fresh {
+            self.inserted.fetch_add(1, Ordering::SeqCst);
+            SharedInsert::Inserted
+        } else {
+            budget.release();
+            SharedInsert::Duplicate
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inserted.load(Ordering::SeqCst)
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.arena.len() * 8
+    }
+
+    fn kind(&self) -> VisitedKind {
+        VisitedKind::Bitstate {
+            arena_bytes: self.arena_bytes,
+            hashes: self.hashes,
+        }
+    }
+
+    fn omission_probability(&self) -> f64 {
+        bloom_omission_probability(self.bits, self.hashes, self.len())
+    }
+}
+
+/// The concrete shared backend held by the parallel explorer (the mirror
+/// of [`AnyVisited`]).
+pub(crate) enum AnySharedVisited {
+    Exact(ShardedExactVisited),
+    Compact(ShardedCompactVisited),
+    Bitstate(ShardedBitstateVisited),
+}
+
+impl AnySharedVisited {
+    pub(crate) fn new(kind: VisitedKind, per_state_bytes: usize) -> AnySharedVisited {
+        match kind {
+            VisitedKind::Exact => {
+                AnySharedVisited::Exact(ShardedExactVisited::new(per_state_bytes))
+            }
+            VisitedKind::Compact => AnySharedVisited::Compact(ShardedCompactVisited::new()),
+            VisitedKind::Bitstate {
+                arena_bytes,
+                hashes,
+            } => AnySharedVisited::Bitstate(ShardedBitstateVisited::new(arena_bytes, hashes)),
+        }
+    }
+
+    /// Inserts a state already paid for (the initial state, or states
+    /// replayed from a snapshot).
+    pub(crate) fn insert_unbudgeted(&self, state: &Arc<State>) {
+        let unlimited = StateBudget::unlimited();
+        self.insert_if_new(state, &unlimited);
+    }
+
+    fn inner(&self) -> &dyn SharedVisitedSet {
+        match self {
+            AnySharedVisited::Exact(s) => s,
+            AnySharedVisited::Compact(s) => s,
+            AnySharedVisited::Bitstate(s) => s,
+        }
+    }
+}
+
+impl SharedVisitedSet for AnySharedVisited {
+    fn contains(&self, state: &State) -> bool {
+        self.inner().contains(state)
+    }
+
+    fn insert_if_new(&self, state: &Arc<State>, budget: &StateBudget) -> SharedInsert {
+        self.inner().insert_if_new(state, budget)
+    }
+
+    fn len(&self) -> usize {
+        self.inner().len()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.inner().approx_bytes()
+    }
+
+    fn kind(&self) -> VisitedKind {
+        self.inner().kind()
+    }
+
+    fn omission_probability(&self) -> f64 {
+        self.inner().omission_probability()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +1011,76 @@ mod tests {
         set.insert(&Rc::new(b));
         assert_eq!(set.approx_bytes(), before);
         assert!(before >= 4096);
+    }
+
+    #[test]
+    fn sharded_backends_agree_with_sequential_membership() {
+        let (a, b) = two_states();
+        let budget = StateBudget::new(0, usize::MAX);
+        let shared: Vec<Box<dyn SharedVisitedSet>> = vec![
+            Box::new(ShardedExactVisited::new(128)),
+            Box::new(ShardedCompactVisited::new()),
+            Box::new(ShardedBitstateVisited::new(1024, 3)),
+        ];
+        for set in shared {
+            let (a, b) = (Arc::new(a.clone()), Arc::new(b.clone()));
+            assert!(!set.contains(&a), "{} starts empty", set.kind());
+            assert_eq!(set.insert_if_new(&a, &budget), SharedInsert::Inserted);
+            assert_eq!(set.insert_if_new(&a, &budget), SharedInsert::Duplicate);
+            assert!(set.contains(&a));
+            assert!(!set.contains(&b), "{} distinguishes states", set.kind());
+            assert_eq!(set.insert_if_new(&b, &budget), SharedInsert::Inserted);
+            assert_eq!(set.len(), 2, "{} counts inserts", set.kind());
+        }
+    }
+
+    #[test]
+    fn sharded_budget_charges_only_new_states() {
+        let (a, b) = two_states();
+        let (a, b) = (Arc::new(a), Arc::new(b));
+        let set = ShardedExactVisited::new(128);
+        let budget = StateBudget::new(0, 1);
+        assert_eq!(set.insert_if_new(&a, &budget), SharedInsert::Inserted);
+        // A duplicate never touches the budget, even at the cap.
+        assert_eq!(set.insert_if_new(&a, &budget), SharedInsert::Duplicate);
+        assert_eq!(budget.reserved(), 1);
+        // A genuinely new state past the cap trips.
+        assert_eq!(
+            set.insert_if_new(&b, &budget),
+            SharedInsert::BudgetExhausted
+        );
+        assert!(!set.contains(&b), "a budget-refused state is not inserted");
+    }
+
+    #[test]
+    fn sharded_compact_hashes_match_sequential_backend() {
+        let (a, b) = two_states();
+        let (a, b) = (Arc::new(a), Arc::new(b));
+        let mut seq = CompactVisited::new();
+        seq.insert(&Rc::new((*a).clone()));
+        seq.insert(&Rc::new((*b).clone()));
+        let shared = ShardedCompactVisited::new();
+        let budget = StateBudget::unlimited();
+        shared.insert_if_new(&a, &budget);
+        shared.insert_if_new(&b, &budget);
+        assert_eq!(seq.snapshot_hashes(), shared.snapshot_hashes());
+    }
+
+    #[test]
+    fn sharded_bitstate_arena_matches_sequential_backend() {
+        let (a, b) = two_states();
+        let (a, b) = (Arc::new(a), Arc::new(b));
+        let mut seq = BitstateVisited::new(1024, 3);
+        seq.insert(&Rc::new((*a).clone()));
+        seq.insert(&Rc::new((*b).clone()));
+        let shared = ShardedBitstateVisited::new(1024, 3);
+        let budget = StateBudget::unlimited();
+        shared.insert_if_new(&a, &budget);
+        shared.insert_if_new(&b, &budget);
+        let (seq_arena, seq_inserted) = seq.snapshot_arena();
+        let (shared_arena, shared_inserted) = shared.snapshot_arena();
+        assert_eq!(seq_arena, shared_arena.as_slice());
+        assert_eq!(seq_inserted, shared_inserted);
     }
 
     #[test]

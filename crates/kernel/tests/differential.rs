@@ -1,0 +1,419 @@
+//! Differential tests: the parallel safety search must agree with the
+//! sequential kernel.
+//!
+//! For every corpus program, parallel runs at 2, 4, and 8 threads are
+//! compared against the sequential (1-thread) run:
+//!
+//! * identical verdicts, always;
+//! * identical `unique_states`, `steps`, and `max_depth` for exhaustive
+//!   `Holds` runs under the exact backend (the parallel kernel explores
+//!   the same reduced state graph, level by level);
+//! * violation traces of the same (shortest) length that replay exactly
+//!   against the program.
+//!
+//! The determinism contract is pinned here too: a 1-thread run is fully
+//! reproducible (byte-identical report modulo wall-clock `elapsed`);
+//! for threads > 1 the verdict and the exhaustive-run counters above are
+//! stable, while `peak_frontier`, `approx_memory_bytes`, `elapsed`, and
+//! *which* counterexample is reported may vary between runs.
+
+use std::mem::discriminant;
+use std::time::Duration;
+
+use pnp_kernel::{
+    expr, Action, Checker, Guard, Predicate, ProcessBuilder, Program, ProgramBuilder, SafetyChecks,
+    SafetyOutcome, SearchConfig, VisitedKind,
+};
+
+/// Two processes that each toggle a shared flag `n` times.
+fn toggler(n: i32) -> Program {
+    let mut prog = ProgramBuilder::new();
+    let flag = prog.global("flag", 0);
+    for name in ["a", "b"] {
+        let mut p = ProcessBuilder::new(name);
+        let count = p.local("count", 0);
+        let s0 = p.location("loop");
+        let s1 = p.location("done");
+        p.mark_end(s1);
+        p.transition(
+            s0,
+            s0,
+            Guard::when(expr::lt(expr::local(count), n.into())),
+            Action::assign_all(vec![
+                (flag.into(), expr::not(expr::global(flag))),
+                (count.into(), expr::local(count) + 1.into()),
+            ]),
+            "toggle",
+        );
+        p.transition(
+            s0,
+            s1,
+            Guard::when(expr::ge(expr::local(count), n.into())),
+            Action::Skip,
+            "finish",
+        );
+        prog.add_process(p).unwrap();
+    }
+    prog.build().unwrap()
+}
+
+/// A producer/consumer pair over a bounded FIFO channel.
+fn buffered_pipe(messages: i32, capacity: usize) -> Program {
+    let mut prog = ProgramBuilder::new();
+    let chan = prog.channel("pipe", capacity, 1);
+    let got = prog.global("got", 0);
+
+    let mut producer = ProcessBuilder::new("producer");
+    let sent = producer.local("sent", 0);
+    let s0 = producer.location("send");
+    let s1 = producer.location("done");
+    producer.mark_end(s1);
+    producer.transition(
+        s0,
+        s0,
+        Guard::when(expr::lt(expr::local(sent), messages.into())),
+        Action::send(chan, vec![expr::local(sent) + 1.into()]),
+        "send",
+    );
+    producer.transition(
+        s0,
+        s0,
+        Guard::when(expr::lt(expr::local(sent), messages.into())),
+        Action::assign(sent, expr::local(sent) + 1.into()),
+        "bump",
+    );
+    producer.transition(
+        s0,
+        s1,
+        Guard::when(expr::ge(expr::local(sent), messages.into())),
+        Action::Skip,
+        "finish",
+    );
+    prog.add_process(producer).unwrap();
+
+    let mut consumer = ProcessBuilder::new("consumer");
+    let seen = consumer.local("seen", 0);
+    let c0 = consumer.location("recv");
+    let c1 = consumer.location("done");
+    consumer.mark_end(c0);
+    consumer.mark_end(c1);
+    consumer.transition(c0, c0, Guard::always(), Action::recv_any(chan, 1), "recv");
+    consumer.transition(
+        c0,
+        c1,
+        Guard::when(expr::ge(expr::local(seen), 0.into())),
+        Action::assign(got, expr::global(got) + 1.into()),
+        "tally",
+    );
+    prog.add_process(consumer).unwrap();
+    prog.build().unwrap()
+}
+
+/// Two processes that each wait to receive before sending: a guaranteed
+/// deadlock.
+fn mutual_wait() -> Program {
+    let mut prog = ProgramBuilder::new();
+    let c1 = prog.channel("c1", 0, 1);
+    let c2 = prog.channel("c2", 0, 1);
+    for (name, recv_chan, send_chan) in [("p", c1, c2), ("q", c2, c1)] {
+        let mut p = ProcessBuilder::new(name);
+        let s0 = p.location("wait");
+        let s1 = p.location("reply");
+        let s2 = p.location("done");
+        p.mark_end(s2);
+        p.transition(
+            s0,
+            s1,
+            Guard::always(),
+            Action::recv_any(recv_chan, 1),
+            "recv",
+        );
+        p.transition(
+            s1,
+            s2,
+            Guard::always(),
+            Action::send(send_chan, vec![1.into()]),
+            "send",
+        );
+        prog.add_process(p).unwrap();
+    }
+    prog.build().unwrap()
+}
+
+/// Two incrementers racing past an asserted bound: an assertion failure
+/// a few levels deep.
+fn assertion_bug() -> Program {
+    let mut prog = ProgramBuilder::new();
+    let x = prog.global("x", 0);
+    for name in ["inc_a", "inc_b"] {
+        let mut p = ProcessBuilder::new(name);
+        let s0 = p.location("first");
+        let s1 = p.location("second");
+        let s2 = p.location("check");
+        let s3 = p.location("done");
+        p.mark_end(s3);
+        let bump = Action::assign(x, expr::global(x) + 1.into());
+        p.transition(s0, s1, Guard::always(), bump.clone(), "bump1");
+        p.transition(s1, s2, Guard::always(), bump, "bump2");
+        p.transition(
+            s2,
+            s3,
+            Guard::always(),
+            Action::assert(expr::lt(expr::global(x), 4.into()), "x < 4"),
+            "assert",
+        );
+        prog.add_process(p).unwrap();
+    }
+    prog.build().unwrap()
+}
+
+/// A seeded invariant bug: the flag escapes its advertised bound only
+/// after both processes have toggled several times.
+fn seeded_invariant_bug() -> (Program, SafetyChecks) {
+    let mut prog = ProgramBuilder::new();
+    let total = prog.global("total", 0);
+    for name in ["a", "b"] {
+        let mut p = ProcessBuilder::new(name);
+        let count = p.local("count", 0);
+        let s0 = p.location("loop");
+        let s1 = p.location("done");
+        p.mark_end(s1);
+        p.transition(
+            s0,
+            s0,
+            Guard::when(expr::lt(expr::local(count), 3.into())),
+            Action::assign_all(vec![
+                (total.into(), expr::global(total) + 1.into()),
+                (count.into(), expr::local(count) + 1.into()),
+            ]),
+            "bump",
+        );
+        p.transition(
+            s0,
+            s1,
+            Guard::when(expr::ge(expr::local(count), 3.into())),
+            Action::Skip,
+            "finish",
+        );
+        prog.add_process(p).unwrap();
+    }
+    let program = prog.build().unwrap();
+    let total = program.global_by_name("total").unwrap();
+    let checks = SafetyChecks {
+        deadlock: false,
+        invariants: vec![(
+            "total under 5".into(),
+            Predicate::from_expr(expr::lt(expr::global(total), 5.into())),
+        )],
+    };
+    (program, checks)
+}
+
+/// The differential corpus: name, program, and the checks to run.
+fn corpus() -> Vec<(&'static str, Program, SafetyChecks)> {
+    let mut corpus = Vec::new();
+
+    let program = toggler(4);
+    let flag = program.global_by_name("flag").unwrap();
+    corpus.push((
+        "toggler holds",
+        program,
+        SafetyChecks {
+            deadlock: true,
+            invariants: vec![(
+                "flag is a bit".into(),
+                Predicate::from_expr(expr::and(
+                    expr::ge(expr::global(flag), 0.into()),
+                    expr::le(expr::global(flag), 1.into()),
+                )),
+            )],
+        },
+    ));
+
+    corpus.push((
+        "buffered pipe holds",
+        buffered_pipe(3, 2),
+        SafetyChecks {
+            deadlock: false,
+            invariants: Vec::new(),
+        },
+    ));
+
+    corpus.push((
+        "mutual wait deadlock",
+        mutual_wait(),
+        SafetyChecks::deadlock_only(),
+    ));
+
+    corpus.push((
+        "assertion bug",
+        assertion_bug(),
+        SafetyChecks {
+            deadlock: false,
+            invariants: Vec::new(),
+        },
+    ));
+
+    let (program, checks) = seeded_invariant_bug();
+    corpus.push(("seeded invariant bug", program, checks));
+
+    corpus
+}
+
+fn run(
+    program: &Program,
+    checks: &SafetyChecks,
+    threads: usize,
+    visited: VisitedKind,
+) -> pnp_kernel::SafetyReport {
+    Checker::with_config(
+        program,
+        SearchConfig {
+            threads,
+            visited,
+            ..SearchConfig::default()
+        },
+    )
+    .check_safety(checks)
+    .unwrap()
+}
+
+#[test]
+fn parallel_matches_sequential_on_corpus() {
+    for (name, program, checks) in corpus() {
+        let seq = run(&program, &checks, 1, VisitedKind::Exact);
+        for threads in [2, 4, 8] {
+            let par = run(&program, &checks, threads, VisitedKind::Exact);
+            assert_eq!(
+                discriminant(&par.outcome),
+                discriminant(&seq.outcome),
+                "{name}@{threads}: verdict {:?} vs sequential {:?}",
+                par.outcome,
+                seq.outcome
+            );
+            if seq.outcome.is_holds() {
+                assert_eq!(
+                    par.stats.unique_states, seq.stats.unique_states,
+                    "{name}@{threads}: states"
+                );
+                assert_eq!(par.stats.steps, seq.stats.steps, "{name}@{threads}: steps");
+                assert_eq!(
+                    par.stats.max_depth, seq.stats.max_depth,
+                    "{name}@{threads}: depth"
+                );
+            } else {
+                // BFS shortest-counterexample property: the parallel trace
+                // may differ from the sequential one but must be equally
+                // short and must replay exactly.
+                let seq_trace = seq.outcome.trace().expect("sequential trace");
+                let par_trace = par.outcome.trace().expect("parallel trace");
+                assert_eq!(
+                    par_trace.len(),
+                    seq_trace.len(),
+                    "{name}@{threads}: trace length"
+                );
+                let end = Checker::new(&program).replay_trace(par_trace).unwrap();
+                assert!(end.is_some(), "{name}@{threads}: trace must replay exactly");
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_without_reduction() {
+    for (name, program, checks) in corpus() {
+        let base = SearchConfig {
+            partial_order_reduction: false,
+            ..SearchConfig::default()
+        };
+        let seq = Checker::with_config(&program, base)
+            .check_safety(&checks)
+            .unwrap();
+        let par = Checker::with_config(&program, SearchConfig { threads: 4, ..base })
+            .check_safety(&checks)
+            .unwrap();
+        assert_eq!(
+            discriminant(&par.outcome),
+            discriminant(&seq.outcome),
+            "{name}: verdict"
+        );
+        if seq.outcome.is_holds() {
+            assert_eq!(par.stats.unique_states, seq.stats.unique_states, "{name}");
+            assert_eq!(par.stats.steps, seq.stats.steps, "{name}");
+            assert_eq!(par.stats.max_depth, seq.stats.max_depth, "{name}");
+        }
+    }
+}
+
+#[test]
+fn parallel_compact_backend_agrees_on_corpus() {
+    // The corpus is far too small for 64-bit hash collisions, so the
+    // compact backend must report the same (approximate) verdicts and
+    // state counts in both kernels.
+    for (name, program, checks) in corpus() {
+        let seq = run(&program, &checks, 1, VisitedKind::Compact);
+        let par = run(&program, &checks, 4, VisitedKind::Compact);
+        assert_eq!(
+            discriminant(&par.outcome),
+            discriminant(&seq.outcome),
+            "{name}: verdict {:?} vs {:?}",
+            par.outcome,
+            seq.outcome
+        );
+        if let (
+            SafetyOutcome::HoldsApprox {
+                states_visited: s, ..
+            },
+            SafetyOutcome::HoldsApprox {
+                states_visited: p, ..
+            },
+        ) = (&seq.outcome, &par.outcome)
+        {
+            assert_eq!(p, s, "{name}: states modulo hashing");
+        }
+        assert_eq!(par.stats.replay_rejected, 0, "{name}: no replay rejections");
+    }
+}
+
+#[test]
+fn single_thread_reports_are_byte_identical_across_runs() {
+    // threads = 1 dispatches to the exact sequential kernel: everything
+    // except wall-clock `elapsed` is reproducible bit for bit.
+    for (name, program, checks) in corpus() {
+        let reports: Vec<String> = (0..3)
+            .map(|_| {
+                let mut report = run(&program, &checks, 1, VisitedKind::Exact);
+                report.stats.elapsed = Duration::ZERO;
+                format!("{report:?}")
+            })
+            .collect();
+        assert_eq!(reports[0], reports[1], "{name}: run 1 vs 2");
+        assert_eq!(reports[1], reports[2], "{name}: run 2 vs 3");
+    }
+}
+
+#[test]
+fn multi_thread_verdicts_are_stable_across_runs() {
+    // For threads > 1 the *verdict* is deterministic, and so are the
+    // exhaustive-run counters (unique_states/steps/max_depth). The fields
+    // allowed to vary are: which counterexample is reported (same length,
+    // still shortest), `peak_frontier`, `approx_memory_bytes`, and
+    // `elapsed`.
+    for (name, program, checks) in corpus() {
+        let a = run(&program, &checks, 4, VisitedKind::Exact);
+        let b = run(&program, &checks, 4, VisitedKind::Exact);
+        assert_eq!(
+            discriminant(&a.outcome),
+            discriminant(&b.outcome),
+            "{name}: verdict stable"
+        );
+        if a.outcome.is_holds() {
+            assert_eq!(a.stats.unique_states, b.stats.unique_states, "{name}");
+            assert_eq!(a.stats.steps, b.stats.steps, "{name}");
+            assert_eq!(a.stats.max_depth, b.stats.max_depth, "{name}");
+        }
+        if let (Some(ta), Some(tb)) = (a.outcome.trace(), b.outcome.trace()) {
+            assert_eq!(ta.len(), tb.len(), "{name}: shortest-trace length stable");
+        }
+    }
+}

@@ -31,6 +31,13 @@
 //!   per `--checkpoint-every N` states, default 4096, and always when a
 //!   budget trips or the run is interrupted with Ctrl-C);
 //! - `--resume FILE` continues an interrupted run from a snapshot.
+//!
+//! Parallelism: `--threads N` (default 1) runs safety searches with `N`
+//! worker threads over a sharded visited set. `--threads 1` is exactly the
+//! sequential kernel; any `N` reports identical verdicts, and exhaustive
+//! runs report identical state counts. Checkpoints written at any thread
+//! count can be resumed at any other. LTL properties always check
+//! sequentially.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -46,7 +53,7 @@ fn usage() -> ExitCode {
          \u{20}                [--budget states=N,time=MS,depth=D,mem=BYTES]\n\
          \u{20}                [--visited exact|compact|bitstate[:MB]]\n\
          \u{20}                [--checkpoint FILE [--checkpoint-every N]]\n\
-         \u{20}                [--resume FILE]"
+         \u{20}                [--resume FILE] [--threads N]"
     );
     ExitCode::from(2)
 }
@@ -239,6 +246,17 @@ fn main() -> ExitCode {
         Err(code) => return code,
     };
     let checkpoint_every = flag_value("--checkpoint-every").unwrap_or(4096) as usize;
+    let threads = match flag_str("--threads") {
+        Ok(None) => 1,
+        Ok(Some(value)) => match value.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("pnp-check: --threads '{value}': want a worker count of at least 1");
+                return ExitCode::from(2);
+            }
+        },
+        Err(code) => return code,
+    };
 
     let source = match std::fs::read_to_string(&path) {
         Ok(s) => s,
@@ -277,6 +295,7 @@ fn main() -> ExitCode {
             }
         };
     }
+    config.threads = threads;
     let resume = match resume_path {
         Some(file) => match pnp_kernel::load_snapshot(file) {
             Ok(snapshot) => {

@@ -92,7 +92,10 @@ impl fmt::Display for PropertyResult {
 /// machinery (cancellation, checkpointing, resume).
 #[derive(Debug, Clone, Default)]
 pub struct VerifyOptions {
-    /// Search budgets and the visited-set backend.
+    /// Search budgets, the visited-set backend, and the worker-thread
+    /// count: `config.threads > 1` runs each safety search in parallel
+    /// (identical verdicts; see [`SearchConfig::threads`]), while LTL
+    /// properties always check sequentially.
     pub config: SearchConfig,
     /// Cooperative cancellation, typically wired to SIGINT. A cancelled
     /// run reports the affected property as inconclusive and — when

@@ -74,6 +74,36 @@ fn bridge_specs_differ_only_in_enter_ports() {
     assert_eq!(changed, 2);
 }
 
+/// `VerifyOptions.config.threads` flows through to the safety search: a
+/// parallel run reports the same verdicts and the same per-property state
+/// counts as the default sequential run.
+#[test]
+fn parallel_verification_matches_sequential_results() {
+    use pnp_kernel::SearchConfig;
+
+    for source in [WIRE, BRIDGE_BUGGY, BRIDGE_FIXED] {
+        let spec = compile(source).unwrap();
+        let sequential = spec.verify_all().unwrap();
+        let parallel = spec
+            .verify_all_with_config(SearchConfig {
+                threads: 4,
+                ..SearchConfig::default()
+            })
+            .unwrap();
+        assert_eq!(sequential.len(), parallel.len());
+        for (seq, par) in sequential.iter().zip(&parallel) {
+            assert_eq!(seq.name, par.name);
+            assert_eq!(seq.holds, par.holds, "{}: {}", par.name, par.detail);
+            assert_eq!(seq.inconclusive, par.inconclusive, "{}", par.name);
+            if seq.holds {
+                // Exhaustive Holds runs explore the identical reduced
+                // graph, so the reported state counts match exactly.
+                assert_eq!(seq.states, par.states, "{}", par.name);
+            }
+        }
+    }
+}
+
 #[test]
 fn priority_mail_spec_holds_everywhere() {
     let spec = compile(PRIORITY_MAIL).unwrap();

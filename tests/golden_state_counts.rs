@@ -9,7 +9,7 @@ mod common;
 use common::wire_system;
 use pnp_bridge::{exactly_n_bridge, safety_invariant, BridgeConfig};
 use pnp_core::{ChannelKind, RecvPortKind, SendPortKind};
-use pnp_kernel::{Checker, SafetyChecks};
+use pnp_kernel::{BudgetKind, Checker, SafetyChecks, SafetyOutcome, SearchConfig};
 
 #[test]
 fn buggy_bridge_explores_exactly_the_recorded_states() {
@@ -57,6 +57,137 @@ fn pipe_state_counts_match_experiments_table() {
             "{} composition drifted",
             send.name()
         );
+    }
+}
+
+#[test]
+fn threads_one_is_behaviorally_identical_to_sequential() {
+    // `--threads 1` must dispatch to the exact sequential kernel: the
+    // golden counts above are reproduced bit for bit under an explicit
+    // single-thread config.
+    let system = exactly_n_bridge(&BridgeConfig::buggy()).unwrap();
+    let program = system.program();
+    let report = Checker::with_config(
+        program,
+        SearchConfig {
+            threads: 1,
+            ..SearchConfig::default()
+        },
+    )
+    .check_safety(&SafetyChecks {
+        deadlock: false,
+        invariants: vec![safety_invariant(program)],
+    })
+    .unwrap();
+    assert_eq!(report.stats.unique_states, 1047);
+    assert_eq!(report.outcome.trace().unwrap().len(), 14);
+}
+
+#[test]
+fn parallel_search_reproduces_golden_counts() {
+    // The level-synchronised parallel kernel explores the same reduced
+    // state graph as the sequential kernel, so exhaustive Holds runs must
+    // reproduce the golden counts exactly at any worker count.
+    let expectations = [
+        (SendPortKind::AsynNonblocking, 226usize),
+        (SendPortKind::AsynBlocking, 194),
+        (SendPortKind::SynBlocking, 95),
+    ];
+    for (send, expected) in expectations {
+        let wire = wire_system(
+            send,
+            ChannelKind::Fifo { capacity: 2 },
+            RecvPortKind::blocking(),
+            &[(1, 0), (2, 0)],
+            2,
+            None,
+            false,
+        );
+        let report = Checker::with_config(
+            wire.system.program(),
+            SearchConfig {
+                threads: 4,
+                ..SearchConfig::default()
+            },
+        )
+        .check_safety(&SafetyChecks::deadlock_only())
+        .unwrap();
+        assert_eq!(
+            report.stats.unique_states,
+            expected,
+            "{} parallel count drifted from sequential golden count",
+            send.name()
+        );
+    }
+
+    // Violations keep the BFS shortest-counterexample guarantee: the buggy
+    // bridge trace has the same golden length under the parallel kernel.
+    let system = exactly_n_bridge(&BridgeConfig::buggy()).unwrap();
+    let program = system.program();
+    let report = Checker::with_config(
+        program,
+        SearchConfig {
+            threads: 4,
+            ..SearchConfig::default()
+        },
+    )
+    .check_safety(&SafetyChecks {
+        deadlock: false,
+        invariants: vec![safety_invariant(program)],
+    })
+    .unwrap();
+    assert_eq!(report.outcome.trace().unwrap().len(), 14);
+}
+
+#[test]
+fn budget_counting_point_is_identical_in_both_kernels() {
+    // Regression for the budget counting point: `max_states` counts unique
+    // *interned* states, charged strictly after the visited-set dedup, in
+    // both kernels. The AsynBlocking wire explores exactly 194 states, so
+    // a budget of 194 completes (Holds) and a budget of 193 trips with
+    // `states_covered == 193` — sequential and parallel alike.
+    let run = |threads: usize, max_states: usize| {
+        let wire = wire_system(
+            SendPortKind::AsynBlocking,
+            ChannelKind::Fifo { capacity: 2 },
+            RecvPortKind::blocking(),
+            &[(1, 0), (2, 0)],
+            2,
+            None,
+            false,
+        );
+        Checker::with_config(
+            wire.system.program(),
+            SearchConfig {
+                threads,
+                max_states,
+                ..SearchConfig::default()
+            },
+        )
+        .check_safety(&SafetyChecks::deadlock_only())
+        .unwrap()
+    };
+    for threads in [1, 4] {
+        let exact = run(threads, 194);
+        assert_eq!(
+            exact.outcome,
+            SafetyOutcome::Holds,
+            "threads={threads}: budget equal to the state space must complete"
+        );
+        assert_eq!(exact.stats.unique_states, 194);
+
+        let tripped = run(threads, 193);
+        match tripped.outcome {
+            SafetyOutcome::LimitReached {
+                budget: BudgetKind::States,
+                states_covered,
+                ..
+            } => assert_eq!(
+                states_covered, 193,
+                "threads={threads}: counting point drifted"
+            ),
+            ref other => panic!("threads={threads}: expected LimitReached, got {other:?}"),
+        }
     }
 }
 
