@@ -28,6 +28,125 @@ fn main() {
     fault_costs();
     visited_backends();
     e15_parallel_scaling();
+    e16_service_soak();
+}
+
+fn e16_service_soak() {
+    use pnp_serve::job::{Chaos, JobConfig, JobRequest};
+    use pnp_serve::supervisor::{ServeConfig, Supervisor};
+
+    println!("== E16: supervised verification service — soak ==");
+    const SPEC: &str = "system {\n    global total = 0;\n\
+        component a { var c = 0; state w, d; end d;\n\
+            from w if c < 8 do c = c + 1 goto w;\n\
+            from w if c >= 8 do total = total + 1 goto d; }\n\
+        component b { var c = 0; state w, d; end d;\n\
+            from w if c < 8 do c = c + 1 goto w;\n\
+            from w if c >= 8 do total = total + 1 goto d; }\n\
+        component c { var c = 0; state w, d; end d;\n\
+            from w if c < 8 do c = c + 1 goto w;\n\
+            from w if c >= 8 do total = total + 1 goto d; }\n\
+        property totals: invariant total <= 3;\n}";
+
+    let state_dir = std::env::temp_dir().join(format!("pnp-e16-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let config = ServeConfig {
+        workers: 3,
+        backoff_base: std::time::Duration::from_millis(5),
+        backoff_cap: std::time::Duration::from_millis(25),
+        checkpoint_every: 64,
+        state_dir: state_dir.clone(),
+        ..ServeConfig::default()
+    };
+    let supervisor = Supervisor::start(config).expect("service starts");
+
+    let budgeted = {
+        let mut c = JobConfig::default();
+        c.config.max_states = 100;
+        c
+    };
+    let profiles: [(&str, JobConfig, usize); 4] = [
+        ("clean", JobConfig::default(), 8),
+        (
+            "panic once, resume",
+            JobConfig {
+                chaos: Some(Chaos::PanicOnFlush {
+                    flush: 3,
+                    attempts: 1,
+                }),
+                ..JobConfig::default()
+            },
+            8,
+        ),
+        (
+            "panic storm",
+            JobConfig {
+                chaos: Some(Chaos::PanicOnFlush {
+                    flush: 1,
+                    attempts: 99,
+                }),
+                max_attempts: Some(3),
+                ..JobConfig::default()
+            },
+            4,
+        ),
+        ("over budget", budgeted, 4),
+    ];
+
+    println!(
+        "{:<22} {:>5} {:>14} {:>10} {:>9}",
+        "profile", "jobs", "verdict", "attempts", "time"
+    );
+    let t0 = Instant::now();
+    for (label, job_config, count) in &profiles {
+        let p0 = Instant::now();
+        let ids: Vec<_> = (0..*count)
+            .map(|_| {
+                supervisor
+                    .submit(JobRequest {
+                        source: SPEC.to_string(),
+                        config: *job_config,
+                    })
+                    .expect("soak stays under the admission watermark")
+            })
+            .collect();
+        let mut verdicts = std::collections::BTreeMap::new();
+        let mut attempts = 0u32;
+        for id in ids {
+            let verdict = supervisor
+                .wait_done(id, std::time::Duration::from_secs(120))
+                .expect("soak job finishes");
+            *verdicts.entry(verdict.as_str()).or_insert(0u32) += 1;
+            attempts += supervisor.attempts(id).unwrap_or(0);
+        }
+        let summary: Vec<String> = verdicts.iter().map(|(v, n)| format!("{n} {v}")).collect();
+        println!(
+            "{:<22} {:>5} {:>14} {:>10} {:>8.2?}",
+            label,
+            count,
+            summary.join(", "),
+            attempts,
+            p0.elapsed()
+        );
+    }
+    let stats = supervisor.stats();
+    println!(
+        "service counters: submitted {} | completed {} | retries {} | \
+         panics caught {} | workers replaced {} | shed {}",
+        stats.submitted,
+        stats.completed,
+        stats.retries,
+        stats.panics_caught,
+        stats.workers_replaced,
+        stats.shed
+    );
+    println!(
+        "soak wall clock: {:.2?} for {} jobs\n",
+        t0.elapsed(),
+        profiles.iter().map(|(_, _, n)| n).sum::<usize>()
+    );
+    supervisor.drain();
+    let _ = std::fs::remove_dir_all(&state_dir);
 }
 
 fn e15_parallel_scaling() {

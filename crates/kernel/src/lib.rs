@@ -74,10 +74,12 @@ mod dot;
 mod explore;
 mod expression;
 mod liveness;
+mod outcome;
 mod parallel;
 mod program;
 mod reduction;
 mod rng;
+mod signals;
 mod sim;
 mod snapshot;
 mod state;
@@ -90,12 +92,14 @@ pub use explore::{
 };
 pub use expression::{expr, EvalError, Expr};
 pub use liveness::{Fairness, LtlOutcome, LtlReport, Proposition};
+pub use outcome::{panic_message, FailureClass, JobOutcome};
 pub use program::{
     Action, BuildError, ChanId, ChannelDecl, FieldPat, GlobalId, Guard, LValue, Loc, LocalId,
     NativeGuard, NativeOp, ProcId, ProcessBuilder, ProcessDef, Program, ProgramBuilder, RecvPolicy,
     Transition,
 };
 pub use rng::{mix64, SplitMix64};
+pub use signals::{cancel_on_termination, watch_termination, TerminationFlag};
 pub use sim::{SimObservation, SimReport, Simulator};
 pub use snapshot::{
     load_snapshot, program_fingerprint, FileSink, Snapshot, SnapshotError, SnapshotSink,

@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use pnp_ltl::{translate, Buchi, Ltl};
 
-use crate::explore::{Checker, Predicate, SearchStats};
+use crate::explore::{CancelToken, Checker, Predicate, SearchStats};
 use crate::state::{apply_step, enabled_steps, KernelError, State, StateView, Step};
 use crate::trace::{Trace, TraceEvent};
 
@@ -187,7 +187,18 @@ impl<'p> ProductGraph<'p> {
         if let Some(&id) = self.sys_index.get(&rc) {
             return Some(id);
         }
-        if self.sys_states.len() >= self.checker.config.max_states {
+        // Cancellation shares the truncation path: the product search
+        // stops interning new system states and winds down over the
+        // already-explored portion, reporting a truncated (inconclusive)
+        // result instead of a proof — the same graceful degradation a
+        // tripped state budget gets.
+        if self.sys_states.len() >= self.checker.config.max_states
+            || self
+                .checker
+                .cancel
+                .as_ref()
+                .is_some_and(CancelToken::is_cancelled)
+        {
             self.truncated = true;
             return None;
         }

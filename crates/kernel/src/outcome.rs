@@ -1,0 +1,196 @@
+//! Structured attempt outcomes for supervised verification.
+//!
+//! A long-running verification service (the `pnp-serve` daemon) runs each
+//! job attempt under `catch_unwind` with budgets, a cancellation token,
+//! and checkpointing, then has to decide what to do with whatever came
+//! back: report a verdict, report partial coverage, retry from the last
+//! snapshot, or fail the job permanently. That decision hinges on a
+//! *classification* the kernel is best placed to make — which failures
+//! are deterministic properties of the model (retrying reproduces them
+//! bit for bit) and which are environmental (a retry from the last
+//! checkpoint may well succeed).
+//!
+//! [`JobOutcome`] is that classification, and [`FailureClass`] the
+//! transient/permanent split underneath it. The supervisor's own policy
+//! (how many retries, what backoff, how watchdog cancellations differ
+//! from user cancellations) stays in the service; the kernel only states
+//! facts about the attempt.
+
+use std::any::Any;
+
+use crate::explore::BudgetKind;
+use crate::state::KernelError;
+
+/// How a failed verification attempt should be treated by a supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureClass {
+    /// Environmental or isolated: a panic, an I/O hiccup while storing a
+    /// checkpoint. Retrying — ideally resuming from the last snapshot —
+    /// may succeed, and loses nothing when it does not.
+    Transient,
+    /// A deterministic property of the model or the request: a broken
+    /// expression, an unresolvable proposition, a malformed formula.
+    /// Retrying reproduces the same failure; fail the job instead.
+    Permanent,
+}
+
+/// The structured outcome of one supervised verification attempt.
+///
+/// Build one with [`JobOutcome::from_budget`] (the attempt stopped on a
+/// search budget), [`JobOutcome::classify_error`] (the attempt returned a
+/// [`KernelError`]), or [`JobOutcome::classify_panic`] (the attempt
+/// panicked and `catch_unwind` caught it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Every property reached a definitive verdict (holds, holds modulo
+    /// hashing, or violated). The job is done; report the verdicts.
+    Conclusive,
+    /// A client-requested budget tripped. Partial coverage is a
+    /// *deterministic* function of the request: retrying under the same
+    /// budget trips it again, so the job finishes as inconclusive with
+    /// its partial statistics rather than being retried.
+    OutOfBudget(
+        /// The budget that stopped the search.
+        BudgetKind,
+    ),
+    /// The attempt was cancelled through its [`crate::CancelToken`]. Only
+    /// the caller knows why it cancelled — a watchdog deadline (retry
+    /// from the flushed snapshot), a drain (requeue), or a user request
+    /// (stop) — so cancellation classifies as neither success nor
+    /// failure here.
+    Interrupted,
+    /// The attempt failed outright; `class` says whether a retry can
+    /// help.
+    Failed {
+        /// Transient (retry from the last checkpoint) or permanent
+        /// (fail the job).
+        class: FailureClass,
+        /// A human-readable reason, e.g. the panic message or the
+        /// kernel error rendering.
+        reason: String,
+    },
+}
+
+impl JobOutcome {
+    /// Classifies a budget stop: cancellation becomes
+    /// [`JobOutcome::Interrupted`] (the supervisor knows why it
+    /// cancelled), every real budget becomes
+    /// [`JobOutcome::OutOfBudget`].
+    pub fn from_budget(budget: BudgetKind) -> JobOutcome {
+        match budget {
+            BudgetKind::Cancelled => JobOutcome::Interrupted,
+            other => JobOutcome::OutOfBudget(other),
+        }
+    }
+
+    /// Classifies a [`KernelError`] from a failed attempt.
+    ///
+    /// Model errors ([`KernelError::Eval`], an unknown proposition, a
+    /// malformed LTL formula) are deterministic — the model itself is
+    /// broken — and classify as [`FailureClass::Permanent`]. Snapshot
+    /// storage errors are I/O and classify as
+    /// [`FailureClass::Transient`]: the disk may recover, and the search
+    /// itself was healthy.
+    pub fn classify_error(error: &KernelError) -> JobOutcome {
+        let class = match error {
+            KernelError::Eval { .. }
+            | KernelError::UnknownProposition { .. }
+            | KernelError::LtlParse { .. } => FailureClass::Permanent,
+            KernelError::Snapshot { .. } => FailureClass::Transient,
+        };
+        JobOutcome::Failed {
+            class,
+            reason: error.to_string(),
+        }
+    }
+
+    /// Classifies a caught panic payload (from
+    /// [`std::panic::catch_unwind`]) as a transient failure carrying the
+    /// panic message.
+    ///
+    /// Panics are treated as transient: the kernel itself never panics on
+    /// malformed input (that is a tested contract), so a panic in an
+    /// attempt is either an injected fault, a native predicate bug, or an
+    /// environmental problem — and the last checkpoint is still valid, so
+    /// a retry resumes instead of recomputing.
+    pub fn classify_panic(payload: &(dyn Any + Send)) -> JobOutcome {
+        JobOutcome::Failed {
+            class: FailureClass::Transient,
+            reason: format!("worker panicked: {}", panic_message(payload)),
+        }
+    }
+
+    /// `true` when a supervisor should retry the attempt (from its last
+    /// checkpoint): transient failures only. Interruption is not
+    /// retryable *here* — the canceller knows better.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            JobOutcome::Failed {
+                class: FailureClass::Transient,
+                ..
+            }
+        )
+    }
+}
+
+/// Renders a panic payload as a message: the `&str` / `String` payloads
+/// panics normally carry, or a placeholder for anything else.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expression::EvalError;
+
+    #[test]
+    fn budget_stops_classify() {
+        assert_eq!(
+            JobOutcome::from_budget(BudgetKind::States),
+            JobOutcome::OutOfBudget(BudgetKind::States)
+        );
+        assert_eq!(
+            JobOutcome::from_budget(BudgetKind::Cancelled),
+            JobOutcome::Interrupted
+        );
+        assert!(!JobOutcome::from_budget(BudgetKind::Time).is_retryable());
+    }
+
+    #[test]
+    fn model_errors_are_permanent_io_is_transient() {
+        let eval = KernelError::Eval {
+            process: "p".into(),
+            transition: "t".into(),
+            error: EvalError::DivisionByZero,
+        };
+        let JobOutcome::Failed { class, reason } = JobOutcome::classify_error(&eval) else {
+            panic!("expected Failed");
+        };
+        assert_eq!(class, FailureClass::Permanent);
+        assert!(reason.contains("division"), "{reason}");
+
+        let io = KernelError::Snapshot {
+            message: "disk full".into(),
+        };
+        assert!(JobOutcome::classify_error(&io).is_retryable());
+    }
+
+    #[test]
+    fn panics_are_transient_with_message() {
+        let payload = std::panic::catch_unwind(|| panic!("injected fault {}", 7)).unwrap_err();
+        let outcome = JobOutcome::classify_panic(payload.as_ref());
+        assert!(outcome.is_retryable());
+        let JobOutcome::Failed { reason, .. } = outcome else {
+            panic!("expected Failed");
+        };
+        assert!(reason.contains("injected fault 7"), "{reason}");
+    }
+}

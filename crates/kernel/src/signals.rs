@@ -1,0 +1,125 @@
+//! Process-termination signals, shared by every PnP binary.
+//!
+//! `pnp-check` and the `pnp-serve` daemon both need the same behaviour
+//! when the operator asks them to stop (Ctrl-C sends SIGINT; service
+//! managers send SIGTERM): finish the current unit of work *gracefully*,
+//! which above all means flushing a final search snapshot so no coverage
+//! is lost. That flush lives in one place — the kernel's search loop,
+//! which reacts to a cancelled [`CancelToken`] by cutting a final
+//! checkpoint before returning a partial result — so both binaries share
+//! it by construction: all this module adds is the signal-to-token
+//! plumbing, kept dependency-free (the handler stores into a static
+//! atomic; a watcher thread forwards it).
+//!
+//! * [`cancel_on_termination`] is the one-shot CLI shape: first
+//!   SIGINT/SIGTERM cancels the token, the search flushes and reports
+//!   inconclusive.
+//! * [`watch_termination`] is the daemon shape: the returned
+//!   [`TerminationFlag`] is polled by the supervisor's own loop, which
+//!   runs its drain (stop admitting, cancel in-flight jobs — each flush
+//!   their snapshots through the same kernel path — and persist the
+//!   queue).
+
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+use std::time::Duration;
+
+use crate::explore::CancelToken;
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+static TERM_RAISED: AtomicBool = AtomicBool::new(false);
+static TERM_SIGNAL: AtomicI32 = AtomicI32::new(0);
+static HANDLERS_INSTALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_termination(signum: i32) {
+    // Async-signal-safe: two relaxed atomic stores, nothing else.
+    TERM_SIGNAL.store(signum, Ordering::Relaxed);
+    TERM_RAISED.store(true, Ordering::Relaxed);
+}
+
+/// A handle onto the process-wide termination state. Copyable; every
+/// copy observes the same underlying flag.
+#[derive(Debug, Clone, Copy)]
+pub struct TerminationFlag(());
+
+impl TerminationFlag {
+    /// Whether SIGINT or SIGTERM has arrived.
+    pub fn is_raised(&self) -> bool {
+        TERM_RAISED.load(Ordering::Relaxed)
+    }
+
+    /// The name of the signal that arrived, if one did.
+    pub fn signal_name(&self) -> Option<&'static str> {
+        if !self.is_raised() {
+            return None;
+        }
+        match TERM_SIGNAL.load(Ordering::Relaxed) {
+            SIGINT => Some("SIGINT"),
+            SIGTERM => Some("SIGTERM"),
+            _ => Some("signal"),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn raise_for_test(&self) {
+        on_termination(SIGTERM);
+    }
+}
+
+/// Installs SIGINT and SIGTERM handlers (once; further calls reuse them)
+/// and returns the flag they raise. On non-Unix platforms the flag is
+/// never raised.
+pub fn watch_termination() -> TerminationFlag {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        if !HANDLERS_INSTALLED.swap(true, Ordering::SeqCst) {
+            unsafe {
+                signal(SIGINT, on_termination);
+                signal(SIGTERM, on_termination);
+            }
+        }
+    }
+    TerminationFlag(())
+}
+
+/// Cancels `token` when the process receives SIGINT or SIGTERM, so a
+/// running search stops at its next budget checkpoint and flushes a
+/// final snapshot instead of dying mid-write. Returns the flag so the
+/// caller can also report *which* signal interrupted it.
+pub fn cancel_on_termination(token: CancelToken) -> TerminationFlag {
+    let flag = watch_termination();
+    std::thread::spawn(move || loop {
+        if flag.is_raised() {
+            token.cancel();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    });
+    flag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raised_flag_cancels_token_and_names_signal() {
+        let token = CancelToken::new();
+        let flag = cancel_on_termination(token.clone());
+        assert!(flag.signal_name().is_none() || flag.is_raised());
+        flag.raise_for_test();
+        assert!(flag.is_raised());
+        assert_eq!(flag.signal_name(), Some("SIGTERM"));
+        for _ in 0..200 {
+            if token.is_cancelled() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("token was not cancelled after the flag was raised");
+    }
+}

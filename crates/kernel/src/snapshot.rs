@@ -403,6 +403,12 @@ pub trait SnapshotSink {
     fn store(&mut self, bytes: &[u8]) -> Result<(), SnapshotError>;
 }
 
+impl SnapshotSink for Box<dyn SnapshotSink> {
+    fn store(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        (**self).store(bytes)
+    }
+}
+
 /// A [`SnapshotSink`] that writes to a file, atomically: bytes go to a
 /// `.tmp` sibling first, then rename over the target, so an interrupted
 /// flush can never leave a half-written snapshot at the target path.

@@ -17,12 +17,14 @@
 //! stable, while `peak_frontier`, `approx_memory_bytes`, `elapsed`, and
 //! *which* counterexample is reported may vary between runs.
 
+use std::cell::RefCell;
 use std::mem::discriminant;
+use std::rc::Rc;
 use std::time::Duration;
 
 use pnp_kernel::{
     expr, Action, Checker, Guard, Predicate, ProcessBuilder, Program, ProgramBuilder, SafetyChecks,
-    SafetyOutcome, SearchConfig, VisitedKind,
+    SafetyOutcome, SearchConfig, Snapshot, VisitedKind,
 };
 
 /// Two processes that each toggle a shared flag `n` times.
@@ -389,6 +391,199 @@ fn single_thread_reports_are_byte_identical_across_runs() {
             .collect();
         assert_eq!(reports[0], reports[1], "{name}: run 1 vs 2");
         assert_eq!(reports[1], reports[2], "{name}: run 2 vs 3");
+    }
+}
+
+/// Runs `program` until the `max_states` budget trips, flushing
+/// checkpoints to an in-memory sink, and returns the final snapshot.
+fn interrupt_with_budget(
+    program: &Program,
+    checks: &SafetyChecks,
+    visited: VisitedKind,
+    max_states: usize,
+) -> Snapshot {
+    let sink: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+    let report = Checker::with_config(
+        program,
+        SearchConfig {
+            max_states,
+            visited,
+            ..SearchConfig::default()
+        },
+    )
+    .checkpoint_to(Rc::clone(&sink))
+    .checkpoint_every(16)
+    .checkpoint_tag("differential")
+    .check_safety(checks)
+    .unwrap();
+    assert!(
+        matches!(report.outcome, SafetyOutcome::LimitReached { .. }),
+        "budget of {max_states} states must interrupt the search, got {:?}",
+        report.outcome
+    );
+    let bytes = sink.borrow().clone();
+    assert!(
+        !bytes.is_empty(),
+        "an interrupted search must leave a snapshot"
+    );
+    Snapshot::decode(&bytes).expect("snapshot must decode")
+}
+
+#[test]
+fn resume_at_different_thread_count_matches_uninterrupted_run() {
+    // Interrupt an exhaustive `Holds` search mid-way, then resume from
+    // the checkpoint at *different* thread counts. The level-synchronized
+    // design guarantees the resumed totals equal the uninterrupted run's,
+    // regardless of how many workers finish the job.
+    for (name, program, checks) in corpus() {
+        let reference = run(&program, &checks, 1, VisitedKind::Exact);
+        if !reference.outcome.is_holds() {
+            continue;
+        }
+        let budget = reference.stats.unique_states / 2;
+        let snapshot = interrupt_with_budget(&program, &checks, VisitedKind::Exact, budget);
+        assert!(
+            snapshot.states_covered() > 0,
+            "{name}: snapshot covers work"
+        );
+        assert!(
+            snapshot.states_covered() < reference.stats.unique_states,
+            "{name}: snapshot must be a strict prefix of the search"
+        );
+        for threads in [1, 4] {
+            let resumed = Checker::resume_from(&program, snapshot.clone())
+                .expect("fingerprint matches")
+                .with_search_config(SearchConfig {
+                    threads,
+                    ..SearchConfig::default()
+                })
+                .check_safety(&checks)
+                .unwrap();
+            assert!(resumed.outcome.is_holds(), "{name}@{threads}: verdict");
+            assert_eq!(
+                resumed.stats.unique_states, reference.stats.unique_states,
+                "{name}@{threads}: resumed states"
+            );
+            assert_eq!(
+                resumed.stats.steps, reference.stats.steps,
+                "{name}@{threads}: resumed steps"
+            );
+            assert_eq!(
+                resumed.stats.max_depth, reference.stats.max_depth,
+                "{name}@{threads}: resumed depth"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_interruptions_still_converge_to_exact_totals() {
+    // Simulated crash storm: the search is budget-tripped over and over,
+    // each resume picking up from the previous snapshot with a slightly
+    // larger budget, until it finally completes. However many faults land,
+    // the completed run's totals are byte-identical to the uninterrupted
+    // run's.
+    let (name, program, checks) = ("toggler holds", toggler(5), SafetyChecks::deadlock_only());
+    let reference = run(&program, &checks, 1, VisitedKind::Exact);
+    assert!(reference.outcome.is_holds());
+
+    let mut snapshot = interrupt_with_budget(&program, &checks, VisitedKind::Exact, 20);
+    let mut budget = 20;
+    let mut faults = 1;
+    let final_report = loop {
+        budget += 20;
+        let sink: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+        let report = Checker::resume_from(&program, snapshot.clone())
+            .expect("fingerprint matches")
+            .with_search_config(SearchConfig {
+                max_states: budget,
+                ..SearchConfig::default()
+            })
+            .checkpoint_to(Rc::clone(&sink))
+            .checkpoint_every(16)
+            .check_safety(&checks)
+            .unwrap();
+        match report.outcome {
+            SafetyOutcome::LimitReached { .. } => {
+                faults += 1;
+                assert!(faults < 64, "{name}: runaway interruption loop");
+                let bytes = sink.borrow().clone();
+                assert!(!bytes.is_empty(), "{name}: each trip leaves a snapshot");
+                snapshot = Snapshot::decode(&bytes).unwrap();
+            }
+            _ => break report,
+        }
+    };
+    assert!(
+        faults >= 2,
+        "{name}: the storm must actually interrupt twice+"
+    );
+    assert!(final_report.outcome.is_holds(), "{name}: final verdict");
+    assert_eq!(
+        final_report.stats.unique_states, reference.stats.unique_states,
+        "{name}: states after {faults} faults"
+    );
+    assert_eq!(final_report.stats.steps, reference.stats.steps, "{name}");
+    assert_eq!(
+        final_report.stats.max_depth, reference.stats.max_depth,
+        "{name}"
+    );
+}
+
+#[test]
+fn lossy_backend_resume_finds_parked_violation_and_trace_replays() {
+    // The seeded invariant bug under the *lossy* compact backend: the
+    // search is interrupted at a level boundary before the violation
+    // level is reached (the candidate is still "parked" in the frontier),
+    // then resumed at a different thread count. The resumed search must
+    // surface the violation, and — because lossy backends replay-validate
+    // candidates — the reported trace must replay exactly against the
+    // program.
+    let (program, checks) = seeded_invariant_bug();
+    let sequential = run(&program, &checks, 1, VisitedKind::Compact);
+    let expected_trace_len = sequential
+        .outcome
+        .trace()
+        .expect("seeded bug must violate")
+        .len();
+
+    // A budget well below the full state count: the violation occurs at
+    // total == 5, several levels deep, so a tiny budget parks it.
+    let snapshot = interrupt_with_budget(&program, &checks, VisitedKind::Compact, 12);
+    assert_eq!(snapshot.visited_kind(), VisitedKind::Compact);
+    assert!(
+        snapshot.frontier_len() > 0,
+        "parked work must be in the frontier"
+    );
+
+    for threads in [1, 4] {
+        let resumed = Checker::resume_from(&program, snapshot.clone())
+            .expect("fingerprint matches")
+            .with_search_config(SearchConfig {
+                threads,
+                ..SearchConfig::default()
+            })
+            .check_safety(&checks)
+            .unwrap();
+        let trace = match &resumed.outcome {
+            SafetyOutcome::InvariantViolated { name, trace } => {
+                assert_eq!(name, "total under 5", "@{threads}");
+                trace
+            }
+            other => panic!("@{threads}: expected violation, got {other:?}"),
+        };
+        assert_eq!(
+            trace.len(),
+            expected_trace_len,
+            "@{threads}: shortest counterexample survives the interruption"
+        );
+        let end = Checker::new(&program)
+            .replay_trace(trace)
+            .expect("replay evaluates");
+        assert!(
+            end.is_some(),
+            "@{threads}: resumed-run trace must replay exactly"
+        );
     }
 }
 

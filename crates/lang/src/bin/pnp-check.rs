@@ -38,11 +38,20 @@
 //! runs report identical state counts. Checkpoints written at any thread
 //! count can be resumed at any other. LTL properties always check
 //! sequentially.
+//!
+//! Remote verification: `--submit URL` sends the specification (with any
+//! `--fault` rewrites applied) to a running `pnp-serve` daemon instead of
+//! checking locally, polls until the job finishes, prints the result, and
+//! maps the daemon's verdict onto the same exit codes as a local run
+//! (0 passed, 1 violated, 2 failed, 3 inconclusive/cancelled). SIGINT or
+//! SIGTERM during the wait cancels the remote job cooperatively.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use pnp_kernel::{CancelToken, SearchConfig, VisitedKind};
+use pnp_kernel::{
+    cancel_on_termination, watch_termination, CancelToken, SearchConfig, VisitedKind,
+};
 use pnp_lang::{ChannelFaultAst, Pos, SystemAst, VerifyOptions};
 
 fn usage() -> ExitCode {
@@ -53,7 +62,7 @@ fn usage() -> ExitCode {
          \u{20}                [--budget states=N,time=MS,depth=D,mem=BYTES]\n\
          \u{20}                [--visited exact|compact|bitstate[:MB]]\n\
          \u{20}                [--checkpoint FILE [--checkpoint-every N]]\n\
-         \u{20}                [--resume FILE] [--threads N]"
+         \u{20}                [--resume FILE] [--threads N] [--submit URL]"
     );
     ExitCode::from(2)
 }
@@ -79,36 +88,6 @@ fn parse_visited(spec: &str) -> Result<VisitedKind, String> {
         }
     }
 }
-
-/// Cancels `token` when SIGINT (Ctrl-C) arrives, so an interrupted search
-/// stops at its next budget checkpoint and flushes a final snapshot
-/// instead of dying mid-write. No external crates: the handler sets an
-/// atomic flag and a watcher thread forwards it to the token.
-#[cfg(unix)]
-fn cancel_on_sigint(token: CancelToken) {
-    use std::sync::atomic::{AtomicBool, Ordering};
-    static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
-    extern "C" fn on_sigint(_signum: i32) {
-        SIGINT_SEEN.store(true, Ordering::Relaxed);
-    }
-    extern "C" {
-        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
-    }
-    const SIGINT: i32 = 2;
-    unsafe {
-        signal(SIGINT, on_sigint);
-    }
-    std::thread::spawn(move || loop {
-        if SIGINT_SEEN.load(Ordering::Relaxed) {
-            token.cancel();
-            return;
-        }
-        std::thread::sleep(Duration::from_millis(25));
-    });
-}
-
-#[cfg(not(unix))]
-fn cancel_on_sigint(_token: CancelToken) {}
 
 /// Applies one `--fault` specification to the parsed design.
 fn apply_fault(ast: &mut SystemAst, spec: &str) -> Result<(), String> {
@@ -257,6 +236,10 @@ fn main() -> ExitCode {
         },
         Err(code) => return code,
     };
+    let submit_url = match flag_str("--submit") {
+        Ok(v) => v.cloned(),
+        Err(code) => return code,
+    };
 
     let source = match std::fs::read_to_string(&path) {
         Ok(s) => s,
@@ -321,6 +304,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(url) = &submit_url {
+        if checkpoint_path.is_some() || resume_path.is_some() {
+            eprintln!(
+                "pnp-check: --submit cannot combine with --checkpoint/--resume \
+                 (the daemon manages snapshots)"
+            );
+            return ExitCode::from(2);
+        }
+        // The spec compiled locally, so the daemon will accept it; submit
+        // the *printed* design so `--fault` rewrites travel with it.
+        return submit_remote(
+            url,
+            &ast.to_string(),
+            budget.map(String::as_str),
+            visited_spec.map(String::as_str),
+            threads,
+        );
+    }
 
     if dot {
         print!("{}", spec.system().to_dot());
@@ -394,13 +396,17 @@ fn main() -> ExitCode {
         );
     }
 
+    // SIGINT and SIGTERM share one path with the daemon's drain: the
+    // kernel cancels cooperatively and flushes a final snapshot before
+    // the search unwinds.
     let cancel = CancelToken::new();
-    cancel_on_sigint(cancel.clone());
+    cancel_on_termination(cancel.clone());
     let options = VerifyOptions {
         config,
         cancel: Some(cancel),
         checkpoint: checkpoint_path.map(|p| (p.into(), checkpoint_every)),
         resume,
+        checkpoint_sink: None,
     };
     let results = match spec.verify_all_with_options(&options) {
         Ok(r) => r,
@@ -447,5 +453,171 @@ fn main() -> ExitCode {
             results.len()
         );
         ExitCode::from(3)
+    }
+}
+
+/// Percent-encodes a query component (everything but unreserved chars).
+fn pct(s: &str) -> String {
+    let mut out = String::new();
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// One `Connection: close` HTTP/1.1 exchange with the daemon. Returns
+/// `(status, body)`.
+fn http_request(
+    host: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    use std::io::{Read, Write};
+    let mut stream =
+        std::net::TcpStream::connect(host).map_err(|e| format!("cannot connect to {host}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send to {host} failed: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read from {host} failed: {e}"))?;
+    let status = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response from {host}"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Extracts `"key":"value"` from the daemon's flat JSON (the values this
+/// client reads — ids, verdicts, reasons — contain no escapes).
+fn json_str(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let start = json.find(&needle)? + needle.len();
+    json[start..].split('"').next().map(str::to_string)
+}
+
+/// Extracts `"key":N` from the daemon's flat JSON.
+fn json_num(json: &str, key: &str) -> Option<i64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '-')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Submits the printed design to a `pnp-serve` daemon, waits for the
+/// verdict (cancelling the remote job on SIGINT/SIGTERM), and maps it to
+/// the local exit codes. Shed submissions (503) exit 3: the condition is
+/// transient and the client should retry after the hinted delay.
+fn submit_remote(
+    url: &str,
+    source: &str,
+    budget: Option<&str>,
+    visited: Option<&str>,
+    threads: usize,
+) -> ExitCode {
+    let Some(host) = url
+        .strip_prefix("http://")
+        .map(|rest| rest.trim_end_matches('/'))
+        .filter(|h| !h.is_empty())
+    else {
+        eprintln!("pnp-check: --submit wants an http://HOST:PORT URL");
+        return ExitCode::from(2);
+    };
+    let mut query = Vec::new();
+    if let Some(b) = budget {
+        query.push(format!("budget={}", pct(b)));
+    }
+    if let Some(v) = visited {
+        query.push(format!("visited={}", pct(v)));
+    }
+    if threads > 1 {
+        query.push(format!("threads={threads}"));
+    }
+    let path = if query.is_empty() {
+        "/jobs".to_string()
+    } else {
+        format!("/jobs?{}", query.join("&"))
+    };
+
+    let (status, body) = match http_request(host, "POST", &path, Some(source)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pnp-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if status == 503 {
+        eprintln!(
+            "pnp-check: server overloaded ({}); retry in {} ms",
+            json_str(&body, "reason").unwrap_or_else(|| "shed".into()),
+            json_num(&body, "retry_after_ms").unwrap_or(1000)
+        );
+        return ExitCode::from(3);
+    }
+    if status != 202 {
+        eprintln!("pnp-check: submit failed with HTTP {status}: {body}");
+        return ExitCode::from(2);
+    }
+    let Some(id) = json_str(&body, "id") else {
+        eprintln!("pnp-check: submit response carried no job id: {body}");
+        return ExitCode::from(2);
+    };
+    println!("submitted as {id} to {host}");
+
+    let term = watch_termination();
+    let mut cancel_sent = false;
+    loop {
+        if term.is_raised() && !cancel_sent {
+            println!(
+                "pnp-check: {} — cancelling remote job {id}",
+                term.signal_name().unwrap_or("signal")
+            );
+            let _ = http_request(host, "POST", &format!("/jobs/{id}/cancel"), None);
+            cancel_sent = true;
+        }
+        let (status, body) = match http_request(host, "GET", &format!("/jobs/{id}/result"), None) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("pnp-check: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match status {
+            200 => {
+                println!("{body}");
+                let verdict = json_str(&body, "verdict").unwrap_or_else(|| "unknown".into());
+                let attempts = json_num(&body, "attempts").unwrap_or(0);
+                println!("remote verdict: {verdict} (after {attempts} attempt(s))");
+                let code = json_num(&body, "exit_code").unwrap_or(2);
+                return ExitCode::from(u8::try_from(code).unwrap_or(2));
+            }
+            202 => std::thread::sleep(Duration::from_millis(100)),
+            _ => {
+                eprintln!("pnp-check: polling {id} failed with HTTP {status}: {body}");
+                return ExitCode::from(2);
+            }
+        }
     }
 }

@@ -73,7 +73,7 @@ pub use ast::{
 };
 pub use compile::{compile, compile_ast, ArchSpec};
 pub use parser::parse_system;
-pub use report::{PropertyResult, PropertySpec, VerifyError, VerifyOptions};
+pub use report::{PropertyResult, PropertySpec, SinkFactory, VerifyError, VerifyOptions};
 
 use std::fmt;
 

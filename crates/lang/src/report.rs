@@ -1,11 +1,12 @@
 //! Verification of compiled specifications and result reporting.
 
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use pnp_kernel::{
-    CancelToken, Checker, FileSink, KernelError, LtlOutcome, Predicate, Proposition, SafetyChecks,
-    SafetyOutcome, SearchConfig, Snapshot,
+    BudgetKind, CancelToken, Checker, FileSink, KernelError, LtlOutcome, Predicate, Proposition,
+    SafetyChecks, SafetyOutcome, SearchConfig, Snapshot, SnapshotSink,
 };
 use pnp_ltl::Ltl;
 
@@ -71,6 +72,17 @@ pub struct PropertyResult {
     pub detail: String,
     /// States explored while checking.
     pub states: usize,
+    /// Transitions (edges) explored while checking.
+    pub steps: usize,
+    /// Deepest level explored (BFS depth for safety searches, product
+    /// search depth bookkeeping for LTL).
+    pub max_depth: usize,
+    /// Why the search stopped early, when it did: the tripped budget, or
+    /// [`BudgetKind::Cancelled`] for a cancellation. `None` for a search
+    /// that ran to completion. Supervisors use this to tell a
+    /// client-requested budget trip (deterministic — finish the job as
+    /// inconclusive) from an interruption (retry or drain).
+    pub stop: Option<BudgetKind>,
 }
 
 impl fmt::Display for PropertyResult {
@@ -88,9 +100,15 @@ impl fmt::Display for PropertyResult {
     }
 }
 
+/// Builds the checkpoint sink for one safety property, given the
+/// checkpoint path. Lets a supervisor wrap the default [`FileSink`]
+/// (fault injection for tests, instrumentation) without this layer
+/// knowing how.
+pub type SinkFactory = Arc<dyn Fn(&Path) -> Box<dyn SnapshotSink> + Send + Sync>;
+
 /// Options for a verification run: search limits plus the crash-tolerance
 /// machinery (cancellation, checkpointing, resume).
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct VerifyOptions {
     /// Search budgets, the visited-set backend, and the worker-thread
     /// count: `config.threads > 1` runs each safety search in parallel
@@ -109,6 +127,22 @@ pub struct VerifyOptions {
     /// property whose name matches the snapshot's tag; properties before
     /// it in source order are re-verified from scratch.
     pub resume: Option<Snapshot>,
+    /// Replaces the default [`FileSink`] used for
+    /// [`VerifyOptions::checkpoint`] with a custom sink built from the
+    /// checkpoint path. `None` → plain file sink.
+    pub checkpoint_sink: Option<SinkFactory>,
+}
+
+impl fmt::Debug for VerifyOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VerifyOptions")
+            .field("config", &self.config)
+            .field("cancel", &self.cancel)
+            .field("checkpoint", &self.checkpoint)
+            .field("resume", &self.resume.as_ref().map(Snapshot::tag))
+            .field("checkpoint_sink", &self.checkpoint_sink.is_some())
+            .finish()
+    }
 }
 
 /// An error while verifying a specification (a broken model expression).
@@ -122,6 +156,14 @@ impl fmt::Display for VerifyError {
 }
 
 impl std::error::Error for VerifyError {}
+
+/// Why a safety search stopped early, if it did.
+fn safety_stop(outcome: &SafetyOutcome) -> Option<BudgetKind> {
+    match outcome {
+        SafetyOutcome::LimitReached { budget, .. } => Some(*budget),
+        _ => None,
+    }
+}
 
 impl ArchSpec {
     /// Checks every declared property, in source order, with default
@@ -193,8 +235,12 @@ impl ArchSpec {
                 checker = checker.with_cancellation(cancel.clone());
             }
             if let Some((path, every)) = &options.checkpoint {
+                let sink: Box<dyn SnapshotSink> = match &options.checkpoint_sink {
+                    Some(factory) => factory(path),
+                    None => Box::new(FileSink::new(path)),
+                };
                 checker = checker
-                    .checkpoint_to(FileSink::new(path))
+                    .checkpoint_to(sink)
                     .checkpoint_every(*every)
                     .checkpoint_tag(name);
             }
@@ -219,6 +265,9 @@ impl ArchSpec {
                         approx: matches!(report.outcome, SafetyOutcome::HoldsApprox { .. }),
                         detail,
                         states: report.stats.unique_states,
+                        steps: report.stats.steps,
+                        max_depth: report.stats.max_depth,
+                        stop: safety_stop(&report.outcome),
                     }
                 }
                 PropertySpec::NoDeadlock { name } => {
@@ -234,6 +283,9 @@ impl ArchSpec {
                         approx: matches!(report.outcome, SafetyOutcome::HoldsApprox { .. }),
                         detail,
                         states: report.stats.unique_states,
+                        steps: report.stats.steps,
+                        max_depth: report.stats.max_depth,
+                        stop: safety_stop(&report.outcome),
                     }
                 }
                 PropertySpec::Ltl {
@@ -278,6 +330,18 @@ impl ArchSpec {
                             ),
                         ),
                     };
+                    // The product search truncates for exactly two
+                    // reasons: the state budget, or a cancellation
+                    // observed through the shared token.
+                    let stop = if report.truncated {
+                        if options.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                            Some(BudgetKind::Cancelled)
+                        } else {
+                            Some(BudgetKind::States)
+                        }
+                    } else {
+                        None
+                    };
                     PropertyResult {
                         name: name.clone(),
                         holds,
@@ -285,6 +349,9 @@ impl ArchSpec {
                         approx: false,
                         detail,
                         states: report.stats.unique_states,
+                        steps: report.stats.steps,
+                        max_depth: report.stats.max_depth,
+                        stop,
                     }
                 }
             };

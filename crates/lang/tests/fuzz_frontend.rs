@@ -1,0 +1,244 @@
+//! Deterministic fuzz harness for the language front end.
+//!
+//! Every input — raw byte soup, or a mutated copy of a real example
+//! spec — must flow lexer -> parser -> compiler and come back as a
+//! clean `Err`, never a panic. Failures print the seed and the exact
+//! input so a crash reproduces with a unit test.
+//!
+//! The generator is a fixed-seed SplitMix64, so the corpus is identical
+//! on every run: this is a regression net, not a coin flip.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+}
+
+fn example_specs() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/specs");
+    let mut specs = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("examples/specs must exist") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "pnp") {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            specs.push((name, std::fs::read_to_string(&path).unwrap()));
+        }
+    }
+    assert!(!specs.is_empty(), "no example specs found");
+    specs.sort();
+    specs
+}
+
+/// One pass through the whole front end. The compiler subsumes the
+/// lexer and parser, but running the parser separately too keeps a
+/// parser-only panic distinguishable from a compile-stage one.
+fn front_end_must_not_panic(label: &str, source: &str) {
+    let input = source.to_string();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _ = pnp_lang::parse_system(&input);
+        let _ = pnp_lang::compile(&input);
+    }));
+    if outcome.is_err() {
+        panic!("front end panicked on {label}; input was:\n{source}");
+    }
+}
+
+/// Interesting fragments to splice into mutated specs: keywords,
+/// operators, numeric edge cases, and multi-byte UTF-8 to stress
+/// byte-offset handling in the lexer.
+const SPLICES: &[&str] = &[
+    "system",
+    "component",
+    "connector",
+    "property",
+    "invariant",
+    "ltl",
+    "no_deadlock",
+    "global",
+    "var",
+    "state",
+    "end",
+    "from",
+    "goto",
+    "if",
+    "do",
+    "send",
+    "receive",
+    "recv",
+    "into",
+    "channel",
+    "where",
+    "{",
+    "}",
+    "(",
+    ")",
+    ";",
+    ",",
+    ":",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "!",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "0",
+    "-1",
+    "9223372036854775807",
+    "-9223372036854775808",
+    "99999999999999999999999999",
+    "0x41",
+    "1e9",
+    "\"unterminated",
+    "\"\"",
+    "'",
+    "\\",
+    "\0",
+    "\t",
+    "\r\n",
+    "é",
+    "λ",
+    "🦀",
+    "\u{202e}",
+    "ﬀ",
+];
+
+fn mutate(rng: &mut SplitMix64, base: &str) -> String {
+    let mut text = base.to_string();
+    for _ in 0..1 + rng.below(4) {
+        let kind = rng.below(6);
+        // All edits are on char boundaries so the result stays a valid
+        // &str; the raw-bytes test below covers arbitrary byte shapes.
+        let boundaries: Vec<usize> = text.char_indices().map(|(i, _)| i).collect();
+        if boundaries.is_empty() {
+            text.push_str(SPLICES[rng.below(SPLICES.len())]);
+            continue;
+        }
+        let at = boundaries[rng.below(boundaries.len())];
+        match kind {
+            // Truncate the tail or the head.
+            0 => text.truncate(at),
+            1 => text = text[at..].to_string(),
+            // Delete a span.
+            2 => {
+                let to = boundaries[rng.below(boundaries.len())];
+                let (lo, hi) = (at.min(to), at.max(to));
+                text.replace_range(lo..hi, "");
+            }
+            // Insert an interesting fragment.
+            3 => text.insert_str(at, SPLICES[rng.below(SPLICES.len())]),
+            // Duplicate a chunk of the spec onto itself.
+            4 => {
+                let to = boundaries[rng.below(boundaries.len())];
+                let (lo, hi) = (at.min(to), at.max(to));
+                let chunk = text[lo..hi].to_string();
+                text.insert_str(at, &chunk);
+            }
+            // Overwrite one character with a random ASCII byte.
+            _ => {
+                let ch = (0x20 + rng.below(0x5f)) as u8 as char;
+                let end = boundaries
+                    .iter()
+                    .copied()
+                    .find(|&b| b > at)
+                    .unwrap_or(text.len());
+                text.replace_range(at..end, &ch.to_string());
+            }
+        }
+        if text.len() > 1 << 16 {
+            text.truncate(1 << 14);
+        }
+    }
+    text
+}
+
+#[test]
+fn mutated_example_specs_never_panic_the_front_end() {
+    let specs = example_specs();
+    let mut rng = SplitMix64(0xdeadbeef);
+    for round in 0..400 {
+        let (name, base) = &specs[rng.below(specs.len())];
+        let mutated = mutate(&mut rng, base);
+        front_end_must_not_panic(&format!("mutation round {round} of {name}"), &mutated);
+    }
+}
+
+#[test]
+fn spliced_pairs_of_example_specs_never_panic() {
+    let specs = example_specs();
+    let mut rng = SplitMix64(0x5eed_cafe);
+    for round in 0..100 {
+        let (name_a, a) = &specs[rng.below(specs.len())];
+        let (name_b, b) = &specs[rng.below(specs.len())];
+        let cut_a = a
+            .char_indices()
+            .map(|(i, _)| i)
+            .nth(rng.below(a.chars().count()))
+            .unwrap_or(0);
+        let cut_b = b
+            .char_indices()
+            .map(|(i, _)| i)
+            .nth(rng.below(b.chars().count()))
+            .unwrap_or(0);
+        let spliced = format!("{}{}", &a[..cut_a], &b[cut_b..]);
+        front_end_must_not_panic(
+            &format!("splice round {round} of {name_a}+{name_b}"),
+            &spliced,
+        );
+    }
+}
+
+#[test]
+fn arbitrary_bytes_never_panic_the_front_end() {
+    let mut rng = SplitMix64(0x0dd_b17e5);
+    for round in 0..400 {
+        let len = rng.below(512);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next() & 0xff) as u8).collect();
+        // The front end takes &str, so arbitrary bytes arrive the same
+        // way they would from a file read: lossily decoded.
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        front_end_must_not_panic(&format!("byte-soup round {round}"), &text);
+    }
+}
+
+#[test]
+fn pathological_shapes_never_panic() {
+    // Hand-picked shapes that historically break hand-rolled lexers:
+    // deep nesting, huge literals, unterminated tokens, and multi-byte
+    // characters at token boundaries.
+    let cases = [
+        "(".repeat(5000),
+        ")".repeat(5000),
+        format!("system {{ global x = {}; }}", "9".repeat(400)),
+        "system { property p: ltl \"".to_string(),
+        "system { property p: invariant 1 /".to_string(),
+        "system{component c{state s;end s;from s if 1%0 goto s;}}".to_string(),
+        "system { global é = 1; }".to_string(),
+        "system\u{202e} { }".to_string(),
+        format!("system {{ {} }}", "global a = 0;".repeat(2000)),
+        "system { component c { state s0; from s0 goto ".to_string(),
+        "system { connector w { channel fifo(99999999999999999999); } }".to_string(),
+        "\u{feff}system { }".to_string(),
+    ];
+    for (i, case) in cases.iter().enumerate() {
+        front_end_must_not_panic(&format!("pathological case {i}"), case);
+    }
+}

@@ -1,0 +1,160 @@
+//! The `pnp-serve` daemon: a supervised verification service.
+//!
+//! ```text
+//! pnp-serve [--listen ADDR] [--state-dir DIR] [--workers N]
+//!           [--queue-cap N] [--max-queued-bytes N] [--retry-after-ms N]
+//!           [--deadline-ms N] [--max-attempts N] [--backoff-base-ms N]
+//!           [--backoff-cap-ms N] [--wedge-grace-ms N]
+//!           [--checkpoint-every N] [--budget SPEC] [--seed N]
+//! ```
+//!
+//! SIGINT or SIGTERM triggers a graceful drain: admission stops,
+//! in-flight attempts are cancelled (flushing final checkpoints), and
+//! the queue is persisted to the state directory for the next start.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pnp_kernel::watch_termination;
+use pnp_serve::job::parse_budget_spec;
+use pnp_serve::supervisor::{ServeConfig, Supervisor};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pnp-serve [--listen ADDR] [--state-dir DIR] [--workers N] \
+         [--queue-cap N] [--max-queued-bytes N] [--retry-after-ms N] \
+         [--deadline-ms N] [--max-attempts N] [--backoff-base-ms N] \
+         [--backoff-cap-ms N] [--wedge-grace-ms N] [--checkpoint-every N] \
+         [--budget SPEC] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut listen = String::from("127.0.0.1:7878");
+    let mut config = ServeConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("pnp-serve: {flag} needs a value");
+            usage();
+        })
+    };
+    let parse_num = |flag: &str, v: String| -> u64 {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("pnp-serve: {flag} '{v}' is not a number");
+            usage();
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = value(&mut args, "--listen"),
+            "--state-dir" => config.state_dir = PathBuf::from(value(&mut args, "--state-dir")),
+            "--workers" => {
+                config.workers = parse_num("--workers", value(&mut args, "--workers")) as usize
+            }
+            "--queue-cap" => {
+                config.queue.capacity =
+                    parse_num("--queue-cap", value(&mut args, "--queue-cap")) as usize
+            }
+            "--max-queued-bytes" => {
+                config.queue.max_queued_bytes =
+                    parse_num("--max-queued-bytes", value(&mut args, "--max-queued-bytes")) as usize
+            }
+            "--retry-after-ms" => {
+                config.queue.retry_after = Duration::from_millis(parse_num(
+                    "--retry-after-ms",
+                    value(&mut args, "--retry-after-ms"),
+                ))
+            }
+            "--deadline-ms" => {
+                config.default_deadline = Duration::from_millis(parse_num(
+                    "--deadline-ms",
+                    value(&mut args, "--deadline-ms"),
+                ))
+            }
+            "--max-attempts" => {
+                config.max_attempts =
+                    parse_num("--max-attempts", value(&mut args, "--max-attempts")) as u32
+            }
+            "--backoff-base-ms" => {
+                config.backoff_base = Duration::from_millis(parse_num(
+                    "--backoff-base-ms",
+                    value(&mut args, "--backoff-base-ms"),
+                ))
+            }
+            "--backoff-cap-ms" => {
+                config.backoff_cap = Duration::from_millis(parse_num(
+                    "--backoff-cap-ms",
+                    value(&mut args, "--backoff-cap-ms"),
+                ))
+            }
+            "--wedge-grace-ms" => {
+                config.wedge_grace = Duration::from_millis(parse_num(
+                    "--wedge-grace-ms",
+                    value(&mut args, "--wedge-grace-ms"),
+                ))
+            }
+            "--checkpoint-every" => {
+                config.checkpoint_every =
+                    parse_num("--checkpoint-every", value(&mut args, "--checkpoint-every")) as usize
+            }
+            "--budget" => {
+                let spec = value(&mut args, "--budget");
+                config.default_search = parse_budget_spec(&spec, config.default_search)
+                    .unwrap_or_else(|e| {
+                        eprintln!("pnp-serve: {e}");
+                        usage();
+                    })
+            }
+            "--seed" => config.seed = parse_num("--seed", value(&mut args, "--seed")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("pnp-serve: unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+
+    let term = watch_termination();
+    let supervisor = match Supervisor::start(config) {
+        Ok(supervisor) => Arc::new(supervisor),
+        Err(error) => {
+            eprintln!("pnp-serve: failed to start: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    let listener = match TcpListener::bind(&listen) {
+        Ok(listener) => listener,
+        Err(error) => {
+            eprintln!("pnp-serve: cannot listen on {listen}: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    let addr = listener
+        .local_addr()
+        .map_or(listen.clone(), |a| a.to_string());
+    let restored = supervisor.restored();
+    if restored > 0 {
+        println!("pnp-serve: restored {restored} queued job(s)");
+    }
+    println!("pnp-serve: listening on http://{addr}");
+
+    match pnp_serve::serve(listener, supervisor, term) {
+        Ok(()) => {
+            println!(
+                "pnp-serve: drained on {}",
+                term.signal_name().unwrap_or("signal")
+            );
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("pnp-serve: accept loop failed: {error}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! A from-scratch HTTP/1.1 layer over [`std::net`].
+//!
+//! The daemon needs exactly enough HTTP to expose submit / status /
+//! result / cancel / health to scripts, CI, and the `pnp-check --submit`
+//! client: request-line + headers + `Content-Length` bodies in, status +
+//! headers + body out, one request per connection (`Connection: close`).
+//! No chunked encoding, no keep-alive, no TLS — and, matching the
+//! workspace's vendored-shim policy, no dependencies.
+//!
+//! Robustness rules (the whole point of the daemon) apply here first:
+//! every limit degrades into a clean HTTP error instead of unbounded
+//! buffering — oversized headers are 431, oversized bodies 413, slow or
+//! stalled clients time out with 408, and malformed syntax is 400. A
+//! request can never make the reader allocate more than
+//! [`Limits::max_head_bytes`] + [`Limits::max_body_bytes`].
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Read-side limits for one request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers (default 16 KiB).
+    pub max_head_bytes: usize,
+    /// Maximum body bytes (default 4 MiB — specs are small).
+    pub max_body_bytes: usize,
+    /// Per-request read timeout (default 5 s).
+    pub read_timeout: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_head_bytes: 16 << 10,
+            max_body_bytes: 4 << 20,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// The decoded path, without the query string.
+    pub path: String,
+    /// Decoded `key=value` query parameters, in order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when there was none).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first query parameter named `key`.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of header `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Maps onto an HTTP status via
+/// [`HttpError::status`].
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request syntax (400).
+    BadRequest(String),
+    /// The request head exceeded [`Limits::max_head_bytes`] (431).
+    HeadTooLarge,
+    /// The body exceeded [`Limits::max_body_bytes`] (413).
+    BodyTooLarge,
+    /// The client stalled past [`Limits::read_timeout`] (408).
+    Timeout,
+    /// The connection failed mid-read; nothing can be sent back.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The `(status, reason, message)` to answer with, or `None` when the
+    /// connection is already gone.
+    pub fn status(&self) -> Option<(u16, &'static str, String)> {
+        match self {
+            HttpError::BadRequest(m) => Some((400, "Bad Request", m.clone())),
+            HttpError::HeadTooLarge => Some((
+                431,
+                "Request Header Fields Too Large",
+                "header too large".into(),
+            )),
+            HttpError::BodyTooLarge => Some((413, "Payload Too Large", "body too large".into())),
+            HttpError::Timeout => Some((408, "Request Timeout", "read timed out".into())),
+            HttpError::Io(_) => None,
+        }
+    }
+}
+
+/// Percent-decodes `%XX` sequences and `+` (as space) in a query
+/// component; invalid escapes pass through literally.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex(bytes.get(i + 1)), hex(bytes.get(i + 2))) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex(b: Option<&u8>) -> Option<u8> {
+    (*b? as char).to_digit(16).map(|d| d as u8)
+}
+
+/// Percent-encodes a query component (everything but unreserved chars).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::new();
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+        }
+    }
+    out
+}
+
+/// Reads and parses one request from `stream` under `limits`.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] describing the first violated rule; the
+/// caller answers with [`HttpError::status`] when the connection is
+/// still usable.
+pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, HttpError> {
+    stream
+        .set_read_timeout(Some(limits.read_timeout))
+        .map_err(HttpError::Io)?;
+
+    // Read until the blank line ending the head, without overshooting
+    // into the body by more than what one read returns.
+    let mut buf: Vec<u8> = Vec::new();
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > limits.max_head_bytes {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let mut chunk = [0u8; 2048];
+        let n = stream.read(&mut chunk).map_err(|e| {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                HttpError::Timeout
+            } else {
+                HttpError::Io(e)
+            }
+        })?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::BadRequest("missing method".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version '{version}'"
+        )));
+    }
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+
+    let mut headers = Vec::new();
+    for line in lines.filter(|l| !l.is_empty()) {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header '{line}'")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length '{v}'")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge);
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(HttpError::BadRequest(
+            "body longer than content-length".into(),
+        ));
+    }
+    while body.len() < content_length {
+        let mut chunk = vec![0u8; (content_length - body.len()).min(16 << 10)];
+        let n = stream.read(&mut chunk).map_err(|e| {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                HttpError::Timeout
+            } else {
+                HttpError::Io(e)
+            }
+        })?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    Ok(Request {
+        method,
+        path: percent_decode(path),
+        query,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a full response and flushes. `extra_headers` come after the
+/// standard ones; the connection is always `close`.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes a JSON response.
+pub fn respond_json(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, String)],
+    json: &str,
+) -> std::io::Result<()> {
+    respond(
+        stream,
+        status,
+        reason,
+        "application/json",
+        extra_headers,
+        json.as_bytes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(&raw).unwrap();
+            c.flush().unwrap();
+            c
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let result = read_request(&mut server_side, &Limits::default());
+        drop(writer.join().unwrap());
+        result
+    }
+
+    #[test]
+    fn parses_post_with_query_and_body() {
+        let req = roundtrip(
+            b"POST /jobs?budget=states%3D100&threads=4 HTTP/1.1\r\n\
+              Host: x\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.query("budget"), Some("states=100"));
+        assert_eq!(req.query("threads"), Some("4"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized() {
+        assert!(matches!(
+            roundtrip(b"NOT-HTTP\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        let huge = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            (4 << 20) + 1
+        );
+        assert!(matches!(
+            roundtrip(huge.as_bytes()),
+            Err(HttpError::BodyTooLarge)
+        ));
+    }
+
+    #[test]
+    fn percent_roundtrip() {
+        let original = "states=100,time=50 ms&x";
+        assert_eq!(percent_decode(&percent_encode(original)), original);
+    }
+}

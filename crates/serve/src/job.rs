@@ -1,0 +1,360 @@
+//! The job model: what a client submits, how the supervisor tracks it,
+//! and the chaos (fault-injection) hooks the soak tests drive.
+
+use std::time::{Duration, Instant};
+
+use pnp_kernel::{CancelToken, SearchConfig, VisitedKind};
+use pnp_lang::PropertyResult;
+
+/// A job's identity; rendered as `j-N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "j-{}", self.0)
+    }
+}
+
+impl JobId {
+    /// Parses `j-N`.
+    pub fn parse(s: &str) -> Option<JobId> {
+        s.strip_prefix("j-")?.parse().ok().map(JobId)
+    }
+}
+
+/// Injected worker faults, in the spirit of the connector fault library:
+/// the soak tests (and CI) use these to prove the supervisor's retry and
+/// watchdog paths work, without patching the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Chaos {
+    /// Panic when the worker is about to store the `flush`-th checkpoint
+    /// of an attempt, on attempts `<= attempts`. The previous flush is
+    /// already on disk, so the retry resumes from it.
+    PanicOnFlush {
+        /// Which flush panics (1-based).
+        flush: u32,
+        /// Panic only on attempt numbers up to this (1-based).
+        attempts: u32,
+    },
+    /// Sleep this long before each checkpoint store, on attempts
+    /// `<= attempts`: simulates a crawling worker so the watchdog
+    /// deadline trips mid-run while snapshots still land on disk.
+    SlowFlushMs {
+        /// Sleep per flush, in milliseconds.
+        ms: u64,
+        /// Slow only attempt numbers up to this (1-based).
+        attempts: u32,
+    },
+    /// Ignore the world for this long at the start of the attempt,
+    /// *without* polling the cancel token: simulates a wedged worker the
+    /// watchdog must abandon and replace.
+    WedgeStartMs {
+        /// Wedge duration in milliseconds.
+        ms: u64,
+        /// Wedge only attempt numbers up to this (1-based).
+        attempts: u32,
+    },
+}
+
+impl Chaos {
+    /// Parses the `chaos` query parameter:
+    /// `panic_on_flush:FLUSH[:ATTEMPTS]`, `slow_flush_ms:MS[:ATTEMPTS]`,
+    /// or `wedge_start_ms:MS[:ATTEMPTS]` (ATTEMPTS defaults to 1).
+    pub fn parse(spec: &str) -> Result<Chaos, String> {
+        let mut parts = spec.split(':');
+        let kind = parts.next().unwrap_or_default();
+        let mut num = |what: &str, default: Option<u64>| -> Result<u64, String> {
+            match parts.next() {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("chaos '{spec}': {what} '{v}' is not a number")),
+                None => default.ok_or_else(|| format!("chaos '{spec}': missing {what}")),
+            }
+        };
+        match kind {
+            "panic_on_flush" => Ok(Chaos::PanicOnFlush {
+                flush: num("flush index", None)? as u32,
+                attempts: num("attempt count", Some(1))? as u32,
+            }),
+            "slow_flush_ms" => Ok(Chaos::SlowFlushMs {
+                ms: num("milliseconds", None)?,
+                attempts: num("attempt count", Some(1))? as u32,
+            }),
+            "wedge_start_ms" => Ok(Chaos::WedgeStartMs {
+                ms: num("milliseconds", None)?,
+                attempts: num("attempt count", Some(1))? as u32,
+            }),
+            other => Err(format!(
+                "chaos '{spec}': unknown kind '{other}' (want panic_on_flush, \
+                 slow_flush_ms, or wedge_start_ms)"
+            )),
+        }
+    }
+
+    /// Whether this fault is active on the given 1-based attempt number.
+    pub fn applies_to(&self, attempt: u32) -> bool {
+        let limit = match self {
+            Chaos::PanicOnFlush { attempts, .. }
+            | Chaos::SlowFlushMs { attempts, .. }
+            | Chaos::WedgeStartMs { attempts, .. } => *attempts,
+        };
+        attempt <= limit
+    }
+
+    /// Renders back to the `chaos` query syntax (for persistence).
+    pub fn render(&self) -> String {
+        match self {
+            Chaos::PanicOnFlush { flush, attempts } => {
+                format!("panic_on_flush:{flush}:{attempts}")
+            }
+            Chaos::SlowFlushMs { ms, attempts } => format!("slow_flush_ms:{ms}:{attempts}"),
+            Chaos::WedgeStartMs { ms, attempts } => format!("wedge_start_ms:{ms}:{attempts}"),
+        }
+    }
+}
+
+/// Per-job options, resolved against the service defaults at submit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobConfig {
+    /// Search budgets, visited-set backend, and thread count.
+    pub config: SearchConfig,
+    /// Per-attempt wall-clock watchdog deadline (`None` → service
+    /// default).
+    pub deadline: Option<Duration>,
+    /// Attempt ceiling for transient failures (`None` → service
+    /// default).
+    pub max_attempts: Option<u32>,
+    /// Injected worker fault, if any.
+    pub chaos: Option<Chaos>,
+}
+
+/// Parses `states=N,time=MS,depth=D,mem=BYTES` (any subset) on top of
+/// `base` — the same syntax `pnp-check --budget` takes.
+pub fn parse_budget_spec(spec: &str, base: SearchConfig) -> Result<SearchConfig, String> {
+    let mut config = base;
+    for item in spec.split(',').filter(|s| !s.is_empty()) {
+        let (key, value) = item
+            .split_once('=')
+            .ok_or_else(|| format!("budget '{item}': expected KEY=VALUE"))?;
+        let n: u64 = value
+            .parse()
+            .map_err(|_| format!("budget '{item}': '{value}' is not a number"))?;
+        match key {
+            "states" => config.max_states = n as usize,
+            "time" => config.max_time = Some(Duration::from_millis(n)),
+            "depth" => config.max_depth = Some(n as usize),
+            "mem" => config.max_memory_bytes = Some(n as usize),
+            other => {
+                return Err(format!(
+                    "budget '{spec}': unknown key '{other}' (want states, time, depth, or mem)"
+                ))
+            }
+        }
+    }
+    Ok(config)
+}
+
+/// Parses `exact|compact|bitstate[:MB]` — the same syntax
+/// `pnp-check --visited` takes.
+pub fn parse_visited_spec(spec: &str) -> Result<VisitedKind, String> {
+    match spec {
+        "exact" => Ok(VisitedKind::Exact),
+        "compact" => Ok(VisitedKind::Compact),
+        "bitstate" => Ok(VisitedKind::bitstate(VisitedKind::DEFAULT_BITSTATE_ARENA)),
+        other => {
+            let mb = other
+                .strip_prefix("bitstate:")
+                .and_then(|mb| mb.parse::<usize>().ok())
+                .filter(|mb| *mb > 0)
+                .ok_or_else(|| {
+                    format!("visited '{spec}': want exact, compact, or bitstate[:MB]")
+                })?;
+            Ok(VisitedKind::bitstate(mb << 20))
+        }
+    }
+}
+
+/// What a client submitted: the specification source plus options.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// The `.pnp` source text.
+    pub source: String,
+    /// Per-job options.
+    pub config: JobConfig,
+}
+
+/// Why the supervisor cancelled an attempt's token. Decides what the
+/// resulting [`pnp_kernel::JobOutcome::Interrupted`] means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// The watchdog deadline tripped: retry from the flushed snapshot.
+    Deadline,
+    /// A client asked for cancellation: finish as `cancelled`.
+    User,
+    /// The daemon is draining: park the job back on the queue and
+    /// persist it.
+    Drain,
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Waiting in the admission queue.
+    Queued,
+    /// An attempt is running on a worker.
+    Running,
+    /// A transient failure scheduled a retry; the attempt starts once
+    /// the backoff elapses.
+    Retrying {
+        /// When the next attempt may start.
+        next_attempt_at: Instant,
+    },
+    /// Terminal.
+    Done(Verdict),
+}
+
+/// A finished job's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every property holds (possibly modulo hashing — see the
+    /// per-property results).
+    Passed,
+    /// At least one property is violated; counterexamples are in the
+    /// per-property results.
+    Violated,
+    /// A client-requested budget tripped; partial statistics reported.
+    Inconclusive,
+    /// The job failed (permanently, or transiently past the attempt
+    /// ceiling); see the structured error.
+    Failed,
+    /// Cancelled on client request.
+    Cancelled,
+}
+
+impl Verdict {
+    /// The stable wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Verdict::Passed => "passed",
+            Verdict::Violated => "violated",
+            Verdict::Inconclusive => "inconclusive",
+            Verdict::Failed => "failed",
+            Verdict::Cancelled => "cancelled",
+        }
+    }
+
+    /// The `pnp-check`-compatible exit code a client should map this to:
+    /// 0 passed, 1 violated, 2 failed, 3 inconclusive or cancelled.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Verdict::Passed => 0,
+            Verdict::Violated => 1,
+            Verdict::Failed => 2,
+            Verdict::Inconclusive | Verdict::Cancelled => 3,
+        }
+    }
+}
+
+/// The supervisor's record of one job.
+#[derive(Debug)]
+pub struct JobRecord {
+    /// The job's identity.
+    pub id: JobId,
+    /// What was submitted.
+    pub request: JobRequest,
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// Attempts started so far.
+    pub attempts: u32,
+    /// Monotonically bumped when the supervisor abandons a wedged
+    /// attempt; a worker whose epoch is stale discards its outcome.
+    pub epoch: u64,
+    /// The running attempt's cancellation token.
+    pub cancel: Option<CancelToken>,
+    /// Why the supervisor cancelled the running attempt, if it did.
+    pub cancel_cause: Option<CancelCause>,
+    /// When the running attempt started (watchdog bookkeeping).
+    pub started_at: Option<Instant>,
+    /// When the supervisor cancelled the running attempt (wedge-grace
+    /// bookkeeping).
+    pub cancelled_at: Option<Instant>,
+    /// Per-property results of the last finished attempt (partial ones
+    /// included, e.g. for an inconclusive verdict).
+    pub results: Option<Vec<PropertyResult>>,
+    /// The structured failure reason for `Verdict::Failed`.
+    pub error: Option<JobError>,
+}
+
+/// A structured job failure.
+#[derive(Debug, Clone)]
+pub struct JobError {
+    /// `permanent`, or `transient_exhausted` when retries ran out.
+    pub kind: &'static str,
+    /// Human-readable reason (kernel error or panic message).
+    pub reason: String,
+    /// Attempts made.
+    pub attempts: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_ids_roundtrip() {
+        assert_eq!(JobId::parse("j-17"), Some(JobId(17)));
+        assert_eq!(JobId::parse(&JobId(3).to_string()), Some(JobId(3)));
+        assert_eq!(JobId::parse("x-1"), None);
+        assert_eq!(JobId::parse("j-"), None);
+    }
+
+    #[test]
+    fn chaos_specs_roundtrip() {
+        for spec in [
+            "panic_on_flush:2:1",
+            "slow_flush_ms:40:2",
+            "wedge_start_ms:500:1",
+        ] {
+            let parsed = Chaos::parse(spec).unwrap();
+            assert_eq!(parsed.render(), spec);
+        }
+        assert_eq!(
+            Chaos::parse("panic_on_flush:3").unwrap(),
+            Chaos::PanicOnFlush {
+                flush: 3,
+                attempts: 1
+            }
+        );
+        assert!(Chaos::parse("panic_on_flush").is_err());
+        assert!(Chaos::parse("rm_rf").is_err());
+    }
+
+    #[test]
+    fn budget_and_visited_specs_parse() {
+        let config =
+            parse_budget_spec("states=7,time=9,depth=2,mem=1024", SearchConfig::default()).unwrap();
+        assert_eq!(config.max_states, 7);
+        assert_eq!(config.max_time, Some(Duration::from_millis(9)));
+        assert_eq!(config.max_depth, Some(2));
+        assert_eq!(config.max_memory_bytes, Some(1024));
+        assert!(parse_budget_spec("states", SearchConfig::default()).is_err());
+        assert!(parse_budget_spec("frobs=1", SearchConfig::default()).is_err());
+
+        assert_eq!(parse_visited_spec("exact").unwrap(), VisitedKind::Exact);
+        assert!(matches!(
+            parse_visited_spec("bitstate:8").unwrap(),
+            VisitedKind::Bitstate { .. }
+        ));
+        assert!(parse_visited_spec("bitstate:0").is_err());
+    }
+
+    #[test]
+    fn verdict_exit_codes_match_pnp_check() {
+        assert_eq!(Verdict::Passed.exit_code(), 0);
+        assert_eq!(Verdict::Violated.exit_code(), 1);
+        assert_eq!(Verdict::Failed.exit_code(), 2);
+        assert_eq!(Verdict::Inconclusive.exit_code(), 3);
+        assert_eq!(Verdict::Cancelled.exit_code(), 3);
+    }
+}

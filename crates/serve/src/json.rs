@@ -1,0 +1,180 @@
+//! A minimal JSON emitter (and a field extractor for tests and simple
+//! clients). No external dependencies, matching the workspace's
+//! vendored-shim policy: the service's responses are flat, so a tiny
+//! writer beats a serialization framework.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An incrementally built JSON object.
+#[derive(Debug, Default)]
+pub struct Obj {
+    out: String,
+}
+
+impl Obj {
+    /// An empty object.
+    pub fn new() -> Obj {
+        Obj::default()
+    }
+
+    fn key(&mut self, key: &str) -> &mut String {
+        if self.out.is_empty() {
+            self.out.push('{');
+        } else {
+            self.out.push(',');
+        }
+        let _ = write!(self.out, "\"{}\":", escape(key));
+        &mut self.out
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Obj {
+        let escaped = escape(value);
+        let _ = write!(self.key(key), "\"{escaped}\"");
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn num(mut self, key: &str, value: impl Into<i128>) -> Obj {
+        let value = value.into();
+        let _ = write!(self.key(key), "{value}");
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Obj {
+        let _ = write!(self.key(key), "{value}");
+        self
+    }
+
+    /// Adds a field whose value is already-rendered JSON (an object or
+    /// array built elsewhere).
+    pub fn raw(mut self, key: &str, value: &str) -> Obj {
+        self.key(key).push_str(value);
+        self
+    }
+
+    /// Adds a field only when `value` is `Some`.
+    pub fn opt_str(self, key: &str, value: Option<&str>) -> Obj {
+        match value {
+            Some(v) => self.str(key, v),
+            None => self,
+        }
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> String {
+        if self.out.is_empty() {
+            "{}".to_string()
+        } else {
+            let mut out = self.out;
+            out.push('}');
+            out
+        }
+    }
+}
+
+/// Renders an array of already-rendered JSON values.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+/// Extracts the string value of the *first* occurrence of `"key":"…"` in
+/// `json`. Good enough for the flat objects this service emits (no
+/// nested objects sharing key names before the wanted field); not a
+/// general JSON parser. Unescapes the common escapes [`escape`] emits.
+pub fn find_str(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{}\":\"", escape(key));
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Extracts the integer value of the first `"key":N` in `json`.
+pub fn find_num(json: &str, key: &str) -> Option<i64> {
+    let needle = format!("\"{}\":", escape(key));
+    let start = json.find(&needle)? + needle.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '-')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_render_and_roundtrip() {
+        let json = Obj::new()
+            .str("id", "j-1")
+            .str("detail", "line one\nline \"two\"")
+            .num("states", 42)
+            .bool("ok", true)
+            .raw("items", &array(vec!["1".into(), "2".into()]))
+            .build();
+        assert_eq!(find_str(&json, "id").as_deref(), Some("j-1"));
+        assert_eq!(
+            find_str(&json, "detail").as_deref(),
+            Some("line one\nline \"two\"")
+        );
+        assert_eq!(find_num(&json, "states"), Some(42));
+        assert!(json.contains("\"items\":[1,2]"));
+        assert!(json.contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn empty_object_and_control_chars() {
+        assert_eq!(Obj::new().build(), "{}");
+        let json = Obj::new().str("s", "a\u{1}b").build();
+        assert_eq!(json, "{\"s\":\"a\\u0001b\"}");
+        assert_eq!(find_str(&json, "s").as_deref(), Some("a\u{1}b"));
+    }
+}

@@ -1,0 +1,276 @@
+//! `pnp-serve`: a supervised verification service for `.pnp`
+//! specifications.
+//!
+//! The daemon accepts verification jobs over a from-scratch HTTP/1.1
+//! layer ([`http`]), runs them on supervised worker threads
+//! ([`supervisor`]), and keeps every failure mode inside the envelope
+//! the paper's robustness story promises: overload is shed with a retry
+//! hint, panics and watchdog kills become checkpoint-backed retries,
+//! wedged workers are abandoned and replaced, and SIGTERM drains
+//! gracefully with the queue persisted for the next start.
+//!
+//! Endpoints (one request per connection, `Connection: close`):
+//!
+//! | Method | Path | Meaning |
+//! |---|---|---|
+//! | `GET` | `/health` | liveness + counters |
+//! | `POST` | `/jobs` | submit a `.pnp` body → `202` with the job id |
+//! | `GET` | `/jobs/{id}` | phase + attempts |
+//! | `GET` | `/jobs/{id}/result` | `200` full result when done, `202` otherwise |
+//! | `POST` | `/jobs/{id}/cancel` | cooperative cancellation |
+//!
+//! Submissions take query parameters `budget` (`states=N,time=MS,…`),
+//! `threads`, `visited` (`exact|compact|bitstate[:MB]`), `deadline_ms`,
+//! `max_attempts`, and `chaos` (fault injection for the soak tests).
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod job;
+pub mod json;
+pub mod queue;
+pub mod supervisor;
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pnp_kernel::TerminationFlag;
+
+use http::{read_request, respond_json, Limits, Request};
+use job::{parse_budget_spec, parse_visited_spec, Chaos, JobConfig, JobId, JobRequest};
+use json::Obj;
+use supervisor::Supervisor;
+
+/// Concurrent connection cap; connections past it are answered `503`
+/// immediately (the handler threads are short-lived — verification runs
+/// on the supervisor's workers, never on a connection thread).
+const MAX_CONNECTIONS: usize = 32;
+
+/// Accepts connections until `term` is raised, then drains the
+/// supervisor and returns. Each request is handled on a short-lived
+/// thread; request reading is bounded by [`Limits`].
+///
+/// # Errors
+///
+/// Returns the error when the listener cannot be polled.
+pub fn serve(
+    listener: TcpListener,
+    supervisor: Arc<Supervisor>,
+    term: TerminationFlag,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let live = Arc::new(AtomicUsize::new(0));
+    loop {
+        if term.is_raised() {
+            supervisor.drain();
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                if live.load(Ordering::Relaxed) >= MAX_CONNECTIONS {
+                    let mut stream = stream;
+                    let _ = respond_json(
+                        &mut stream,
+                        503,
+                        "Service Unavailable",
+                        &[("Retry-After", "1".to_string())],
+                        &Obj::new()
+                            .str("error", "overloaded")
+                            .str("reason", "connections")
+                            .bool("retryable", true)
+                            .build(),
+                    );
+                    continue;
+                }
+                live.fetch_add(1, Ordering::Relaxed);
+                let live = Arc::clone(&live);
+                let supervisor = Arc::clone(&supervisor);
+                std::thread::spawn(move || {
+                    let mut stream = stream;
+                    handle_connection(&mut stream, &supervisor);
+                    live.fetch_sub(1, Ordering::Relaxed);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, supervisor: &Supervisor) {
+    match read_request(stream, &Limits::default()) {
+        Ok(request) => route(stream, supervisor, &request),
+        Err(error) => {
+            if let Some((status, reason, message)) = error.status() {
+                let _ = respond_json(
+                    stream,
+                    status,
+                    reason,
+                    &[],
+                    &Obj::new().str("error", &message).build(),
+                );
+            }
+        }
+    }
+}
+
+fn route(stream: &mut TcpStream, supervisor: &Supervisor, request: &Request) {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["health"]) => {
+            let _ = respond_json(stream, 200, "OK", &[], &supervisor.health_json());
+        }
+        ("POST", ["jobs"]) => submit(stream, supervisor, request),
+        ("GET", ["jobs", id]) => match JobId::parse(id).and_then(|id| supervisor.status_json(id)) {
+            Some(json) => {
+                let _ = respond_json(stream, 200, "OK", &[], &json);
+            }
+            None => not_found(stream),
+        },
+        ("GET", ["jobs", id, "result"]) => {
+            match JobId::parse(id).and_then(|id| supervisor.result_json(id)) {
+                Some((json, true)) => {
+                    let _ = respond_json(stream, 200, "OK", &[], &json);
+                }
+                Some((json, false)) => {
+                    let _ = respond_json(stream, 202, "Accepted", &[], &json);
+                }
+                None => not_found(stream),
+            }
+        }
+        ("POST", ["jobs", id, "cancel"]) => {
+            match JobId::parse(id).map(|id| (id, supervisor.cancel(id))) {
+                Some((id, Some(cancelled))) => {
+                    let _ = respond_json(
+                        stream,
+                        200,
+                        "OK",
+                        &[],
+                        &Obj::new()
+                            .str("id", &id.to_string())
+                            .bool("cancelled", cancelled)
+                            .build(),
+                    );
+                }
+                _ => not_found(stream),
+            }
+        }
+        _ => not_found(stream),
+    }
+}
+
+fn not_found(stream: &mut TcpStream) {
+    let _ = respond_json(
+        stream,
+        404,
+        "Not Found",
+        &[],
+        &Obj::new().str("error", "not_found").build(),
+    );
+}
+
+/// Parses the submission query parameters into a [`JobConfig`] resolved
+/// against `base`.
+///
+/// # Errors
+///
+/// Returns the first parameter error, verbatim, for a `400` answer.
+pub fn parse_job_config(
+    request: &Request,
+    base: pnp_kernel::SearchConfig,
+) -> Result<JobConfig, String> {
+    let mut config = base;
+    if let Some(spec) = request.query("budget") {
+        config = parse_budget_spec(spec, config)?;
+    }
+    if let Some(threads) = request.query("threads") {
+        config.threads = threads
+            .parse::<usize>()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("threads '{threads}': want a positive integer"))?;
+    }
+    if let Some(spec) = request.query("visited") {
+        config.visited = parse_visited_spec(spec)?;
+    }
+    let deadline = request
+        .query("deadline_ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map(Duration::from_millis)
+                .map_err(|_| format!("deadline_ms '{v}': want milliseconds"))
+        })
+        .transpose()?;
+    let max_attempts = request
+        .query("max_attempts")
+        .map(|v| {
+            v.parse::<u32>()
+                .ok()
+                .filter(|n| *n >= 1)
+                .ok_or_else(|| format!("max_attempts '{v}': want a positive integer"))
+        })
+        .transpose()?;
+    let chaos = request.query("chaos").map(Chaos::parse).transpose()?;
+    Ok(JobConfig {
+        config,
+        deadline,
+        max_attempts,
+        chaos,
+    })
+}
+
+fn submit(stream: &mut TcpStream, supervisor: &Supervisor, request: &Request) {
+    let bad_request = |stream: &mut TcpStream, message: &str| {
+        let _ = respond_json(
+            stream,
+            400,
+            "Bad Request",
+            &[],
+            &Obj::new().str("error", message).build(),
+        );
+    };
+    let source = match String::from_utf8(request.body.clone()) {
+        Ok(source) if !source.trim().is_empty() => source,
+        Ok(_) => return bad_request(stream, "empty body: POST the .pnp source"),
+        Err(_) => return bad_request(stream, "body is not UTF-8"),
+    };
+    let config = match parse_job_config(request, supervisor.default_search()) {
+        Ok(config) => config,
+        Err(message) => return bad_request(stream, &message),
+    };
+    match supervisor.submit(JobRequest { source, config }) {
+        Ok(id) => {
+            let _ = respond_json(
+                stream,
+                202,
+                "Accepted",
+                &[],
+                &Obj::new()
+                    .str("id", &id.to_string())
+                    .str("status_url", &format!("/jobs/{id}"))
+                    .str("result_url", &format!("/jobs/{id}/result"))
+                    .build(),
+            );
+        }
+        Err(shed) => {
+            let secs = shed.retry_after.as_secs().max(1);
+            let _ = respond_json(
+                stream,
+                503,
+                "Service Unavailable",
+                &[("Retry-After", secs.to_string())],
+                &Obj::new()
+                    .str("error", "overloaded")
+                    .str("reason", shed.reason)
+                    .bool("retryable", true)
+                    .num("retry_after_ms", shed.retry_after.as_millis() as u64)
+                    .num("queue_depth", shed.queue_depth as u64)
+                    .build(),
+            );
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Admission control and queue persistence.
+//!
+//! Admission is watermark-based: a submission is *shed* — rejected with
+//! a structured, retryable answer — once the queue holds
+//! [`QueuePolicy::capacity`] jobs or [`QueuePolicy::max_queued_bytes`]
+//! of queued source text. Shedding is the daemon's first line of
+//! defence: it degrades under overload by telling clients to come back
+//! (`Retry-After`) instead of growing without bound and being OOM-killed
+//! mid-search.
+//!
+//! Persistence uses the snapshot serializer's recipe (magic + version +
+//! FNV/mix64 checksum, little-endian, own code): on a graceful drain the
+//! undone jobs are written to `queue.pnpq` in the state directory, and
+//! restored — with their attempt counts, so retry ceilings survive
+//! restarts — when the daemon comes back. A corrupt or truncated queue
+//! file is detected by the checksum and reported cleanly; the daemon
+//! then starts empty rather than crashing or replaying garbage.
+
+use std::time::Duration;
+
+use pnp_kernel::{mix64, SearchConfig, VisitedKind};
+
+use crate::job::{Chaos, JobConfig, JobRequest};
+
+const MAGIC: &[u8; 8] = b"PNPQUEU1";
+
+/// Admission watermarks and the shed hint.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuePolicy {
+    /// Maximum queued (not yet running) jobs.
+    pub capacity: usize,
+    /// Maximum total bytes of queued specification source.
+    pub max_queued_bytes: usize,
+    /// The `Retry-After` hint attached to shed responses.
+    pub retry_after: Duration,
+}
+
+impl Default for QueuePolicy {
+    fn default() -> QueuePolicy {
+        QueuePolicy {
+            capacity: 64,
+            max_queued_bytes: 8 << 20,
+            retry_after: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Why a submission was shed, plus the retry hint for the client.
+#[derive(Debug, Clone)]
+pub struct ShedInfo {
+    /// `queue_full`, `queue_bytes`, or `draining`.
+    pub reason: &'static str,
+    /// Queue depth at the moment of shedding.
+    pub queue_depth: usize,
+    /// How long the client should wait before retrying.
+    pub retry_after: Duration,
+}
+
+/// One queued job as persisted across restarts.
+#[derive(Debug, Clone)]
+pub struct PersistedJob {
+    /// The job's numeric id (so `j-N` names stay valid across restarts).
+    pub id: u64,
+    /// Attempts already made (retry ceilings survive restarts).
+    pub attempts: u32,
+    /// The submission.
+    pub request: JobRequest,
+}
+
+/// FNV-1a finished with the SplitMix64 mixer — same construction the
+/// snapshot format uses.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    mix64(h)
+}
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(v) => {
+                self.u8(1);
+                self.u64(v);
+            }
+        }
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.out.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        let end = self.pos.checked_add(n).ok_or("length overflow")?;
+        if end > self.bytes.len() {
+            return Err("queue file is truncated".into());
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn opt_u64(&mut self) -> Result<Option<u64>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            other => Err(format!("bad option flag {other}")),
+        }
+    }
+    fn usize(&mut self) -> Result<usize, String> {
+        usize::try_from(self.u64()?).map_err(|_| "count overflows usize".to_string())
+    }
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.usize()?;
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| "string is not UTF-8".to_string())
+    }
+}
+
+/// Serializes the undone jobs for the drain path.
+pub fn encode_queue(jobs: &[PersistedJob]) -> Vec<u8> {
+    let mut w = Writer {
+        out: MAGIC.to_vec(),
+    };
+    w.u64(jobs.len() as u64);
+    for job in jobs {
+        w.u64(job.id);
+        w.u32(job.attempts);
+        w.str(&job.request.source);
+        let c = &job.request.config;
+        w.u64(c.config.max_states as u64);
+        w.opt_u64(c.config.max_time.map(|d| d.as_millis() as u64));
+        w.opt_u64(c.config.max_depth.map(|d| d as u64));
+        w.opt_u64(c.config.max_memory_bytes.map(|m| m as u64));
+        w.u8(u8::from(!c.config.partial_order_reduction));
+        match c.config.visited {
+            VisitedKind::Exact => w.u8(0),
+            VisitedKind::Compact => w.u8(1),
+            VisitedKind::Bitstate {
+                arena_bytes,
+                hashes,
+            } => {
+                w.u8(2);
+                w.u64(arena_bytes as u64);
+                w.u32(hashes);
+            }
+        }
+        w.u64(c.config.threads as u64);
+        w.opt_u64(c.deadline.map(|d| d.as_millis() as u64));
+        w.opt_u64(c.max_attempts.map(u64::from));
+        w.str(&c.chaos.map(|ch| ch.render()).unwrap_or_default());
+    }
+    let checksum = fnv64(&w.out);
+    w.u64(checksum);
+    w.out
+}
+
+/// Decodes a persisted queue, verifying magic and checksum.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem; never panics
+/// on malformed input.
+pub fn decode_queue(bytes: &[u8]) -> Result<Vec<PersistedJob>, String> {
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err("queue file is truncated".into());
+    }
+    if &bytes[..8] != MAGIC {
+        return Err("not a PnP queue file (bad magic)".into());
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    if fnv64(body) != stored {
+        return Err("queue file checksum mismatch".into());
+    }
+    let mut r = Reader {
+        bytes: body,
+        pos: 8,
+    };
+    let count = r.usize()?;
+    let mut jobs = Vec::new();
+    for _ in 0..count {
+        let id = r.u64()?;
+        let attempts = r.u32()?;
+        let source = r.str()?;
+        let mut config = SearchConfig {
+            max_states: r.usize()?,
+            ..SearchConfig::default()
+        };
+        config.max_time = r.opt_u64()?.map(Duration::from_millis);
+        config.max_depth = r.opt_u64()?.map(|d| d as usize);
+        config.max_memory_bytes = r.opt_u64()?.map(|m| m as usize);
+        config.partial_order_reduction = r.u8()? == 0;
+        config.visited = match r.u8()? {
+            0 => VisitedKind::Exact,
+            1 => VisitedKind::Compact,
+            2 => VisitedKind::Bitstate {
+                arena_bytes: r.usize()?,
+                hashes: r.u32()?,
+            },
+            other => return Err(format!("unknown visited backend tag {other}")),
+        };
+        config.threads = r.usize()?;
+        let deadline = r.opt_u64()?.map(Duration::from_millis);
+        let max_attempts = r.opt_u64()?.map(|n| n as u32);
+        let chaos_spec = r.str()?;
+        let chaos = if chaos_spec.is_empty() {
+            None
+        } else {
+            Some(Chaos::parse(&chaos_spec)?)
+        };
+        jobs.push(PersistedJob {
+            id,
+            attempts,
+            request: JobRequest {
+                source,
+                config: JobConfig {
+                    config,
+                    deadline,
+                    max_attempts,
+                    chaos,
+                },
+            },
+        });
+    }
+    if r.pos != r.bytes.len() {
+        return Err(format!("{} trailing bytes", r.bytes.len() - r.pos));
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<PersistedJob> {
+        vec![
+            PersistedJob {
+                id: 3,
+                attempts: 2,
+                request: JobRequest {
+                    source: "system { }".into(),
+                    config: JobConfig {
+                        config: SearchConfig {
+                            max_states: 500,
+                            max_time: Some(Duration::from_millis(1234)),
+                            threads: 4,
+                            visited: VisitedKind::bitstate(1 << 20),
+                            ..SearchConfig::default()
+                        },
+                        deadline: Some(Duration::from_millis(250)),
+                        max_attempts: Some(5),
+                        chaos: Some(Chaos::PanicOnFlush {
+                            flush: 2,
+                            attempts: 1,
+                        }),
+                    },
+                },
+            },
+            PersistedJob {
+                id: 9,
+                attempts: 0,
+                request: JobRequest {
+                    source: "system { global x = 0; }".into(),
+                    config: JobConfig::default(),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn queue_roundtrips() {
+        let jobs = sample();
+        let decoded = decode_queue(&encode_queue(&jobs)).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].id, 3);
+        assert_eq!(decoded[0].attempts, 2);
+        assert_eq!(decoded[0].request.source, "system { }");
+        assert_eq!(decoded[0].request.config.config.max_states, 500);
+        assert_eq!(
+            decoded[0].request.config.config.max_time,
+            Some(Duration::from_millis(1234))
+        );
+        assert_eq!(decoded[0].request.config.config.threads, 4);
+        assert_eq!(
+            decoded[0].request.config.deadline,
+            Some(Duration::from_millis(250))
+        );
+        assert_eq!(
+            decoded[0].request.config.chaos,
+            Some(Chaos::PanicOnFlush {
+                flush: 2,
+                attempts: 1
+            })
+        );
+        assert_eq!(decoded[1].id, 9);
+        assert!(decoded[1].request.config.chaos.is_none());
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_clean_errors() {
+        let bytes = encode_queue(&sample());
+        for len in 0..bytes.len() {
+            assert!(
+                decode_queue(&bytes[..len]).is_err(),
+                "truncation to {len} must fail"
+            );
+        }
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(decode_queue(&bad).is_err(), "bit flip at {i} undetected");
+        }
+        assert!(decode_queue(b"not a queue").is_err());
+    }
+
+    #[test]
+    fn empty_queue_roundtrips() {
+        assert!(decode_queue(&encode_queue(&[])).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,953 @@
+//! The supervisor: a bounded job queue, worker threads running attempts
+//! under `catch_unwind`, a watchdog enforcing per-attempt wall-clock
+//! deadlines and replacing wedged workers, and a retry policy that
+//! resumes failed attempts from their last checkpoint.
+//!
+//! The design rule throughout is *degrade, never die*: overload sheds
+//! submissions with a retry hint instead of growing the queue without
+//! bound; a panicking or deadline-tripped attempt becomes a scheduled
+//! retry from the last flushed snapshot (so no exploration is repeated);
+//! a worker that stops responding to cancellation is abandoned behind an
+//! epoch fence and replaced; and a graceful drain parks in-flight jobs —
+//! final snapshots flushed by the kernel's cancellation path — then
+//! persists the queue so a restart picks up exactly where the daemon
+//! left off.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use pnp_kernel::{
+    load_snapshot, BudgetKind, CancelToken, FailureClass, FileSink, JobOutcome, KernelError,
+    SearchConfig, Snapshot, SnapshotError, SnapshotSink, SplitMix64,
+};
+use pnp_lang::{compile, PropertyResult, VerifyOptions};
+
+use crate::job::{CancelCause, Chaos, JobError, JobId, JobPhase, JobRecord, JobRequest, Verdict};
+use crate::json::{array, Obj};
+use crate::queue::{decode_queue, encode_queue, PersistedJob, QueuePolicy, ShedInfo};
+
+/// Service-level policy: worker count, admission watermarks, retry and
+/// watchdog parameters, and where state lives.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads running verification attempts (default 2).
+    pub workers: usize,
+    /// Admission watermarks and the shed retry hint.
+    pub queue: QueuePolicy,
+    /// Default per-attempt wall-clock deadline, overridable per job
+    /// (default 30 s).
+    pub default_deadline: Duration,
+    /// Default attempt ceiling for transient failures, overridable per
+    /// job (default 3).
+    pub max_attempts: u32,
+    /// First retry backoff; doubles per attempt (default 100 ms).
+    pub backoff_base: Duration,
+    /// Backoff ceiling before jitter (default 5 s).
+    pub backoff_cap: Duration,
+    /// How long after cancelling an attempt the watchdog waits for the
+    /// worker to come back before abandoning and replacing it
+    /// (default 2 s).
+    pub wedge_grace: Duration,
+    /// Checkpoint flush cadence in newly interned states (default 1024;
+    /// `0` = final snapshot only).
+    pub checkpoint_every: usize,
+    /// Where checkpoints and the persisted queue live.
+    pub state_dir: PathBuf,
+    /// Seed for retry-backoff jitter.
+    pub seed: u64,
+    /// Base search configuration submissions are resolved against.
+    pub default_search: SearchConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue: QueuePolicy::default(),
+            default_deadline: Duration::from_secs(30),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+            wedge_grace: Duration::from_secs(2),
+            checkpoint_every: 1024,
+            state_dir: PathBuf::from(".pnp-serve"),
+            seed: 0x706e_7073_6572_7665,
+            default_search: SearchConfig::default(),
+        }
+    }
+}
+
+/// Monotonic service counters, surfaced by `/health`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Jobs admitted.
+    pub submitted: u64,
+    /// Jobs that reached a terminal phase.
+    pub completed: u64,
+    /// Submissions shed by admission control.
+    pub shed: u64,
+    /// Retries scheduled.
+    pub retries: u64,
+    /// Panics caught by worker isolation.
+    pub panics_caught: u64,
+    /// Wedged workers abandoned and replaced.
+    pub workers_replaced: u64,
+    /// Jobs restored from a persisted queue at startup.
+    pub restored: u64,
+}
+
+struct Inner {
+    queue: VecDeque<JobId>,
+    jobs: HashMap<JobId, JobRecord>,
+    next_id: u64,
+    queued_count: usize,
+    queued_bytes: usize,
+    active_attempts: usize,
+    draining: bool,
+    shutdown: bool,
+    rng: SplitMix64,
+    stats: ServeStats,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    work: Condvar,
+    done: Condvar,
+    config: ServeConfig,
+}
+
+/// What one popped attempt carries out of the lock.
+struct Task {
+    id: JobId,
+    epoch: u64,
+    attempt: u32,
+    request: JobRequest,
+    cancel: CancelToken,
+}
+
+/// A checkpoint sink that injects the job's configured fault: panic
+/// before the n-th flush (the previous flush is already on disk) or
+/// sleep per flush so the watchdog deadline trips mid-run.
+struct ChaosSink {
+    inner: FileSink,
+    chaos: Chaos,
+    flushes: u32,
+}
+
+impl SnapshotSink for ChaosSink {
+    fn store(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        self.flushes += 1;
+        match self.chaos {
+            Chaos::PanicOnFlush { flush, .. } if self.flushes >= flush => {
+                panic!("chaos: injected panic before checkpoint flush {flush}")
+            }
+            Chaos::SlowFlushMs { ms, .. } => std::thread::sleep(Duration::from_millis(ms)),
+            _ => {}
+        }
+        self.inner.store(bytes)
+    }
+}
+
+/// The verification service: owns the queue, the workers, and the
+/// watchdog. Shared behind an [`Arc`]; every method takes `&self`.
+pub struct Supervisor {
+    shared: Arc<Shared>,
+}
+
+impl Supervisor {
+    /// Starts the service: creates the state directory, restores a
+    /// persisted queue if one survived the last drain, and spawns the
+    /// worker and watchdog threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error when the state directory cannot be created. A
+    /// corrupt queue file is *not* an error: it is set aside as
+    /// `queue.pnpq.corrupt` and the service starts empty.
+    pub fn start(config: ServeConfig) -> std::io::Result<Supervisor> {
+        std::fs::create_dir_all(&config.state_dir)?;
+        let mut inner = Inner {
+            queue: VecDeque::new(),
+            jobs: HashMap::new(),
+            next_id: 1,
+            queued_count: 0,
+            queued_bytes: 0,
+            active_attempts: 0,
+            draining: false,
+            shutdown: false,
+            rng: SplitMix64::seed_from_u64(config.seed),
+            stats: ServeStats::default(),
+        };
+
+        let queue_path = config.state_dir.join("queue.pnpq");
+        if let Ok(bytes) = std::fs::read(&queue_path) {
+            match decode_queue(&bytes) {
+                Ok(persisted) => {
+                    for job in persisted {
+                        let id = JobId(job.id);
+                        inner.next_id = inner.next_id.max(job.id + 1);
+                        inner.queued_count += 1;
+                        inner.queued_bytes += job.request.source.len();
+                        inner.stats.restored += 1;
+                        inner.stats.submitted += 1;
+                        inner.queue.push_back(id);
+                        inner
+                            .jobs
+                            .insert(id, new_record(id, job.request, job.attempts));
+                    }
+                }
+                Err(reason) => {
+                    eprintln!("pnp-serve: ignoring persisted queue: {reason}");
+                    let _ = std::fs::rename(&queue_path, queue_path.with_extension("pnpq.corrupt"));
+                }
+            }
+            let _ = std::fs::remove_file(&queue_path);
+        }
+
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(inner),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            config,
+        });
+        for _ in 0..shared.config.workers.max(1) {
+            spawn_worker(Arc::clone(&shared));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || watchdog_loop(&shared));
+        }
+        Ok(Supervisor { shared })
+    }
+
+    /// The number of jobs restored from a persisted queue at startup.
+    pub fn restored(&self) -> u64 {
+        self.lock().stats.restored
+    }
+
+    /// The base search configuration submissions are resolved against.
+    pub fn default_search(&self) -> SearchConfig {
+        self.shared.config.default_search
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServeStats {
+        self.lock().stats
+    }
+
+    /// The per-property results of a job's last finished attempt.
+    pub fn results(&self, id: JobId) -> Option<Vec<PropertyResult>> {
+        self.lock().jobs.get(&id)?.results.clone()
+    }
+
+    /// The structured error of a failed job.
+    pub fn error(&self, id: JobId) -> Option<JobError> {
+        self.lock().jobs.get(&id)?.error.clone()
+    }
+
+    /// How many attempts a job has made.
+    pub fn attempts(&self, id: JobId) -> Option<u32> {
+        Some(self.lock().jobs.get(&id)?.attempts)
+    }
+
+    /// Admits a job or sheds it with a retry hint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShedInfo`] when a watermark is exceeded or the daemon
+    /// is draining.
+    pub fn submit(&self, request: JobRequest) -> Result<JobId, ShedInfo> {
+        let mut inner = self.lock();
+        let policy = self.shared.config.queue;
+        let shed = |inner: &mut Inner, reason| {
+            inner.stats.shed += 1;
+            Err(ShedInfo {
+                reason,
+                queue_depth: inner.queued_count,
+                retry_after: policy.retry_after,
+            })
+        };
+        if inner.draining || inner.shutdown {
+            return shed(&mut inner, "draining");
+        }
+        if inner.queued_count >= policy.capacity {
+            return shed(&mut inner, "queue_full");
+        }
+        if inner.queued_bytes + request.source.len() > policy.max_queued_bytes {
+            return shed(&mut inner, "queue_bytes");
+        }
+        let id = JobId(inner.next_id);
+        inner.next_id += 1;
+        inner.queued_count += 1;
+        inner.queued_bytes += request.source.len();
+        inner.stats.submitted += 1;
+        inner.queue.push_back(id);
+        inner.jobs.insert(id, new_record(id, request, 0));
+        self.shared.work.notify_one();
+        Ok(id)
+    }
+
+    /// The status object for a job, or `None` for an unknown id.
+    pub fn status_json(&self, id: JobId) -> Option<String> {
+        let inner = self.lock();
+        Some(status_obj(inner.jobs.get(&id)?).build())
+    }
+
+    /// The result object for a job and whether it is terminal yet.
+    /// `None` for an unknown id.
+    pub fn result_json(&self, id: JobId) -> Option<(String, bool)> {
+        let inner = self.lock();
+        let record = inner.jobs.get(&id)?;
+        let done = matches!(record.phase, JobPhase::Done(_));
+        if !done {
+            return Some((status_obj(record).build(), false));
+        }
+        let mut obj = status_obj(record);
+        if let Some(results) = &record.results {
+            obj = obj.raw("properties", &array(results.iter().map(property_json)));
+        }
+        if let Some(error) = &record.error {
+            obj = obj.raw(
+                "error",
+                &Obj::new()
+                    .str("kind", error.kind)
+                    .str("reason", &error.reason)
+                    .num("attempts", error.attempts)
+                    .bool("retryable", false)
+                    .build(),
+            );
+        }
+        Some((obj.build(), true))
+    }
+
+    /// Cancels a job. Returns `None` for an unknown id, `Some(false)`
+    /// when the job was already terminal, `Some(true)` when the
+    /// cancellation took (immediately for queued jobs, asynchronously
+    /// for running ones).
+    pub fn cancel(&self, id: JobId) -> Option<bool> {
+        let mut inner = self.lock();
+        let source_len = {
+            let record = inner.jobs.get(&id)?;
+            record.request.source.len()
+        };
+        let record = inner.jobs.get_mut(&id)?;
+        match record.phase {
+            JobPhase::Done(_) => Some(false),
+            JobPhase::Queued | JobPhase::Retrying { .. } => {
+                let was_queued = matches!(record.phase, JobPhase::Queued);
+                record.phase = JobPhase::Done(Verdict::Cancelled);
+                remove_checkpoint(&self.shared.config.state_dir, id);
+                if was_queued {
+                    inner.queued_count -= 1;
+                    inner.queued_bytes -= source_len;
+                }
+                inner.stats.completed += 1;
+                self.shared.done.notify_all();
+                Some(true)
+            }
+            JobPhase::Running => {
+                if record.cancel_cause.is_none() {
+                    record.cancel_cause = Some(CancelCause::User);
+                    record.cancelled_at = Some(Instant::now());
+                }
+                if let Some(token) = &record.cancel {
+                    token.cancel();
+                }
+                Some(true)
+            }
+        }
+    }
+
+    /// The `/health` object.
+    pub fn health_json(&self) -> String {
+        let inner = self.lock();
+        let s = inner.stats;
+        Obj::new()
+            .str("status", if inner.draining { "draining" } else { "ok" })
+            .num("queue_depth", inner.queued_count as u64)
+            .num("queued_bytes", inner.queued_bytes as u64)
+            .num("running", inner.active_attempts as u64)
+            .num("workers", self.shared.config.workers as u64)
+            .num("submitted", s.submitted)
+            .num("completed", s.completed)
+            .num("shed", s.shed)
+            .num("retries", s.retries)
+            .num("panics_caught", s.panics_caught)
+            .num("workers_replaced", s.workers_replaced)
+            .num("restored", s.restored)
+            .build()
+    }
+
+    /// Blocks until the job reaches a terminal phase, up to `timeout`.
+    pub fn wait_done(&self, id: JobId, timeout: Duration) -> Option<Verdict> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            match inner.jobs.get(&id).map(|r| r.phase) {
+                Some(JobPhase::Done(verdict)) => return Some(verdict),
+                None => return None,
+                _ => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            inner = self
+                .shared
+                .done
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    /// Gracefully drains the service: stops admitting, cancels in-flight
+    /// attempts (their final snapshots flush through the kernel's
+    /// cancellation path), parks them back on the queue, persists the
+    /// queue to `queue.pnpq`, and stops the workers. Idempotent.
+    pub fn drain(&self) {
+        let mut inner = self.lock();
+        if inner.draining {
+            return;
+        }
+        inner.draining = true;
+        for record in inner.jobs.values_mut() {
+            if matches!(record.phase, JobPhase::Running) {
+                if record.cancel_cause.is_none() {
+                    record.cancel_cause = Some(CancelCause::Drain);
+                    record.cancelled_at = Some(Instant::now());
+                }
+                if let Some(token) = &record.cancel {
+                    token.cancel();
+                }
+            }
+        }
+        self.shared.work.notify_all();
+
+        // Wait for in-flight attempts to park (or be abandoned by the
+        // watchdog, which keeps running during the drain).
+        let deadline = Instant::now()
+            + self.shared.config.default_deadline
+            + self.shared.config.wedge_grace * 2;
+        while inner.active_attempts > 0 && Instant::now() < deadline {
+            inner = self
+                .shared
+                .done
+                .wait_timeout(inner, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+
+        let mut persisted: Vec<PersistedJob> = Vec::new();
+        let ids: Vec<JobId> = inner.queue.iter().copied().collect();
+        for id in ids {
+            if let Some(record) = inner.jobs.get(&id) {
+                if matches!(record.phase, JobPhase::Queued) {
+                    persisted.push(PersistedJob {
+                        id: id.0,
+                        attempts: record.attempts,
+                        request: record.request.clone(),
+                    });
+                }
+            }
+        }
+        // Retrying jobs restart (without their backoff timer) after the
+        // restart; persist them behind the queued ones.
+        let mut retrying: Vec<&JobRecord> = inner
+            .jobs
+            .values()
+            .filter(|r| matches!(r.phase, JobPhase::Retrying { .. }))
+            .collect();
+        retrying.sort_by_key(|r| r.id);
+        for record in retrying {
+            persisted.push(PersistedJob {
+                id: record.id.0,
+                attempts: record.attempts,
+                request: record.request.clone(),
+            });
+        }
+        let path = self.shared.config.state_dir.join("queue.pnpq");
+        if persisted.is_empty() {
+            let _ = std::fs::remove_file(&path);
+        } else {
+            let bytes = encode_queue(&persisted);
+            let tmp = path.with_extension("pnpq.tmp");
+            if std::fs::write(&tmp, &bytes)
+                .and_then(|()| std::fs::rename(&tmp, &path))
+                .is_err()
+            {
+                eprintln!("pnp-serve: failed to persist queue to {}", path.display());
+            }
+        }
+        inner.shutdown = true;
+        self.shared.work.notify_all();
+        self.shared.done.notify_all();
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A worker can only poison this lock by panicking *inside* the
+        // supervisor's own bookkeeping (attempt bodies run under
+        // catch_unwind); keep serving rather than cascade the panic.
+        self.shared.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn new_record(id: JobId, request: JobRequest, attempts: u32) -> JobRecord {
+    JobRecord {
+        id,
+        request,
+        phase: JobPhase::Queued,
+        attempts,
+        epoch: 0,
+        cancel: None,
+        cancel_cause: None,
+        started_at: None,
+        cancelled_at: None,
+        results: None,
+        error: None,
+    }
+}
+
+fn status_obj(record: &JobRecord) -> Obj {
+    let phase = match record.phase {
+        JobPhase::Queued => "queued",
+        JobPhase::Running => "running",
+        JobPhase::Retrying { .. } => "retrying",
+        JobPhase::Done(_) => "done",
+    };
+    let mut obj = Obj::new()
+        .str("id", &record.id.to_string())
+        .str("phase", phase)
+        .num("attempts", record.attempts);
+    if let JobPhase::Done(verdict) = record.phase {
+        obj = obj
+            .str("verdict", verdict.as_str())
+            .num("exit_code", verdict.exit_code());
+    }
+    obj
+}
+
+fn property_json(result: &PropertyResult) -> String {
+    Obj::new()
+        .str("name", &result.name)
+        .bool("holds", result.holds)
+        .bool("inconclusive", result.inconclusive)
+        .bool("approx", result.approx)
+        .num("states", result.states as u64)
+        .num("steps", result.steps as u64)
+        .num("max_depth", result.max_depth as u64)
+        .str("detail", &result.detail)
+        .build()
+}
+
+fn checkpoint_path(state_dir: &Path, id: JobId) -> PathBuf {
+    state_dir.join(format!("job-{}.pnpsnap", id.0))
+}
+
+fn remove_checkpoint(state_dir: &Path, id: JobId) {
+    let _ = std::fs::remove_file(checkpoint_path(state_dir, id));
+}
+
+fn spawn_worker(shared: Arc<Shared>) {
+    std::thread::spawn(move || worker_loop(&shared));
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let Some(task) = next_task(shared) else {
+            return;
+        };
+        let (outcome, results) = run_attempt_caught(shared, &task);
+        if !finish_attempt(shared, &task, outcome, results) {
+            // The watchdog abandoned this attempt and already spawned a
+            // replacement worker; this thread bows out.
+            return;
+        }
+    }
+}
+
+/// Blocks until a runnable job is available; `None` on shutdown.
+fn next_task(shared: &Arc<Shared>) -> Option<Task> {
+    let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if inner.shutdown {
+            return None;
+        }
+        if !inner.draining {
+            while let Some(id) = inner.queue.pop_front() {
+                // Entries are removed lazily: a job cancelled while
+                // queued stays in the deque but left the Queued phase.
+                let runnable = inner
+                    .jobs
+                    .get(&id)
+                    .is_some_and(|r| matches!(r.phase, JobPhase::Queued));
+                if !runnable {
+                    continue;
+                }
+                inner.queued_count -= 1;
+                inner.active_attempts += 1;
+                let source_len = inner.jobs[&id].request.source.len();
+                inner.queued_bytes -= source_len;
+                let record = inner.jobs.get_mut(&id).expect("job exists");
+                record.phase = JobPhase::Running;
+                record.attempts += 1;
+                let token = CancelToken::new();
+                record.cancel = Some(token.clone());
+                record.cancel_cause = None;
+                record.started_at = Some(Instant::now());
+                record.cancelled_at = None;
+                return Some(Task {
+                    id,
+                    epoch: record.epoch,
+                    attempt: record.attempts,
+                    request: record.request.clone(),
+                    cancel: token,
+                });
+            }
+        }
+        inner = shared
+            .work
+            .wait_timeout(inner, Duration::from_millis(100))
+            .unwrap_or_else(|e| e.into_inner())
+            .0;
+    }
+}
+
+fn run_attempt_caught(
+    shared: &Arc<Shared>,
+    task: &Task,
+) -> (JobOutcome, Option<Vec<PropertyResult>>) {
+    match catch_unwind(AssertUnwindSafe(|| run_attempt(shared, task))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.stats.panics_caught += 1;
+            drop(inner);
+            (JobOutcome::classify_panic(&*payload), None)
+        }
+    }
+}
+
+fn run_attempt(shared: &Arc<Shared>, task: &Task) -> (JobOutcome, Option<Vec<PropertyResult>>) {
+    let chaos = task
+        .request
+        .config
+        .chaos
+        .filter(|c| c.applies_to(task.attempt));
+    if let Some(Chaos::WedgeStartMs { ms, .. }) = chaos {
+        // A wedged worker by definition ignores its cancel token.
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+
+    let spec = match compile(&task.request.source) {
+        Ok(spec) => spec,
+        Err(error) => {
+            return (
+                JobOutcome::Failed {
+                    class: FailureClass::Permanent,
+                    reason: error.to_string(),
+                },
+                None,
+            )
+        }
+    };
+
+    let snap_path = checkpoint_path(&shared.config.state_dir, task.id);
+    let resume = load_resume_snapshot(&snap_path, &spec);
+    let checkpoint_sink = chaos.map(|chaos| -> pnp_lang::SinkFactory {
+        Arc::new(move |path: &Path| -> Box<dyn SnapshotSink> {
+            Box::new(ChaosSink {
+                inner: FileSink::new(path),
+                chaos,
+                flushes: 0,
+            })
+        })
+    });
+    let options = VerifyOptions {
+        config: task.request.config.config,
+        cancel: Some(task.cancel.clone()),
+        checkpoint: Some((snap_path.clone(), shared.config.checkpoint_every)),
+        resume,
+        checkpoint_sink,
+    };
+    match spec.verify_all_with_options(&options) {
+        Ok(results) => {
+            let outcome = if results
+                .iter()
+                .any(|r| r.stop == Some(BudgetKind::Cancelled))
+            {
+                JobOutcome::Interrupted
+            } else if let Some(budget) = results.iter().find_map(|r| r.stop) {
+                JobOutcome::OutOfBudget(budget)
+            } else {
+                JobOutcome::Conclusive
+            };
+            (outcome, Some(results))
+        }
+        Err(error) => {
+            if matches!(error.0, KernelError::Snapshot { .. }) {
+                // A checkpoint that cannot be stored or loaded should not
+                // poison every retry: start the next attempt clean.
+                let _ = std::fs::remove_file(&snap_path);
+            }
+            (JobOutcome::classify_error(&error.0), None)
+        }
+    }
+}
+
+/// Loads the job's checkpoint for a resumed attempt; a snapshot that is
+/// unreadable or belongs to a different program is discarded so the
+/// attempt restarts from scratch instead of failing forever.
+fn load_resume_snapshot(path: &Path, spec: &pnp_lang::ArchSpec) -> Option<Snapshot> {
+    if !path.exists() {
+        return None;
+    }
+    match load_snapshot(path) {
+        Ok(snapshot) if snapshot.matches_program(spec.system().program()) => Some(snapshot),
+        _ => {
+            let _ = std::fs::remove_file(path);
+            None
+        }
+    }
+}
+
+/// What `finish_attempt` decides to do with a finished attempt, computed
+/// under the lock in one borrow, then applied.
+enum Decision {
+    Done(Verdict, Option<JobError>),
+    Retry(String),
+    Park,
+    Stale,
+}
+
+/// Applies an attempt's outcome to the job record. Returns `false` when
+/// the attempt was already abandoned (stale epoch) and the worker thread
+/// should exit.
+fn finish_attempt(
+    shared: &Arc<Shared>,
+    task: &Task,
+    outcome: JobOutcome,
+    results: Option<Vec<PropertyResult>>,
+) -> bool {
+    let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+    let decision = match inner.jobs.get_mut(&task.id) {
+        None => Decision::Stale,
+        Some(record) if record.epoch != task.epoch => Decision::Stale,
+        Some(record) => {
+            record.cancel = None;
+            record.started_at = None;
+            record.cancelled_at = None;
+            let cause = record.cancel_cause.take();
+            if let Some(results) = results {
+                record.results = Some(results);
+            }
+            match outcome {
+                JobOutcome::Conclusive => {
+                    let violated = record
+                        .results
+                        .as_deref()
+                        .unwrap_or_default()
+                        .iter()
+                        .any(|r| !r.holds && !r.inconclusive);
+                    let verdict = if violated {
+                        Verdict::Violated
+                    } else {
+                        Verdict::Passed
+                    };
+                    Decision::Done(verdict, None)
+                }
+                JobOutcome::OutOfBudget(_) => Decision::Done(Verdict::Inconclusive, None),
+                JobOutcome::Interrupted => match cause {
+                    Some(CancelCause::User) => Decision::Done(Verdict::Cancelled, None),
+                    Some(CancelCause::Drain) => Decision::Park,
+                    Some(CancelCause::Deadline) | None => {
+                        Decision::Retry("watchdog deadline exceeded".into())
+                    }
+                },
+                JobOutcome::Failed {
+                    class: FailureClass::Transient,
+                    reason,
+                } => Decision::Retry(reason),
+                JobOutcome::Failed {
+                    class: FailureClass::Permanent,
+                    reason,
+                } => Decision::Done(
+                    Verdict::Failed,
+                    Some(JobError {
+                        kind: "permanent",
+                        reason,
+                        attempts: record.attempts,
+                    }),
+                ),
+            }
+        }
+    };
+    if matches!(decision, Decision::Stale) {
+        return false;
+    }
+    inner.active_attempts -= 1;
+    apply_decision(shared, &mut inner, task.id, decision);
+    true
+}
+
+/// Applies a [`Decision`] to a live (non-stale) job. Callers have
+/// already accounted `active_attempts`.
+fn apply_decision(shared: &Arc<Shared>, inner: &mut Inner, id: JobId, decision: Decision) {
+    match decision {
+        Decision::Stale => {}
+        Decision::Done(verdict, error) => {
+            let record = inner.jobs.get_mut(&id).expect("job exists");
+            record.phase = JobPhase::Done(verdict);
+            record.error = error;
+            remove_checkpoint(&shared.config.state_dir, id);
+            inner.stats.completed += 1;
+            shared.done.notify_all();
+        }
+        Decision::Park => {
+            // The drain cancelled this attempt; the kernel flushed a
+            // final snapshot on the way out. Give the attempt back (it
+            // did not fail) and requeue for persistence or pickup.
+            let record = inner.jobs.get_mut(&id).expect("job exists");
+            record.attempts = record.attempts.saturating_sub(1);
+            record.phase = JobPhase::Queued;
+            let bytes = record.request.source.len();
+            inner.queue.push_front(id);
+            inner.queued_count += 1;
+            inner.queued_bytes += bytes;
+            shared.done.notify_all();
+        }
+        Decision::Retry(reason) => {
+            let (attempts, ceiling) = {
+                let record = inner.jobs.get(&id).expect("job exists");
+                let ceiling = record
+                    .request
+                    .config
+                    .max_attempts
+                    .unwrap_or(shared.config.max_attempts);
+                (record.attempts, ceiling)
+            };
+            if attempts >= ceiling {
+                let record = inner.jobs.get_mut(&id).expect("job exists");
+                record.phase = JobPhase::Done(Verdict::Failed);
+                record.error = Some(JobError {
+                    kind: "transient_exhausted",
+                    reason,
+                    attempts,
+                });
+                remove_checkpoint(&shared.config.state_dir, id);
+                inner.stats.completed += 1;
+                shared.done.notify_all();
+            } else {
+                let delay = backoff(&shared.config, attempts, &mut inner.rng);
+                let record = inner.jobs.get_mut(&id).expect("job exists");
+                record.phase = JobPhase::Retrying {
+                    next_attempt_at: Instant::now() + delay,
+                };
+                inner.stats.retries += 1;
+            }
+        }
+    }
+}
+
+/// Exponential backoff with multiplicative jitter in `[0.5, 1.5)`:
+/// `base * 2^(attempt-1)`, capped, scaled by a [`SplitMix64`] draw so
+/// retry storms decorrelate.
+fn backoff(config: &ServeConfig, attempt: u32, rng: &mut SplitMix64) -> Duration {
+    let exp = attempt.saturating_sub(1).min(16);
+    let scaled = config
+        .backoff_base
+        .saturating_mul(1u32 << exp)
+        .min(config.backoff_cap);
+    let jitter = 512 + (rng.next_u64() % 1024) as u128;
+    let nanos = scaled.as_nanos().saturating_mul(jitter) / 1024;
+    Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
+}
+
+fn watchdog_loop(shared: &Arc<Shared>) {
+    loop {
+        std::thread::sleep(Duration::from_millis(20));
+        let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.shutdown {
+            return;
+        }
+        let now = Instant::now();
+
+        // Phase 1: trip deadlines on overrunning attempts.
+        for record in inner.jobs.values_mut() {
+            if !matches!(record.phase, JobPhase::Running) || record.cancel_cause.is_some() {
+                continue;
+            }
+            let deadline = record
+                .request
+                .config
+                .deadline
+                .unwrap_or(shared.config.default_deadline);
+            if record.started_at.is_some_and(|t| now - t > deadline) {
+                record.cancel_cause = Some(CancelCause::Deadline);
+                record.cancelled_at = Some(now);
+                if let Some(token) = &record.cancel {
+                    token.cancel();
+                }
+            }
+        }
+
+        // Phase 2: abandon workers that ignored their cancellation past
+        // the wedge grace — bump the epoch so the zombie's eventual
+        // result is discarded, replace the worker, and retry the job.
+        let wedged: Vec<JobId> = inner
+            .jobs
+            .values()
+            .filter(|r| {
+                matches!(r.phase, JobPhase::Running)
+                    && r.cancelled_at
+                        .is_some_and(|t| now - t > shared.config.wedge_grace)
+            })
+            .map(|r| r.id)
+            .collect();
+        for id in wedged {
+            let draining = inner.draining;
+            let cause = {
+                let record = inner.jobs.get_mut(&id).expect("job exists");
+                record.epoch += 1;
+                record.cancel = None;
+                record.started_at = None;
+                record.cancelled_at = None;
+                record.cancel_cause.take()
+            };
+            inner.active_attempts -= 1;
+            inner.stats.workers_replaced += 1;
+            let decision = match cause {
+                Some(CancelCause::User) => Decision::Done(Verdict::Cancelled, None),
+                Some(CancelCause::Drain) => Decision::Park,
+                _ => Decision::Retry("worker wedged past deadline".into()),
+            };
+            apply_decision(shared, &mut inner, id, decision);
+            if !draining {
+                spawn_worker(Arc::clone(shared));
+            }
+        }
+
+        // Phase 3: move due retries back onto the queue.
+        let due: Vec<JobId> = inner
+            .jobs
+            .values()
+            .filter(|r| match r.phase {
+                JobPhase::Retrying { next_attempt_at } => next_attempt_at <= now,
+                _ => false,
+            })
+            .map(|r| r.id)
+            .collect();
+        for id in due {
+            let record = inner.jobs.get_mut(&id).expect("job exists");
+            record.phase = JobPhase::Queued;
+            let bytes = record.request.source.len();
+            inner.queue.push_back(id);
+            inner.queued_count += 1;
+            inner.queued_bytes += bytes;
+            shared.work.notify_one();
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Black-box test of the `pnp-serve` binary: start it, load it up,
+//! SIGTERM it mid-flight, and verify the queue survives the restart.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use pnp_serve::json::{find_num, find_str};
+
+const SPEC: &str = r#"
+system {
+    global total = 0;
+
+    component a {
+        var count = 0;
+        state work, done;
+        end done;
+        from work if count < 8 do count = count + 1 goto work;
+        from work if count >= 8 do total = total + 1 goto done;
+    }
+    component b {
+        var count = 0;
+        state work, done;
+        end done;
+        from work if count < 8 do count = count + 1 goto work;
+        from work if count >= 8 do total = total + 1 goto done;
+    }
+
+    property totals: invariant total <= 2;
+}
+"#;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+    restored: usize,
+}
+
+fn start_daemon(state_dir: &Path, extra: &[&str]) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pnp-serve"))
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--state-dir")
+        .arg(state_dir)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn pnp-serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let mut restored = 0;
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("daemon exited before listening")
+            .expect("readable stdout");
+        if let Some(count) = line
+            .strip_prefix("pnp-serve: restored ")
+            .and_then(|rest| rest.split(' ').next())
+        {
+            restored = count.parse().expect("restored count");
+        }
+        if let Some(addr) = line.strip_prefix("pnp-serve: listening on http://") {
+            break addr.to_string();
+        }
+    };
+    // Keep draining stdout so the daemon never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    Daemon {
+        child,
+        addr,
+        restored,
+    }
+}
+
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("full response");
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, body.to_string())
+}
+
+fn wait_for_verdict(addr: &str, id: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = http(addr, "GET", &format!("/jobs/{id}/result"), "");
+        if status == 200 {
+            return find_str(&body, "verdict").expect("verdict");
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn sigterm_drain_persists_queue_and_restart_restores_it() {
+    let state_dir = std::env::temp_dir().join(format!("pnp-serve-daemon-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    std::fs::create_dir_all(&state_dir).unwrap();
+
+    // One slow worker so submitted jobs pile up in the queue.
+    let daemon = start_daemon(&state_dir, &["--workers", "1"]);
+    assert_eq!(daemon.restored, 0);
+
+    let (_, body) = http(
+        &daemon.addr,
+        "POST",
+        "/jobs?chaos=wedge_start_ms:800:9",
+        SPEC,
+    );
+    let busy_id = find_str(&body, "id").expect("busy id");
+    let mut queued = Vec::new();
+    for _ in 0..3 {
+        let (status, body) = http(&daemon.addr, "POST", "/jobs", SPEC);
+        assert_eq!(status, 202, "{body}");
+        queued.push(find_str(&body, "id").unwrap());
+    }
+    let (status, health) = http(&daemon.addr, "GET", "/health", "");
+    assert_eq!(status, 200);
+    assert!(find_num(&health, "queue_depth").is_some_and(|n| n >= 3));
+
+    // SIGTERM: the daemon must drain and exit 0, leaving the queue on disk.
+    let pid = daemon.child.id().to_string();
+    assert!(Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .unwrap()
+        .success());
+    let mut child = daemon.child;
+    let exit = child.wait().expect("daemon exit status");
+    assert!(exit.success(), "drain must exit 0, got {exit:?}");
+    assert!(
+        state_dir.join("queue.pnpq").exists(),
+        "drained queue must be persisted"
+    );
+
+    // Restart: the queue is restored under the original ids and every
+    // job still completes.
+    let revived = start_daemon(&state_dir, &["--workers", "2"]);
+    assert!(
+        revived.restored >= 3,
+        "expected >=3 restored jobs, got {}",
+        revived.restored
+    );
+    for id in queued.iter().chain(std::iter::once(&busy_id)) {
+        assert_eq!(wait_for_verdict(&revived.addr, id), "passed", "job {id}");
+    }
+
+    let pid = revived.child.id().to_string();
+    assert!(Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .unwrap()
+        .success());
+    let mut child = revived.child;
+    assert!(child.wait().unwrap().success());
+    let _ = std::fs::remove_dir_all(&state_dir);
+}

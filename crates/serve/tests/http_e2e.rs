@@ -1,0 +1,276 @@
+//! End-to-end HTTP test: a real listener, a real client over
+//! `TcpStream`, and a real SIGTERM delivered to this process to drive
+//! the drain path. Kept as a single `#[test]` because the termination
+//! flag is process-global and sticky: once the signal lands, every
+//! accept loop in the process drains.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pnp_kernel::watch_termination;
+use pnp_serve::json::{find_num, find_str};
+use pnp_serve::serve;
+use pnp_serve::supervisor::{ServeConfig, Supervisor};
+
+const SPEC: &str = r#"
+system {
+    global total = 0;
+
+    component a {
+        var count = 0;
+        state work, done;
+        end done;
+        from work if count < 8 do count = count + 1 goto work;
+        from work if count >= 8 do total = total + 1 goto done;
+    }
+    component b {
+        var count = 0;
+        state work, done;
+        end done;
+        from work if count < 8 do count = count + 1 goto work;
+        from work if count >= 8 do total = total + 1 goto done;
+    }
+
+    property totals: invariant total <= 2;
+}
+"#;
+
+struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn http(addr: &str, method: &str, path: &str, body: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("full response");
+    let mut lines = head.split("\r\n");
+    let status = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect();
+    Response {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+fn wait_for_done(addr: &str, id: &str) -> Response {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let response = http(addr, "GET", &format!("/jobs/{id}/result"), "");
+        if response.status == 200 {
+            return response;
+        }
+        assert_eq!(response.status, 202, "unexpected: {}", response.body);
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn http_api_end_to_end_with_sigterm_drain() {
+    let state_dir = std::env::temp_dir().join(format!("pnp-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let config = ServeConfig {
+        workers: 2,
+        backoff_base: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(50),
+        checkpoint_every: 25,
+        state_dir: state_dir.clone(),
+        ..ServeConfig::default()
+    };
+    let supervisor = Arc::new(Supervisor::start(config).unwrap());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let term = watch_termination();
+    let server = {
+        let supervisor = Arc::clone(&supervisor);
+        std::thread::spawn(move || serve(listener, supervisor, term))
+    };
+
+    // Health before any work.
+    let health = http(&addr, "GET", "/health", "");
+    assert_eq!(health.status, 200);
+    assert_eq!(find_str(&health.body, "status").as_deref(), Some("ok"));
+
+    // A healthy job: 202 on submit, 202 while pending, 200 with verdict
+    // and per-property stats when done.
+    let submitted = http(&addr, "POST", "/jobs", SPEC);
+    assert_eq!(submitted.status, 202, "{}", submitted.body);
+    let id = find_str(&submitted.body, "id").expect("job id");
+    let status = http(&addr, "GET", &format!("/jobs/{id}"), "");
+    assert_eq!(status.status, 200);
+    let result = wait_for_done(&addr, &id);
+    assert_eq!(find_str(&result.body, "verdict").as_deref(), Some("passed"));
+    assert_eq!(find_num(&result.body, "exit_code"), Some(0));
+    assert!(result.body.contains("\"properties\":["));
+    assert!(find_num(&result.body, "states").is_some_and(|n| n > 0));
+
+    // A panicking job: retried (attempts > 1) and still passes, with
+    // totals matching the clean run — the checkpoint made the retry
+    // cheap and exact.
+    let chaotic = http(&addr, "POST", "/jobs?chaos=panic_on_flush:2:1", SPEC);
+    assert_eq!(chaotic.status, 202, "{}", chaotic.body);
+    let chaotic_id = find_str(&chaotic.body, "id").unwrap();
+    let chaotic_result = wait_for_done(&addr, &chaotic_id);
+    assert_eq!(
+        find_str(&chaotic_result.body, "verdict").as_deref(),
+        Some("passed")
+    );
+    assert_eq!(find_num(&chaotic_result.body, "attempts"), Some(2));
+    assert_eq!(
+        find_num(&chaotic_result.body, "states"),
+        find_num(&result.body, "states"),
+        "retried totals must match the uninterrupted run"
+    );
+
+    // A job that never stops panicking: structured permanent failure.
+    let doomed = http(
+        &addr,
+        "POST",
+        "/jobs?chaos=panic_on_flush:1:99&max_attempts=2",
+        SPEC,
+    );
+    let doomed_id = find_str(&doomed.body, "id").unwrap();
+    let doomed_result = wait_for_done(&addr, &doomed_id);
+    assert_eq!(
+        find_str(&doomed_result.body, "verdict").as_deref(),
+        Some("failed")
+    );
+    assert_eq!(find_num(&doomed_result.body, "exit_code"), Some(2));
+    assert_eq!(
+        find_str(&doomed_result.body, "kind").as_deref(),
+        Some("transient_exhausted")
+    );
+
+    // An over-budget job: inconclusive, exit code 3, partial stats.
+    let capped = http(&addr, "POST", "/jobs?budget=states%3D40", SPEC);
+    let capped_id = find_str(&capped.body, "id").unwrap();
+    let capped_result = wait_for_done(&addr, &capped_id);
+    assert_eq!(
+        find_str(&capped_result.body, "verdict").as_deref(),
+        Some("inconclusive")
+    );
+    assert_eq!(find_num(&capped_result.body, "exit_code"), Some(3));
+
+    // Cancellation endpoint.
+    let victim = http(&addr, "POST", "/jobs?chaos=wedge_start_ms:400:1", SPEC);
+    let victim_id = find_str(&victim.body, "id").unwrap();
+    let cancelled = http(&addr, "POST", &format!("/jobs/{victim_id}/cancel"), "");
+    assert_eq!(cancelled.status, 200);
+    let victim_result = wait_for_done(&addr, &victim_id);
+    assert_eq!(
+        find_str(&victim_result.body, "verdict").as_deref(),
+        Some("cancelled")
+    );
+
+    // Bad requests degrade cleanly.
+    assert_eq!(http(&addr, "POST", "/jobs", "").status, 400);
+    assert_eq!(http(&addr, "POST", "/jobs?chaos=rm_rf:1", SPEC).status, 400);
+    assert_eq!(http(&addr, "GET", "/jobs/j-9999", "").status, 404);
+    assert_eq!(http(&addr, "GET", "/nope", "").status, 404);
+
+    // Overload: a deliberately tiny service sheds with 503 + Retry-After
+    // while its in-flight job still completes.
+    let shed_dir = std::env::temp_dir().join(format!("pnp-serve-shed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&shed_dir);
+    let mut tiny = ServeConfig {
+        workers: 1,
+        state_dir: shed_dir.clone(),
+        ..ServeConfig::default()
+    };
+    tiny.queue.capacity = 1;
+    tiny.queue.retry_after = Duration::from_millis(1500);
+    let small = Arc::new(Supervisor::start(tiny).unwrap());
+    let small_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let small_addr = small_listener.local_addr().unwrap().to_string();
+    let small_server = {
+        let small = Arc::clone(&small);
+        std::thread::spawn(move || serve(small_listener, small, watch_termination()))
+    };
+    // Occupy the lone worker, fill the queue, then burst.
+    let busy = http(
+        &small_addr,
+        "POST",
+        "/jobs?chaos=wedge_start_ms:600:1",
+        SPEC,
+    );
+    assert_eq!(busy.status, 202);
+    let busy_id = find_str(&busy.body, "id").unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    let queued = http(&small_addr, "POST", "/jobs", SPEC);
+    assert_eq!(queued.status, 202);
+    let rejected = http(&small_addr, "POST", "/jobs", SPEC);
+    assert_eq!(rejected.status, 503, "{}", rejected.body);
+    assert_eq!(rejected.header("Retry-After"), Some("1"));
+    assert_eq!(
+        find_str(&rejected.body, "error").as_deref(),
+        Some("overloaded")
+    );
+    assert_eq!(
+        find_str(&rejected.body, "reason").as_deref(),
+        Some("queue_full")
+    );
+    assert!(rejected.body.contains("\"retryable\":true"));
+    assert_eq!(find_num(&rejected.body, "retry_after_ms"), Some(1500));
+    // Admitted work is unaffected by the shed.
+    let busy_result = wait_for_done(&small_addr, &busy_id);
+    assert_eq!(
+        find_str(&busy_result.body, "verdict").as_deref(),
+        Some("passed")
+    );
+
+    // SIGTERM → drain → serve() returns cleanly. (A real signal, sent to
+    // this very process; the handler was installed by watch_termination.)
+    let pid = std::process::id().to_string();
+    let killed = std::process::Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("kill must run");
+    assert!(killed.success());
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !server.is_finished() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(server.is_finished(), "SIGTERM must stop the accept loop");
+    server.join().unwrap().unwrap();
+    small_server.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&shed_dir);
+
+    // Draining supervisor sheds further submissions.
+    let shed = supervisor.submit(pnp_serve::job::JobRequest {
+        source: SPEC.to_string(),
+        config: pnp_serve::job::JobConfig::default(),
+    });
+    assert_eq!(shed.expect_err("draining must shed").reason, "draining");
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
