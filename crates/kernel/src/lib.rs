@@ -71,6 +71,7 @@
 
 #![warn(missing_docs)]
 mod dot;
+mod durable;
 mod explore;
 mod expression;
 mod liveness;
@@ -84,8 +85,12 @@ mod sim;
 mod snapshot;
 mod state;
 mod trace;
+mod vfs;
 mod visited;
 
+pub use durable::{
+    decode_generation, encode_generation, load_latest_snapshot, GenScan, GenSink, GenStore,
+};
 pub use explore::{
     BudgetKind, CancelToken, Checker, Predicate, SafetyChecks, SafetyOutcome, SafetyReport,
     SearchConfig, SearchStats,
@@ -98,7 +103,7 @@ pub use program::{
     NativeGuard, NativeOp, ProcId, ProcessBuilder, ProcessDef, Program, ProgramBuilder, RecvPolicy,
     Transition,
 };
-pub use rng::{mix64, SplitMix64};
+pub use rng::{fnv64, mix64, SplitMix64};
 pub use signals::{cancel_on_termination, watch_termination, TerminationFlag};
 pub use sim::{SimObservation, SimReport, Simulator};
 pub use snapshot::{
@@ -106,6 +111,9 @@ pub use snapshot::{
 };
 pub use state::{KernelError, Msg, State, StateView, Step};
 pub use trace::{EventKind, Trace, TraceEvent};
+pub use vfs::{
+    commit_replace, real_fs, tmp_sibling, DiskImage, FaultPlan, RealFs, SimFs, Vfs, VfsHandle,
+};
 pub use visited::{
     bloom_omission_probability, BitstateVisited, CompactVisited, ExactVisited,
     ShardedBitstateVisited, ShardedCompactVisited, ShardedExactVisited, SharedInsert,

@@ -50,6 +50,17 @@ impl SplitMix64 {
     }
 }
 
+/// The workspace's one content checksum: FNV-1a over `bytes`, finished
+/// with the SplitMix64 mixer. Snapshots, generation envelopes, and the
+/// persisted service queue all seal their bytes with this.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    mix64(h)
+}
+
 /// SplitMix64's output mixer as a standalone finalizer: a fast, high-quality
 /// 64-bit bijection, used to finish content hashes (state fingerprints,
 /// snapshot checksums) so that nearby inputs land far apart.

@@ -38,8 +38,9 @@ use std::fmt;
 use std::path::PathBuf;
 
 use crate::program::{ProcId, Program};
-use crate::rng::mix64;
+use crate::rng::fnv64;
 use crate::state::{Msg, ProcState, State, Step};
+use crate::vfs::{commit_replace, real_fs, VfsHandle};
 use crate::visited::VisitedKind;
 
 const MAGIC: &[u8; 8] = b"PNPSNAP1";
@@ -55,15 +56,6 @@ const VERSION: u32 = 1;
 /// fingerprint is refused.
 pub fn program_fingerprint(program: &Program) -> u64 {
     fnv64(format!("{program:?}").as_bytes())
-}
-
-/// FNV-1a over `bytes`, finished with the SplitMix64 mixer.
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
-    }
-    mix64(h)
 }
 
 /// Why a snapshot could not be written, read, or resumed.
@@ -409,18 +401,30 @@ impl SnapshotSink for Box<dyn SnapshotSink> {
     }
 }
 
-/// A [`SnapshotSink`] that writes to a file, atomically: bytes go to a
-/// `.tmp` sibling first, then rename over the target, so an interrupted
-/// flush can never leave a half-written snapshot at the target path.
+/// A [`SnapshotSink`] that writes to a file, crash-consistently: bytes go
+/// to a `.tmp` sibling, the tmp file is fsynced, renamed over the target,
+/// and the parent directory is fsynced — so an interrupted flush can never
+/// leave a half-written snapshot at the target path, and a completed flush
+/// survives power loss (see [`commit_replace`]).
 #[derive(Debug, Clone)]
 pub struct FileSink {
     path: PathBuf,
+    vfs: VfsHandle,
 }
 
 impl FileSink {
-    /// A sink writing snapshots to `path`.
+    /// A sink writing snapshots to `path` on the real filesystem.
     pub fn new(path: impl Into<PathBuf>) -> FileSink {
-        FileSink { path: path.into() }
+        FileSink::with_vfs(path, real_fs())
+    }
+
+    /// A sink writing snapshots to `path` through `vfs` (so the simulated
+    /// filesystem can inject storage faults into checkpoint flushes).
+    pub fn with_vfs(path: impl Into<PathBuf>, vfs: VfsHandle) -> FileSink {
+        FileSink {
+            path: path.into(),
+            vfs,
+        }
     }
 
     /// The target path.
@@ -431,12 +435,7 @@ impl FileSink {
 
 impl SnapshotSink for FileSink {
     fn store(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
-        let mut tmp = self.path.clone().into_os_string();
-        tmp.push(".tmp");
-        let tmp = PathBuf::from(tmp);
-        std::fs::write(&tmp, bytes)
-            .map_err(|e| SnapshotError::Io(format!("{}: {e}", tmp.display())))?;
-        std::fs::rename(&tmp, &self.path)
+        commit_replace(self.vfs.as_ref(), &self.path, bytes)
             .map_err(|e| SnapshotError::Io(format!("{}: {e}", self.path.display())))
     }
 }
@@ -646,11 +645,18 @@ impl Reader<'_> {
     }
 }
 
+/// A small fully-populated snapshot for cross-module tests (the durable
+/// generation store roundtrips real snapshot payloads through it).
+#[cfg(test)]
+pub(crate) fn test_snapshot() -> Snapshot {
+    tests::sample_snapshot()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn sample_snapshot() -> Snapshot {
+    pub(crate) fn sample_snapshot() -> Snapshot {
         let state = State {
             procs: vec![ProcState {
                 loc: 3,

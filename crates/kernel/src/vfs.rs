@@ -1,0 +1,838 @@
+//! A virtual filesystem seam for every durable path in the workspace.
+//!
+//! Crash consistency cannot be tested against a real disk: the dangerous
+//! states — a torn write, a rename that survived power loss while the
+//! data did not, an `ENOSPC` halfway through a checkpoint — appear only
+//! in the narrow window between a syscall and the platters, and no unit
+//! test can schedule a power cut there. So every component that persists
+//! state (snapshot sinks, the service queue, quarantine moves) goes
+//! through the [`Vfs`] trait, with two implementations:
+//!
+//! * [`RealFs`] — the real filesystem, *with the full durability
+//!   discipline*: `sync_file` maps to `fsync` and `sync_dir` fsyncs the
+//!   directory so renames are themselves durable. (The pre-VFS code
+//!   renamed without any fsync; a power loss could surface an empty or
+//!   stale file at the target path.)
+//! * [`SimFs`] — a fully deterministic in-memory filesystem seeded by
+//!   [`SplitMix64`] that models exactly what a real disk may expose
+//!   after a crash: file content persists only up to the last
+//!   `sync_file` (unsynced suffixes tear at a seeded offset), and
+//!   metadata operations (create, remove, rename) persist only once
+//!   their directory is synced — until then each pending operation
+//!   independently survives or vanishes, which reproduces metadata
+//!   reordering. It can also inject `ENOSPC` (with a torn partial
+//!   write, as a full disk really leaves one) and `EIO` at seeded
+//!   probabilities, and crash at *any* syscall boundary: after a crash
+//!   every operation fails like a dead process's would, until
+//!   [`SimFs::reboot`] replaces the visible state with the computed
+//!   crash image.
+//!
+//! The one deliberate simplification: directories themselves are always
+//! durable once created. Every interesting crash bug in this workspace
+//! lives in file content and directory *entries*, not in `mkdir`.
+//!
+//! [`commit_replace`] is the shared commit point: write a `.tmp`
+//! sibling, `sync_file` it, rename over the target, `sync_file` the
+//! parent directory. Every durable artifact in the workspace (snapshot
+//! generations, the persisted queue) commits through it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::rng::SplitMix64;
+
+/// Filesystem operations every durable path goes through.
+///
+/// Path-based whole-file operations: every persistent artifact in this
+/// workspace is written whole and replaced atomically, so the trait
+/// deliberately has no seek/append surface — a smaller surface is a
+/// smaller fault model.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Reads the entire file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates or truncates `path` and writes `bytes` (no durability
+    /// until [`Vfs::sync_file`]).
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Forces the file's content to stable storage (`fsync`).
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+    /// Forces the directory's entries (creates, removes, renames) to
+    /// stable storage.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Atomically renames `from` to `to`, replacing `to` if it exists.
+    /// Durable only after the parent directory is synced.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// The files directly inside `dir`, sorted (directories excluded).
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+    /// Creates a directory and its ancestors.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// A shared, thread-safe handle to a [`Vfs`] implementation.
+pub type VfsHandle = Arc<dyn Vfs>;
+
+/// The real filesystem behind a [`VfsHandle`].
+pub fn real_fs() -> VfsHandle {
+    Arc::new(RealFs)
+}
+
+/// The real filesystem, with real `fsync` discipline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+impl Vfs for RealFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Opening a directory read-only and fsyncing it is the portable
+        // unix idiom for making renames durable. On platforms where a
+        // directory cannot be opened as a file this degrades to a no-op
+        // rather than an error: the rename itself still happened.
+        match std::fs::File::open(dir) {
+            Ok(d) => d.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.is_file()
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+}
+
+/// The `.tmp` sibling `commit_replace` stages through for `path`.
+pub fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    PathBuf::from(tmp)
+}
+
+/// The crash-consistent commit point shared by every durable artifact:
+/// stage `bytes` in a `.tmp` sibling, `sync_file` it, rename it over
+/// `path`, then sync the parent directory so the rename itself is
+/// durable.
+///
+/// After a crash anywhere inside this sequence, `path` holds either its
+/// previous content in full or `bytes` in full — never a prefix, never
+/// an empty file. At worst a stale `.tmp` sibling is left behind for a
+/// startup sweep to remove.
+///
+/// # Errors
+///
+/// Returns the first failing operation's error; `path` is untouched
+/// unless the rename already happened.
+pub fn commit_replace(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    vfs.write(&tmp, bytes)?;
+    vfs.sync_file(&tmp)?;
+    vfs.rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        vfs.sync_dir(parent)?;
+    }
+    Ok(())
+}
+
+/// Seeded fault injection for [`SimFs`].
+///
+/// All probabilities draw from the filesystem's [`SplitMix64`] stream,
+/// so the same seed and the same operation sequence reproduce the same
+/// faults — and the same post-crash disk image — bit for bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Allow this many more operations, then crash the "process" on the
+    /// next one: the failing operation (and every one after it) returns
+    /// [`SimFs::crash_error`] until [`SimFs::reboot`].
+    pub crash_after_ops: Option<u64>,
+    /// Per-mille probability that a `write` fails with `ENOSPC`,
+    /// leaving a seeded torn prefix behind (as a full disk really
+    /// does).
+    pub enospc_per_mille: u16,
+    /// Per-mille probability that a `read`/`write` fails with an I/O
+    /// error.
+    pub eio_per_mille: u16,
+}
+
+impl FaultPlan {
+    /// A plan that crashes after `n` more operations, with no other
+    /// faults.
+    pub fn crash_after(n: u64) -> FaultPlan {
+        FaultPlan {
+            crash_after_ops: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// One simulated inode: the visible content plus the content guaranteed
+/// to survive a crash (set by `sync_file`).
+#[derive(Debug, Clone, Default)]
+struct Inode {
+    pending: Vec<u8>,
+    durable: Option<Vec<u8>>,
+}
+
+/// A pending (not yet directory-synced) metadata operation.
+#[derive(Debug, Clone)]
+enum MetaOp {
+    Create { path: PathBuf, inode: usize },
+    Remove { path: PathBuf },
+    Rename { from: PathBuf, to: PathBuf },
+}
+
+impl MetaOp {
+    /// Whether syncing `dir` commits this operation.
+    fn in_dir(&self, dir: &Path) -> bool {
+        let parent = |p: &PathBuf| p.parent().map(Path::to_path_buf);
+        match self {
+            MetaOp::Create { path, .. } | MetaOp::Remove { path } => {
+                parent(path).as_deref() == Some(dir)
+            }
+            MetaOp::Rename { from, to } => {
+                parent(from).as_deref() == Some(dir) || parent(to).as_deref() == Some(dir)
+            }
+        }
+    }
+
+    /// Applies this operation to a namespace.
+    fn apply(&self, ns: &mut BTreeMap<PathBuf, usize>) {
+        match self {
+            MetaOp::Create { path, inode } => {
+                ns.insert(path.clone(), *inode);
+            }
+            MetaOp::Remove { path } => {
+                ns.remove(path);
+            }
+            MetaOp::Rename { from, to } => {
+                // A rename whose source entry never became durable has
+                // nothing to move: the dependency chain broke at the
+                // crash.
+                if let Some(inode) = ns.remove(from) {
+                    ns.insert(to.clone(), inode);
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SimState {
+    inodes: Vec<Inode>,
+    /// What a process sees now: path → inode.
+    visible: BTreeMap<PathBuf, usize>,
+    /// What is guaranteed to survive a crash: path → inode.
+    durable_ns: BTreeMap<PathBuf, usize>,
+    /// Directories that exist (always durable — see the module docs).
+    dirs: Vec<PathBuf>,
+    /// Metadata operations not yet committed by a directory sync, in
+    /// issue order.
+    pending_meta: Vec<MetaOp>,
+    rng: SplitMix64,
+    plan: FaultPlan,
+    /// Operations remaining before a scheduled crash.
+    ops_until_crash: Option<u64>,
+    crashed: bool,
+    ops: u64,
+    crashes: u64,
+}
+
+/// A deterministic simulated filesystem with seeded storage faults.
+///
+/// Shared freely across threads (`Arc<SimFs>` coerces to
+/// [`VfsHandle`]); all state sits behind one mutex, which also gives
+/// concurrent harnesses a single serialization point so a seeded run
+/// with a deterministic operation order replays exactly.
+#[derive(Debug)]
+pub struct SimFs {
+    state: Mutex<SimState>,
+}
+
+/// A full image of the simulated disk: every visible path and its
+/// content, sorted by path.
+pub type DiskImage = BTreeMap<PathBuf, Vec<u8>>;
+
+impl SimFs {
+    /// A fault-free simulated filesystem with the given seed. The root
+    /// directory `/` exists.
+    pub fn new(seed: u64) -> SimFs {
+        SimFs {
+            state: Mutex::new(SimState {
+                inodes: Vec::new(),
+                visible: BTreeMap::new(),
+                durable_ns: BTreeMap::new(),
+                dirs: vec![PathBuf::from("/")],
+                pending_meta: Vec::new(),
+                rng: SplitMix64::seed_from_u64(seed),
+                plan: FaultPlan::default(),
+                ops_until_crash: None,
+                crashed: false,
+                ops: 0,
+                crashes: 0,
+            }),
+        }
+    }
+
+    /// Replaces the fault plan (resets any scheduled crash countdown).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        let mut s = self.lock();
+        s.ops_until_crash = plan.crash_after_ops;
+        s.plan = plan;
+    }
+
+    /// Operations performed so far (including failed ones).
+    pub fn op_count(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// Crashes suffered so far.
+    pub fn crash_count(&self) -> u64 {
+        self.lock().crashes
+    }
+
+    /// Whether the simulated process is currently dead (crashed and not
+    /// yet rebooted).
+    pub fn crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// The error every operation returns after a crash.
+    pub fn crash_error() -> io::Error {
+        io::Error::other("simfs: process crashed (reboot to continue)")
+    }
+
+    /// Whether `error` is the simulated-crash error.
+    pub fn is_crash(error: &io::Error) -> bool {
+        error.to_string().contains("simfs: process crashed")
+    }
+
+    /// Forces a crash now, as if the process died between syscalls.
+    pub fn crash_now(&self) {
+        let mut s = self.lock();
+        if !s.crashed {
+            s.crash(false);
+        }
+    }
+
+    /// Boots the "machine" back up: the visible state becomes the crash
+    /// image a real disk could have exposed, everything on it is now
+    /// durable, and the fault plan is cleared (install a new one with
+    /// [`SimFs::set_plan`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called without a preceding crash — that is a harness
+    /// bug, not a recoverable condition.
+    pub fn reboot(&self) {
+        let mut s = self.lock();
+        assert!(s.crashed, "SimFs::reboot without a crash");
+        s.crashed = false;
+        s.plan = FaultPlan::default();
+        s.ops_until_crash = None;
+        // After a boot, what is on disk *is* the durable state.
+        s.durable_ns = s.visible.clone();
+        for &inode in s.visible.clone().values() {
+            let content = s.inodes[inode].pending.clone();
+            s.inodes[inode].durable = Some(content);
+        }
+    }
+
+    /// The visible disk image (path → content), for determinism
+    /// assertions.
+    pub fn image(&self) -> DiskImage {
+        let s = self.lock();
+        s.visible
+            .iter()
+            .map(|(p, &i)| (p.clone(), s.inodes[i].pending.clone()))
+            .collect()
+    }
+
+    /// The durable image: what a crash right now would be guaranteed to
+    /// preserve (torn suffixes excluded).
+    pub fn durable_image(&self) -> DiskImage {
+        let s = self.lock();
+        s.durable_ns
+            .iter()
+            .filter_map(|(p, &i)| Some((p.clone(), s.inodes[i].durable.clone()?)))
+            .collect()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SimState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The common entry for every operation: counts it, trips a
+    /// scheduled crash, and draws the EIO fault when `faultable`.
+    fn begin_op(&self, s: &mut SimState, faultable: bool) -> io::Result<()> {
+        if s.crashed {
+            return Err(Self::crash_error());
+        }
+        s.ops += 1;
+        if let Some(left) = s.ops_until_crash {
+            if left == 0 {
+                s.crash(true);
+                return Err(Self::crash_error());
+            }
+            s.ops_until_crash = Some(left - 1);
+        }
+        if faultable && s.plan.eio_per_mille > 0 {
+            let draw = s.rng.next_u64() % 1000;
+            if draw < u64::from(s.plan.eio_per_mille) {
+                return Err(io::Error::other("simfs: injected EIO"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl SimState {
+    /// Computes the crash image and makes it the (dead) machine's state.
+    fn crash(&mut self, _scheduled: bool) {
+        self.crashed = true;
+        self.crashes += 1;
+        // Namespace: start from the durable entries, then let each
+        // pending metadata operation survive independently — a 50/50
+        // seeded draw per op models journal reordering: a later rename
+        // can persist while an earlier create did not.
+        let mut ns = self.durable_ns.clone();
+        for op in std::mem::take(&mut self.pending_meta) {
+            if self.rng.next_u64().is_multiple_of(2) {
+                op.apply(&mut ns);
+            }
+        }
+        // Content: synced data survives verbatim; unsynced rewrites
+        // either fall back to the last synced content or tear at a
+        // seeded offset (prefix-only persistence).
+        for inode in &mut self.inodes {
+            let crashed_content = match &inode.durable {
+                Some(durable) if *durable == inode.pending => durable.clone(),
+                Some(durable) if self.rng.next_u64().is_multiple_of(2) => durable.clone(),
+                _ => {
+                    let keep = if inode.pending.is_empty() {
+                        0
+                    } else {
+                        (self.rng.next_u64() % (inode.pending.len() as u64 + 1)) as usize
+                    };
+                    inode.pending[..keep].to_vec()
+                }
+            };
+            inode.pending = crashed_content;
+            inode.durable = None;
+        }
+        self.visible = ns.clone();
+        self.durable_ns = ns;
+    }
+
+    fn dir_exists(&self, dir: &Path) -> bool {
+        self.dirs.iter().any(|d| d == dir)
+    }
+
+    fn require_parent(&self, path: &Path) -> io::Result<()> {
+        match path.parent() {
+            Some(parent) if parent.as_os_str().is_empty() || self.dir_exists(parent) => Ok(()),
+            Some(parent) => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("simfs: no such directory: {}", parent.display()),
+            )),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Vfs for SimFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut s = self.lock();
+        self.begin_op(&mut s, true)?;
+        match s.visible.get(path) {
+            Some(&inode) => Ok(s.inodes[inode].pending.clone()),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("simfs: no such file: {}", path.display()),
+            )),
+        }
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut s = self.lock();
+        self.begin_op(&mut s, true)?;
+        s.require_parent(path)?;
+        let enospc = s.plan.enospc_per_mille > 0
+            && s.rng.next_u64() % 1000 < u64::from(s.plan.enospc_per_mille);
+        // A full disk leaves a torn prefix behind — the write is not
+        // transactional.
+        let written = if enospc {
+            let keep = if bytes.is_empty() {
+                0
+            } else {
+                (s.rng.next_u64() % (bytes.len() as u64 + 1)) as usize
+            };
+            &bytes[..keep]
+        } else {
+            bytes
+        };
+        match s.visible.get(path).copied() {
+            Some(inode) => s.inodes[inode].pending = written.to_vec(),
+            None => {
+                let inode = s.inodes.len();
+                s.inodes.push(Inode {
+                    pending: written.to_vec(),
+                    durable: None,
+                });
+                s.visible.insert(path.to_path_buf(), inode);
+                s.pending_meta.push(MetaOp::Create {
+                    path: path.to_path_buf(),
+                    inode,
+                });
+            }
+        }
+        if enospc {
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "simfs: injected ENOSPC",
+            ));
+        }
+        Ok(())
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        let mut s = self.lock();
+        self.begin_op(&mut s, true)?;
+        match s.visible.get(path).copied() {
+            Some(inode) => {
+                let content = s.inodes[inode].pending.clone();
+                s.inodes[inode].durable = Some(content);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("simfs: no such file: {}", path.display()),
+            )),
+        }
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        let mut s = self.lock();
+        self.begin_op(&mut s, true)?;
+        if !s.dir_exists(dir) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("simfs: no such directory: {}", dir.display()),
+            ));
+        }
+        let (committed, still_pending): (Vec<MetaOp>, Vec<MetaOp>) =
+            std::mem::take(&mut s.pending_meta)
+                .into_iter()
+                .partition(|op| op.in_dir(dir));
+        // Committing entries makes the *names* durable; the content each
+        // entry points at stays governed by sync_file.
+        let mut ns = std::mem::take(&mut s.durable_ns);
+        for op in committed {
+            op.apply(&mut ns);
+        }
+        s.durable_ns = ns;
+        s.pending_meta = still_pending;
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut s = self.lock();
+        self.begin_op(&mut s, true)?;
+        s.require_parent(to)?;
+        match s.visible.remove(from) {
+            Some(inode) => {
+                s.visible.insert(to.to_path_buf(), inode);
+                s.pending_meta.push(MetaOp::Rename {
+                    from: from.to_path_buf(),
+                    to: to.to_path_buf(),
+                });
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("simfs: no such file: {}", from.display()),
+            )),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut s = self.lock();
+        self.begin_op(&mut s, true)?;
+        match s.visible.remove(path) {
+            Some(_) => {
+                s.pending_meta.push(MetaOp::Remove {
+                    path: path.to_path_buf(),
+                });
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("simfs: no such file: {}", path.display()),
+            )),
+        }
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut s = self.lock();
+        self.begin_op(&mut s, true)?;
+        if !s.dir_exists(dir) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("simfs: no such directory: {}", dir.display()),
+            ));
+        }
+        Ok(s.visible
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .cloned()
+            .collect())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let mut s = self.lock();
+        if self.begin_op(&mut s, false).is_err() {
+            return false;
+        }
+        s.visible.contains_key(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        let mut s = self.lock();
+        self.begin_op(&mut s, false)?;
+        let mut ancestors: Vec<PathBuf> = dir.ancestors().map(Path::to_path_buf).collect();
+        ancestors.reverse();
+        for ancestor in ancestors {
+            if !ancestor.as_os_str().is_empty() && !s.dir_exists(&ancestor) {
+                s.dirs.push(ancestor);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    fn setup() -> Arc<SimFs> {
+        let fs = Arc::new(SimFs::new(7));
+        fs.create_dir_all(&p("/state")).unwrap();
+        fs
+    }
+
+    #[test]
+    fn read_write_rename_remove_roundtrip() {
+        let fs = setup();
+        fs.write(&p("/state/a"), b"hello").unwrap();
+        assert_eq!(fs.read(&p("/state/a")).unwrap(), b"hello");
+        fs.rename(&p("/state/a"), &p("/state/b")).unwrap();
+        assert!(!fs.exists(&p("/state/a")));
+        assert_eq!(fs.read(&p("/state/b")).unwrap(), b"hello");
+        assert_eq!(fs.list(&p("/state")).unwrap(), vec![p("/state/b")]);
+        fs.remove(&p("/state/b")).unwrap();
+        assert!(fs.list(&p("/state")).unwrap().is_empty());
+        assert!(fs.read(&p("/state/b")).is_err());
+    }
+
+    #[test]
+    fn writes_to_missing_directories_fail() {
+        let fs = setup();
+        let err = fs.write(&p("/nowhere/file"), b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn unsynced_content_tears_on_crash_synced_content_survives() {
+        // The synced file survives every crash; the unsynced one may
+        // tear to any prefix (and the entry itself may vanish).
+        for seed in 0..64 {
+            let fs = Arc::new(SimFs::new(seed));
+            fs.create_dir_all(&p("/state")).unwrap();
+            fs.write(&p("/state/synced"), b"precious").unwrap();
+            fs.sync_file(&p("/state/synced")).unwrap();
+            fs.sync_dir(&p("/state")).unwrap();
+            fs.write(&p("/state/loose"), b"expendable-content").unwrap();
+            fs.crash_now();
+            assert!(fs.read(&p("/state/loose")).is_err(), "dead until reboot");
+            fs.reboot();
+            assert_eq!(fs.read(&p("/state/synced")).unwrap(), b"precious");
+            if let Ok(content) = fs.read(&p("/state/loose")) {
+                assert!(
+                    b"expendable-content".starts_with(content.as_slice()),
+                    "torn content must be a prefix, got {content:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsynced_rename_may_or_may_not_survive_synced_rename_always_does() {
+        let mut survived = 0;
+        let mut vanished = 0;
+        for seed in 0..64 {
+            let fs = Arc::new(SimFs::new(seed));
+            fs.create_dir_all(&p("/state")).unwrap();
+            fs.write(&p("/state/t"), b"data").unwrap();
+            fs.sync_file(&p("/state/t")).unwrap();
+            fs.sync_dir(&p("/state")).unwrap();
+            fs.rename(&p("/state/t"), &p("/state/final")).unwrap();
+            fs.crash_now();
+            fs.reboot();
+            if fs.exists(&p("/state/final")) {
+                survived += 1;
+                assert_eq!(fs.read(&p("/state/final")).unwrap(), b"data");
+                assert!(!fs.exists(&p("/state/t")));
+            } else {
+                vanished += 1;
+                assert_eq!(fs.read(&p("/state/t")).unwrap(), b"data");
+            }
+        }
+        assert!(survived > 0, "some unsynced renames must persist");
+        assert!(vanished > 0, "some unsynced renames must be lost");
+
+        // With the directory synced, the rename is always durable.
+        let fs = setup();
+        fs.write(&p("/state/t"), b"data").unwrap();
+        fs.sync_file(&p("/state/t")).unwrap();
+        fs.rename(&p("/state/t"), &p("/state/final")).unwrap();
+        fs.sync_dir(&p("/state")).unwrap();
+        fs.crash_now();
+        fs.reboot();
+        assert_eq!(fs.read(&p("/state/final")).unwrap(), b"data");
+    }
+
+    #[test]
+    fn same_seed_same_ops_same_crash_image() {
+        let run = |seed: u64| {
+            let fs = Arc::new(SimFs::new(seed));
+            fs.create_dir_all(&p("/state")).unwrap();
+            for i in 0..10 {
+                fs.write(&p(&format!("/state/f{i}")), &[i as u8; 64])
+                    .unwrap();
+                if i % 3 == 0 {
+                    fs.sync_file(&p(&format!("/state/f{i}"))).unwrap();
+                }
+            }
+            fs.rename(&p("/state/f1"), &p("/state/g1")).unwrap();
+            fs.crash_now();
+            fs.reboot();
+            fs.image()
+        };
+        assert_eq!(run(11), run(11), "same seed must replay identically");
+        assert_ne!(run(11), run(12), "different seeds must diverge");
+    }
+
+    #[test]
+    fn scheduled_crash_trips_at_the_exact_op() {
+        let fs = setup();
+        fs.set_plan(FaultPlan::crash_after(2));
+        fs.write(&p("/state/one"), b"1").unwrap();
+        fs.write(&p("/state/two"), b"2").unwrap();
+        let err = fs.write(&p("/state/three"), b"3").unwrap_err();
+        assert!(SimFs::is_crash(&err), "{err}");
+        assert!(SimFs::is_crash(&fs.read(&p("/state/one")).unwrap_err()));
+        assert!(fs.crashed());
+        fs.reboot();
+        assert!(!fs.exists(&p("/state/three")));
+    }
+
+    #[test]
+    fn enospc_tears_and_reports() {
+        let fs = Arc::new(SimFs::new(3));
+        fs.create_dir_all(&p("/state")).unwrap();
+        fs.set_plan(FaultPlan {
+            enospc_per_mille: 1000,
+            ..FaultPlan::default()
+        });
+        let err = fs.write(&p("/state/full"), b"does not fit").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        fs.set_plan(FaultPlan::default());
+        if let Ok(content) = fs.read(&p("/state/full")) {
+            assert!(b"does not fit".starts_with(content.as_slice()));
+        }
+    }
+
+    #[test]
+    fn commit_replace_is_all_or_nothing_under_crashes() {
+        // Crash at every syscall boundary inside commit_replace: the
+        // target is always the old content in full or the new content
+        // in full.
+        for ops_before_crash in 0..8 {
+            for seed in 0..16 {
+                let fs = Arc::new(SimFs::new(seed));
+                fs.create_dir_all(&p("/state")).unwrap();
+                let target = p("/state/file");
+                commit_replace(fs.as_ref(), &target, b"old-contents").unwrap();
+                fs.set_plan(FaultPlan::crash_after(ops_before_crash));
+                let result = commit_replace(fs.as_ref(), &target, b"new!");
+                if fs.crashed() {
+                    fs.reboot();
+                } else {
+                    result.unwrap();
+                    fs.set_plan(FaultPlan::default());
+                }
+                let content = fs.read(&target).unwrap();
+                assert!(
+                    content == b"old-contents" || content == b"new!",
+                    "torn commit after {ops_before_crash} ops (seed {seed}): {content:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn real_fs_commit_replace_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("pnp_vfs_test_{}", std::process::id()));
+        let fs = RealFs;
+        fs.create_dir_all(&dir).unwrap();
+        let target = dir.join("artifact");
+        commit_replace(&fs, &target, b"v1").unwrap();
+        commit_replace(&fs, &target, b"v2").unwrap();
+        assert_eq!(fs.read(&target).unwrap(), b"v2");
+        assert!(!fs.exists(&tmp_sibling(&target)), "tmp must be consumed");
+        assert_eq!(fs.list(&dir).unwrap(), vec![target.clone()]);
+        fs.sync_dir(&dir).unwrap();
+        fs.remove(&target).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

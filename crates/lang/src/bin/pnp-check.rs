@@ -280,19 +280,33 @@ fn main() -> ExitCode {
     }
     config.threads = threads;
     let resume = match resume_path {
-        Some(file) => match pnp_kernel::load_snapshot(file) {
-            Ok(snapshot) => {
+        // Prefer the double-buffered generations (`FILE.a`/`FILE.b`),
+        // rolling back to the older slot when the newer one is damaged;
+        // fall back to a legacy single-file snapshot at `FILE`.
+        Some(file) => match pnp_kernel::load_latest_snapshot(&pnp_kernel::real_fs(), file) {
+            Ok(Some((generation, snapshot))) => {
                 println!(
-                    "resuming property '{}' from {file} ({} states already covered)",
+                    "resuming property '{}' from {file} generation {generation} \
+                     ({} states already covered)",
                     snapshot.tag(),
                     snapshot.states_covered()
                 );
                 Some(snapshot)
             }
-            Err(e) => {
-                eprintln!("pnp-check: cannot resume from {file}: {e}");
-                return ExitCode::from(2);
-            }
+            Ok(None) | Err(_) => match pnp_kernel::load_snapshot(file) {
+                Ok(snapshot) => {
+                    println!(
+                        "resuming property '{}' from {file} ({} states already covered)",
+                        snapshot.tag(),
+                        snapshot.states_covered()
+                    );
+                    Some(snapshot)
+                }
+                Err(e) => {
+                    eprintln!("pnp-check: cannot resume from {file}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
         },
         None => None,
     };
@@ -407,6 +421,7 @@ fn main() -> ExitCode {
         checkpoint: checkpoint_path.map(|p| (p.into(), checkpoint_every)),
         resume,
         checkpoint_sink: None,
+        vfs: None,
     };
     let results = match spec.verify_all_with_options(&options) {
         Ok(r) => r,

@@ -5,8 +5,8 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use pnp_kernel::{
-    BudgetKind, CancelToken, Checker, FileSink, KernelError, LtlOutcome, Predicate, Proposition,
-    SafetyChecks, SafetyOutcome, SearchConfig, Snapshot, SnapshotSink,
+    real_fs, BudgetKind, CancelToken, Checker, GenSink, KernelError, LtlOutcome, Predicate,
+    Proposition, SafetyChecks, SafetyOutcome, SearchConfig, Snapshot, SnapshotSink, VfsHandle,
 };
 use pnp_ltl::Ltl;
 
@@ -101,7 +101,7 @@ impl fmt::Display for PropertyResult {
 }
 
 /// Builds the checkpoint sink for one safety property, given the
-/// checkpoint path. Lets a supervisor wrap the default [`FileSink`]
+/// checkpoint path. Lets a supervisor wrap the default generation sink
 /// (fault injection for tests, instrumentation) without this layer
 /// knowing how.
 pub type SinkFactory = Arc<dyn Fn(&Path) -> Box<dyn SnapshotSink> + Send + Sync>;
@@ -119,18 +119,24 @@ pub struct VerifyOptions {
     /// run reports the affected property as inconclusive and — when
     /// checkpointing is on — flushes a final snapshot first.
     pub cancel: Option<CancelToken>,
-    /// `(path, every)`: write snapshots of safety searches to `path`,
-    /// flushing every `every` newly discovered states (`0` = only when a
-    /// budget trips or the run is cancelled).
+    /// `(base, every)`: write snapshots of safety searches as
+    /// double-buffered generations `base.a`/`base.b` (see
+    /// [`pnp_kernel::GenStore`]), flushing every `every` newly discovered
+    /// states (`0` = only when a budget trips or the run is cancelled).
     pub checkpoint: Option<(PathBuf, usize)>,
     /// Resume a previously interrupted run. The snapshot applies to the
     /// property whose name matches the snapshot's tag; properties before
     /// it in source order are re-verified from scratch.
     pub resume: Option<Snapshot>,
-    /// Replaces the default [`FileSink`] used for
+    /// Replaces the default [`GenSink`] used for
     /// [`VerifyOptions::checkpoint`] with a custom sink built from the
-    /// checkpoint path. `None` → plain file sink.
+    /// checkpoint base path. `None` → generation sink over
+    /// [`VerifyOptions::vfs`].
     pub checkpoint_sink: Option<SinkFactory>,
+    /// The filesystem checkpoints go through. `None` → the real
+    /// filesystem; tests hand in a [`pnp_kernel::SimFs`] to inject
+    /// storage faults into checkpoint flushes.
+    pub vfs: Option<VfsHandle>,
 }
 
 impl fmt::Debug for VerifyOptions {
@@ -141,6 +147,7 @@ impl fmt::Debug for VerifyOptions {
             .field("checkpoint", &self.checkpoint)
             .field("resume", &self.resume.as_ref().map(Snapshot::tag))
             .field("checkpoint_sink", &self.checkpoint_sink.is_some())
+            .field("vfs", &self.vfs)
             .finish()
     }
 }
@@ -237,7 +244,10 @@ impl ArchSpec {
             if let Some((path, every)) = &options.checkpoint {
                 let sink: Box<dyn SnapshotSink> = match &options.checkpoint_sink {
                     Some(factory) => factory(path),
-                    None => Box::new(FileSink::new(path)),
+                    None => {
+                        let vfs = options.vfs.clone().unwrap_or_else(real_fs);
+                        Box::new(GenSink::new(vfs, path))
+                    }
                 };
                 checker = checker
                     .checkpoint_to(sink)

@@ -1,0 +1,351 @@
+//! The seeded storage-chaos harness: full
+//! verify-checkpoint-crash-restart-resume loops and drain/restore cycles
+//! over the simulated filesystem ([`SimFs`]), with every fault schedule
+//! derived from a seed.
+//!
+//! This is FoundationDB-style simulation testing for the stack's durable
+//! paths. A schedule arms [`FaultPlan`]s — crashes at seeded syscall
+//! boundaries, ENOSPC/EIO draws — against a verification (or queue
+//! persistence) loop, reboots the simulated disk after each crash, and
+//! checks the robustness invariants end to end:
+//!
+//! 1. **Byte-identical recovery**: a crash-interrupted verification,
+//!    resumed from its newest valid checkpoint generation, reports the
+//!    same verdicts and totals (states, steps, max depth, detail) as an
+//!    uninterrupted run.
+//! 2. **No wrong verdicts**: every storage fault surfaces as a clean
+//!    transient failure (retry) — never as a permanent failure, a wrong
+//!    verdict, or a panic.
+//! 3. **All-or-nothing queue persistence**: a crash anywhere inside the
+//!    drain's `queue.pnpq` commit leaves either the complete old queue or
+//!    the complete new one on disk, never a torn file.
+//!
+//! Both `crates/serve/tests/chaos.rs` and the `pnp-bench` `chaos` binary
+//! (the CI smoke matrix) drive the harness through [`run_schedule`].
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pnp_kernel::{
+    commit_replace, fnv64, load_latest_snapshot, FailureClass, FaultPlan, JobOutcome, SimFs,
+    SplitMix64, Vfs, VfsHandle,
+};
+use pnp_lang::{compile, PropertyResult, VerifyOptions};
+
+use crate::job::{JobConfig, JobRequest};
+use crate::queue::{decode_queue, encode_queue, PersistedJob};
+
+/// The specification every chaos schedule verifies: three independent
+/// counters, ~1000 unique states — enough for a dozen checkpoint flushes
+/// at [`CHECKPOINT_EVERY`], small enough that one attempt is a few
+/// milliseconds in a debug build.
+pub const CHAOS_SPEC: &str = r#"
+system {
+    global total = 0;
+
+    component a {
+        var count = 0;
+        state work, done;
+        end done;
+        from work if count < 8 do count = count + 1 goto work;
+        from work if count >= 8 do total = total + 1 goto done;
+    }
+    component b {
+        var count = 0;
+        state work, done;
+        end done;
+        from work if count < 8 do count = count + 1 goto work;
+        from work if count >= 8 do total = total + 1 goto done;
+    }
+    component c {
+        var count = 0;
+        state work, done;
+        end done;
+        from work if count < 8 do count = count + 1 goto work;
+        from work if count >= 8 do total = total + 1 goto done;
+    }
+
+    property totals: invariant total <= 3;
+}
+"#;
+
+/// Checkpoint flush cadence (newly interned states) for chaos runs.
+pub const CHECKPOINT_EVERY: usize = 64;
+
+/// Reboots after which a schedule stops arming new faults, so every run
+/// converges; the invariants are still checked on the clean tail.
+const MAX_FAULTY_REBOOTS: u32 = 25;
+
+/// Attempts after which the ENOSPC/EIO schedule goes clean.
+const MAX_FAULTY_ATTEMPTS: u32 = 10;
+
+/// Hard cap on recovery attempts — tripping it is a harness failure.
+const MAX_ATTEMPTS: u32 = 200;
+
+/// A seeded fault schedule the harness can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Crash the process at a seeded syscall boundary during a
+    /// checkpointed verification; reboot; resume; repeat.
+    CheckpointCrash,
+    /// Crash inside the drain's `queue.pnpq` commit; reboot; restore.
+    DrainCrash,
+    /// Seeded ENOSPC and EIO draws against checkpoint writes.
+    Enospc,
+}
+
+impl Schedule {
+    /// Every schedule, in matrix order.
+    pub const ALL: [Schedule; 3] = [
+        Schedule::CheckpointCrash,
+        Schedule::DrainCrash,
+        Schedule::Enospc,
+    ];
+
+    /// The schedule's stable name (CLI and report rows).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Schedule::CheckpointCrash => "checkpoint-crash",
+            Schedule::DrainCrash => "drain-crash",
+            Schedule::Enospc => "enospc",
+        }
+    }
+
+    /// Parses a schedule name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown name.
+    pub fn parse(name: &str) -> Result<Schedule, String> {
+        Schedule::ALL
+            .into_iter()
+            .find(|s| s.as_str() == name)
+            .ok_or_else(|| format!("unknown chaos schedule '{name}'"))
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What one seeded schedule run observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosOutcome {
+    /// The schedule that ran.
+    pub schedule: Schedule,
+    /// The seed it ran under.
+    pub seed: u64,
+    /// Simulated crashes injected (and reboots performed).
+    pub reboots: u32,
+    /// Verification (or commit) attempts, including the final clean one.
+    pub attempts: u32,
+    /// Whether the recovered end state matched the uninterrupted
+    /// reference exactly (verdict fingerprints for verification
+    /// schedules; old-or-new queue content for the drain schedule).
+    pub identical: bool,
+    /// One line of context for the report table.
+    pub detail: String,
+}
+
+/// A stable fingerprint over everything a caller observes in a result
+/// set: names, verdicts, totals, and rendered details. Two runs with the
+/// same fingerprint are indistinguishable to a client.
+pub fn results_fingerprint(results: &[PropertyResult]) -> u64 {
+    let mut rendered = String::new();
+    for r in results {
+        rendered.push_str(&format!(
+            "{}|{}|{}|{}|{}|{}|{}|{}\n",
+            r.name, r.holds, r.inconclusive, r.approx, r.states, r.steps, r.max_depth, r.detail
+        ));
+    }
+    fnv64(rendered.as_bytes())
+}
+
+/// Runs one seeded schedule and checks its invariants.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant: a storage
+/// fault classified permanent, a torn queue file, or a run that failed
+/// to converge.
+pub fn run_schedule(schedule: Schedule, seed: u64) -> Result<ChaosOutcome, String> {
+    match schedule {
+        Schedule::CheckpointCrash | Schedule::Enospc => verify_recovery_loop(schedule, seed),
+        Schedule::DrainCrash => drain_crash_roundtrip(seed),
+    }
+}
+
+/// The verify-checkpoint-crash-restart-resume loop: arms the schedule's
+/// faults, reboots after every simulated crash, resumes from the newest
+/// valid checkpoint generation, and compares the converged results
+/// against an uninterrupted baseline.
+fn verify_recovery_loop(schedule: Schedule, seed: u64) -> Result<ChaosOutcome, String> {
+    let spec = compile(CHAOS_SPEC).map_err(|e| format!("chaos spec does not compile: {e}"))?;
+    let baseline = spec
+        .verify_all()
+        .map_err(|e| format!("baseline run failed: {e}"))?;
+    let baseline_fp = results_fingerprint(&baseline);
+
+    let fs = Arc::new(SimFs::new(seed));
+    let state = PathBuf::from("/state");
+    fs.as_ref()
+        .create_dir_all(&state)
+        .map_err(|e| format!("simfs mkdir: {e}"))?;
+    let vfs: VfsHandle = fs.clone();
+    let base = state.join("chaos.pnpsnap");
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x6368_616f_735f_7631);
+    let mut reboots = 0u32;
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        if attempts > MAX_ATTEMPTS {
+            return Err(format!(
+                "{schedule} seed {seed}: no convergence after {MAX_ATTEMPTS} attempts"
+            ));
+        }
+        match schedule {
+            Schedule::CheckpointCrash if reboots < MAX_FAULTY_REBOOTS => {
+                fs.set_plan(FaultPlan::crash_after(3 + rng.gen_index(48) as u64));
+            }
+            Schedule::Enospc if attempts <= MAX_FAULTY_ATTEMPTS => {
+                fs.set_plan(FaultPlan {
+                    enospc_per_mille: 250,
+                    eio_per_mille: 120,
+                    ..FaultPlan::default()
+                });
+            }
+            _ => fs.set_plan(FaultPlan::default()),
+        }
+
+        // Recovery: newest generation that decodes and matches the
+        // program; a damaged or missing checkpoint restarts from scratch.
+        let resume = load_latest_snapshot(&vfs, &base)
+            .ok()
+            .flatten()
+            .map(|(_, snapshot)| snapshot)
+            .filter(|s| s.matches_program(spec.system().program()));
+        let options = VerifyOptions {
+            checkpoint: Some((base.clone(), CHECKPOINT_EVERY)),
+            resume,
+            vfs: Some(vfs.clone()),
+            ..VerifyOptions::default()
+        };
+        match spec.verify_all_with_options(&options) {
+            Ok(results) => {
+                fs.set_plan(FaultPlan::default());
+                let fp = results_fingerprint(&results);
+                return Ok(ChaosOutcome {
+                    schedule,
+                    seed,
+                    reboots,
+                    attempts,
+                    identical: fp == baseline_fp,
+                    detail: format!(
+                        "{} states, fingerprint {:#018x}",
+                        results.first().map_or(0, |r| r.states),
+                        fp
+                    ),
+                });
+            }
+            Err(error) => {
+                // Invariant 2: a storage fault is only ever a transient,
+                // retryable failure — anything else is a wrong verdict
+                // in the making.
+                match JobOutcome::classify_error(&error.0) {
+                    JobOutcome::Failed {
+                        class: FailureClass::Transient,
+                        ..
+                    } => {}
+                    other => {
+                        return Err(format!(
+                            "{schedule} seed {seed}: storage fault classified {other:?} \
+                             (must be transient): {error}"
+                        ))
+                    }
+                }
+                if fs.crashed() {
+                    fs.reboot();
+                    reboots += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Two sample queues with distinct job sets for the drain schedule.
+fn sample_queues() -> (Vec<PersistedJob>, Vec<PersistedJob>) {
+    let job = |id: u64, source: &str| PersistedJob {
+        id,
+        attempts: 0,
+        request: JobRequest {
+            source: source.to_string(),
+            config: JobConfig::default(),
+        },
+    };
+    let old = vec![job(1, "system { global x = 0; }"), job(2, CHAOS_SPEC)];
+    let new = vec![
+        job(2, CHAOS_SPEC),
+        job(3, "system { global y = 1; }"),
+        job(4, "system { global z = 2; }"),
+    ];
+    (old, new)
+}
+
+/// The drain/restore cycle: a known-good `queue.pnpq` on disk, then a
+/// crash at a seeded syscall boundary inside the commit of its
+/// replacement. After reboot the file must decode to exactly the old or
+/// exactly the new job set — never a torn or partial one.
+fn drain_crash_roundtrip(seed: u64) -> Result<ChaosOutcome, String> {
+    let fs = Arc::new(SimFs::new(seed));
+    let state = PathBuf::from("/state");
+    fs.as_ref()
+        .create_dir_all(&state)
+        .map_err(|e| format!("simfs mkdir: {e}"))?;
+    let path = state.join("queue.pnpq");
+    let (old_jobs, new_jobs) = sample_queues();
+
+    commit_replace(fs.as_ref(), &path, &encode_queue(&old_jobs))
+        .map_err(|e| format!("clean commit of the old queue failed: {e}"))?;
+
+    // A commit is 4 syscalls (write tmp, fsync tmp, rename, fsync dir);
+    // crash at every boundary across seeds, including "no crash".
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x6472_6169_6e5f_7631);
+    let crash_ops = rng.gen_index(6) as u64;
+    fs.set_plan(FaultPlan::crash_after(crash_ops));
+    let committed = commit_replace(fs.as_ref(), &path, &encode_queue(&new_jobs));
+    let mut reboots = 0u32;
+    if fs.crashed() {
+        fs.reboot();
+        reboots = 1;
+    } else {
+        committed.map_err(|e| format!("uncrashed commit failed: {e}"))?;
+        fs.set_plan(FaultPlan::default());
+    }
+
+    let bytes = fs
+        .as_ref()
+        .read(&path)
+        .map_err(|e| format!("queue vanished after crash (old copy lost): {e}"))?;
+    // Invariant 3: whatever the crash exposed decodes cleanly...
+    let recovered = decode_queue(&bytes)
+        .map_err(|e| format!("torn queue after crash at op {crash_ops}: {e}"))?;
+    // ...and is exactly one of the two committed queues.
+    let ids: Vec<u64> = recovered.iter().map(|j| j.id).collect();
+    let old_ids: Vec<u64> = old_jobs.iter().map(|j| j.id).collect();
+    let new_ids: Vec<u64> = new_jobs.iter().map(|j| j.id).collect();
+    let identical = ids == old_ids || ids == new_ids;
+    Ok(ChaosOutcome {
+        schedule: Schedule::DrainCrash,
+        seed,
+        reboots,
+        attempts: 1,
+        identical,
+        detail: format!(
+            "crash after {crash_ops} ops → {} queue",
+            if ids == new_ids { "new" } else { "old" }
+        ),
+    })
+}

@@ -24,6 +24,7 @@
 //! `max_attempts`, and `chaos` (fault injection for the soak tests).
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod http;
 pub mod job;
 pub mod json;

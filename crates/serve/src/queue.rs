@@ -18,7 +18,7 @@
 
 use std::time::Duration;
 
-use pnp_kernel::{mix64, SearchConfig, VisitedKind};
+use pnp_kernel::{fnv64, SearchConfig, VisitedKind};
 
 use crate::job::{Chaos, JobConfig, JobRequest};
 
@@ -65,16 +65,6 @@ pub struct PersistedJob {
     pub attempts: u32,
     /// The submission.
     pub request: JobRequest,
-}
-
-/// FNV-1a finished with the SplitMix64 mixer — same construction the
-/// snapshot format uses.
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
-    }
-    mix64(h)
 }
 
 struct Writer {

@@ -20,8 +20,8 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use pnp_kernel::{
-    load_snapshot, BudgetKind, CancelToken, FailureClass, FileSink, JobOutcome, KernelError,
-    SearchConfig, Snapshot, SnapshotError, SnapshotSink, SplitMix64,
+    commit_replace, real_fs, BudgetKind, CancelToken, FailureClass, GenSink, GenStore, JobOutcome,
+    KernelError, SearchConfig, Snapshot, SnapshotError, SnapshotSink, SplitMix64, VfsHandle,
 };
 use pnp_lang::{compile, PropertyResult, VerifyOptions};
 
@@ -60,6 +60,11 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Base search configuration submissions are resolved against.
     pub default_search: SearchConfig,
+    /// The filesystem all durable state goes through. Defaults to the
+    /// real filesystem; chaos tests hand in a [`pnp_kernel::SimFs`] to
+    /// inject torn writes, ENOSPC/EIO, and crashes into every durable
+    /// path (checkpoints, the persisted queue, quarantine moves).
+    pub vfs: VfsHandle,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +81,7 @@ impl Default for ServeConfig {
             state_dir: PathBuf::from(".pnp-serve"),
             seed: 0x706e_7073_6572_7665,
             default_search: SearchConfig::default(),
+            vfs: real_fs(),
         }
     }
 }
@@ -97,6 +103,11 @@ pub struct ServeStats {
     pub workers_replaced: u64,
     /// Jobs restored from a persisted queue at startup.
     pub restored: u64,
+    /// Corrupt or orphaned durable files moved to `quarantine/` since
+    /// boot.
+    pub quarantined: u64,
+    /// Stale `*.tmp` staging files removed by the startup sweep.
+    pub tmp_swept: u64,
 }
 
 struct Inner {
@@ -112,11 +123,21 @@ struct Inner {
     stats: ServeStats,
 }
 
+/// A job's last successful checkpoint flush, surfaced by `/health`.
+#[derive(Debug, Clone, Copy)]
+struct CheckpointMark {
+    generation: u64,
+    at: Instant,
+}
+
 struct Shared {
     inner: Mutex<Inner>,
     work: Condvar,
     done: Condvar,
     config: ServeConfig,
+    /// Per-job checkpoint marks, written by worker sinks mid-attempt
+    /// (own lock so flushes never contend with the supervisor lock).
+    checkpoints: Arc<Mutex<HashMap<u64, CheckpointMark>>>,
 }
 
 /// What one popped attempt carries out of the lock.
@@ -128,11 +149,37 @@ struct Task {
     cancel: CancelToken,
 }
 
+/// The service's default checkpoint sink: commits each flush as a new
+/// snapshot generation (`base.a`/`base.b`, see [`GenStore`]) and records
+/// the job's last successful flush for `/health` durability reporting.
+struct TrackingSink {
+    inner: GenSink,
+    job: u64,
+    checkpoints: Arc<Mutex<HashMap<u64, CheckpointMark>>>,
+}
+
+impl SnapshotSink for TrackingSink {
+    fn store(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        self.inner.store(bytes)?;
+        if let Some(generation) = self.inner.last_generation() {
+            let mut marks = self.checkpoints.lock().unwrap_or_else(|e| e.into_inner());
+            marks.insert(
+                self.job,
+                CheckpointMark {
+                    generation,
+                    at: Instant::now(),
+                },
+            );
+        }
+        Ok(())
+    }
+}
+
 /// A checkpoint sink that injects the job's configured fault: panic
 /// before the n-th flush (the previous flush is already on disk) or
 /// sleep per flush so the watchdog deadline trips mid-run.
 struct ChaosSink {
-    inner: FileSink,
+    inner: TrackingSink,
     chaos: Chaos,
     flushes: u32,
 }
@@ -159,16 +206,18 @@ pub struct Supervisor {
 
 impl Supervisor {
     /// Starts the service: creates the state directory, restores a
-    /// persisted queue if one survived the last drain, and spawns the
-    /// worker and watchdog threads.
+    /// persisted queue if one survived the last drain, sweeps stale
+    /// `*.tmp` staging files and quarantines corrupt or orphaned durable
+    /// files, and spawns the worker and watchdog threads.
     ///
     /// # Errors
     ///
     /// Returns the error when the state directory cannot be created. A
     /// corrupt queue file is *not* an error: it is set aside as
-    /// `queue.pnpq.corrupt` and the service starts empty.
+    /// `quarantine/queue.pnpq.corrupt` and the service starts empty.
     pub fn start(config: ServeConfig) -> std::io::Result<Supervisor> {
-        std::fs::create_dir_all(&config.state_dir)?;
+        let vfs = config.vfs.clone();
+        vfs.create_dir_all(&config.state_dir)?;
         let mut inner = Inner {
             queue: VecDeque::new(),
             jobs: HashMap::new(),
@@ -183,7 +232,7 @@ impl Supervisor {
         };
 
         let queue_path = config.state_dir.join("queue.pnpq");
-        if let Ok(bytes) = std::fs::read(&queue_path) {
+        if let Ok(bytes) = vfs.read(&queue_path) {
             match decode_queue(&bytes) {
                 Ok(persisted) => {
                     for job in persisted {
@@ -201,17 +250,21 @@ impl Supervisor {
                 }
                 Err(reason) => {
                     eprintln!("pnp-serve: ignoring persisted queue: {reason}");
-                    let _ = std::fs::rename(&queue_path, queue_path.with_extension("pnpq.corrupt"));
+                    if quarantine_file(&config, &queue_path, "queue.pnpq.corrupt") {
+                        inner.stats.quarantined += 1;
+                    }
                 }
             }
-            let _ = std::fs::remove_file(&queue_path);
+            let _ = vfs.remove(&queue_path);
         }
+        sweep_state_dir(&config, &mut inner);
 
         let shared = Arc::new(Shared {
             inner: Mutex::new(inner),
             work: Condvar::new(),
             done: Condvar::new(),
             config,
+            checkpoints: Arc::new(Mutex::new(HashMap::new())),
         });
         for _ in 0..shared.config.workers.max(1) {
             spawn_worker(Arc::clone(&shared));
@@ -339,7 +392,7 @@ impl Supervisor {
             JobPhase::Queued | JobPhase::Retrying { .. } => {
                 let was_queued = matches!(record.phase, JobPhase::Queued);
                 record.phase = JobPhase::Done(Verdict::Cancelled);
-                remove_checkpoint(&self.shared.config.state_dir, id);
+                remove_checkpoint(&self.shared, id);
                 if was_queued {
                     inner.queued_count -= 1;
                     inner.queued_bytes -= source_len;
@@ -361,15 +414,51 @@ impl Supervisor {
         }
     }
 
-    /// The `/health` object.
+    /// The `/health` object, including durability status: per-job last
+    /// checkpoint generation and age, plus quarantine/sweep counters.
     pub fn health_json(&self) -> String {
-        let inner = self.lock();
-        let s = inner.stats;
+        let (status, counters) = {
+            let inner = self.lock();
+            let s = inner.stats;
+            (
+                if inner.draining { "draining" } else { "ok" },
+                (
+                    inner.queued_count as u64,
+                    inner.queued_bytes as u64,
+                    inner.active_attempts as u64,
+                    s,
+                ),
+            )
+        };
+        let (queue_depth, queued_bytes, running, s) = counters;
+        let marks = {
+            let marks = self
+                .shared
+                .checkpoints
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let mut marks: Vec<(u64, CheckpointMark)> =
+                marks.iter().map(|(&job, &mark)| (job, mark)).collect();
+            marks.sort_by_key(|&(job, _)| job);
+            marks
+        };
+        let now = Instant::now();
+        let checkpoints = array(marks.iter().map(|(job, mark)| {
+            Obj::new()
+                .str("job", &JobId(*job).to_string())
+                .num("generation", mark.generation)
+                .num(
+                    "age_ms",
+                    u64::try_from(now.saturating_duration_since(mark.at).as_millis())
+                        .unwrap_or(u64::MAX),
+                )
+                .build()
+        }));
         Obj::new()
-            .str("status", if inner.draining { "draining" } else { "ok" })
-            .num("queue_depth", inner.queued_count as u64)
-            .num("queued_bytes", inner.queued_bytes as u64)
-            .num("running", inner.active_attempts as u64)
+            .str("status", status)
+            .num("queue_depth", queue_depth)
+            .num("queued_bytes", queued_bytes)
+            .num("running", running)
             .num("workers", self.shared.config.workers as u64)
             .num("submitted", s.submitted)
             .num("completed", s.completed)
@@ -378,6 +467,9 @@ impl Supervisor {
             .num("panics_caught", s.panics_caught)
             .num("workers_replaced", s.workers_replaced)
             .num("restored", s.restored)
+            .num("quarantined", s.quarantined)
+            .num("tmp_swept", s.tmp_swept)
+            .raw("checkpoints", &checkpoints)
             .build()
     }
 
@@ -470,15 +562,15 @@ impl Supervisor {
             });
         }
         let path = self.shared.config.state_dir.join("queue.pnpq");
+        let vfs = &self.shared.config.vfs;
         if persisted.is_empty() {
-            let _ = std::fs::remove_file(&path);
+            let _ = vfs.remove(&path);
         } else {
+            // Full commit discipline (tmp + fsync + rename + dir fsync):
+            // after a power loss the restart sees either the complete
+            // queue or no queue at all, never a torn file.
             let bytes = encode_queue(&persisted);
-            let tmp = path.with_extension("pnpq.tmp");
-            if std::fs::write(&tmp, &bytes)
-                .and_then(|()| std::fs::rename(&tmp, &path))
-                .is_err()
-            {
+            if commit_replace(vfs.as_ref(), &path, &bytes).is_err() {
                 eprintln!("pnp-serve: failed to persist queue to {}", path.display());
             }
         }
@@ -543,12 +635,80 @@ fn property_json(result: &PropertyResult) -> String {
         .build()
 }
 
+/// The *base* path of a job's checkpoint; the actual files are the
+/// generation slots `<base>.a` and `<base>.b` (see [`GenStore`]).
 fn checkpoint_path(state_dir: &Path, id: JobId) -> PathBuf {
     state_dir.join(format!("job-{}.pnpsnap", id.0))
 }
 
-fn remove_checkpoint(state_dir: &Path, id: JobId) {
-    let _ = std::fs::remove_file(checkpoint_path(state_dir, id));
+/// Removes a finished job's checkpoint generations (and any legacy
+/// single-file snapshot) and forgets its `/health` checkpoint mark.
+fn remove_checkpoint(shared: &Shared, id: JobId) {
+    let base = checkpoint_path(&shared.config.state_dir, id);
+    GenStore::new(shared.config.vfs.clone(), &base).remove_all();
+    let _ = shared.config.vfs.remove(&base);
+    let mut marks = shared.checkpoints.lock().unwrap_or_else(|e| e.into_inner());
+    marks.remove(&id.0);
+}
+
+/// Moves `path` into the state directory's `quarantine/` subdirectory
+/// under `dest_name`, preserving the bytes for post-mortem inspection.
+fn quarantine_file(config: &ServeConfig, path: &Path, dest_name: &str) -> bool {
+    let quarantine = config.state_dir.join("quarantine");
+    if config.vfs.create_dir_all(&quarantine).is_err() {
+        return false;
+    }
+    config.vfs.rename(path, &quarantine.join(dest_name)).is_ok()
+}
+
+/// Classifies a state-directory file name as a checkpoint artifact:
+/// `job-N.pnpsnap` (legacy single file) or `job-N.pnpsnap.a`/`.b`
+/// (generation slots). Returns the job id and whether it is a slot.
+fn checkpoint_file_job(name: &str) -> Option<(u64, bool)> {
+    let rest = name.strip_prefix("job-")?;
+    if let Some(id) = rest.strip_suffix(".pnpsnap") {
+        return id.parse().ok().map(|id| (id, false));
+    }
+    let id = rest
+        .strip_suffix(".pnpsnap.a")
+        .or_else(|| rest.strip_suffix(".pnpsnap.b"))?;
+    id.parse().ok().map(|id| (id, true))
+}
+
+/// The startup sweep over the state directory: removes stale `*.tmp`
+/// staging files left by interrupted commits, and quarantines checkpoint
+/// files that are corrupt (undecodable) or orphaned (valid, but no
+/// restored job will ever resume them).
+fn sweep_state_dir(config: &ServeConfig, inner: &mut Inner) {
+    let Ok(entries) = config.vfs.list(&config.state_dir) else {
+        return;
+    };
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()).map(String::from) else {
+            continue;
+        };
+        if name.ends_with(".tmp") {
+            if config.vfs.remove(&path).is_ok() {
+                inner.stats.tmp_swept += 1;
+            }
+            continue;
+        }
+        let Some((job, is_slot)) = checkpoint_file_job(&name) else {
+            continue;
+        };
+        let decodable = config.vfs.read(&path).is_ok_and(|bytes| {
+            if is_slot {
+                pnp_kernel::decode_generation(&bytes)
+                    .is_ok_and(|(_, payload)| Snapshot::decode(&payload).is_ok())
+            } else {
+                Snapshot::decode(&bytes).is_ok()
+            }
+        });
+        let orphaned = !inner.jobs.contains_key(&JobId(job));
+        if (!decodable || orphaned) && quarantine_file(config, &path, &name) {
+            inner.stats.quarantined += 1;
+        }
+    }
 }
 
 fn spawn_worker(shared: Arc<Shared>) {
@@ -656,22 +816,36 @@ fn run_attempt(shared: &Arc<Shared>, task: &Task) -> (JobOutcome, Option<Vec<Pro
     };
 
     let snap_path = checkpoint_path(&shared.config.state_dir, task.id);
-    let resume = load_resume_snapshot(&snap_path, &spec);
-    let checkpoint_sink = chaos.map(|chaos| -> pnp_lang::SinkFactory {
+    let resume = load_resume_snapshot(shared, task.id, &spec);
+    // Every attempt checkpoints through a TrackingSink (generations +
+    // /health marks); the job's configured chaos wraps it when armed.
+    let checkpoint_sink: pnp_lang::SinkFactory = {
+        let vfs = shared.config.vfs.clone();
+        let checkpoints = Arc::clone(&shared.checkpoints);
+        let job = task.id.0;
         Arc::new(move |path: &Path| -> Box<dyn SnapshotSink> {
-            Box::new(ChaosSink {
-                inner: FileSink::new(path),
-                chaos,
-                flushes: 0,
-            })
+            let tracking = TrackingSink {
+                inner: GenSink::new(vfs.clone(), path),
+                job,
+                checkpoints: Arc::clone(&checkpoints),
+            };
+            match chaos {
+                Some(chaos) => Box::new(ChaosSink {
+                    inner: tracking,
+                    chaos,
+                    flushes: 0,
+                }),
+                None => Box::new(tracking),
+            }
         })
-    });
+    };
     let options = VerifyOptions {
         config: task.request.config.config,
         cancel: Some(task.cancel.clone()),
         checkpoint: Some((snap_path.clone(), shared.config.checkpoint_every)),
         resume,
-        checkpoint_sink,
+        checkpoint_sink: Some(checkpoint_sink),
+        vfs: Some(shared.config.vfs.clone()),
     };
     match spec.verify_all_with_options(&options) {
         Ok(results) => {
@@ -691,27 +865,41 @@ fn run_attempt(shared: &Arc<Shared>, task: &Task) -> (JobOutcome, Option<Vec<Pro
             if matches!(error.0, KernelError::Snapshot { .. }) {
                 // A checkpoint that cannot be stored or loaded should not
                 // poison every retry: start the next attempt clean.
-                let _ = std::fs::remove_file(&snap_path);
+                remove_checkpoint(shared, task.id);
             }
             (JobOutcome::classify_error(&error.0), None)
         }
     }
 }
 
-/// Loads the job's checkpoint for a resumed attempt; a snapshot that is
-/// unreadable or belongs to a different program is discarded so the
-/// attempt restarts from scratch instead of failing forever.
-fn load_resume_snapshot(path: &Path, spec: &pnp_lang::ArchSpec) -> Option<Snapshot> {
-    if !path.exists() {
-        return None;
-    }
-    match load_snapshot(path) {
-        Ok(snapshot) if snapshot.matches_program(spec.system().program()) => Some(snapshot),
-        _ => {
-            let _ = std::fs::remove_file(path);
-            None
+/// Loads the job's newest valid checkpoint generation for a resumed
+/// attempt, rolling back to the older slot when the newer one is
+/// damaged (damaged slots are quarantined). A snapshot that belongs to
+/// a different program is discarded so the attempt restarts from scratch
+/// instead of failing forever.
+fn load_resume_snapshot(shared: &Shared, id: JobId, spec: &pnp_lang::ArchSpec) -> Option<Snapshot> {
+    let base = checkpoint_path(&shared.config.state_dir, id);
+    let store = GenStore::new(shared.config.vfs.clone(), &base);
+    let scan = store.scan().ok()?;
+    for path in &scan.corrupt {
+        let name = path.file_name()?.to_str()?.to_string();
+        if quarantine_file(&shared.config, path, &name) {
+            let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.stats.quarantined += 1;
         }
     }
+    for (_, payload) in &scan.slots {
+        if let Ok(snapshot) = Snapshot::decode(payload) {
+            if snapshot.matches_program(spec.system().program()) {
+                return Some(snapshot);
+            }
+        }
+    }
+    if !scan.slots.is_empty() {
+        // Valid generations, wrong program: never resumable for this job.
+        store.remove_all();
+    }
+    None
 }
 
 /// What `finish_attempt` decides to do with a finished attempt, computed
@@ -802,7 +990,7 @@ fn apply_decision(shared: &Arc<Shared>, inner: &mut Inner, id: JobId, decision: 
             let record = inner.jobs.get_mut(&id).expect("job exists");
             record.phase = JobPhase::Done(verdict);
             record.error = error;
-            remove_checkpoint(&shared.config.state_dir, id);
+            remove_checkpoint(shared, id);
             inner.stats.completed += 1;
             shared.done.notify_all();
         }
@@ -837,7 +1025,7 @@ fn apply_decision(shared: &Arc<Shared>, inner: &mut Inner, id: JobId, decision: 
                     reason,
                     attempts,
                 });
-                remove_checkpoint(&shared.config.state_dir, id);
+                remove_checkpoint(shared, id);
                 inner.stats.completed += 1;
                 shared.done.notify_all();
             } else {

@@ -1,0 +1,162 @@
+//! Property tests for `queue.pnpq` durability: random persisted queues
+//! must roundtrip exactly, and any truncation or bitflip of the encoded
+//! bytes must come back as a clean decode error — never a panic, never a
+//! partial restore — which the supervisor then turns into a quarantine.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use pnp_kernel::{SearchConfig, SimFs, VfsHandle, VisitedKind};
+use pnp_serve::job::{Chaos, JobConfig, JobRequest};
+use pnp_serve::queue::{decode_queue, encode_queue, PersistedJob};
+use pnp_serve::supervisor::{ServeConfig, Supervisor};
+
+/// One random job from compact scalars: ids/attempts, a source picked
+/// from realistic spec bodies, every visited backend, and the optional
+/// deadline/retry/chaos knobs all exercised.
+fn arb_job() -> impl Strategy<Value = PersistedJob> {
+    let sources = proptest::sample::select(vec![
+        "system { }",
+        "system { global x = 0; }",
+        "system {\n  global a = 0;\n  property p { invariant a >= 0 }\n}",
+        "", // decoder must cope with empty source strings too
+    ]);
+    (
+        0u64..2000,
+        0u32..8,
+        sources,
+        1usize..100_000,
+        0u8..3,
+        1usize..5,
+        0u8..4,
+    )
+        .prop_map(
+            |(id, attempts, source, max_states, visited, threads, extras)| {
+                let visited = match visited {
+                    0 => VisitedKind::Exact,
+                    1 => VisitedKind::Compact,
+                    _ => VisitedKind::bitstate(1 << 16),
+                };
+                PersistedJob {
+                    id,
+                    attempts,
+                    request: JobRequest {
+                        source: source.to_string(),
+                        config: JobConfig {
+                            config: SearchConfig {
+                                max_states,
+                                max_time: (extras & 1 != 0)
+                                    .then(|| Duration::from_millis(u64::from(extras) * 37)),
+                                threads,
+                                visited,
+                                ..SearchConfig::default()
+                            },
+                            deadline: (extras & 2 != 0).then(|| Duration::from_millis(250)),
+                            max_attempts: (extras == 3).then_some(5),
+                            chaos: (extras == 1).then_some(Chaos::PanicOnFlush {
+                                flush: 2,
+                                attempts: 1,
+                            }),
+                        },
+                    },
+                }
+            },
+        )
+}
+
+fn arb_queue() -> impl Strategy<Value = Vec<PersistedJob>> {
+    proptest::collection::vec(arb_job(), 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode → decode is the identity on everything the supervisor
+    /// restores: ids, attempt counts, and the full job configuration.
+    #[test]
+    fn random_queues_roundtrip(jobs in arb_queue()) {
+        let decoded = decode_queue(&encode_queue(&jobs)).unwrap();
+        prop_assert_eq!(decoded.len(), jobs.len());
+        for (restored, original) in decoded.iter().zip(&jobs) {
+            prop_assert_eq!(restored.id, original.id);
+            prop_assert_eq!(restored.attempts, original.attempts);
+            prop_assert_eq!(&restored.request.source, &original.request.source);
+            let (r, o) = (&restored.request.config, &original.request.config);
+            prop_assert_eq!(r.config.max_states, o.config.max_states);
+            prop_assert_eq!(r.config.max_time, o.config.max_time);
+            prop_assert_eq!(r.config.threads, o.config.threads);
+            prop_assert_eq!(r.config.visited, o.config.visited);
+            prop_assert_eq!(r.deadline, o.deadline);
+            prop_assert_eq!(r.max_attempts, o.max_attempts);
+            prop_assert_eq!(r.chaos, o.chaos);
+        }
+    }
+
+    /// Truncating the file anywhere — a torn write caught mid-flight —
+    /// is a clean error, never a panic or a shorter-but-plausible queue.
+    #[test]
+    fn truncation_never_panics_or_partially_restores(
+        jobs in arb_queue(),
+        cut in 0u32..10_000,
+    ) {
+        let bytes = encode_queue(&jobs);
+        let cut = cut as usize % bytes.len();
+        prop_assert!(
+            decode_queue(&bytes[..cut]).is_err(),
+            "truncation to {} of {} bytes must be rejected", cut, bytes.len()
+        );
+    }
+
+    /// Flipping any bit anywhere — checksum field included — is caught.
+    #[test]
+    fn bitflips_never_panic_and_are_always_detected(
+        jobs in arb_queue(),
+        position in 0u32..10_000,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_queue(&jobs);
+        let position = position as usize % bytes.len();
+        bytes[position] ^= 1 << bit;
+        prop_assert!(
+            decode_queue(&bytes).is_err(),
+            "bit {} of byte {} flipped undetected", bit, position
+        );
+    }
+
+    /// End to end through the supervisor on the simulated filesystem: a
+    /// corrupted queue file means a clean empty start with the evidence
+    /// moved to `quarantine/`, not a crash and not garbage jobs.
+    #[test]
+    fn supervisor_quarantines_corrupt_queues(
+        jobs in arb_queue(),
+        position in 0u32..10_000,
+        seed in 0u64..1000,
+    ) {
+        let fs = Arc::new(SimFs::new(seed));
+        let vfs: VfsHandle = fs.clone();
+        let state_dir = PathBuf::from("/state");
+        vfs.create_dir_all(&state_dir).unwrap();
+        let mut bytes = encode_queue(&jobs);
+        let position = position as usize % bytes.len();
+        bytes[position] ^= 0x40;
+        vfs.write(&state_dir.join("queue.pnpq"), &bytes).unwrap();
+
+        let supervisor = Supervisor::start(ServeConfig {
+            workers: 1,
+            state_dir: state_dir.clone(),
+            vfs: vfs.clone(),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let stats = supervisor.stats();
+        supervisor.drain();
+
+        prop_assert_eq!(supervisor.restored(), 0);
+        prop_assert_eq!(stats.quarantined, 1);
+        prop_assert!(vfs.exists(&state_dir.join("quarantine").join("queue.pnpq.corrupt")));
+        prop_assert!(!vfs.exists(&state_dir.join("queue.pnpq")));
+    }
+}

@@ -437,6 +437,11 @@ fn corrupt_queue_file_is_quarantined() {
     std::fs::write(config.state_dir.join("queue.pnpq"), b"not a queue").unwrap();
     let supervisor = Supervisor::start(config.clone()).unwrap();
     assert_eq!(supervisor.restored(), 0);
-    assert!(config.state_dir.join("queue.pnpq.corrupt").exists());
+    assert!(config
+        .state_dir
+        .join("quarantine")
+        .join("queue.pnpq.corrupt")
+        .exists());
+    assert_eq!(supervisor.stats().quarantined, 1);
     supervisor.drain();
 }
