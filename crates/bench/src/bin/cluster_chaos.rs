@@ -1,0 +1,108 @@
+//! Cluster-chaos matrix: drives a real coordinator against simulated
+//! workers over a seeded [`pnp_net::SimNet`] and prints one row per
+//! (schedule, seed) cell.
+//!
+//! Run with: `cargo run --release -p pnp-bench --bin cluster_chaos -- --seeds 8`
+//!
+//! Every cell submits a batch of jobs through the retrying client,
+//! injects the schedule's faults (worker crash mid-job, a full
+//! partition during result upload, a coordinator restart with queue
+//! restore) on top of a seeded background plan of drops, duplicates,
+//! and resets, and asserts the exactly-once and byte-identical-results
+//! invariants. The binary exits nonzero on the first violation, so CI
+//! can use it as a smoke gate.
+//!
+//! Flags:
+//!
+//! * `--seeds N` — seeds `0..N` per schedule (default 8)
+//! * `--schedule S` — run only `worker_crash_mid_job`,
+//!   `partition_during_result`, or `coordinator_restart` (default: all)
+
+use std::process::ExitCode;
+
+use pnp_serve::netchaos::{run_net_schedule, NetSchedule};
+
+fn main() -> ExitCode {
+    let mut seeds: u64 = 8;
+    let mut only: Option<NetSchedule> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                let value = args.next().unwrap_or_default();
+                match value.parse::<u64>() {
+                    Ok(n) if n >= 1 => seeds = n,
+                    _ => return usage(&format!("--seeds '{value}': want a positive integer")),
+                }
+            }
+            "--schedule" => {
+                let value = args.next().unwrap_or_default();
+                match NetSchedule::parse(&value) {
+                    Ok(schedule) => only = Some(schedule),
+                    Err(error) => return usage(&error),
+                }
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let schedules: Vec<NetSchedule> = match only {
+        Some(schedule) => vec![schedule],
+        None => NetSchedule::ALL.to_vec(),
+    };
+
+    println!(
+        "== cluster chaos matrix: {seeds} seeds x {} schedules ==",
+        schedules.len()
+    );
+    println!(
+        "{:<24} {:>5} {:>5} {:>6} {:>11} {:>7} {:>9} {:>9}",
+        "schedule", "seed", "jobs", "steps", "migrations", "fenced", "discards", "snapshots"
+    );
+    let mut failures = 0u64;
+    for &schedule in &schedules {
+        for seed in 0..seeds {
+            match run_net_schedule(schedule, seed) {
+                Ok(outcome) => {
+                    println!(
+                        "{:<24} {:>5} {:>5} {:>6} {:>11} {:>7} {:>9} {:>9}",
+                        schedule.as_str(),
+                        seed,
+                        outcome.jobs,
+                        outcome.steps,
+                        outcome.migrations,
+                        outcome.fenced,
+                        outcome.worker_discards,
+                        outcome.snapshots_shipped,
+                    );
+                }
+                Err(error) => {
+                    println!("{:<24} {:>5} FAILED: {error}", schedule.as_str(), seed);
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("cluster chaos matrix: {failures} cell(s) violated an invariant");
+        return ExitCode::FAILURE;
+    }
+    println!("cluster chaos matrix: every job completed exactly once, byte-identical");
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("cluster_chaos: {error}");
+    }
+    eprintln!(
+        "usage: cluster_chaos [--seeds N] \
+         [--schedule worker_crash_mid_job|partition_during_result|coordinator_restart]"
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

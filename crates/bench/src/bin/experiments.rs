@@ -103,10 +103,7 @@ fn e16_service_soak() {
         let ids: Vec<_> = (0..*count)
             .map(|_| {
                 supervisor
-                    .submit(JobRequest {
-                        source: SPEC.to_string(),
-                        config: *job_config,
-                    })
+                    .submit(JobRequest::new(SPEC.to_string(), *job_config))
                     .expect("soak stays under the admission watermark")
             })
             .collect();

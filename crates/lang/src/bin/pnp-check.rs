@@ -45,6 +45,14 @@
 //! maps the daemon's verdict onto the same exit codes as a local run
 //! (0 passed, 1 violated, 2 failed, 3 inconclusive/cancelled). SIGINT or
 //! SIGTERM during the wait cancels the remote job cooperatively.
+//!
+//! Submissions go through the retrying `pnp-net` client with a generated
+//! idempotency key, so transient network failures — including ambiguous
+//! ones where the daemon may already have admitted the job — retry
+//! safely without double-submitting. Against a cluster coordinator,
+//! `--workers N` requires at least `N` live workers (the submission is
+//! shed with a retry hint otherwise) and `--tenant NAME` attributes the
+//! job to a tenant for fair-share quotas.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -53,6 +61,7 @@ use pnp_kernel::{
     cancel_on_termination, watch_termination, CancelToken, SearchConfig, VisitedKind,
 };
 use pnp_lang::{ChannelFaultAst, Pos, SystemAst, VerifyOptions};
+use pnp_net::{json_num, json_str, percent_encode, ClientError, RealTcp, SubmitClient};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -62,7 +71,8 @@ fn usage() -> ExitCode {
          \u{20}                [--budget states=N,time=MS,depth=D,mem=BYTES]\n\
          \u{20}                [--visited exact|compact|bitstate[:MB]]\n\
          \u{20}                [--checkpoint FILE [--checkpoint-every N]]\n\
-         \u{20}                [--resume FILE] [--threads N] [--submit URL]"
+         \u{20}                [--resume FILE] [--threads N]\n\
+         \u{20}                [--submit URL [--workers N] [--tenant NAME]]"
     );
     ExitCode::from(2)
 }
@@ -240,6 +250,25 @@ fn main() -> ExitCode {
         Ok(v) => v.cloned(),
         Err(code) => return code,
     };
+    let submit_workers = match flag_str("--workers") {
+        Ok(None) => None,
+        Ok(Some(value)) => match value.parse::<u64>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => {
+                eprintln!("pnp-check: --workers '{value}': want a live-worker count of at least 1");
+                return ExitCode::from(2);
+            }
+        },
+        Err(code) => return code,
+    };
+    let tenant = match flag_str("--tenant") {
+        Ok(v) => v.cloned(),
+        Err(code) => return code,
+    };
+    if submit_url.is_none() && (submit_workers.is_some() || tenant.is_some()) {
+        eprintln!("pnp-check: --workers/--tenant only apply with --submit URL");
+        return ExitCode::from(2);
+    }
 
     let source = match std::fs::read_to_string(&path) {
         Ok(s) => s,
@@ -335,6 +364,8 @@ fn main() -> ExitCode {
             budget.map(String::as_str),
             visited_spec.map(String::as_str),
             threads,
+            submit_workers,
+            tenant.as_deref(),
         );
     }
 
@@ -471,86 +502,22 @@ fn main() -> ExitCode {
     }
 }
 
-/// Percent-encodes a query component (everything but unreserved chars).
-fn pct(s: &str) -> String {
-    let mut out = String::new();
-    for &b in s.as_bytes() {
-        match b {
-            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
-                out.push(b as char)
-            }
-            b => out.push_str(&format!("%{b:02X}")),
-        }
-    }
-    out
-}
-
-/// One `Connection: close` HTTP/1.1 exchange with the daemon. Returns
-/// `(status, body)`.
-fn http_request(
-    host: &str,
-    method: &str,
-    path: &str,
-    body: Option<&str>,
-) -> Result<(u16, String), String> {
-    use std::io::{Read, Write};
-    let mut stream =
-        std::net::TcpStream::connect(host).map_err(|e| format!("cannot connect to {host}: {e}"))?;
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let body = body.unwrap_or("");
-    let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\n\
-         Connection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream
-        .write_all(request.as_bytes())
-        .map_err(|e| format!("send to {host} failed: {e}"))?;
-    let mut response = String::new();
-    stream
-        .read_to_string(&mut response)
-        .map_err(|e| format!("read from {host} failed: {e}"))?;
-    let status = response
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("malformed response from {host}"))?;
-    let body = response
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    Ok((status, body))
-}
-
-/// Extracts `"key":"value"` from the daemon's flat JSON (the values this
-/// client reads — ids, verdicts, reasons — contain no escapes).
-fn json_str(json: &str, key: &str) -> Option<String> {
-    let needle = format!("\"{key}\":\"");
-    let start = json.find(&needle)? + needle.len();
-    json[start..].split('"').next().map(str::to_string)
-}
-
-/// Extracts `"key":N` from the daemon's flat JSON.
-fn json_num(json: &str, key: &str) -> Option<i64> {
-    let needle = format!("\"{key}\":");
-    let start = json.find(&needle)? + needle.len();
-    let rest = &json[start..];
-    let end = rest
-        .find(|c: char| !c.is_ascii_digit() && c != '-')
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-/// Submits the printed design to a `pnp-serve` daemon, waits for the
-/// verdict (cancelling the remote job on SIGINT/SIGTERM), and maps it to
-/// the local exit codes. Shed submissions (503) exit 3: the condition is
-/// transient and the client should retry after the hinted delay.
+/// Submits the printed design to a `pnp-serve` daemon (single-node or
+/// cluster coordinator) through the retrying [`SubmitClient`], waits for
+/// the verdict (cancelling the remote job on SIGINT/SIGTERM), and maps
+/// it to the local exit codes. Shed submissions (503) and network
+/// failures that outlast the client's retries exit 3: both conditions
+/// are transient and the caller should retry after the hinted delay —
+/// the generated idempotency key makes resubmission safe even when the
+/// first attempt's fate is unknown.
 fn submit_remote(
     url: &str,
     source: &str,
     budget: Option<&str>,
     visited: Option<&str>,
     threads: usize,
+    workers: Option<u64>,
+    tenant: Option<&str>,
 ) -> ExitCode {
     let Some(host) = url
         .strip_prefix("http://")
@@ -562,65 +529,56 @@ fn submit_remote(
     };
     let mut query = Vec::new();
     if let Some(b) = budget {
-        query.push(format!("budget={}", pct(b)));
+        query.push(format!("budget={}", percent_encode(b)));
     }
     if let Some(v) = visited {
-        query.push(format!("visited={}", pct(v)));
+        query.push(format!("visited={}", percent_encode(v)));
     }
     if threads > 1 {
         query.push(format!("threads={threads}"));
     }
-    let path = if query.is_empty() {
-        "/jobs".to_string()
-    } else {
-        format!("/jobs?{}", query.join("&"))
-    };
+    if let Some(n) = workers {
+        query.push(format!("workers={n}"));
+    }
+    if let Some(t) = tenant {
+        query.push(format!("tenant={}", percent_encode(t)));
+    }
 
-    let (status, body) = match http_request(host, "POST", &path, Some(source)) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("pnp-check: {e}");
+    let mut client = SubmitClient::new(RealTcp::default());
+    // Unique per invocation: retries of *this* submission deduplicate on
+    // the daemon, while a deliberate re-run submits a fresh job.
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos());
+    client.idem_key = Some(format!("check-{}-{nanos:x}", std::process::id()));
+
+    let id = match client.submit(host, source, &query.join("&")) {
+        Ok(outcome) => outcome.id,
+        Err(error @ ClientError::Retryable { .. }) => {
+            eprintln!("pnp-check: {error}");
+            return ExitCode::from(3);
+        }
+        Err(ClientError::Fatal(reason)) => {
+            eprintln!("pnp-check: {reason}");
             return ExitCode::from(2);
         }
-    };
-    if status == 503 {
-        eprintln!(
-            "pnp-check: server overloaded ({}); retry in {} ms",
-            json_str(&body, "reason").unwrap_or_else(|| "shed".into()),
-            json_num(&body, "retry_after_ms").unwrap_or(1000)
-        );
-        return ExitCode::from(3);
-    }
-    if status != 202 {
-        eprintln!("pnp-check: submit failed with HTTP {status}: {body}");
-        return ExitCode::from(2);
-    }
-    let Some(id) = json_str(&body, "id") else {
-        eprintln!("pnp-check: submit response carried no job id: {body}");
-        return ExitCode::from(2);
     };
     println!("submitted as {id} to {host}");
 
     let term = watch_termination();
     let mut cancel_sent = false;
+    let mut unreachable_polls = 0u32;
     loop {
         if term.is_raised() && !cancel_sent {
             println!(
                 "pnp-check: {} — cancelling remote job {id}",
                 term.signal_name().unwrap_or("signal")
             );
-            let _ = http_request(host, "POST", &format!("/jobs/{id}/cancel"), None);
+            let _ = client.cancel(host, &id);
             cancel_sent = true;
         }
-        let (status, body) = match http_request(host, "GET", &format!("/jobs/{id}/result"), None) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("pnp-check: {e}");
-                return ExitCode::from(2);
-            }
-        };
-        match status {
-            200 => {
+        match client.poll_result(host, &id) {
+            Ok(Some(body)) => {
                 println!("{body}");
                 let verdict = json_str(&body, "verdict").unwrap_or_else(|| "unknown".into());
                 let attempts = json_num(&body, "attempts").unwrap_or(0);
@@ -628,9 +586,23 @@ fn submit_remote(
                 let code = json_num(&body, "exit_code").unwrap_or(2);
                 return ExitCode::from(u8::try_from(code).unwrap_or(2));
             }
-            202 => std::thread::sleep(Duration::from_millis(100)),
-            _ => {
-                eprintln!("pnp-check: polling {id} failed with HTTP {status}: {body}");
+            Ok(None) => {
+                unreachable_polls = 0;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            // Polls are idempotent, so ride out a restarting daemon (a
+            // coordinator fail-over restores the job set from its state
+            // directory) — but give up once it stays dark for ~30 s.
+            Err(error @ ClientError::Retryable { .. }) => {
+                unreachable_polls += 1;
+                if unreachable_polls >= 30 {
+                    eprintln!("pnp-check: {error}; giving up — job {id} is still remote");
+                    return ExitCode::from(3);
+                }
+                std::thread::sleep(Duration::from_secs(1));
+            }
+            Err(ClientError::Fatal(reason)) => {
+                eprintln!("pnp-check: {reason}");
                 return ExitCode::from(2);
             }
         }

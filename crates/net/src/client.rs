@@ -1,0 +1,238 @@
+//! The job-submission client used by `pnp-check --submit`, generic over
+//! [`Transport`] so the SimNet tests can drive it through every network
+//! fault.
+//!
+//! The retry contract is built around [`NetError::request_delivered`]:
+//!
+//! * A **refused** connection provably never reached the daemon, so the
+//!   client retries it transparently — no duplicate is possible.
+//! * A **reset or timeout** after the request was sent is ambiguous: the
+//!   daemon may have admitted the job. Without an idempotency key the
+//!   client refuses to guess — it surfaces a clean *retryable* error and
+//!   never resubmits on its own. With [`SubmitClient::idem_key`] set the
+//!   daemon deduplicates, so the client retries the ambiguous cases too
+//!   and a duplicated delivery still admits exactly one job.
+//! * Status polls and cancels are idempotent and always retried.
+
+use std::time::Duration;
+
+use crate::{json_num, json_str, NetError, Transport, WireRequest};
+
+/// How a client call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Transient: the caller may retry the whole operation later.
+    Retryable {
+        /// What happened.
+        reason: String,
+        /// The daemon's `Retry-After` hint, when it sent one.
+        retry_after_ms: Option<u64>,
+    },
+    /// Permanent: retrying cannot help (bad request, unknown job, …).
+    Fatal(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Retryable {
+                reason,
+                retry_after_ms,
+            } => match retry_after_ms {
+                Some(ms) => write!(f, "{reason} (retry in {ms} ms)"),
+                None => write!(f, "{reason} (retryable)"),
+            },
+            ClientError::Fatal(reason) => f.write_str(reason),
+        }
+    }
+}
+
+/// A submitted job's identity and polling URLs.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// The daemon-assigned job id (`j-N`, or `g-N` from a coordinator).
+    pub id: String,
+}
+
+/// The client; `transport` decides whether exchanges hit real sockets
+/// ([`crate::RealTcp`]) or a [`crate::SimNet`].
+pub struct SubmitClient<T: Transport> {
+    transport: T,
+    /// Transparent retries for safe (undelivered or idempotent)
+    /// failures (default 3).
+    pub max_retries: u32,
+    /// Pause between transparent retries (default 100 ms; tests use 0).
+    pub retry_backoff: Duration,
+    /// Idempotency key sent as `idem=KEY` on submissions. When set, the
+    /// daemon deduplicates resubmissions, making ambiguous-failure
+    /// retries safe.
+    pub idem_key: Option<String>,
+}
+
+impl<T: Transport> SubmitClient<T> {
+    /// A client over `transport` with default retry policy.
+    pub fn new(transport: T) -> SubmitClient<T> {
+        SubmitClient {
+            transport,
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(100),
+            idem_key: None,
+        }
+    }
+
+    fn pause(&self) {
+        if !self.retry_backoff.is_zero() {
+            std::thread::sleep(self.retry_backoff);
+        }
+    }
+
+    /// Submits `source` to the daemon at `peer` with the given
+    /// (already-encoded) query string after `/jobs`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Retryable`] on shed (503) or an ambiguous network
+    /// failure; [`ClientError::Fatal`] on anything a retry cannot fix.
+    pub fn submit(
+        &self,
+        peer: &str,
+        source: &str,
+        query: &str,
+    ) -> Result<SubmitOutcome, ClientError> {
+        let mut target = String::from("/jobs");
+        let mut sep = '?';
+        if !query.is_empty() {
+            target.push(sep);
+            target.push_str(query);
+            sep = '&';
+        }
+        if let Some(key) = &self.idem_key {
+            target.push(sep);
+            target.push_str("idem=");
+            target.push_str(&crate::percent_encode(key));
+        }
+        let request = WireRequest::post(target, source.as_bytes().to_vec());
+        let mut last_error: Option<NetError> = None;
+        for attempt in 0..=self.max_retries {
+            if attempt > 0 {
+                self.pause();
+            }
+            match self.transport.request(peer, &request) {
+                Ok(response) => {
+                    return Self::parse_submit(
+                        &response.text(),
+                        response.status,
+                        response.retry_after,
+                    )
+                }
+                Err(error) => {
+                    let safe = !error.request_delivered() || self.idem_key.is_some();
+                    if !safe {
+                        // The daemon may have admitted the job; without an
+                        // idempotency key a resubmit could double-admit.
+                        return Err(ClientError::Retryable {
+                            reason: format!(
+                                "submit outcome unknown ({error}); the job may or may not \
+                                 have been admitted — check the daemon before resubmitting"
+                            ),
+                            retry_after_ms: None,
+                        });
+                    }
+                    last_error = Some(error);
+                }
+            }
+        }
+        Err(ClientError::Retryable {
+            reason: format!(
+                "submit failed after {} attempts: {}",
+                self.max_retries + 1,
+                last_error.map_or_else(|| "no error".into(), |e| e.to_string())
+            ),
+            retry_after_ms: None,
+        })
+    }
+
+    fn parse_submit(
+        body: &str,
+        status: u16,
+        retry_after: Option<u64>,
+    ) -> Result<SubmitOutcome, ClientError> {
+        match status {
+            202 => json_str(body, "id")
+                .map(|id| SubmitOutcome { id })
+                .ok_or_else(|| {
+                    ClientError::Fatal(format!("submit response carried no job id: {body}"))
+                }),
+            503 => Err(ClientError::Retryable {
+                reason: format!(
+                    "server overloaded ({})",
+                    json_str(body, "reason").unwrap_or_else(|| "shed".into())
+                ),
+                retry_after_ms: json_num(body, "retry_after_ms")
+                    .map(|ms| ms as u64)
+                    .or(retry_after.map(|s| s * 1000)),
+            }),
+            status => Err(ClientError::Fatal(format!(
+                "submit failed with HTTP {status}: {body}"
+            ))),
+        }
+    }
+
+    /// Polls the job's result once (with transparent retries for
+    /// transient network failures — polling is idempotent). `Ok(None)`
+    /// means still running.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Retryable`] when the daemon stayed unreachable;
+    /// [`ClientError::Fatal`] on an unknown job or malformed answer.
+    pub fn poll_result(&self, peer: &str, id: &str) -> Result<Option<String>, ClientError> {
+        let request = WireRequest::get(format!("/jobs/{id}/result"));
+        let mut last_error = String::new();
+        for attempt in 0..=self.max_retries {
+            if attempt > 0 {
+                self.pause();
+            }
+            match self.transport.request(peer, &request) {
+                Ok(response) => {
+                    return match response.status {
+                        200 => Ok(Some(response.text())),
+                        202 => Ok(None),
+                        status => Err(ClientError::Fatal(format!(
+                            "polling {id} failed with HTTP {status}: {}",
+                            response.text()
+                        ))),
+                    }
+                }
+                Err(error) => last_error = error.to_string(),
+            }
+        }
+        Err(ClientError::Retryable {
+            reason: format!("cannot poll {id}: {last_error}"),
+            retry_after_ms: None,
+        })
+    }
+
+    /// Requests cooperative cancellation (idempotent, retried).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Retryable`] when the daemon stayed unreachable.
+    pub fn cancel(&self, peer: &str, id: &str) -> Result<(), ClientError> {
+        let request = WireRequest::post(format!("/jobs/{id}/cancel"), Vec::new());
+        let mut last_error = String::new();
+        for attempt in 0..=self.max_retries {
+            if attempt > 0 {
+                self.pause();
+            }
+            match self.transport.request(peer, &request) {
+                Ok(_) => return Ok(()),
+                Err(error) => last_error = error.to_string(),
+            }
+        }
+        Err(ClientError::Retryable {
+            reason: format!("cannot cancel {id}: {last_error}"),
+            retry_after_ms: None,
+        })
+    }
+}

@@ -1,0 +1,256 @@
+//! `pnp-net`: the network analogue of the kernel's `Vfs` layer.
+//!
+//! Every remote exchange in the stack — the `pnp-check --submit` client,
+//! the cluster coordinator's dispatches, heartbeats, and result
+//! transfers — goes through the [`Transport`] trait instead of touching
+//! [`std::net`] directly. Two implementations exist:
+//!
+//! * [`RealTcp`]: one `Connection: close` HTTP/1.1 exchange per request
+//!   over a real socket, with connect/read/write timeouts.
+//! * [`SimNet`]: a seeded in-memory network that delivers requests to
+//!   registered in-process peers and injects faults — dropped requests,
+//!   dropped responses, duplicated deliveries, connection resets, and
+//!   asymmetric partitions — at every message boundary, deterministically
+//!   from the seed. The exact analogue of the kernel's `SimFs`.
+//!
+//! The separation mirrors the paper's component/connector split: the
+//! protocol state machines (client retries, coordinator fail-over) are
+//! components; the transport is an explicit connector whose failure
+//! modes are part of its contract and can be exhausted in tests.
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod real;
+pub mod sim;
+
+pub use client::{ClientError, SubmitClient, SubmitOutcome};
+pub use real::RealTcp;
+pub use sim::{NetPlan, NetStats, SimEndpoint, SimNet};
+
+/// One request: an HTTP-shaped `(method, target, body)` triple. `target`
+/// carries the path and query string exactly as it would appear on the
+/// request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRequest {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path plus query string, e.g. `/jobs?threads=2`.
+    pub target: String,
+    /// The body (empty when there is none).
+    pub body: Vec<u8>,
+}
+
+impl WireRequest {
+    /// A bodyless `GET`.
+    pub fn get(target: impl Into<String>) -> WireRequest {
+        WireRequest {
+            method: "GET".into(),
+            target: target.into(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `POST` with a body.
+    pub fn post(target: impl Into<String>, body: impl Into<Vec<u8>>) -> WireRequest {
+        WireRequest {
+            method: "POST".into(),
+            target: target.into(),
+            body: body.into(),
+        }
+    }
+
+    /// The first query parameter named `key`, percent-decoded.
+    pub fn query(&self, key: &str) -> Option<String> {
+        let (_, query) = self.target.split_once('?')?;
+        query
+            .split('&')
+            .filter_map(|kv| kv.split_once('=').or(Some((kv, ""))))
+            .find(|(k, _)| percent_decode(k) == key)
+            .map(|(_, v)| percent_decode(v))
+    }
+
+    /// The path without the query string.
+    pub fn path(&self) -> &str {
+        self.target
+            .split_once('?')
+            .map_or(self.target.as_str(), |(p, _)| p)
+    }
+}
+
+/// One response: status plus body. Headers beyond `Retry-After` carry no
+/// protocol meaning in this stack, so only that one survives transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireResponse {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The `Retry-After` header in seconds, when the peer sent one.
+    pub retry_after: Option<u64>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl WireResponse {
+    /// A response with a status and a body, no `Retry-After`.
+    pub fn new(status: u16, body: impl Into<Vec<u8>>) -> WireResponse {
+        WireResponse {
+            status,
+            retry_after: None,
+            body: body.into(),
+        }
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Why an exchange failed. Every variant is transient from the caller's
+/// point of view; [`NetError::request_delivered`] tells the caller
+/// whether the peer may have *processed* the request — the distinction
+/// that decides whether a non-idempotent retry risks a duplicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The connection could not be established: the request was never
+    /// sent, so retrying is always safe.
+    Refused(String),
+    /// The connection died after the request was sent (reset, EOF
+    /// mid-response): the peer may or may not have processed it.
+    Reset(String),
+    /// No response arrived in time: the peer may or may not have
+    /// processed the request.
+    Timeout(String),
+}
+
+impl NetError {
+    /// Whether the request may have reached the peer. `false` means a
+    /// retry cannot duplicate a side effect.
+    pub fn request_delivered(&self) -> bool {
+        !matches!(self, NetError::Refused(_))
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Refused(m) => write!(f, "connection refused: {m}"),
+            NetError::Reset(m) => write!(f, "connection reset: {m}"),
+            NetError::Timeout(m) => write!(f, "timed out: {m}"),
+        }
+    }
+}
+
+/// A request/response transport to named peers (`host:port` for
+/// [`RealTcp`], registered peer names for [`SimNet`]).
+pub trait Transport: Send + Sync {
+    /// Performs one exchange with `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetError`] when no response was obtained; see
+    /// [`NetError::request_delivered`] for retry safety.
+    fn request(&self, peer: &str, request: &WireRequest) -> Result<WireResponse, NetError>;
+}
+
+/// Percent-encodes a query component (everything but unreserved chars).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::new();
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Percent-decodes `%XX` and `+`; invalid escapes pass through.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = |b: Option<&u8>| (*b? as char).to_digit(16).map(|d| d as u8);
+                match (hex(bytes.get(i + 1)), hex(bytes.get(i + 2))) {
+                    (Some(hi), Some(lo)) => {
+                        out.push(hi * 16 + lo);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Extracts `"key":"value"` from flat JSON (the daemon's responses carry
+/// no escapes in the fields clients read).
+pub fn json_str(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let start = json.find(&needle)? + needle.len();
+    json[start..].split('"').next().map(str::to_string)
+}
+
+/// Extracts `"key":N` from flat JSON.
+pub fn json_num(json: &str, key: &str) -> Option<i64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '-')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_request_query_and_path() {
+        let req = WireRequest::get("/jobs?budget=states%3D100&tenant=a+b");
+        assert_eq!(req.path(), "/jobs");
+        assert_eq!(req.query("budget").as_deref(), Some("states=100"));
+        assert_eq!(req.query("tenant").as_deref(), Some("a b"));
+        assert_eq!(req.query("missing"), None);
+        assert_eq!(WireRequest::get("/health").path(), "/health");
+    }
+
+    #[test]
+    fn percent_roundtrip() {
+        let original = "states=100,time=50 ms&x";
+        assert_eq!(percent_decode(&percent_encode(original)), original);
+    }
+
+    #[test]
+    fn refused_is_the_only_safe_retry() {
+        assert!(!NetError::Refused("x".into()).request_delivered());
+        assert!(NetError::Reset("x".into()).request_delivered());
+        assert!(NetError::Timeout("x".into()).request_delivered());
+    }
+
+    #[test]
+    fn json_extractors() {
+        let json = r#"{"id":"j-3","retry_after_ms":1500,"neg":-2}"#;
+        assert_eq!(json_str(json, "id").as_deref(), Some("j-3"));
+        assert_eq!(json_num(json, "retry_after_ms"), Some(1500));
+        assert_eq!(json_num(json, "neg"), Some(-2));
+        assert_eq!(json_str(json, "absent"), None);
+    }
+}

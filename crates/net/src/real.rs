@@ -1,0 +1,174 @@
+//! [`RealTcp`]: one `Connection: close` HTTP/1.1 exchange per request
+//! over a real socket.
+//!
+//! The client half of the daemon's from-scratch HTTP layer: request
+//! line plus `Content-Length` body out, status line plus headers plus
+//! body in. Every socket operation is bounded — connect, read, and
+//! write timeouts — so a stalled or vanished peer becomes a clean
+//! [`NetError`] instead of a hung client.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::{NetError, Transport, WireRequest, WireResponse};
+
+/// The real-socket transport.
+#[derive(Debug, Clone)]
+pub struct RealTcp {
+    /// Connect timeout (default 3 s).
+    pub connect_timeout: Duration,
+    /// Read timeout for the whole response (default 10 s).
+    pub read_timeout: Duration,
+    /// Write timeout for the request (default 10 s).
+    pub write_timeout: Duration,
+}
+
+impl Default for RealTcp {
+    fn default() -> RealTcp {
+        RealTcp {
+            connect_timeout: Duration::from_secs(3),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+fn classify(context: &str, error: &std::io::Error) -> NetError {
+    match error.kind() {
+        ErrorKind::ConnectionRefused => NetError::Refused(format!("{context}: {error}")),
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => NetError::Timeout(context.to_string()),
+        ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::BrokenPipe
+        | ErrorKind::UnexpectedEof => NetError::Reset(format!("{context}: {error}")),
+        _ => NetError::Reset(format!("{context}: {error}")),
+    }
+}
+
+impl Transport for RealTcp {
+    fn request(&self, peer: &str, request: &WireRequest) -> Result<WireResponse, NetError> {
+        let addr: std::net::SocketAddr = peer
+            .parse()
+            .or_else(|_| {
+                use std::net::ToSocketAddrs;
+                peer.to_socket_addrs()
+                    .map_err(std::io::Error::other)?
+                    .next()
+                    .ok_or_else(|| std::io::Error::other("no address"))
+            })
+            .map_err(|e| NetError::Refused(format!("cannot resolve {peer}: {e}")))?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
+            .map_err(|e| classify(&format!("connect to {peer}"), &e))?;
+        let _ = stream.set_read_timeout(Some(self.read_timeout));
+        let _ = stream.set_write_timeout(Some(self.write_timeout));
+
+        let head = format!(
+            "{} {} HTTP/1.1\r\nHost: {peer}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            request.method,
+            request.target,
+            request.body.len()
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(&request.body))
+            .and_then(|()| stream.flush())
+            .map_err(|e| {
+                // The head may have partially reached the peer; a failed
+                // send is not provably undelivered, except on refusal.
+                classify(&format!("send to {peer}"), &e)
+            })?;
+
+        let mut raw = Vec::new();
+        stream
+            .read_to_end(&mut raw)
+            .map_err(|e| classify(&format!("read from {peer}"), &e))?;
+        parse_response(&raw)
+            .ok_or_else(|| NetError::Reset(format!("malformed response from {peer}")))
+    }
+}
+
+/// Parses a full `Connection: close` HTTP/1.1 response. Returns `None`
+/// on malformed or truncated input (a short `Content-Length` body counts
+/// as truncated: the peer died mid-response).
+fn parse_response(raw: &[u8]) -> Option<WireResponse> {
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = String::from_utf8_lossy(&raw[..head_end]);
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines.next()?.split(' ').nth(1)?.parse().ok()?;
+    let mut retry_after = None;
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
+            match name.trim().to_ascii_lowercase().as_str() {
+                "retry-after" => retry_after = value.parse().ok(),
+                "content-length" => content_length = value.parse().ok(),
+                _ => {}
+            }
+        }
+    }
+    let body = raw[head_end + 4..].to_vec();
+    if let Some(expected) = content_length {
+        if body.len() < expected {
+            return None;
+        }
+    }
+    Some(WireResponse {
+        status,
+        retry_after,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn parses_responses_and_detects_truncation() {
+        let ok = b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 2\r\n\
+                   Content-Length: 4\r\n\r\nbody";
+        let response = parse_response(ok).unwrap();
+        assert_eq!(response.status, 503);
+        assert_eq!(response.retry_after, Some(2));
+        assert_eq!(response.body, b"body");
+        // Body shorter than Content-Length: the peer died mid-response.
+        let torn = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nbo";
+        assert!(parse_response(torn).is_none());
+        assert!(parse_response(b"garbage").is_none());
+    }
+
+    #[test]
+    fn refused_when_no_listener() {
+        // Bind then drop to find a port with nothing listening.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let result = RealTcp::default().request(&addr.to_string(), &WireRequest::get("/health"));
+        assert!(matches!(result, Err(NetError::Refused(_))));
+    }
+
+    #[test]
+    fn exchanges_with_a_real_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let n = stream.read(&mut buf).unwrap();
+            assert!(String::from_utf8_lossy(&buf[..n]).starts_with("POST /jobs?x=1 HTTP/1.1"));
+            stream
+                .write_all(b"HTTP/1.1 202 Accepted\r\nContent-Length: 2\r\n\r\nok")
+                .unwrap();
+        });
+        let response = RealTcp::default()
+            .request(&addr, &WireRequest::post("/jobs?x=1", "body"))
+            .unwrap();
+        assert_eq!(response.status, 202);
+        assert_eq!(response.body, b"ok");
+        server.join().unwrap();
+    }
+}

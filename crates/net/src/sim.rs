@@ -1,0 +1,349 @@
+//! [`SimNet`]: a seeded, deterministic in-memory network.
+//!
+//! Peers register a handler under a name; an endpoint obtained from
+//! [`SimNet::endpoint`] implements [`Transport`] and delivers requests to
+//! those handlers with faults injected at every message boundary:
+//!
+//! * **dropped request** — the handler never runs, the caller times out;
+//! * **dropped response** — the handler *ran*, the caller times out (the
+//!   ambiguity that makes exactly-once hard);
+//! * **duplicated delivery** — the handler runs twice (a retransmitted
+//!   request whose first response was lost), the caller sees the second
+//!   response — the probe for idempotency bugs;
+//! * **connection reset** — the handler ran, the caller got partial
+//!   bytes;
+//! * **asymmetric partition** — a directed link is cut: requests (or
+//!   only responses) on that direction vanish while the reverse
+//!   direction still works;
+//! * **peer crash** — a downed peer refuses connections until restarted;
+//!   a peer that crashes *inside* its handler resets the caller.
+//!
+//! All probabilistic faults draw from one [`SplitMix64`] stream seeded
+//! at construction, in delivery order — the same seed and call sequence
+//! replay the same fault schedule, the exact analogue of the kernel's
+//! `SimFs`.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use pnp_kernel::SplitMix64;
+
+use crate::{NetError, Transport, WireRequest, WireResponse};
+
+/// A peer's request handler.
+pub type Handler = Arc<dyn Fn(&WireRequest) -> WireResponse + Send + Sync>;
+
+/// Per-mille probabilities for the seeded faults (0 = off).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetPlan {
+    /// Request vanishes before the peer sees it.
+    pub drop_request_per_mille: u16,
+    /// Response vanishes after the peer processed the request.
+    pub drop_response_per_mille: u16,
+    /// Request is delivered twice (handler runs twice).
+    pub duplicate_per_mille: u16,
+    /// Connection resets after the peer processed the request.
+    pub reset_per_mille: u16,
+}
+
+/// Monotonic delivery counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Exchanges attempted.
+    pub requests: u64,
+    /// Refused: peer unknown or down.
+    pub refused: u64,
+    /// Requests dropped before delivery.
+    pub dropped_requests: u64,
+    /// Responses dropped after the handler ran.
+    pub dropped_responses: u64,
+    /// Handlers invoked a second time for one request.
+    pub duplicated: u64,
+    /// Resets after the handler ran.
+    pub resets: u64,
+    /// Exchanges blackholed by a partition.
+    pub partitioned: u64,
+}
+
+struct Inner {
+    peers: HashMap<String, Handler>,
+    down: HashSet<String>,
+    /// Directed cut links `(from, to)`.
+    cuts: HashSet<(String, String)>,
+    plan: NetPlan,
+    rng: SplitMix64,
+    stats: NetStats,
+}
+
+/// The simulated network; shared behind an [`Arc`].
+pub struct SimNet {
+    inner: Mutex<Inner>,
+}
+
+impl SimNet {
+    /// An empty network with the given fault seed.
+    pub fn new(seed: u64) -> Arc<SimNet> {
+        Arc::new(SimNet {
+            inner: Mutex::new(Inner {
+                peers: HashMap::new(),
+                down: HashSet::new(),
+                cuts: HashSet::new(),
+                plan: NetPlan::default(),
+                rng: SplitMix64::seed_from_u64(seed ^ 0x7369_6d6e_6574_5f31),
+                stats: NetStats::default(),
+            }),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers (or replaces) a peer's handler and brings it up.
+    pub fn register(&self, name: &str, handler: Handler) {
+        let mut inner = self.lock();
+        inner.peers.insert(name.to_string(), handler);
+        inner.down.remove(name);
+    }
+
+    /// Crashes a peer: connections are refused until [`SimNet::restart`].
+    /// A crash taking effect while the peer is inside a handler resets
+    /// the in-flight caller instead of answering it.
+    pub fn crash(&self, name: &str) {
+        self.lock().down.insert(name.to_string());
+    }
+
+    /// Brings a crashed peer back (its handler stays registered).
+    pub fn restart(&self, name: &str) {
+        self.lock().down.remove(name);
+    }
+
+    /// Whether the peer is currently down.
+    pub fn is_down(&self, name: &str) -> bool {
+        self.lock().down.contains(name)
+    }
+
+    /// Cuts the directed link `from → to`. Requests from `from` to `to`
+    /// vanish; if only the reverse direction is cut, requests arrive but
+    /// their responses vanish (the asymmetric-partition case).
+    pub fn cut(&self, from: &str, to: &str) {
+        self.lock().cuts.insert((from.to_string(), to.to_string()));
+    }
+
+    /// Heals the directed link `from → to`.
+    pub fn heal(&self, from: &str, to: &str) {
+        self.lock().cuts.remove(&(from.to_string(), to.to_string()));
+    }
+
+    /// Heals every partition.
+    pub fn heal_all(&self) {
+        self.lock().cuts.clear();
+    }
+
+    /// Arms the probabilistic fault plan.
+    pub fn set_plan(&self, plan: NetPlan) {
+        self.lock().plan = plan;
+    }
+
+    /// A snapshot of the delivery counters.
+    pub fn stats(&self) -> NetStats {
+        self.lock().stats
+    }
+
+    /// An endpoint named `from`, for partition directionality.
+    pub fn endpoint(self: &Arc<SimNet>, from: &str) -> SimEndpoint {
+        SimEndpoint {
+            net: Arc::clone(self),
+            from: from.to_string(),
+        }
+    }
+
+    fn draw(inner: &mut Inner, per_mille: u16) -> bool {
+        per_mille > 0 && inner.rng.next_u64() % 1000 < u64::from(per_mille)
+    }
+}
+
+/// One named attachment point on a [`SimNet`]; implements [`Transport`].
+pub struct SimEndpoint {
+    net: Arc<SimNet>,
+    from: String,
+}
+
+impl Transport for SimEndpoint {
+    fn request(&self, peer: &str, request: &WireRequest) -> Result<WireResponse, NetError> {
+        // Phase 1 (under the lock): route the request and draw the
+        // request-side faults. The handler itself runs unlocked so peers
+        // may use the network from inside their handlers.
+        let (handler, duplicate) = {
+            let mut inner = self.net.lock();
+            inner.stats.requests += 1;
+            if inner.cuts.contains(&(self.from.clone(), peer.to_string())) {
+                inner.stats.partitioned += 1;
+                return Err(NetError::Timeout(format!(
+                    "partition {} -> {peer}",
+                    self.from
+                )));
+            }
+            let Some(handler) = inner.peers.get(peer).cloned() else {
+                inner.stats.refused += 1;
+                return Err(NetError::Refused(format!("no peer '{peer}'")));
+            };
+            if inner.down.contains(peer) {
+                inner.stats.refused += 1;
+                return Err(NetError::Refused(format!("peer '{peer}' is down")));
+            }
+            let drop_request = inner.plan.drop_request_per_mille;
+            if SimNet::draw(&mut inner, drop_request) {
+                inner.stats.dropped_requests += 1;
+                return Err(NetError::Timeout(format!("request to {peer} dropped")));
+            }
+            let duplicate_per_mille = inner.plan.duplicate_per_mille;
+            let duplicate = SimNet::draw(&mut inner, duplicate_per_mille);
+            (handler, duplicate)
+        };
+
+        let mut response = handler(request);
+        if duplicate {
+            self.net.lock().stats.duplicated += 1;
+            response = handler(request);
+        }
+
+        // Phase 2: response-side faults. The handler has already run, so
+        // every fault here leaves the caller unsure whether its request
+        // took effect.
+        let mut inner = self.net.lock();
+        if inner.down.contains(peer) {
+            inner.stats.resets += 1;
+            return Err(NetError::Reset(format!(
+                "peer '{peer}' crashed mid-request"
+            )));
+        }
+        if inner.cuts.contains(&(peer.to_string(), self.from.clone())) {
+            inner.stats.partitioned += 1;
+            return Err(NetError::Timeout(format!(
+                "partition {peer} -> {} (response lost)",
+                self.from
+            )));
+        }
+        let drop_response = inner.plan.drop_response_per_mille;
+        if SimNet::draw(&mut inner, drop_response) {
+            inner.stats.dropped_responses += 1;
+            return Err(NetError::Timeout(format!("response from {peer} dropped")));
+        }
+        let reset = inner.plan.reset_per_mille;
+        if SimNet::draw(&mut inner, reset) {
+            inner.stats.resets += 1;
+            return Err(NetError::Reset(format!("reset mid-response from {peer}")));
+        }
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn echo_peer(net: &Arc<SimNet>, name: &str) -> Arc<AtomicU64> {
+        let hits = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&hits);
+        net.register(
+            name,
+            Arc::new(move |req: &WireRequest| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                WireResponse::new(200, req.body.clone())
+            }),
+        );
+        hits
+    }
+
+    #[test]
+    fn clean_network_delivers() {
+        let net = SimNet::new(1);
+        let hits = echo_peer(&net, "w1");
+        let endpoint = net.endpoint("coord");
+        let response = endpoint
+            .request("w1", &WireRequest::post("/x", "hello"))
+            .unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, b"hello");
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert!(matches!(
+            endpoint.request("nobody", &WireRequest::get("/x")),
+            Err(NetError::Refused(_))
+        ));
+    }
+
+    #[test]
+    fn crash_and_restart() {
+        let net = SimNet::new(2);
+        let hits = echo_peer(&net, "w1");
+        let endpoint = net.endpoint("coord");
+        net.crash("w1");
+        assert!(matches!(
+            endpoint.request("w1", &WireRequest::get("/x")),
+            Err(NetError::Refused(_))
+        ));
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        net.restart("w1");
+        assert!(endpoint.request("w1", &WireRequest::get("/x")).is_ok());
+    }
+
+    #[test]
+    fn asymmetric_partition_runs_handler_but_loses_response() {
+        let net = SimNet::new(3);
+        let hits = echo_peer(&net, "w1");
+        let endpoint = net.endpoint("coord");
+        // Cut only the response direction: the peer processes the
+        // request, the caller cannot tell.
+        net.cut("w1", "coord");
+        let error = endpoint.request("w1", &WireRequest::get("/x")).unwrap_err();
+        assert!(matches!(error, NetError::Timeout(_)));
+        assert!(error.request_delivered());
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        // Cut the request direction: the handler never runs.
+        net.heal("w1", "coord");
+        net.cut("coord", "w1");
+        assert!(endpoint.request("w1", &WireRequest::get("/x")).is_err());
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        net.heal_all();
+        assert!(endpoint.request("w1", &WireRequest::get("/x")).is_ok());
+    }
+
+    #[test]
+    fn duplicate_delivery_runs_handler_twice() {
+        let net = SimNet::new(4);
+        let hits = echo_peer(&net, "w1");
+        net.set_plan(NetPlan {
+            duplicate_per_mille: 1000,
+            ..NetPlan::default()
+        });
+        let endpoint = net.endpoint("c");
+        assert!(endpoint.request("w1", &WireRequest::get("/x")).is_ok());
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        assert_eq!(net.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn seeded_fault_schedules_replay() {
+        let run = |seed: u64| -> Vec<bool> {
+            let net = SimNet::new(seed);
+            echo_peer(&net, "w1");
+            net.set_plan(NetPlan {
+                drop_request_per_mille: 300,
+                drop_response_per_mille: 200,
+                reset_per_mille: 100,
+                duplicate_per_mille: 150,
+            });
+            let endpoint = net.endpoint("c");
+            (0..64)
+                .map(|_| endpoint.request("w1", &WireRequest::get("/x")).is_ok())
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ");
+        let outcomes = run(7);
+        assert!(outcomes.iter().any(|ok| *ok));
+        assert!(outcomes.iter().any(|ok| !ok));
+    }
+}

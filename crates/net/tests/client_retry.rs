@@ -1,0 +1,217 @@
+//! `pnp-check --submit` client behaviour under transient network
+//! failure, driven through [`SimNet`]: refused connections retry
+//! transparently, ambiguous failures (reset mid-response) surface a
+//! clean retryable error without resubmitting, and idempotency keys
+//! make every ambiguous case safe — duplicated deliveries and blind
+//! retries still admit exactly one job.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use pnp_net::{ClientError, NetPlan, SimNet, SubmitClient, WireRequest, WireResponse};
+
+/// A miniature daemon: admits `POST /jobs`, deduplicating on the `idem`
+/// query key exactly like the real supervisor, and counts admissions.
+struct MiniDaemon {
+    admissions: AtomicU64,
+    by_idem: Mutex<std::collections::HashMap<String, u64>>,
+    next: AtomicU64,
+}
+
+impl MiniDaemon {
+    fn install(net: &Arc<SimNet>, name: &str) -> Arc<MiniDaemon> {
+        let daemon = Arc::new(MiniDaemon {
+            admissions: AtomicU64::new(0),
+            by_idem: Mutex::new(std::collections::HashMap::new()),
+            next: AtomicU64::new(1),
+        });
+        let handler = Arc::clone(&daemon);
+        net.register(
+            name,
+            Arc::new(move |request: &WireRequest| handler.handle(request)),
+        );
+        daemon
+    }
+
+    fn handle(&self, request: &WireRequest) -> WireResponse {
+        if request.method != "POST" || request.path() != "/jobs" {
+            return WireResponse::new(404, b"{\"error\":\"not_found\"}".to_vec());
+        }
+        let id = match request.query("idem") {
+            Some(key) => {
+                let mut index = self.by_idem.lock().unwrap();
+                *index.entry(key.to_string()).or_insert_with(|| {
+                    self.admissions.fetch_add(1, Ordering::SeqCst);
+                    self.next.fetch_add(1, Ordering::SeqCst)
+                })
+            }
+            None => {
+                self.admissions.fetch_add(1, Ordering::SeqCst);
+                self.next.fetch_add(1, Ordering::SeqCst)
+            }
+        };
+        WireResponse::new(202, format!("{{\"id\":\"j-{id}\"}}").into_bytes())
+    }
+
+    fn admitted(&self) -> u64 {
+        self.admissions.load(Ordering::SeqCst)
+    }
+}
+
+fn fast_client(net: &Arc<SimNet>) -> SubmitClient<pnp_net::SimEndpoint> {
+    let mut client = SubmitClient::new(net.endpoint("client"));
+    client.retry_backoff = Duration::ZERO;
+    client
+}
+
+/// A refused connection provably never reached the daemon: the client
+/// retries transparently and, once the daemon is back, succeeds without
+/// ever double-submitting.
+#[test]
+fn refused_connection_retries_transparently_and_never_double_submits() {
+    let net = SimNet::new(11);
+    let daemon = MiniDaemon::install(&net, "daemon");
+    let client = fast_client(&net);
+
+    net.crash("daemon");
+    let error = client
+        .submit("daemon", "system { }", "")
+        .expect_err("every attempt is refused");
+    match &error {
+        ClientError::Retryable { reason, .. } => {
+            assert!(
+                reason.contains("submit failed after 4 attempts"),
+                "refusals are retried to exhaustion: {reason}"
+            );
+        }
+        other => panic!("refusal must stay retryable, got {other:?}"),
+    }
+    assert_eq!(daemon.admitted(), 0, "nothing reached the daemon");
+
+    net.restart("daemon");
+    let outcome = client
+        .submit("daemon", "system { }", "")
+        .expect("daemon is back");
+    assert_eq!(outcome.id, "j-1");
+    assert_eq!(daemon.admitted(), 1);
+}
+
+/// A reset mid-response is ambiguous: the daemon may have admitted the
+/// job. Without an idempotency key the client must not guess — it
+/// surfaces a clean retryable error and does not resubmit on its own.
+#[test]
+fn ambiguous_reset_without_idem_surfaces_cleanly_without_resubmitting() {
+    let net = SimNet::new(12);
+    let daemon = MiniDaemon::install(&net, "daemon");
+    let client = fast_client(&net);
+    net.set_plan(NetPlan {
+        reset_per_mille: 1000,
+        ..NetPlan::default()
+    });
+
+    let error = client
+        .submit("daemon", "system { }", "")
+        .expect_err("the response is always reset");
+    match &error {
+        ClientError::Retryable { reason, .. } => {
+            assert!(
+                reason.contains("submit outcome unknown"),
+                "ambiguity is named, not hidden: {reason}"
+            );
+        }
+        other => panic!("ambiguous failures must stay retryable, got {other:?}"),
+    }
+    assert_eq!(
+        daemon.admitted(),
+        1,
+        "exactly one request went out: the client did not blind-retry"
+    );
+}
+
+/// With an idempotency key the daemon deduplicates, so the client *may*
+/// retry ambiguous failures — and however many land, exactly one job is
+/// admitted.
+#[test]
+fn idem_key_makes_ambiguous_retries_safe() {
+    let net = SimNet::new(13);
+    let daemon = MiniDaemon::install(&net, "daemon");
+    let mut client = fast_client(&net);
+    client.idem_key = Some("job-42".into());
+    net.set_plan(NetPlan {
+        reset_per_mille: 1000,
+        ..NetPlan::default()
+    });
+
+    // Every attempt reaches the daemon and every response is reset: the
+    // client exhausts its retries, but the daemon admits only one job.
+    let error = client
+        .submit("daemon", "system { }", "")
+        .expect_err("all responses reset");
+    assert!(matches!(error, ClientError::Retryable { .. }));
+    assert_eq!(daemon.admitted(), 1, "dedup held across 4 deliveries");
+
+    // The caller retries the whole operation once the network heals and
+    // gets the originally-admitted job back.
+    net.set_plan(NetPlan::default());
+    let outcome = client.submit("daemon", "system { }", "").expect("heals");
+    assert_eq!(outcome.id, "j-1");
+    assert_eq!(daemon.admitted(), 1, "still exactly one admission");
+}
+
+/// A duplicated delivery (retransmit whose first response was lost) runs
+/// the daemon handler twice for one client call; the idempotency key
+/// keeps the admission count at one.
+#[test]
+fn duplicated_delivery_with_idem_admits_exactly_once() {
+    let net = SimNet::new(14);
+    let daemon = MiniDaemon::install(&net, "daemon");
+    let mut client = fast_client(&net);
+    client.idem_key = Some("dup-1".into());
+    net.set_plan(NetPlan {
+        duplicate_per_mille: 1000,
+        ..NetPlan::default()
+    });
+
+    let outcome = client
+        .submit("daemon", "system { }", "")
+        .expect("delivered");
+    assert_eq!(outcome.id, "j-1");
+    assert_eq!(
+        net.stats().duplicated,
+        1,
+        "the delivery really was duplicated"
+    );
+    assert_eq!(daemon.admitted(), 1, "second delivery deduplicated");
+}
+
+/// Result polling is idempotent and therefore always retried; a flaky
+/// link that eventually delivers yields the result without error.
+#[test]
+fn poll_is_retried_through_dropped_requests() {
+    let net = SimNet::new(15);
+    let hits = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&hits);
+    net.register(
+        "daemon",
+        Arc::new(move |_request: &WireRequest| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            WireResponse::new(200, b"{\"verdict\":\"passed\"}".to_vec())
+        }),
+    );
+    let client = fast_client(&net);
+    net.set_plan(NetPlan {
+        drop_request_per_mille: 500,
+        ..NetPlan::default()
+    });
+
+    let mut delivered = 0;
+    for _ in 0..16 {
+        if let Ok(Some(body)) = client.poll_result("daemon", "j-1") {
+            assert!(body.contains("passed"));
+            delivered += 1;
+        }
+    }
+    assert!(delivered > 0, "retries punch through a 50% drop rate");
+    assert!(hits.load(Ordering::SeqCst) >= delivered);
+}

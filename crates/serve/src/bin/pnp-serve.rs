@@ -6,11 +6,22 @@
 //!           [--deadline-ms N] [--max-attempts N] [--backoff-base-ms N]
 //!           [--backoff-cap-ms N] [--wedge-grace-ms N]
 //!           [--checkpoint-every N] [--budget SPEC] [--seed N]
+//!           [--cluster coordinator|worker] [--coordinator ADDR]
+//!           [--worker-name NAME] [--self-addr ADDR]
 //! ```
+//!
+//! Without `--cluster` the daemon is a plain single-node service. With
+//! `--cluster coordinator` it fronts a worker fleet: the job API shards
+//! submissions across registered workers with fail-over and exactly-once
+//! completion. With `--cluster worker` it registers with `--coordinator`
+//! under `--worker-name`, announces `--self-addr` as its dial-back
+//! address, executes dispatched jobs on the local supervisor, and pushes
+//! completions back.
 //!
 //! SIGINT or SIGTERM triggers a graceful drain: admission stops,
 //! in-flight attempts are cancelled (flushing final checkpoints), and
-//! the queue is persisted to the state directory for the next start.
+//! the queue (plus, on a coordinator, the cluster job set) is persisted
+//! to the state directory for the next start.
 
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -19,8 +30,18 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pnp_kernel::watch_termination;
+use pnp_net::RealTcp;
+use pnp_serve::cluster::{wall_ms, ClusterConfig, Coordinator, WorkerGateway};
 use pnp_serve::job::parse_budget_spec;
 use pnp_serve::supervisor::{ServeConfig, Supervisor};
+use pnp_serve::Node;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Single,
+    Coordinator,
+    Worker,
+}
 
 fn usage() -> ! {
     eprintln!(
@@ -28,7 +49,8 @@ fn usage() -> ! {
          [--queue-cap N] [--max-queued-bytes N] [--retry-after-ms N] \
          [--deadline-ms N] [--max-attempts N] [--backoff-base-ms N] \
          [--backoff-cap-ms N] [--wedge-grace-ms N] [--checkpoint-every N] \
-         [--budget SPEC] [--seed N]"
+         [--budget SPEC] [--seed N] [--cluster coordinator|worker] \
+         [--coordinator ADDR] [--worker-name NAME] [--self-addr ADDR]"
     );
     std::process::exit(2);
 }
@@ -36,6 +58,10 @@ fn usage() -> ! {
 fn main() -> ExitCode {
     let mut listen = String::from("127.0.0.1:7878");
     let mut config = ServeConfig::default();
+    let mut role = Role::Single;
+    let mut coordinator_addr: Option<String> = None;
+    let mut worker_name: Option<String> = None;
+    let mut self_addr: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -112,6 +138,19 @@ fn main() -> ExitCode {
                     })
             }
             "--seed" => config.seed = parse_num("--seed", value(&mut args, "--seed")),
+            "--cluster" => {
+                role = match value(&mut args, "--cluster").as_str() {
+                    "coordinator" => Role::Coordinator,
+                    "worker" => Role::Worker,
+                    other => {
+                        eprintln!("pnp-serve: --cluster '{other}': want coordinator or worker");
+                        usage();
+                    }
+                }
+            }
+            "--coordinator" => coordinator_addr = Some(value(&mut args, "--coordinator")),
+            "--worker-name" => worker_name = Some(value(&mut args, "--worker-name")),
+            "--self-addr" => self_addr = Some(value(&mut args, "--self-addr")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("pnp-serve: unknown flag '{other}'");
@@ -120,7 +159,15 @@ fn main() -> ExitCode {
         }
     }
 
+    if role == Role::Worker && (coordinator_addr.is_none() || worker_name.is_none()) {
+        eprintln!("pnp-serve: --cluster worker needs --coordinator ADDR and --worker-name NAME");
+        usage();
+    }
+
     let term = watch_termination();
+    let state_dir = config.state_dir.clone();
+    let default_search = config.default_search;
+    let queue_policy = config.queue;
     let supervisor = match Supervisor::start(config) {
         Ok(supervisor) => Arc::new(supervisor),
         Err(error) => {
@@ -142,9 +189,78 @@ fn main() -> ExitCode {
     if restored > 0 {
         println!("pnp-serve: restored {restored} queued job(s)");
     }
-    println!("pnp-serve: listening on http://{addr}");
 
-    match pnp_serve::serve(listener, supervisor, term) {
+    let node = match role {
+        Role::Single => Node::single(supervisor),
+        Role::Coordinator => {
+            let coordinator = Arc::new(Coordinator::new(
+                ClusterConfig {
+                    state_dir,
+                    queue: queue_policy,
+                    default_search,
+                    ..ClusterConfig::default()
+                },
+                Arc::new(RealTcp::default()),
+            ));
+            let restored = coordinator.stats().restored;
+            if restored > 0 {
+                println!("pnp-serve: restored {restored} cluster job(s)");
+            }
+            // The coordinator advances on wall time: failure detection,
+            // deadline polls, and dispatch all happen on this cadence.
+            {
+                let coordinator = Arc::clone(&coordinator);
+                std::thread::spawn(move || {
+                    while !term.is_raised() {
+                        coordinator.tick(wall_ms());
+                        std::thread::sleep(Duration::from_millis(250));
+                    }
+                });
+            }
+            println!("pnp-serve: coordinating a cluster");
+            Node {
+                supervisor,
+                coordinator: Some(coordinator),
+                gateway: None,
+            }
+        }
+        Role::Worker => {
+            let coordinator_addr = coordinator_addr.expect("checked above");
+            let name = worker_name.expect("checked above");
+            let self_peer = self_addr.unwrap_or_else(|| addr.clone());
+            let gateway = Arc::new(WorkerGateway::new(&name, Arc::clone(&supervisor)));
+            // The worker loop: register (and re-register whenever the
+            // coordinator forgets us), heartbeat, push completions.
+            {
+                let gateway = Arc::clone(&gateway);
+                let coordinator_addr = coordinator_addr.clone();
+                std::thread::spawn(move || {
+                    let transport = RealTcp::default();
+                    let mut registered = false;
+                    while !term.is_raised() {
+                        if !registered {
+                            registered = gateway
+                                .register(&transport, &coordinator_addr, &self_peer)
+                                .is_ok();
+                        } else if let Ok(known) = gateway.heartbeat(&transport, &coordinator_addr) {
+                            registered = known;
+                        }
+                        let _ = gateway.push_completions(&transport, &coordinator_addr);
+                        std::thread::sleep(Duration::from_millis(500));
+                    }
+                });
+            }
+            println!("pnp-serve: worker '{name}' reporting to {coordinator_addr}");
+            Node {
+                supervisor,
+                coordinator: None,
+                gateway: Some(gateway),
+            }
+        }
+    };
+
+    println!("pnp-serve: listening on http://{addr}");
+    match pnp_serve::serve_node(listener, Arc::new(node), term) {
         Ok(()) => {
             println!(
                 "pnp-serve: drained on {}",

@@ -280,10 +280,7 @@ fn sample_queues() -> (Vec<PersistedJob>, Vec<PersistedJob>) {
     let job = |id: u64, source: &str| PersistedJob {
         id,
         attempts: 0,
-        request: JobRequest {
-            source: source.to_string(),
-            config: JobConfig::default(),
-        },
+        request: JobRequest::new(source.to_string(), JobConfig::default()),
     };
     let old = vec![job(1, "system { global x = 0; }"), job(2, CHAOS_SPEC)];
     let new = vec![

@@ -18,7 +18,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-/// Read-side limits for one request.
+/// Per-connection limits for one request/response exchange.
 #[derive(Debug, Clone, Copy)]
 pub struct Limits {
     /// Maximum bytes of request line + headers (default 16 KiB).
@@ -27,6 +27,16 @@ pub struct Limits {
     pub max_body_bytes: usize,
     /// Per-request read timeout (default 5 s).
     pub read_timeout: Duration,
+    /// Per-response write timeout (default 5 s). Without it a reader
+    /// that stalls after sending its request — a full TCP window and a
+    /// sleeping client — would wedge the connection slot forever, since
+    /// response writes would block unboundedly.
+    pub write_timeout: Duration,
+    /// Concurrent connection cap; connections past it are answered
+    /// `503` immediately (default 32). Handler threads are short-lived —
+    /// verification runs on the supervisor's workers, never on a
+    /// connection thread.
+    pub max_connections: usize,
 }
 
 impl Default for Limits {
@@ -35,6 +45,8 @@ impl Default for Limits {
             max_head_bytes: 16 << 10,
             max_body_bytes: 4 << 20,
             read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_connections: 32,
         }
     }
 }
@@ -168,6 +180,11 @@ pub fn percent_encode(s: &str) -> String {
 pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, HttpError> {
     stream
         .set_read_timeout(Some(limits.read_timeout))
+        .map_err(HttpError::Io)?;
+    // Arm the write side now too: every later respond() on this stream
+    // inherits the timeout, so a stalled reader cannot hold the slot.
+    stream
+        .set_write_timeout(Some(limits.write_timeout))
         .map_err(HttpError::Io)?;
 
     // Read until the blank line ending the head, without overshooting

@@ -175,6 +175,56 @@ pub fn parse_visited_spec(spec: &str) -> Result<VisitedKind, String> {
     }
 }
 
+/// Resolves the standard submission parameters (`budget`, `threads`,
+/// `visited`, `deadline_ms`, `max_attempts`, `chaos`) against `base`,
+/// reading each through `lookup` — shared by the HTTP layer and the
+/// cluster coordinator, which see different request types.
+///
+/// # Errors
+///
+/// Returns the first parameter error, verbatim, for a `400` answer.
+pub fn resolve_job_config(
+    lookup: &dyn Fn(&str) -> Option<String>,
+    base: SearchConfig,
+) -> Result<JobConfig, String> {
+    let mut config = base;
+    if let Some(spec) = lookup("budget") {
+        config = parse_budget_spec(&spec, config)?;
+    }
+    if let Some(threads) = lookup("threads") {
+        config.threads = threads
+            .parse::<usize>()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("threads '{threads}': want a positive integer"))?;
+    }
+    if let Some(spec) = lookup("visited") {
+        config.visited = parse_visited_spec(&spec)?;
+    }
+    let deadline = lookup("deadline_ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map(Duration::from_millis)
+                .map_err(|_| format!("deadline_ms '{v}': want milliseconds"))
+        })
+        .transpose()?;
+    let max_attempts = lookup("max_attempts")
+        .map(|v| {
+            v.parse::<u32>()
+                .ok()
+                .filter(|n| *n >= 1)
+                .ok_or_else(|| format!("max_attempts '{v}': want a positive integer"))
+        })
+        .transpose()?;
+    let chaos = lookup("chaos").map(|s| Chaos::parse(&s)).transpose()?;
+    Ok(JobConfig {
+        config,
+        deadline,
+        max_attempts,
+        chaos,
+    })
+}
+
 /// What a client submitted: the specification source plus options.
 #[derive(Debug, Clone)]
 pub struct JobRequest {
@@ -182,6 +232,26 @@ pub struct JobRequest {
     pub source: String,
     /// Per-job options.
     pub config: JobConfig,
+    /// Client idempotency key (`idem=KEY`): resubmissions with the same
+    /// key return the original job instead of admitting a duplicate.
+    pub idem: Option<String>,
+    /// An encoded checkpoint generation shipped by the cluster
+    /// coordinator when a job migrates to a worker that has no local
+    /// checkpoint. Consumed by the first attempt's resume path; not
+    /// persisted by the queue codec (a restarted daemon re-fetches it).
+    pub seed_snapshot: Option<Vec<u8>>,
+}
+
+impl JobRequest {
+    /// A plain request with no idempotency key or seed snapshot.
+    pub fn new(source: String, config: JobConfig) -> JobRequest {
+        JobRequest {
+            source,
+            config,
+            idem: None,
+            seed_snapshot: None,
+        }
+    }
 }
 
 /// Why the supervisor cancelled an attempt's token. Decides what the

@@ -25,11 +25,15 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod cluster;
 pub mod http;
 pub mod job;
 pub mod json;
+pub mod membership;
+pub mod netchaos;
 pub mod queue;
 pub mod supervisor;
+pub mod transport;
 
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -38,19 +42,42 @@ use std::time::Duration;
 
 use pnp_kernel::TerminationFlag;
 
+use cluster::{Coordinator, WorkerGateway};
 use http::{read_request, respond_json, Limits, Request};
-use job::{parse_budget_spec, parse_visited_spec, Chaos, JobConfig, JobId, JobRequest};
+use job::{JobConfig, JobId, JobRequest};
 use json::Obj;
 use supervisor::Supervisor;
 
-/// Concurrent connection cap; connections past it are answered `503`
-/// immediately (the handler threads are short-lived — verification runs
-/// on the supervisor's workers, never on a connection thread).
-const MAX_CONNECTIONS: usize = 32;
+/// One daemon process's roles: every node runs the single-node job API
+/// over its supervisor; cluster nodes additionally mount the
+/// `/cluster/*` endpoints for their coordinator or worker side.
+pub struct Node {
+    /// The local job supervisor (always present — a coordinator uses it
+    /// only for health, a worker for everything).
+    pub supervisor: Arc<Supervisor>,
+    /// Present when this node coordinates a cluster.
+    pub coordinator: Option<Arc<Coordinator>>,
+    /// Present when this node serves cluster work dispatched by a
+    /// coordinator.
+    pub gateway: Option<Arc<WorkerGateway>>,
+}
+
+impl Node {
+    /// A plain single-node daemon.
+    pub fn single(supervisor: Arc<Supervisor>) -> Node {
+        Node {
+            supervisor,
+            coordinator: None,
+            gateway: None,
+        }
+    }
+}
 
 /// Accepts connections until `term` is raised, then drains the
 /// supervisor and returns. Each request is handled on a short-lived
-/// thread; request reading is bounded by [`Limits`].
+/// thread; request reading is bounded by [`Limits`], whose
+/// `max_connections` also caps concurrent handler threads (excess
+/// connections are shed with a pressure-derived `Retry-After`).
 ///
 /// # Errors
 ///
@@ -60,37 +87,60 @@ pub fn serve(
     supervisor: Arc<Supervisor>,
     term: TerminationFlag,
 ) -> std::io::Result<()> {
+    serve_node(listener, Arc::new(Node::single(supervisor)), term)
+}
+
+/// [`serve`] for a node that may also carry cluster roles.
+///
+/// # Errors
+///
+/// Returns the error when the listener cannot be polled.
+pub fn serve_node(
+    listener: TcpListener,
+    node: Arc<Node>,
+    term: TerminationFlag,
+) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
+    let limits = Limits::default();
     let live = Arc::new(AtomicUsize::new(0));
     loop {
         if term.is_raised() {
-            supervisor.drain();
+            node.supervisor.drain();
+            if let Some(coordinator) = &node.coordinator {
+                coordinator.drain();
+            }
             return Ok(());
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let _ = stream.set_nonblocking(false);
-                if live.load(Ordering::Relaxed) >= MAX_CONNECTIONS {
+                if live.load(Ordering::Relaxed) >= limits.max_connections {
+                    // All handler slots are busy, which correlates with
+                    // queue pressure — reuse the queue's scaled hint
+                    // rather than a flat "1" so a hot daemon spreads its
+                    // retry storm.
+                    let retry_after = node.supervisor.retry_after_hint();
                     let mut stream = stream;
                     let _ = respond_json(
                         &mut stream,
                         503,
                         "Service Unavailable",
-                        &[("Retry-After", "1".to_string())],
+                        &[("Retry-After", retry_after.as_secs().max(1).to_string())],
                         &Obj::new()
                             .str("error", "overloaded")
                             .str("reason", "connections")
                             .bool("retryable", true)
+                            .num("retry_after_ms", retry_after.as_millis() as u64)
                             .build(),
                     );
                     continue;
                 }
                 live.fetch_add(1, Ordering::Relaxed);
                 let live = Arc::clone(&live);
-                let supervisor = Arc::clone(&supervisor);
+                let node = Arc::clone(&node);
                 std::thread::spawn(move || {
                     let mut stream = stream;
-                    handle_connection(&mut stream, &supervisor);
+                    handle_connection(&mut stream, &node);
                     live.fetch_sub(1, Ordering::Relaxed);
                 });
             }
@@ -102,9 +152,9 @@ pub fn serve(
     }
 }
 
-fn handle_connection(stream: &mut TcpStream, supervisor: &Supervisor) {
+fn handle_connection(stream: &mut TcpStream, node: &Node) {
     match read_request(stream, &Limits::default()) {
-        Ok(request) => route(stream, supervisor, &request),
+        Ok(request) => route(stream, node, &request),
         Err(error) => {
             if let Some((status, reason, message)) = error.status() {
                 let _ = respond_json(
@@ -119,8 +169,17 @@ fn handle_connection(stream: &mut TcpStream, supervisor: &Supervisor) {
     }
 }
 
-fn route(stream: &mut TcpStream, supervisor: &Supervisor, request: &Request) {
+fn route(stream: &mut TcpStream, node: &Node, request: &Request) {
+    let supervisor = &*node.supervisor;
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    if segments.first() == Some(&"cluster") {
+        return cluster_route(stream, node, request);
+    }
+    if let Some(coordinator) = &node.coordinator {
+        // A coordinator fronts the whole cluster: the plain job API
+        // shards across workers instead of touching the local queue.
+        return coordinator_route(stream, coordinator, request);
+    }
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["health"]) => {
             let _ = respond_json(stream, 200, "OK", &[], &supervisor.health_json());
@@ -164,6 +223,60 @@ fn route(stream: &mut TcpStream, supervisor: &Supervisor, request: &Request) {
     }
 }
 
+/// Converts an HTTP-layer request into the transport-agnostic wire form
+/// the cluster handlers (which also run over [`pnp_net::SimNet`]) take.
+fn to_wire(request: &Request) -> pnp_net::WireRequest {
+    let mut target = request.path.clone();
+    let mut sep = '?';
+    for (key, value) in &request.query {
+        target.push(sep);
+        sep = '&';
+        target.push_str(&pnp_net::percent_encode(key));
+        target.push('=');
+        target.push_str(&pnp_net::percent_encode(value));
+    }
+    pnp_net::WireRequest {
+        method: request.method.clone(),
+        target,
+        body: request.body.clone(),
+    }
+}
+
+fn respond_wire(stream: &mut TcpStream, response: &pnp_net::WireResponse) {
+    let reason = match response.status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        409 => "Conflict",
+        503 => "Service Unavailable",
+        _ => "Status",
+    };
+    let headers: Vec<(&str, String)> = response
+        .retry_after
+        .map(|secs| ("Retry-After", secs.to_string()))
+        .into_iter()
+        .collect();
+    let _ = respond_json(stream, response.status, reason, &headers, &response.text());
+}
+
+fn cluster_route(stream: &mut TcpStream, node: &Node, request: &Request) {
+    let wire = to_wire(request);
+    let response = if let Some(coordinator) = &node.coordinator {
+        coordinator.handle(&wire, cluster::wall_ms())
+    } else if let Some(gateway) = &node.gateway {
+        gateway.handle(&wire)
+    } else {
+        return not_found(stream);
+    };
+    respond_wire(stream, &response);
+}
+
+fn coordinator_route(stream: &mut TcpStream, coordinator: &Coordinator, request: &Request) {
+    let response = coordinator.handle(&to_wire(request), cluster::wall_ms());
+    respond_wire(stream, &response);
+}
+
 fn not_found(stream: &mut TcpStream) {
     let _ = respond_json(
         stream,
@@ -184,44 +297,7 @@ pub fn parse_job_config(
     request: &Request,
     base: pnp_kernel::SearchConfig,
 ) -> Result<JobConfig, String> {
-    let mut config = base;
-    if let Some(spec) = request.query("budget") {
-        config = parse_budget_spec(spec, config)?;
-    }
-    if let Some(threads) = request.query("threads") {
-        config.threads = threads
-            .parse::<usize>()
-            .ok()
-            .filter(|n| *n >= 1)
-            .ok_or_else(|| format!("threads '{threads}': want a positive integer"))?;
-    }
-    if let Some(spec) = request.query("visited") {
-        config.visited = parse_visited_spec(spec)?;
-    }
-    let deadline = request
-        .query("deadline_ms")
-        .map(|v| {
-            v.parse::<u64>()
-                .map(Duration::from_millis)
-                .map_err(|_| format!("deadline_ms '{v}': want milliseconds"))
-        })
-        .transpose()?;
-    let max_attempts = request
-        .query("max_attempts")
-        .map(|v| {
-            v.parse::<u32>()
-                .ok()
-                .filter(|n| *n >= 1)
-                .ok_or_else(|| format!("max_attempts '{v}': want a positive integer"))
-        })
-        .transpose()?;
-    let chaos = request.query("chaos").map(Chaos::parse).transpose()?;
-    Ok(JobConfig {
-        config,
-        deadline,
-        max_attempts,
-        chaos,
-    })
+    job::resolve_job_config(&|key| request.query(key).map(str::to_string), base)
 }
 
 fn submit(stream: &mut TcpStream, supervisor: &Supervisor, request: &Request) {
@@ -243,7 +319,9 @@ fn submit(stream: &mut TcpStream, supervisor: &Supervisor, request: &Request) {
         Ok(config) => config,
         Err(message) => return bad_request(stream, &message),
     };
-    match supervisor.submit(JobRequest { source, config }) {
+    let mut job_request = JobRequest::new(source, config);
+    job_request.idem = request.query("idem").map(str::to_string);
+    match supervisor.submit(job_request) {
         Ok(id) => {
             let _ = respond_json(
                 stream,

@@ -1,0 +1,268 @@
+//! Cluster membership: the coordinator's worker table, heartbeat-driven
+//! failure detection, and hash-shard job placement.
+//!
+//! Workers register themselves and heartbeat on an interval; the
+//! failure detector demotes a worker to *suspect* after one missed
+//! interval window and to *dead* after a longer silence, and the
+//! coordinator can demote a worker immediately when a dispatched
+//! request times out past the job's deadline (request-deadline
+//! detection — faster than waiting out heartbeats when the network
+//! still looks healthy). All timestamps are caller-supplied
+//! milliseconds, so the deterministic chaos harness drives the detector
+//! on virtual time.
+
+use pnp_kernel::fnv64;
+
+/// A worker's health as seen by the failure detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Heartbeating within the window; eligible for placement.
+    Alive,
+    /// Missed one heartbeat window; still owns its jobs, but placement
+    /// avoids it.
+    Suspect,
+    /// Silent past the dead window (or demoted by a request deadline);
+    /// its jobs migrate.
+    Dead,
+}
+
+impl WorkerState {
+    /// The stable wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WorkerState::Alive => "alive",
+            WorkerState::Suspect => "suspect",
+            WorkerState::Dead => "dead",
+        }
+    }
+}
+
+/// One registered worker.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    /// The worker's self-chosen stable name (`w1`, …).
+    pub name: String,
+    /// Its transport address (host:port, or a SimNet peer name).
+    pub peer: String,
+    /// Detector verdict as of the last [`Membership::tick`].
+    pub state: WorkerState,
+    /// When the last heartbeat (or registration) arrived, in
+    /// caller-clock milliseconds.
+    pub last_seen_ms: u64,
+    /// Registrations observed for this name; bumps when a crashed
+    /// worker comes back so the coordinator can tell a restart from a
+    /// flaky link.
+    pub incarnation: u64,
+}
+
+/// Failure-detector windows, in the caller's clock.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// Expected heartbeat interval (default 1000 ms).
+    pub heartbeat_ms: u64,
+    /// Silence after which a worker turns suspect (default 2500 ms).
+    pub suspect_after_ms: u64,
+    /// Silence after which a worker is declared dead and its jobs
+    /// migrate (default 5000 ms).
+    pub dead_after_ms: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> DetectorConfig {
+        DetectorConfig {
+            heartbeat_ms: 1000,
+            suspect_after_ms: 2500,
+            dead_after_ms: 5000,
+        }
+    }
+}
+
+/// The worker table. Owned by the coordinator, locked by it.
+#[derive(Debug, Default)]
+pub struct Membership {
+    /// Detector windows.
+    pub config: DetectorConfig,
+    workers: Vec<Worker>,
+}
+
+impl Membership {
+    /// An empty table with the given detector windows.
+    pub fn new(config: DetectorConfig) -> Membership {
+        Membership {
+            config,
+            workers: Vec::new(),
+        }
+    }
+
+    /// Registers (or re-registers) a worker. Re-registration revives a
+    /// dead worker with a bumped incarnation — the signal that any
+    /// state it held before the crash is gone unless checkpointed.
+    /// Returns the worker's current incarnation.
+    pub fn register(&mut self, name: &str, peer: &str, now_ms: u64) -> u64 {
+        if let Some(worker) = self.workers.iter_mut().find(|w| w.name == name) {
+            worker.peer = peer.to_string();
+            worker.last_seen_ms = now_ms;
+            if worker.state == WorkerState::Dead {
+                worker.incarnation += 1;
+            }
+            worker.state = WorkerState::Alive;
+            return worker.incarnation;
+        }
+        self.workers.push(Worker {
+            name: name.to_string(),
+            peer: peer.to_string(),
+            state: WorkerState::Alive,
+            last_seen_ms: now_ms,
+            incarnation: 1,
+        });
+        self.workers.sort_by(|a, b| a.name.cmp(&b.name));
+        1
+    }
+
+    /// Records a heartbeat. Returns `false` for an unregistered name
+    /// (the worker should re-register).
+    pub fn heartbeat(&mut self, name: &str, now_ms: u64) -> bool {
+        match self.workers.iter_mut().find(|w| w.name == name) {
+            Some(worker) => {
+                worker.last_seen_ms = now_ms;
+                if worker.state == WorkerState::Suspect {
+                    worker.state = WorkerState::Alive;
+                }
+                // A dead worker does NOT revive on a heartbeat: its
+                // jobs already migrated, so it must re-register (and
+                // get a fresh incarnation) before taking new work.
+                worker.state != WorkerState::Dead
+            }
+            None => false,
+        }
+    }
+
+    /// Runs the detector at `now_ms`; returns the names that *became*
+    /// dead on this tick (their jobs must migrate).
+    pub fn tick(&mut self, now_ms: u64) -> Vec<String> {
+        let mut newly_dead = Vec::new();
+        for worker in &mut self.workers {
+            if worker.state == WorkerState::Dead {
+                continue;
+            }
+            let silent = now_ms.saturating_sub(worker.last_seen_ms);
+            if silent >= self.config.dead_after_ms {
+                worker.state = WorkerState::Dead;
+                newly_dead.push(worker.name.clone());
+            } else if silent >= self.config.suspect_after_ms {
+                worker.state = WorkerState::Suspect;
+            }
+        }
+        newly_dead
+    }
+
+    /// Demotes a worker to dead immediately (request-deadline
+    /// detection: a dispatched call timed out). Returns `true` when the
+    /// worker was alive or suspect before.
+    pub fn declare_dead(&mut self, name: &str) -> bool {
+        match self.workers.iter_mut().find(|w| w.name == name) {
+            Some(worker) if worker.state != WorkerState::Dead => {
+                worker.state = WorkerState::Dead;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The registered worker with this name.
+    pub fn get(&self, name: &str) -> Option<&Worker> {
+        self.workers.iter().find(|w| w.name == name)
+    }
+
+    /// All workers, name-sorted (for `/cluster/status`).
+    pub fn all(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// Names of placeable workers (alive only), name-sorted.
+    pub fn live(&self) -> Vec<&str> {
+        self.workers
+            .iter()
+            .filter(|w| w.state == WorkerState::Alive)
+            .map(|w| w.name.as_str())
+            .collect()
+    }
+
+    /// Hash-shard placement: deterministically picks a live worker for
+    /// `key`, skipping `avoid` (the worker an attempt just failed on)
+    /// when any other live worker exists. `None` when no live worker.
+    pub fn place(&self, key: &str, avoid: Option<&str>) -> Option<String> {
+        let live = self.live();
+        if live.is_empty() {
+            return None;
+        }
+        let candidates: Vec<&str> = match avoid {
+            Some(avoid) if live.len() > 1 => live.iter().copied().filter(|n| *n != avoid).collect(),
+            _ => live,
+        };
+        let index = (fnv64(key.as_bytes()) % candidates.len() as u64) as usize;
+        Some(candidates[index].to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Membership {
+        let mut m = Membership::new(DetectorConfig::default());
+        m.register("w1", "peer1", 0);
+        m.register("w2", "peer2", 0);
+        m.register("w3", "peer3", 0);
+        m
+    }
+
+    #[test]
+    fn detector_walks_alive_suspect_dead() {
+        let mut m = table();
+        m.heartbeat("w1", 2000);
+        m.heartbeat("w2", 2000);
+        // w3 silent since 0: suspect at 2500, dead at 5000.
+        assert!(m.tick(2600).is_empty());
+        assert_eq!(m.get("w3").unwrap().state, WorkerState::Suspect);
+        assert_eq!(m.get("w1").unwrap().state, WorkerState::Alive);
+        let dead = m.tick(5100);
+        assert_eq!(dead, vec!["w3".to_string()]);
+        // Dead workers stay dead on later ticks (migrate once).
+        assert!(m.tick(6000).is_empty());
+    }
+
+    #[test]
+    fn dead_workers_need_reregistration_not_heartbeats() {
+        let mut m = table();
+        m.tick(5100);
+        assert_eq!(m.get("w1").unwrap().state, WorkerState::Dead);
+        assert!(!m.heartbeat("w1", 5200));
+        assert_eq!(m.get("w1").unwrap().state, WorkerState::Dead);
+        let incarnation = m.register("w1", "peer1", 5300);
+        assert_eq!(incarnation, 2);
+        assert_eq!(m.get("w1").unwrap().state, WorkerState::Alive);
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_avoids_failed_worker() {
+        let m = table();
+        let first = m.place("g-1", None).unwrap();
+        assert_eq!(m.place("g-1", None).unwrap(), first);
+        let moved = m.place("g-1", Some(&first)).unwrap();
+        assert_ne!(moved, first);
+        // With a single live worker, avoid is a preference, not a veto.
+        let mut m = m;
+        m.declare_dead("w1");
+        m.declare_dead("w2");
+        assert_eq!(m.place("g-1", Some("w3")).unwrap(), "w3");
+    }
+
+    #[test]
+    fn request_deadline_detection_demotes_immediately() {
+        let mut m = table();
+        assert!(m.declare_dead("w2"));
+        assert!(!m.declare_dead("w2"));
+        assert!(!m.live().contains(&"w2"));
+    }
+}

@@ -1,0 +1,795 @@
+//! Deterministic network-chaos harness for cluster mode: the network
+//! analogue of [`crate::chaos`] (which attacks storage).
+//!
+//! A real [`crate::cluster::Coordinator`] runs against simulated
+//! workers over a seeded [`pnp_net::SimNet`], entirely single-threaded
+//! on virtual time: each virtual step ticks the coordinator, then lets
+//! every worker pump its pending work. Faults — worker crashes,
+//! asymmetric partitions, a full coordinator restart with queue
+//! restore — fire at fixed virtual times per schedule, while the
+//! seeded transport plan sprinkles drops, duplicated deliveries, and
+//! resets underneath. The same seed replays the same run bit for bit.
+//!
+//! Every schedule checks the cluster's two load-bearing promises:
+//!
+//! 1. **Exactly once**: every submitted job reaches a terminal verdict
+//!    recorded exactly once; late results from superseded attempt
+//!    epochs are fenced (`409`) and provably discarded.
+//! 2. **Byte-identical results**: the adopted completion's
+//!    [`crate::chaos::results_fingerprint`] equals an uninterrupted
+//!    single-node run of the same specification, crashes, partitions,
+//!    and migrations notwithstanding.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pnp_kernel::{load_latest_snapshot, SearchConfig, SimFs, Snapshot, Vfs, VfsHandle};
+use pnp_lang::{compile, VerifyOptions};
+use pnp_net::{NetPlan, SimNet, SubmitClient, Transport, WireRequest, WireResponse};
+
+use crate::chaos::{results_fingerprint, CHAOS_SPEC};
+use crate::cluster::{ClusterConfig, Coordinator};
+use crate::json::Obj;
+use crate::membership::DetectorConfig;
+use crate::transport::{decode_dispatch, encode_completion, Completion, Dispatch};
+
+/// A second, smaller specification so the matrix mixes job shapes.
+pub const SMALL_SPEC: &str = r#"
+system {
+    global handoff = 0;
+
+    component left {
+        var steps = 0;
+        state run, idle;
+        end idle;
+        from run if steps < 5 do steps = steps + 1 goto run;
+        from run if steps >= 5 do handoff = handoff + 1 goto idle;
+    }
+    component right {
+        var steps = 0;
+        state run, idle;
+        end idle;
+        from run if steps < 5 do steps = steps + 1 goto run;
+        from run if steps >= 5 do handoff = handoff + 1 goto idle;
+    }
+
+    property bounded: invariant handoff <= 2;
+}
+"#;
+
+/// Virtual milliseconds per harness step.
+const STEP_MS: u64 = 100;
+/// `run_pending` calls a job occupies before its full verification runs
+/// — the window in which crashes and partitions catch it "mid-job".
+const WORK_TICKS: u32 = 4;
+/// Harness step ceiling (`MAX_STEPS * STEP_MS` virtual ms) before a
+/// schedule is declared non-convergent.
+const MAX_STEPS: u64 = 600;
+
+/// The fault schedules of the cluster chaos matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetSchedule {
+    /// A worker crashes (memory wiped, checkpoints durable) with jobs
+    /// mid-run, then restarts; its jobs must migrate or resume without
+    /// double-completion.
+    WorkerCrashMidJob,
+    /// The uplink from a worker to the coordinator is cut exactly while
+    /// results upload; the job migrates behind a bumped epoch and the
+    /// healed worker's late upload must be fenced.
+    PartitionDuringResult,
+    /// The coordinator drains (persisting its queue) and restarts
+    /// mid-flight; restored jobs re-dispatch behind bumped epochs and
+    /// pre-restart results are fenced.
+    CoordinatorRestart,
+}
+
+impl NetSchedule {
+    /// All schedules, matrix order.
+    pub const ALL: [NetSchedule; 3] = [
+        NetSchedule::WorkerCrashMidJob,
+        NetSchedule::PartitionDuringResult,
+        NetSchedule::CoordinatorRestart,
+    ];
+
+    /// The stable CLI name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NetSchedule::WorkerCrashMidJob => "worker_crash_mid_job",
+            NetSchedule::PartitionDuringResult => "partition_during_result",
+            NetSchedule::CoordinatorRestart => "coordinator_restart",
+        }
+    }
+
+    /// Parses a CLI name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names.
+    pub fn parse(name: &str) -> Result<NetSchedule, String> {
+        NetSchedule::ALL
+            .into_iter()
+            .find(|s| s.as_str() == name)
+            .ok_or_else(|| {
+                format!(
+                    "unknown schedule '{name}' (want one of: {})",
+                    NetSchedule::ALL.map(|s| s.as_str()).join(", ")
+                )
+            })
+    }
+}
+
+impl std::fmt::Display for NetSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One converged schedule run's summary.
+#[derive(Debug, Clone)]
+pub struct NetChaosOutcome {
+    /// Which schedule ran.
+    pub schedule: NetSchedule,
+    /// The transport/fault seed.
+    pub seed: u64,
+    /// Jobs submitted and completed.
+    pub jobs: usize,
+    /// Virtual steps until every job converged.
+    pub steps: u64,
+    /// Jobs migrated between workers.
+    pub migrations: u64,
+    /// Stale uploads fenced by the coordinator.
+    pub fenced: u64,
+    /// Migrations that shipped a checkpoint snapshot.
+    pub snapshots_shipped: u64,
+    /// Stale results the *workers* observed being discarded (each saw a
+    /// `409` and dropped its result).
+    pub worker_discards: u64,
+}
+
+/// One simulated worker: accepts dispatches, "works" on each job for
+/// [`WORK_TICKS`] virtual steps (flushing a real checkpoint generation
+/// to its durable [`SimFs`] first), then runs the full verification and
+/// pushes the completion. A crash wipes its memory but not its
+/// filesystem, exactly like a real daemon restart.
+pub struct SimWorker {
+    /// The worker's SimNet peer name.
+    pub name: String,
+    net: Arc<SimNet>,
+    coordinator: String,
+    /// Durable across crashes.
+    fs: Arc<SimFs>,
+    state: Arc<Mutex<WorkerState>>,
+}
+
+#[derive(Default)]
+struct WorkerState {
+    registered: bool,
+    /// Pump counter; heartbeats go out every [`HEARTBEAT_EVERY`] pumps.
+    pumps: u64,
+    jobs: HashMap<u64, SimJob>,
+    /// Results the coordinator fenced; retained as proof of discard.
+    discarded: u64,
+}
+
+/// Pumps between heartbeats (500 virtual ms at [`STEP_MS`]).
+const HEARTBEAT_EVERY: u64 = 5;
+
+struct SimJob {
+    epoch: u64,
+    dispatch: Dispatch,
+    remaining: u32,
+    completion: Option<Completion>,
+    settled: bool,
+}
+
+impl SimWorker {
+    /// Creates the worker and registers its request handler on `net`.
+    pub fn new(net: &Arc<SimNet>, name: &str, coordinator: &str, seed: u64) -> Arc<SimWorker> {
+        let worker = Arc::new(SimWorker {
+            name: name.to_string(),
+            net: Arc::clone(net),
+            coordinator: coordinator.to_string(),
+            fs: Arc::new(SimFs::new(seed)),
+            state: Arc::new(Mutex::new(WorkerState::default())),
+        });
+        let _ = worker.fs.as_ref().create_dir_all(&PathBuf::from("/state"));
+        let handler = {
+            let worker = Arc::clone(&worker);
+            Arc::new(move |request: &WireRequest| worker.serve(request))
+        };
+        net.register(name, handler);
+        worker
+    }
+
+    /// Crashes the process: unreachable, memory gone, checkpoints kept.
+    pub fn crash(&self) {
+        self.net.crash(&self.name);
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.jobs.clear();
+        state.registered = false;
+    }
+
+    /// Boots the process back up (it re-registers on its next pump).
+    pub fn restart(&self) {
+        self.net.restart(&self.name);
+    }
+
+    /// How many of this worker's results the coordinator fenced.
+    pub fn discarded(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .discarded
+    }
+
+    fn checkpoint_base(&self, job: u64) -> PathBuf {
+        PathBuf::from(format!("/state/job-{job}.pnpsnap"))
+    }
+
+    fn serve(&self, request: &WireRequest) -> WireResponse {
+        let path = request.path();
+        let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        match (request.method.as_str(), segments.as_slice()) {
+            ("GET", ["cluster", "ping"]) => ok_json("ok"),
+            ("POST", ["cluster", "execute"]) => self.accept(request),
+            ("GET", ["cluster", "snapshot"]) => self.snapshot(request),
+            ("GET", ["cluster", "poll"]) => self.poll(request),
+            ("POST", ["cluster", "cancel"]) => ok_json("cancelling"),
+            _ => WireResponse::new(404, b"{}".to_vec()),
+        }
+    }
+
+    fn accept(&self, request: &WireRequest) -> WireResponse {
+        let dispatch = match decode_dispatch(&request.body) {
+            Ok(dispatch) => dispatch,
+            Err(reason) => {
+                return WireResponse::new(
+                    400,
+                    Obj::new().str("error", &reason).build().into_bytes(),
+                )
+            }
+        };
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = state.jobs.get(&dispatch.job) {
+            if dispatch.epoch < existing.epoch {
+                return WireResponse::new(
+                    409,
+                    Obj::new().str("error", "fenced").build().into_bytes(),
+                );
+            }
+            if dispatch.epoch == existing.epoch {
+                // Duplicated delivery: already accepted.
+                return ok_json("accepted");
+            }
+        }
+        let job = dispatch.job;
+        let epoch = dispatch.epoch;
+        state.jobs.insert(
+            job,
+            SimJob {
+                epoch,
+                dispatch,
+                remaining: WORK_TICKS,
+                completion: None,
+                settled: false,
+            },
+        );
+        ok_json("accepted")
+    }
+
+    fn snapshot(&self, request: &WireRequest) -> WireResponse {
+        let Some(job) = request.query("job").and_then(|j| j.parse::<u64>().ok()) else {
+            return WireResponse::new(400, b"{}".to_vec());
+        };
+        let vfs: VfsHandle = self.fs.clone();
+        match load_latest_snapshot(&vfs, self.checkpoint_base(job)) {
+            Ok(Some((_generation, snapshot))) => WireResponse::new(200, snapshot.encode()),
+            _ => WireResponse::new(404, b"{}".to_vec()),
+        }
+    }
+
+    fn poll(&self, request: &WireRequest) -> WireResponse {
+        let Some(job) = request.query("job").and_then(|j| j.parse::<u64>().ok()) else {
+            return WireResponse::new(400, b"{}".to_vec());
+        };
+        let epoch = request.query("epoch").and_then(|e| e.parse::<u64>().ok());
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match state.jobs.get(&job) {
+            // An attempt from another epoch is not the attempt the
+            // coordinator is asking about: that attempt is gone.
+            Some(entry) if epoch.is_some_and(|e| e != entry.epoch) => {
+                WireResponse::new(404, b"{}".to_vec())
+            }
+            Some(entry) => match &entry.completion {
+                Some(completion) => WireResponse::new(200, encode_completion(completion)),
+                None => WireResponse::new(
+                    202,
+                    Obj::new().str("status", "running").build().into_bytes(),
+                ),
+            },
+            None => WireResponse::new(404, b"{}".to_vec()),
+        }
+    }
+
+    /// One pump of the worker's main loop: (re-)register, heartbeat,
+    /// advance jobs, push finished results. No-op while crashed.
+    pub fn run_pending(&self) {
+        if self.net.is_down(&self.name) {
+            return;
+        }
+        let endpoint = self.net.endpoint(&self.name);
+        let (registered, beat) = {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            let beat = state.pumps.is_multiple_of(HEARTBEAT_EVERY);
+            state.pumps += 1;
+            (state.registered, beat)
+        };
+        if !registered {
+            let target = format!("/cluster/register?name={}&peer={}", self.name, self.name);
+            if endpoint
+                .request(&self.coordinator, &WireRequest::post(target, Vec::new()))
+                .is_ok()
+            {
+                let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                state.registered = true;
+            }
+        } else if beat {
+            let target = format!("/cluster/heartbeat?name={}", self.name);
+            if let Ok(response) =
+                endpoint.request(&self.coordinator, &WireRequest::post(target, Vec::new()))
+            {
+                if response.status == 404 {
+                    // The coordinator forgot us (restart or declared
+                    // dead): re-register next pump.
+                    let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                    state.registered = false;
+                }
+            }
+        }
+
+        // Advance at most one job per pump (a two-thread worker daemon
+        // is approximated well enough for placement purposes).
+        let next: Vec<u64> = {
+            let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            let mut ids: Vec<u64> = state
+                .jobs
+                .iter()
+                .filter(|(_, j)| j.completion.is_none())
+                .map(|(&id, _)| id)
+                .collect();
+            ids.sort_unstable();
+            ids
+        };
+        for id in next {
+            let work = {
+                let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                let Some(job) = state.jobs.get_mut(&id) else {
+                    continue;
+                };
+                if job.remaining == WORK_TICKS {
+                    job.remaining -= 1;
+                    Some((job.dispatch.clone(), true))
+                } else if job.remaining > 0 {
+                    job.remaining -= 1;
+                    None
+                } else {
+                    Some((job.dispatch.clone(), false))
+                }
+            };
+            match work {
+                Some((dispatch, true)) => self.flush_checkpoint(&dispatch),
+                Some((dispatch, false)) => self.finish(&dispatch),
+                None => {}
+            }
+        }
+
+        // Push unsettled completions; a 409 is the coordinator fencing
+        // a stale result — record the discard and stop retrying.
+        let pending: Vec<(u64, Completion)> = {
+            let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            state
+                .jobs
+                .iter()
+                .filter(|(_, j)| !j.settled)
+                .filter_map(|(&id, j)| j.completion.clone().map(|c| (id, c)))
+                .collect()
+        };
+        for (id, completion) in pending {
+            let request = WireRequest::post(
+                "/cluster/complete".to_string(),
+                encode_completion(&completion),
+            );
+            if let Ok(response) = endpoint.request(&self.coordinator, &request) {
+                let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(job) = state.jobs.get_mut(&id) {
+                    match response.status {
+                        200 => job.settled = true,
+                        409 => {
+                            job.settled = true;
+                            state.discarded += 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// The "mid-job" pass: a budget-bounded verification whose trip
+    /// flushes a genuine checkpoint generation to the durable SimFs —
+    /// the snapshot a migration ships or a sticky retry resumes.
+    fn flush_checkpoint(&self, dispatch: &Dispatch) {
+        let Ok(spec) = compile(&dispatch.request.source) else {
+            return;
+        };
+        let mut bounded = dispatch.request.config.config;
+        bounded.max_states = 200;
+        bounded.threads = 1;
+        let vfs: VfsHandle = self.fs.clone();
+        let options = VerifyOptions {
+            config: bounded,
+            checkpoint: Some((self.checkpoint_base(dispatch.job), 0)),
+            vfs: Some(vfs),
+            ..VerifyOptions::default()
+        };
+        let _ = spec.verify_all_with_options(&options);
+    }
+
+    /// The full verification: resume from the local checkpoint if one
+    /// survived, else from the snapshot the coordinator shipped, else
+    /// from scratch. Deterministic, so every path converges to the same
+    /// fingerprint.
+    fn finish(&self, dispatch: &Dispatch) {
+        let Ok(spec) = compile(&dispatch.request.source) else {
+            return;
+        };
+        let vfs: VfsHandle = self.fs.clone();
+        let resume = load_latest_snapshot(&vfs, self.checkpoint_base(dispatch.job))
+            .ok()
+            .flatten()
+            .map(|(_, snapshot)| snapshot)
+            .or_else(|| {
+                let payload = dispatch.request.seed_snapshot.as_deref()?;
+                Snapshot::decode(payload).ok()
+            })
+            .filter(|s| s.matches_program(spec.system().program()));
+        let mut config = dispatch.request.config.config;
+        config.threads = 1;
+        let options = VerifyOptions {
+            config,
+            resume,
+            ..VerifyOptions::default()
+        };
+        let Ok(results) = spec.verify_all_with_options(&options) else {
+            return;
+        };
+        let violated = results.iter().any(|r| !r.holds && !r.inconclusive);
+        let completion = Completion {
+            job: dispatch.job,
+            epoch: dispatch.epoch,
+            worker: self.name.clone(),
+            verdict: if violated {
+                crate::job::Verdict::Violated
+            } else {
+                crate::job::Verdict::Passed
+            },
+            attempts: dispatch.attempts + 1,
+            error: None,
+            results: Some(results),
+        };
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(job) = state.jobs.get_mut(&dispatch.job) {
+            if job.epoch == dispatch.epoch {
+                job.completion = Some(completion);
+            }
+        }
+    }
+}
+
+fn ok_json(status: &str) -> WireResponse {
+    WireResponse::new(202, Obj::new().str("status", status).build().into_bytes())
+}
+
+fn cluster_config(vfs: VfsHandle) -> ClusterConfig {
+    ClusterConfig {
+        detector: DetectorConfig {
+            heartbeat_ms: STEP_MS,
+            suspect_after_ms: 1000,
+            dead_after_ms: 2000,
+        },
+        max_attempts: 6,
+        request_timeout_ms: 1500,
+        backoff_base_ms: 200,
+        state_dir: PathBuf::from("/coord"),
+        vfs,
+        ..ClusterConfig::default()
+    }
+}
+
+fn make_coordinator(net: &Arc<SimNet>, vfs: VfsHandle, now: &Arc<AtomicU64>) -> Arc<Coordinator> {
+    let transport = Arc::new(net.endpoint("coord"));
+    let coordinator = Arc::new(Coordinator::new(cluster_config(vfs), transport));
+    let handler = {
+        let coordinator = Arc::clone(&coordinator);
+        let now = Arc::clone(now);
+        Arc::new(move |request: &WireRequest| {
+            coordinator.handle(request, now.load(Ordering::Relaxed))
+        })
+    };
+    net.register("coord", handler);
+    coordinator
+}
+
+/// Runs one seeded schedule and checks the exactly-once and
+/// byte-identical invariants.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant: a lost or
+/// double-counted job, a fingerprint that differs from the single-node
+/// baseline, a missing fence, or non-convergence.
+pub fn run_net_schedule(schedule: NetSchedule, seed: u64) -> Result<NetChaosOutcome, String> {
+    // Single-node baselines, one per submitted job.
+    let specs: [(&str, &str); 3] = [(CHAOS_SPEC, "a"), (SMALL_SPEC, "b"), (CHAOS_SPEC, "a")];
+    let mut baselines = Vec::new();
+    for (source, _) in &specs {
+        let spec = compile(source).map_err(|e| format!("spec does not compile: {e}"))?;
+        let options = VerifyOptions {
+            config: SearchConfig {
+                threads: 1,
+                ..SearchConfig::default()
+            },
+            ..VerifyOptions::default()
+        };
+        let results = spec
+            .verify_all_with_options(&options)
+            .map_err(|e| format!("baseline run failed: {e}"))?;
+        baselines.push(results_fingerprint(&results));
+    }
+
+    let net = SimNet::new(seed);
+    let now = Arc::new(AtomicU64::new(0));
+    let coordinator_fs: Arc<SimFs> = Arc::new(SimFs::new(seed ^ 0x636f_6f72_645f_6673));
+    let coordinator_vfs: VfsHandle = coordinator_fs.clone();
+    let _ = coordinator_vfs.create_dir_all(&PathBuf::from("/coord"));
+    let mut coordinator = make_coordinator(&net, coordinator_vfs.clone(), &now);
+
+    let w1 = SimWorker::new(&net, "w1", "coord", seed ^ 1);
+    let w2 = SimWorker::new(&net, "w2", "coord", seed ^ 2);
+    w1.run_pending();
+    w2.run_pending();
+    coordinator.tick(0);
+
+    // A light background fault plan so every seed exercises a different
+    // interleaving of drops, duplicates, and resets.
+    net.set_plan(NetPlan {
+        drop_request_per_mille: 30,
+        drop_response_per_mille: 30,
+        duplicate_per_mille: 60,
+        reset_per_mille: 20,
+    });
+
+    // Submit through the real client with idempotency keys, so even a
+    // faulted submission admits exactly one job.
+    let mut ids = Vec::new();
+    for (index, (source, tenant)) in specs.iter().enumerate() {
+        let mut client = SubmitClient::new(net.endpoint("client"));
+        client.retry_backoff = std::time::Duration::ZERO;
+        client.max_retries = 8;
+        client.idem_key = Some(format!("netchaos-{seed}-{index}"));
+        let outcome = client
+            .submit("coord", source, &format!("tenant={tenant}"))
+            .map_err(|e| format!("submit {index} failed: {e}"))?;
+        ids.push(
+            outcome
+                .id
+                .strip_prefix("g-")
+                .and_then(|n| n.parse::<u64>().ok())
+                .ok_or_else(|| format!("unexpected job id {}", outcome.id))?,
+        );
+    }
+    if ids != [1, 2, 3] {
+        return Err(format!("expected jobs g-1..g-3, got {ids:?}"));
+    }
+
+    let mut steps = 0u64;
+    let mut crash_target: Option<(Arc<SimWorker>, u64)> = None;
+    let mut restarted = false;
+    let mut partitioned_at: Option<u64> = None;
+    let mut healed = false;
+    loop {
+        steps += 1;
+        if steps > MAX_STEPS {
+            return Err(format!(
+                "{schedule} seed {seed}: no convergence after {MAX_STEPS} steps"
+            ));
+        }
+        let t = steps * STEP_MS;
+        now.store(t, Ordering::Relaxed);
+
+        match schedule {
+            NetSchedule::WorkerCrashMidJob => {
+                if crash_target.is_none() && t >= 300 {
+                    // Crash whichever worker holds g-1 mid-run; its
+                    // checkpoint generations survive on its SimFs, the
+                    // job's in-memory state does not.
+                    if let Some(holder) = coordinator.worker_of(1) {
+                        let target = if holder == "w2" {
+                            Arc::clone(&w2)
+                        } else {
+                            Arc::clone(&w1)
+                        };
+                        target.crash();
+                        crash_target = Some((target, t));
+                    }
+                }
+                if let Some((target, crashed_at)) = &crash_target {
+                    // Restart before the failure detector gives up on
+                    // the worker: the coordinator's request-deadline
+                    // poll then finds a daemon that *lost* the job
+                    // (404) and must migrate it — sticky back to the
+                    // restarted worker, which resumes from its durable
+                    // checkpoint.
+                    if !restarted && t >= crashed_at + 900 {
+                        target.restart();
+                        restarted = true;
+                    }
+                }
+            }
+            NetSchedule::PartitionDuringResult => {
+                if partitioned_at.is_none() && t >= 300 {
+                    // Partition g-1's worker off entirely while its
+                    // result uploads: pushes, heartbeats, and the
+                    // coordinator's deadline polls all fail until the
+                    // heal.
+                    if let Some(holder) = coordinator.worker_of(1) {
+                        net.cut(&holder, "coord");
+                        net.cut("coord", &holder);
+                        partitioned_at = Some(t);
+                    }
+                }
+                if partitioned_at.is_some() && !healed && coordinator.stats().migrations > 0 {
+                    // The deadline poll just condemned the partitioned
+                    // worker and bumped the job's epoch. Heal *before*
+                    // the re-dispatch goes out: the dead-but-reachable
+                    // worker now serves the snapshot fetch (shipping
+                    // its checkpoint to the new worker) and its late
+                    // result upload meets the epoch fence.
+                    net.heal_all();
+                    healed = true;
+                }
+            }
+            NetSchedule::CoordinatorRestart => {
+                if t == 300 {
+                    // Drain persists every open job to cluster.pnpq on
+                    // the coordinator's durable SimFs; the replacement
+                    // restores them behind bumped epochs, so every
+                    // pre-restart attempt reports into the fence.
+                    coordinator.drain();
+                    coordinator = make_coordinator(&net, coordinator_vfs.clone(), &now);
+                    if coordinator.stats().restored == 0 {
+                        return Err(format!("{schedule} seed {seed}: restart restored no jobs"));
+                    }
+                }
+            }
+        }
+
+        coordinator.tick(t);
+        w1.run_pending();
+        w2.run_pending();
+
+        if coordinator.all_done() {
+            break;
+        }
+    }
+    net.set_plan(NetPlan::default());
+
+    // Invariant 1: exactly-once completion per job.
+    let stats = coordinator.stats();
+    for (&id, baseline) in ids.iter().zip(&baselines) {
+        let completion = coordinator
+            .completion(id)
+            .ok_or_else(|| format!("{schedule} seed {seed}: g-{id} has no completion"))?;
+        let results = completion
+            .results
+            .as_deref()
+            .ok_or_else(|| format!("{schedule} seed {seed}: g-{id} completed without results"))?;
+        // Invariant 2: byte-identical to the single-node run.
+        let fp = results_fingerprint(results);
+        if fp != *baseline {
+            return Err(format!(
+                "{schedule} seed {seed}: g-{id} fingerprint {fp:#018x} differs from baseline \
+                 {baseline:#018x}"
+            ));
+        }
+    }
+    if stats.completed != ids.len() as u64 {
+        return Err(format!(
+            "{schedule} seed {seed}: {} completions recorded for {} jobs",
+            stats.completed,
+            ids.len()
+        ));
+    }
+
+    let worker_discards = w1.discarded() + w2.discarded();
+    // Invariant 3: schedule-specific observability. The partition and
+    // restart schedules force a stale result into existence, so its
+    // fenced discard must be provable; the crash schedule must actually
+    // migrate or resume work.
+    match schedule {
+        NetSchedule::WorkerCrashMidJob => {
+            if stats.migrations == 0 {
+                return Err(format!("{schedule} seed {seed}: crash caused no migration"));
+            }
+        }
+        NetSchedule::PartitionDuringResult | NetSchedule::CoordinatorRestart => {
+            if stats.fenced == 0 || worker_discards == 0 {
+                return Err(format!(
+                    "{schedule} seed {seed}: expected a fenced stale result \
+                     (fenced={}, worker discards={worker_discards})",
+                    stats.fenced
+                ));
+            }
+            if schedule == NetSchedule::PartitionDuringResult && stats.snapshots_shipped == 0 {
+                return Err(format!(
+                    "{schedule} seed {seed}: migration shipped no checkpoint snapshot"
+                ));
+            }
+        }
+    }
+
+    Ok(NetChaosOutcome {
+        schedule,
+        seed,
+        jobs: ids.len(),
+        steps,
+        migrations: stats.migrations,
+        fenced: stats.fenced,
+        snapshots_shipped: stats.snapshots_shipped,
+        worker_discards,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_names_roundtrip() {
+        for schedule in NetSchedule::ALL {
+            assert_eq!(NetSchedule::parse(schedule.as_str()).unwrap(), schedule);
+        }
+        assert!(NetSchedule::parse("rm_rf").is_err());
+    }
+
+    #[test]
+    fn worker_crash_schedule_converges() {
+        let outcome = run_net_schedule(NetSchedule::WorkerCrashMidJob, 7).unwrap();
+        assert_eq!(outcome.jobs, 3);
+        assert!(outcome.migrations >= 1);
+    }
+
+    #[test]
+    fn partition_schedule_fences_the_stale_result() {
+        let outcome = run_net_schedule(NetSchedule::PartitionDuringResult, 7).unwrap();
+        assert!(outcome.fenced >= 1);
+        assert!(outcome.worker_discards >= 1);
+    }
+
+    #[test]
+    fn coordinator_restart_schedule_restores_and_fences() {
+        let outcome = run_net_schedule(NetSchedule::CoordinatorRestart, 7).unwrap();
+        assert!(outcome.fenced >= 1);
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let a = run_net_schedule(NetSchedule::WorkerCrashMidJob, 11).unwrap();
+        let b = run_net_schedule(NetSchedule::WorkerCrashMidJob, 11).unwrap();
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.fenced, b.fenced);
+    }
+}

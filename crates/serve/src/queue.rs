@@ -45,6 +45,23 @@ impl Default for QueuePolicy {
     }
 }
 
+impl QueuePolicy {
+    /// The `Retry-After` hint for the current queue pressure: the base
+    /// hint scaled linearly up to 3x as the queue fills (`depth == 0` →
+    /// base, `depth == capacity` → 3x base). Every shed path — queue
+    /// watermarks, the connection cap, tenant quotas — derives its hint
+    /// here so a loaded daemon pushes clients back harder than an idle
+    /// one.
+    pub fn retry_after_for(&self, depth: usize) -> Duration {
+        let capacity = self.capacity.max(1);
+        let scaled = self
+            .retry_after
+            .saturating_mul(2)
+            .mul_f64((depth.min(capacity) as f64) / capacity as f64);
+        self.retry_after + scaled
+    }
+}
+
 /// Why a submission was shed, plus the retry hint for the client.
 #[derive(Debug, Clone)]
 pub struct ShedInfo {
@@ -67,21 +84,35 @@ pub struct PersistedJob {
     pub request: JobRequest,
 }
 
-struct Writer {
-    out: Vec<u8>,
+pub(crate) struct Writer {
+    pub(crate) out: Vec<u8>,
 }
 
 impl Writer {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn new(magic: &[u8]) -> Writer {
+        Writer {
+            out: magic.to_vec(),
+        }
+    }
+    pub(crate) fn u8(&mut self, v: u8) {
         self.out.push(v);
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.out.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.out.extend_from_slice(&v.to_le_bytes());
     }
-    fn opt_u64(&mut self, v: Option<u64>) {
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.out.extend_from_slice(b);
+    }
+    pub(crate) fn finish(mut self) -> Vec<u8> {
+        let checksum = fnv64(&self.out);
+        self.u64(checksum);
+        self.out
+    }
+    pub(crate) fn opt_u64(&mut self, v: Option<u64>) {
         match v {
             None => self.u8(0),
             Some(v) => {
@@ -90,19 +121,44 @@ impl Writer {
             }
         }
     }
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u64(s.len() as u64);
         self.out.extend_from_slice(s.as_bytes());
     }
 }
 
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
-impl Reader<'_> {
-    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+impl<'a> Reader<'a> {
+    /// Verifies `magic` and the trailing checksum, returning a reader
+    /// positioned after the magic over the checksummed body.
+    pub(crate) fn open(bytes: &'a [u8], magic: &[u8], what: &str) -> Result<Reader<'a>, String> {
+        if bytes.len() < magic.len() + 8 {
+            return Err(format!("{what} is truncated"));
+        }
+        if &bytes[..magic.len()] != magic {
+            return Err(format!("not a {what} (bad magic)"));
+        }
+        let body = &bytes[..bytes.len() - 8];
+        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        if fnv64(body) != stored {
+            return Err(format!("{what} checksum mismatch"));
+        }
+        Ok(Reader {
+            bytes: body,
+            pos: magic.len(),
+        })
+    }
+    pub(crate) fn done(&self) -> Result<(), String> {
+        if self.pos != self.bytes.len() {
+            return Err(format!("{} trailing bytes", self.bytes.len() - self.pos));
+        }
+        Ok(())
+    }
+    pub(crate) fn take(&mut self, n: usize) -> Result<&[u8], String> {
         let end = self.pos.checked_add(n).ok_or("length overflow")?;
         if end > self.bytes.len() {
             return Err("queue file is truncated".into());
@@ -111,28 +167,32 @@ impl Reader<'_> {
         self.pos = end;
         Ok(slice)
     }
-    fn u8(&mut self) -> Result<u8, String> {
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
         Ok(self.take(1)?[0])
     }
-    fn u32(&mut self) -> Result<u32, String> {
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
-    fn u64(&mut self) -> Result<u64, String> {
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn opt_u64(&mut self) -> Result<Option<u64>, String> {
+    pub(crate) fn opt_u64(&mut self) -> Result<Option<u64>, String> {
         match self.u8()? {
             0 => Ok(None),
             1 => Ok(Some(self.u64()?)),
             other => Err(format!("bad option flag {other}")),
         }
     }
-    fn usize(&mut self) -> Result<usize, String> {
+    pub(crate) fn usize(&mut self) -> Result<usize, String> {
         usize::try_from(self.u64()?).map_err(|_| "count overflows usize".to_string())
     }
-    fn str(&mut self) -> Result<String, String> {
+    pub(crate) fn str(&mut self) -> Result<String, String> {
         let len = self.usize()?;
         String::from_utf8(self.take(len)?.to_vec()).map_err(|_| "string is not UTF-8".to_string())
+    }
+    pub(crate) fn blob(&mut self) -> Result<Vec<u8>, String> {
+        let len = self.usize()?;
+        Ok(self.take(len)?.to_vec())
     }
 }
 
@@ -231,15 +291,15 @@ pub fn decode_queue(bytes: &[u8]) -> Result<Vec<PersistedJob>, String> {
         jobs.push(PersistedJob {
             id,
             attempts,
-            request: JobRequest {
+            request: JobRequest::new(
                 source,
-                config: JobConfig {
+                JobConfig {
                     config,
                     deadline,
                     max_attempts,
                     chaos,
                 },
-            },
+            ),
         });
     }
     if r.pos != r.bytes.len() {
@@ -257,9 +317,9 @@ mod tests {
             PersistedJob {
                 id: 3,
                 attempts: 2,
-                request: JobRequest {
-                    source: "system { }".into(),
-                    config: JobConfig {
+                request: JobRequest::new(
+                    "system { }".into(),
+                    JobConfig {
                         config: SearchConfig {
                             max_states: 500,
                             max_time: Some(Duration::from_millis(1234)),
@@ -274,15 +334,12 @@ mod tests {
                             attempts: 1,
                         }),
                     },
-                },
+                ),
             },
             PersistedJob {
                 id: 9,
                 attempts: 0,
-                request: JobRequest {
-                    source: "system { global x = 0; }".into(),
-                    config: JobConfig::default(),
-                },
+                request: JobRequest::new("system { global x = 0; }".into(), JobConfig::default()),
             },
         ]
     }

@@ -113,6 +113,11 @@ pub struct ServeStats {
 struct Inner {
     queue: VecDeque<JobId>,
     jobs: HashMap<JobId, JobRecord>,
+    /// Idempotency keys of admitted jobs: a resubmission with a known
+    /// key returns the original id instead of a duplicate admission.
+    /// In-memory only — a restart forgets keys, which errs on the side
+    /// of admitting (never on dropping a submission).
+    idem_index: HashMap<String, JobId>,
     next_id: u64,
     queued_count: usize,
     queued_bytes: usize,
@@ -221,6 +226,7 @@ impl Supervisor {
         let mut inner = Inner {
             queue: VecDeque::new(),
             jobs: HashMap::new(),
+            idem_index: HashMap::new(),
             next_id: 1,
             queued_count: 0,
             queued_bytes: 0,
@@ -306,6 +312,17 @@ impl Supervisor {
         Some(self.lock().jobs.get(&id)?.attempts)
     }
 
+    /// A job's terminal verdict: outer `None` for an unknown id, inner
+    /// `None` while the job is still in flight.
+    pub fn verdict(&self, id: JobId) -> Option<Option<Verdict>> {
+        let inner = self.lock();
+        let record = inner.jobs.get(&id)?;
+        Some(match record.phase {
+            JobPhase::Done(verdict) => Some(verdict),
+            _ => None,
+        })
+    }
+
     /// Admits a job or sheds it with a retry hint.
     ///
     /// # Errors
@@ -314,13 +331,21 @@ impl Supervisor {
     /// is draining.
     pub fn submit(&self, request: JobRequest) -> Result<JobId, ShedInfo> {
         let mut inner = self.lock();
+        // Idempotent resubmission: a duplicated or retried delivery of a
+        // keyed submission returns the original admission, even during a
+        // drain (the job is already in).
+        if let Some(key) = &request.idem {
+            if let Some(&id) = inner.idem_index.get(key) {
+                return Ok(id);
+            }
+        }
         let policy = self.shared.config.queue;
         let shed = |inner: &mut Inner, reason| {
             inner.stats.shed += 1;
             Err(ShedInfo {
                 reason,
                 queue_depth: inner.queued_count,
-                retry_after: policy.retry_after,
+                retry_after: policy.retry_after_for(inner.queued_count),
             })
         };
         if inner.draining || inner.shutdown {
@@ -338,9 +363,33 @@ impl Supervisor {
         inner.queued_bytes += request.source.len();
         inner.stats.submitted += 1;
         inner.queue.push_back(id);
+        if let Some(key) = &request.idem {
+            inner.idem_index.insert(key.clone(), id);
+        }
         inner.jobs.insert(id, new_record(id, request, 0));
         self.shared.work.notify_one();
         Ok(id)
+    }
+
+    /// The `Retry-After` a shed answer should carry right now, scaled by
+    /// current queue pressure (used by the connection-cap 503 too, where
+    /// no [`ShedInfo`] is produced).
+    pub fn retry_after_hint(&self) -> Duration {
+        let inner = self.lock();
+        self.shared.config.queue.retry_after_for(inner.queued_count)
+    }
+
+    /// The newest valid checkpoint payload a job has flushed, as
+    /// `(generation, snapshot bytes)` — what the cluster coordinator
+    /// ships when migrating the job to a worker without local state.
+    pub fn export_checkpoint(&self, id: JobId) -> Option<(u64, Vec<u8>)> {
+        let base = checkpoint_path(&self.shared.config.state_dir, id);
+        let store = GenStore::new(self.shared.config.vfs.clone(), &base);
+        let scan = store.scan().ok()?;
+        scan.slots
+            .iter()
+            .max_by_key(|(generation, _)| *generation)
+            .map(|(generation, payload)| (*generation, payload.clone()))
     }
 
     /// The status object for a job, or `None` for an unknown id.
@@ -622,7 +671,7 @@ fn status_obj(record: &JobRecord) -> Obj {
     obj
 }
 
-fn property_json(result: &PropertyResult) -> String {
+pub(crate) fn property_json(result: &PropertyResult) -> String {
     Obj::new()
         .str("name", &result.name)
         .bool("holds", result.holds)
@@ -816,7 +865,14 @@ fn run_attempt(shared: &Arc<Shared>, task: &Task) -> (JobOutcome, Option<Vec<Pro
     };
 
     let snap_path = checkpoint_path(&shared.config.state_dir, task.id);
-    let resume = load_resume_snapshot(shared, task.id, &spec);
+    let resume = load_resume_snapshot(shared, task.id, &spec).or_else(|| {
+        // No local checkpoint: fall back to the snapshot the cluster
+        // coordinator shipped with a migrated job, if any.
+        let payload = task.request.seed_snapshot.as_deref()?;
+        Snapshot::decode(payload)
+            .ok()
+            .filter(|snapshot| snapshot.matches_program(spec.system().program()))
+    });
     // Every attempt checkpoints through a TrackingSink (generations +
     // /health marks); the job's configured chaos wraps it when armed.
     let checkpoint_sink: pnp_lang::SinkFactory = {

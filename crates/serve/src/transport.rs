@@ -1,0 +1,369 @@
+//! The cluster wire protocol: binary codecs for job dispatch
+//! (coordinator → worker) and completion upload (worker → coordinator),
+//! carried as HTTP bodies over any [`pnp_net::Transport`].
+//!
+//! Both payloads reuse the persisted queue's hardened framing — magic,
+//! length-prefixed fields, trailing FNV-64 checksum — so a truncated or
+//! bit-flipped body is rejected at decode instead of misread. Dispatch
+//! embeds the job exactly as the queue persists it (no lossy re-render
+//! through query parameters), plus the fencing epoch and an optional
+//! shipped checkpoint snapshot for migrations.
+
+use pnp_lang::PropertyResult;
+
+use crate::job::{JobError, JobRequest, Verdict};
+use crate::queue::{decode_queue, encode_queue, PersistedJob, Reader, Writer};
+
+/// Magic prefix of a dispatch body.
+pub const DISPATCH_MAGIC: &[u8; 8] = b"PNPDSPT1";
+/// Magic prefix of a completion body.
+pub const COMPLETION_MAGIC: &[u8; 8] = b"PNPCMPL1";
+
+/// One job dispatch: everything a worker needs to run an attempt of a
+/// cluster job.
+#[derive(Debug, Clone)]
+pub struct Dispatch {
+    /// The cluster-global job number (rendered `g-N`).
+    pub job: u64,
+    /// The coordinator's attempt epoch for this job; completions from
+    /// older epochs are fenced.
+    pub epoch: u64,
+    /// Attempts already consumed on other workers.
+    pub attempts: u32,
+    /// The submission (source + resolved options; `seed_snapshot` set
+    /// when the coordinator ships a checkpoint with a migration).
+    pub request: JobRequest,
+}
+
+/// Encodes a dispatch body.
+pub fn encode_dispatch(dispatch: &Dispatch) -> Vec<u8> {
+    let mut w = Writer::new(DISPATCH_MAGIC);
+    w.u64(dispatch.job);
+    w.u64(dispatch.epoch);
+    match &dispatch.request.seed_snapshot {
+        Some(snapshot) => {
+            w.u8(1);
+            w.bytes(snapshot);
+        }
+        None => w.u8(0),
+    }
+    // The job itself rides as one persisted-queue entry: the exact
+    // codec the drain path already trusts, checksum and all.
+    let mut request = dispatch.request.clone();
+    request.seed_snapshot = None;
+    w.bytes(&encode_queue(&[PersistedJob {
+        id: dispatch.job,
+        attempts: dispatch.attempts,
+        request,
+    }]));
+    w.finish()
+}
+
+/// Decodes a dispatch body.
+///
+/// # Errors
+///
+/// Returns a description of the first framing, checksum, or field
+/// error.
+pub fn decode_dispatch(bytes: &[u8]) -> Result<Dispatch, String> {
+    let mut r = Reader::open(bytes, DISPATCH_MAGIC, "dispatch body")?;
+    let job = r.u64()?;
+    let epoch = r.u64()?;
+    let seed_snapshot = match r.u8()? {
+        0 => None,
+        1 => Some(r.blob()?),
+        other => return Err(format!("bad snapshot flag {other}")),
+    };
+    let inner = r.blob()?;
+    r.done()?;
+    let mut jobs = decode_queue(&inner)?;
+    let persisted = match (jobs.pop(), jobs.is_empty()) {
+        (Some(job), true) => job,
+        _ => return Err("dispatch body must carry exactly one job".into()),
+    };
+    if persisted.id != job {
+        return Err(format!(
+            "dispatch job id mismatch: envelope g-{job}, payload g-{}",
+            persisted.id
+        ));
+    }
+    let mut request = persisted.request;
+    request.seed_snapshot = seed_snapshot;
+    Ok(Dispatch {
+        job,
+        epoch,
+        attempts: persisted.attempts,
+        request,
+    })
+}
+
+/// A finished attempt's upload: the verdict and full per-property
+/// results, tagged with the epoch the worker ran under so the
+/// coordinator can fence stale uploads.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The cluster-global job number.
+    pub job: u64,
+    /// The epoch the worker was dispatched under.
+    pub epoch: u64,
+    /// The uploading worker's name.
+    pub worker: String,
+    /// Terminal verdict.
+    pub verdict: Verdict,
+    /// Total attempts consumed (across workers).
+    pub attempts: u32,
+    /// The structured failure, for `Verdict::Failed`.
+    pub error: Option<JobError>,
+    /// Per-property results (present unless the job failed before
+    /// producing any).
+    pub results: Option<Vec<PropertyResult>>,
+}
+
+fn verdict_code(verdict: Verdict) -> u8 {
+    match verdict {
+        Verdict::Passed => 0,
+        Verdict::Violated => 1,
+        Verdict::Inconclusive => 2,
+        Verdict::Failed => 3,
+        Verdict::Cancelled => 4,
+    }
+}
+
+fn verdict_from(code: u8) -> Result<Verdict, String> {
+    Ok(match code {
+        0 => Verdict::Passed,
+        1 => Verdict::Violated,
+        2 => Verdict::Inconclusive,
+        3 => Verdict::Failed,
+        4 => Verdict::Cancelled,
+        other => return Err(format!("bad verdict code {other}")),
+    })
+}
+
+fn stop_code(stop: Option<pnp_kernel::BudgetKind>) -> u8 {
+    use pnp_kernel::BudgetKind;
+    match stop {
+        None => 0,
+        Some(BudgetKind::States) => 1,
+        Some(BudgetKind::Time) => 2,
+        Some(BudgetKind::Depth) => 3,
+        Some(BudgetKind::Memory) => 4,
+        Some(BudgetKind::Cancelled) => 5,
+    }
+}
+
+fn stop_from(code: u8) -> Result<Option<pnp_kernel::BudgetKind>, String> {
+    use pnp_kernel::BudgetKind;
+    Ok(match code {
+        0 => None,
+        1 => Some(BudgetKind::States),
+        2 => Some(BudgetKind::Time),
+        3 => Some(BudgetKind::Depth),
+        4 => Some(BudgetKind::Memory),
+        5 => Some(BudgetKind::Cancelled),
+        other => return Err(format!("bad stop code {other}")),
+    })
+}
+
+/// Encodes a completion body.
+pub fn encode_completion(completion: &Completion) -> Vec<u8> {
+    let mut w = Writer::new(COMPLETION_MAGIC);
+    w.u64(completion.job);
+    w.u64(completion.epoch);
+    w.str(&completion.worker);
+    w.u8(verdict_code(completion.verdict));
+    w.u32(completion.attempts);
+    match &completion.error {
+        Some(error) => {
+            w.u8(1);
+            w.str(error.kind);
+            w.str(&error.reason);
+            w.u32(error.attempts);
+        }
+        None => w.u8(0),
+    }
+    match &completion.results {
+        Some(results) => {
+            w.u8(1);
+            w.u64(results.len() as u64);
+            for r in results {
+                w.str(&r.name);
+                w.u8(u8::from(r.holds));
+                w.u8(u8::from(r.inconclusive));
+                w.u8(u8::from(r.approx));
+                w.str(&r.detail);
+                w.u64(r.states as u64);
+                w.u64(r.steps as u64);
+                w.u64(r.max_depth as u64);
+                w.u8(stop_code(r.stop));
+            }
+        }
+        None => w.u8(0),
+    }
+    w.finish()
+}
+
+fn read_bool(r: &mut Reader<'_>) -> Result<bool, String> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(format!("bad bool {other}")),
+    }
+}
+
+/// Decodes a completion body.
+///
+/// # Errors
+///
+/// Returns a description of the first framing, checksum, or field
+/// error.
+pub fn decode_completion(bytes: &[u8]) -> Result<Completion, String> {
+    let mut r = Reader::open(bytes, COMPLETION_MAGIC, "completion body")?;
+    let job = r.u64()?;
+    let epoch = r.u64()?;
+    let worker = r.str()?;
+    let verdict = verdict_from(r.u8()?)?;
+    let attempts = r.u32()?;
+    let error = match r.u8()? {
+        0 => None,
+        1 => {
+            let kind = match r.str()?.as_str() {
+                "permanent" => "permanent",
+                "transient_exhausted" => "transient_exhausted",
+                other => return Err(format!("bad error kind '{other}'")),
+            };
+            Some(JobError {
+                kind,
+                reason: r.str()?,
+                attempts: r.u32()?,
+            })
+        }
+        other => return Err(format!("bad error flag {other}")),
+    };
+    let results = match r.u8()? {
+        0 => None,
+        1 => {
+            let count = r.usize()?;
+            if count > 65_536 {
+                return Err(format!("implausible result count {count}"));
+            }
+            let mut results = Vec::with_capacity(count);
+            for _ in 0..count {
+                results.push(PropertyResult {
+                    name: r.str()?,
+                    holds: read_bool(&mut r)?,
+                    inconclusive: read_bool(&mut r)?,
+                    approx: read_bool(&mut r)?,
+                    detail: r.str()?,
+                    states: r.usize()?,
+                    steps: r.usize()?,
+                    max_depth: r.usize()?,
+                    stop: stop_from(r.u8()?)?,
+                });
+            }
+            Some(results)
+        }
+        other => return Err(format!("bad results flag {other}")),
+    };
+    r.done()?;
+    Ok(Completion {
+        job,
+        epoch,
+        worker,
+        verdict,
+        attempts,
+        error,
+        results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobConfig;
+
+    fn sample_dispatch() -> Dispatch {
+        let mut request = JobRequest::new("system { global x = 0; }".into(), JobConfig::default());
+        request.seed_snapshot = Some(vec![1, 2, 3, 4]);
+        Dispatch {
+            job: 7,
+            epoch: 3,
+            attempts: 2,
+            request,
+        }
+    }
+
+    #[test]
+    fn dispatch_roundtrips_including_snapshot() {
+        let bytes = encode_dispatch(&sample_dispatch());
+        let decoded = decode_dispatch(&bytes).unwrap();
+        assert_eq!(decoded.job, 7);
+        assert_eq!(decoded.epoch, 3);
+        assert_eq!(decoded.attempts, 2);
+        assert_eq!(decoded.request.source, "system { global x = 0; }");
+        assert_eq!(decoded.request.seed_snapshot, Some(vec![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn dispatch_rejects_corruption() {
+        let mut bytes = encode_dispatch(&sample_dispatch());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(decode_dispatch(&bytes).is_err());
+        assert!(decode_dispatch(&bytes[..bytes.len() - 3]).is_err());
+        assert!(decode_dispatch(b"PNPWRNG1").is_err());
+    }
+
+    #[test]
+    fn completion_roundtrips_results_and_error() {
+        let completion = Completion {
+            job: 9,
+            epoch: 1,
+            worker: "w2".into(),
+            verdict: Verdict::Failed,
+            attempts: 3,
+            error: Some(JobError {
+                kind: "transient_exhausted",
+                reason: "worker wedged past deadline".into(),
+                attempts: 3,
+            }),
+            results: Some(vec![PropertyResult {
+                name: "mutual_exclusion".into(),
+                holds: true,
+                inconclusive: false,
+                approx: false,
+                detail: "42 states".into(),
+                states: 42,
+                steps: 99,
+                max_depth: 7,
+                stop: Some(pnp_kernel::BudgetKind::Time),
+            }]),
+        };
+        let decoded = decode_completion(&encode_completion(&completion)).unwrap();
+        assert_eq!(decoded.job, 9);
+        assert_eq!(decoded.worker, "w2");
+        assert_eq!(decoded.verdict, Verdict::Failed);
+        assert_eq!(decoded.error.as_ref().unwrap().kind, "transient_exhausted");
+        let results = decoded.results.unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "mutual_exclusion");
+        assert_eq!(results[0].stop, Some(pnp_kernel::BudgetKind::Time));
+    }
+
+    #[test]
+    fn completion_rejects_corruption() {
+        let completion = Completion {
+            job: 1,
+            epoch: 0,
+            worker: "w1".into(),
+            verdict: Verdict::Passed,
+            attempts: 1,
+            error: None,
+            results: None,
+        };
+        let mut bytes = encode_completion(&completion);
+        let last = bytes.len() - 9;
+        bytes[last] ^= 0x01;
+        assert!(decode_completion(&bytes).is_err());
+    }
+}

@@ -169,24 +169,24 @@ fn supervisor_on_simfs_retries_drains_and_restores() {
     let wait = Duration::from_secs(30);
 
     let clean = supervisor
-        .submit(JobRequest {
-            source: CHAOS_SPEC.to_string(),
-            config: JobConfig::default(),
-        })
+        .submit(JobRequest::new(
+            CHAOS_SPEC.to_string(),
+            JobConfig::default(),
+        ))
         .unwrap();
     assert_eq!(supervisor.wait_done(clean, wait), Some(Verdict::Passed));
 
     let killed = supervisor
-        .submit(JobRequest {
-            source: CHAOS_SPEC.to_string(),
-            config: JobConfig {
+        .submit(JobRequest::new(
+            CHAOS_SPEC.to_string(),
+            JobConfig {
                 chaos: Some(Chaos::PanicOnFlush {
                     flush: 3,
                     attempts: 1,
                 }),
                 ..JobConfig::default()
             },
-        })
+        ))
         .unwrap();
     assert_eq!(supervisor.wait_done(killed, wait), Some(Verdict::Passed));
     assert_eq!(supervisor.attempts(killed), Some(2), "one retry expected");
@@ -199,10 +199,10 @@ fn supervisor_on_simfs_retries_drains_and_restores() {
     // Park a queued job behind the drain, then restore it on a fresh
     // supervisor over the same simulated disk.
     let parked = supervisor
-        .submit(JobRequest {
-            source: CHAOS_SPEC.to_string(),
-            config: JobConfig::default(),
-        })
+        .submit(JobRequest::new(
+            CHAOS_SPEC.to_string(),
+            JobConfig::default(),
+        ))
         .unwrap();
     let _ = parked;
     supervisor.drain();

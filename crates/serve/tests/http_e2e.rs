@@ -231,7 +231,9 @@ fn http_api_end_to_end_with_sigterm_drain() {
     assert_eq!(queued.status, 202);
     let rejected = http(&small_addr, "POST", "/jobs", SPEC);
     assert_eq!(rejected.status, 503, "{}", rejected.body);
-    assert_eq!(rejected.header("Retry-After"), Some("1"));
+    // The hint scales with queue pressure: base 1500 ms + 2x base at a
+    // full queue (depth 1 of capacity 1) = 4500 ms, 4 whole seconds.
+    assert_eq!(rejected.header("Retry-After"), Some("4"));
     assert_eq!(
         find_str(&rejected.body, "error").as_deref(),
         Some("overloaded")
@@ -241,7 +243,7 @@ fn http_api_end_to_end_with_sigterm_drain() {
         Some("queue_full")
     );
     assert!(rejected.body.contains("\"retryable\":true"));
-    assert_eq!(find_num(&rejected.body, "retry_after_ms"), Some(1500));
+    assert_eq!(find_num(&rejected.body, "retry_after_ms"), Some(4500));
     // Admitted work is unaffected by the shed.
     let busy_result = wait_for_done(&small_addr, &busy_id);
     assert_eq!(
@@ -267,10 +269,10 @@ fn http_api_end_to_end_with_sigterm_drain() {
     let _ = std::fs::remove_dir_all(&shed_dir);
 
     // Draining supervisor sheds further submissions.
-    let shed = supervisor.submit(pnp_serve::job::JobRequest {
-        source: SPEC.to_string(),
-        config: pnp_serve::job::JobConfig::default(),
-    });
+    let shed = supervisor.submit(pnp_serve::job::JobRequest::new(
+        SPEC.to_string(),
+        pnp_serve::job::JobConfig::default(),
+    ));
     assert_eq!(shed.expect_err("draining must shed").reason, "draining");
     let _ = std::fs::remove_dir_all(&state_dir);
 }

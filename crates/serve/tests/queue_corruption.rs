@@ -43,9 +43,9 @@ fn arb_job() -> impl Strategy<Value = PersistedJob> {
                 PersistedJob {
                     id,
                     attempts,
-                    request: JobRequest {
-                        source: source.to_string(),
-                        config: JobConfig {
+                    request: JobRequest::new(
+                        source.to_string(),
+                        JobConfig {
                             config: SearchConfig {
                                 max_states,
                                 max_time: (extras & 1 != 0)
@@ -61,7 +61,7 @@ fn arb_job() -> impl Strategy<Value = PersistedJob> {
                                 attempts: 1,
                             }),
                         },
-                    },
+                    ),
                 }
             },
         )

@@ -90,10 +90,7 @@ fn test_config(tag: &str) -> ServeConfig {
 }
 
 fn request(source: &str, config: JobConfig) -> JobRequest {
-    JobRequest {
-        source: source.to_string(),
-        config,
-    }
+    JobRequest::new(source.to_string(), config)
 }
 
 const WAIT: Duration = Duration::from_secs(30);
@@ -313,7 +310,9 @@ fn overload_sheds_with_retry_hint_while_in_flight_jobs_finish() {
         .submit(request(COUNTERS, JobConfig::default()))
         .expect_err("the queue is full; this submission must shed");
     assert_eq!(shed.reason, "queue_full");
-    assert_eq!(shed.retry_after, Duration::from_millis(1234));
+    // Pressure-scaled hint: a full queue (depth 2 of capacity 2) pushes
+    // back at 3x the base of 1234 ms.
+    assert_eq!(shed.retry_after, Duration::from_millis(3 * 1234));
     assert!(shed.queue_depth >= 2);
     assert!(supervisor.stats().shed >= 1);
 
