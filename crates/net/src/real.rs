@@ -18,7 +18,9 @@ use crate::{NetError, Transport, WireRequest, WireResponse};
 pub struct RealTcp {
     /// Connect timeout (default 3 s).
     pub connect_timeout: Duration,
-    /// Read timeout for the whole response (default 10 s).
+    /// Deadline for reading the whole response (default 10 s). Bounds
+    /// total elapsed read time, not each read syscall, so a peer
+    /// trickling one byte per interval still times out.
     pub read_timeout: Duration,
     /// Write timeout for the request (default 10 s).
     pub write_timeout: Duration,
@@ -79,10 +81,24 @@ impl Transport for RealTcp {
                 classify(&format!("send to {peer}"), &e)
             })?;
 
+        // Read under an overall deadline: re-arm the socket timeout
+        // with the time left before every read, so a slow-trickling
+        // peer cannot hold the exchange open past `read_timeout`.
+        let deadline = std::time::Instant::now() + self.read_timeout;
         let mut raw = Vec::new();
-        stream
-            .read_to_end(&mut raw)
-            .map_err(|e| classify(&format!("read from {peer}"), &e))?;
+        let mut chunk = [0u8; 8192];
+        loop {
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .filter(|d| !d.is_zero())
+                .ok_or_else(|| NetError::Timeout(format!("read from {peer}")))?;
+            let _ = stream.set_read_timeout(Some(remaining));
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => raw.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(classify(&format!("read from {peer}"), &e)),
+            }
+        }
         parse_response(&raw)
             .ok_or_else(|| NetError::Reset(format!("malformed response from {peer}")))
     }
@@ -149,6 +165,38 @@ mod tests {
         };
         let result = RealTcp::default().request(&addr.to_string(), &WireRequest::get("/health"));
         assert!(matches!(result, Err(NetError::Refused(_))));
+    }
+
+    #[test]
+    fn trickling_peer_hits_the_overall_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let _ = stream.read(&mut buf).unwrap();
+            // Headers promise a large body, then one byte per 50 ms:
+            // each read succeeds inside a per-syscall timeout, so only
+            // an overall deadline can stop this.
+            stream
+                .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 1000\r\n\r\n")
+                .unwrap();
+            for _ in 0..100 {
+                if stream.write_all(b"x").is_err() {
+                    return; // Client gave up — exactly what we want.
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+        let client = RealTcp {
+            read_timeout: Duration::from_millis(300),
+            ..RealTcp::default()
+        };
+        let started = std::time::Instant::now();
+        let result = client.request(&addr, &WireRequest::get("/health"));
+        assert!(matches!(result, Err(NetError::Timeout(_))), "{result:?}");
+        assert!(started.elapsed() < Duration::from_secs(3));
+        server.join().unwrap();
     }
 
     #[test]

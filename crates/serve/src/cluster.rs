@@ -80,6 +80,11 @@ pub struct ClusterConfig {
     /// Concurrent dispatches per worker (default 2 — the worker
     /// daemon's thread count).
     pub max_inflight_per_worker: usize,
+    /// Terminal jobs retained for result queries before the oldest are
+    /// evicted (default 256). Keeps a long-lived coordinator's job and
+    /// idempotency maps bounded; an evicted job's late stale upload
+    /// gets `404` instead of `409`, which discards it just the same.
+    pub retain_done: usize,
     /// Shed `Retry-After` scaling (reuses the queue policy's
     /// pressure-derived hint).
     pub queue: QueuePolicy,
@@ -102,6 +107,7 @@ impl Default for ClusterConfig {
             capacity: 64,
             tenant_quota: 16,
             max_inflight_per_worker: 2,
+            retain_done: 256,
             queue: QueuePolicy::default(),
             state_dir: std::path::PathBuf::from(".pnp-serve"),
             vfs: real_fs(),
@@ -494,6 +500,7 @@ impl Coordinator {
                 let job = inner.jobs.get_mut(&id).expect("job exists");
                 job.phase = GlobalPhase::Done(Verdict::Cancelled);
                 inner.stats.completed += 1;
+                self.evict_terminal(&mut inner);
                 peer
             }
         };
@@ -574,10 +581,36 @@ impl Coordinator {
         job.last_worker = Some(completion.worker.clone());
         job.completion = Some(completion);
         inner.stats.completed += 1;
+        self.evict_terminal(inner);
         WireResponse::new(
             200,
             Obj::new().str("status", "recorded").build().into_bytes(),
         )
+    }
+
+    /// Evicts the oldest terminal jobs (and their idempotency keys)
+    /// once more than `retain_done` are held, so a long-lived
+    /// coordinator does not grow without bound.
+    fn evict_terminal(&self, inner: &mut CoInner) {
+        let done: Vec<u64> = inner
+            .jobs
+            .values()
+            .filter(|j| matches!(j.phase, GlobalPhase::Done(_)))
+            .map(|j| j.id)
+            .collect();
+        if done.len() <= self.config.retain_done {
+            return;
+        }
+        // BTreeMap iteration is id-ascending, so `done` is oldest-first.
+        for id in &done[..done.len() - self.config.retain_done] {
+            if let Some(job) = inner.jobs.remove(id) {
+                if let Some(key) = &job.request.idem {
+                    if inner.idem.get(key) == Some(&job.id) {
+                        inner.idem.remove(key);
+                    }
+                }
+            }
+        }
     }
 
     /// One coordinator step at `now_ms`: run the failure detector,
@@ -633,7 +666,7 @@ impl Coordinator {
                     if let Ok(completion) = decode_completion(&response.body) {
                         let mut inner = self.lock();
                         let adopted = self.adopt_completion(&mut inner, completion);
-                        if adopted.status != 200 {
+                        if adopted.status != 200 && still_dispatched(&inner, job, epoch, &worker) {
                             // The worker answered with a stale attempt's
                             // result; it will never produce the current
                             // epoch, so move the job elsewhere.
@@ -658,7 +691,9 @@ impl Coordinator {
                     // restarted and lost its in-memory state): migrate
                     // this job without condemning the whole worker.
                     let mut inner = self.lock();
-                    self.migrate_job(&mut inner, job, now_ms);
+                    if still_dispatched(&inner, job, epoch, &worker) {
+                        self.migrate_job(&mut inner, job, now_ms);
+                    }
                 }
                 Err(_) => {
                     // Unreachable past the request deadline: declare the
@@ -735,6 +770,7 @@ impl Coordinator {
         if job.attempts >= max_attempts {
             job.phase = GlobalPhase::Done(Verdict::Failed);
             inner.stats.completed += 1;
+            self.evict_terminal(inner);
             return;
         }
         job.phase = GlobalPhase::Pending;
@@ -885,8 +921,9 @@ impl Coordinator {
                 // reconciles.
                 let _ = response;
             }
-            Ok(response) => {
-                // Shed (503) or rejected: back off and retry placement.
+            Ok(response) if response.status == 503 => {
+                // Shed: the worker never started the job, so refund the
+                // attempt, back off by its hint, and retry placement.
                 job.phase = GlobalPhase::Pending;
                 job.attempts = job.attempts.saturating_sub(1);
                 let hint = response
@@ -894,6 +931,19 @@ impl Coordinator {
                     .map(|s| s * 1000)
                     .unwrap_or(self.config.backoff_base_ms);
                 job.not_before_ms = now_ms + hint;
+            }
+            Ok(_) => {
+                // Rejected (4xx/5xx): likely deterministic, so the
+                // attempt stays consumed — a persistent rejection burns
+                // through the budget instead of retrying forever.
+                if job.attempts >= self.config.max_attempts {
+                    job.phase = GlobalPhase::Done(Verdict::Failed);
+                    inner.stats.completed += 1;
+                    self.evict_terminal(&mut inner);
+                } else {
+                    job.phase = GlobalPhase::Pending;
+                    job.not_before_ms = now_ms + self.config.backoff_base_ms;
+                }
             }
             Err(error) => {
                 if error.request_delivered() {
@@ -1015,6 +1065,17 @@ fn decode_cluster_queue(bytes: &[u8]) -> Result<(u64, Vec<GlobalJob>), String> {
     Ok((next_id, jobs))
 }
 
+/// Whether `job` is still dispatched to `worker` under `epoch` — the
+/// guard every poll-outcome handler must pass before acting, because a
+/// poll collected at the top of `tick` can go stale while earlier polls
+/// in the same loop migrate jobs or condemn workers.
+fn still_dispatched(inner: &CoInner, job: u64, epoch: u64, worker: &str) -> bool {
+    inner.jobs.get(&job).is_some_and(|j| {
+        j.epoch == epoch
+            && matches!(&j.phase, GlobalPhase::Dispatched { worker: w, .. } if w == worker)
+    })
+}
+
 fn parse_global(id: &str) -> Option<u64> {
     id.strip_prefix("g-")?.parse().ok()
 }
@@ -1065,10 +1126,35 @@ pub struct WorkerGateway {
 #[derive(Default)]
 struct GatewayInner {
     /// Global job → the epoch we run it under and its local id.
+    /// Settled entries stay so a duplicated dispatch of a finished
+    /// epoch answers idempotently; [`settle`] evicts the oldest beyond
+    /// [`SETTLED_RETAIN`] (a re-run of an evicted job is fenced by the
+    /// coordinator's epoch check anyway).
     jobs: HashMap<u64, GatewayJob>,
-    /// Completions pushed and acknowledged (or fenced) — kept so a
-    /// duplicated dispatch of a finished epoch answers idempotently.
-    acked: HashMap<u64, u64>,
+}
+
+/// Settled gateway entries kept before the oldest are evicted.
+const SETTLED_RETAIN: usize = 256;
+
+/// Marks `job` settled and evicts the oldest settled entries beyond
+/// [`SETTLED_RETAIN`], keeping a long-lived worker's map bounded.
+fn settle(inner: &mut GatewayInner, job: u64) {
+    if let Some(entry) = inner.jobs.get_mut(&job) {
+        entry.settled = true;
+    }
+    let mut settled: Vec<u64> = inner
+        .jobs
+        .iter()
+        .filter(|(_, entry)| entry.settled)
+        .map(|(&job, _)| job)
+        .collect();
+    if settled.len() <= SETTLED_RETAIN {
+        return;
+    }
+    settled.sort_unstable();
+    for id in &settled[..settled.len() - SETTLED_RETAIN] {
+        inner.jobs.remove(id);
+    }
 }
 
 struct GatewayJob {
@@ -1269,18 +1355,11 @@ impl WorkerGateway {
             match transport.request(peer, &request) {
                 Ok(response) if response.status == 200 => {
                     report.acknowledged += 1;
-                    let mut inner = self.lock();
-                    if let Some(entry) = inner.jobs.get_mut(&job) {
-                        entry.settled = true;
-                    }
-                    inner.acked.insert(job, epoch);
+                    settle(&mut self.lock(), job);
                 }
                 Ok(response) if response.status == 409 => {
                     report.fenced += 1;
-                    let mut inner = self.lock();
-                    if let Some(entry) = inner.jobs.get_mut(&job) {
-                        entry.settled = true;
-                    }
+                    settle(&mut self.lock(), job);
                 }
                 Ok(_) | Err(_) => {
                     // Unreachable or shedding: keep it pending and push

@@ -43,7 +43,7 @@ use std::time::Duration;
 use pnp_kernel::TerminationFlag;
 
 use cluster::{Coordinator, WorkerGateway};
-use http::{read_request, respond_json, Limits, Request};
+use http::{read_request, respond, respond_json, Limits, Request};
 use job::{JobConfig, JobId, JobRequest};
 use json::Obj;
 use supervisor::Supervisor;
@@ -257,7 +257,22 @@ fn respond_wire(stream: &mut TcpStream, response: &pnp_net::WireResponse) {
         .map(|secs| ("Retry-After", secs.to_string()))
         .into_iter()
         .collect();
-    let _ = respond_json(stream, response.status, reason, &headers, &response.text());
+    // The body must go out verbatim: `/cluster/snapshot` and a 200
+    // `/cluster/poll` carry binary payloads that a lossy UTF-8 round
+    // trip would corrupt.
+    let content_type = if response.body.first() == Some(&b'{') {
+        "application/json"
+    } else {
+        "application/octet-stream"
+    };
+    let _ = respond(
+        stream,
+        response.status,
+        reason,
+        content_type,
+        &headers,
+        &response.body,
+    );
 }
 
 fn cluster_route(stream: &mut TcpStream, node: &Node, request: &Request) {
