@@ -12,8 +12,9 @@
 //! Flags:
 //!
 //! * `--seeds N` — seeds `0..N` per schedule (default 8)
-//! * `--schedule S` — run only `checkpoint-crash`, `drain-crash`, or
-//!   `enospc` (default: all three)
+//! * `--schedule S` — run only `checkpoint-crash`, `drain-crash`,
+//!   `enospc`, `spill-crash`, `enospc-during-merge`, or
+//!   `resume-after-spill` (default: all six)
 
 use std::process::ExitCode;
 
@@ -54,7 +55,7 @@ fn main() -> ExitCode {
         schedules.len()
     );
     println!(
-        "{:<18} {:>5} {:>8} {:>9} {:>10}  detail",
+        "{:<20} {:>5} {:>8} {:>9} {:>10}  detail",
         "schedule", "seed", "reboots", "attempts", "identical"
     );
     let mut failures = 0u64;
@@ -63,7 +64,7 @@ fn main() -> ExitCode {
             match run_schedule(schedule, seed) {
                 Ok(outcome) => {
                     println!(
-                        "{:<18} {:>5} {:>8} {:>9} {:>10}  {}",
+                        "{:<20} {:>5} {:>8} {:>9} {:>10}  {}",
                         schedule.as_str(),
                         seed,
                         outcome.reboots,
@@ -77,7 +78,7 @@ fn main() -> ExitCode {
                 }
                 Err(error) => {
                     println!(
-                        "{:<18} {:>5} {:>8} {:>9} {:>10}  {error}",
+                        "{:<20} {:>5} {:>8} {:>9} {:>10}  {error}",
                         schedule.as_str(),
                         seed,
                         "-",
@@ -101,7 +102,10 @@ fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("chaos: {error}");
     }
-    eprintln!("usage: chaos [--seeds N] [--schedule checkpoint-crash|drain-crash|enospc]");
+    eprintln!(
+        "usage: chaos [--seeds N] [--schedule checkpoint-crash|drain-crash|enospc\
+         |spill-crash|enospc-during-merge|resume-after-spill]"
+    );
     if error.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -3,13 +3,16 @@
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::expression::{EvalCtx, Expr};
+use crate::extmem::SpillFrontier;
 use crate::program::Program;
 use crate::snapshot::{
     program_fingerprint, SnapStats, Snapshot, SnapshotError, SnapshotSink, VisitedPayload,
@@ -18,8 +21,10 @@ use crate::state::{
     apply_step, enabled_steps, is_valid_end_state, KernelError, State, StateView, Step,
 };
 use crate::trace::Trace;
+use crate::vfs::VfsHandle;
 use crate::visited::{
-    AnyVisited, BitstateVisited, CompactVisited, ExactVisited, VisitedKind, VisitedSet,
+    disk_hash, AnyVisited, BitstateVisited, CompactVisited, DiskExactVisited, ExactVisited,
+    VisitedKind, VisitedSet,
 };
 
 /// A boolean predicate over system states, used for invariants and LTL
@@ -241,8 +246,18 @@ pub struct SearchConfig {
     /// `unique_states`, `steps`, and `max_depth` (see the crate docs for
     /// which report fields may vary). LTL checking
     /// ([`Checker::check_ltl`]) is inherently sequential (nested DFS) and
-    /// ignores this setting.
+    /// ignores this setting. The out-of-core backend
+    /// ([`VisitedKind::DiskExact`]) is also sequential: it routes to the
+    /// sequential kernel regardless of this setting.
     pub threads: usize,
+    /// Memory-pressure spill threshold in bytes (default none). When the
+    /// estimated footprint crosses it, the search moves its in-RAM exact
+    /// visited set and frontier to the out-of-core structures *mid-run*
+    /// (the [`VisitedKind::DiskExact`] backend plus a spilled frontier)
+    /// instead of tripping [`SafetyOutcome::LimitReached`]. With a lossy
+    /// visited backend only the frontier can spill. Ignored by the
+    /// parallel kernel.
+    pub spill_at_bytes: Option<usize>,
 }
 
 impl Default for SearchConfig {
@@ -255,6 +270,7 @@ impl Default for SearchConfig {
             max_memory_bytes: None,
             visited: VisitedKind::Exact,
             threads: 1,
+            spill_at_bytes: None,
         }
     }
 }
@@ -284,20 +300,51 @@ pub struct SearchStats {
     /// replay could not confirm and were therefore *not* reported (zero in
     /// practice; the counter exists so silent drops are visible).
     pub replay_rejected: usize,
+    /// States written to out-of-core spill storage (visited-set runs plus
+    /// frontier chunks). Zero for a search that never spilled.
+    pub spilled_states: usize,
+    /// Bytes written to spill storage, including compaction rewrites.
+    pub spill_bytes: usize,
+    /// Merge-compaction passes over the on-disk visited runs.
+    pub merge_passes: usize,
+}
+
+/// Renders a byte count with units chosen by magnitude (KiB, MiB, or
+/// GiB), so multi-GiB runs don't print million-KiB figures.
+fn fmt_bytes(bytes: usize) -> String {
+    const MIB: f64 = 1024.0 * 1024.0;
+    let b = bytes as f64;
+    if b >= 1024.0 * MIB {
+        format!("{:.1} GiB", b / (1024.0 * MIB))
+    } else if b >= MIB {
+        format!("{:.1} MiB", b / MIB)
+    } else {
+        format!("{} KiB", bytes / 1024)
+    }
 }
 
 impl fmt::Display for SearchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} states, {} steps, depth {}, peak frontier {}, ~{} KiB, {:?}",
+            "{} states, {} steps, depth {}, peak frontier {}, ~{}, {:?}",
             self.unique_states,
             self.steps,
             self.max_depth,
             self.peak_frontier,
-            self.approx_memory_bytes / 1024,
+            fmt_bytes(self.approx_memory_bytes),
             self.elapsed
-        )
+        )?;
+        if self.spilled_states > 0 || self.spill_bytes > 0 {
+            write!(
+                f,
+                " (spilled {} states, {}, {} merges)",
+                self.spilled_states,
+                fmt_bytes(self.spill_bytes),
+                self.merge_passes
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -591,7 +638,7 @@ pub(crate) fn approx_state_bytes(program: &Program) -> usize {
 /// on resume, which is smaller and self-validating.
 pub(crate) fn visited_payload(visited: &AnyVisited) -> VisitedPayload {
     match visited {
-        AnyVisited::Exact(_) => VisitedPayload::Exact,
+        AnyVisited::Exact(_) | AnyVisited::Disk(_) => VisitedPayload::Exact,
         AnyVisited::Compact(set) => VisitedPayload::Compact(set.snapshot_hashes()),
         AnyVisited::Bitstate(set) => {
             let (arena, inserted) = set.snapshot_arena();
@@ -632,6 +679,9 @@ pub(crate) fn flush_checkpoint(
             approx_memory_bytes: stats.approx_memory_bytes as u64,
             elapsed_nanos: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
             replay_rejected: stats.replay_rejected as u64,
+            spilled_states: stats.spilled_states as u64,
+            spill_bytes: stats.spill_bytes as u64,
+            merge_passes: stats.merge_passes as u64,
         },
         parents: parents.to_vec(),
         depths: depths.to_vec(),
@@ -645,34 +695,65 @@ pub(crate) fn flush_checkpoint(
         })
 }
 
-/// Rebuilds the visited-set backend recorded in a snapshot. Exact sets are
-/// reconstructed by replaying every state's discovery chain (parent ids are
-/// strictly increasing, so a single forward pass suffices); lossy backends
-/// restore their serialized hash content directly.
+/// Replays every state's discovery chain recorded in `parents` (parent ids
+/// are strictly increasing, so a single forward pass suffices).
+fn replay_states(
+    program: &Program,
+    parents: &[Option<(usize, Step)>],
+) -> Result<Vec<Rc<State>>, KernelError> {
+    let mut states: Vec<Rc<State>> = Vec::with_capacity(parents.len());
+    for (id, parent) in parents.iter().enumerate() {
+        let state = match parent {
+            None if id == 0 => Rc::new(State::initial(program)),
+            None => {
+                return Err(KernelError::Snapshot {
+                    message: format!("state {id} has no parent but is not the root"),
+                })
+            }
+            Some((parent_id, step)) => {
+                let applied = apply_step(program, &states[*parent_id], *step)?;
+                Rc::new(applied.state)
+            }
+        };
+        states.push(state);
+    }
+    Ok(states)
+}
+
+/// Rebuilds the visited-set backend recorded in a snapshot. Exact and
+/// disk-backed sets are reconstructed by replaying every state's discovery
+/// chain; lossy backends restore their serialized hash content directly.
+/// `storage` is where a [`VisitedKind::DiskExact`] rebuild puts its runs.
 fn restore_visited(
     program: &Program,
     snapshot: &Snapshot,
     per_state_bytes: usize,
+    storage: &(VfsHandle, PathBuf),
+    spill_at: Option<usize>,
 ) -> Result<AnyVisited, KernelError> {
     match &snapshot.visited {
+        VisitedPayload::Exact if snapshot.kind == VisitedKind::DiskExact => {
+            let mut disk =
+                new_disk_visited(storage, spill_at).map_err(|error| KernelError::Snapshot {
+                    message: format!("cannot prepare spill storage: {error}"),
+                })?;
+            for state in replay_states(program, &snapshot.parents)? {
+                disk.insert(&state);
+                if let Some(error) = disk.take_error() {
+                    return Err(KernelError::Snapshot {
+                        message: format!("out-of-core visited rebuild failed: {error}"),
+                    });
+                }
+            }
+            // The snapshot already carries the uninterrupted spill totals;
+            // the rebuild's own writes must not be double-counted.
+            disk.reset_spill_counters();
+            Ok(AnyVisited::Disk(disk))
+        }
         VisitedPayload::Exact => {
             let mut set = ExactVisited::new(per_state_bytes);
-            let mut states: Vec<Rc<State>> = Vec::with_capacity(snapshot.parents.len());
-            for (id, parent) in snapshot.parents.iter().enumerate() {
-                let state = match parent {
-                    None if id == 0 => Rc::new(State::initial(program)),
-                    None => {
-                        return Err(KernelError::Snapshot {
-                            message: format!("state {id} has no parent but is not the root"),
-                        })
-                    }
-                    Some((parent_id, step)) => {
-                        let applied = apply_step(program, &states[*parent_id], *step)?;
-                        Rc::new(applied.state)
-                    }
-                };
+            for state in replay_states(program, &snapshot.parents)? {
                 set.insert(&state);
-                states.push(state);
             }
             Ok(AnyVisited::Exact(set))
         }
@@ -699,6 +780,225 @@ fn restore_visited(
     }
 }
 
+/// The BFS queue: in RAM until the spill threshold moves it out of core.
+enum Frontier {
+    Ram(VecDeque<(usize, Rc<State>)>),
+    Disk(SpillFrontier),
+}
+
+impl Frontier {
+    fn len(&self) -> usize {
+        match self {
+            Frontier::Ram(queue) => queue.len(),
+            Frontier::Disk(spill) => spill.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            Frontier::Ram(queue) => queue.is_empty(),
+            Frontier::Disk(spill) => spill.is_empty(),
+        }
+    }
+
+    /// RAM resident bytes (a spilled frontier holds only its head/tail
+    /// windows and chunk bookkeeping in memory).
+    fn ram_bytes(&self, per_state_bytes: usize) -> usize {
+        match self {
+            Frontier::Ram(queue) => queue.len() * per_state_bytes,
+            Frontier::Disk(spill) => spill.ram_bytes(),
+        }
+    }
+
+    fn pop_front(&mut self) -> io::Result<Option<(usize, Rc<State>)>> {
+        match self {
+            Frontier::Ram(queue) => Ok(queue.pop_front()),
+            Frontier::Disk(spill) => spill.pop_front(),
+        }
+    }
+
+    /// Requeues at the front; infallible in both representations so budget
+    /// rollback can never fail.
+    fn push_front(&mut self, id: usize, state: Rc<State>) {
+        match self {
+            Frontier::Ram(queue) => queue.push_front((id, state)),
+            Frontier::Disk(spill) => spill.push_front(id, state),
+        }
+    }
+
+    fn push_back(&mut self, id: usize, state: Rc<State>) -> io::Result<()> {
+        match self {
+            Frontier::Ram(queue) => {
+                queue.push_back((id, state));
+                Ok(())
+            }
+            Frontier::Disk(spill) => spill.push_back(id, state),
+        }
+    }
+
+    /// The full queue content in FIFO order, for checkpoint flushes.
+    fn snapshot_states(&self) -> io::Result<Vec<(usize, State)>> {
+        match self {
+            Frontier::Ram(queue) => Ok(queue
+                .iter()
+                .map(|(id, state)| (*id, (**state).clone()))
+                .collect()),
+            Frontier::Disk(spill) => spill.snapshot_states(),
+        }
+    }
+}
+
+/// Deterministic RAM-footprint estimate of the live search structures.
+fn memory_estimate(
+    visited: &AnyVisited,
+    frontier: &Frontier,
+    n_states: usize,
+    per_state_bytes: usize,
+) -> usize {
+    match visited {
+        AnyVisited::Exact(_) => {
+            // Frontier states share their payload with the visited set;
+            // only the queue entries themselves count.
+            visited.approx_bytes() + frontier.len() * std::mem::size_of::<usize>()
+        }
+        _ => {
+            // Lossy and disk backends keep no RAM payloads: the per-state
+            // cost is the parent/depth bookkeeping plus the frontier's
+            // RAM-resident payloads.
+            let parent_entry =
+                std::mem::size_of::<Option<(usize, Step)>>() + std::mem::size_of::<usize>();
+            visited.approx_bytes() + n_states * parent_entry + frontier.ram_bytes(per_state_bytes)
+        }
+    }
+}
+
+// Out-of-core tuning derived from the spill threshold: a tiny threshold
+// (tests, chaos harnesses) gets proportionally tiny write buffers, Bloom
+// front, and frontier chunks, so spilling actually exercises the disk
+// structures instead of hiding everything in RAM buffers.
+
+fn disk_buf_cap(spill_at: Option<usize>) -> usize {
+    spill_at.map_or(DiskExactVisited::DEFAULT_BUF_CAP, |at| {
+        (at / 32).clamp(256, DiskExactVisited::DEFAULT_BUF_CAP)
+    })
+}
+
+fn disk_bloom_bytes(spill_at: Option<usize>) -> usize {
+    spill_at.map_or(DiskExactVisited::DEFAULT_BLOOM_BYTES, |at| {
+        (at / 2).clamp(1024, DiskExactVisited::DEFAULT_BLOOM_BYTES)
+    })
+}
+
+fn frontier_chunk_cap(spill_at: Option<usize>) -> usize {
+    spill_at.map_or(1 << 20, |at| (at / 8).clamp(512, 1 << 20))
+}
+
+/// A fresh scratch directory under the system temp dir, for a search that
+/// needs spill storage but was given none via [`Checker::spill_to`]. A
+/// process-wide counter keeps concurrent searches apart.
+fn default_spill_storage() -> (VfsHandle, PathBuf) {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("pnp-spill-{}-{n}", std::process::id()));
+    (crate::vfs::real_fs(), dir)
+}
+
+/// Constructs the disk-backed visited set under `storage`.
+fn new_disk_visited(
+    storage: &(VfsHandle, PathBuf),
+    spill_at: Option<usize>,
+) -> io::Result<DiskExactVisited> {
+    DiskExactVisited::new(
+        VfsHandle::clone(&storage.0),
+        storage.1.join("visited"),
+        disk_buf_cap(spill_at),
+        disk_bloom_bytes(spill_at),
+    )
+}
+
+/// Decides how an out-of-core I/O failure degrades: a full disk trips the
+/// memory budget (an honest `LimitReached` partial result — the structures
+/// stay consistent, a failed flush keeps its states buffered); anything
+/// else aborts the attempt as a transient [`KernelError::Snapshot`].
+fn spill_trip(error: &io::Error, what: &str) -> Result<BudgetKind, KernelError> {
+    if error.kind() == io::ErrorKind::StorageFull {
+        Ok(BudgetKind::Memory)
+    } else {
+        Err(KernelError::Snapshot {
+            message: format!("{what}: {error}"),
+        })
+    }
+}
+
+/// Moves the in-RAM exact visited set and/or RAM frontier out of core.
+/// Non-destructive on failure: the RAM structures are only replaced after
+/// their disk counterparts are fully built, so a failed transition leaves
+/// the search state intact for an honest budget trip.
+fn spill_to_disk(
+    storage: &(VfsHandle, PathBuf),
+    spill_at: Option<usize>,
+    per_state_bytes: usize,
+    visited: &mut AnyVisited,
+    frontier: &mut Frontier,
+) -> io::Result<()> {
+    if matches!(visited, AnyVisited::Exact(_)) {
+        let mut disk = new_disk_visited(storage, spill_at)?;
+        if let AnyVisited::Exact(set) = &*visited {
+            // Hash-set iteration order is nondeterministic; a sorted
+            // insert order keeps the spill's disk-op sequence reproducible
+            // under the seeded SimFs.
+            let mut states: Vec<Rc<State>> = set.states().cloned().collect();
+            states.sort_unstable_by_key(|state| disk_hash(state));
+            for state in &states {
+                disk.insert(state);
+                if let Some(error) = disk.take_error() {
+                    return Err(error);
+                }
+            }
+        }
+        *visited = AnyVisited::Disk(disk);
+    }
+    if matches!(frontier, Frontier::Ram(_)) {
+        let mut spill = SpillFrontier::new(
+            VfsHandle::clone(&storage.0),
+            storage.1.join("frontier"),
+            frontier_chunk_cap(spill_at),
+            per_state_bytes,
+        )?;
+        if let Frontier::Ram(queue) = &*frontier {
+            for (id, state) in queue {
+                spill.push_back(*id, Rc::clone(state))?;
+            }
+        }
+        *frontier = Frontier::Disk(spill);
+    }
+    Ok(())
+}
+
+/// Folds the live out-of-core counters into the stats, on top of the
+/// baseline carried over from a resume snapshot — so a resumed spilled run
+/// reports exactly the uninterrupted totals.
+fn sync_spill_stats(
+    stats: &mut SearchStats,
+    base: (usize, usize, usize),
+    visited: &AnyVisited,
+    frontier: &Frontier,
+) {
+    let (mut spilled_states, mut spill_bytes, mut merge_passes) = base;
+    if let AnyVisited::Disk(disk) = visited {
+        spilled_states += disk.spilled_states();
+        spill_bytes += disk.spill_bytes();
+        merge_passes += disk.merge_passes();
+    }
+    if let Frontier::Disk(spill) = frontier {
+        spilled_states += spill.spilled_states();
+        spill_bytes += spill.spill_bytes();
+    }
+    stats.spilled_states = spilled_states;
+    stats.spill_bytes = spill_bytes;
+    stats.merge_passes = merge_passes;
+}
+
 /// The explicit-state model checker.
 ///
 /// Create one per [`Program`]; the checking methods are read-only and can be
@@ -717,6 +1017,8 @@ pub struct Checker<'p> {
     pub(crate) tag: String,
     /// Search state to resume from, set by [`Checker::resume_from`].
     pub(crate) resume: Option<Snapshot>,
+    /// Where out-of-core structures live, set by [`Checker::spill_to`].
+    pub(crate) storage: Option<(VfsHandle, PathBuf)>,
 }
 
 impl fmt::Debug for Checker<'_> {
@@ -728,6 +1030,7 @@ impl fmt::Debug for Checker<'_> {
             .field("has_sink", &self.sink.is_some())
             .field("tag", &self.tag)
             .field("resuming", &self.resume.is_some())
+            .field("has_storage", &self.storage.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -748,6 +1051,7 @@ impl<'p> Checker<'p> {
             sink: None,
             tag: String::new(),
             resume: None,
+            storage: None,
         }
     }
 
@@ -795,6 +1099,19 @@ impl<'p> Checker<'p> {
         if let Some(snapshot) = &self.resume {
             self.config.visited = snapshot.kind;
         }
+        self
+    }
+
+    /// Directs out-of-core storage — the [`VisitedKind::DiskExact`]
+    /// backend's runs and any spilled frontier chunks — to `dir` on `vfs`.
+    ///
+    /// Without this, a search that needs spill storage uses a fresh
+    /// scratch directory under the system temp dir on the real
+    /// filesystem. The directory is scratch space: each search wipes any
+    /// stale run files it finds there, and nothing in it outlives the
+    /// search usefully.
+    pub fn spill_to(mut self, vfs: VfsHandle, dir: impl Into<PathBuf>) -> Checker<'p> {
+        self.storage = Some((vfs, dir.into()));
         self
     }
 
@@ -857,11 +1174,18 @@ impl<'p> Checker<'p> {
     /// expression fails to evaluate), when storing a checkpoint fails, or
     /// when a resume snapshot's contents do not replay.
     pub fn check_safety(&self, checks: &SafetyChecks) -> Result<SafetyReport, KernelError> {
-        if self.config.threads > 1 {
+        if self.config.threads > 1 && self.config.visited != VisitedKind::DiskExact {
             return crate::parallel::check_safety_parallel(self, checks);
         }
         let start = Instant::now();
         let program = self.program;
+        let spill_at = self.config.spill_at_bytes;
+        // Resolved lazily in spirit but once in practice: the directory is
+        // only ever created when something actually spills.
+        let storage = match &self.storage {
+            Some((vfs, dir)) => (VfsHandle::clone(vfs), dir.clone()),
+            None => default_spill_storage(),
+        };
 
         // Partial-order reduction is only sound when every property reads
         // globals alone (local steps are then invisible).
@@ -887,22 +1211,27 @@ impl<'p> Checker<'p> {
         let mut visited: AnyVisited;
         let mut parents: Vec<Option<(usize, Step)>>;
         let mut depths: Vec<usize>;
-        let mut frontier: VecDeque<(usize, Rc<State>)>;
+        let mut frontier: Frontier;
 
         if let Some(snapshot) = &self.resume {
-            visited = restore_visited(program, snapshot, per_state_bytes)?;
+            visited = restore_visited(program, snapshot, per_state_bytes, &storage, spill_at)?;
             parents = snapshot.parents.clone();
             depths = snapshot.depths.clone();
-            frontier = snapshot
-                .frontier
-                .iter()
-                .map(|(id, state)| (*id, Rc::new(state.clone())))
-                .collect();
+            frontier = Frontier::Ram(
+                snapshot
+                    .frontier
+                    .iter()
+                    .map(|(id, state)| (*id, Rc::new(state.clone())))
+                    .collect(),
+            );
             stats.steps = snapshot.stats.steps as usize;
             stats.max_depth = snapshot.stats.max_depth as usize;
             stats.peak_frontier = snapshot.stats.peak_frontier as usize;
             stats.approx_memory_bytes = snapshot.stats.approx_memory_bytes as usize;
             stats.replay_rejected = snapshot.stats.replay_rejected as usize;
+            stats.spilled_states = snapshot.stats.spilled_states as usize;
+            stats.spill_bytes = snapshot.stats.spill_bytes as usize;
+            stats.merge_passes = snapshot.stats.merge_passes as usize;
             base_elapsed = Duration::from_nanos(snapshot.stats.elapsed_nanos);
         } else {
             let initial = Rc::new(State::initial(program));
@@ -917,13 +1246,27 @@ impl<'p> Checker<'p> {
                     truncated: false,
                 });
             }
-            visited = AnyVisited::new(self.config.visited, per_state_bytes);
+            visited = match self.config.visited {
+                VisitedKind::DiskExact => {
+                    AnyVisited::Disk(new_disk_visited(&storage, spill_at).map_err(|error| {
+                        KernelError::Snapshot {
+                            message: format!("cannot prepare spill storage: {error}"),
+                        }
+                    })?)
+                }
+                kind => AnyVisited::new(kind, per_state_bytes),
+            };
             visited.insert(&initial);
             parents = vec![None];
             depths = vec![0];
-            frontier = VecDeque::from([(0, initial)]);
+            frontier = Frontier::Ram(VecDeque::from([(0, initial)]));
             stats.peak_frontier = 1;
         }
+
+        // Spill totals carried over from a resume snapshot; the live
+        // structure counters start at zero and add on top, so a resumed
+        // run reports exactly the uninterrupted totals.
+        let spill_base = (stats.spilled_states, stats.spill_bytes, stats.merge_passes);
 
         let mut tripped: Option<BudgetKind> = None;
         let mut depth_trimmed = false;
@@ -932,6 +1275,17 @@ impl<'p> Checker<'p> {
         'search: loop {
             if frontier.is_empty() {
                 break 'search;
+            }
+            // A disk-backed visited set parks write failures instead of
+            // returning them through the infallible trait; drain them here
+            // so a full disk degrades to an honest budget trip before the
+            // next expansion. (Probe failures never get this far — they
+            // abort their expansion immediately, see below.)
+            if let AnyVisited::Disk(disk) = &mut visited {
+                if let Some(error) = disk.take_error() {
+                    tripped = Some(spill_trip(&error, "out-of-core visited write failed")?);
+                    break 'search;
+                }
             }
             // Budget checkpoints run once per expanded state, *before* the
             // state is popped, so a tripped search's frontier (and thus its
@@ -946,24 +1300,38 @@ impl<'p> Checker<'p> {
                     break 'search;
                 }
             }
-            let mem = match &visited {
-                AnyVisited::Exact(_) => {
-                    // Frontier states share their payload with the visited
-                    // set; only the queue entries themselves count.
-                    visited.approx_bytes() + frontier.len() * std::mem::size_of::<usize>()
-                }
-                _ => {
-                    // Lossy backends keep no payloads: the per-state cost is
-                    // the parent/depth bookkeeping plus the frontier's
-                    // exclusive payloads.
-                    let parent_entry =
-                        std::mem::size_of::<Option<(usize, Step)>>() + std::mem::size_of::<usize>();
-                    visited.approx_bytes()
-                        + parents.len() * parent_entry
-                        + frontier.len() * per_state_bytes
-                }
-            };
+            let mut mem = memory_estimate(&visited, &frontier, parents.len(), per_state_bytes);
             stats.approx_memory_bytes = stats.approx_memory_bytes.max(mem);
+            // Graceful degradation: crossing the spill threshold moves the
+            // RAM structures out of core instead of tripping a budget. The
+            // estimate is recomputed so the memory budget below sees the
+            // post-spill footprint.
+            if let Some(threshold) = spill_at {
+                let spillable =
+                    matches!(visited, AnyVisited::Exact(_)) || matches!(frontier, Frontier::Ram(_));
+                if spillable && mem >= threshold {
+                    match spill_to_disk(
+                        &storage,
+                        spill_at,
+                        per_state_bytes,
+                        &mut visited,
+                        &mut frontier,
+                    ) {
+                        Ok(()) => {
+                            mem = memory_estimate(
+                                &visited,
+                                &frontier,
+                                parents.len(),
+                                per_state_bytes,
+                            );
+                        }
+                        Err(error) => {
+                            tripped = Some(spill_trip(&error, "mid-run spill failed")?);
+                            break 'search;
+                        }
+                    }
+                }
+            }
             if let Some(limit) = self.config.max_memory_bytes {
                 if mem >= limit {
                     tripped = Some(BudgetKind::Memory);
@@ -975,6 +1343,13 @@ impl<'p> Checker<'p> {
             {
                 if let Some(sink) = &self.sink {
                     stats.unique_states = parents.len();
+                    sync_spill_stats(&mut stats, spill_base, &visited, &frontier);
+                    let frontier_states =
+                        frontier
+                            .snapshot_states()
+                            .map_err(|error| KernelError::Snapshot {
+                                message: format!("out-of-core frontier snapshot failed: {error}"),
+                            })?;
                     flush_checkpoint(
                         sink,
                         fingerprint,
@@ -983,10 +1358,7 @@ impl<'p> Checker<'p> {
                         visited_payload(&visited),
                         &parents,
                         &depths,
-                        frontier
-                            .iter()
-                            .map(|(id, state)| (*id, (**state).clone()))
-                            .collect(),
+                        frontier_states,
                         &stats,
                         base_elapsed + start.elapsed(),
                     )?;
@@ -994,7 +1366,14 @@ impl<'p> Checker<'p> {
                 }
             }
 
-            let (id, state) = frontier.pop_front().expect("frontier checked non-empty");
+            let (id, state) = match frontier.pop_front() {
+                Ok(Some(entry)) => entry,
+                Ok(None) => break 'search,
+                Err(error) => {
+                    tripped = Some(spill_trip(&error, "out-of-core frontier read failed")?);
+                    break 'search;
+                }
+            };
             if let Some(limit) = self.config.max_depth {
                 if depths[id] >= limit {
                     // The state itself was already checked when it was
@@ -1013,6 +1392,7 @@ impl<'p> Checker<'p> {
                         Some(trace) => {
                             stats.unique_states = parents.len();
                             stats.elapsed = base_elapsed + start.elapsed();
+                            sync_spill_stats(&mut stats, spill_base, &visited, &frontier);
                             return Ok(SafetyReport {
                                 outcome: SafetyOutcome::Deadlock { trace },
                                 stats,
@@ -1043,6 +1423,7 @@ impl<'p> Checker<'p> {
                             events.extend(applied.events);
                             stats.unique_states = parents.len();
                             stats.elapsed = base_elapsed + start.elapsed();
+                            sync_spill_stats(&mut stats, spill_base, &visited, &frontier);
                             return Ok(SafetyReport {
                                 outcome: SafetyOutcome::AssertionFailed {
                                     message,
@@ -1060,7 +1441,21 @@ impl<'p> Checker<'p> {
                 }
 
                 let next = Rc::new(applied.state);
-                if visited.contains(&next) {
+                let already_visited = visited.contains(&next);
+                if let AnyVisited::Disk(disk) = &mut visited {
+                    if let Some(error) = disk.take_error() {
+                        // A failed membership probe cannot be trusted:
+                        // interning on a conservative "new" answer could
+                        // double-count the state. Roll this expansion back
+                        // (the same contract as the `max_states` trip
+                        // below) so the search state stays exact.
+                        stats.steps -= steps_this_expansion;
+                        frontier.push_front(id, Rc::clone(&state));
+                        tripped = Some(spill_trip(&error, "out-of-core visited probe failed")?);
+                        break 'search;
+                    }
+                }
+                if already_visited {
                     continue;
                 }
                 // Budget counting point: this check runs strictly *after*
@@ -1075,7 +1470,7 @@ impl<'p> Checker<'p> {
                     // is exact and a resumed run re-expands it — counting
                     // precisely the steps an uninterrupted run would.
                     stats.steps -= steps_this_expansion;
-                    frontier.push_front((id, Rc::clone(&state)));
+                    frontier.push_front(id, Rc::clone(&state));
                     tripped = Some(BudgetKind::States);
                     break 'search;
                 }
@@ -1089,6 +1484,7 @@ impl<'p> Checker<'p> {
                         Some(trace) => {
                             stats.unique_states = parents.len();
                             stats.elapsed = base_elapsed + start.elapsed();
+                            sync_spill_stats(&mut stats, spill_base, &visited, &frontier);
                             return Ok(SafetyReport {
                                 outcome: hit_outcome(hit, trace),
                                 stats,
@@ -1098,7 +1494,13 @@ impl<'p> Checker<'p> {
                         None => stats.replay_rejected += 1,
                     }
                 }
-                frontier.push_back((next_id, next));
+                if let Err(error) = frontier.push_back(next_id, next) {
+                    // The state is retained in the spilled frontier's RAM
+                    // tail even when its chunk flush fails, so the search
+                    // state (and any final snapshot) stays complete.
+                    tripped = Some(spill_trip(&error, "out-of-core frontier write failed")?);
+                    break 'search;
+                }
                 stats.peak_frontier = stats.peak_frontier.max(frontier.len());
             }
         }
@@ -1109,11 +1511,18 @@ impl<'p> Checker<'p> {
         }
         stats.unique_states = parents.len();
         stats.elapsed = base_elapsed + start.elapsed();
+        sync_spill_stats(&mut stats, spill_base, &visited, &frontier);
         let outcome = match tripped {
             Some(budget) => {
                 // An interrupted search always flushes a final snapshot:
                 // budget trips and cancellation lose no work.
                 if let Some(sink) = &self.sink {
+                    let frontier_states =
+                        frontier
+                            .snapshot_states()
+                            .map_err(|error| KernelError::Snapshot {
+                                message: format!("out-of-core frontier snapshot failed: {error}"),
+                            })?;
                     flush_checkpoint(
                         sink,
                         fingerprint,
@@ -1122,10 +1531,7 @@ impl<'p> Checker<'p> {
                         visited_payload(&visited),
                         &parents,
                         &depths,
-                        frontier
-                            .iter()
-                            .map(|(id, state)| (*id, (**state).clone()))
-                            .collect(),
+                        frontier_states,
                         &stats,
                         stats.elapsed,
                     )?;
@@ -1724,5 +2130,200 @@ mod tests {
             Predicate::from_expr(expr::eq(Expr::Global(99), 1.into())),
         )]));
         assert!(matches!(report, Err(KernelError::Eval { .. })));
+    }
+
+    #[test]
+    fn display_picks_units_by_magnitude() {
+        let mut stats = SearchStats {
+            approx_memory_bytes: 3 << 30,
+            ..SearchStats::default()
+        };
+        assert!(stats.to_string().contains("~3.0 GiB"), "{stats}");
+        stats.approx_memory_bytes = 5 << 20;
+        assert!(stats.to_string().contains("~5.0 MiB"), "{stats}");
+        stats.approx_memory_bytes = 7 << 10;
+        assert!(stats.to_string().contains("~7 KiB"), "{stats}");
+        assert!(!stats.to_string().contains("spilled"), "{stats}");
+        stats.spilled_states = 42;
+        stats.spill_bytes = 2 << 20;
+        stats.merge_passes = 3;
+        let text = stats.to_string();
+        assert!(
+            text.contains("spilled 42 states, 2.0 MiB, 3 merges"),
+            "{text}"
+        );
+    }
+
+    /// Storage on a seeded simulated filesystem for out-of-core tests.
+    fn sim_storage(seed: u64) -> crate::vfs::VfsHandle {
+        Arc::new(crate::vfs::SimFs::new(seed))
+    }
+
+    #[test]
+    fn spilled_search_matches_in_memory_run() {
+        let program = toggler(4);
+        let baseline = Checker::new(&program)
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
+        let spilled = Checker::with_config(
+            &program,
+            SearchConfig {
+                // Spill from the very first expansion.
+                spill_at_bytes: Some(1),
+                ..SearchConfig::default()
+            },
+        )
+        .spill_to(sim_storage(31), "/spill")
+        .check_safety(&SafetyChecks::deadlock_only())
+        .unwrap();
+        assert_eq!(spilled.outcome, baseline.outcome);
+        assert_eq!(spilled.stats.unique_states, baseline.stats.unique_states);
+        assert_eq!(spilled.stats.steps, baseline.stats.steps);
+        assert_eq!(spilled.stats.max_depth, baseline.stats.max_depth);
+        assert!(spilled.stats.spilled_states > 0, "{}", spilled.stats);
+        assert!(spilled.stats.spill_bytes > 0, "{}", spilled.stats);
+        assert_eq!(baseline.stats.spilled_states, 0);
+    }
+
+    #[test]
+    fn spilled_search_finds_identical_counterexample() {
+        let program = toggler(3);
+        let flag = program.global_by_name("flag").unwrap();
+        let checks = SafetyChecks::invariants(vec![(
+            "flag stays 0".into(),
+            Predicate::from_expr(expr::eq(expr::global(flag), 0.into())),
+        )]);
+        let baseline = Checker::new(&program).check_safety(&checks).unwrap();
+        let spilled = Checker::with_config(
+            &program,
+            SearchConfig {
+                spill_at_bytes: Some(1),
+                ..SearchConfig::default()
+            },
+        )
+        .spill_to(sim_storage(32), "/spill")
+        .check_safety(&checks)
+        .unwrap();
+        assert_eq!(spilled.outcome, baseline.outcome);
+    }
+
+    #[test]
+    fn disk_visited_backend_matches_exact() {
+        let program = toggler(4);
+        let baseline = Checker::new(&program)
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
+        let disk = Checker::with_config(
+            &program,
+            SearchConfig {
+                visited: VisitedKind::DiskExact,
+                ..SearchConfig::default()
+            },
+        )
+        .spill_to(sim_storage(33), "/spill")
+        .check_safety(&SafetyChecks::deadlock_only())
+        .unwrap();
+        assert_eq!(disk.outcome, baseline.outcome);
+        assert_eq!(disk.stats.unique_states, baseline.stats.unique_states);
+        assert_eq!(disk.stats.steps, baseline.stats.steps);
+        assert_eq!(disk.stats.max_depth, baseline.stats.max_depth);
+        // Exhaustive under an exact backend: the verdict is definitive,
+        // not approximate.
+        assert_eq!(disk.outcome, SafetyOutcome::Holds);
+    }
+
+    #[test]
+    fn disk_visited_routes_to_the_sequential_kernel() {
+        let program = toggler(2);
+        let report = Checker::with_config(
+            &program,
+            SearchConfig {
+                visited: VisitedKind::DiskExact,
+                threads: 4,
+                ..SearchConfig::default()
+            },
+        )
+        .spill_to(sim_storage(34), "/spill")
+        .check_safety(&SafetyChecks::deadlock_only())
+        .unwrap();
+        assert_eq!(report.outcome, SafetyOutcome::Holds);
+    }
+
+    #[test]
+    fn enospc_during_spill_degrades_to_limit_reached() {
+        let program = toggler(10);
+        let fs = Arc::new(crate::vfs::SimFs::new(35));
+        fs.set_plan(crate::vfs::FaultPlan {
+            enospc_per_mille: 1000,
+            ..crate::vfs::FaultPlan::default()
+        });
+        let report = Checker::with_config(
+            &program,
+            SearchConfig {
+                spill_at_bytes: Some(1),
+                ..SearchConfig::default()
+            },
+        )
+        .spill_to(fs, "/spill")
+        .check_safety(&SafetyChecks::deadlock_only())
+        .unwrap();
+        match report.outcome {
+            SafetyOutcome::LimitReached {
+                budget,
+                states_covered,
+                ..
+            } => {
+                assert_eq!(budget, BudgetKind::Memory);
+                assert!(states_covered >= 1);
+            }
+            other => panic!("expected graceful LimitReached, got {other:?}"),
+        }
+        assert!(report.truncated);
+    }
+
+    #[test]
+    fn spilled_run_checkpoints_and_resumes_to_exact_totals() {
+        let program = toggler(4);
+        let fs = sim_storage(36);
+        let config = SearchConfig {
+            spill_at_bytes: Some(1),
+            ..SearchConfig::default()
+        };
+        let uninterrupted = Checker::with_config(&program, config)
+            .spill_to(fs.clone(), "/spill-a")
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
+
+        // Trip a state budget partway through, flushing a final snapshot.
+        let buffer = Rc::new(RefCell::new(Vec::new()));
+        let tripped = Checker::with_config(
+            &program,
+            SearchConfig {
+                max_states: uninterrupted.stats.unique_states / 2,
+                ..config
+            },
+        )
+        .spill_to(fs.clone(), "/spill-b")
+        .checkpoint_to(Rc::clone(&buffer))
+        .check_safety(&SafetyChecks::deadlock_only())
+        .unwrap();
+        assert!(tripped.truncated);
+
+        let snapshot = Snapshot::decode(&buffer.borrow()).unwrap();
+        assert_eq!(snapshot.kind, VisitedKind::DiskExact);
+        let resumed = Checker::resume_from(&program, snapshot)
+            .unwrap()
+            .with_search_config(config)
+            .spill_to(fs, "/spill-b")
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
+        assert_eq!(resumed.outcome, uninterrupted.outcome);
+        assert_eq!(
+            resumed.stats.unique_states,
+            uninterrupted.stats.unique_states
+        );
+        assert_eq!(resumed.stats.steps, uninterrupted.stats.steps);
+        assert_eq!(resumed.stats.max_depth, uninterrupted.stats.max_depth);
+        assert!(resumed.stats.spilled_states > 0);
     }
 }

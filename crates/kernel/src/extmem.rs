@@ -1,0 +1,453 @@
+//! External-memory building blocks for out-of-core search: checksummed
+//! `PNPRUN01` run files on the [`Vfs`](crate::vfs::Vfs), a k-way
+//! streaming merge with dedup, and a BFS frontier that spills to disk.
+//!
+//! ## Run file wire format (little-endian)
+//!
+//! ```text
+//! magic     8 B   "PNPRUN01"
+//! count     u64
+//! entries   count × (key u64, len u64, payload bytes)
+//! checksum  u64   -- FNV-1a + mix64 over all preceding bytes
+//! ```
+//!
+//! Runs holding visited-set partitions are sorted by `(key, payload)`;
+//! frontier chunks reuse the same envelope in insertion order. Every run
+//! is written through [`commit_replace`], so a crash mid-write can never
+//! leave a half-written file at a run's path, and the trailing checksum
+//! turns torn prefixes and bit rot into clean [`io::ErrorKind::InvalidData`]
+//! errors instead of garbage states.
+
+use std::collections::VecDeque;
+use std::io;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use crate::rng::fnv64;
+use crate::snapshot::{decode_state, encode_state};
+use crate::state::State;
+use crate::vfs::{commit_replace, VfsHandle};
+
+pub(crate) const RUN_MAGIC: &[u8; 8] = b"PNPRUN01";
+
+/// One record in a run file: a 64-bit sort key (a state hash for visited
+/// runs, a discovery id for frontier chunks) and an opaque payload (the
+/// snapshot-codec encoding of the state).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct RunEntry {
+    pub key: u64,
+    pub payload: Vec<u8>,
+}
+
+fn corrupt(what: impl Into<String>) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("run file corrupted: {}", what.into()),
+    )
+}
+
+/// Serializes entries into the checksummed `PNPRUN01` envelope.
+pub(crate) fn encode_run(entries: &[RunEntry]) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(8 + 8 + entries.iter().map(|e| 16 + e.payload.len()).sum::<usize>() + 8);
+    out.extend_from_slice(RUN_MAGIC);
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for entry in entries {
+        out.extend_from_slice(&entry.key.to_le_bytes());
+        out.extend_from_slice(&(entry.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&entry.payload);
+    }
+    let checksum = fnv64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Parses a `PNPRUN01` run, verifying magic and checksum first so any
+/// truncation or bit flip is a clean [`io::ErrorKind::InvalidData`] error.
+pub(crate) fn decode_run(bytes: &[u8]) -> io::Result<Vec<RunEntry>> {
+    if bytes.len() < 8 + 8 + 8 {
+        return Err(corrupt("shorter than the fixed envelope"));
+    }
+    if &bytes[..8] != RUN_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    if fnv64(body) != stored {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let count = u64::from_le_bytes(body[8..16].try_into().unwrap());
+    let count = usize::try_from(count).map_err(|_| corrupt("entry count overflows"))?;
+    let mut pos: usize = 16;
+    let mut entries = Vec::with_capacity(count.min(body.len() / 16));
+    for i in 0..count {
+        let header_end = pos
+            .checked_add(16)
+            .filter(|&end| end <= body.len())
+            .ok_or_else(|| corrupt(format!("entry {i} header out of bounds")))?;
+        let key = u64::from_le_bytes(body[pos..pos + 8].try_into().unwrap());
+        let len = u64::from_le_bytes(body[pos + 8..header_end].try_into().unwrap());
+        let len =
+            usize::try_from(len).map_err(|_| corrupt(format!("entry {i} length overflows")))?;
+        let end = header_end
+            .checked_add(len)
+            .filter(|&end| end <= body.len())
+            .ok_or_else(|| corrupt(format!("entry {i} payload out of bounds")))?;
+        entries.push(RunEntry {
+            key,
+            payload: body[header_end..end].to_vec(),
+        });
+        pos = end;
+    }
+    if pos != body.len() {
+        return Err(corrupt(format!("{} trailing bytes", body.len() - pos)));
+    }
+    Ok(entries)
+}
+
+/// Merges sorted runs into one sorted run via a k-way streaming heap,
+/// dropping duplicate `(key, payload)` records. Inputs must each be
+/// sorted by `(key, payload)`; the output is, too.
+pub(crate) fn merge_runs(runs: Vec<Vec<RunEntry>>) -> Vec<RunEntry> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut iters: Vec<_> = runs.into_iter().map(Vec::into_iter).collect();
+    let mut heap = BinaryHeap::new();
+    for (source, iter) in iters.iter_mut().enumerate() {
+        if let Some(entry) = iter.next() {
+            heap.push(Reverse((entry.key, entry.payload, source)));
+        }
+    }
+    let mut out: Vec<RunEntry> = Vec::new();
+    while let Some(Reverse((key, payload, source))) = heap.pop() {
+        if let Some(entry) = iters[source].next() {
+            heap.push(Reverse((entry.key, entry.payload, source)));
+        }
+        let duplicate = out
+            .last()
+            .is_some_and(|last| last.key == key && last.payload == payload);
+        if !duplicate {
+            out.push(RunEntry { key, payload });
+        }
+    }
+    out
+}
+
+/// A FIFO BFS frontier that keeps a bounded tail in RAM and spills full
+/// chunks to `PNPRUN01` files, reading them back (and deleting them) in
+/// order as the search drains the queue.
+///
+/// Structure: `head` (states read back or pushed to the front) →
+/// spilled `chunks` (oldest first) → `tail` (the in-RAM write buffer).
+/// `push_front` is infallible so budget-trip rollback never touches
+/// the disk.
+#[derive(Debug)]
+pub(crate) struct SpillFrontier {
+    vfs: VfsHandle,
+    dir: PathBuf,
+    head: VecDeque<(usize, Rc<State>)>,
+    chunks: VecDeque<u64>,
+    tail: VecDeque<(usize, Rc<State>)>,
+    tail_bytes: usize,
+    chunk_cap_bytes: usize,
+    per_state_bytes: usize,
+    next_chunk: u64,
+    len: usize,
+    spilled_states: usize,
+    spill_bytes: usize,
+}
+
+impl SpillFrontier {
+    /// An empty spilled frontier storing chunks under `dir` (created if
+    /// missing; stale chunk files from a previous run are wiped).
+    pub(crate) fn new(
+        vfs: VfsHandle,
+        dir: impl Into<PathBuf>,
+        chunk_cap_bytes: usize,
+        per_state_bytes: usize,
+    ) -> io::Result<SpillFrontier> {
+        let dir = dir.into();
+        vfs.create_dir_all(&dir)?;
+        for path in vfs.list(&dir)? {
+            if path.extension().is_some_and(|e| e == "pnprun") {
+                vfs.remove(&path)?;
+            }
+        }
+        Ok(SpillFrontier {
+            vfs,
+            dir,
+            head: VecDeque::new(),
+            chunks: VecDeque::new(),
+            tail: VecDeque::new(),
+            tail_bytes: 0,
+            chunk_cap_bytes: chunk_cap_bytes.max(1),
+            per_state_bytes: per_state_bytes.max(1),
+            next_chunk: 0,
+            len: 0,
+            spilled_states: 0,
+            spill_bytes: 0,
+        })
+    }
+
+    fn chunk_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("frontier-{seq:08}.pnprun"))
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// States spilled to chunk files so far (cumulative).
+    pub(crate) fn spilled_states(&self) -> usize {
+        self.spilled_states
+    }
+
+    /// Bytes written to chunk files so far (cumulative).
+    pub(crate) fn spill_bytes(&self) -> usize {
+        self.spill_bytes
+    }
+
+    /// RAM actually held by this frontier: the head/tail state buffers
+    /// plus chunk bookkeeping — the spilled middle costs nothing here.
+    pub(crate) fn ram_bytes(&self) -> usize {
+        (self.head.len() + self.tail.len()) * self.per_state_bytes + self.chunks.len() * 16
+    }
+
+    /// Appends to the queue, flushing the tail to a chunk file once it
+    /// crosses the chunk capacity. On a flush error the tail (including
+    /// this state) stays in RAM, so no state is ever lost.
+    pub(crate) fn push_back(&mut self, id: usize, state: Rc<State>) -> io::Result<()> {
+        let bytes = encode_state(&state).len() + 16;
+        self.tail.push_back((id, state));
+        self.tail_bytes += bytes;
+        self.len += 1;
+        if self.tail_bytes >= self.chunk_cap_bytes {
+            self.flush_tail()?;
+        }
+        Ok(())
+    }
+
+    /// Returns a state to the front of the queue (budget-trip rollback).
+    /// Purely in-RAM, so it cannot fail.
+    pub(crate) fn push_front(&mut self, id: usize, state: Rc<State>) {
+        self.head.push_front((id, state));
+        self.len += 1;
+    }
+
+    /// Pops the oldest state, reading back (and then deleting) the oldest
+    /// chunk file when the in-RAM head is exhausted. A chunk that fails to
+    /// read stays on disk and in the queue, so the caller can checkpoint
+    /// or retry without losing states.
+    pub(crate) fn pop_front(&mut self) -> io::Result<Option<(usize, Rc<State>)>> {
+        if self.head.is_empty() {
+            if let Some(&seq) = self.chunks.front() {
+                let path = self.chunk_path(seq);
+                let mut loaded = VecDeque::new();
+                for entry in decode_run(&self.vfs.read(&path)?)? {
+                    let id =
+                        usize::try_from(entry.key).map_err(|_| corrupt("frontier id overflows"))?;
+                    let state = decode_state(&entry.payload)
+                        .map_err(|e| corrupt(format!("frontier state: {e}")))?;
+                    loaded.push_back((id, Rc::new(state)));
+                }
+                // Fully decoded: only now consume the chunk.
+                self.chunks.pop_front();
+                let _ = self.vfs.remove(&path);
+                self.head = loaded;
+            } else if !self.tail.is_empty() {
+                std::mem::swap(&mut self.head, &mut self.tail);
+                self.tail_bytes = 0;
+            }
+        }
+        let popped = self.head.pop_front();
+        if popped.is_some() {
+            self.len -= 1;
+        }
+        Ok(popped)
+    }
+
+    /// A non-destructive FIFO-ordered copy of every queued state, for
+    /// checkpoint snapshots (chunks are read but not consumed).
+    pub(crate) fn snapshot_states(&self) -> io::Result<Vec<(usize, State)>> {
+        let mut out = Vec::with_capacity(self.len);
+        for (id, state) in &self.head {
+            out.push((*id, (**state).clone()));
+        }
+        for &seq in &self.chunks {
+            for entry in decode_run(&self.vfs.read(&self.chunk_path(seq))?)? {
+                let id =
+                    usize::try_from(entry.key).map_err(|_| corrupt("frontier id overflows"))?;
+                let state = decode_state(&entry.payload)
+                    .map_err(|e| corrupt(format!("frontier state: {e}")))?;
+                out.push((id, state));
+            }
+        }
+        for (id, state) in &self.tail {
+            out.push((*id, (**state).clone()));
+        }
+        Ok(out)
+    }
+
+    fn flush_tail(&mut self) -> io::Result<()> {
+        if self.tail.is_empty() {
+            return Ok(());
+        }
+        let entries: Vec<RunEntry> = self
+            .tail
+            .iter()
+            .map(|(id, state)| RunEntry {
+                key: *id as u64,
+                payload: encode_state(state),
+            })
+            .collect();
+        let bytes = encode_run(&entries);
+        commit_replace(self.vfs.as_ref(), &self.chunk_path(self.next_chunk), &bytes)?;
+        self.chunks.push_back(self.next_chunk);
+        self.next_chunk += 1;
+        self.spilled_states += entries.len();
+        self.spill_bytes += bytes.len();
+        self.tail.clear();
+        self.tail_bytes = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ProcState;
+    use crate::vfs::{SimFs, Vfs};
+    use std::path::Path;
+    use std::sync::Arc;
+
+    fn entry(key: u64, payload: &[u8]) -> RunEntry {
+        RunEntry {
+            key,
+            payload: payload.to_vec(),
+        }
+    }
+
+    fn tiny_state(tag: i32) -> State {
+        State {
+            procs: vec![ProcState {
+                loc: tag as u32,
+                locals: vec![tag, -tag].into_boxed_slice(),
+            }]
+            .into_boxed_slice(),
+            chans: Vec::new().into_boxed_slice(),
+            globals: vec![tag].into_boxed_slice(),
+        }
+    }
+
+    #[test]
+    fn run_roundtrip_preserves_entries() {
+        let entries = vec![entry(1, b"a"), entry(2, b""), entry(2, b"bb")];
+        assert_eq!(decode_run(&encode_run(&entries)).unwrap(), entries);
+        assert_eq!(decode_run(&encode_run(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn every_truncation_and_bit_flip_is_a_clean_error() {
+        let bytes = encode_run(&[entry(7, b"payload"), entry(9, b"x")]);
+        for len in 0..bytes.len() {
+            let err = decode_run(&bytes[..len]).expect_err("truncation must fail");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            assert!(
+                decode_run(&bad).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_sorts_and_dedups_across_runs() {
+        let a = vec![entry(1, b"a"), entry(3, b"c"), entry(5, b"e")];
+        let b = vec![entry(1, b"a"), entry(3, b"b"), entry(5, b"e")];
+        let merged = merge_runs(vec![a, b]);
+        assert_eq!(
+            merged,
+            vec![
+                entry(1, b"a"),
+                entry(3, b"b"),
+                entry(3, b"c"),
+                entry(5, b"e")
+            ]
+        );
+        assert!(merge_runs(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn spill_frontier_preserves_fifo_order_across_chunks() {
+        let fs = Arc::new(SimFs::new(11));
+        // A ~40-byte state with a 1-byte chunk cap: every push flushes.
+        let mut frontier = SpillFrontier::new(fs.clone(), Path::new("/spill"), 1, 64).unwrap();
+        for i in 0..20 {
+            frontier
+                .push_back(i, Rc::new(tiny_state(i as i32)))
+                .unwrap();
+        }
+        assert_eq!(frontier.len(), 20);
+        assert!(frontier.spilled_states() > 0);
+        let snapshot = frontier.snapshot_states().unwrap();
+        assert_eq!(snapshot.len(), 20);
+        // Rollback path: push_front must come out first.
+        frontier.push_front(99, Rc::new(tiny_state(99)));
+        let mut seen = Vec::new();
+        while let Some((id, state)) = frontier.pop_front().unwrap() {
+            assert_eq!(state.globals[0] as usize, id);
+            seen.push(id);
+        }
+        let expected: Vec<usize> = std::iter::once(99).chain(0..20).collect();
+        assert_eq!(seen, expected);
+        assert!(frontier.is_empty());
+        // Consumed chunks are deleted from disk.
+        assert!(fs.list(Path::new("/spill")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn spill_frontier_interleaves_pushes_and_pops() {
+        let fs = Arc::new(SimFs::new(12));
+        let mut frontier = SpillFrontier::new(fs, Path::new("/spill"), 100, 64).unwrap();
+        let mut next_push = 0usize;
+        let mut next_pop = 0usize;
+        for round in 0..50 {
+            for _ in 0..=(round % 3) {
+                frontier
+                    .push_back(next_push, Rc::new(tiny_state(next_push as i32)))
+                    .unwrap();
+                next_push += 1;
+            }
+            if round % 2 == 0 {
+                let (id, _) = frontier.pop_front().unwrap().unwrap();
+                assert_eq!(id, next_pop, "FIFO order broken");
+                next_pop += 1;
+            }
+        }
+        while let Some((id, _)) = frontier.pop_front().unwrap() {
+            assert_eq!(id, next_pop);
+            next_pop += 1;
+        }
+        assert_eq!(next_pop, next_push);
+    }
+
+    #[test]
+    fn constructor_wipes_stale_chunks() {
+        let fs = Arc::new(SimFs::new(13));
+        {
+            let mut old = SpillFrontier::new(fs.clone(), Path::new("/spill"), 1, 64).unwrap();
+            old.push_back(0, Rc::new(tiny_state(0))).unwrap();
+            assert!(!fs.list(Path::new("/spill")).unwrap().is_empty());
+        }
+        let fresh = SpillFrontier::new(fs.clone(), Path::new("/spill"), 1, 64).unwrap();
+        assert!(fresh.is_empty());
+        assert!(fs.list(Path::new("/spill")).unwrap().is_empty());
+    }
+}

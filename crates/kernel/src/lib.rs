@@ -74,6 +74,7 @@ mod dot;
 mod durable;
 mod explore;
 mod expression;
+mod extmem;
 mod liveness;
 mod outcome;
 mod parallel;
@@ -115,7 +116,7 @@ pub use vfs::{
     commit_replace, real_fs, tmp_sibling, DiskImage, FaultPlan, RealFs, SimFs, Vfs, VfsHandle,
 };
 pub use visited::{
-    bloom_omission_probability, BitstateVisited, CompactVisited, ExactVisited,
+    bloom_omission_probability, BitstateVisited, CompactVisited, DiskExactVisited, ExactVisited,
     ShardedBitstateVisited, ShardedCompactVisited, ShardedExactVisited, SharedInsert,
     SharedVisitedSet, StateBudget, VisitedKind, VisitedSet,
 };

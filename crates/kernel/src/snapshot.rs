@@ -8,20 +8,21 @@
 //! compiled [`Program`] so a snapshot can never be resumed against a
 //! different model.
 //!
-//! ## Wire format (version 1, little-endian)
+//! ## Wire format (version 2, little-endian)
 //!
 //! ```text
 //! magic     8 B   "PNPSNAP1"
 //! version   u32
 //! fingerprint u64            -- program_fingerprint() of the model
 //! tag       str              -- caller label (e.g. the property name)
-//! backend   u8 (+ params)    -- 0 exact | 1 compact | 2 bitstate
-//! stats     6 × u64          -- steps, max_depth, peak_frontier,
-//!                               approx_memory, elapsed_ns, replay_rejected
+//! backend   u8 (+ params)    -- 0 exact | 1 compact | 2 bitstate | 3 disk
+//! stats     9 × u64          -- steps, max_depth, peak_frontier,
+//!                               approx_memory, elapsed_ns, replay_rejected,
+//!                               spilled_states, spill_bytes, merge_passes
 //! parents   u64 count, entries (flag u8, parent u64, step)
 //! depths    u64 count, u64 each
 //! frontier  u64 count, (id u64, state) each
-//! visited   backend payload  -- exact: none (rebuilt by replay);
+//! visited   backend payload  -- exact/disk: none (rebuilt by replay);
 //!                               compact: hashes; bitstate: arena words
 //! checksum  u64              -- FNV-1a + mix64 over all preceding bytes
 //! ```
@@ -44,7 +45,7 @@ use crate::vfs::{commit_replace, real_fs, VfsHandle};
 use crate::visited::VisitedKind;
 
 const MAGIC: &[u8; 8] = b"PNPSNAP1";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// A stable 64-bit fingerprint of a compiled [`Program`].
 ///
@@ -113,6 +114,9 @@ pub(crate) struct SnapStats {
     pub approx_memory_bytes: u64,
     pub elapsed_nanos: u64,
     pub replay_rejected: u64,
+    pub spilled_states: u64,
+    pub spill_bytes: u64,
+    pub merge_passes: u64,
 }
 
 /// The visited-set backend payload carried inside a snapshot.
@@ -191,6 +195,7 @@ impl Snapshot {
                 w.u64(arena_bytes as u64);
                 w.u32(hashes);
             }
+            VisitedKind::DiskExact => w.u8(3),
         }
         w.u64(self.stats.steps);
         w.u64(self.stats.max_depth);
@@ -198,6 +203,9 @@ impl Snapshot {
         w.u64(self.stats.approx_memory_bytes);
         w.u64(self.stats.elapsed_nanos);
         w.u64(self.stats.replay_rejected);
+        w.u64(self.stats.spilled_states);
+        w.u64(self.stats.spill_bytes);
+        w.u64(self.stats.merge_passes);
         w.u64(self.parents.len() as u64);
         for parent in &self.parents {
             match parent {
@@ -245,7 +253,7 @@ impl Snapshot {
     /// # Errors
     ///
     /// Returns a [`SnapshotError`] for anything that is not a well-formed
-    /// version-1 snapshot — wrong magic, unknown version, truncation, a
+    /// version-2 snapshot — wrong magic, unknown version, truncation, a
     /// checksum mismatch, or internally inconsistent structures. Never
     /// panics on malformed input.
     pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
@@ -287,6 +295,7 @@ impl Snapshot {
                     hashes,
                 }
             }
+            3 => VisitedKind::DiskExact,
             other => {
                 return Err(SnapshotError::Corrupted(format!(
                     "unknown visited-set backend tag {other}"
@@ -300,6 +309,9 @@ impl Snapshot {
             approx_memory_bytes: r.u64()?,
             elapsed_nanos: r.u64()?,
             replay_rejected: r.u64()?,
+            spilled_states: r.u64()?,
+            spill_bytes: r.u64()?,
+            merge_passes: r.u64()?,
         };
         let n_parents = r.usize()?;
         let mut parents = Vec::new();
@@ -346,7 +358,7 @@ impl Snapshot {
             frontier.push((id, state));
         }
         let visited = match kind {
-            VisitedKind::Exact => VisitedPayload::Exact,
+            VisitedKind::Exact | VisitedKind::DiskExact => VisitedPayload::Exact,
             VisitedKind::Compact => {
                 let n = r.usize()?;
                 let mut hashes = Vec::new();
@@ -460,6 +472,29 @@ pub fn load_snapshot(path: impl AsRef<std::path::Path>) -> Result<Snapshot, Snap
     let bytes =
         std::fs::read(path).map_err(|e| SnapshotError::Io(format!("{}: {e}", path.display())))?;
     Snapshot::decode(&bytes)
+}
+
+/// Encodes one state with the snapshot state codec. The out-of-core run
+/// files ([`crate::extmem`]) reuse this so a state has exactly one byte
+/// representation across every on-disk structure.
+pub(crate) fn encode_state(state: &State) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.state(state);
+    w.out
+}
+
+/// Decodes one state written by [`encode_state`], requiring the whole
+/// buffer to be consumed.
+pub(crate) fn decode_state(bytes: &[u8]) -> Result<State, SnapshotError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let state = r.state()?;
+    if r.pos != bytes.len() {
+        return Err(SnapshotError::Corrupted(format!(
+            "{} trailing bytes after state",
+            bytes.len() - r.pos
+        )));
+    }
+    Ok(state)
 }
 
 // ---------------------------------------------------------------------
@@ -685,6 +720,9 @@ mod tests {
                 approx_memory_bytes: 4096,
                 elapsed_nanos: 1_000_000,
                 replay_rejected: 1,
+                spilled_states: 5,
+                spill_bytes: 640,
+                merge_passes: 2,
             },
             parents: vec![None, Some((0, step))],
             depths: vec![0, 1],

@@ -64,10 +64,15 @@ pub trait Vfs: Send + Sync + fmt::Debug {
     /// Atomically renames `from` to `to`, replacing `to` if it exists.
     /// Durable only after the parent directory is synced.
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
-    /// Removes a file.
+    /// Removes a file, or an *empty* directory. Directory entries are not
+    /// part of the crash model (mirroring [`Vfs::create_dir_all`], which
+    /// is applied immediately): removal is for sweeping recreatable
+    /// scratch trees, not for anything durability depends on.
     fn remove(&self, path: &Path) -> io::Result<()>;
     /// The files directly inside `dir`, sorted (directories excluded).
     fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// The subdirectories directly inside `dir`, sorted.
+    fn list_dirs(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
     /// Whether a file exists at `path`.
     fn exists(&self, path: &Path) -> bool;
     /// Creates a directory and its ancestors.
@@ -115,7 +120,10 @@ impl Vfs for RealFs {
     }
 
     fn remove(&self, path: &Path) -> io::Result<()> {
-        std::fs::remove_file(path)
+        match std::fs::remove_file(path) {
+            Err(_) if path.is_dir() => std::fs::remove_dir(path),
+            other => other,
+        }
     }
 
     fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
@@ -123,6 +131,18 @@ impl Vfs for RealFs {
         for entry in std::fs::read_dir(dir)? {
             let entry = entry?;
             if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn list_dirs(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
                 out.push(entry.path());
             }
         }
@@ -601,6 +621,21 @@ impl Vfs for SimFs {
                 });
                 Ok(())
             }
+            None if s.dir_exists(path) => {
+                // Directory entries mirror create_dir_all: applied
+                // immediately, outside the crash model. Only empty
+                // directories may go.
+                let occupied = s.visible.keys().any(|p| p.starts_with(path) && p != path)
+                    || s.dirs.iter().any(|d| d.starts_with(path) && d != path);
+                if occupied {
+                    return Err(io::Error::new(
+                        io::ErrorKind::DirectoryNotEmpty,
+                        format!("simfs: directory not empty: {}", path.display()),
+                    ));
+                }
+                s.dirs.retain(|d| d != path);
+                Ok(())
+            }
             None => Err(io::Error::new(
                 io::ErrorKind::NotFound,
                 format!("simfs: no such file: {}", path.display()),
@@ -622,6 +657,25 @@ impl Vfs for SimFs {
             .filter(|p| p.parent() == Some(dir))
             .cloned()
             .collect())
+    }
+
+    fn list_dirs(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut s = self.lock();
+        self.begin_op(&mut s, true)?;
+        if !s.dir_exists(dir) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("simfs: no such directory: {}", dir.display()),
+            ));
+        }
+        let mut out: Vec<PathBuf> = s
+            .dirs
+            .iter()
+            .filter(|d| d.parent() == Some(dir))
+            .cloned()
+            .collect();
+        out.sort();
+        Ok(out)
     }
 
     fn exists(&self, path: &Path) -> bool {
@@ -818,6 +872,51 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sim_fs_lists_and_removes_directories() {
+        let fs = setup();
+        fs.create_dir_all(&p("/state/job-1.spill/visited")).unwrap();
+        fs.create_dir_all(&p("/state/job-1.spill/frontier"))
+            .unwrap();
+        fs.write(&p("/state/job-1.spill/visited/run"), b"x")
+            .unwrap();
+        assert_eq!(
+            fs.list_dirs(&p("/state")).unwrap(),
+            vec![p("/state/job-1.spill")]
+        );
+        assert_eq!(
+            fs.list_dirs(&p("/state/job-1.spill")).unwrap(),
+            vec![
+                p("/state/job-1.spill/frontier"),
+                p("/state/job-1.spill/visited")
+            ]
+        );
+        // A populated directory refuses removal; emptied, it goes, and
+        // the listing reflects it.
+        let err = fs.remove(&p("/state/job-1.spill/visited")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::DirectoryNotEmpty);
+        fs.remove(&p("/state/job-1.spill/visited/run")).unwrap();
+        fs.remove(&p("/state/job-1.spill/visited")).unwrap();
+        fs.remove(&p("/state/job-1.spill/frontier")).unwrap();
+        fs.remove(&p("/state/job-1.spill")).unwrap();
+        assert!(fs.list_dirs(&p("/state")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn real_fs_lists_and_removes_directories() {
+        let dir = std::env::temp_dir().join(format!("pnp_vfs_dirs_{}", std::process::id()));
+        let fs = RealFs;
+        fs.create_dir_all(&dir.join("scratch/visited")).unwrap();
+        fs.write(&dir.join("scratch/visited/run"), b"x").unwrap();
+        assert_eq!(fs.list_dirs(&dir).unwrap(), vec![dir.join("scratch")]);
+        assert!(fs.remove(&dir.join("scratch/visited")).is_err());
+        fs.remove(&dir.join("scratch/visited/run")).unwrap();
+        fs.remove(&dir.join("scratch/visited")).unwrap();
+        fs.remove(&dir.join("scratch")).unwrap();
+        assert!(fs.list_dirs(&dir).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! Visited-set backends for the safety search: exact, hash-compaction, and
-//! bitstate (multi-hash Bloom filter).
+//! Visited-set backends for the safety search: exact, hash-compaction,
+//! bitstate (multi-hash Bloom filter), and disk-backed exact.
 //!
 //! The exact backend is today's behavior: every state is stored, membership
 //! is precise, and memory grows linearly with the payload size. The two
@@ -20,15 +20,27 @@
 //! omission probability; and because the search's bookkeeping (parent
 //! links) is hash-indexed too, any violation found under a lossy backend is
 //! re-validated by exact replay before being reported.
+//!
+//! The fourth backend, [`DiskExactVisited`], is *exact but out-of-core*:
+//! full state payloads live in hash-partitioned, write-buffered,
+//! checksummed run files on a [`Vfs`](crate::vfs::Vfs), with an in-RAM
+//! Bloom front so negative probes never touch the disk. Membership is
+//! precise, so it never weakens a verdict — it trades I/O for RAM.
 
-use std::collections::HashSet;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::io;
+use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::extmem::{decode_run, encode_run, merge_runs, RunEntry};
 use crate::rng::{mix64, SplitMix64};
+use crate::snapshot::encode_state;
 use crate::state::State;
+use crate::vfs::{commit_replace, VfsHandle};
 
 /// Seed for the deterministic hash family used by the lossy backends.
 /// Derived hashes must be stable across runs so that a resumed search
@@ -43,6 +55,26 @@ const SHARD_SEED: u64 = 0xb175_7a7e_5eed_0002;
 /// Number of shards in the concurrent visited-set variants. A power of two
 /// so the shard index is a mask of the shard hash.
 const SHARD_COUNT: usize = 64;
+
+/// Seed for the disk-backed backend's partitioning/indexing hash.
+/// Distinct from the other seeds so adding the disk tier cannot disturb
+/// the lossy family or shard-choice derivations.
+const DISK_SEED: u64 = 0xb175_7a7e_5eed_0003;
+
+/// Number of on-disk partitions in [`DiskExactVisited`]. A power of two
+/// so the partition index is a mask of the disk hash.
+const DISK_PARTITIONS: usize = 16;
+
+/// How many runs a partition accumulates before they are merge-compacted
+/// into one.
+const DISK_MAX_RUNS: usize = 8;
+
+/// The [`DISK_SEED`] hash of a state — the key used to partition and
+/// index the disk-backed visited set (also used by the explorer to spill
+/// an in-RAM set in a deterministic order).
+pub(crate) fn disk_hash(state: &State) -> u64 {
+    state_hash(state, DISK_SEED)
+}
 
 /// Which visited-set backend the safety search uses.
 ///
@@ -64,6 +96,10 @@ pub enum VisitedKind {
         /// Number of hash functions (bits set per state), at least 1.
         hashes: u32,
     },
+    /// Store every state payload in checksummed on-disk partitions with a
+    /// RAM Bloom front; precise membership with bounded RAM
+    /// ([`DiskExactVisited`]). Sequential searches only.
+    DiskExact,
 }
 
 impl VisitedKind {
@@ -84,7 +120,7 @@ impl VisitedKind {
     /// Whether this backend can omit states (and therefore weakens a
     /// completed search's verdict to approximate).
     pub fn is_lossy(&self) -> bool {
-        !matches!(self, VisitedKind::Exact)
+        !matches!(self, VisitedKind::Exact | VisitedKind::DiskExact)
     }
 }
 
@@ -101,6 +137,7 @@ impl fmt::Display for VisitedKind {
                 "bitstate ({} KiB arena, {hashes} hashes)",
                 arena_bytes / 1024
             ),
+            VisitedKind::DiskExact => write!(f, "disk-exact"),
         }
     }
 }
@@ -183,6 +220,12 @@ impl ExactVisited {
             set: HashSet::new(),
             per_state_bytes,
         }
+    }
+
+    /// The stored states, in hash-set order (the caller sorts if it needs
+    /// determinism). Used by the explorer's mid-run spill transition.
+    pub(crate) fn states(&self) -> impl Iterator<Item = &Rc<State>> {
+        self.set.iter()
     }
 }
 
@@ -394,12 +437,314 @@ pub fn bloom_omission_probability(m_bits: u64, k_hashes: u32, n_inserted: usize)
     (1.0 - (-k * n / m).exp()).powf(k)
 }
 
+/// The exact backend, out-of-core: full state payloads in checksummed
+/// `PNPRUN01` partitions on a [`Vfs`](crate::vfs::Vfs), fronted in RAM by
+/// a Bloom filter (negative probes are free), per-partition write
+/// buffers, and a sorted 8-byte-per-state hash index over each run.
+///
+/// Membership is *precise*: the disk stores full payloads, so a hash
+/// collision costs an extra payload comparison, never an omission. RAM
+/// stays bounded by the Bloom arena + write buffers + run indexes — the
+/// payloads themselves (the dominant cost of [`ExactVisited`]) live on
+/// disk. Every run commits through
+/// [`commit_replace`](crate::vfs::commit_replace), so a crash can never
+/// leave a torn run behind.
+///
+/// The [`VisitedSet`] trait has no fallible methods, so I/O failures are
+/// parked in a pending slot: `contains` conservatively answers "new"
+/// (re-expansion is sound for an exact backend) and the explorer drains
+/// the slot via [`DiskExactVisited::take_error`] at its loop head and
+/// degrades gracefully (ENOSPC trips the memory budget; anything else
+/// aborts the attempt as transient).
+pub struct DiskExactVisited {
+    vfs: VfsHandle,
+    dir: PathBuf,
+    bloom: BitstateVisited,
+    parts: Vec<DiskPartition>,
+    buf_cap: usize,
+    len: usize,
+    spilled_states: usize,
+    spill_bytes: usize,
+    merge_passes: usize,
+    pending: RefCell<Option<io::Error>>,
+    cache: RefCell<Option<(PathBuf, Vec<RunEntry>)>>,
+}
+
+#[derive(Default)]
+struct DiskPartition {
+    /// Write buffer: disk hash → the payloads of buffered states with
+    /// that hash (almost always one).
+    buf: HashMap<u64, Vec<Vec<u8>>>,
+    buf_bytes: usize,
+    runs: Vec<DiskRun>,
+    next_run: u64,
+}
+
+struct DiskRun {
+    seq: u64,
+    /// Sorted disk hashes of the run's entries: the in-RAM index that
+    /// decides (by binary search) whether a probe must read the file.
+    hashes: Vec<u64>,
+}
+
+impl DiskExactVisited {
+    /// Default per-partition write-buffer capacity (bytes).
+    pub const DEFAULT_BUF_CAP: usize = 256 << 10;
+    /// Default Bloom-front arena size (bytes).
+    pub const DEFAULT_BLOOM_BYTES: usize = 4 << 20;
+
+    /// An empty disk-backed set storing runs under `dir` (created if
+    /// missing; stale run files from a previous search are wiped).
+    /// `buf_cap` bounds each partition's write buffer and `bloom_bytes`
+    /// sizes the Bloom front.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error when the directory cannot be prepared.
+    pub fn new(
+        vfs: VfsHandle,
+        dir: impl Into<PathBuf>,
+        buf_cap: usize,
+        bloom_bytes: usize,
+    ) -> io::Result<DiskExactVisited> {
+        let dir = dir.into();
+        vfs.create_dir_all(&dir)?;
+        for path in vfs.list(&dir)? {
+            if path.extension().is_some_and(|e| e == "pnprun") {
+                vfs.remove(&path)?;
+            }
+        }
+        Ok(DiskExactVisited {
+            vfs,
+            dir,
+            bloom: BitstateVisited::new(bloom_bytes, 3),
+            parts: (0..DISK_PARTITIONS)
+                .map(|_| DiskPartition::default())
+                .collect(),
+            buf_cap: buf_cap.max(1),
+            len: 0,
+            spilled_states: 0,
+            spill_bytes: 0,
+            merge_passes: 0,
+            pending: RefCell::new(None),
+            cache: RefCell::new(None),
+        })
+    }
+
+    /// States written to run files so far (cumulative, counting rewrites
+    /// by compaction once — see [`DiskExactVisited::merge_passes`]).
+    pub fn spilled_states(&self) -> usize {
+        self.spilled_states
+    }
+
+    /// Bytes written to run files so far (cumulative, including
+    /// compaction rewrites).
+    pub fn spill_bytes(&self) -> usize {
+        self.spill_bytes
+    }
+
+    /// Merge-compaction passes performed so far.
+    pub fn merge_passes(&self) -> usize {
+        self.merge_passes
+    }
+
+    /// Zeroes the spill counters. Used after a resume rebuild, where the
+    /// snapshot already carries the uninterrupted totals.
+    pub(crate) fn reset_spill_counters(&mut self) {
+        self.spilled_states = 0;
+        self.spill_bytes = 0;
+        self.merge_passes = 0;
+    }
+
+    /// Takes the first I/O error recorded by an infallible trait method
+    /// since the last call. The set stays consistent after an error (a
+    /// failed flush keeps its states buffered), so the caller chooses
+    /// between degrading and aborting.
+    pub(crate) fn take_error(&mut self) -> Option<io::Error> {
+        self.pending.get_mut().take()
+    }
+
+    fn record_error(&self, error: io::Error) {
+        let mut pending = self.pending.borrow_mut();
+        if pending.is_none() {
+            *pending = Some(error);
+        }
+    }
+
+    fn run_path(&self, part: usize, seq: u64) -> PathBuf {
+        self.dir.join(format!("part{part:02}-run{seq:08}.pnprun"))
+    }
+
+    /// Whether `payload` is in the run file, consulting (and refilling)
+    /// the single-run read cache.
+    fn probe_run(&self, part: usize, seq: u64, hash: u64, payload: &[u8]) -> io::Result<bool> {
+        let path = self.run_path(part, seq);
+        let mut cache = self.cache.borrow_mut();
+        let cached = matches!(cache.as_ref(), Some((p, _)) if *p == path);
+        if !cached {
+            let entries = decode_run(&self.vfs.read(&path)?)?;
+            *cache = Some((path, entries));
+        }
+        let entries = &cache.as_ref().expect("cache just filled").1;
+        let start = entries.partition_point(|e| e.key < hash);
+        Ok(entries[start..]
+            .iter()
+            .take_while(|e| e.key == hash)
+            .any(|e| e.payload == payload))
+    }
+
+    /// Writes partition `part`'s buffer out as a new sorted run. On error
+    /// the buffer is untouched, so no state is lost.
+    fn flush_partition(&mut self, part: usize) -> io::Result<()> {
+        if self.parts[part].buf.is_empty() {
+            return Ok(());
+        }
+        let mut entries: Vec<RunEntry> = self.parts[part]
+            .buf
+            .iter()
+            .flat_map(|(&key, payloads)| {
+                payloads.iter().map(move |payload| RunEntry {
+                    key,
+                    payload: payload.clone(),
+                })
+            })
+            .collect();
+        // Hash-map iteration order is arbitrary; sorting makes the run
+        // bytes (and thus the whole disk-op sequence) deterministic.
+        entries.sort_unstable();
+        let bytes = encode_run(&entries);
+        let seq = self.parts[part].next_run;
+        commit_replace(self.vfs.as_ref(), &self.run_path(part, seq), &bytes)?;
+        let slot = &mut self.parts[part];
+        slot.runs.push(DiskRun {
+            seq,
+            hashes: entries.iter().map(|e| e.key).collect(),
+        });
+        slot.next_run = seq + 1;
+        slot.buf.clear();
+        slot.buf_bytes = 0;
+        self.spilled_states += entries.len();
+        self.spill_bytes += bytes.len();
+        if self.parts[part].runs.len() >= DISK_MAX_RUNS {
+            self.compact(part)?;
+        }
+        Ok(())
+    }
+
+    /// Merge-compacts all of partition `part`'s runs into one. On error
+    /// the old runs (files and metadata) remain authoritative.
+    fn compact(&mut self, part: usize) -> io::Result<()> {
+        let seqs: Vec<u64> = self.parts[part].runs.iter().map(|r| r.seq).collect();
+        let mut runs = Vec::with_capacity(seqs.len());
+        for &seq in &seqs {
+            runs.push(decode_run(&self.vfs.read(&self.run_path(part, seq))?)?);
+        }
+        let merged = merge_runs(runs);
+        let bytes = encode_run(&merged);
+        let seq = self.parts[part].next_run;
+        commit_replace(self.vfs.as_ref(), &self.run_path(part, seq), &bytes)?;
+        *self.cache.get_mut() = None;
+        for &old in &seqs {
+            let _ = self.vfs.remove(&self.run_path(part, old));
+        }
+        let slot = &mut self.parts[part];
+        slot.runs = vec![DiskRun {
+            seq,
+            hashes: merged.iter().map(|e| e.key).collect(),
+        }];
+        slot.next_run = seq + 1;
+        self.merge_passes += 1;
+        self.spill_bytes += bytes.len();
+        Ok(())
+    }
+}
+
+impl VisitedSet for DiskExactVisited {
+    fn contains(&self, state: &State) -> bool {
+        if !self.bloom.contains(state) {
+            return false;
+        }
+        let hash = disk_hash(state);
+        let part = hash as usize & (DISK_PARTITIONS - 1);
+        let payload = encode_state(state);
+        if let Some(candidates) = self.parts[part].buf.get(&hash) {
+            if candidates.contains(&payload) {
+                return true;
+            }
+        }
+        for run in self.parts[part].runs.iter().rev() {
+            if run.hashes.binary_search(&hash).is_err() {
+                continue;
+            }
+            match self.probe_run(part, run.seq, hash, &payload) {
+                Ok(true) => return true,
+                Ok(false) => {}
+                Err(e) => {
+                    // Conservative: treat the state as new. Re-expansion
+                    // is sound for an exact backend, and the explorer
+                    // picks the error up before its next flush.
+                    self.record_error(e);
+                    return false;
+                }
+            }
+        }
+        false
+    }
+
+    fn insert(&mut self, state: &Rc<State>) {
+        self.bloom.insert(state);
+        let hash = disk_hash(state);
+        let part = hash as usize & (DISK_PARTITIONS - 1);
+        let payload = encode_state(state);
+        let slot = &mut self.parts[part];
+        slot.buf_bytes += payload.len() + 24;
+        slot.buf.entry(hash).or_default().push(payload);
+        self.len += 1;
+        if self.parts[part].buf_bytes >= self.buf_cap {
+            if let Err(e) = self.flush_partition(part) {
+                self.record_error(e);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // Only what actually sits in RAM: the Bloom arena, the write
+        // buffers, and the per-run hash indexes. Spilled payloads are
+        // the disk's problem (tracked by `spill_bytes`).
+        self.bloom.approx_bytes()
+            + self
+                .parts
+                .iter()
+                .map(|p| {
+                    p.buf_bytes
+                        + p.runs
+                            .iter()
+                            .map(|r| r.hashes.len() * 8 + 48)
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
+    }
+
+    fn kind(&self) -> VisitedKind {
+        VisitedKind::DiskExact
+    }
+
+    fn omission_probability(&self) -> f64 {
+        0.0
+    }
+}
+
 /// The concrete backend held by the explorer (avoids `dyn` so snapshots can
 /// extract backend payloads without downcasting).
 pub(crate) enum AnyVisited {
     Exact(ExactVisited),
     Compact(CompactVisited),
     Bitstate(BitstateVisited),
+    Disk(DiskExactVisited),
 }
 
 impl AnyVisited {
@@ -411,6 +756,9 @@ impl AnyVisited {
                 arena_bytes,
                 hashes,
             } => AnyVisited::Bitstate(BitstateVisited::new(arena_bytes, hashes)),
+            VisitedKind::DiskExact => {
+                unreachable!("the disk backend is constructed by the explorer with its storage")
+            }
         }
     }
 
@@ -419,6 +767,7 @@ impl AnyVisited {
             AnyVisited::Exact(s) => s,
             AnyVisited::Compact(s) => s,
             AnyVisited::Bitstate(s) => s,
+            AnyVisited::Disk(s) => s,
         }
     }
 
@@ -427,6 +776,7 @@ impl AnyVisited {
             AnyVisited::Exact(s) => s,
             AnyVisited::Compact(s) => s,
             AnyVisited::Bitstate(s) => s,
+            AnyVisited::Disk(s) => s,
         }
     }
 }
@@ -878,6 +1228,12 @@ impl AnySharedVisited {
                 arena_bytes,
                 hashes,
             } => AnySharedVisited::Bitstate(ShardedBitstateVisited::new(arena_bytes, hashes)),
+            // Defensive: the explorer routes disk-backed searches to the
+            // sequential kernel, so this arm only serves a caller that
+            // bypasses that gate — exact membership keeps it sound.
+            VisitedKind::DiskExact => {
+                AnySharedVisited::Exact(ShardedExactVisited::new(per_state_bytes))
+            }
         }
     }
 
@@ -928,8 +1284,17 @@ mod tests {
     use super::*;
     use crate::program::{Action, Guard, ProcessBuilder, ProgramBuilder};
     use crate::state::State;
+    use crate::vfs::Vfs;
 
     fn two_states() -> (State, State) {
+        let chain = state_chain(2);
+        let mut it = chain.into_iter();
+        (it.next().unwrap(), it.next().unwrap())
+    }
+
+    /// The first `n` states of an unbounded counter program (all
+    /// pairwise distinct).
+    fn state_chain(n: usize) -> Vec<State> {
         let mut prog = ProgramBuilder::new();
         let g = prog.global("g", 0);
         let mut p = ProcessBuilder::new("p");
@@ -943,10 +1308,17 @@ mod tests {
         );
         prog.add_process(p).unwrap();
         let program = prog.build().unwrap();
-        let a = State::initial(&program);
-        let step = crate::state::enabled_steps(&program, &a).unwrap()[0];
-        let b = crate::state::apply_step(&program, &a, step).unwrap().state;
-        (a, b)
+        let mut states = vec![State::initial(&program)];
+        while states.len() < n {
+            let last = states.last().unwrap();
+            let step = crate::state::enabled_steps(&program, last).unwrap()[0];
+            states.push(
+                crate::state::apply_step(&program, last, step)
+                    .unwrap()
+                    .state,
+            );
+        }
+        states
     }
 
     #[test]
@@ -965,6 +1337,15 @@ mod tests {
             Box::new(ExactVisited::new(128)),
             Box::new(CompactVisited::new()),
             Box::new(BitstateVisited::new(1024, 3)),
+            Box::new(
+                DiskExactVisited::new(
+                    Arc::new(crate::vfs::SimFs::new(21)),
+                    std::path::Path::new("/visited"),
+                    1 << 20,
+                    1024,
+                )
+                .unwrap(),
+            ),
         ];
         for mut set in backends {
             assert!(!set.contains(&a), "{} starts empty", set.kind());
@@ -1081,6 +1462,55 @@ mod tests {
         let (shared_arena, shared_inserted) = shared.snapshot_arena();
         assert_eq!(seq_arena, shared_arena.as_slice());
         assert_eq!(seq_inserted, shared_inserted);
+    }
+
+    #[test]
+    fn disk_exact_spills_compacts_and_stays_precise() {
+        let fs = Arc::new(crate::vfs::SimFs::new(22));
+        // 1-byte buffer cap: every insert flushes a single-entry run, so
+        // 200 states across 16 partitions force several compactions.
+        let mut set =
+            DiskExactVisited::new(fs.clone(), std::path::Path::new("/visited"), 1, 4096).unwrap();
+        let chain = state_chain(201);
+        for state in &chain[..200] {
+            assert!(!set.contains(state), "state not yet inserted");
+            set.insert(&Rc::new(state.clone()));
+        }
+        for state in &chain[..200] {
+            assert!(set.contains(state), "spilled state must stay a member");
+        }
+        assert!(!set.contains(&chain[200]), "fresh state must look new");
+        assert_eq!(set.len(), 200);
+        assert!(set.spilled_states() >= 200, "{}", set.spilled_states());
+        assert!(set.spill_bytes() > 0);
+        assert!(set.merge_passes() >= 1, "compaction never ran");
+        assert!(set.take_error().is_none());
+        assert_eq!(set.omission_probability(), 0.0);
+        assert!(!set.kind().is_lossy());
+        // Compaction deletes superseded runs: at most DISK_MAX_RUNS
+        // files per partition remain.
+        let files = fs.list(std::path::Path::new("/visited")).unwrap();
+        assert!(files.len() <= DISK_PARTITIONS * DISK_MAX_RUNS, "{files:?}");
+    }
+
+    #[test]
+    fn disk_exact_parks_write_errors_and_keeps_states_buffered() {
+        let fs = Arc::new(crate::vfs::SimFs::new(23));
+        let mut set =
+            DiskExactVisited::new(fs.clone(), std::path::Path::new("/visited"), 1, 4096).unwrap();
+        fs.set_plan(crate::vfs::FaultPlan {
+            enospc_per_mille: 1000,
+            ..crate::vfs::FaultPlan::default()
+        });
+        let (a, b) = two_states();
+        set.insert(&Rc::new(a.clone()));
+        let err = set.take_error().expect("full disk must surface");
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert!(set.take_error().is_none(), "error is taken once");
+        // The failed flush kept the state buffered: membership intact.
+        assert!(set.contains(&a));
+        assert!(!set.contains(&b));
+        assert_eq!(set.len(), 1);
     }
 
     #[test]

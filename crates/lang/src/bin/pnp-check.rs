@@ -24,9 +24,16 @@
 //!
 //! Crash tolerance:
 //!
-//! - `--visited exact|compact|bitstate[:MB]` selects the visited-set
-//!   backend; the lossy backends (`compact`, `bitstate`) trade exactness
-//!   for memory and report HOLDS (approx) with an omission estimate;
+//! - `--visited exact|compact|bitstate[:MB]|disk[:DIR]` selects the
+//!   visited-set backend; the lossy backends (`compact`, `bitstate`) trade
+//!   exactness for memory and report HOLDS (approx) with an omission
+//!   estimate, while `disk` keeps the search exact by storing the visited
+//!   set out of core (in scratch directory `DIR`, default under the
+//!   system temp dir);
+//! - `--spill-at MB` arms graceful degradation under memory pressure:
+//!   when the search's estimated footprint crosses `MB` MiB it moves the
+//!   visited set and frontier to disk *mid-run* instead of stopping
+//!   INCONCLUSIVE (`0` spills immediately);
 //! - `--checkpoint FILE` flushes search snapshots to `FILE` (periodically
 //!   per `--checkpoint-every N` states, default 4096, and always when a
 //!   budget trips or the run is interrupted with Ctrl-C);
@@ -69,7 +76,8 @@ fn usage() -> ExitCode {
          \u{20}                [--fault CONN=lossy|duplicating|reordering]\n\
          \u{20}                [--fault CONN.PORT=crash_restart]\n\
          \u{20}                [--budget states=N,time=MS,depth=D,mem=BYTES]\n\
-         \u{20}                [--visited exact|compact|bitstate[:MB]]\n\
+         \u{20}                [--visited exact|compact|bitstate[:MB]|disk[:DIR]]\n\
+         \u{20}                [--spill-at MB]\n\
          \u{20}                [--checkpoint FILE [--checkpoint-every N]]\n\
          \u{20}                [--resume FILE] [--threads N]\n\
          \u{20}                [--submit URL [--workers N] [--tenant NAME]]"
@@ -77,24 +85,32 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-/// Parses `--visited exact|compact|bitstate[:MB]`.
-fn parse_visited(spec: &str) -> Result<VisitedKind, String> {
+/// Parses `--visited exact|compact|bitstate[:MB]|disk[:DIR]`, returning
+/// the backend and, for `disk:DIR`, the scratch directory.
+fn parse_visited(spec: &str) -> Result<(VisitedKind, Option<std::path::PathBuf>), String> {
     match spec {
-        "exact" => Ok(VisitedKind::Exact),
-        "compact" => Ok(VisitedKind::Compact),
-        "bitstate" => Ok(VisitedKind::bitstate(VisitedKind::DEFAULT_BITSTATE_ARENA)),
+        "exact" => Ok((VisitedKind::Exact, None)),
+        "compact" => Ok((VisitedKind::Compact, None)),
+        "bitstate" => Ok((
+            VisitedKind::bitstate(VisitedKind::DEFAULT_BITSTATE_ARENA),
+            None,
+        )),
+        "disk" => Ok((VisitedKind::DiskExact, None)),
         other => {
+            if let Some(dir) = other.strip_prefix("disk:").filter(|d| !d.is_empty()) {
+                return Ok((VisitedKind::DiskExact, Some(dir.into())));
+            }
             let mb = other
                 .strip_prefix("bitstate:")
                 .and_then(|mb| mb.parse::<usize>().ok())
                 .filter(|mb| *mb > 0)
                 .ok_or_else(|| {
                     format!(
-                        "--visited '{spec}': want exact, compact, or bitstate[:MB] \
-                         with MB a positive arena size in MiB"
+                        "--visited '{spec}': want exact, compact, bitstate[:MB] \
+                         with MB a positive arena size in MiB, or disk[:DIR]"
                     )
                 })?;
-            Ok(VisitedKind::bitstate(mb << 20))
+            Ok((VisitedKind::bitstate(mb << 20), None))
         }
     }
 }
@@ -298,14 +314,32 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let mut spill_dir = None;
     if let Some(spec) = visited_spec {
-        config.visited = match parse_visited(spec) {
-            Ok(kind) => kind,
+        match parse_visited(spec) {
+            Ok((kind, dir)) => {
+                config.visited = kind;
+                spill_dir = dir;
+            }
             Err(message) => {
                 eprintln!("pnp-check: {message}");
                 return ExitCode::from(2);
             }
         };
+    }
+    let spill_at = match flag_str("--spill-at") {
+        Ok(None) => None,
+        Ok(Some(value)) => match value.parse::<usize>() {
+            Ok(mb) => Some(mb),
+            Err(_) => {
+                eprintln!("pnp-check: --spill-at '{value}': want a threshold in MiB (0 = spill immediately)");
+                return ExitCode::from(2);
+            }
+        },
+        Err(code) => return code,
+    };
+    if let Some(mb) = spill_at {
+        config.spill_at_bytes = Some(mb << 20);
     }
     config.threads = threads;
     let resume = match resume_path {
@@ -363,6 +397,7 @@ fn main() -> ExitCode {
             &ast.to_string(),
             budget.map(String::as_str),
             visited_spec.map(String::as_str),
+            spill_at,
             threads,
             submit_workers,
             tenant.as_deref(),
@@ -453,6 +488,7 @@ fn main() -> ExitCode {
         resume,
         checkpoint_sink: None,
         vfs: None,
+        spill_dir,
     };
     let results = match spec.verify_all_with_options(&options) {
         Ok(r) => r,
@@ -477,6 +513,16 @@ fn main() -> ExitCode {
                 println!("    {line}");
             }
         }
+    }
+    let spilled: usize = results.iter().map(|r| r.spilled_states).sum();
+    if spilled > 0 {
+        // One line of memory-pressure context; verdict lines stay
+        // byte-identical to an in-memory run.
+        println!(
+            "spilled {spilled} states to disk ({} bytes, {} merge passes)",
+            results.iter().map(|r| r.spill_bytes).sum::<usize>(),
+            results.iter().map(|r| r.merge_passes).sum::<usize>(),
+        );
     }
     if inconclusive > 0 {
         if let Some((path, _)) = &options.checkpoint {
@@ -510,11 +556,13 @@ fn main() -> ExitCode {
 /// are transient and the caller should retry after the hinted delay —
 /// the generated idempotency key makes resubmission safe even when the
 /// first attempt's fate is unknown.
+#[allow(clippy::too_many_arguments)]
 fn submit_remote(
     url: &str,
     source: &str,
     budget: Option<&str>,
     visited: Option<&str>,
+    spill_at: Option<usize>,
     threads: usize,
     workers: Option<u64>,
     tenant: Option<&str>,
@@ -532,7 +580,13 @@ fn submit_remote(
         query.push(format!("budget={}", percent_encode(b)));
     }
     if let Some(v) = visited {
-        query.push(format!("visited={}", percent_encode(v)));
+        // Only the backend travels: the daemon assigns its own scratch
+        // directory, so a local `disk:DIR` path is stripped.
+        let backend = if v.starts_with("disk") { "disk" } else { v };
+        query.push(format!("visited={}", percent_encode(backend)));
+    }
+    if let Some(mb) = spill_at {
+        query.push(format!("spill_at={mb}"));
     }
     if threads > 1 {
         query.push(format!("threads={threads}"));

@@ -77,6 +77,19 @@ pub struct PropertyResult {
     /// Deepest level explored (BFS depth for safety searches, product
     /// search depth bookkeeping for LTL).
     pub max_depth: usize,
+    /// Estimated peak memory footprint of the search in bytes (see
+    /// [`pnp_kernel::SearchStats::approx_memory_bytes`]). Memory pressure
+    /// is visible here before it becomes an OOM kill.
+    pub memory_bytes: usize,
+    /// Largest BFS frontier observed while checking.
+    pub peak_frontier: usize,
+    /// States written to out-of-core spill storage (zero when the search
+    /// stayed in RAM).
+    pub spilled_states: usize,
+    /// Bytes written to spill storage.
+    pub spill_bytes: usize,
+    /// Merge-compaction passes over the on-disk visited runs.
+    pub merge_passes: usize,
     /// Why the search stopped early, when it did: the tripped budget, or
     /// [`BudgetKind::Cancelled`] for a cancellation. `None` for a search
     /// that ran to completion. Supervisors use this to tell a
@@ -137,6 +150,11 @@ pub struct VerifyOptions {
     /// filesystem; tests hand in a [`pnp_kernel::SimFs`] to inject
     /// storage faults into checkpoint flushes.
     pub vfs: Option<VfsHandle>,
+    /// Scratch directory for out-of-core search storage (the
+    /// `disk`-backed visited set and spilled frontier chunks), accessed
+    /// through [`VerifyOptions::vfs`]. `None` → a fresh directory under
+    /// the system temp dir when a search actually spills.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl fmt::Debug for VerifyOptions {
@@ -148,6 +166,7 @@ impl fmt::Debug for VerifyOptions {
             .field("resume", &self.resume.as_ref().map(Snapshot::tag))
             .field("checkpoint_sink", &self.checkpoint_sink.is_some())
             .field("vfs", &self.vfs)
+            .field("spill_dir", &self.spill_dir)
             .finish()
     }
 }
@@ -254,6 +273,10 @@ impl ArchSpec {
                     .checkpoint_every(*every)
                     .checkpoint_tag(name);
             }
+            if let Some(dir) = &options.spill_dir {
+                let vfs = options.vfs.clone().unwrap_or_else(real_fs);
+                checker = checker.spill_to(vfs, dir.clone());
+            }
             Ok(checker)
         };
         let mut results = Vec::new();
@@ -277,6 +300,11 @@ impl ArchSpec {
                         states: report.stats.unique_states,
                         steps: report.stats.steps,
                         max_depth: report.stats.max_depth,
+                        memory_bytes: report.stats.approx_memory_bytes,
+                        peak_frontier: report.stats.peak_frontier,
+                        spilled_states: report.stats.spilled_states,
+                        spill_bytes: report.stats.spill_bytes,
+                        merge_passes: report.stats.merge_passes,
                         stop: safety_stop(&report.outcome),
                     }
                 }
@@ -295,6 +323,11 @@ impl ArchSpec {
                         states: report.stats.unique_states,
                         steps: report.stats.steps,
                         max_depth: report.stats.max_depth,
+                        memory_bytes: report.stats.approx_memory_bytes,
+                        peak_frontier: report.stats.peak_frontier,
+                        spilled_states: report.stats.spilled_states,
+                        spill_bytes: report.stats.spill_bytes,
+                        merge_passes: report.stats.merge_passes,
                         stop: safety_stop(&report.outcome),
                     }
                 }
@@ -361,6 +394,11 @@ impl ArchSpec {
                         states: report.stats.unique_states,
                         steps: report.stats.steps,
                         max_depth: report.stats.max_depth,
+                        memory_bytes: report.stats.approx_memory_bytes,
+                        peak_frontier: report.stats.peak_frontier,
+                        spilled_states: report.stats.spilled_states,
+                        spill_bytes: report.stats.spill_bytes,
+                        merge_passes: report.stats.merge_passes,
                         stop,
                     }
                 }

@@ -5,10 +5,17 @@
 //!           [--queue-cap N] [--max-queued-bytes N] [--retry-after-ms N]
 //!           [--deadline-ms N] [--max-attempts N] [--backoff-base-ms N]
 //!           [--backoff-cap-ms N] [--wedge-grace-ms N]
-//!           [--checkpoint-every N] [--budget SPEC] [--seed N]
+//!           [--checkpoint-every N] [--budget SPEC] [--spill-at MB]
+//!           [--retain-done N] [--seed N]
 //!           [--cluster coordinator|worker] [--coordinator ADDR]
 //!           [--worker-name NAME] [--self-addr ADDR]
 //! ```
+//!
+//! `--spill-at MB` sets the service-level memory budget: any job without
+//! its own `spill_at` spills its search state to disk (under the state
+//! directory) once it crosses this estimate, instead of OOM-dying.
+//! `--retain-done N` bounds both the coordinator's terminal-job map and
+//! a worker gateway's settled-entry map.
 //!
 //! Without `--cluster` the daemon is a plain single-node service. With
 //! `--cluster coordinator` it fronts a worker fleet: the job API shards
@@ -49,7 +56,8 @@ fn usage() -> ! {
          [--queue-cap N] [--max-queued-bytes N] [--retry-after-ms N] \
          [--deadline-ms N] [--max-attempts N] [--backoff-base-ms N] \
          [--backoff-cap-ms N] [--wedge-grace-ms N] [--checkpoint-every N] \
-         [--budget SPEC] [--seed N] [--cluster coordinator|worker] \
+         [--budget SPEC] [--spill-at MB] [--retain-done N] [--seed N] \
+         [--cluster coordinator|worker] \
          [--coordinator ADDR] [--worker-name NAME] [--self-addr ADDR]"
     );
     std::process::exit(2);
@@ -59,6 +67,7 @@ fn main() -> ExitCode {
     let mut listen = String::from("127.0.0.1:7878");
     let mut config = ServeConfig::default();
     let mut role = Role::Single;
+    let mut retain_done: Option<usize> = None;
     let mut coordinator_addr: Option<String> = None;
     let mut worker_name: Option<String> = None;
     let mut self_addr: Option<String> = None;
@@ -137,6 +146,14 @@ fn main() -> ExitCode {
                         usage();
                     })
             }
+            "--spill-at" => {
+                config.spill_at_bytes =
+                    Some((parse_num("--spill-at", value(&mut args, "--spill-at")) as usize) << 20)
+            }
+            "--retain-done" => {
+                retain_done =
+                    Some(parse_num("--retain-done", value(&mut args, "--retain-done")) as usize)
+            }
             "--seed" => config.seed = parse_num("--seed", value(&mut args, "--seed")),
             "--cluster" => {
                 role = match value(&mut args, "--cluster").as_str() {
@@ -193,13 +210,20 @@ fn main() -> ExitCode {
     let node = match role {
         Role::Single => Node::single(supervisor),
         Role::Coordinator => {
+            let mut cluster_config = ClusterConfig {
+                state_dir,
+                queue: queue_policy,
+                default_search,
+                ..ClusterConfig::default()
+            };
+            if let Some(retain) = retain_done {
+                // One flag bounds both maps: the coordinator's terminal
+                // jobs and (on workers) the gateway's settled entries.
+                cluster_config.retain_done = retain;
+                cluster_config.settled_retain = retain;
+            }
             let coordinator = Arc::new(Coordinator::new(
-                ClusterConfig {
-                    state_dir,
-                    queue: queue_policy,
-                    default_search,
-                    ..ClusterConfig::default()
-                },
+                cluster_config,
                 Arc::new(RealTcp::default()),
             ));
             let restored = coordinator.stats().restored;
@@ -228,7 +252,11 @@ fn main() -> ExitCode {
             let coordinator_addr = coordinator_addr.expect("checked above");
             let name = worker_name.expect("checked above");
             let self_peer = self_addr.unwrap_or_else(|| addr.clone());
-            let gateway = Arc::new(WorkerGateway::new(&name, Arc::clone(&supervisor)));
+            let mut gateway = WorkerGateway::new(&name, Arc::clone(&supervisor));
+            if let Some(retain) = retain_done {
+                gateway = gateway.with_settled_retain(retain);
+            }
+            let gateway = Arc::new(gateway);
             // The worker loop: register (and re-register whenever the
             // coordinator forgets us), heartbeat, push completions.
             {

@@ -19,6 +19,11 @@
 //! 3. **All-or-nothing queue persistence**: a crash anywhere inside the
 //!    drain's `queue.pnpq` commit leaves either the complete old queue or
 //!    the complete new one on disk, never a torn file.
+//! 4. **Out-of-core parity**: a search forced to spill its visited set
+//!    and frontier to the (faulty) simulated disk converges to the same
+//!    verdict fingerprint as the in-memory baseline, with ENOSPC during
+//!    a spill or merge degrading to an honest memory trip — never a
+//!    wrong verdict.
 //!
 //! Both `crates/serve/tests/chaos.rs` and the `pnp-bench` `chaos` binary
 //! (the CI smoke matrix) drive the harness through [`run_schedule`].
@@ -28,8 +33,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use pnp_kernel::{
-    commit_replace, fnv64, load_latest_snapshot, FailureClass, FaultPlan, JobOutcome, SimFs,
-    SplitMix64, Vfs, VfsHandle,
+    commit_replace, fnv64, load_latest_snapshot, BudgetKind, FailureClass, FaultPlan, JobOutcome,
+    SearchConfig, SimFs, SplitMix64, Vfs, VfsHandle,
 };
 use pnp_lang::{compile, PropertyResult, VerifyOptions};
 
@@ -93,14 +98,29 @@ pub enum Schedule {
     DrainCrash,
     /// Seeded ENOSPC and EIO draws against checkpoint writes.
     Enospc,
+    /// Crash at a seeded syscall boundary while an out-of-core search
+    /// (tiny spill budget) is writing visited partitions and frontier
+    /// chunks; reboot; resume; repeat.
+    SpillCrash,
+    /// Seeded ENOSPC and EIO draws against an out-of-core search's
+    /// spill and merge writes: ENOSPC must degrade to an honest memory
+    /// trip, never a wrong verdict.
+    EnospcDuringMerge,
+    /// Crash *after* the search has spilled, so recovery exercises the
+    /// disk-backed resume path (rebuilding the on-disk visited set from
+    /// the checkpoint).
+    ResumeAfterSpill,
 }
 
 impl Schedule {
     /// Every schedule, in matrix order.
-    pub const ALL: [Schedule; 3] = [
+    pub const ALL: [Schedule; 6] = [
         Schedule::CheckpointCrash,
         Schedule::DrainCrash,
         Schedule::Enospc,
+        Schedule::SpillCrash,
+        Schedule::EnospcDuringMerge,
+        Schedule::ResumeAfterSpill,
     ];
 
     /// The schedule's stable name (CLI and report rows).
@@ -109,7 +129,19 @@ impl Schedule {
             Schedule::CheckpointCrash => "checkpoint-crash",
             Schedule::DrainCrash => "drain-crash",
             Schedule::Enospc => "enospc",
+            Schedule::SpillCrash => "spill-crash",
+            Schedule::EnospcDuringMerge => "enospc-during-merge",
+            Schedule::ResumeAfterSpill => "resume-after-spill",
         }
+    }
+
+    /// Whether this schedule runs the search out of core (tiny spill
+    /// budget, scratch directory on the simulated disk).
+    fn spills(self) -> bool {
+        matches!(
+            self,
+            Schedule::SpillCrash | Schedule::EnospcDuringMerge | Schedule::ResumeAfterSpill
+        )
     }
 
     /// Parses a schedule name.
@@ -173,8 +205,8 @@ pub fn results_fingerprint(results: &[PropertyResult]) -> u64 {
 /// to converge.
 pub fn run_schedule(schedule: Schedule, seed: u64) -> Result<ChaosOutcome, String> {
     match schedule {
-        Schedule::CheckpointCrash | Schedule::Enospc => verify_recovery_loop(schedule, seed),
         Schedule::DrainCrash => drain_crash_roundtrip(seed),
+        _ => verify_recovery_loop(schedule, seed),
     }
 }
 
@@ -217,6 +249,24 @@ fn verify_recovery_loop(schedule: Schedule, seed: u64) -> Result<ChaosOutcome, S
                     ..FaultPlan::default()
                 });
             }
+            // An out-of-core attempt does far more syscalls than a
+            // checkpoint-only one: a wide crash window lands inside
+            // partition flushes, merges, and frontier chunk commits.
+            Schedule::SpillCrash if reboots < MAX_FAULTY_REBOOTS => {
+                fs.set_plan(FaultPlan::crash_after(3 + rng.gen_index(192) as u64));
+            }
+            Schedule::EnospcDuringMerge if attempts <= MAX_FAULTY_ATTEMPTS => {
+                fs.set_plan(FaultPlan {
+                    enospc_per_mille: 120,
+                    eio_per_mille: 60,
+                    ..FaultPlan::default()
+                });
+            }
+            // A late crash window: by then the tiny budget has forced
+            // the spill, so every reboot resumes a DiskExact checkpoint.
+            Schedule::ResumeAfterSpill if reboots < MAX_FAULTY_REBOOTS => {
+                fs.set_plan(FaultPlan::crash_after(150 + rng.gen_index(350) as u64));
+            }
             _ => fs.set_plan(FaultPlan::default()),
         }
 
@@ -231,10 +281,39 @@ fn verify_recovery_loop(schedule: Schedule, seed: u64) -> Result<ChaosOutcome, S
             checkpoint: Some((base.clone(), CHECKPOINT_EVERY)),
             resume,
             vfs: Some(vfs.clone()),
+            config: if schedule.spills() {
+                // A budget of a few KiB forces the spill within the
+                // first checkpoint interval, so the whole search runs
+                // out of core on the faulty simulated disk.
+                SearchConfig {
+                    spill_at_bytes: Some(4 << 10),
+                    ..SearchConfig::default()
+                }
+            } else {
+                SearchConfig::default()
+            },
+            spill_dir: schedule.spills().then(|| state.join("spill")),
             ..VerifyOptions::default()
         };
         match spec.verify_all_with_options(&options) {
             Ok(results) => {
+                if let Some(stop) = results.iter().find_map(|r| r.stop) {
+                    // Graceful degradation under disk faults: ENOSPC on
+                    // a spill write must surface as an honest memory
+                    // trip — partial stats, no verdict — and the next
+                    // attempt resumes from the flushed checkpoint.
+                    if stop != BudgetKind::Memory {
+                        return Err(format!(
+                            "{schedule} seed {seed}: attempt stopped on {stop:?} \
+                             (only a memory trip is an honest degradation here)"
+                        ));
+                    }
+                    if fs.crashed() {
+                        fs.reboot();
+                        reboots += 1;
+                    }
+                    continue;
+                }
                 fs.set_plan(FaultPlan::default());
                 let fp = results_fingerprint(&results);
                 return Ok(ChaosOutcome {

@@ -85,6 +85,12 @@ pub struct ClusterConfig {
     /// idempotency maps bounded; an evicted job's late stale upload
     /// gets `404` instead of `409`, which discards it just the same.
     pub retain_done: usize,
+    /// Settled gateway entries a *worker* keeps before the oldest are
+    /// evicted (default 256). The worker-side twin of `retain_done`:
+    /// bounds a long-lived worker's global-job map while still
+    /// answering duplicated dispatches of finished epochs idempotently.
+    /// `pnp-serve --retain-done N` sets both.
+    pub settled_retain: usize,
     /// Shed `Retry-After` scaling (reuses the queue policy's
     /// pressure-derived hint).
     pub queue: QueuePolicy,
@@ -108,6 +114,7 @@ impl Default for ClusterConfig {
             tenant_quota: 16,
             max_inflight_per_worker: 2,
             retain_done: 256,
+            settled_retain: 256,
             queue: QueuePolicy::default(),
             state_dir: std::path::PathBuf::from(".pnp-serve"),
             vfs: real_fs(),
@@ -1120,6 +1127,7 @@ pub struct WorkerGateway {
     /// This worker's stable name.
     pub name: String,
     supervisor: Arc<Supervisor>,
+    settled_retain: usize,
     inner: Mutex<GatewayInner>,
 }
 
@@ -1128,17 +1136,14 @@ struct GatewayInner {
     /// Global job → the epoch we run it under and its local id.
     /// Settled entries stay so a duplicated dispatch of a finished
     /// epoch answers idempotently; [`settle`] evicts the oldest beyond
-    /// [`SETTLED_RETAIN`] (a re-run of an evicted job is fenced by the
-    /// coordinator's epoch check anyway).
+    /// [`ClusterConfig::settled_retain`] (a re-run of an evicted job is
+    /// fenced by the coordinator's epoch check anyway).
     jobs: HashMap<u64, GatewayJob>,
 }
 
-/// Settled gateway entries kept before the oldest are evicted.
-const SETTLED_RETAIN: usize = 256;
-
 /// Marks `job` settled and evicts the oldest settled entries beyond
-/// [`SETTLED_RETAIN`], keeping a long-lived worker's map bounded.
-fn settle(inner: &mut GatewayInner, job: u64) {
+/// `retain`, keeping a long-lived worker's map bounded.
+fn settle(inner: &mut GatewayInner, job: u64, retain: usize) {
     if let Some(entry) = inner.jobs.get_mut(&job) {
         entry.settled = true;
     }
@@ -1148,11 +1153,11 @@ fn settle(inner: &mut GatewayInner, job: u64) {
         .filter(|(_, entry)| entry.settled)
         .map(|(&job, _)| job)
         .collect();
-    if settled.len() <= SETTLED_RETAIN {
+    if settled.len() <= retain {
         return;
     }
     settled.sort_unstable();
-    for id in &settled[..settled.len() - SETTLED_RETAIN] {
+    for id in &settled[..settled.len() - retain] {
         inner.jobs.remove(id);
     }
 }
@@ -1178,13 +1183,22 @@ pub struct PushReport {
 }
 
 impl WorkerGateway {
-    /// A gateway over the local supervisor.
+    /// A gateway over the local supervisor, with the default
+    /// settled-entry retention ([`ClusterConfig::settled_retain`]).
     pub fn new(name: &str, supervisor: Arc<Supervisor>) -> WorkerGateway {
         WorkerGateway {
             name: name.to_string(),
             supervisor,
+            settled_retain: ClusterConfig::default().settled_retain,
             inner: Mutex::new(GatewayInner::default()),
         }
+    }
+
+    /// Overrides how many settled entries the gateway retains before
+    /// evicting the oldest (`pnp-serve --retain-done N`).
+    pub fn with_settled_retain(mut self, retain: usize) -> WorkerGateway {
+        self.settled_retain = retain;
+        self
     }
 
     fn lock(&self) -> MutexGuard<'_, GatewayInner> {
@@ -1355,11 +1369,11 @@ impl WorkerGateway {
             match transport.request(peer, &request) {
                 Ok(response) if response.status == 200 => {
                     report.acknowledged += 1;
-                    settle(&mut self.lock(), job);
+                    settle(&mut self.lock(), job, self.settled_retain);
                 }
                 Ok(response) if response.status == 409 => {
                     report.fenced += 1;
-                    settle(&mut self.lock(), job);
+                    settle(&mut self.lock(), job, self.settled_retain);
                 }
                 Ok(_) | Err(_) => {
                     // Unreachable or shedding: keep it pending and push

@@ -155,20 +155,24 @@ pub fn parse_budget_spec(spec: &str, base: SearchConfig) -> Result<SearchConfig,
     Ok(config)
 }
 
-/// Parses `exact|compact|bitstate[:MB]` — the same syntax
-/// `pnp-check --visited` takes.
+/// Parses `exact|compact|bitstate[:MB]|disk` — the same syntax
+/// `pnp-check --visited` takes. A `disk:DIR` scratch directory is
+/// accepted but ignored: the daemon assigns each job its own spill
+/// directory under the state dir.
 pub fn parse_visited_spec(spec: &str) -> Result<VisitedKind, String> {
     match spec {
         "exact" => Ok(VisitedKind::Exact),
         "compact" => Ok(VisitedKind::Compact),
         "bitstate" => Ok(VisitedKind::bitstate(VisitedKind::DEFAULT_BITSTATE_ARENA)),
+        "disk" => Ok(VisitedKind::DiskExact),
+        other if other.starts_with("disk:") => Ok(VisitedKind::DiskExact),
         other => {
             let mb = other
                 .strip_prefix("bitstate:")
                 .and_then(|mb| mb.parse::<usize>().ok())
                 .filter(|mb| *mb > 0)
                 .ok_or_else(|| {
-                    format!("visited '{spec}': want exact, compact, or bitstate[:MB]")
+                    format!("visited '{spec}': want exact, compact, bitstate[:MB], or disk")
                 })?;
             Ok(VisitedKind::bitstate(mb << 20))
         }
@@ -176,7 +180,8 @@ pub fn parse_visited_spec(spec: &str) -> Result<VisitedKind, String> {
 }
 
 /// Resolves the standard submission parameters (`budget`, `threads`,
-/// `visited`, `deadline_ms`, `max_attempts`, `chaos`) against `base`,
+/// `visited`, `spill_at`, `deadline_ms`, `max_attempts`, `chaos`)
+/// against `base`,
 /// reading each through `lookup` — shared by the HTTP layer and the
 /// cluster coordinator, which see different request types.
 ///
@@ -200,6 +205,12 @@ pub fn resolve_job_config(
     }
     if let Some(spec) = lookup("visited") {
         config.visited = parse_visited_spec(&spec)?;
+    }
+    if let Some(mb) = lookup("spill_at") {
+        let mb = mb
+            .parse::<usize>()
+            .map_err(|_| format!("spill_at '{mb}': want a megabyte count"))?;
+        config.spill_at_bytes = Some(mb << 20);
     }
     let deadline = lookup("deadline_ms")
         .map(|v| {
@@ -417,6 +428,26 @@ mod tests {
             VisitedKind::Bitstate { .. }
         ));
         assert!(parse_visited_spec("bitstate:0").is_err());
+        assert_eq!(parse_visited_spec("disk").unwrap(), VisitedKind::DiskExact);
+        assert_eq!(
+            parse_visited_spec("disk:/tmp/scratch").unwrap(),
+            VisitedKind::DiskExact
+        );
+    }
+
+    #[test]
+    fn spill_at_resolves_to_bytes() {
+        let lookup = |key: &str| match key {
+            "visited" => Some("disk".to_string()),
+            "spill_at" => Some("8".to_string()),
+            _ => None,
+        };
+        let resolved = resolve_job_config(&lookup, SearchConfig::default()).unwrap();
+        assert_eq!(resolved.config.visited, VisitedKind::DiskExact);
+        assert_eq!(resolved.config.spill_at_bytes, Some(8 << 20));
+
+        let bad = |key: &str| (key == "spill_at").then(|| "lots".to_string());
+        assert!(resolve_job_config(&bad, SearchConfig::default()).is_err());
     }
 
     #[test]

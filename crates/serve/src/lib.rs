@@ -20,8 +20,10 @@
 //! | `POST` | `/jobs/{id}/cancel` | cooperative cancellation |
 //!
 //! Submissions take query parameters `budget` (`states=N,time=MS,…`),
-//! `threads`, `visited` (`exact|compact|bitstate[:MB]`), `deadline_ms`,
-//! `max_attempts`, and `chaos` (fault injection for the soak tests).
+//! `threads`, `visited` (`exact|compact|bitstate[:MB]|disk`),
+//! `spill_at` (memory budget in MB past which the search spills to
+//! disk), `deadline_ms`, `max_attempts`, and `chaos` (fault injection
+//! for the soak tests).
 #![warn(missing_docs)]
 
 pub mod chaos;

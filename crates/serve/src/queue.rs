@@ -223,8 +223,10 @@ pub fn encode_queue(jobs: &[PersistedJob]) -> Vec<u8> {
                 w.u64(arena_bytes as u64);
                 w.u32(hashes);
             }
+            VisitedKind::DiskExact => w.u8(3),
         }
         w.u64(c.config.threads as u64);
+        w.opt_u64(c.config.spill_at_bytes.map(|b| b as u64));
         w.opt_u64(c.deadline.map(|d| d.as_millis() as u64));
         w.opt_u64(c.max_attempts.map(u64::from));
         w.str(&c.chaos.map(|ch| ch.render()).unwrap_or_default());
@@ -277,9 +279,11 @@ pub fn decode_queue(bytes: &[u8]) -> Result<Vec<PersistedJob>, String> {
                 arena_bytes: r.usize()?,
                 hashes: r.u32()?,
             },
+            3 => VisitedKind::DiskExact,
             other => return Err(format!("unknown visited backend tag {other}")),
         };
         config.threads = r.usize()?;
+        config.spill_at_bytes = r.opt_u64()?.map(|b| b as usize);
         let deadline = r.opt_u64()?.map(Duration::from_millis);
         let max_attempts = r.opt_u64()?.map(|n| n as u32);
         let chaos_spec = r.str()?;
@@ -324,7 +328,8 @@ mod tests {
                             max_states: 500,
                             max_time: Some(Duration::from_millis(1234)),
                             threads: 4,
-                            visited: VisitedKind::bitstate(1 << 20),
+                            visited: VisitedKind::DiskExact,
+                            spill_at_bytes: Some(4 << 20),
                             ..SearchConfig::default()
                         },
                         deadline: Some(Duration::from_millis(250)),
@@ -358,6 +363,14 @@ mod tests {
             Some(Duration::from_millis(1234))
         );
         assert_eq!(decoded[0].request.config.config.threads, 4);
+        assert_eq!(
+            decoded[0].request.config.config.visited,
+            VisitedKind::DiskExact
+        );
+        assert_eq!(
+            decoded[0].request.config.config.spill_at_bytes,
+            Some(4 << 20)
+        );
         assert_eq!(
             decoded[0].request.config.deadline,
             Some(Duration::from_millis(250))

@@ -54,7 +54,12 @@ pub struct ServeConfig {
     /// Checkpoint flush cadence in newly interned states (default 1024;
     /// `0` = final snapshot only).
     pub checkpoint_every: usize,
-    /// Where checkpoints and the persisted queue live.
+    /// Default per-job memory budget: when a search's estimated memory
+    /// crosses this many bytes the worker spills its visited set and
+    /// frontier to disk instead of growing (or OOM-dying). Per-job
+    /// `spill_at` submissions override it; `None` disables the default.
+    pub spill_at_bytes: Option<usize>,
+    /// Where checkpoints, spill scratch, and the persisted queue live.
     pub state_dir: PathBuf,
     /// Seed for retry-backoff jitter.
     pub seed: u64,
@@ -78,6 +83,7 @@ impl Default for ServeConfig {
             backoff_cap: Duration::from_secs(5),
             wedge_grace: Duration::from_secs(2),
             checkpoint_every: 1024,
+            spill_at_bytes: None,
             state_dir: PathBuf::from(".pnp-serve"),
             seed: 0x706e_7073_6572_7665,
             default_search: SearchConfig::default(),
@@ -466,9 +472,39 @@ impl Supervisor {
     /// The `/health` object, including durability status: per-job last
     /// checkpoint generation and age, plus quarantine/sweep counters.
     pub fn health_json(&self) -> String {
-        let (status, counters) = {
+        let (status, counters, memory) = {
             let inner = self.lock();
             let s = inner.stats;
+            // Per-job memory pressure from the last finished attempt:
+            // the peak estimate across properties plus the out-of-core
+            // spill totals. Jobs without results yet are omitted.
+            let mut memory: Vec<String> = inner
+                .jobs
+                .iter()
+                .filter_map(|(id, record)| {
+                    let results = record.results.as_ref()?;
+                    let max = |f: fn(&PropertyResult) -> usize| {
+                        results.iter().map(f).max().unwrap_or(0) as u64
+                    };
+                    let sum = |f: fn(&PropertyResult) -> usize| {
+                        results.iter().map(f).sum::<usize>() as u64
+                    };
+                    Some((
+                        id.0,
+                        Obj::new()
+                            .str("job", &id.to_string())
+                            .num("memory_bytes", max(|r| r.memory_bytes))
+                            .num("peak_frontier", max(|r| r.peak_frontier))
+                            .num("spilled_states", sum(|r| r.spilled_states))
+                            .num("spill_bytes", sum(|r| r.spill_bytes))
+                            .num("merge_passes", sum(|r| r.merge_passes))
+                            .build(),
+                    ))
+                })
+                .collect::<std::collections::BTreeMap<u64, String>>()
+                .into_values()
+                .collect();
+            memory.truncate(64);
             (
                 if inner.draining { "draining" } else { "ok" },
                 (
@@ -477,6 +513,7 @@ impl Supervisor {
                     inner.active_attempts as u64,
                     s,
                 ),
+                memory,
             )
         };
         let (queue_depth, queued_bytes, running, s) = counters;
@@ -519,6 +556,7 @@ impl Supervisor {
             .num("quarantined", s.quarantined)
             .num("tmp_swept", s.tmp_swept)
             .raw("checkpoints", &checkpoints)
+            .raw("memory", &array(memory))
             .build()
     }
 
@@ -680,6 +718,11 @@ pub(crate) fn property_json(result: &PropertyResult) -> String {
         .num("states", result.states as u64)
         .num("steps", result.steps as u64)
         .num("max_depth", result.max_depth as u64)
+        .num("memory_bytes", result.memory_bytes as u64)
+        .num("peak_frontier", result.peak_frontier as u64)
+        .num("spilled_states", result.spilled_states as u64)
+        .num("spill_bytes", result.spill_bytes as u64)
+        .num("merge_passes", result.merge_passes as u64)
         .str("detail", &result.detail)
         .build()
 }
@@ -690,12 +733,46 @@ fn checkpoint_path(state_dir: &Path, id: JobId) -> PathBuf {
     state_dir.join(format!("job-{}.pnpsnap", id.0))
 }
 
+/// The scratch directory an out-of-core search spills its visited
+/// partitions and frontier chunks into. Recreatable at will: wiped when
+/// the job finishes and swept when orphaned.
+fn spill_dir(state_dir: &Path, id: JobId) -> PathBuf {
+    state_dir.join(format!("job-{}.spill", id.0))
+}
+
+/// Removes a job's spill scratch directory: the search lays out
+/// `<dir>/frontier/` and `<dir>/visited/` subtrees, so removal walks the
+/// tree bottom-up. Scratch is recreatable, so errors are swallowed;
+/// returns whether anything was removed.
+fn remove_spill_dir(shared: &Shared, id: JobId) -> bool {
+    remove_tree(&shared.config.vfs, &spill_dir(&shared.config.state_dir, id))
+}
+
+/// Best-effort recursive removal of a directory tree on the `Vfs`.
+/// Returns whether any entry was removed.
+fn remove_tree(vfs: &pnp_kernel::VfsHandle, dir: &Path) -> bool {
+    let mut removed = false;
+    if let Ok(subdirs) = vfs.list_dirs(dir) {
+        for subdir in subdirs {
+            removed |= remove_tree(vfs, &subdir);
+        }
+    }
+    if let Ok(files) = vfs.list(dir) {
+        for file in files {
+            removed |= vfs.remove(&file).is_ok();
+        }
+    }
+    removed | vfs.remove(dir).is_ok()
+}
+
 /// Removes a finished job's checkpoint generations (and any legacy
-/// single-file snapshot) and forgets its `/health` checkpoint mark.
+/// single-file snapshot), wipes its spill scratch, and forgets its
+/// `/health` checkpoint mark.
 fn remove_checkpoint(shared: &Shared, id: JobId) {
     let base = checkpoint_path(&shared.config.state_dir, id);
     GenStore::new(shared.config.vfs.clone(), &base).remove_all();
     let _ = shared.config.vfs.remove(&base);
+    remove_spill_dir(shared, id);
     let mut marks = shared.checkpoints.lock().unwrap_or_else(|e| e.into_inner());
     marks.remove(&id.0);
 }
@@ -708,6 +785,15 @@ fn quarantine_file(config: &ServeConfig, path: &Path, dest_name: &str) -> bool {
         return false;
     }
     config.vfs.rename(path, &quarantine.join(dest_name)).is_ok()
+}
+
+/// Classifies a state-directory entry name as a job's spill scratch
+/// directory (`job-N.spill`). Returns the job id.
+fn spill_dir_job(name: &str) -> Option<u64> {
+    name.strip_prefix("job-")?
+        .strip_suffix(".spill")?
+        .parse()
+        .ok()
 }
 
 /// Classifies a state-directory file name as a checkpoint artifact:
@@ -729,6 +815,21 @@ fn checkpoint_file_job(name: &str) -> Option<(u64, bool)> {
 /// files that are corrupt (undecodable) or orphaned (valid, but no
 /// restored job will ever resume them).
 fn sweep_state_dir(config: &ServeConfig, inner: &mut Inner) {
+    // Spill scratch is recreatable, never resumed from: orphaned
+    // `job-N.spill` trees are swept rather than quarantined.
+    if let Ok(dirs) = config.vfs.list_dirs(&config.state_dir) {
+        for dir in dirs {
+            let Some(name) = dir.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(job) = spill_dir_job(name) else {
+                continue;
+            };
+            if !inner.jobs.contains_key(&JobId(job)) && remove_tree(&config.vfs, &dir) {
+                inner.stats.tmp_swept += 1;
+            }
+        }
+    }
     let Ok(entries) = config.vfs.list(&config.state_dir) else {
         return;
     };
@@ -895,13 +996,21 @@ fn run_attempt(shared: &Arc<Shared>, task: &Task) -> (JobOutcome, Option<Vec<Pro
             }
         })
     };
+    let mut config = task.request.config.config;
+    if config.spill_at_bytes.is_none() {
+        // The service-level memory budget backstops every job that did
+        // not pick its own: workers degrade to out-of-core search
+        // instead of OOM-dying.
+        config.spill_at_bytes = shared.config.spill_at_bytes;
+    }
     let options = VerifyOptions {
-        config: task.request.config.config,
+        config,
         cancel: Some(task.cancel.clone()),
         checkpoint: Some((snap_path.clone(), shared.config.checkpoint_every)),
         resume,
         checkpoint_sink: Some(checkpoint_sink),
         vfs: Some(shared.config.vfs.clone()),
+        spill_dir: Some(spill_dir(&shared.config.state_dir, task.id)),
     };
     match spec.verify_all_with_options(&options) {
         Ok(results) => {

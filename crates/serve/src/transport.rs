@@ -195,6 +195,11 @@ pub fn encode_completion(completion: &Completion) -> Vec<u8> {
                 w.u64(r.states as u64);
                 w.u64(r.steps as u64);
                 w.u64(r.max_depth as u64);
+                w.u64(r.memory_bytes as u64);
+                w.u64(r.peak_frontier as u64);
+                w.u64(r.spilled_states as u64);
+                w.u64(r.spill_bytes as u64);
+                w.u64(r.merge_passes as u64);
                 w.u8(stop_code(r.stop));
             }
         }
@@ -258,6 +263,11 @@ pub fn decode_completion(bytes: &[u8]) -> Result<Completion, String> {
                     states: r.usize()?,
                     steps: r.usize()?,
                     max_depth: r.usize()?,
+                    memory_bytes: r.usize()?,
+                    peak_frontier: r.usize()?,
+                    spilled_states: r.usize()?,
+                    spill_bytes: r.usize()?,
+                    merge_passes: r.usize()?,
                     stop: stop_from(r.u8()?)?,
                 });
             }
@@ -336,6 +346,11 @@ mod tests {
                 states: 42,
                 steps: 99,
                 max_depth: 7,
+                memory_bytes: 123_456,
+                peak_frontier: 11,
+                spilled_states: 40,
+                spill_bytes: 2048,
+                merge_passes: 1,
                 stop: Some(pnp_kernel::BudgetKind::Time),
             }]),
         };

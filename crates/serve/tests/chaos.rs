@@ -9,9 +9,11 @@ use std::time::Duration;
 
 use pnp_kernel::{load_latest_snapshot, FaultPlan, GenStore, SimFs, Snapshot, Vfs, VfsHandle};
 use pnp_lang::{compile, VerifyOptions};
+use pnp_net::{SimNet, WireRequest};
 use pnp_serve::chaos::{
     results_fingerprint, run_schedule, ChaosOutcome, Schedule, CHAOS_SPEC, CHECKPOINT_EVERY,
 };
+use pnp_serve::cluster::{ClusterConfig, Coordinator};
 use pnp_serve::job::{Chaos, JobConfig, JobRequest, Verdict};
 use pnp_serve::supervisor::{ServeConfig, Supervisor};
 
@@ -216,4 +218,119 @@ fn supervisor_on_simfs_retries_drains_and_restores() {
         );
     }
     restarted.drain();
+}
+
+/// An orphaned spill scratch tree (the nested `job-N.spill/{frontier,
+/// visited}/` layout a real out-of-core search leaves behind) is swept
+/// — removed bottom-up, not quarantined — when a supervisor starts over
+/// the state directory and no restored job owns it.
+#[test]
+fn startup_sweep_removes_orphaned_nested_spill_tree() {
+    let (fs, vfs) = sim_with_state(31);
+    let state = PathBuf::from("/state/serve");
+    for sub in ["frontier", "visited"] {
+        fs.as_ref()
+            .create_dir_all(&state.join("job-7.spill").join(sub))
+            .unwrap();
+    }
+    fs.as_ref()
+        .write(
+            &state.join("job-7.spill/visited/part00-run00000001.pnprun"),
+            b"stale",
+        )
+        .unwrap();
+    fs.as_ref()
+        .write(
+            &state.join("job-7.spill/frontier/chunk-00000001.pnprun"),
+            b"stale",
+        )
+        .unwrap();
+    let supervisor = Supervisor::start(ServeConfig {
+        workers: 1,
+        state_dir: state.clone(),
+        vfs: vfs.clone(),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    assert!(
+        vfs.list_dirs(&state).unwrap().is_empty(),
+        "the orphaned spill tree must be gone"
+    );
+    assert!(
+        supervisor.stats().tmp_swept >= 1,
+        "the sweep must be counted"
+    );
+    supervisor.drain();
+}
+
+/// The coordinator's durable `cluster.pnpq` commit under a full disk:
+/// ENOSPC anywhere inside `commit_replace` (the tmp write gets a torn
+/// prefix, the rename never happens) must leave the previously committed
+/// queue byte-intact, and the coordinator must keep serving — admitting
+/// jobs and answering `/health` — so a later drain can retry and a
+/// restarted coordinator restores every open job.
+#[test]
+fn enospc_mid_cluster_commit_keeps_previous_queue_and_coordinator_serving() {
+    for seed in 0..8u64 {
+        let (fs, vfs) = sim_with_state(seed);
+        let net = SimNet::new(seed);
+        let config = || ClusterConfig {
+            state_dir: PathBuf::from("/state/coord"),
+            vfs: vfs.clone(),
+            ..ClusterConfig::default()
+        };
+        let coordinator = Coordinator::new(config(), Arc::new(net.endpoint("coord")));
+        let register = WireRequest::post("/cluster/register?name=w1&peer=w1", Vec::new());
+        assert_eq!(coordinator.handle(&register, 0).status, 200);
+        let submit = |tenant: &str| {
+            let request = WireRequest::post(
+                format!("/jobs?tenant={tenant}"),
+                CHAOS_SPEC.as_bytes().to_vec(),
+            );
+            let response = coordinator.handle(&request, 0);
+            assert_eq!(response.status, 202, "seed {seed}: submission must land");
+        };
+
+        submit("a");
+        coordinator.drain();
+        let path = PathBuf::from("/state/coord/cluster.pnpq");
+        let committed = fs
+            .as_ref()
+            .read(&path)
+            .expect("clean drain persists the cluster queue");
+
+        submit("b");
+        fs.set_plan(FaultPlan {
+            enospc_per_mille: 1000,
+            ..FaultPlan::default()
+        });
+        coordinator.drain();
+        fs.set_plan(FaultPlan::default());
+        assert_eq!(
+            fs.as_ref()
+                .read(&path)
+                .expect("seed {seed}: the previous queue must survive a full disk"),
+            committed,
+            "seed {seed}: a failed commit must leave the previous generation byte-intact"
+        );
+
+        assert_eq!(
+            coordinator.handle(&WireRequest::get("/health"), 0).status,
+            200,
+            "seed {seed}: the coordinator must keep serving after the failed persist"
+        );
+        submit("c");
+        coordinator.drain();
+        let replaced = fs
+            .as_ref()
+            .read(&path)
+            .expect("the retried drain commits cleanly");
+        assert_ne!(
+            replaced, committed,
+            "seed {seed}: the retried drain must commit the grown job set"
+        );
+
+        let restarted = Coordinator::new(config(), Arc::new(net.endpoint("coord-2")));
+        assert_eq!(restarted.stats().restored, 3, "seed {seed}");
+    }
 }
