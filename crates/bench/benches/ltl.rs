@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use pnp_bench::composed_pipe;
 use pnp_core::{ChannelKind, RecvPortKind, SendPortKind};
-use pnp_kernel::{expr, Checker, Fairness, Predicate, Proposition};
+use pnp_kernel::{expr, Checker, Fairness, Predicate, Proposition, SearchConfig};
 use pnp_ltl::{parse, translate};
 
 fn translation(c: &mut Criterion) {
@@ -57,5 +57,48 @@ fn liveness_check(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, translation, liveness_check);
+fn liveness_threads(c: &mut Criterion) {
+    // Thread scaling of the swarmed CNDFS acceptance-cycle search (E20).
+    // Weak fairness multiplies the product by the Choueka counter, so
+    // this is the largest liveness workload in the suite; `threads = 1`
+    // is the exact sequential nested DFS, larger counts swarm the same
+    // product with per-worker successor orders.
+    let mut group = c.benchmark_group("ltl_threads");
+    group.sample_size(10);
+    let system = composed_pipe(
+        SendPortKind::AsynBlocking,
+        ChannelKind::Fifo { capacity: 2 },
+        RecvPortKind::blocking(),
+        2,
+    );
+    let program = system.program();
+    let got0 = program.global_by_name("got0").unwrap();
+    let delivered = Proposition::new(
+        "delivered",
+        Predicate::from_expr(expr::eq(expr::global(got0), 1.into())),
+    );
+    let formula = parse("<> delivered").unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    Checker::with_config(
+                        program,
+                        SearchConfig {
+                            threads,
+                            ..SearchConfig::default()
+                        },
+                    )
+                    .check_ltl_with(&formula, std::slice::from_ref(&delivered), Fairness::Weak)
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, translation, liveness_check, liveness_threads);
 criterion_main!(benches);

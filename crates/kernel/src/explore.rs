@@ -245,8 +245,12 @@ pub struct SearchConfig {
     /// to the sequential one, and for a completed exhaustive run so are
     /// `unique_states`, `steps`, and `max_depth` (see the crate docs for
     /// which report fields may vary). LTL checking
-    /// ([`Checker::check_ltl`]) is inherently sequential (nested DFS) and
-    /// ignores this setting. The out-of-core backend
+    /// ([`Checker::check_ltl`]) runs a swarmed CNDFS acceptance-cycle
+    /// search at `threads > 1`: the verdict always matches the sequential
+    /// nested DFS (every parallel-found lasso is replay-validated before
+    /// it is reported; see [`crate::LtlReport::fallback`]), while the stats
+    /// fields reflect whichever worker interleaving won.
+    /// The out-of-core backend
     /// ([`VisitedKind::DiskExact`]) is also sequential: it routes to the
     /// sequential kernel regardless of this setting.
     pub threads: usize,
@@ -876,21 +880,40 @@ fn memory_estimate(
 // (tests, chaos harnesses) gets proportionally tiny write buffers, Bloom
 // front, and frontier chunks, so spilling actually exercises the disk
 // structures instead of hiding everything in RAM buffers.
+//
+// The floors are deliberately *not* proportional all the way down: below a
+// sane minimum chunk size, every few states cost a run-file write plus a
+// merge-compaction rewrite, turning a linear search into quadratic I/O (a
+// 0-byte budget once wrote ~70× its payload). Clamping to a few KiB per
+// structure bounds the churn at a worst-case ~128 KiB of buffered RAM —
+// an honest fixed cost that any out-of-core run must afford.
+
+/// Minimum per-partition write-buffer size (bytes): small enough that
+/// test-sized workloads still flush real runs, large enough to amortize
+/// run writes and keep compaction rare.
+const MIN_DISK_BUF_CAP: usize = 4 << 10;
+/// Minimum Bloom-front arena (bytes). A saturated Bloom front forwards
+/// every probe to run files, so starving it trades RAM for a read storm.
+const MIN_DISK_BLOOM_BYTES: usize = 32 << 10;
+/// Minimum frontier chunk size (bytes) before the tail spills.
+const MIN_FRONTIER_CHUNK_CAP: usize = 4 << 10;
 
 fn disk_buf_cap(spill_at: Option<usize>) -> usize {
     spill_at.map_or(DiskExactVisited::DEFAULT_BUF_CAP, |at| {
-        (at / 32).clamp(256, DiskExactVisited::DEFAULT_BUF_CAP)
+        (at / 32).clamp(MIN_DISK_BUF_CAP, DiskExactVisited::DEFAULT_BUF_CAP)
     })
 }
 
 fn disk_bloom_bytes(spill_at: Option<usize>) -> usize {
     spill_at.map_or(DiskExactVisited::DEFAULT_BLOOM_BYTES, |at| {
-        (at / 2).clamp(1024, DiskExactVisited::DEFAULT_BLOOM_BYTES)
+        (at / 2).clamp(MIN_DISK_BLOOM_BYTES, DiskExactVisited::DEFAULT_BLOOM_BYTES)
     })
 }
 
 fn frontier_chunk_cap(spill_at: Option<usize>) -> usize {
-    spill_at.map_or(1 << 20, |at| (at / 8).clamp(512, 1 << 20))
+    spill_at.map_or(1 << 20, |at| {
+        (at / 8).clamp(MIN_FRONTIER_CHUNK_CAP, 1 << 20)
+    })
 }
 
 /// A fresh scratch directory under the system temp dir, for a search that
@@ -1495,9 +1518,17 @@ impl<'p> Checker<'p> {
                     }
                 }
                 if let Err(error) = frontier.push_back(next_id, next) {
-                    // The state is retained in the spilled frontier's RAM
-                    // tail even when its chunk flush fails, so the search
-                    // state (and any final snapshot) stays complete.
+                    // The new state is retained in the spilled frontier's
+                    // RAM tail even when its chunk flush fails, so the
+                    // search state (and any final snapshot) stays complete.
+                    // Roll the partial expansion back and requeue the
+                    // current state (the same contract as the `max_states`
+                    // trip above): a resumed run re-expands it, re-counting
+                    // every transition while the dedup check skips the
+                    // successors interned before the failure — so totals
+                    // stay exactly those of an uninterrupted run.
+                    stats.steps -= steps_this_expansion;
+                    frontier.push_front(id, Rc::clone(&state));
                     tripped = Some(spill_trip(&error, "out-of-core frontier write failed")?);
                     break 'search;
                 }
@@ -1689,6 +1720,76 @@ mod tests {
             prog.add_process(p).unwrap();
         }
         prog.build().unwrap()
+    }
+
+    /// `k` independent processes each counting a local var to `n`:
+    /// `(n + 1 + 1)^k` states with a BFS frontier wide enough (the
+    /// diagonal of a `k`-cube) to overflow the minimum frontier chunk
+    /// and force real chunk flushes — unlike `toggler`, whose frontier
+    /// never grows past a few dozen states.
+    fn counters(k: usize, n: i32) -> Program {
+        let mut prog = ProgramBuilder::new();
+        for i in 0..k {
+            let mut p = ProcessBuilder::new(format!("c{i}"));
+            let count = p.local("count", 0);
+            let work = p.location("work");
+            let done = p.location("done");
+            p.mark_end(done);
+            p.transition(
+                work,
+                work,
+                Guard::when(expr::lt(expr::local(count), n.into())),
+                Action::assign(count, expr::local(count) + 1.into()),
+                "inc",
+            );
+            p.transition(
+                work,
+                done,
+                Guard::when(expr::ge(expr::local(count), n.into())),
+                Action::Skip,
+                "finish",
+            );
+            prog.add_process(p).unwrap();
+        }
+        prog.build().unwrap()
+    }
+
+    #[test]
+    fn tiny_spill_budget_completes_within_bounded_disk_ops() {
+        // Regression for the derived-floor pathology: a 0-byte spill
+        // budget used to derive near-zero write buffers and frontier
+        // chunks, so every few states cost a run-file write plus a
+        // merge-compaction rewrite — quadratic I/O on a linear search.
+        // The floors now clamp to sane minimum chunk sizes, so the total
+        // op count stays within a small multiple of the state count.
+        let program = toggler(200);
+        let fs = Arc::new(crate::vfs::SimFs::new(37));
+        let report = Checker::with_config(
+            &program,
+            SearchConfig {
+                spill_at_bytes: Some(0),
+                ..SearchConfig::default()
+            },
+        )
+        .spill_to(fs.clone() as crate::vfs::VfsHandle, "/spill")
+        .check_safety(&SafetyChecks::deadlock_only())
+        .unwrap();
+        assert_eq!(report.outcome, SafetyOutcome::Holds);
+        assert!(report.stats.spilled_states > 0, "{}", report.stats);
+        let ops = fs.op_count();
+        let states = report.stats.unique_states as u64;
+        // With sane floors the run stays well under 1 op and ~1 KiB of
+        // run-file writes per state (measured ~0.26 ops and ~440 B); the
+        // old proportional floors burned ~2.8 ops and ~3.6 KiB per state.
+        assert!(
+            ops < states,
+            "disk ops regressed to pathological levels: {ops} ops for {states} states"
+        );
+        assert!(
+            report.stats.spill_bytes < report.stats.unique_states * 1000,
+            "write amplification regressed: {} bytes for {states} states",
+            report.stats.spill_bytes
+        );
     }
 
     #[test]
@@ -2161,7 +2262,9 @@ mod tests {
 
     #[test]
     fn spilled_search_matches_in_memory_run() {
-        let program = toggler(4);
+        // Big enough that the clamped minimum write buffers (see
+        // `MIN_DISK_BUF_CAP`) actually flush runs to disk.
+        let program = toggler(50);
         let baseline = Checker::new(&program)
             .check_safety(&SafetyChecks::deadlock_only())
             .unwrap();
@@ -2251,7 +2354,9 @@ mod tests {
 
     #[test]
     fn enospc_during_spill_degrades_to_limit_reached() {
-        let program = toggler(10);
+        // Big enough to overflow the minimum write buffers and force a
+        // run-file write, which is what trips the fault plan.
+        let program = toggler(50);
         let fs = Arc::new(crate::vfs::SimFs::new(35));
         fs.set_plan(crate::vfs::FaultPlan {
             enospc_per_mille: 1000,
@@ -2282,8 +2387,79 @@ mod tests {
     }
 
     #[test]
+    fn enospc_interrupted_spilled_run_resumes_to_exact_totals() {
+        // Regression for a partial-expansion leak: a frontier chunk
+        // write that failed mid-expansion used to keep the steps already
+        // counted for the interrupted state without requeueing it, so a
+        // resumed run under-counted `steps` by that state's remaining
+        // transitions (the serve chaos matrix caught it as a one-step
+        // fingerprint divergence on enospc-during-merge seed 5).
+        let program = counters(3, 16);
+        let baseline = Checker::new(&program)
+            .check_safety(&SafetyChecks::deadlock_only())
+            .unwrap();
+
+        let fs = Arc::new(crate::vfs::SimFs::new(10));
+        let config = SearchConfig {
+            spill_at_bytes: Some(1),
+            ..SearchConfig::default()
+        };
+        let buffer = Rc::new(RefCell::new(Vec::new()));
+        let mut trips = 0u32;
+        let report = loop {
+            // Seeded ENOSPC draws against every spill write; each hit
+            // must degrade to an honest memory trip whose final snapshot
+            // resumes to exactly the uninterrupted totals. The plan goes
+            // clean after a few trips so the loop always converges.
+            fs.set_plan(if trips < 8 {
+                crate::vfs::FaultPlan {
+                    enospc_per_mille: 120,
+                    ..crate::vfs::FaultPlan::default()
+                }
+            } else {
+                crate::vfs::FaultPlan::default()
+            });
+            let checker = if buffer.borrow().is_empty() {
+                Checker::with_config(&program, config)
+            } else {
+                let snapshot = Snapshot::decode(&buffer.borrow()).unwrap();
+                Checker::resume_from(&program, snapshot)
+                    .unwrap()
+                    .with_search_config(config)
+            };
+            let attempt = checker
+                .spill_to(fs.clone(), "/spill")
+                .checkpoint_to(Rc::clone(&buffer))
+                .check_safety(&SafetyChecks::deadlock_only());
+            match attempt {
+                Ok(report) => match report.outcome {
+                    SafetyOutcome::LimitReached { budget, .. } => {
+                        assert_eq!(budget, BudgetKind::Memory);
+                        trips += 1;
+                        assert!(trips < 50, "spilled search never converged");
+                    }
+                    _ => break report,
+                },
+                // An ENOSPC outside a live search (e.g. while rebuilding
+                // the on-disk visited set during resume) is a clean
+                // transient failure: retry from the same checkpoint.
+                Err(KernelError::Snapshot { .. }) => {
+                    trips += 1;
+                    assert!(trips < 50, "spilled search never converged");
+                }
+                Err(other) => panic!("unexpected kernel error: {other}"),
+            }
+        };
+        assert!(trips > 0, "fault plan never tripped a spill write");
+        assert_eq!(report.outcome, SafetyOutcome::Holds);
+        assert_eq!(report.stats.unique_states, baseline.stats.unique_states);
+        assert_eq!(report.stats.steps, baseline.stats.steps);
+        assert_eq!(report.stats.max_depth, baseline.stats.max_depth);
+    }
+
+    #[test]
     fn spilled_run_checkpoints_and_resumes_to_exact_totals() {
-        let program = toggler(4);
+        let program = toggler(50);
         let fs = sim_storage(36);
         let config = SearchConfig {
             spill_at_bytes: Some(1),

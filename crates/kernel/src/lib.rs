@@ -78,6 +78,7 @@ mod extmem;
 mod liveness;
 mod outcome;
 mod parallel;
+mod pliveness;
 mod program;
 mod reduction;
 mod rng;

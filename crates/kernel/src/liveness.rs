@@ -77,15 +77,20 @@ pub struct LtlReport {
     /// `true` when the search hit [`crate::SearchConfig::max_states`] system
     /// states before completion; a `Holds` outcome is then only partial.
     pub truncated: bool,
+    /// `Some(reason)` when a multi-threaded check
+    /// ([`crate::SearchConfig::threads`] > 1) fell back to the sequential
+    /// nested-DFS algorithm; the outcome is then the sequential one.
+    /// Always `None` for a sequential check.
+    pub fallback: Option<&'static str>,
 }
 
 /// A compiled Büchi transition: literals resolved to proposition indices.
-struct CompiledTransition {
-    literals: Vec<(usize, bool)>,
-    target: usize,
+pub(crate) struct CompiledTransition {
+    pub(crate) literals: Vec<(usize, bool)>,
+    pub(crate) target: usize,
 }
 
-fn compile_buchi(
+pub(crate) fn compile_buchi(
     buchi: &Buchi,
     props: &[Proposition],
 ) -> Result<Vec<Vec<CompiledTransition>>, KernelError> {
@@ -176,10 +181,49 @@ type SuccList = Rc<Vec<(Step, usize)>>;
 /// The counter ranges over `0..=N+1` (`N` = process count): `0` = waiting
 /// for an accepting automaton state, `k` in `1..=N` = waiting for process
 /// `k-1` to move or block, `N+1` = a fair accepting point.
-type Node = (usize, usize, u32);
+pub(crate) type Node = (usize, usize, u32);
 
 /// An edge into a node: the system step taken, or `None` for stutter.
-type Edge = Option<Step>;
+pub(crate) type Edge = Option<Step>;
+
+/// A recycling arena for product-successor buffers.
+///
+/// Every DFS frame needs a `Vec<(Edge, Node)>` of product successors, and
+/// both nested-DFS loops push and pop frames millions of times on large
+/// products — a fresh heap allocation per frame is the hottest allocation
+/// site of the liveness checker. The pool hands popped frames' buffers
+/// back to new frames (capacity retained, contents cleared), so a search
+/// settles into zero successor-buffer allocations once its maximum DFS
+/// depth has been reached. Used by the sequential checker and by each
+/// CNDFS worker (one pool per worker; buffers never cross threads).
+#[derive(Default)]
+pub(crate) struct SuccPool {
+    free: Vec<Vec<(Edge, Node)>>,
+}
+
+impl SuccPool {
+    pub(crate) fn take(&mut self) -> Vec<(Edge, Node)> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    pub(crate) fn give(&mut self, mut buf: Vec<(Edge, Node)>) {
+        buf.clear();
+        self.free.push(buf);
+    }
+}
+
+/// The process indices moved by one product edge (at most an actor and
+/// its rendezvous partner), without a per-edge heap allocation.
+pub(crate) fn moved_procs(step: &Step, buf: &mut [usize; 2]) -> usize {
+    buf[0] = step.proc.index();
+    match step.partner {
+        Some((partner, _)) => {
+            buf[1] = partner.index();
+            2
+        }
+        None => 1,
+    }
+}
 
 impl<'p> ProductGraph<'p> {
     fn intern_sys(&mut self, state: State) -> Option<usize> {
@@ -297,9 +341,14 @@ impl<'p> ProductGraph<'p> {
         Ok(rc)
     }
 
-    /// Product successors of a node, with the edge that reaches each.
-    fn successors(&mut self, (sys, b, k): Node) -> Result<Vec<(Edge, Node)>, KernelError> {
-        let mut out = Vec::new();
+    /// Product successors of a node, with the edge that reaches each,
+    /// appended into a (pooled) buffer.
+    fn successors_into(
+        &mut self,
+        (sys, b, k): Node,
+        out: &mut Vec<(Edge, Node)>,
+    ) -> Result<(), KernelError> {
+        debug_assert!(out.is_empty());
         let source_accepting = self.accepting[b];
         let sys_succ = self.sys_successors(sys)?;
         if sys_succ.is_empty() {
@@ -314,13 +363,11 @@ impl<'p> ProductGraph<'p> {
                 }
             }
         } else {
+            let mut moved = [0usize; 2];
             for i in 0..sys_succ.len() {
                 let (step, next_sys) = sys_succ[i];
-                let mut moved = vec![step.proc.index()];
-                if let Some((partner, _)) = step.partner {
-                    moved.push(partner.index());
-                }
-                let k2 = self.next_counter(sys, k, source_accepting, &moved)?;
+                let n_moved = moved_procs(&step, &mut moved);
+                let k2 = self.next_counter(sys, k, source_accepting, &moved[..n_moved])?;
                 let labels = self.labels_of(next_sys)?;
                 for t in &self.buchi[b] {
                     if t.literals.iter().all(|&(i, pos)| labels[i] == pos) {
@@ -330,7 +377,7 @@ impl<'p> ProductGraph<'p> {
             }
         }
         self.edges_explored += out.len();
-        Ok(out)
+        Ok(())
     }
 
     /// Whether a product node is accepting under the configured fairness.
@@ -378,6 +425,11 @@ impl Checker<'_> {
 
     /// Like [`Checker::check_ltl`] with an explicit [`Fairness`] choice.
     ///
+    /// When [`crate::SearchConfig::threads`] is greater than one this
+    /// dispatches to the parallel CNDFS search
+    /// (`crate::pliveness`); `threads <= 1` runs the sequential nested
+    /// DFS below, byte-identically to a build without the parallel path.
+    ///
     /// # Errors
     ///
     /// As for [`Checker::check_ltl`].
@@ -387,6 +439,41 @@ impl Checker<'_> {
         props: &[Proposition],
         fairness: Fairness,
     ) -> Result<LtlReport, KernelError> {
+        if self.config.threads > 1 {
+            return crate::pliveness::check_ltl_parallel(self, formula, props, fairness);
+        }
+        check_ltl_sequential(self, formula, props, fairness)
+    }
+
+    /// Convenience wrapper: parses `formula` and calls
+    /// [`Checker::check_ltl`].
+    ///
+    /// # Errors
+    ///
+    /// Additionally returns [`KernelError::LtlParse`] for malformed
+    /// formulas.
+    pub fn check_ltl_str(
+        &self,
+        formula: &str,
+        props: &[Proposition],
+    ) -> Result<LtlReport, KernelError> {
+        let parsed = pnp_ltl::parse(formula).map_err(|e| KernelError::LtlParse {
+            message: e.to_string(),
+        })?;
+        self.check_ltl(&parsed, props)
+    }
+}
+
+/// The sequential nested-DFS acceptance-cycle search (CVWY). Also the
+/// oracle the parallel search falls back to when it cannot preserve a
+/// mode, and the algorithm `threads <= 1` runs unchanged.
+pub(crate) fn check_ltl_sequential(
+    checker: &Checker<'_>,
+    formula: &Ltl,
+    props: &[Proposition],
+    fairness: Fairness,
+) -> Result<LtlReport, KernelError> {
+    {
         let start = Instant::now();
         let buchi = translate(&formula.negated());
         let compiled = compile_buchi(&buchi, props)?;
@@ -395,7 +482,7 @@ impl Checker<'_> {
             .collect::<Vec<_>>();
 
         let mut graph = ProductGraph {
-            checker: self,
+            checker,
             props,
             buchi: compiled,
             accepting,
@@ -405,17 +492,17 @@ impl Checker<'_> {
             labels: Vec::new(),
             enabled_procs: Vec::new(),
             fairness,
-            n_procs: self.program.processes().len(),
-            reduction: (self.config.partial_order_reduction
+            n_procs: checker.program.processes().len(),
+            reduction: (checker.config.partial_order_reduction
                 && fairness == Fairness::None
                 && props.iter().all(|p| p.predicate.is_expr_only()))
-            .then(|| crate::reduction::LocalLocations::analyze(self.program)),
+            .then(|| crate::reduction::LocalLocations::analyze(checker.program)),
             truncated: false,
             edges_explored: 0,
         };
 
         let initial_sys = graph
-            .intern_sys(State::initial(self.program))
+            .intern_sys(State::initial(checker.program))
             .expect("max_states must be at least 1");
 
         // Initial product nodes: automaton transitions out of state 0 that
@@ -434,6 +521,7 @@ impl Checker<'_> {
         let mut parent1: HashMap<Node, (Node, Edge)> = HashMap::new();
         let mut visited2: HashMap<Node, ()> = HashMap::new();
         let mut parent2: HashMap<Node, (Node, Edge)> = HashMap::new();
+        let mut pool = SuccPool::default();
 
         struct Frame {
             node: Node,
@@ -448,9 +536,11 @@ impl Checker<'_> {
                 continue;
             }
             color.insert(root, Color::Gray);
+            let mut root_succs = pool.take();
+            graph.successors_into(root, &mut root_succs)?;
             let mut stack: Vec<Frame> = vec![Frame {
                 node: root,
-                succs: graph.successors(root)?,
+                succs: root_succs,
                 next: 0,
             }];
 
@@ -462,7 +552,8 @@ impl Checker<'_> {
                     if let std::collections::hash_map::Entry::Vacant(e) = color.entry(target) {
                         e.insert(Color::Gray);
                         parent1.insert(target, (source, edge));
-                        let succs = graph.successors(target)?;
+                        let mut succs = pool.take();
+                        graph.successors_into(target, &mut succs)?;
                         stack.push(Frame {
                             node: target,
                             succs,
@@ -475,9 +566,11 @@ impl Checker<'_> {
                 // Postorder: inner search from accepting nodes.
                 let seed = frame.node;
                 if graph.node_accepting(seed) {
+                    let mut seed_succs = pool.take();
+                    graph.successors_into(seed, &mut seed_succs)?;
                     #[allow(clippy::type_complexity)] // explicit DFS frame
                     let mut inner: Vec<(Node, Vec<(Edge, Node)>, usize)> =
-                        vec![(seed, graph.successors(seed)?, 0)];
+                        vec![(seed, seed_succs, 0)];
                     visited2.insert(seed, ());
                     while let Some(entry) = inner.last_mut() {
                         if entry.2 < entry.1.len() {
@@ -496,16 +589,19 @@ impl Checker<'_> {
                             {
                                 e.insert(());
                                 parent2.insert(target, (source, edge));
-                                let succs = graph.successors(target)?;
+                                let mut succs = pool.take();
+                                graph.successors_into(target, &mut succs)?;
                                 inner.push((target, succs, 0));
                             }
                             continue;
                         }
-                        inner.pop();
+                        let (_, succs, _) = inner.pop().expect("inner frame present");
+                        pool.give(succs);
                     }
                 }
                 color.insert(seed, Color::Black);
-                stack.pop();
+                let frame = stack.pop().expect("outer frame present");
+                pool.give(frame.succs);
             }
         }
 
@@ -522,6 +618,7 @@ impl Checker<'_> {
                 outcome: LtlOutcome::Holds,
                 stats,
                 truncated: graph.truncated,
+                fallback: None,
             });
         };
 
@@ -584,25 +681,8 @@ impl Checker<'_> {
             },
             stats,
             truncated: graph.truncated,
+            fallback: None,
         })
-    }
-
-    /// Convenience wrapper: parses `formula` and calls
-    /// [`Checker::check_ltl`].
-    ///
-    /// # Errors
-    ///
-    /// Additionally returns [`KernelError::LtlParse`] for malformed
-    /// formulas.
-    pub fn check_ltl_str(
-        &self,
-        formula: &str,
-        props: &[Proposition],
-    ) -> Result<LtlReport, KernelError> {
-        let parsed = pnp_ltl::parse(formula).map_err(|e| KernelError::LtlParse {
-            message: e.to_string(),
-        })?;
-        self.check_ltl(&parsed, props)
     }
 }
 

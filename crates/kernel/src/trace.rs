@@ -135,7 +135,10 @@ pub struct Trace {
 }
 
 impl Trace {
-    pub(crate) fn new(events: Vec<TraceEvent>) -> Trace {
+    /// Builds a trace from an event sequence, oldest first — useful for
+    /// re-validating slices of a reported counterexample through
+    /// [`crate::Checker::replay_trace`].
+    pub fn new(events: Vec<TraceEvent>) -> Trace {
         Trace { events }
     }
 

@@ -76,6 +76,69 @@ pub(crate) fn disk_hash(state: &State) -> u64 {
     state_hash(state, DISK_SEED)
 }
 
+/// Seed for picking a shard in [`ShardedNodeSet`]. Next member of the
+/// `0xb175_7a7e_5eed_xxxx` family, so liveness-product sharding stays
+/// independent of state sharding and the lossy hash family.
+const NODE_SHARD_SEED: u64 = 0xb175_7a7e_5eed_0004;
+
+/// A liveness product node as the parallel acceptance-cycle search keys
+/// its shared color sets: (system state id, Büchi state, fairness
+/// counter). Mirrors `liveness::Node` without creating a module cycle.
+pub(crate) type ProductNode = (usize, usize, u32);
+
+/// Concurrent set of liveness *product nodes*, sharded like
+/// [`ShardedExactVisited`]: [`SHARD_COUNT`] per-shard mutex-protected
+/// hash sets, indexed by a seeded [`mix64`] of the packed node.
+///
+/// This is the substrate for the CNDFS blue/red sets in
+/// `crate::pliveness`: membership is exact (nodes are small fixed-size
+/// tuples, so there is nothing to compact), and `insert` doubles as the
+/// atomic *test-and-set* the coloring protocol needs — the shard lock
+/// makes "was it already there?" and "it is now" one indivisible step.
+pub(crate) struct ShardedNodeSet {
+    shards: Vec<Mutex<HashSet<ProductNode>>>,
+}
+
+impl ShardedNodeSet {
+    pub(crate) fn new() -> ShardedNodeSet {
+        ShardedNodeSet {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashSet::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, node: ProductNode) -> &Mutex<HashSet<ProductNode>> {
+        let packed = (node.0 as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(((node.1 as u64) << 32) | u64::from(node.2));
+        let idx = mix64(packed ^ NODE_SHARD_SEED) as usize & (SHARD_COUNT - 1);
+        &self.shards[idx]
+    }
+
+    pub(crate) fn contains(&self, node: ProductNode) -> bool {
+        self.shard(node)
+            .lock()
+            .expect("node shard poisoned")
+            .contains(&node)
+    }
+
+    /// Inserts `node`, returning `true` when it was not present before.
+    pub(crate) fn insert(&self, node: ProductNode) -> bool {
+        self.shard(node)
+            .lock()
+            .expect("node shard poisoned")
+            .insert(node)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("node shard poisoned").len())
+            .sum()
+    }
+}
+
 /// Which visited-set backend the safety search uses.
 ///
 /// Selected via [`crate::SearchConfig::visited`]; the default is

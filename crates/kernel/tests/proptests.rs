@@ -15,10 +15,10 @@ use std::rc::Rc;
 use proptest::prelude::*;
 
 use pnp_kernel::{
-    expr, Action, BitstateVisited, Checker, CompactVisited, ExactVisited, Expr, Guard, Predicate,
-    ProcessBuilder, Program, ProgramBuilder, SafetyChecks, SafetyOutcome, SearchConfig,
-    ShardedBitstateVisited, ShardedCompactVisited, ShardedExactVisited, SharedVisitedSet,
-    Simulator, Snapshot, State, StateBudget, VisitedKind, VisitedSet,
+    expr, Action, BitstateVisited, Checker, CompactVisited, ExactVisited, Expr, Guard, LtlOutcome,
+    Predicate, ProcessBuilder, Program, ProgramBuilder, Proposition, SafetyChecks, SafetyOutcome,
+    SearchConfig, ShardedBitstateVisited, ShardedCompactVisited, ShardedExactVisited,
+    SharedVisitedSet, Simulator, Snapshot, State, StateBudget, VisitedKind, VisitedSet,
 };
 
 // ---------------------------------------------------------------------
@@ -371,6 +371,142 @@ proptest! {
         }
         prop_assert_eq!(sh_exact.len(), exact.len());
         prop_assert_eq!(sh_compact.len(), compact.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Planted accepting cycles: parallel liveness vs a known ground truth
+// ---------------------------------------------------------------------
+
+/// A program with a *planted* accepting cycle: a main process walks a
+/// `pre`-step prefix chain into a `loop_len`-location loop whose step at
+/// `beacon_pos` raises a beacon flag (every other loop step lowers it).
+/// With `planted == false` the loop-back edge is redirected to a halt
+/// state that lowers the beacon, so the beacon flashes at most finitely
+/// often and `<> [] quiet` flips from violated to holding. An optional
+/// noise alternator widens the product without touching the beacon.
+fn planted_lasso_program(
+    pre: usize,
+    loop_len: usize,
+    beacon_pos: usize,
+    planted: bool,
+    noise: bool,
+) -> Program {
+    let mut prog = ProgramBuilder::new();
+    let beacon = prog.global("beacon", 0);
+
+    let mut p = ProcessBuilder::new("walker");
+    let mut at = p.location("start");
+    for i in 0..pre {
+        let next = p.location(format!("pre{i}"));
+        p.transition(at, next, Guard::always(), Action::Skip, "walk");
+        at = next;
+    }
+    let loop_locs: Vec<_> = (0..loop_len)
+        .map(|i| p.location(format!("loop{i}")))
+        .collect();
+    p.transition(
+        at,
+        loop_locs[0],
+        Guard::always(),
+        Action::Skip,
+        "enter loop",
+    );
+    for i in 0..loop_len {
+        let value = i32::from(i == beacon_pos);
+        let action = Action::assign(beacon, value.into());
+        if i + 1 < loop_len {
+            p.transition(
+                loop_locs[i],
+                loop_locs[i + 1],
+                Guard::always(),
+                action,
+                "advance",
+            );
+        } else if planted {
+            p.transition(
+                loop_locs[i],
+                loop_locs[0],
+                Guard::always(),
+                action,
+                "loop back",
+            );
+        } else {
+            let halt = p.location("halt");
+            p.mark_end(halt);
+            p.transition(
+                loop_locs[i],
+                halt,
+                Guard::always(),
+                Action::assign(beacon, 0.into()),
+                "halt",
+            );
+        }
+    }
+    prog.add_process(p).unwrap();
+
+    if noise {
+        let hum = prog.global("hum", 0);
+        let mut q = ProcessBuilder::new("noise");
+        let n0 = q.location("lo");
+        let n1 = q.location("hi");
+        q.transition(n0, n1, Guard::always(), Action::assign(hum, 1.into()), "up");
+        q.transition(
+            n1,
+            n0,
+            Guard::always(),
+            Action::assign(hum, 0.into()),
+            "down",
+        );
+        prog.add_process(q).unwrap();
+    }
+    prog.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The planted accepting cycle is found at every thread count — and
+    /// its cycle-free mutation reports `Holds` at every thread count.
+    /// Every violating run is replay-validated.
+    #[test]
+    fn planted_accepting_cycle_found_at_every_thread_count(
+        pre in 0usize..4,
+        loop_len in 1usize..5,
+        beacon_seed in 0usize..8,
+        noise in 0u8..2,
+    ) {
+        let beacon_pos = beacon_seed % loop_len;
+        for planted in [true, false] {
+            let program =
+                planted_lasso_program(pre, loop_len, beacon_pos, planted, noise == 1);
+            let beacon = program.global_by_name("beacon").unwrap();
+            let quiet = Proposition::new(
+                "quiet",
+                Predicate::from_expr(expr::eq(expr::global(beacon), 0.into())),
+            );
+            for threads in [1usize, 2, 4, 8] {
+                let report = Checker::with_config(
+                    &program,
+                    SearchConfig { threads, ..SearchConfig::default() },
+                )
+                .check_ltl_str("<> [] quiet", std::slice::from_ref(&quiet))
+                .unwrap();
+                prop_assert_eq!(
+                    report.outcome.is_holds(),
+                    !planted,
+                    "planted={} threads={} pre={} loop_len={} beacon_pos={}: {:?}",
+                    planted, threads, pre, loop_len, beacon_pos, report.outcome
+                );
+                if let LtlOutcome::Violated { prefix, cycle } = &report.outcome {
+                    prop_assert!(
+                        Checker::new(&program).validate_lasso(prefix, cycle).unwrap(),
+                        "threads={}: reported lasso failed replay validation",
+                        threads
+                    );
+                }
+            }
+        }
     }
 }
 

@@ -125,8 +125,9 @@ pub type SinkFactory = Arc<dyn Fn(&Path) -> Box<dyn SnapshotSink> + Send + Sync>
 pub struct VerifyOptions {
     /// Search budgets, the visited-set backend, and the worker-thread
     /// count: `config.threads > 1` runs each safety search in parallel
-    /// (identical verdicts; see [`SearchConfig::threads`]), while LTL
-    /// properties always check sequentially.
+    /// and each LTL property through the swarmed CNDFS acceptance-cycle
+    /// search (identical verdicts either way; see
+    /// [`SearchConfig::threads`]).
     pub config: SearchConfig,
     /// Cooperative cancellation, typically wired to SIGINT. A cancelled
     /// run reports the affected property as inconclusive and — when
@@ -228,9 +229,12 @@ impl ArchSpec {
     /// cancellation, checkpointing of safety searches, and resume from a
     /// snapshot (see [`VerifyOptions`]).
     ///
-    /// LTL properties run the nested-DFS search, which supports
-    /// cancellation but not checkpoint/resume; a resume snapshot tagged
-    /// with an LTL property's name is ignored.
+    /// LTL properties run the nested-DFS search (swarmed across workers
+    /// when `config.threads > 1`), which supports cancellation but not
+    /// checkpoint/resume; a resume snapshot tagged with an LTL property's
+    /// name is ignored. When the parallel search cannot certify its own
+    /// answer it silently re-runs sequentially and the property's detail
+    /// line records why.
     ///
     /// # Errors
     ///
@@ -345,7 +349,7 @@ impl ArchSpec {
                     // cycle is NOT a proof: report it inconclusive. A
                     // violation found within the budget is still a real
                     // violation.
-                    let (holds, inconclusive, detail) = match report.outcome {
+                    let (holds, inconclusive, mut detail) = match report.outcome {
                         LtlOutcome::Holds if report.truncated => (
                             false,
                             true,
@@ -373,6 +377,11 @@ impl ArchSpec {
                             ),
                         ),
                     };
+                    if let Some(reason) = report.fallback {
+                        detail.push_str(&format!(
+                            " [parallel search fell back to sequential: {reason}]"
+                        ));
+                    }
                     // The product search truncates for exactly two
                     // reasons: the state budget, or a cancellation
                     // observed through the shared token.

@@ -8,6 +8,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use pnp_kernel::SearchConfig;
 use pnp_serve::job::{Chaos, JobConfig, JobId, JobRequest, Verdict};
 use pnp_serve::queue::QueuePolicy;
 use pnp_serve::supervisor::{ServeConfig, Supervisor};
@@ -442,5 +443,80 @@ fn corrupt_queue_file_is_quarantined() {
         .join("queue.pnpq.corrupt")
         .exists());
     assert_eq!(supervisor.stats().quarantined, 1);
+    supervisor.drain();
+}
+
+/// A liveness workload: `arrives` holds under the default weak fairness
+/// (the lone component keeps delivering until it may stop), while
+/// `settles` is violated by the terminal stutter lasso — `delivered`
+/// leaves 0 and never returns.
+const DELIVERY: &str = r#"
+system {
+    global delivered = 0;
+
+    component src {
+        state run, done;
+        end done;
+        from run if delivered < 2 do delivered = delivered + 1 goto run;
+        from run if delivered >= 2 goto done;
+    }
+
+    property arrives: ltl "<> ok" where ok = delivered == 2;
+    property settles: ltl "[] <> zero" where zero = delivered == 0;
+}
+"#;
+
+/// `threads` flows from the submission parameters through `SearchConfig`
+/// into the kernel's swarmed CNDFS liveness search: a threaded LTL job
+/// reports exactly the sequential verdicts, including the
+/// replay-validated counterexample lasso for the violated property.
+#[test]
+fn threaded_ltl_jobs_report_sequential_verdicts() {
+    let supervisor = Supervisor::start(test_config("ltl")).unwrap();
+    let mut runs = Vec::new();
+    for threads in [1, 4] {
+        let id = supervisor
+            .submit(request(
+                DELIVERY,
+                JobConfig {
+                    config: SearchConfig {
+                        threads,
+                        ..SearchConfig::default()
+                    },
+                    ..JobConfig::default()
+                },
+            ))
+            .unwrap();
+        assert_eq!(
+            supervisor.wait_done(id, WAIT),
+            Some(Verdict::Violated),
+            "threads={threads}"
+        );
+        let results = supervisor.results(id).expect("finished job has results");
+        assert_eq!(results.len(), 2, "threads={threads}");
+        assert!(results[0].holds, "threads={threads}: arrives must hold");
+        assert!(
+            !results[1].holds && !results[1].inconclusive,
+            "threads={threads}: settles must be violated"
+        );
+        assert!(
+            results[1].detail.contains("-- cycle --"),
+            "threads={threads}: violated LTL property must carry a lasso"
+        );
+        runs.push(results);
+    }
+    let (seq, par) = (&runs[0], &runs[1]);
+    for (s, p) in seq.iter().zip(par.iter()) {
+        assert_eq!(
+            s.holds, p.holds,
+            "{}: verdict diverged across threads",
+            s.name
+        );
+        assert_eq!(
+            s.inconclusive, p.inconclusive,
+            "{}: conclusiveness diverged across threads",
+            s.name
+        );
+    }
     supervisor.drain();
 }

@@ -7,9 +7,14 @@
 mod common;
 
 use common::wire_system;
-use pnp_bridge::{exactly_n_bridge, safety_invariant, BridgeConfig};
-use pnp_core::{ChannelKind, RecvPortKind, SendPortKind};
-use pnp_kernel::{BudgetKind, Checker, SafetyChecks, SafetyOutcome, SearchConfig};
+use pnp_bridge::{exactly_n_bridge, safety_invariant, side_props, BridgeConfig};
+use pnp_core::{
+    ChannelKind, EventChannelSpec, RecvPortKind, SendPortKind, Subscription, SystemBuilder,
+};
+use pnp_kernel::{
+    expr, BudgetKind, Checker, Fairness, LtlOutcome, Predicate, Proposition, SafetyChecks,
+    SafetyOutcome, SearchConfig,
+};
 
 #[test]
 fn buggy_bridge_explores_exactly_the_recorded_states() {
@@ -189,6 +194,101 @@ fn budget_counting_point_is_identical_in_both_kernels() {
             ref other => panic!("threads={threads}: expected LimitReached, got {other:?}"),
         }
     }
+}
+
+#[test]
+fn bridge_ltl_product_counts_match_recorded_goldens() {
+    // E9's starvation spec, pinned at the *product automaton* level: the
+    // nested DFS over (system × Büchi × weak-fairness counter) is
+    // deterministic, so `unique_states` (product nodes colored) and
+    // `steps` (product edges generated) must reproduce exactly. A change
+    // here means the explored liveness graph itself changed — Büchi
+    // translation, product construction, or fairness counters.
+    let cfg = BridgeConfig::fixed().with_cars(1, 0).with_laps(None);
+    let system = exactly_n_bridge(&cfg).unwrap();
+    let program = system.program();
+    let props = side_props(program);
+    let report = Checker::new(program)
+        .check_ltl_with(
+            &pnp_ltl::parse("[] <> blue_on").unwrap(),
+            &props,
+            Fairness::Weak,
+        )
+        .unwrap();
+    assert!(
+        matches!(report.outcome, LtlOutcome::Violated { .. }),
+        "{:?}",
+        report.outcome
+    );
+    assert_eq!(
+        report.stats.unique_states, 103,
+        "bridge LTL product drifted"
+    );
+    assert_eq!(report.stats.steps, 329, "bridge LTL product edges drifted");
+
+    // A property that *holds* (the bridge safety invariant phrased as
+    // `[] safe`) explores the complete product: a stronger pin, since no
+    // early cycle exit truncates it. Checked without fairness, which also
+    // pins the partial-order-reduced product construction.
+    let cfg = BridgeConfig::fixed().with_laps(Some(1));
+    let system = exactly_n_bridge(&cfg).unwrap();
+    let program = system.program();
+    let (_, safe) = safety_invariant(program);
+    let props = vec![Proposition::new("safe", safe)];
+    let report = Checker::new(program)
+        .check_ltl_with(&pnp_ltl::parse("[] safe").unwrap(), &props, Fairness::None)
+        .unwrap();
+    assert!(report.outcome.is_holds(), "{:?}", report.outcome);
+    assert_eq!(
+        report.stats.unique_states, 11432,
+        "bridge holds-product drifted"
+    );
+    assert_eq!(
+        report.stats.steps, 21567,
+        "bridge holds-product edges drifted"
+    );
+}
+
+#[test]
+fn pubsub_ltl_product_counts_match_recorded_goldens() {
+    // The Section 6 publish/subscribe connector under an LTL delivery
+    // spec, pinned at the product-automaton level like the bridge above.
+    let build = || {
+        let mut sys = SystemBuilder::new();
+        let all_sent = sys.global("all_sent", 0);
+        let got_all = sys.global("got0", 0);
+        let news = sys.event_connector(
+            "news",
+            EventChannelSpec {
+                per_subscription_capacity: 2,
+            },
+        );
+        let pub_port = sys.publisher(news, SendPortKind::AsynBlocking);
+        let sub_all = sys.subscriber(news, RecvPortKind::blocking(), Subscription::all());
+        let publisher = common::producer("publisher", &pub_port, &[(10, 1), (20, 2)], all_sent);
+        let sub = common::consumer("sub_all", &sub_all, &[got_all], None, Some(all_sent));
+        sys.add_component(publisher);
+        sys.add_component(sub);
+        sys.build().unwrap()
+    };
+
+    let system = build();
+    let program = system.program();
+    let got0 = program.global_by_name("got0").unwrap();
+    let delivered = Proposition::new(
+        "delivered",
+        Predicate::from_expr(expr::gt(expr::global(got0), 0.into())),
+    );
+    let report = Checker::new(program)
+        .check_ltl_with(
+            &pnp_ltl::parse("<> delivered").unwrap(),
+            std::slice::from_ref(&delivered),
+            Fairness::Weak,
+        )
+        .unwrap();
+    assert!(report.outcome.is_holds(), "{:?}", report.outcome);
+    assert_eq!(report.stats.unique_states, 25, "pubsub LTL product drifted");
+    assert_eq!(report.stats.steps, 49, "pubsub LTL product edges drifted");
 }
 
 #[test]
