@@ -7,16 +7,18 @@
 //! Every cell submits a batch of jobs through the retrying client,
 //! injects the schedule's faults (worker crash mid-job, a full
 //! partition during result upload, a coordinator restart with queue
-//! restore) on top of a seeded background plan of drops, duplicates,
-//! and resets, and asserts the exactly-once and byte-identical-results
-//! invariants. The binary exits nonzero on the first violation, so CI
-//! can use it as a smoke gate.
+//! restore, a straggling worker, an admission-capacity burst, a
+//! flapping worker) on top of a seeded background plan of drops,
+//! duplicates, and resets, and asserts the exactly-once and
+//! byte-identical-results invariants. The binary exits nonzero on the
+//! first violation, so CI can use it as a smoke gate.
 //!
 //! Flags:
 //!
 //! * `--seeds N` — seeds `0..N` per schedule (default 8)
 //! * `--schedule S` — run only `worker_crash_mid_job`,
-//!   `partition_during_result`, or `coordinator_restart` (default: all)
+//!   `partition_during_result`, `coordinator_restart`, `straggler`,
+//!   `overload_burst`, or `flapping_worker` (default: all)
 
 use std::process::ExitCode;
 
@@ -57,8 +59,19 @@ fn main() -> ExitCode {
         schedules.len()
     );
     println!(
-        "{:<24} {:>5} {:>5} {:>6} {:>11} {:>7} {:>9} {:>9}",
-        "schedule", "seed", "jobs", "steps", "migrations", "fenced", "discards", "snapshots"
+        "{:<24} {:>5} {:>5} {:>6} {:>11} {:>7} {:>9} {:>9} {:>7} {:>6} {:>6} {:>6}",
+        "schedule",
+        "seed",
+        "jobs",
+        "steps",
+        "migrations",
+        "fenced",
+        "discards",
+        "snapshots",
+        "hedges",
+        "sheds",
+        "expire",
+        "trips"
     );
     let mut failures = 0u64;
     for &schedule in &schedules {
@@ -66,7 +79,7 @@ fn main() -> ExitCode {
             match run_net_schedule(schedule, seed) {
                 Ok(outcome) => {
                     println!(
-                        "{:<24} {:>5} {:>5} {:>6} {:>11} {:>7} {:>9} {:>9}",
+                        "{:<24} {:>5} {:>5} {:>6} {:>11} {:>7} {:>9} {:>9} {:>7} {:>6} {:>6} {:>6}",
                         schedule.as_str(),
                         seed,
                         outcome.jobs,
@@ -75,6 +88,10 @@ fn main() -> ExitCode {
                         outcome.fenced,
                         outcome.worker_discards,
                         outcome.snapshots_shipped,
+                        outcome.hedges,
+                        outcome.sheds,
+                        outcome.expired,
+                        outcome.breaker_trips,
                     );
                 }
                 Err(error) => {
@@ -98,7 +115,8 @@ fn usage(error: &str) -> ExitCode {
     }
     eprintln!(
         "usage: cluster_chaos [--seeds N] \
-         [--schedule worker_crash_mid_job|partition_during_result|coordinator_restart]"
+         [--schedule worker_crash_mid_job|partition_during_result|coordinator_restart\
+         |straggler|overload_burst|flapping_worker]"
     );
     if error.is_empty() {
         ExitCode::SUCCESS

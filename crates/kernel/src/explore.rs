@@ -279,6 +279,24 @@ impl Default for SearchConfig {
     }
 }
 
+impl SearchConfig {
+    /// Shrinks the time budget to at most `window` — the deadline→budget
+    /// wiring used by the service plane. A caller holding an end-to-end
+    /// deadline re-derives the remaining window at every hop (dispatch,
+    /// migration, hedged retry) and clamps with it, so a job never runs
+    /// past its original envelope no matter how many times it moves. A
+    /// zero window still arms a minimal budget (1 ms) so the search trips
+    /// [`BudgetKind::Time`] immediately and reports honest partial stats
+    /// instead of being skipped.
+    pub fn clamp_time(&mut self, window: Duration) {
+        let window = window.max(Duration::from_millis(1));
+        self.max_time = Some(match self.max_time {
+            Some(existing) => existing.min(window),
+            None => window,
+        });
+    }
+}
+
 /// Statistics from one exploration.
 ///
 /// Also the partial-progress record when a budget trips: together with

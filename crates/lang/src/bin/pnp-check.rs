@@ -62,6 +62,14 @@
 //! `--workers N` requires at least `N` live workers (the submission is
 //! shed with a retry hint otherwise) and `--tenant NAME` attributes the
 //! job to a tenant for fair-share quotas.
+//!
+//! End-to-end deadline: `--deadline MS` bounds the *whole* verification.
+//! Locally it clamps the kernel time budget; with `--submit` it travels
+//! as `job_deadline_ms` so every dispatch, retry, and migration runs
+//! under the shrinking remainder of the original envelope, and the
+//! client's own poll loop gives up (exit 3) shortly after the budget
+//! expires. Expiry is an honest INCONCLUSIVE with partial statistics,
+//! never a hang.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -81,7 +89,7 @@ fn usage() -> ExitCode {
          \u{20}                [--visited exact|compact|bitstate[:MB]|disk[:DIR]]\n\
          \u{20}                [--spill-at MB]\n\
          \u{20}                [--checkpoint FILE [--checkpoint-every N]]\n\
-         \u{20}                [--resume FILE] [--threads N]\n\
+         \u{20}                [--resume FILE] [--threads N] [--deadline MS]\n\
          \u{20}                [--submit URL [--workers N] [--tenant NAME]]"
     );
     ExitCode::from(2)
@@ -264,6 +272,19 @@ fn main() -> ExitCode {
         },
         Err(code) => return code,
     };
+    let deadline_ms = match flag_str("--deadline") {
+        Ok(None) => None,
+        Ok(Some(value)) => match value.parse::<u64>() {
+            Ok(ms) if ms >= 1 => Some(ms),
+            _ => {
+                eprintln!(
+                    "pnp-check: --deadline '{value}': want a positive budget in milliseconds"
+                );
+                return ExitCode::from(2);
+            }
+        },
+        Err(code) => return code,
+    };
     let submit_url = match flag_str("--submit") {
         Ok(v) => v.cloned(),
         Err(code) => return code,
@@ -344,6 +365,11 @@ fn main() -> ExitCode {
         config.spill_at_bytes = Some(mb << 20);
     }
     config.threads = threads;
+    if let Some(ms) = deadline_ms {
+        // The end-to-end budget doubles as the local time budget, so
+        // expiry surfaces as INCONCLUSIVE with partial stats (exit 3).
+        config.clamp_time(Duration::from_millis(ms));
+    }
     let resume = match resume_path {
         // Prefer the double-buffered generations (`FILE.a`/`FILE.b`),
         // rolling back to the older slot when the newer one is damaged;
@@ -403,6 +429,7 @@ fn main() -> ExitCode {
             threads,
             submit_workers,
             tenant.as_deref(),
+            deadline_ms,
         );
     }
 
@@ -568,6 +595,7 @@ fn submit_remote(
     threads: usize,
     workers: Option<u64>,
     tenant: Option<&str>,
+    deadline_ms: Option<u64>,
 ) -> ExitCode {
     let Some(host) = url
         .strip_prefix("http://")
@@ -599,6 +627,9 @@ fn submit_remote(
     if let Some(t) = tenant {
         query.push(format!("tenant={}", percent_encode(t)));
     }
+    if let Some(ms) = deadline_ms {
+        query.push(format!("job_deadline_ms={ms}"));
+    }
 
     let mut client = SubmitClient::new(RealTcp::default());
     // Unique per invocation: retries of *this* submission deduplicate on
@@ -624,7 +655,19 @@ fn submit_remote(
     let term = watch_termination();
     let mut cancel_sent = false;
     let mut unreachable_polls = 0u32;
+    let started = std::time::Instant::now();
+    // Give the daemon a short grace past the job deadline to finalize
+    // its own expiry (an INCONCLUSIVE with partial stats) before the
+    // client walks away.
+    let poll_budget = deadline_ms.map(|ms| Duration::from_millis(ms) + Duration::from_secs(5));
     loop {
+        if poll_budget.is_some_and(|limit| started.elapsed() >= limit) {
+            eprintln!(
+                "pnp-check: deadline exceeded waiting for {id}; \
+                 the job expires server-side — result stays at /jobs/{id}/result"
+            );
+            return ExitCode::from(3);
+        }
         if term.is_raised() && !cancel_sent {
             println!(
                 "pnp-check: {} — cancelling remote job {id}",
@@ -649,13 +692,17 @@ fn submit_remote(
             // Polls are idempotent, so ride out a restarting daemon (a
             // coordinator fail-over restores the job set from its state
             // directory) — but give up once it stays dark for ~30 s.
-            Err(error @ ClientError::Retryable { .. }) => {
+            // Overload sheds carry a Retry-After hint; honor it.
+            Err(ClientError::Retryable {
+                reason,
+                retry_after_ms,
+            }) => {
                 unreachable_polls += 1;
                 if unreachable_polls >= 30 {
-                    eprintln!("pnp-check: {error}; giving up — job {id} is still remote");
+                    eprintln!("pnp-check: {reason}; giving up — job {id} is still remote");
                     return ExitCode::from(3);
                 }
-                std::thread::sleep(Duration::from_secs(1));
+                std::thread::sleep(Duration::from_millis(retry_after_ms.unwrap_or(1000)));
             }
             Err(ClientError::Fatal(reason)) => {
                 eprintln!("pnp-check: {reason}");

@@ -198,11 +198,23 @@ impl<T: Transport> SubmitClient<T> {
                     return match response.status {
                         200 => Ok(Some(response.text())),
                         202 => Ok(None),
+                        // Shed under overload: surface the daemon's
+                        // back-off hint so wait loops can honor it.
+                        503 => Err(ClientError::Retryable {
+                            reason: format!(
+                                "server overloaded ({})",
+                                json_str(&response.text(), "reason")
+                                    .unwrap_or_else(|| "shed".into())
+                            ),
+                            retry_after_ms: json_num(&response.text(), "retry_after_ms")
+                                .map(|ms| ms as u64)
+                                .or(response.retry_after.map(|s| s * 1000)),
+                        }),
                         status => Err(ClientError::Fatal(format!(
                             "polling {id} failed with HTTP {status}: {}",
                             response.text()
                         ))),
-                    }
+                    };
                 }
                 Err(error) => last_error = error.to_string(),
             }
@@ -211,6 +223,60 @@ impl<T: Transport> SubmitClient<T> {
             reason: format!("cannot poll {id}: {last_error}"),
             retry_after_ms: None,
         })
+    }
+
+    /// Polls until the job reaches a terminal state. Sleeps
+    /// `retry_backoff` between rounds, stretching the pause to any
+    /// `Retry-After` hint an overloaded daemon sends, and caps **total**
+    /// wall time at `deadline` when one is given — `Ok(None)` then means
+    /// the budget ran out with the job still running, so callers can
+    /// report an honest INCONCLUSIVE instead of hanging.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Fatal`] on an unknown job or malformed answer.
+    /// Without a deadline, [`ClientError::Retryable`] when the daemon
+    /// stays unreachable; with one, unreachability is retried until the
+    /// deadline expires.
+    pub fn wait_result(
+        &self,
+        peer: &str,
+        id: &str,
+        deadline: Option<Duration>,
+    ) -> Result<Option<String>, ClientError> {
+        let started = std::time::Instant::now();
+        loop {
+            let hint = match self.poll_result(peer, id) {
+                Ok(Some(body)) => return Ok(Some(body)),
+                Ok(None) => None,
+                Err(ClientError::Retryable {
+                    reason,
+                    retry_after_ms,
+                }) => {
+                    if deadline.is_none() {
+                        // No budget to burn waiting out an outage.
+                        return Err(ClientError::Retryable {
+                            reason,
+                            retry_after_ms,
+                        });
+                    }
+                    retry_after_ms
+                }
+                Err(fatal) => return Err(fatal),
+            };
+            let mut pause = hint.map_or(self.retry_backoff, Duration::from_millis);
+            if let Some(limit) = deadline {
+                let elapsed = started.elapsed();
+                if elapsed >= limit {
+                    return Ok(None);
+                }
+                // Never sleep past the deadline itself.
+                pause = pause.min(limit - elapsed);
+            }
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+        }
     }
 
     /// Requests cooperative cancellation (idempotent, retried).

@@ -33,7 +33,7 @@
 //! cluster on virtual time over a [`pnp_net::SimNet`].
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use pnp_kernel::{commit_replace, real_fs, SearchConfig, VfsHandle};
@@ -41,7 +41,7 @@ use pnp_net::{NetError, Transport, WireRequest, WireResponse};
 
 use crate::job::{resolve_job_config, JobId, JobRequest, Verdict};
 use crate::json::{array, Obj};
-use crate::membership::{DetectorConfig, Membership, WorkerState};
+use crate::membership::{BreakerConfig, DetectorConfig, Membership, WorkerLoad};
 use crate::queue::{decode_queue, encode_queue, PersistedJob, QueuePolicy, Reader, Writer};
 use crate::supervisor::{property_json, Supervisor};
 use crate::transport::{
@@ -101,6 +101,14 @@ pub struct ClusterConfig {
     pub vfs: VfsHandle,
     /// Base search configuration submissions resolve against.
     pub default_search: SearchConfig,
+    /// Per-worker circuit-breaker tuning (trips on dispatch/poll
+    /// failures, not heartbeat silence).
+    pub breaker: BreakerConfig,
+    /// Floor for the hedge threshold: a dispatched job is never hedged
+    /// before this much time on one worker, no matter how fast the
+    /// completed-duration percentile says jobs usually finish
+    /// (default 500 ms).
+    pub hedge_floor_ms: u64,
 }
 
 impl Default for ClusterConfig {
@@ -119,6 +127,8 @@ impl Default for ClusterConfig {
             state_dir: std::path::PathBuf::from(".pnp-serve"),
             vfs: real_fs(),
             default_search: SearchConfig::default(),
+            breaker: BreakerConfig::default(),
+            hedge_floor_ms: 500,
         }
     }
 }
@@ -142,6 +152,14 @@ pub struct ClusterStats {
     pub snapshots_shipped: u64,
     /// Jobs restored from a persisted `cluster.pnpq` at startup.
     pub restored: u64,
+    /// Speculative second attempts launched for stalled dispatches.
+    pub hedges: u64,
+    /// Jobs force-expired as `Inconclusive` when their end-to-end
+    /// deadline passed without an adoptable completion.
+    pub expired: u64,
+    /// Circuit-breaker trips (closed → open, or a failed half-open
+    /// probe reopening).
+    pub breaker_trips: u64,
 }
 
 /// Where a cluster job is.
@@ -155,6 +173,17 @@ enum GlobalPhase {
         at_ms: u64,
     },
     Done(Verdict),
+}
+
+/// A speculative second attempt for a stalled dispatch. It runs under
+/// its own (higher) epoch; [`Coordinator::adopt_completion`] accepts
+/// whichever of the primary and hedge epochs reports first, and the
+/// loser is fenced by the job-already-terminal 409.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct HedgeAttempt {
+    worker: String,
+    epoch: u64,
+    at_ms: u64,
 }
 
 #[derive(Debug)]
@@ -178,6 +207,27 @@ struct GlobalJob {
     completion: Option<Completion>,
     /// Stale uploads fenced for this job.
     fenced: u64,
+    /// Absolute end-to-end deadline on the coordinator clock
+    /// (admission time + the client's `job_deadline_ms`). The envelope
+    /// every dispatch hop re-derives its remaining budget from.
+    deadline_at_ms: Option<u64>,
+    /// When the current primary dispatch was sent. Unlike the phase's
+    /// `at_ms` (re-stamped by 202 progress polls to push out the
+    /// request deadline), this is fixed for the attempt — it is the
+    /// hedge trigger's reference point and the duration-sample start.
+    dispatched_at_ms: Option<u64>,
+    /// The in-flight hedge, if one was launched for this dispatch.
+    hedge: Option<HedgeAttempt>,
+}
+
+impl GlobalJob {
+    /// The highest epoch any live attempt of this job runs under.
+    fn top_epoch(&self) -> u64 {
+        match &self.hedge {
+            Some(h) => self.epoch.max(h.epoch),
+            None => self.epoch,
+        }
+    }
 }
 
 struct CoInner {
@@ -188,6 +238,9 @@ struct CoInner {
     /// Round-robin cursor over tenants for fair-share dispatch.
     rr: u64,
     stats: ClusterStats,
+    /// Recent dispatch→adoption durations (ms), the sample the hedge
+    /// threshold's percentile is derived from. Bounded ring.
+    durations: Vec<u64>,
 }
 
 /// The cluster coordinator. Shared behind an [`Arc`]; `handle` serves
@@ -197,6 +250,9 @@ pub struct Coordinator {
     config: ClusterConfig,
     transport: Arc<dyn Transport>,
     inner: Mutex<CoInner>,
+    /// Signalled whenever a job reaches a terminal phase; long-poll
+    /// result requests (`GET /jobs/<id>?wait=ms`) block on it.
+    settled: Condvar,
 }
 
 /// One outbound action computed under the lock, performed outside it.
@@ -218,7 +274,7 @@ enum Outbound {
     },
 }
 
-const CLUSTER_QUEUE_MAGIC: &[u8; 8] = b"PNPCLST1";
+const CLUSTER_QUEUE_MAGIC: &[u8; 8] = b"PNPCLST2";
 
 impl Coordinator {
     /// Starts a coordinator, restoring any `cluster.pnpq` a previous
@@ -226,13 +282,16 @@ impl Coordinator {
     /// attempt dispatched before the restart is fenced when it reports
     /// back).
     pub fn new(config: ClusterConfig, transport: Arc<dyn Transport>) -> Coordinator {
+        let mut membership = Membership::new(config.detector);
+        membership.breaker = config.breaker;
         let mut inner = CoInner {
             jobs: BTreeMap::new(),
             next_id: 1,
             idem: HashMap::new(),
-            membership: Membership::new(config.detector),
+            membership,
             rr: 0,
             stats: ClusterStats::default(),
+            durations: Vec::new(),
         };
         let path = config.state_dir.join("cluster.pnpq");
         if let Ok(bytes) = config.vfs.read(&path) {
@@ -257,6 +316,7 @@ impl Coordinator {
             config,
             transport,
             inner: Mutex::new(inner),
+            settled: Condvar::new(),
         }
     }
 
@@ -302,15 +362,19 @@ impl Coordinator {
     pub fn handle(&self, request: &WireRequest, now_ms: u64) -> WireResponse {
         let path = request.path();
         let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        let wait_ms = request
+            .query("wait")
+            .and_then(|w| w.parse::<u64>().ok())
+            .filter(|w| *w > 0);
         match (request.method.as_str(), segments.as_slice()) {
             ("GET", ["health"]) | ("GET", ["cluster", "status"]) => self.status_response(),
             ("POST", ["jobs"]) => self.submit_response(request, now_ms),
-            ("GET", ["jobs", id]) => self.job_response(id, false),
-            ("GET", ["jobs", id, "result"]) => self.job_response(id, true),
+            ("GET", ["jobs", id]) => self.job_response(id, false, wait_ms),
+            ("GET", ["jobs", id, "result"]) => self.job_response(id, true, wait_ms),
             ("POST", ["jobs", id, "cancel"]) => self.cancel_response(id),
             ("POST", ["cluster", "register"]) => self.register_response(request, now_ms),
             ("POST", ["cluster", "heartbeat"]) => self.heartbeat_response(request, now_ms),
-            ("POST", ["cluster", "complete"]) => self.complete_response(request),
+            ("POST", ["cluster", "complete"]) => self.complete_response(request, now_ms),
             _ => not_found(),
         }
     }
@@ -324,6 +388,11 @@ impl Coordinator {
                 .str("peer", &w.peer)
                 .str("state", w.state.as_str())
                 .num("incarnation", w.incarnation)
+                .str("breaker", w.breaker.as_str())
+                .num("queue_depth", w.load.queue_depth)
+                .num("running", w.load.running)
+                .num("memory_bytes", w.load.memory_bytes)
+                .num("spill_bytes", w.load.spill_bytes)
                 .build()
         }));
         let pending = inner
@@ -349,6 +418,9 @@ impl Coordinator {
             .num("fenced", s.fenced)
             .num("snapshots_shipped", s.snapshots_shipped)
             .num("restored", s.restored)
+            .num("hedges", s.hedges)
+            .num("expired", s.expired)
+            .num("breaker_trips", s.breaker_trips)
             .raw("workers", &workers)
             .build();
         WireResponse::new(200, body.into_bytes())
@@ -409,6 +481,11 @@ impl Coordinator {
         }
         let mut request = JobRequest::new(source, config);
         request.idem = idem;
+        // The end-to-end envelope starts at admission: queueing time,
+        // dispatch, migrations, and hedges all spend from it.
+        let deadline_at_ms = config
+            .job_deadline
+            .map(|d| now_ms.saturating_add(d.as_millis() as u64));
         inner.jobs.insert(
             id,
             GlobalJob {
@@ -423,16 +500,40 @@ impl Coordinator {
                 required_workers,
                 completion: None,
                 fenced: 0,
+                deadline_at_ms,
+                dispatched_at_ms: None,
+                hedge: None,
             },
         );
         accepted(id)
     }
 
-    fn job_response(&self, id: &str, with_result: bool) -> WireResponse {
+    fn job_response(&self, id: &str, with_result: bool, wait_ms: Option<u64>) -> WireResponse {
         let Some(id) = parse_global(id) else {
             return not_found();
         };
-        let inner = self.lock();
+        let mut inner = self.lock();
+        // Long-poll: block up to the window for a terminal phase. Only
+        // real-mode clients pass `wait` — the single-threaded sim
+        // harness never does, so this cannot deadlock virtual time.
+        if let Some(window) = wait_ms {
+            let deadline = std::time::Instant::now() + Duration::from_millis(window.min(60_000));
+            while !matches!(
+                inner.jobs.get(&id).map(|j| &j.phase),
+                None | Some(GlobalPhase::Done(_))
+            ) {
+                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                let (guard, _timeout) = self
+                    .settled
+                    .wait_timeout(inner, left)
+                    .unwrap_or_else(|e| e.into_inner());
+                inner = guard;
+            }
+        }
+        let inner = inner;
         let Some(job) = inner.jobs.get(&id) else {
             return not_found();
         };
@@ -447,8 +548,14 @@ impl Coordinator {
             .str("phase", phase)
             .num("attempts", job.attempts)
             .num("epoch", job.epoch);
+        if let Some(deadline) = job.deadline_at_ms {
+            obj = obj.num("deadline_at_ms", deadline);
+        }
         if let GlobalPhase::Dispatched { worker, .. } = &job.phase {
             obj = obj.str("worker", worker);
+            if let Some(hedge) = &job.hedge {
+                obj = obj.str("hedge_worker", &hedge.worker);
+            }
         }
         let done = if let GlobalPhase::Done(verdict) = job.phase {
             obj = obj
@@ -508,6 +615,7 @@ impl Coordinator {
                 job.phase = GlobalPhase::Done(Verdict::Cancelled);
                 inner.stats.completed += 1;
                 self.evict_terminal(&mut inner);
+                self.settled.notify_all();
                 peer
             }
         };
@@ -543,8 +651,17 @@ impl Coordinator {
         let Some(name) = request.query("name") else {
             return bad_request("heartbeat needs name");
         };
+        // Load telemetry rides on the heartbeat as query parameters; a
+        // heartbeat without them leaves the last report in place.
+        let field = |key: &str| request.query(key).and_then(|v| v.parse::<u64>().ok());
+        let load = field("queue").map(|queue_depth| WorkerLoad {
+            queue_depth,
+            running: field("running").unwrap_or(0),
+            memory_bytes: field("mem").unwrap_or(0),
+            spill_bytes: field("spill").unwrap_or(0),
+        });
         let mut inner = self.lock();
-        if inner.membership.heartbeat(&name, now_ms) {
+        if inner.membership.heartbeat(&name, now_ms, load) {
             WireResponse::new(200, Obj::new().str("status", "ok").build().into_bytes())
         } else {
             // Dead or unknown: the worker must re-register (fresh
@@ -553,17 +670,25 @@ impl Coordinator {
         }
     }
 
-    fn complete_response(&self, request: &WireRequest) -> WireResponse {
+    fn complete_response(&self, request: &WireRequest, now_ms: u64) -> WireResponse {
         let completion = match decode_completion(&request.body) {
             Ok(completion) => completion,
             Err(reason) => return bad_request(&reason),
         };
         let mut inner = self.lock();
-        self.adopt_completion(&mut inner, completion)
+        self.adopt_completion(&mut inner, completion, now_ms)
     }
 
-    /// The single point where completions are accepted or fenced.
-    fn adopt_completion(&self, inner: &mut CoInner, completion: Completion) -> WireResponse {
+    /// The single point where completions are accepted or fenced. A
+    /// hedged job has two live epochs (primary and hedge); whichever
+    /// reports a terminal result first is adopted, which makes the job
+    /// terminal and fences the loser with the job-already-terminal 409.
+    fn adopt_completion(
+        &self,
+        inner: &mut CoInner,
+        completion: Completion,
+        now_ms: u64,
+    ) -> WireResponse {
         let job_id = completion.job;
         let Some(job) = inner.jobs.get_mut(&job_id) else {
             return not_found();
@@ -579,16 +704,43 @@ impl Coordinator {
             WireResponse::new(409, body.into_bytes())
         };
         if matches!(job.phase, GlobalPhase::Done(_)) {
+            // Deadline-expired jobs keep their honest Inconclusive
+            // verdict, but a matching-epoch upload that arrives late
+            // still donates its partial statistics to the result body
+            // (the job stays counted exactly once — `completed` was
+            // incremented at expiry).
+            if matches!(job.phase, GlobalPhase::Done(Verdict::Inconclusive))
+                && job.completion.is_none()
+                && completion.epoch == job.top_epoch()
+            {
+                job.completion = Some(completion);
+                return WireResponse::new(
+                    200,
+                    Obj::new().str("status", "recorded").build().into_bytes(),
+                );
+            }
             return fence(job, &mut inner.stats, "job already terminal");
         }
-        if completion.epoch != job.epoch {
+        let hedge_epoch = job.hedge.as_ref().map(|h| h.epoch);
+        if completion.epoch != job.epoch && Some(completion.epoch) != hedge_epoch {
             return fence(job, &mut inner.stats, "stale epoch");
+        }
+        // Duration sample for the hedge threshold: measured from the
+        // attempt the completion actually came from.
+        let started = if Some(completion.epoch) == hedge_epoch {
+            job.hedge.as_ref().map(|h| h.at_ms)
+        } else {
+            job.dispatched_at_ms
+        };
+        if let Some(started) = started {
+            record_duration(&mut inner.durations, now_ms.saturating_sub(started));
         }
         job.phase = GlobalPhase::Done(completion.verdict);
         job.last_worker = Some(completion.worker.clone());
         job.completion = Some(completion);
         inner.stats.completed += 1;
         self.evict_terminal(inner);
+        self.settled.notify_all();
         WireResponse::new(
             200,
             Obj::new().str("status", "recorded").build().into_bytes(),
@@ -621,17 +773,20 @@ impl Coordinator {
     }
 
     /// One coordinator step at `now_ms`: run the failure detector,
-    /// migrate jobs off newly dead workers, poll request-deadline
-    /// overruns, and dispatch pending jobs fair-share across tenants.
+    /// migrate jobs off newly dead workers, expire jobs past their
+    /// end-to-end deadline, poll request-deadline overruns, hedge
+    /// stalled dispatches, and dispatch pending jobs fair-share across
+    /// tenants and least-loaded across workers.
     pub fn tick(&self, now_ms: u64) {
         // Phase 1 (locked): heartbeat detector + migration of jobs on
-        // newly dead workers.
+        // newly dead workers + end-to-end deadline expiry.
         {
             let mut inner = self.lock();
             let newly_dead = inner.membership.tick(now_ms);
             for worker in newly_dead {
                 self.migrate_from(&mut inner, &worker, now_ms);
             }
+            self.expire_deadlines(&mut inner, now_ms);
         }
 
         // Phase 2: request-deadline detection. Collect overdue
@@ -672,7 +827,8 @@ impl Coordinator {
                 Ok(response) if response.status == 200 => {
                     if let Ok(completion) = decode_completion(&response.body) {
                         let mut inner = self.lock();
-                        let adopted = self.adopt_completion(&mut inner, completion);
+                        inner.membership.record_success(&worker, now_ms);
+                        let adopted = self.adopt_completion(&mut inner, completion, now_ms);
                         if adopted.status != 200 && still_dispatched(&inner, job, epoch, &worker) {
                             // The worker answered with a stale attempt's
                             // result; it will never produce the current
@@ -685,6 +841,7 @@ impl Coordinator {
                     // Reachable and still working: push the deadline
                     // out by re-stamping the dispatch time.
                     let mut inner = self.lock();
+                    inner.membership.record_success(&worker, now_ms);
                     if let Some(job) = inner.jobs.get_mut(&job) {
                         if let GlobalPhase::Dispatched { worker: w, at_ms } = &mut job.phase {
                             if *w == worker {
@@ -703,13 +860,37 @@ impl Coordinator {
                     }
                 }
                 Err(_) => {
-                    // Unreachable past the request deadline: declare the
-                    // worker dead now and migrate its jobs.
+                    // Unreachable past the request deadline: feed the
+                    // breaker, declare the worker dead now, and migrate
+                    // its jobs.
                     let mut inner = self.lock();
+                    if inner.membership.record_failure(&worker, now_ms) {
+                        inner.stats.breaker_trips += 1;
+                    }
                     if inner.membership.declare_dead(&worker) {
                         self.migrate_from(&mut inner, &worker, now_ms);
                     }
                 }
+            }
+        }
+
+        // Phase 2.5: hedged dispatch. A dispatch that has been out
+        // longer than the percentile-derived threshold gets a
+        // speculative second attempt on another worker, under a fresh
+        // epoch; first terminal result wins, the loser is fenced.
+        let hedges = {
+            let mut inner = self.lock();
+            self.select_hedges(&mut inner, now_ms)
+        };
+        for action in hedges {
+            if let Outbound::Dispatch {
+                dispatch,
+                worker,
+                peer,
+                ..
+            } = action
+            {
+                self.send_hedge(*dispatch, &worker, &peer, now_ms);
             }
         }
 
@@ -773,11 +954,16 @@ impl Coordinator {
         if matches!(job.phase, GlobalPhase::Done(_)) {
             return;
         }
-        job.epoch += 1;
+        // Bump past *both* live epochs so the primary and any hedge
+        // are fenced when they eventually report.
+        job.epoch = job.top_epoch() + 1;
+        job.hedge = None;
+        job.dispatched_at_ms = None;
         if job.attempts >= max_attempts {
             job.phase = GlobalPhase::Done(Verdict::Failed);
             inner.stats.completed += 1;
             self.evict_terminal(inner);
+            self.settled.notify_all();
             return;
         }
         job.phase = GlobalPhase::Pending;
@@ -785,13 +971,173 @@ impl Coordinator {
         inner.stats.migrations += 1;
     }
 
+    /// Force-expires jobs whose end-to-end deadline has passed: an
+    /// honest `Inconclusive` (exit 3) instead of a hang. A *pending*
+    /// job expires the moment its deadline does; a *dispatched* job
+    /// gets one request-timeout of grace first, because its worker's
+    /// clamped time budget should trip right at the deadline and
+    /// deliver the same verdict with partial statistics — the backstop
+    /// only fires when that completion never arrives.
+    fn expire_deadlines(&self, inner: &mut CoInner, now_ms: u64) {
+        let grace = self.config.request_timeout_ms;
+        let expired: Vec<u64> = inner
+            .jobs
+            .values()
+            .filter(|job| {
+                let Some(deadline) = job.deadline_at_ms else {
+                    return false;
+                };
+                match &job.phase {
+                    GlobalPhase::Pending => now_ms >= deadline,
+                    GlobalPhase::Dispatched { .. } => now_ms >= deadline.saturating_add(grace),
+                    GlobalPhase::Done(_) => false,
+                }
+            })
+            .map(|job| job.id)
+            .collect();
+        for id in expired {
+            let job = inner.jobs.get_mut(&id).expect("job exists");
+            job.phase = GlobalPhase::Done(Verdict::Inconclusive);
+            inner.stats.completed += 1;
+            inner.stats.expired += 1;
+            self.evict_terminal(inner);
+            self.settled.notify_all();
+        }
+    }
+
+    /// The stall threshold for hedging, derived from recent completed
+    /// dispatch durations: twice the p95, clamped between the
+    /// configured floor and the request timeout. With too few samples
+    /// to call a percentile, half the request timeout. A floor raised
+    /// past the request timeout effectively disables hedging — the
+    /// request-deadline poll always reconciles first.
+    fn hedge_threshold(&self, inner: &CoInner) -> u64 {
+        let floor = self.config.hedge_floor_ms;
+        let cap = self.config.request_timeout_ms.max(floor);
+        if inner.durations.len() < 5 {
+            return (self.config.request_timeout_ms / 2).max(floor);
+        }
+        let mut sorted = inner.durations.clone();
+        sorted.sort_unstable();
+        let p95 = sorted[(sorted.len() * 95 / 100).min(sorted.len() - 1)];
+        p95.saturating_mul(2).clamp(floor, cap)
+    }
+
+    /// Picks stalled dispatches to hedge, marking the hedge under the
+    /// lock (so a concurrent tick cannot double-hedge) and returning
+    /// the sends to perform outside it. At most one hedge per dispatch;
+    /// the hedge runs under `top_epoch + 1` on a different worker.
+    fn select_hedges(&self, inner: &mut CoInner, now_ms: u64) -> Vec<Outbound> {
+        let threshold = self.hedge_threshold(inner);
+        let mut inflight: HashMap<String, usize> = HashMap::new();
+        for job in inner.jobs.values() {
+            if let GlobalPhase::Dispatched { worker, .. } = &job.phase {
+                *inflight.entry(worker.clone()).or_insert(0) += 1;
+            }
+            if let Some(hedge) = &job.hedge {
+                *inflight.entry(hedge.worker.clone()).or_insert(0) += 1;
+            }
+        }
+        let candidates: Vec<(u64, String)> = inner
+            .jobs
+            .values()
+            .filter_map(|job| match (&job.phase, &job.hedge, job.dispatched_at_ms) {
+                (GlobalPhase::Dispatched { worker, .. }, None, Some(started))
+                    if now_ms.saturating_sub(started) >= threshold
+                        && job.deadline_at_ms.is_none_or(|d| now_ms < d) =>
+                {
+                    Some((job.id, worker.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        let mut actions = Vec::new();
+        for (id, primary) in candidates {
+            let Some(target) = inner.membership.place_weighted(
+                &format!("g-{id}-hedge"),
+                Some(&primary),
+                &inflight,
+            ) else {
+                continue;
+            };
+            if target == primary {
+                // Only one placeable worker: a hedge there would just
+                // double the load that made it slow.
+                continue;
+            }
+            let Some(peer) = inner.membership.get(&target).map(|w| w.peer.clone()) else {
+                continue;
+            };
+            *inflight.entry(target.clone()).or_insert(0) += 1;
+            let job = inner.jobs.get_mut(&id).expect("job exists");
+            let hedge_epoch = job.top_epoch() + 1;
+            job.hedge = Some(HedgeAttempt {
+                worker: target.clone(),
+                epoch: hedge_epoch,
+                at_ms: now_ms,
+            });
+            inner.stats.hedges += 1;
+            inner.stats.dispatches += 1;
+            let job = inner.jobs.get(&id).expect("job exists");
+            actions.push(Outbound::Dispatch {
+                dispatch: Box::new(dispatch_payload(job, hedge_epoch, now_ms)),
+                worker: target,
+                peer,
+                // Hedges start fresh: the primary still owns the
+                // newest checkpoint, and pulling it from a straggler
+                // would stall the hedge on the same slow worker.
+                fetch_from: None,
+            });
+        }
+        actions
+    }
+
+    /// Sends one hedge dispatch and reconciles: a failed or shed hedge
+    /// is simply cleared (the primary is still running; a later tick
+    /// may hedge again), never migrated.
+    fn send_hedge(&self, dispatch: Dispatch, worker: &str, peer: &str, now_ms: u64) {
+        let job_id = dispatch.job;
+        let epoch = dispatch.epoch;
+        let body = encode_dispatch(&dispatch);
+        let request = WireRequest::post("/cluster/execute".to_string(), body);
+        let result = self.transport.request(peer, &request);
+        let mut inner = self.lock();
+        let accepted = matches!(&result, Ok(response) if response.status < 300);
+        match &result {
+            Ok(_) => inner.membership.record_success(worker, now_ms),
+            Err(error) if !error.request_delivered() => {
+                if inner.membership.record_failure(worker, now_ms) {
+                    inner.stats.breaker_trips += 1;
+                }
+            }
+            // Ambiguous (timeout/reset after delivery): the hedge may
+            // be running; keep it armed and let the fence sort it out.
+            Err(_) => return,
+        }
+        if !accepted {
+            if let Some(job) = inner.jobs.get_mut(&job_id) {
+                if job.hedge.as_ref().is_some_and(|h| h.epoch == epoch) {
+                    job.hedge = None;
+                }
+            }
+        }
+    }
+
     /// Fair-share placement: walk tenants round-robin, placing each
     /// tenant's oldest ready job until workers run out of slots.
+    /// Worker choice is weighted by load — heartbeat-reported queue
+    /// depth and running attempts plus the coordinator's own in-flight
+    /// count — with sticky checkpoint affinity kept as a *preference*:
+    /// the checkpoint holder wins unless it is loaded well past the
+    /// least-loaded alternative.
     fn select_dispatches(&self, inner: &mut CoInner, now_ms: u64) -> Vec<Outbound> {
         let mut inflight: HashMap<String, usize> = HashMap::new();
         for job in inner.jobs.values() {
             if let GlobalPhase::Dispatched { worker, .. } = &job.phase {
                 *inflight.entry(worker.clone()).or_insert(0) += 1;
+            }
+            if let Some(hedge) = &job.hedge {
+                *inflight.entry(hedge.worker.clone()).or_insert(0) += 1;
             }
         }
         let mut tenants: Vec<String> = inner
@@ -828,20 +1174,37 @@ impl Coordinator {
                 if inner.membership.live().len() < job.required_workers {
                     continue;
                 }
-                // Sticky affinity: prefer the worker already holding
-                // this job's checkpoint; otherwise hash-shard, avoiding
-                // the sticky worker (it just failed or is dead).
-                let sticky = job.last_worker.as_deref().filter(|name| {
-                    inner
+                // Sticky affinity as a preference: the worker already
+                // holding this job's checkpoint wins unless it is
+                // loaded more than one full slot allotment past the
+                // least-loaded alternative; a sticky worker that is
+                // dead, suspect, or breaker-open is skipped entirely
+                // (and avoided in the weighted choice — it just
+                // failed).
+                let extra = |name: &str| inflight.get(name).copied().unwrap_or(0);
+                let sticky = job.last_worker.as_deref();
+                let sticky_score =
+                    sticky.and_then(|name| inner.membership.weighted_score(name, extra(name)));
+                let target = match (sticky, sticky_score) {
+                    (Some(name), Some(score)) => {
+                        let slack = self.config.max_inflight_per_worker as u64;
+                        let best =
+                            inner
+                                .membership
+                                .place_weighted(&format!("g-{id}"), None, &inflight);
+                        let best_score = best
+                            .as_deref()
+                            .and_then(|b| inner.membership.weighted_score(b, extra(b)))
+                            .unwrap_or(score);
+                        if score <= best_score.saturating_add(slack) {
+                            Some(name.to_string())
+                        } else {
+                            best
+                        }
+                    }
+                    _ => inner
                         .membership
-                        .get(name)
-                        .is_some_and(|w| w.state == WorkerState::Alive)
-                });
-                let target = match sticky {
-                    Some(name) => Some(name.to_string()),
-                    None => inner
-                        .membership
-                        .place(&format!("g-{id}"), job.last_worker.as_deref()),
+                        .place_weighted(&format!("g-{id}"), sticky, &inflight),
                 };
                 let Some(worker) = target else {
                     continue;
@@ -867,12 +1230,7 @@ impl Coordinator {
                     .filter(|last| *last != worker)
                     .and_then(|last| inner.membership.get(last).map(|w| w.peer.clone()));
                 actions.push(Outbound::Dispatch {
-                    dispatch: Box::new(Dispatch {
-                        job: id,
-                        epoch: job.epoch,
-                        attempts: job.attempts,
-                        request: job.request.clone(),
-                    }),
+                    dispatch: Box::new(dispatch_payload(job, job.epoch, now_ms)),
                     worker,
                     peer,
                     fetch_from,
@@ -898,6 +1256,8 @@ impl Coordinator {
                     at_ms: now_ms,
                 };
                 job.last_worker = Some(worker.clone());
+                job.dispatched_at_ms = Some(now_ms);
+                job.hedge = None;
             }
         }
         actions
@@ -910,6 +1270,17 @@ impl Coordinator {
         let request = WireRequest::post("/cluster/execute".to_string(), body);
         let result = self.transport.request(peer, &request);
         let mut inner = self.lock();
+        // Breaker accounting is independent of whether the dispatch is
+        // still the live one: it judges the *worker*, not the job.
+        match &result {
+            Ok(_) => inner.membership.record_success(worker, now_ms),
+            Err(error) if !error.request_delivered() => {
+                if inner.membership.record_failure(worker, now_ms) {
+                    inner.stats.breaker_trips += 1;
+                }
+            }
+            Err(_) => {}
+        }
         let Some(job) = inner.jobs.get_mut(&job_id) else {
             return;
         };
@@ -947,6 +1318,7 @@ impl Coordinator {
                     job.phase = GlobalPhase::Done(Verdict::Failed);
                     inner.stats.completed += 1;
                     self.evict_terminal(&mut inner);
+                    self.settled.notify_all();
                 } else {
                     job.phase = GlobalPhase::Pending;
                     job.not_before_ms = now_ms + self.config.backoff_base_ms;
@@ -1008,6 +1380,9 @@ fn encode_cluster_queue(next_id: u64, jobs: &[&GlobalJob]) -> Vec<u8> {
         w.u32(job.attempts);
         w.str(&job.tenant);
         w.u64(job.required_workers as u64);
+        // The deadline is persisted as the *absolute* coordinator
+        // timestamp: a restart does not reset the envelope.
+        w.opt_u64(job.deadline_at_ms);
         match &job.request.idem {
             Some(key) => {
                 w.u8(1);
@@ -1039,6 +1414,7 @@ fn decode_cluster_queue(bytes: &[u8]) -> Result<(u64, Vec<GlobalJob>), String> {
         let attempts = r.u32()?;
         let tenant = r.str()?;
         let required_workers = r.usize()?;
+        let deadline_at_ms = r.opt_u64()?;
         let idem = match r.u8()? {
             0 => None,
             1 => Some(r.str()?),
@@ -1066,10 +1442,55 @@ fn decode_cluster_queue(bytes: &[u8]) -> Result<(u64, Vec<GlobalJob>), String> {
             required_workers,
             completion: None,
             fenced: 0,
+            deadline_at_ms,
+            dispatched_at_ms: None,
+            hedge: None,
         });
     }
     r.done()?;
     Ok((next_id, jobs))
+}
+
+/// Builds the wire dispatch for one attempt of `job` under `epoch`,
+/// re-deriving the remaining end-to-end window at `now_ms` and
+/// clamping it into the kernel's time budget and the per-attempt
+/// watchdog. Because the window is recomputed against the *original*
+/// absolute deadline at every hop, a migrated or hedged attempt always
+/// gets a smaller budget than its predecessor — the envelope only
+/// shrinks. An already-expired window still dispatches with a minimal
+/// budget so the worker reports an honest `Inconclusive` with partial
+/// stats instead of the job hanging.
+fn dispatch_payload(job: &GlobalJob, epoch: u64, now_ms: u64) -> Dispatch {
+    let mut request = job.request.clone();
+    if let Some(deadline) = job.deadline_at_ms {
+        let remaining = Duration::from_millis(deadline.saturating_sub(now_ms));
+        request.config.config.clamp_time(remaining);
+        // The watchdog gets a hair of grace past the kernel budget so
+        // the cooperative time trip (honest partial stats) wins the
+        // race against the watchdog's cancel-and-retry.
+        let watchdog = remaining.max(Duration::from_millis(1)) + Duration::from_millis(100);
+        request.config.deadline = Some(match request.config.deadline {
+            Some(existing) => existing.min(watchdog),
+            None => watchdog,
+        });
+    }
+    Dispatch {
+        job: job.id,
+        epoch,
+        attempts: job.attempts,
+        deadline_at_ms: job.deadline_at_ms,
+        request,
+    }
+}
+
+/// Appends one dispatch→adoption duration sample, keeping the ring
+/// bounded (the hedge threshold only needs a recent window).
+fn record_duration(durations: &mut Vec<u64>, sample_ms: u64) {
+    const KEEP: usize = 256;
+    if durations.len() >= KEEP {
+        durations.remove(0);
+    }
+    durations.push(sample_ms);
 }
 
 /// Whether `job` is still dispatched to `worker` under `epoch` — the
@@ -1222,10 +1643,20 @@ impl WorkerGateway {
     }
 
     fn execute_response(&self, request: &WireRequest) -> WireResponse {
-        let dispatch = match decode_dispatch(&request.body) {
+        let mut dispatch = match decode_dispatch(&request.body) {
             Ok(dispatch) => dispatch,
             Err(reason) => return bad_request(&reason),
         };
+        // Re-derive the remaining end-to-end window against this
+        // worker's clock at acceptance: whatever the dispatch spent in
+        // flight is gone from the budget, so the envelope only ever
+        // shrinks. An already-expired window still runs with a minimal
+        // time budget — an immediate, honest Inconclusive with partial
+        // stats rather than a silent drop.
+        if let Some(deadline) = dispatch.deadline_at_ms {
+            let remaining = Duration::from_millis(deadline.saturating_sub(wall_ms()));
+            dispatch.request.config.config.clamp_time(remaining);
+        }
         let mut inner = self.lock();
         if let Some(entry) = inner.jobs.get(&dispatch.job) {
             if dispatch.epoch < entry.epoch {
@@ -1414,9 +1845,14 @@ impl WorkerGateway {
     ///
     /// Returns the transport error when the coordinator is unreachable.
     pub fn heartbeat(&self, transport: &dyn Transport, peer: &str) -> Result<bool, NetError> {
+        let load = self.supervisor.load_snapshot();
         let target = format!(
-            "/cluster/heartbeat?name={}",
-            pnp_net::percent_encode(&self.name)
+            "/cluster/heartbeat?name={}&queue={}&running={}&mem={}&spill={}",
+            pnp_net::percent_encode(&self.name),
+            load.queue_depth,
+            load.running,
+            load.memory_bytes,
+            load.spill_bytes,
         );
         let response = transport.request(peer, &WireRequest::post(target, Vec::new()))?;
         Ok(response.status == 200)

@@ -122,6 +122,13 @@ pub struct JobConfig {
     /// Per-attempt wall-clock watchdog deadline (`None` → service
     /// default).
     pub deadline: Option<Duration>,
+    /// End-to-end deadline for the whole job, counted from admission.
+    /// Unlike `deadline` (which restarts per attempt), this budget only
+    /// shrinks: every hop — coordinator dispatch, migration, hedged
+    /// retry — re-derives the remaining window and clamps the kernel's
+    /// `max_time` and the per-attempt watchdog to it. Expiry yields an
+    /// honest `Inconclusive` with partial statistics, never a hang.
+    pub job_deadline: Option<Duration>,
     /// Attempt ceiling for transient failures (`None` → service
     /// default).
     pub max_attempts: Option<u32>,
@@ -180,8 +187,8 @@ pub fn parse_visited_spec(spec: &str) -> Result<VisitedKind, String> {
 }
 
 /// Resolves the standard submission parameters (`budget`, `threads`,
-/// `visited`, `spill_at`, `deadline_ms`, `max_attempts`, `chaos`)
-/// against `base`,
+/// `visited`, `spill_at`, `deadline_ms`, `job_deadline_ms`,
+/// `max_attempts`, `chaos`) against `base`,
 /// reading each through `lookup` — shared by the HTTP layer and the
 /// cluster coordinator, which see different request types.
 ///
@@ -219,6 +226,15 @@ pub fn resolve_job_config(
                 .map_err(|_| format!("deadline_ms '{v}': want milliseconds"))
         })
         .transpose()?;
+    let job_deadline = lookup("job_deadline_ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .ok()
+                .filter(|ms| *ms >= 1)
+                .map(Duration::from_millis)
+                .ok_or_else(|| format!("job_deadline_ms '{v}': want positive milliseconds"))
+        })
+        .transpose()?;
     let max_attempts = lookup("max_attempts")
         .map(|v| {
             v.parse::<u32>()
@@ -231,6 +247,7 @@ pub fn resolve_job_config(
     Ok(JobConfig {
         config,
         deadline,
+        job_deadline,
         max_attempts,
         chaos,
     })

@@ -15,15 +15,16 @@
 //! |---|---|---|
 //! | `GET` | `/health` | liveness + counters |
 //! | `POST` | `/jobs` | submit a `.pnp` body → `202` with the job id |
-//! | `GET` | `/jobs/{id}` | phase + attempts |
+//! | `GET` | `/jobs/{id}` | phase + attempts; `?wait=ms` long-polls until settled |
 //! | `GET` | `/jobs/{id}/result` | `200` full result when done, `202` otherwise |
 //! | `POST` | `/jobs/{id}/cancel` | cooperative cancellation |
 //!
 //! Submissions take query parameters `budget` (`states=N,time=MS,…`),
 //! `threads`, `visited` (`exact|compact|bitstate[:MB]|disk`),
 //! `spill_at` (memory budget in MB past which the search spills to
-//! disk), `deadline_ms`, `max_attempts`, and `chaos` (fault injection
-//! for the soak tests).
+//! disk), `deadline_ms` (per-attempt watchdog), `job_deadline_ms`
+//! (end-to-end budget — expiry yields an honest INCONCLUSIVE),
+//! `max_attempts`, and `chaos` (fault injection for the soak tests).
 #![warn(missing_docs)]
 
 pub mod chaos;
@@ -187,9 +188,24 @@ fn route(stream: &mut TcpStream, node: &Node, request: &Request) {
             let _ = respond_json(stream, 200, "OK", &[], &supervisor.health_json());
         }
         ("POST", ["jobs"]) => submit(stream, supervisor, request),
-        ("GET", ["jobs", id]) => match JobId::parse(id).and_then(|id| supervisor.status_json(id)) {
-            Some(json) => {
-                let _ = respond_json(stream, 200, "OK", &[], &json);
+        ("GET", ["jobs", id]) => match JobId::parse(id) {
+            Some(id) => {
+                // `wait=ms` long-polls: park the request until the job
+                // settles or the (capped) window elapses, then answer
+                // with the usual status body either way.
+                if let Some(wait_ms) = request
+                    .query("wait")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|ms| *ms > 0)
+                {
+                    supervisor.wait_done(id, Duration::from_millis(wait_ms.min(60_000)));
+                }
+                match supervisor.status_json(id) {
+                    Some(json) => {
+                        let _ = respond_json(stream, 200, "OK", &[], &json);
+                    }
+                    None => not_found(stream),
+                }
             }
             None => not_found(stream),
         },
@@ -332,10 +348,18 @@ fn submit(stream: &mut TcpStream, supervisor: &Supervisor, request: &Request) {
         Ok(_) => return bad_request(stream, "empty body: POST the .pnp source"),
         Err(_) => return bad_request(stream, "body is not UTF-8"),
     };
-    let config = match parse_job_config(request, supervisor.default_search()) {
+    let mut config = match parse_job_config(request, supervisor.default_search()) {
         Ok(config) => config,
         Err(message) => return bad_request(stream, &message),
     };
+    if let Some(budget) = config.job_deadline {
+        // Single-node end-to-end deadline: clamp the kernel time budget
+        // so expiry surfaces as an honest INCONCLUSIVE with partial
+        // stats, and cap the watchdog just past it as a backstop.
+        config.config.clamp_time(budget);
+        let watchdog = budget + Duration::from_millis(100);
+        config.deadline = Some(config.deadline.map_or(watchdog, |d| d.min(watchdog)));
+    }
     let mut job_request = JobRequest::new(source, config);
     job_request.idem = request.query("idem").map(str::to_string);
     match supervisor.submit(job_request) {

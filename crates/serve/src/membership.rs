@@ -1,5 +1,6 @@
 //! Cluster membership: the coordinator's worker table, heartbeat-driven
-//! failure detection, and hash-shard job placement.
+//! failure detection, load-aware job placement, and per-worker circuit
+//! breakers.
 //!
 //! Workers register themselves and heartbeat on an interval; the
 //! failure detector demotes a worker to *suspect* after one missed
@@ -7,9 +8,17 @@
 //! coordinator can demote a worker immediately when a dispatched
 //! request times out past the job's deadline (request-deadline
 //! detection — faster than waiting out heartbeats when the network
-//! still looks healthy). All timestamps are caller-supplied
-//! milliseconds, so the deterministic chaos harness drives the detector
-//! on virtual time.
+//! still looks healthy). Heartbeats additionally carry the worker's
+//! load telemetry (queue depth, running attempts, memory, spill
+//! bytes), which [`Membership::place_weighted`] turns into least-loaded
+//! placement, and every dispatch/poll outcome feeds a per-worker
+//! circuit breaker so a flapping worker — one that heartbeats fine but
+//! fails requests — is taken out of rotation without waiting for the
+//! silence detector. All timestamps are caller-supplied milliseconds,
+//! so the deterministic chaos harness drives the detector on virtual
+//! time.
+
+use std::collections::HashMap;
 
 use pnp_kernel::fnv64;
 
@@ -37,6 +46,75 @@ impl WorkerState {
     }
 }
 
+/// Load telemetry a worker reports with each heartbeat — the data feed
+/// for weighted dispatch and the fleet view on `/health`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerLoad {
+    /// Jobs waiting in the worker's admission queue.
+    pub queue_depth: u64,
+    /// Attempts currently running on the worker's threads.
+    pub running: u64,
+    /// Estimated peak memory across running jobs, in bytes.
+    pub memory_bytes: u64,
+    /// Bytes the worker has spilled to out-of-core storage.
+    pub spill_bytes: u64,
+}
+
+impl WorkerLoad {
+    /// The placement score: lower is better. Queued and running
+    /// attempts count equally — both occupy the worker before a new
+    /// dispatch would start.
+    pub fn score(&self) -> u64 {
+        self.queue_depth + self.running
+    }
+}
+
+/// A per-worker circuit breaker's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, failures are counted.
+    Closed,
+    /// Tripped: excluded from placement until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: placeable again as a probe — one success
+    /// closes the breaker, one failure reopens it.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The stable wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Circuit-breaker tuning, in the caller's clock.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Dispatch/poll failures within `window_ms` that trip the breaker
+    /// (default 3).
+    pub failures: u32,
+    /// The sliding failure-counting window (default 10 000 ms).
+    pub window_ms: u64,
+    /// How long an open breaker excludes the worker before a half-open
+    /// probe is allowed (default 5000 ms).
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failures: 3,
+            window_ms: 10_000,
+            cooldown_ms: 5_000,
+        }
+    }
+}
+
 /// One registered worker.
 #[derive(Debug, Clone)]
 pub struct Worker {
@@ -53,6 +131,16 @@ pub struct Worker {
     /// worker comes back so the coordinator can tell a restart from a
     /// flaky link.
     pub incarnation: u64,
+    /// The load the worker last reported with a heartbeat.
+    pub load: WorkerLoad,
+    /// The circuit breaker guarding dispatches to this worker.
+    pub breaker: BreakerState,
+    /// Request failures counted inside the current breaker window.
+    pub breaker_failures: u32,
+    /// When the current breaker window opened.
+    pub breaker_window_ms: u64,
+    /// When an open breaker may move to half-open.
+    pub breaker_until_ms: u64,
 }
 
 /// Failure-detector windows, in the caller's clock.
@@ -82,14 +170,18 @@ impl Default for DetectorConfig {
 pub struct Membership {
     /// Detector windows.
     pub config: DetectorConfig,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
     workers: Vec<Worker>,
 }
 
 impl Membership {
-    /// An empty table with the given detector windows.
+    /// An empty table with the given detector windows and default
+    /// breaker tuning.
     pub fn new(config: DetectorConfig) -> Membership {
         Membership {
             config,
+            breaker: BreakerConfig::default(),
             workers: Vec::new(),
         }
     }
@@ -104,6 +196,12 @@ impl Membership {
             worker.last_seen_ms = now_ms;
             if worker.state == WorkerState::Dead {
                 worker.incarnation += 1;
+                // The breaker deliberately survives re-registration: a
+                // flapping worker (die, rejoin, die again) is exactly
+                // what it guards against, so each short life inherits
+                // the failure history of the last. A genuinely healthy
+                // restart closes it the honest way — by serving
+                // requests (record_success) or cooling down.
             }
             worker.state = WorkerState::Alive;
             return worker.incarnation;
@@ -114,17 +212,26 @@ impl Membership {
             state: WorkerState::Alive,
             last_seen_ms: now_ms,
             incarnation: 1,
+            load: WorkerLoad::default(),
+            breaker: BreakerState::Closed,
+            breaker_failures: 0,
+            breaker_window_ms: now_ms,
+            breaker_until_ms: 0,
         });
         self.workers.sort_by(|a, b| a.name.cmp(&b.name));
         1
     }
 
-    /// Records a heartbeat. Returns `false` for an unregistered name
-    /// (the worker should re-register).
-    pub fn heartbeat(&mut self, name: &str, now_ms: u64) -> bool {
+    /// Records a heartbeat, updating the worker's reported load when
+    /// the heartbeat carried telemetry. Returns `false` for an
+    /// unregistered name (the worker should re-register).
+    pub fn heartbeat(&mut self, name: &str, now_ms: u64, load: Option<WorkerLoad>) -> bool {
         match self.workers.iter_mut().find(|w| w.name == name) {
             Some(worker) => {
                 worker.last_seen_ms = now_ms;
+                if let Some(load) = load {
+                    worker.load = load;
+                }
                 if worker.state == WorkerState::Suspect {
                     worker.state = WorkerState::Alive;
                 }
@@ -142,6 +249,12 @@ impl Membership {
     pub fn tick(&mut self, now_ms: u64) -> Vec<String> {
         let mut newly_dead = Vec::new();
         for worker in &mut self.workers {
+            // Open breakers cool down to half-open regardless of the
+            // silence detector: a flapping worker heartbeats fine.
+            if worker.breaker == BreakerState::Open && now_ms >= worker.breaker_until_ms {
+                worker.breaker = BreakerState::HalfOpen;
+                worker.breaker_failures = 0;
+            }
             if worker.state == WorkerState::Dead {
                 continue;
             }
@@ -154,6 +267,61 @@ impl Membership {
             }
         }
         newly_dead
+    }
+
+    /// Records a dispatch/poll failure against `name`'s breaker.
+    /// Returns `true` when this failure *trips* the breaker (closed →
+    /// open, or a failed half-open probe reopening it) — the caller
+    /// counts trips in its stats.
+    pub fn record_failure(&mut self, name: &str, now_ms: u64) -> bool {
+        let (failures, window_ms, cooldown_ms) = (
+            self.breaker.failures,
+            self.breaker.window_ms,
+            self.breaker.cooldown_ms,
+        );
+        let Some(worker) = self.workers.iter_mut().find(|w| w.name == name) else {
+            return false;
+        };
+        match worker.breaker {
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                // The probe failed: straight back to open.
+                worker.breaker = BreakerState::Open;
+                worker.breaker_until_ms = now_ms + cooldown_ms;
+                worker.breaker_failures = 0;
+                true
+            }
+            BreakerState::Closed => {
+                if now_ms.saturating_sub(worker.breaker_window_ms) > window_ms {
+                    worker.breaker_window_ms = now_ms;
+                    worker.breaker_failures = 0;
+                }
+                worker.breaker_failures += 1;
+                if worker.breaker_failures >= failures {
+                    worker.breaker = BreakerState::Open;
+                    worker.breaker_until_ms = now_ms + cooldown_ms;
+                    worker.breaker_failures = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful dispatch/poll against `name`'s breaker: a
+    /// half-open probe's success closes it, and any success clears the
+    /// closed-state failure count.
+    pub fn record_success(&mut self, name: &str, now_ms: u64) {
+        if let Some(worker) = self.workers.iter_mut().find(|w| w.name == name) {
+            if worker.breaker == BreakerState::HalfOpen {
+                worker.breaker = BreakerState::Closed;
+            }
+            if worker.breaker == BreakerState::Closed {
+                worker.breaker_failures = 0;
+                worker.breaker_window_ms = now_ms;
+            }
+        }
     }
 
     /// Demotes a worker to dead immediately (request-deadline
@@ -188,6 +356,15 @@ impl Membership {
             .collect()
     }
 
+    /// Names of dispatch-eligible workers: alive *and* their breaker is
+    /// not open (half-open workers are placeable — that is the probe).
+    pub fn placeable(&self) -> Vec<&Worker> {
+        self.workers
+            .iter()
+            .filter(|w| w.state == WorkerState::Alive && w.breaker != BreakerState::Open)
+            .collect()
+    }
+
     /// Hash-shard placement: deterministically picks a live worker for
     /// `key`, skipping `avoid` (the worker an attempt just failed on)
     /// when any other live worker exists. `None` when no live worker.
@@ -202,6 +379,54 @@ impl Membership {
         };
         let index = (fnv64(key.as_bytes()) % candidates.len() as u64) as usize;
         Some(candidates[index].to_string())
+    }
+
+    /// Load-aware weighted placement: picks the dispatch-eligible
+    /// worker with the lowest total score — the load it reported with
+    /// its last heartbeat plus `extra` (the coordinator's own in-flight
+    /// count for that worker, which is fresher than any heartbeat).
+    /// Ties break by hashing `key` over the tied set, so equally idle
+    /// workers still spread jobs deterministically instead of all
+    /// receiving the first one. `avoid` is a preference (the worker an
+    /// attempt just failed on), honored while any other candidate
+    /// exists. `None` when no worker is placeable.
+    pub fn place_weighted(
+        &self,
+        key: &str,
+        avoid: Option<&str>,
+        extra: &HashMap<String, usize>,
+    ) -> Option<String> {
+        let eligible = self.placeable();
+        if eligible.is_empty() {
+            return None;
+        }
+        let candidates: Vec<&Worker> = match avoid {
+            Some(avoid) if eligible.len() > 1 => eligible
+                .iter()
+                .copied()
+                .filter(|w| w.name != avoid)
+                .collect(),
+            _ => eligible,
+        };
+        let score = |w: &Worker| w.load.score() + extra.get(&w.name).copied().unwrap_or(0) as u64;
+        let best = candidates.iter().map(|w| score(w)).min()?;
+        let tied: Vec<&Worker> = candidates
+            .into_iter()
+            .filter(|w| score(w) == best)
+            .collect();
+        let index = (fnv64(key.as_bytes()) % tied.len() as u64) as usize;
+        Some(tied[index].name.clone())
+    }
+
+    /// The score [`place_weighted`](Membership::place_weighted) would
+    /// use for `name` with the given extra in-flight count — the
+    /// sticky-affinity comparison hook. `None` for a worker that is not
+    /// placeable.
+    pub fn weighted_score(&self, name: &str, extra: usize) -> Option<u64> {
+        self.placeable()
+            .into_iter()
+            .find(|w| w.name == name)
+            .map(|w| w.load.score() + extra as u64)
     }
 }
 
@@ -220,8 +445,8 @@ mod tests {
     #[test]
     fn detector_walks_alive_suspect_dead() {
         let mut m = table();
-        m.heartbeat("w1", 2000);
-        m.heartbeat("w2", 2000);
+        m.heartbeat("w1", 2000, None);
+        m.heartbeat("w2", 2000, None);
         // w3 silent since 0: suspect at 2500, dead at 5000.
         assert!(m.tick(2600).is_empty());
         assert_eq!(m.get("w3").unwrap().state, WorkerState::Suspect);
@@ -237,7 +462,7 @@ mod tests {
         let mut m = table();
         m.tick(5100);
         assert_eq!(m.get("w1").unwrap().state, WorkerState::Dead);
-        assert!(!m.heartbeat("w1", 5200));
+        assert!(!m.heartbeat("w1", 5200, None));
         assert_eq!(m.get("w1").unwrap().state, WorkerState::Dead);
         let incarnation = m.register("w1", "peer1", 5300);
         assert_eq!(incarnation, 2);
@@ -264,5 +489,107 @@ mod tests {
         assert!(m.declare_dead("w2"));
         assert!(!m.declare_dead("w2"));
         assert!(!m.live().contains(&"w2"));
+    }
+
+    #[test]
+    fn breaker_opens_cools_down_and_probes() {
+        let mut m = table();
+        assert!(!m.record_failure("w1", 100));
+        assert!(!m.record_failure("w1", 200));
+        // Third failure inside the window trips the breaker.
+        assert!(m.record_failure("w1", 300));
+        assert_eq!(m.get("w1").unwrap().breaker, BreakerState::Open);
+        assert!(!m.placeable().iter().any(|w| w.name == "w1"));
+        // Alive-but-tripped is invisible to the silence detector.
+        m.heartbeat("w1", 400, None);
+        assert_eq!(m.get("w1").unwrap().state, WorkerState::Alive);
+        // Cooldown elapses on tick → half-open, placeable as a probe.
+        m.heartbeat("w1", 5400, None);
+        m.heartbeat("w2", 5400, None);
+        m.heartbeat("w3", 5400, None);
+        m.tick(5400);
+        assert_eq!(m.get("w1").unwrap().breaker, BreakerState::HalfOpen);
+        assert!(m.placeable().iter().any(|w| w.name == "w1"));
+        // A failed probe reopens (and counts as a trip)...
+        assert!(m.record_failure("w1", 5500));
+        assert_eq!(m.get("w1").unwrap().breaker, BreakerState::Open);
+        // ...and a successful probe after the next cooldown closes.
+        m.heartbeat("w1", 10_600, None);
+        m.heartbeat("w2", 10_600, None);
+        m.heartbeat("w3", 10_600, None);
+        m.tick(10_600);
+        m.record_success("w1", 10_700);
+        assert_eq!(m.get("w1").unwrap().breaker, BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_survives_reregistration() {
+        // A flapping worker must not launder its failure history by
+        // dying and rejoining: two failures, a crash-revive cycle, and
+        // one more failure inside the window still trip the breaker.
+        let mut m = table();
+        assert!(!m.record_failure("w1", 100));
+        assert!(!m.record_failure("w1", 200));
+        m.declare_dead("w1");
+        assert_eq!(m.register("w1", "peer1", 300), 2);
+        assert!(m.record_failure("w1", 400));
+        assert_eq!(m.get("w1").unwrap().breaker, BreakerState::Open);
+    }
+
+    #[test]
+    fn breaker_window_expires_old_failures() {
+        let mut m = table();
+        assert!(!m.record_failure("w1", 0));
+        assert!(!m.record_failure("w1", 100));
+        // Past the 10s window the count restarts, so no trip.
+        assert!(!m.record_failure("w1", 20_000));
+        assert_eq!(m.get("w1").unwrap().breaker, BreakerState::Closed);
+    }
+
+    #[test]
+    fn weighted_placement_prefers_least_loaded() {
+        let mut m = table();
+        m.heartbeat(
+            "w1",
+            10,
+            Some(WorkerLoad {
+                queue_depth: 5,
+                running: 2,
+                ..WorkerLoad::default()
+            }),
+        );
+        m.heartbeat(
+            "w2",
+            10,
+            Some(WorkerLoad {
+                queue_depth: 0,
+                running: 1,
+                ..WorkerLoad::default()
+            }),
+        );
+        m.heartbeat("w3", 10, Some(WorkerLoad::default()));
+        let extra = HashMap::new();
+        assert_eq!(m.place_weighted("g-1", None, &extra).unwrap(), "w3");
+        // Coordinator-tracked in-flight shifts the choice.
+        let mut extra = HashMap::new();
+        extra.insert("w3".to_string(), 4);
+        assert_eq!(m.place_weighted("g-1", None, &extra).unwrap(), "w2");
+        // An open breaker excludes even the least-loaded worker.
+        m.record_failure("w3", 20);
+        m.record_failure("w3", 21);
+        m.record_failure("w3", 22);
+        let extra = HashMap::new();
+        assert_eq!(m.place_weighted("g-1", None, &extra).unwrap(), "w2");
+        // Ties spread deterministically by key hash.
+        let mut m2 = table();
+        m2.heartbeat("w1", 10, Some(WorkerLoad::default()));
+        m2.heartbeat("w2", 10, Some(WorkerLoad::default()));
+        m2.heartbeat("w3", 10, Some(WorkerLoad::default()));
+        let a = m2.place_weighted("g-1", None, &extra).unwrap();
+        assert_eq!(m2.place_weighted("g-1", None, &extra).unwrap(), a);
+        let spread: std::collections::HashSet<String> = (0..16)
+            .map(|i| m2.place_weighted(&format!("g-{i}"), None, &extra).unwrap())
+            .collect();
+        assert!(spread.len() > 1, "equal-load workers must share keys");
     }
 }

@@ -22,17 +22,18 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use pnp_kernel::{load_latest_snapshot, SearchConfig, SimFs, Snapshot, Vfs, VfsHandle};
 use pnp_lang::{compile, VerifyOptions};
-use pnp_net::{NetPlan, SimNet, SubmitClient, Transport, WireRequest, WireResponse};
+use pnp_net::{ClientError, NetPlan, SimNet, SubmitClient, Transport, WireRequest, WireResponse};
 
 use crate::chaos::{results_fingerprint, CHAOS_SPEC};
 use crate::cluster::{ClusterConfig, Coordinator};
+use crate::job::Verdict;
 use crate::json::Obj;
-use crate::membership::DetectorConfig;
+use crate::membership::{BreakerConfig, DetectorConfig};
 use crate::transport::{decode_dispatch, encode_completion, Completion, Dispatch};
 
 /// A second, smaller specification so the matrix mixes job shapes.
@@ -83,14 +84,32 @@ pub enum NetSchedule {
     /// mid-flight; restored jobs re-dispatch behind bumped epochs and
     /// pre-restart results are fenced.
     CoordinatorRestart,
+    /// One worker grinds an order of magnitude slower than the other:
+    /// its dispatches stall past the hedge threshold, the coordinator
+    /// speculatively re-runs them elsewhere, and the straggler's late
+    /// results are fenced when they finally arrive.
+    Straggler,
+    /// Submissions burst past the coordinator's admission capacity:
+    /// excess jobs shed with `Retry-After` hints the client honors, and
+    /// a tight end-to-end deadline expires mid-burst as an honest
+    /// `Inconclusive` with partial statistics.
+    OverloadBurst,
+    /// A worker flaps — dies, rejoins, dies again — fast enough that
+    /// the silence detector alone would keep trusting it; the
+    /// per-worker circuit breaker must trip and take it out of
+    /// placement until it holds still.
+    FlappingWorker,
 }
 
 impl NetSchedule {
     /// All schedules, matrix order.
-    pub const ALL: [NetSchedule; 3] = [
+    pub const ALL: [NetSchedule; 6] = [
         NetSchedule::WorkerCrashMidJob,
         NetSchedule::PartitionDuringResult,
         NetSchedule::CoordinatorRestart,
+        NetSchedule::Straggler,
+        NetSchedule::OverloadBurst,
+        NetSchedule::FlappingWorker,
     ];
 
     /// The stable CLI name.
@@ -99,6 +118,9 @@ impl NetSchedule {
             NetSchedule::WorkerCrashMidJob => "worker_crash_mid_job",
             NetSchedule::PartitionDuringResult => "partition_during_result",
             NetSchedule::CoordinatorRestart => "coordinator_restart",
+            NetSchedule::Straggler => "straggler",
+            NetSchedule::OverloadBurst => "overload_burst",
+            NetSchedule::FlappingWorker => "flapping_worker",
         }
     }
 
@@ -146,6 +168,14 @@ pub struct NetChaosOutcome {
     /// Stale results the *workers* observed being discarded (each saw a
     /// `409` and dropped its result).
     pub worker_discards: u64,
+    /// Speculative second attempts the coordinator launched.
+    pub hedges: u64,
+    /// Jobs whose end-to-end deadline expired into `Inconclusive`.
+    pub expired: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Submissions shed with a `Retry-After` hint.
+    pub sheds: u64,
 }
 
 /// One simulated worker: accepts dispatches, "works" on each job for
@@ -158,6 +188,11 @@ pub struct SimWorker {
     pub name: String,
     net: Arc<SimNet>,
     coordinator: String,
+    /// The shared virtual clock, for end-to-end deadline checks.
+    clock: Arc<AtomicU64>,
+    /// Pumps a job occupies before its full verification runs
+    /// (default [`WORK_TICKS`]; the straggler schedule inflates it).
+    work_ticks: AtomicU32,
     /// Durable across crashes.
     fs: Arc<SimFs>,
     state: Arc<Mutex<WorkerState>>,
@@ -176,9 +211,22 @@ struct WorkerState {
 /// Pumps between heartbeats (500 virtual ms at [`STEP_MS`]).
 const HEARTBEAT_EVERY: u64 = 5;
 
+/// What one pump decided to do with one job.
+enum Pump {
+    /// First pump: flush a checkpoint generation mid-"run".
+    Checkpoint,
+    /// Work pumps exhausted: run the full verification.
+    Finish,
+    /// End-to-end deadline passed: stop with partial statistics.
+    Expire,
+}
+
 struct SimJob {
     epoch: u64,
     dispatch: Dispatch,
+    /// Work pumps this job started with (the worker's tick count at
+    /// accept time — the first pump flushes a checkpoint).
+    total: u32,
     remaining: u32,
     completion: Option<Completion>,
     settled: bool,
@@ -186,11 +234,21 @@ struct SimJob {
 
 impl SimWorker {
     /// Creates the worker and registers its request handler on `net`.
-    pub fn new(net: &Arc<SimNet>, name: &str, coordinator: &str, seed: u64) -> Arc<SimWorker> {
+    /// `clock` is the harness's shared virtual clock, read for
+    /// end-to-end deadline expiry.
+    pub fn new(
+        net: &Arc<SimNet>,
+        name: &str,
+        coordinator: &str,
+        seed: u64,
+        clock: &Arc<AtomicU64>,
+    ) -> Arc<SimWorker> {
         let worker = Arc::new(SimWorker {
             name: name.to_string(),
             net: Arc::clone(net),
             coordinator: coordinator.to_string(),
+            clock: Arc::clone(clock),
+            work_ticks: AtomicU32::new(WORK_TICKS),
             fs: Arc::new(SimFs::new(seed)),
             state: Arc::new(Mutex::new(WorkerState::default())),
         });
@@ -201,6 +259,13 @@ impl SimWorker {
         };
         net.register(name, handler);
         worker
+    }
+
+    /// Makes this worker grind: every accepted job takes `ticks` pumps
+    /// instead of the default [`WORK_TICKS`]. Already-accepted jobs
+    /// keep their pace.
+    pub fn set_work_ticks(&self, ticks: u32) {
+        self.work_ticks.store(ticks.max(1), Ordering::Relaxed);
     }
 
     /// Crashes the process: unreachable, memory gone, checkpoints kept.
@@ -266,12 +331,14 @@ impl SimWorker {
         }
         let job = dispatch.job;
         let epoch = dispatch.epoch;
+        let total = self.work_ticks.load(Ordering::Relaxed);
         state.jobs.insert(
             job,
             SimJob {
                 epoch,
                 dispatch,
-                remaining: WORK_TICKS,
+                total,
+                remaining: total,
                 completion: None,
                 settled: false,
             },
@@ -336,7 +403,21 @@ impl SimWorker {
                 state.registered = true;
             }
         } else if beat {
-            let target = format!("/cluster/heartbeat?name={}", self.name);
+            // Heartbeats carry load telemetry, like a real worker
+            // daemon's: the coordinator's weighted placement feed.
+            let (queue, running) = {
+                let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                let open = state
+                    .jobs
+                    .values()
+                    .filter(|j| j.completion.is_none())
+                    .count() as u64;
+                (open, open.min(1))
+            };
+            let target = format!(
+                "/cluster/heartbeat?name={}&queue={queue}&running={running}&mem=0&spill=0",
+                self.name
+            );
             if let Ok(response) =
                 endpoint.request(&self.coordinator, &WireRequest::post(target, Vec::new()))
             {
@@ -362,25 +443,32 @@ impl SimWorker {
             ids.sort_unstable();
             ids
         };
+        let now = self.clock.load(Ordering::Relaxed);
         for id in next {
             let work = {
                 let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
                 let Some(job) = state.jobs.get_mut(&id) else {
                     continue;
                 };
-                if job.remaining == WORK_TICKS {
+                // An expired end-to-end deadline preempts the work: a
+                // real worker's clamped kernel time budget trips here,
+                // yielding an honest Inconclusive with partial stats.
+                if job.dispatch.deadline_at_ms.is_some_and(|d| now >= d) {
+                    Some((job.dispatch.clone(), Pump::Expire))
+                } else if job.remaining == job.total {
                     job.remaining -= 1;
-                    Some((job.dispatch.clone(), true))
+                    Some((job.dispatch.clone(), Pump::Checkpoint))
                 } else if job.remaining > 0 {
                     job.remaining -= 1;
                     None
                 } else {
-                    Some((job.dispatch.clone(), false))
+                    Some((job.dispatch.clone(), Pump::Finish))
                 }
             };
             match work {
-                Some((dispatch, true)) => self.flush_checkpoint(&dispatch),
-                Some((dispatch, false)) => self.finish(&dispatch),
+                Some((dispatch, Pump::Checkpoint)) => self.flush_checkpoint(&dispatch),
+                Some((dispatch, Pump::Finish)) => self.finish(&dispatch),
+                Some((dispatch, Pump::Expire)) => self.expire(&dispatch),
                 None => {}
             }
         }
@@ -435,6 +523,42 @@ impl SimWorker {
             ..VerifyOptions::default()
         };
         let _ = spec.verify_all_with_options(&options);
+    }
+
+    /// Deadline expiry: what a real worker's clamped time budget does —
+    /// a bounded pass whose budget trips mid-search, reported as an
+    /// `Inconclusive` completion that still carries the partial
+    /// statistics. Deterministic, because the bound is a state count on
+    /// virtual time, not a wall-clock race.
+    fn expire(&self, dispatch: &Dispatch) {
+        let Ok(spec) = compile(&dispatch.request.source) else {
+            return;
+        };
+        let mut bounded = dispatch.request.config.config;
+        bounded.max_states = 200;
+        bounded.threads = 1;
+        let options = VerifyOptions {
+            config: bounded,
+            ..VerifyOptions::default()
+        };
+        let Ok(results) = spec.verify_all_with_options(&options) else {
+            return;
+        };
+        let completion = Completion {
+            job: dispatch.job,
+            epoch: dispatch.epoch,
+            worker: self.name.clone(),
+            verdict: Verdict::Inconclusive,
+            attempts: dispatch.attempts + 1,
+            error: None,
+            results: Some(results),
+        };
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(job) = state.jobs.get_mut(&dispatch.job) {
+            if job.epoch == dispatch.epoch && job.completion.is_none() {
+                job.completion = Some(completion);
+            }
+        }
     }
 
     /// The full verification: resume from the local checkpoint if one
@@ -508,9 +632,24 @@ fn cluster_config(vfs: VfsHandle) -> ClusterConfig {
     }
 }
 
-fn make_coordinator(net: &Arc<SimNet>, vfs: VfsHandle, now: &Arc<AtomicU64>) -> Arc<Coordinator> {
+/// The legacy schedules' config: hedging would speculatively rescue a
+/// crashed or partitioned worker's jobs *before* the failure detector
+/// fires, and these schedules exist to isolate the migration machinery
+/// — so park the hedge threshold out of reach.
+fn migration_cluster_config(vfs: VfsHandle) -> ClusterConfig {
+    ClusterConfig {
+        hedge_floor_ms: 3_600_000,
+        ..cluster_config(vfs)
+    }
+}
+
+fn make_coordinator(
+    net: &Arc<SimNet>,
+    config: ClusterConfig,
+    now: &Arc<AtomicU64>,
+) -> Arc<Coordinator> {
     let transport = Arc::new(net.endpoint("coord"));
-    let coordinator = Arc::new(Coordinator::new(cluster_config(vfs), transport));
+    let coordinator = Arc::new(Coordinator::new(config, transport));
     let handler = {
         let coordinator = Arc::clone(&coordinator);
         let now = Arc::clone(now);
@@ -531,6 +670,12 @@ fn make_coordinator(net: &Arc<SimNet>, vfs: VfsHandle, now: &Arc<AtomicU64>) -> 
 /// double-counted job, a fingerprint that differs from the single-node
 /// baseline, a missing fence, or non-convergence.
 pub fn run_net_schedule(schedule: NetSchedule, seed: u64) -> Result<NetChaosOutcome, String> {
+    if matches!(
+        schedule,
+        NetSchedule::Straggler | NetSchedule::OverloadBurst | NetSchedule::FlappingWorker
+    ) {
+        return run_overload_schedule(schedule, seed);
+    }
     // Single-node baselines, one per submitted job.
     let specs: [(&str, &str); 3] = [(CHAOS_SPEC, "a"), (SMALL_SPEC, "b"), (CHAOS_SPEC, "a")];
     let mut baselines = Vec::new();
@@ -554,10 +699,14 @@ pub fn run_net_schedule(schedule: NetSchedule, seed: u64) -> Result<NetChaosOutc
     let coordinator_fs: Arc<SimFs> = Arc::new(SimFs::new(seed ^ 0x636f_6f72_645f_6673));
     let coordinator_vfs: VfsHandle = coordinator_fs.clone();
     let _ = coordinator_vfs.create_dir_all(&PathBuf::from("/coord"));
-    let mut coordinator = make_coordinator(&net, coordinator_vfs.clone(), &now);
+    let mut coordinator = make_coordinator(
+        &net,
+        migration_cluster_config(coordinator_vfs.clone()),
+        &now,
+    );
 
-    let w1 = SimWorker::new(&net, "w1", "coord", seed ^ 1);
-    let w2 = SimWorker::new(&net, "w2", "coord", seed ^ 2);
+    let w1 = SimWorker::new(&net, "w1", "coord", seed ^ 1, &now);
+    let w2 = SimWorker::new(&net, "w2", "coord", seed ^ 2, &now);
     w1.run_pending();
     w2.run_pending();
     coordinator.tick(0);
@@ -668,12 +817,18 @@ pub fn run_net_schedule(schedule: NetSchedule, seed: u64) -> Result<NetChaosOutc
                     // restores them behind bumped epochs, so every
                     // pre-restart attempt reports into the fence.
                     coordinator.drain();
-                    coordinator = make_coordinator(&net, coordinator_vfs.clone(), &now);
+                    coordinator = make_coordinator(
+                        &net,
+                        migration_cluster_config(coordinator_vfs.clone()),
+                        &now,
+                    );
                     if coordinator.stats().restored == 0 {
                         return Err(format!("{schedule} seed {seed}: restart restored no jobs"));
                     }
                 }
             }
+            // Routed to run_overload_schedule above.
+            NetSchedule::Straggler | NetSchedule::OverloadBurst | NetSchedule::FlappingWorker => {}
         }
 
         coordinator.tick(t);
@@ -738,6 +893,7 @@ pub fn run_net_schedule(schedule: NetSchedule, seed: u64) -> Result<NetChaosOutc
                 ));
             }
         }
+        NetSchedule::Straggler | NetSchedule::OverloadBurst | NetSchedule::FlappingWorker => {}
     }
 
     Ok(NetChaosOutcome {
@@ -749,6 +905,345 @@ pub fn run_net_schedule(schedule: NetSchedule, seed: u64) -> Result<NetChaosOutc
         fenced: stats.fenced,
         snapshots_shipped: stats.snapshots_shipped,
         worker_discards,
+        hedges: stats.hedges,
+        expired: stats.expired,
+        breaker_trips: stats.breaker_trips,
+        sheds: stats.shed,
+    })
+}
+
+/// One planned submission of an overload-schedule run.
+struct Submission {
+    source: &'static str,
+    tenant: &'static str,
+    /// End-to-end budget sent as `job_deadline_ms`; such a job is
+    /// expected to expire `Inconclusive`, so it has no baseline.
+    deadline_ms: Option<u64>,
+    /// Single-node fingerprint the adopted result must match.
+    baseline: Option<u64>,
+    idem: String,
+    /// Coordinator job id, once admitted.
+    id: Option<u64>,
+    /// Earliest virtual time to (re)try the submission — moved forward
+    /// by the daemon's `Retry-After` hint on a shed.
+    retry_at: u64,
+}
+
+fn baseline_fingerprint(source: &str) -> Result<u64, String> {
+    let spec = compile(source).map_err(|e| format!("spec does not compile: {e}"))?;
+    let options = VerifyOptions {
+        config: SearchConfig {
+            threads: 1,
+            ..SearchConfig::default()
+        },
+        ..VerifyOptions::default()
+    };
+    let results = spec
+        .verify_all_with_options(&options)
+        .map_err(|e| format!("baseline run failed: {e}"))?;
+    Ok(results_fingerprint(&results))
+}
+
+/// The straggler / overload-burst / flapping-worker schedules: same
+/// invariants as the legacy schedules, but the clients submit *during*
+/// the run (so sheds and `Retry-After` hints are exercised for real)
+/// and the fault clock drives load pathologies instead of partitions.
+fn run_overload_schedule(schedule: NetSchedule, seed: u64) -> Result<NetChaosOutcome, String> {
+    let fp_chaos = baseline_fingerprint(CHAOS_SPEC)?;
+    let fp_small = baseline_fingerprint(SMALL_SPEC)?;
+    let plan = |source: &'static str, tenant: &'static str, deadline_ms: Option<u64>| {
+        let baseline = match deadline_ms {
+            // A deadline job's partial results legitimately differ
+            // from the uninterrupted baseline.
+            Some(_) => None,
+            None if source == CHAOS_SPEC => Some(fp_chaos),
+            None => Some(fp_small),
+        };
+        (source, tenant, deadline_ms, baseline)
+    };
+    let planned: Vec<(&'static str, &'static str, Option<u64>, Option<u64>)> = match schedule {
+        NetSchedule::Straggler => vec![
+            plan(CHAOS_SPEC, "a", None),
+            plan(SMALL_SPEC, "b", None),
+            plan(CHAOS_SPEC, "a", None),
+        ],
+        NetSchedule::OverloadBurst => vec![
+            // The deadline job goes first so it is admitted (and its
+            // budget starts) before the burst fills the two slots.
+            plan(CHAOS_SPEC, "a", Some(350)),
+            plan(SMALL_SPEC, "b", None),
+            plan(SMALL_SPEC, "a", None),
+            plan(CHAOS_SPEC, "b", None),
+            plan(SMALL_SPEC, "b", None),
+        ],
+        NetSchedule::FlappingWorker => vec![
+            plan(CHAOS_SPEC, "a", None),
+            plan(SMALL_SPEC, "b", None),
+            plan(SMALL_SPEC, "a", None),
+            plan(CHAOS_SPEC, "b", None),
+            plan(SMALL_SPEC, "a", None),
+            plan(SMALL_SPEC, "b", None),
+        ],
+        _ => unreachable!("only the overload schedules route here"),
+    };
+    let mut submissions: Vec<Submission> = planned
+        .into_iter()
+        .enumerate()
+        .map(
+            |(index, (source, tenant, deadline_ms, baseline))| Submission {
+                source,
+                tenant,
+                deadline_ms,
+                baseline,
+                idem: format!("netchaos-{seed}-{index}"),
+                id: None,
+                retry_at: 0,
+            },
+        )
+        .collect();
+
+    let net = SimNet::new(seed);
+    let now = Arc::new(AtomicU64::new(0));
+    let coordinator_fs: Arc<SimFs> = Arc::new(SimFs::new(seed ^ 0x636f_6f72_645f_6673));
+    let coordinator_vfs: VfsHandle = coordinator_fs.clone();
+    let _ = coordinator_vfs.create_dir_all(&PathBuf::from("/coord"));
+    let mut config = cluster_config(coordinator_vfs.clone());
+    match schedule {
+        // Two admission slots turn a five-job burst into real sheds.
+        NetSchedule::OverloadBurst => config.capacity = 2,
+        // A tight breaker so two refused dispatches in one tick trip it.
+        NetSchedule::FlappingWorker => {
+            config.breaker = BreakerConfig {
+                failures: 2,
+                window_ms: 10_000,
+                cooldown_ms: 2_000,
+            };
+        }
+        _ => {}
+    }
+    let coordinator = make_coordinator(&net, config, &now);
+    let w1 = SimWorker::new(&net, "w1", "coord", seed ^ 1, &now);
+    let w2 = SimWorker::new(&net, "w2", "coord", seed ^ 2, &now);
+    if schedule == NetSchedule::Straggler {
+        // An order of magnitude slower than WORK_TICKS: w2's dispatches
+        // sit far past the hedge threshold.
+        w2.set_work_ticks(60);
+    }
+    w1.run_pending();
+    w2.run_pending();
+    coordinator.tick(0);
+    net.set_plan(match schedule {
+        // The straggler's fault model is slowness, not loss: keep
+        // delivery reliable so the hedge race is deterministic, but let
+        // duplicated deliveries keep probing idempotency.
+        NetSchedule::Straggler => NetPlan {
+            drop_request_per_mille: 0,
+            drop_response_per_mille: 0,
+            duplicate_per_mille: 60,
+            reset_per_mille: 0,
+        },
+        _ => NetPlan {
+            drop_request_per_mille: 30,
+            drop_response_per_mille: 30,
+            duplicate_per_mille: 60,
+            reset_per_mille: 20,
+        },
+    });
+
+    let mut steps = 0u64;
+    loop {
+        steps += 1;
+        if steps > MAX_STEPS {
+            return Err(format!(
+                "{schedule} seed {seed}: no convergence after {MAX_STEPS} steps"
+            ));
+        }
+        let t = steps * STEP_MS;
+        now.store(t, Ordering::Relaxed);
+
+        if schedule == NetSchedule::FlappingWorker {
+            // Die, rejoin, die again — each rejoin must find the
+            // breaker's failure history intact, not laundered.
+            match t {
+                100 | 1800 => w2.crash(),
+                1000 | 2600 => w2.restart(),
+                _ => {}
+            }
+        }
+
+        // Clients (re)try their submissions, honoring shed hints.
+        for submission in &mut submissions {
+            if submission.id.is_some() || t < submission.retry_at {
+                continue;
+            }
+            let mut client = SubmitClient::new(net.endpoint("client"));
+            client.retry_backoff = std::time::Duration::ZERO;
+            client.max_retries = 8;
+            client.idem_key = Some(submission.idem.clone());
+            let mut query = format!("tenant={}", submission.tenant);
+            if let Some(ms) = submission.deadline_ms {
+                query.push_str(&format!("&job_deadline_ms={ms}"));
+            }
+            match client.submit("coord", submission.source, &query) {
+                Ok(outcome) => {
+                    submission.id = Some(
+                        outcome
+                            .id
+                            .strip_prefix("g-")
+                            .and_then(|n| n.parse::<u64>().ok())
+                            .ok_or_else(|| format!("unexpected job id {}", outcome.id))?,
+                    );
+                }
+                Err(ClientError::Retryable { retry_after_ms, .. }) => {
+                    // Shed (or transient network trouble): come back at
+                    // the hinted time, next step at the earliest.
+                    submission.retry_at = t + retry_after_ms.unwrap_or(STEP_MS).max(STEP_MS);
+                }
+                Err(fatal) => {
+                    return Err(format!("{schedule} seed {seed}: submit failed: {fatal}"))
+                }
+            }
+        }
+
+        coordinator.tick(t);
+        w1.run_pending();
+        w2.run_pending();
+
+        if submissions.iter().all(|s| s.id.is_some()) && coordinator.all_done() {
+            break;
+        }
+    }
+    net.set_plan(NetPlan::default());
+
+    if schedule == NetSchedule::Straggler {
+        // Keep the clock moving until the straggler finally finishes
+        // and pushes its long-superseded result into the fence.
+        let mut extra = 0u64;
+        while w1.discarded() + w2.discarded() == 0 {
+            extra += 1;
+            if extra > 400 {
+                return Err(format!(
+                    "{schedule} seed {seed}: straggler's late result never surfaced"
+                ));
+            }
+            steps += 1;
+            let t = steps * STEP_MS;
+            now.store(t, Ordering::Relaxed);
+            coordinator.tick(t);
+            w1.run_pending();
+            w2.run_pending();
+        }
+    }
+
+    // Invariant 1 and 2: exactly-once completion, byte-identical to the
+    // single-node baseline (deadline jobs excepted: their contract is
+    // an honest Inconclusive with partial statistics instead).
+    let stats = coordinator.stats();
+    for submission in &submissions {
+        let id = submission
+            .id
+            .ok_or_else(|| format!("{schedule} seed {seed}: a submission was never admitted"))?;
+        let completion = coordinator.completion(id);
+        if let Some(baseline) = submission.baseline {
+            let completion = completion
+                .ok_or_else(|| format!("{schedule} seed {seed}: g-{id} has no completion"))?;
+            let results = completion.results.as_deref().ok_or_else(|| {
+                format!("{schedule} seed {seed}: g-{id} completed without results")
+            })?;
+            let fp = results_fingerprint(results);
+            if fp != baseline {
+                return Err(format!(
+                    "{schedule} seed {seed}: g-{id} fingerprint {fp:#018x} differs from \
+                     baseline {baseline:#018x}"
+                ));
+            }
+        } else {
+            match completion {
+                Some(completion) => {
+                    if completion.verdict != Verdict::Inconclusive {
+                        return Err(format!(
+                            "{schedule} seed {seed}: deadline job g-{id} ended {:?}, \
+                             want Inconclusive",
+                            completion.verdict
+                        ));
+                    }
+                    let Some(results) = completion.results.as_deref() else {
+                        return Err(format!(
+                            "{schedule} seed {seed}: deadline job g-{id} carries no \
+                             partial statistics"
+                        ));
+                    };
+                    if !results.iter().any(|r| r.inconclusive) {
+                        return Err(format!(
+                            "{schedule} seed {seed}: deadline job g-{id} results claim \
+                             a conclusive verdict"
+                        ));
+                    }
+                }
+                // The coordinator's backstop expired it before any
+                // worker attempt could donate partial statistics.
+                None if stats.expired >= 1 => {}
+                None => {
+                    return Err(format!(
+                        "{schedule} seed {seed}: deadline job g-{id} vanished without \
+                         an expiry"
+                    ));
+                }
+            }
+        }
+    }
+    if stats.completed != submissions.len() as u64 {
+        return Err(format!(
+            "{schedule} seed {seed}: {} completions recorded for {} jobs",
+            stats.completed,
+            submissions.len()
+        ));
+    }
+
+    // Invariant 3: the pathology each schedule manufactures must be
+    // provably observed, not silently absorbed.
+    let worker_discards = w1.discarded() + w2.discarded();
+    match schedule {
+        NetSchedule::Straggler => {
+            if stats.hedges == 0 {
+                return Err(format!("{schedule} seed {seed}: no hedge was launched"));
+            }
+            if stats.fenced == 0 || worker_discards == 0 {
+                return Err(format!(
+                    "{schedule} seed {seed}: the straggler's late result was not fenced \
+                     (fenced={}, worker discards={worker_discards})",
+                    stats.fenced
+                ));
+            }
+        }
+        NetSchedule::OverloadBurst => {
+            if stats.shed == 0 {
+                return Err(format!("{schedule} seed {seed}: the burst was never shed"));
+            }
+        }
+        NetSchedule::FlappingWorker => {
+            if stats.breaker_trips == 0 {
+                return Err(format!(
+                    "{schedule} seed {seed}: the flapping worker never tripped its breaker"
+                ));
+            }
+        }
+        _ => unreachable!("only the overload schedules route here"),
+    }
+
+    Ok(NetChaosOutcome {
+        schedule,
+        seed,
+        jobs: submissions.len(),
+        steps,
+        migrations: stats.migrations,
+        fenced: stats.fenced,
+        snapshots_shipped: stats.snapshots_shipped,
+        worker_discards,
+        hedges: stats.hedges,
+        expired: stats.expired,
+        breaker_trips: stats.breaker_trips,
+        sheds: stats.shed,
     })
 }
 
@@ -790,6 +1285,38 @@ mod tests {
         let b = run_net_schedule(NetSchedule::WorkerCrashMidJob, 11).unwrap();
         assert_eq!(a.steps, b.steps);
         assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.fenced, b.fenced);
+    }
+
+    #[test]
+    fn straggler_schedule_hedges_and_fences_the_late_result() {
+        let outcome = run_net_schedule(NetSchedule::Straggler, 7).unwrap();
+        assert_eq!(outcome.jobs, 3);
+        assert!(outcome.hedges >= 1);
+        assert!(outcome.fenced >= 1);
+        assert!(outcome.worker_discards >= 1);
+    }
+
+    #[test]
+    fn overload_burst_schedule_sheds_and_expires_the_deadline_job() {
+        let outcome = run_net_schedule(NetSchedule::OverloadBurst, 7).unwrap();
+        assert_eq!(outcome.jobs, 5);
+        assert!(outcome.sheds >= 1);
+    }
+
+    #[test]
+    fn flapping_worker_schedule_trips_the_breaker() {
+        let outcome = run_net_schedule(NetSchedule::FlappingWorker, 7).unwrap();
+        assert_eq!(outcome.jobs, 6);
+        assert!(outcome.breaker_trips >= 1);
+    }
+
+    #[test]
+    fn overload_schedules_replay_identically() {
+        let a = run_net_schedule(NetSchedule::Straggler, 13).unwrap();
+        let b = run_net_schedule(NetSchedule::Straggler, 13).unwrap();
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.hedges, b.hedges);
         assert_eq!(a.fenced, b.fenced);
     }
 }

@@ -230,6 +230,7 @@ pub fn encode_queue(jobs: &[PersistedJob]) -> Vec<u8> {
         w.opt_u64(c.deadline.map(|d| d.as_millis() as u64));
         w.opt_u64(c.max_attempts.map(u64::from));
         w.str(&c.chaos.map(|ch| ch.render()).unwrap_or_default());
+        w.opt_u64(c.job_deadline.map(|d| d.as_millis() as u64));
     }
     let checksum = fnv64(&w.out);
     w.u64(checksum);
@@ -292,6 +293,7 @@ pub fn decode_queue(bytes: &[u8]) -> Result<Vec<PersistedJob>, String> {
         } else {
             Some(Chaos::parse(&chaos_spec)?)
         };
+        let job_deadline = r.opt_u64()?.map(Duration::from_millis);
         jobs.push(PersistedJob {
             id,
             attempts,
@@ -300,6 +302,7 @@ pub fn decode_queue(bytes: &[u8]) -> Result<Vec<PersistedJob>, String> {
                 JobConfig {
                     config,
                     deadline,
+                    job_deadline,
                     max_attempts,
                     chaos,
                 },
@@ -333,6 +336,7 @@ mod tests {
                             ..SearchConfig::default()
                         },
                         deadline: Some(Duration::from_millis(250)),
+                        job_deadline: Some(Duration::from_millis(4000)),
                         max_attempts: Some(5),
                         chaos: Some(Chaos::PanicOnFlush {
                             flush: 2,
@@ -374,6 +378,10 @@ mod tests {
         assert_eq!(
             decoded[0].request.config.deadline,
             Some(Duration::from_millis(250))
+        );
+        assert_eq!(
+            decoded[0].request.config.job_deadline,
+            Some(Duration::from_millis(4000))
         );
         assert_eq!(
             decoded[0].request.config.chaos,

@@ -560,6 +560,28 @@ impl Supervisor {
             .build()
     }
 
+    /// The load telemetry a cluster heartbeat carries: queue depth,
+    /// running attempts, the peak per-job memory estimate, and total
+    /// spill bytes — the coordinator's weighted-dispatch feed.
+    pub fn load_snapshot(&self) -> crate::membership::WorkerLoad {
+        let inner = self.lock();
+        let mut memory_bytes = 0u64;
+        let mut spill_bytes = 0u64;
+        for record in inner.jobs.values() {
+            if let Some(results) = &record.results {
+                memory_bytes = memory_bytes
+                    .max(results.iter().map(|r| r.memory_bytes).max().unwrap_or(0) as u64);
+                spill_bytes += results.iter().map(|r| r.spill_bytes).sum::<usize>() as u64;
+            }
+        }
+        crate::membership::WorkerLoad {
+            queue_depth: inner.queued_count as u64,
+            running: inner.active_attempts as u64,
+            memory_bytes,
+            spill_bytes,
+        }
+    }
+
     /// Blocks until the job reaches a terminal phase, up to `timeout`.
     pub fn wait_done(&self, id: JobId, timeout: Duration) -> Option<Verdict> {
         let deadline = Instant::now() + timeout;

@@ -30,6 +30,12 @@ pub struct Dispatch {
     pub epoch: u64,
     /// Attempts already consumed on other workers.
     pub attempts: u32,
+    /// The job's absolute end-to-end deadline on the coordinator's
+    /// clock, in milliseconds (`None` when the client set no deadline).
+    /// The worker re-derives the remaining window against its own clock
+    /// at acceptance and clamps the kernel's time budget again — the
+    /// envelope only ever shrinks across hops.
+    pub deadline_at_ms: Option<u64>,
     /// The submission (source + resolved options; `seed_snapshot` set
     /// when the coordinator ships a checkpoint with a migration).
     pub request: JobRequest,
@@ -40,6 +46,7 @@ pub fn encode_dispatch(dispatch: &Dispatch) -> Vec<u8> {
     let mut w = Writer::new(DISPATCH_MAGIC);
     w.u64(dispatch.job);
     w.u64(dispatch.epoch);
+    w.opt_u64(dispatch.deadline_at_ms);
     match &dispatch.request.seed_snapshot {
         Some(snapshot) => {
             w.u8(1);
@@ -69,6 +76,7 @@ pub fn decode_dispatch(bytes: &[u8]) -> Result<Dispatch, String> {
     let mut r = Reader::open(bytes, DISPATCH_MAGIC, "dispatch body")?;
     let job = r.u64()?;
     let epoch = r.u64()?;
+    let deadline_at_ms = r.opt_u64()?;
     let seed_snapshot = match r.u8()? {
         0 => None,
         1 => Some(r.blob()?),
@@ -93,6 +101,7 @@ pub fn decode_dispatch(bytes: &[u8]) -> Result<Dispatch, String> {
         job,
         epoch,
         attempts: persisted.attempts,
+        deadline_at_ms,
         request,
     })
 }
@@ -299,6 +308,7 @@ mod tests {
             job: 7,
             epoch: 3,
             attempts: 2,
+            deadline_at_ms: Some(90_000),
             request,
         }
     }
@@ -310,6 +320,7 @@ mod tests {
         assert_eq!(decoded.job, 7);
         assert_eq!(decoded.epoch, 3);
         assert_eq!(decoded.attempts, 2);
+        assert_eq!(decoded.deadline_at_ms, Some(90_000));
         assert_eq!(decoded.request.source, "system { global x = 0; }");
         assert_eq!(decoded.request.seed_snapshot, Some(vec![1, 2, 3, 4]));
     }

@@ -84,6 +84,7 @@ fn poll_completion_survives_real_tcp_byte_for_byte() {
         job: 1,
         epoch: 0,
         attempts: 0,
+        deadline_at_ms: None,
         request: JobRequest::new(SPEC.to_string(), JobConfig::default()),
     };
     let response = tcp

@@ -1,0 +1,361 @@
+//! Overload-control integration tests: the hedge fence under duplicated
+//! completions (property-based), the coordinator's `?wait=ms` long-poll
+//! over a [`SimNet`], and the client's deadline-capped,
+//! `Retry-After`-honoring wait loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use pnp_lang::{compile, PropertyResult, VerifyOptions};
+use pnp_net::{json_num, ClientError, SimNet, SubmitClient, Transport, WireRequest, WireResponse};
+use pnp_serve::cluster::{ClusterConfig, Coordinator};
+use pnp_serve::job::Verdict;
+use pnp_serve::membership::DetectorConfig;
+use pnp_serve::transport::{encode_completion, Completion};
+use proptest::prelude::*;
+
+const SPEC: &str = r#"
+system {
+    global handoff = 0;
+
+    component left {
+        var steps = 0;
+        state run, idle;
+        end idle;
+        from run if steps < 5 do steps = steps + 1 goto run;
+        from run if steps >= 5 do handoff = handoff + 1 goto idle;
+    }
+
+    property bounded: invariant handoff <= 1;
+}
+"#;
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_state_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pnp-overload-test-{tag}-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec_results() -> &'static Vec<PropertyResult> {
+    static RESULTS: OnceLock<Vec<PropertyResult>> = OnceLock::new();
+    RESULTS.get_or_init(|| {
+        compile(SPEC)
+            .expect("spec compiles")
+            .verify_all_with_options(&VerifyOptions::default())
+            .expect("spec verifies")
+    })
+}
+
+/// A coordinator over SimNet with two stub workers that accept every
+/// dispatch and never finish, driven to the point where job `g-1` is
+/// dispatched (primary epoch) and hedged (primary epoch + 1). Returns
+/// the primary's and the hedge's worker names with the epochs.
+struct HedgedCluster {
+    net: Arc<SimNet>,
+    coordinator: Arc<Coordinator>,
+    primary: (String, u64),
+    hedge: (String, u64),
+}
+
+fn hedged_cluster(seed: u64, tag: &str) -> HedgedCluster {
+    let net = SimNet::new(seed);
+    let now = Arc::new(AtomicU64::new(0));
+    let coordinator = Arc::new(Coordinator::new(
+        ClusterConfig {
+            // The stubs never heartbeat: keep the detector quiet so the
+            // hedge (not a migration) is the only second attempt.
+            detector: DetectorConfig {
+                heartbeat_ms: 1000,
+                suspect_after_ms: 1_000_000,
+                dead_after_ms: 2_000_000,
+            },
+            request_timeout_ms: 10_000,
+            state_dir: temp_state_dir(tag),
+            ..ClusterConfig::default()
+        },
+        Arc::new(net.endpoint("coord")),
+    ));
+    {
+        let coordinator = Arc::clone(&coordinator);
+        let now = Arc::clone(&now);
+        net.register(
+            "coord",
+            Arc::new(move |request: &WireRequest| {
+                coordinator.handle(request, now.load(Ordering::Relaxed))
+            }),
+        );
+    }
+    for name in ["wa", "wb"] {
+        net.register(
+            name,
+            Arc::new(|request: &WireRequest| match request.path() {
+                "/cluster/poll" => WireResponse::new(202, b"{\"status\":\"running\"}".to_vec()),
+                _ => WireResponse::new(202, b"{\"status\":\"accepted\"}".to_vec()),
+            }),
+        );
+        net.endpoint(name)
+            .request(
+                "coord",
+                &WireRequest::post(
+                    format!("/cluster/register?name={name}&peer={name}"),
+                    Vec::new(),
+                ),
+            )
+            .expect("stub registers");
+    }
+
+    let client = SubmitClient::new(net.endpoint("client"));
+    let id = client
+        .submit("coord", SPEC, "tenant=t")
+        .expect("submission admitted")
+        .id;
+    assert_eq!(id, "g-1");
+
+    now.store(100, Ordering::Relaxed);
+    coordinator.tick(100);
+    let primary_worker = coordinator.worker_of(1).expect("job dispatched");
+    let status = net
+        .endpoint("client")
+        .request("coord", &WireRequest::get("/jobs/g-1".to_string()))
+        .expect("status readable")
+        .text();
+    let primary_epoch = json_num(&status, "epoch").expect("epoch in status") as u64;
+
+    // With fewer than five duration samples the hedge threshold is half
+    // the request timeout (5000 ms); step past it.
+    now.store(5200, Ordering::Relaxed);
+    coordinator.tick(5200);
+    assert_eq!(coordinator.stats().hedges, 1, "hedge armed");
+    let hedge_worker = if primary_worker == "wa" { "wb" } else { "wa" };
+    HedgedCluster {
+        net,
+        coordinator,
+        primary: (primary_worker, primary_epoch),
+        // A hedge always runs under the job's top epoch + 1.
+        hedge: (hedge_worker.to_string(), primary_epoch + 1),
+    }
+}
+
+fn upload(net: &Arc<SimNet>, worker: &str, epoch: u64, attempts: u32) -> u16 {
+    let completion = Completion {
+        job: 1,
+        epoch,
+        worker: worker.to_string(),
+        verdict: Verdict::Passed,
+        attempts,
+        error: None,
+        results: Some(spec_results().clone()),
+    };
+    net.endpoint(worker)
+        .request(
+            "coord",
+            &WireRequest::post(
+                "/cluster/complete".to_string(),
+                encode_completion(&completion),
+            ),
+        )
+        .expect("upload delivered")
+        .status
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The fence under a hedged race: any interleaving of duplicated
+    /// primary-epoch, hedge-epoch, and stale-epoch completions adopts
+    /// exactly one result — every other upload answers `409`.
+    #[test]
+    fn hedged_duplicate_completions_adopt_exactly_one(
+        seed in 0u64..1024,
+        uploads in proptest::collection::vec(0usize..4, 0..8),
+        final_is_hedge in 0u8..2,
+    ) {
+        let cluster = hedged_cluster(seed, "prop");
+        let (primary_worker, primary_epoch) = &cluster.primary;
+        let (hedge_worker, hedge_epoch) = &cluster.hedge;
+
+        let mut statuses = Vec::new();
+        for (index, choice) in uploads.iter().enumerate() {
+            let (worker, epoch) = match choice {
+                0 => (primary_worker.as_str(), *primary_epoch),
+                1 => (hedge_worker.as_str(), *hedge_epoch),
+                // A worker from a long-superseded (or never-issued)
+                // attempt epoch.
+                _ => (primary_worker.as_str(), primary_epoch + 90),
+            };
+            statuses.push(upload(&cluster.net, worker, epoch, index as u32 + 1));
+        }
+        // At least one genuinely valid completion always lands.
+        if final_is_hedge == 1 {
+            statuses.push(upload(&cluster.net, hedge_worker, *hedge_epoch, 2));
+        } else {
+            statuses.push(upload(&cluster.net, primary_worker, *primary_epoch, 1));
+        }
+
+        let adopted = statuses.iter().filter(|s| **s == 200).count();
+        let fenced = statuses.iter().filter(|s| **s == 409).count();
+        prop_assert_eq!(adopted, 1, "exactly one completion adopted: {:?}", statuses);
+        prop_assert_eq!(fenced, statuses.len() - 1, "the rest fence: {:?}", statuses);
+
+        let stats = cluster.coordinator.stats();
+        prop_assert_eq!(stats.completed, 1);
+        prop_assert_eq!(stats.fenced as usize, fenced);
+        // The adopted completion is the first valid upload, verbatim.
+        let first_valid = uploads
+            .iter()
+            .find(|c| **c < 2)
+            .map_or_else(
+                || if final_is_hedge == 1 { *hedge_epoch } else { *primary_epoch },
+                |c| if *c == 1 { *hedge_epoch } else { *primary_epoch },
+            );
+        let completion = cluster.coordinator.completion(1).expect("completion retained");
+        prop_assert_eq!(completion.epoch, first_valid);
+    }
+}
+
+/// `GET /jobs/<id>?wait=ms` parks the client until the job settles: a
+/// completion pushed from another thread wakes the waiter well before
+/// the window elapses, and the response already carries the verdict.
+#[test]
+fn long_poll_wakes_on_completion_push() {
+    let cluster = hedged_cluster(99, "wait");
+    let (primary_worker, primary_epoch) = cluster.primary.clone();
+
+    let pusher = {
+        let net = Arc::clone(&cluster.net);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            upload(&net, &primary_worker, primary_epoch, 1)
+        })
+    };
+    let started = Instant::now();
+    let response = cluster
+        .net
+        .endpoint("client")
+        .request(
+            "coord",
+            &WireRequest::get("/jobs/g-1?wait=30000".to_string()),
+        )
+        .expect("long poll answers");
+    let elapsed = started.elapsed();
+    assert_eq!(pusher.join().expect("pusher finishes"), 200);
+    assert_eq!(response.status, 200);
+    let body = response.text();
+    assert!(
+        body.contains("\"phase\":\"done\""),
+        "settled status: {body}"
+    );
+    assert!(body.contains("\"verdict\""), "verdict included: {body}");
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "woken by the push, not the window: {elapsed:?}"
+    );
+}
+
+/// A long-poll for an unknown job answers immediately instead of
+/// consuming the full window.
+#[test]
+fn long_poll_unknown_job_is_immediate() {
+    let cluster = hedged_cluster(3, "unknown");
+    let started = Instant::now();
+    let response = cluster
+        .net
+        .endpoint("client")
+        .request(
+            "coord",
+            &WireRequest::get("/jobs/g-77?wait=30000".to_string()),
+        )
+        .expect("request answers");
+    assert_eq!(response.status, 404);
+    assert!(started.elapsed() < Duration::from_secs(5));
+}
+
+/// The client's wait loop honors an overloaded daemon's `Retry-After`
+/// hint between polls and still returns the result once the shed ends.
+#[test]
+fn wait_result_honors_retry_after_hint() {
+    let net = SimNet::new(11);
+    let polls = Arc::new(Mutex::new(0u32));
+    {
+        let polls = Arc::clone(&polls);
+        net.register(
+            "daemon",
+            Arc::new(move |request: &WireRequest| {
+                assert_eq!(request.path(), "/jobs/j-1/result");
+                let mut polls = polls.lock().unwrap();
+                *polls += 1;
+                if *polls <= 2 {
+                    let mut shed = WireResponse::new(
+                        503,
+                        b"{\"error\":\"overloaded\",\"reason\":\"queue_full\",\
+                          \"retry_after_ms\":20}"
+                            .to_vec(),
+                    );
+                    shed.retry_after = Some(1);
+                    shed
+                } else {
+                    WireResponse::new(200, b"{\"id\":\"j-1\",\"verdict\":\"passed\"}".to_vec())
+                }
+            }),
+        );
+    }
+    let mut client = SubmitClient::new(net.endpoint("client"));
+    client.retry_backoff = Duration::from_millis(5);
+    let body = client
+        .wait_result("daemon", "j-1", Some(Duration::from_secs(30)))
+        .expect("wait survives the shed")
+        .expect("result arrives");
+    assert!(body.contains("passed"));
+    assert_eq!(
+        *polls.lock().unwrap(),
+        3,
+        "one poll per shed, then the result"
+    );
+
+    // Without a deadline the shed surfaces instead of looping forever.
+    *polls.lock().unwrap() = 0;
+    let error = client.wait_result("daemon", "j-1", None);
+    assert!(
+        matches!(
+            &error,
+            Err(ClientError::Retryable {
+                retry_after_ms: Some(20),
+                ..
+            })
+        ),
+        "hint surfaced: {error:?}"
+    );
+}
+
+/// The wait loop's total budget is capped by the job deadline: a job
+/// that never settles yields `Ok(None)` — the honest INCONCLUSIVE
+/// signal — instead of hanging.
+#[test]
+fn wait_result_caps_total_time_at_the_deadline() {
+    let net = SimNet::new(12);
+    net.register(
+        "daemon",
+        Arc::new(|_request: &WireRequest| {
+            WireResponse::new(202, b"{\"status\":\"running\"}".to_vec())
+        }),
+    );
+    let mut client = SubmitClient::new(net.endpoint("client"));
+    client.retry_backoff = Duration::from_millis(10);
+    let started = Instant::now();
+    let outcome = client
+        .wait_result("daemon", "j-1", Some(Duration::from_millis(120)))
+        .expect("polling is healthy");
+    assert_eq!(outcome, None, "budget ran out with the job still running");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(100) && elapsed < Duration::from_secs(10),
+        "stopped at the deadline: {elapsed:?}"
+    );
+}

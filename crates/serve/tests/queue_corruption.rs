@@ -55,6 +55,7 @@ fn arb_job() -> impl Strategy<Value = PersistedJob> {
                                 ..SearchConfig::default()
                             },
                             deadline: (extras & 2 != 0).then(|| Duration::from_millis(250)),
+                            job_deadline: (extras & 4 != 0).then(|| Duration::from_millis(900)),
                             max_attempts: (extras == 3).then_some(5),
                             chaos: (extras == 1).then_some(Chaos::PanicOnFlush {
                                 flush: 2,
