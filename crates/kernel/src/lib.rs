@@ -114,7 +114,8 @@ pub use snapshot::{
 pub use state::{KernelError, Msg, State, StateView, Step};
 pub use trace::{EventKind, Trace, TraceEvent};
 pub use vfs::{
-    commit_replace, real_fs, tmp_sibling, DiskImage, FaultPlan, RealFs, SimFs, Vfs, VfsHandle,
+    commit_replace, real_fs, tmp_sibling, DiskImage, FaultPlan, FsFaultKind, FsFaultRecord,
+    FsInjection, RealFs, SimFs, Vfs, VfsHandle,
 };
 pub use visited::{
     bloom_omission_probability, BitstateVisited, CompactVisited, DiskExactVisited, ExactVisited,

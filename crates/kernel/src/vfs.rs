@@ -222,6 +222,86 @@ impl FaultPlan {
     }
 }
 
+/// A storage-fault kind, shared by the probabilistic [`FaultPlan`] and
+/// the exact, op-indexed [`FsInjection`] hooks the chaos-schedule
+/// search drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FsFaultKind {
+    /// The process dies at the syscall boundary; every later operation
+    /// fails until [`SimFs::reboot`].
+    Crash,
+    /// A `write` fails with `ENOSPC`, leaving a seeded torn prefix.
+    Enospc,
+    /// The operation fails with an I/O error.
+    Eio,
+}
+
+impl FsFaultKind {
+    /// The stable serialized name (schedule files, reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FsFaultKind::Crash => "crash",
+            FsFaultKind::Enospc => "enospc",
+            FsFaultKind::Eio => "eio",
+        }
+    }
+
+    /// Parses a serialized name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names.
+    pub fn parse(name: &str) -> Result<FsFaultKind, String> {
+        match name {
+            "crash" => Ok(FsFaultKind::Crash),
+            "enospc" => Ok(FsFaultKind::Enospc),
+            "eio" => Ok(FsFaultKind::Eio),
+            other => Err(format!(
+                "unknown storage fault '{other}' (want crash, enospc, or eio)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for FsFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One exact injection: fire `kind` on the `at_op`-th operation
+/// (1-based, counting every [`Vfs`] call on this [`SimFs`]).
+///
+/// Unlike the probabilistic [`FaultPlan`], injections survive
+/// [`SimFs::set_plan`] and [`SimFs::reboot`]: the op counter keeps
+/// running across reboots, so a schedule of injections describes one
+/// whole multi-crash run — which is what makes a failing schedule
+/// file replayable and shrinkable injection by injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsInjection {
+    /// The 1-based operation index the fault fires on.
+    pub at_op: u64,
+    /// What fires.
+    pub kind: FsFaultKind,
+}
+
+/// One fault that actually fired, for the run's injected-fault trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsFaultRecord {
+    /// The 1-based operation index it fired on.
+    pub op: u64,
+    /// What fired.
+    pub kind: FsFaultKind,
+    /// The path the failing operation targeted.
+    pub path: PathBuf,
+}
+
+impl fmt::Display for FsFaultRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fs {} @{} ({})", self.kind, self.op, self.path.display())
+    }
+}
+
 /// One simulated inode: the visible content plus the content guaranteed
 /// to survive a crash (set by `sync_file`).
 #[derive(Debug, Clone, Default)]
@@ -289,6 +369,14 @@ struct SimState {
     plan: FaultPlan,
     /// Operations remaining before a scheduled crash.
     ops_until_crash: Option<u64>,
+    /// Exact op-indexed injections still waiting to fire (unordered;
+    /// consumed as their op index is reached).
+    injections: Vec<FsInjection>,
+    /// An `Enospc` injection armed by `begin_op` for the operation in
+    /// flight; consumed by `write`, discarded by anything else.
+    force_enospc: bool,
+    /// Every fault that actually fired, in firing order.
+    trace: Vec<FsFaultRecord>,
     crashed: bool,
     ops: u64,
     crashes: u64,
@@ -323,11 +411,32 @@ impl SimFs {
                 rng: SplitMix64::seed_from_u64(seed),
                 plan: FaultPlan::default(),
                 ops_until_crash: None,
+                injections: Vec::new(),
+                force_enospc: false,
+                trace: Vec::new(),
                 crashed: false,
                 ops: 0,
                 crashes: 0,
             }),
         }
+    }
+
+    /// Installs the exact op-indexed injections for this run (replacing
+    /// any not yet fired). Unlike [`SimFs::set_plan`], these survive
+    /// reboots: the op counter is monotonic across the whole run.
+    pub fn set_injections(&self, injections: Vec<FsInjection>) {
+        self.lock().injections = injections;
+    }
+
+    /// Injections that have not fired yet.
+    pub fn pending_injections(&self) -> usize {
+        self.lock().injections.len()
+    }
+
+    /// Every fault that actually fired so far (plan-drawn and
+    /// injected), in firing order.
+    pub fn fault_trace(&self) -> Vec<FsFaultRecord> {
+        self.lock().trace.clone()
     }
 
     /// Replaces the fault plan (resets any scheduled crash countdown).
@@ -419,22 +528,64 @@ impl SimFs {
     }
 
     /// The common entry for every operation: counts it, trips a
-    /// scheduled crash, and draws the EIO fault when `faultable`.
-    fn begin_op(&self, s: &mut SimState, faultable: bool) -> io::Result<()> {
+    /// scheduled crash, fires any exact injection due at this op index,
+    /// and draws the EIO fault when `faultable`. `path` is what the
+    /// operation targets, recorded in the fault trace.
+    fn begin_op(&self, s: &mut SimState, faultable: bool, path: &Path) -> io::Result<()> {
+        // An Enospc injection armed for a previous non-write op is stale.
+        s.force_enospc = false;
         if s.crashed {
             return Err(Self::crash_error());
         }
         s.ops += 1;
+        let op = s.ops;
         if let Some(left) = s.ops_until_crash {
             if left == 0 {
+                s.trace.push(FsFaultRecord {
+                    op,
+                    kind: FsFaultKind::Crash,
+                    path: path.to_path_buf(),
+                });
                 s.crash(true);
                 return Err(Self::crash_error());
             }
             s.ops_until_crash = Some(left - 1);
         }
+        if let Some(index) = s.injections.iter().position(|i| i.at_op == op) {
+            let injection = s.injections.swap_remove(index);
+            match injection.kind {
+                FsFaultKind::Crash => {
+                    s.trace.push(FsFaultRecord {
+                        op,
+                        kind: FsFaultKind::Crash,
+                        path: path.to_path_buf(),
+                    });
+                    s.crash(true);
+                    return Err(Self::crash_error());
+                }
+                FsFaultKind::Eio if faultable => {
+                    s.trace.push(FsFaultRecord {
+                        op,
+                        kind: FsFaultKind::Eio,
+                        path: path.to_path_buf(),
+                    });
+                    return Err(io::Error::other("simfs: injected EIO"));
+                }
+                // An EIO aimed at an unfaultable op has nothing to fail.
+                FsFaultKind::Eio => {}
+                // Armed here, fired (with its torn prefix) by `write`;
+                // a non-write op simply cannot run out of disk.
+                FsFaultKind::Enospc => s.force_enospc = true,
+            }
+        }
         if faultable && s.plan.eio_per_mille > 0 {
             let draw = s.rng.next_u64() % 1000;
             if draw < u64::from(s.plan.eio_per_mille) {
+                s.trace.push(FsFaultRecord {
+                    op,
+                    kind: FsFaultKind::Eio,
+                    path: path.to_path_buf(),
+                });
                 return Err(io::Error::other("simfs: injected EIO"));
             }
         }
@@ -499,7 +650,7 @@ impl SimState {
 impl Vfs for SimFs {
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
         let mut s = self.lock();
-        self.begin_op(&mut s, true)?;
+        self.begin_op(&mut s, true, path)?;
         match s.visible.get(path) {
             Some(&inode) => Ok(s.inodes[inode].pending.clone()),
             None => Err(io::Error::new(
@@ -511,10 +662,19 @@ impl Vfs for SimFs {
 
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         let mut s = self.lock();
-        self.begin_op(&mut s, true)?;
+        self.begin_op(&mut s, true, path)?;
         s.require_parent(path)?;
-        let enospc = s.plan.enospc_per_mille > 0
-            && s.rng.next_u64() % 1000 < u64::from(s.plan.enospc_per_mille);
+        let enospc = std::mem::take(&mut s.force_enospc)
+            || (s.plan.enospc_per_mille > 0
+                && s.rng.next_u64() % 1000 < u64::from(s.plan.enospc_per_mille));
+        if enospc {
+            let op = s.ops;
+            s.trace.push(FsFaultRecord {
+                op,
+                kind: FsFaultKind::Enospc,
+                path: path.to_path_buf(),
+            });
+        }
         // A full disk leaves a torn prefix behind — the write is not
         // transactional.
         let written = if enospc {
@@ -553,7 +713,7 @@ impl Vfs for SimFs {
 
     fn sync_file(&self, path: &Path) -> io::Result<()> {
         let mut s = self.lock();
-        self.begin_op(&mut s, true)?;
+        self.begin_op(&mut s, true, path)?;
         match s.visible.get(path).copied() {
             Some(inode) => {
                 let content = s.inodes[inode].pending.clone();
@@ -569,7 +729,7 @@ impl Vfs for SimFs {
 
     fn sync_dir(&self, dir: &Path) -> io::Result<()> {
         let mut s = self.lock();
-        self.begin_op(&mut s, true)?;
+        self.begin_op(&mut s, true, dir)?;
         if !s.dir_exists(dir) {
             return Err(io::Error::new(
                 io::ErrorKind::NotFound,
@@ -593,7 +753,7 @@ impl Vfs for SimFs {
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
         let mut s = self.lock();
-        self.begin_op(&mut s, true)?;
+        self.begin_op(&mut s, true, from)?;
         s.require_parent(to)?;
         match s.visible.remove(from) {
             Some(inode) => {
@@ -613,7 +773,7 @@ impl Vfs for SimFs {
 
     fn remove(&self, path: &Path) -> io::Result<()> {
         let mut s = self.lock();
-        self.begin_op(&mut s, true)?;
+        self.begin_op(&mut s, true, path)?;
         match s.visible.remove(path) {
             Some(_) => {
                 s.pending_meta.push(MetaOp::Remove {
@@ -645,7 +805,7 @@ impl Vfs for SimFs {
 
     fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
         let mut s = self.lock();
-        self.begin_op(&mut s, true)?;
+        self.begin_op(&mut s, true, dir)?;
         if !s.dir_exists(dir) {
             return Err(io::Error::new(
                 io::ErrorKind::NotFound,
@@ -661,7 +821,7 @@ impl Vfs for SimFs {
 
     fn list_dirs(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
         let mut s = self.lock();
-        self.begin_op(&mut s, true)?;
+        self.begin_op(&mut s, true, dir)?;
         if !s.dir_exists(dir) {
             return Err(io::Error::new(
                 io::ErrorKind::NotFound,
@@ -680,7 +840,7 @@ impl Vfs for SimFs {
 
     fn exists(&self, path: &Path) -> bool {
         let mut s = self.lock();
-        if self.begin_op(&mut s, false).is_err() {
+        if self.begin_op(&mut s, false, path).is_err() {
             return false;
         }
         s.visible.contains_key(path)
@@ -688,7 +848,7 @@ impl Vfs for SimFs {
 
     fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
         let mut s = self.lock();
-        self.begin_op(&mut s, false)?;
+        self.begin_op(&mut s, false, dir)?;
         let mut ancestors: Vec<PathBuf> = dir.ancestors().map(Path::to_path_buf).collect();
         ancestors.reverse();
         for ancestor in ancestors {
@@ -917,6 +1077,91 @@ mod tests {
         fs.remove(&dir.join("scratch")).unwrap();
         assert!(fs.list_dirs(&dir).unwrap().is_empty());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exact_injections_fire_at_their_op_and_record_the_trace() {
+        let fs = setup();
+        // setup() performed 1 op (create_dir_all); the writes below are
+        // ops 2, 3, 4.
+        fs.set_injections(vec![
+            FsInjection {
+                at_op: 3,
+                kind: FsFaultKind::Enospc,
+            },
+            FsInjection {
+                at_op: 4,
+                kind: FsFaultKind::Crash,
+            },
+        ]);
+        fs.write(&p("/state/a"), b"fine").unwrap();
+        let err = fs.write(&p("/state/b"), b"torn-by-enospc").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        if let Ok(content) = fs.read(&p("/state/b")) {
+            assert!(b"torn-by-enospc".starts_with(content.as_slice()));
+        }
+        // That read crashed the process (op 4).
+        assert!(fs.crashed());
+        assert_eq!(fs.pending_injections(), 0);
+        let trace = fs.fault_trace();
+        assert_eq!(trace.len(), 2, "{trace:?}");
+        assert_eq!(
+            trace[0],
+            FsFaultRecord {
+                op: 3,
+                kind: FsFaultKind::Enospc,
+                path: p("/state/b"),
+            }
+        );
+        assert_eq!(trace[1].op, 4);
+        assert_eq!(trace[1].kind, FsFaultKind::Crash);
+    }
+
+    #[test]
+    fn injections_survive_reboot_and_plan_changes() {
+        let fs = setup();
+        fs.set_injections(vec![
+            FsInjection {
+                at_op: 2,
+                kind: FsFaultKind::Crash,
+            },
+            FsInjection {
+                at_op: 4,
+                kind: FsFaultKind::Eio,
+            },
+        ]);
+        assert!(fs.write(&p("/state/a"), b"x").is_err());
+        assert!(fs.crashed());
+        fs.reboot();
+        fs.set_plan(FaultPlan::default());
+        // The op counter kept running: op 3 succeeds, op 4 fails EIO.
+        fs.write(&p("/state/a"), b"y").unwrap();
+        let err = fs.write(&p("/state/a"), b"z").unwrap_err();
+        assert!(err.to_string().contains("EIO"), "{err}");
+        let kinds: Vec<FsFaultKind> = fs.fault_trace().into_iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, vec![FsFaultKind::Crash, FsFaultKind::Eio]);
+    }
+
+    #[test]
+    fn plan_drawn_faults_land_in_the_trace_deterministically() {
+        let run = |seed: u64| {
+            let fs = Arc::new(SimFs::new(seed));
+            fs.create_dir_all(&p("/state")).unwrap();
+            fs.set_plan(FaultPlan {
+                enospc_per_mille: 400,
+                eio_per_mille: 200,
+                ..FaultPlan::default()
+            });
+            for i in 0..32 {
+                let _ = fs.write(&p(&format!("/state/f{i}")), &[i as u8; 16]);
+                let _ = fs.sync_file(&p(&format!("/state/f{i}")));
+            }
+            fs.fault_trace()
+        };
+        let trace = run(9);
+        assert!(!trace.is_empty(), "faults must fire at these rates");
+        assert_eq!(trace, run(9), "same seed must record the same trace");
+        assert_ne!(trace, run(10), "different seeds must diverge");
     }
 
     #[test]

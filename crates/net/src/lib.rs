@@ -25,7 +25,7 @@ pub mod sim;
 
 pub use client::{ClientError, SubmitClient, SubmitOutcome};
 pub use real::RealTcp;
-pub use sim::{NetPlan, NetStats, SimEndpoint, SimNet};
+pub use sim::{NetFaultKind, NetFaultRecord, NetInjection, NetPlan, NetStats, SimEndpoint, SimNet};
 
 /// One request: an HTTP-shaped `(method, target, body)` triple. `target`
 /// carries the path and query string exactly as it would appear on the

@@ -46,6 +46,96 @@ pub struct NetPlan {
     pub reset_per_mille: u16,
 }
 
+/// A network-fault kind, shared by the probabilistic [`NetPlan`] and
+/// the exact, delivery-indexed [`NetInjection`] hooks the chaos-schedule
+/// search drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NetFaultKind {
+    /// The request vanishes before the peer sees it.
+    DropRequest,
+    /// The response vanishes after the handler ran.
+    DropResponse,
+    /// The handler runs twice for one request.
+    Duplicate,
+    /// The connection resets after the handler ran.
+    Reset,
+}
+
+impl NetFaultKind {
+    /// The stable serialized name (schedule files, reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NetFaultKind::DropRequest => "drop-request",
+            NetFaultKind::DropResponse => "drop-response",
+            NetFaultKind::Duplicate => "duplicate",
+            NetFaultKind::Reset => "reset",
+        }
+    }
+
+    /// Parses a serialized name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names.
+    pub fn parse(name: &str) -> Result<NetFaultKind, String> {
+        match name {
+            "drop-request" => Ok(NetFaultKind::DropRequest),
+            "drop-response" => Ok(NetFaultKind::DropResponse),
+            "duplicate" => Ok(NetFaultKind::Duplicate),
+            "reset" => Ok(NetFaultKind::Reset),
+            other => Err(format!(
+                "unknown network fault '{other}' (want drop-request, drop-response, \
+                 duplicate, or reset)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for NetFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One exact injection: fire `kind` on the `at_delivery`-th exchange
+/// attempted on this network (1-based, counting every
+/// [`Transport::request`] call through any endpoint).
+///
+/// Unlike the probabilistic [`NetPlan`], injections survive
+/// [`SimNet::set_plan`]: the delivery counter is monotonic for the
+/// network's whole life, so a schedule of injections describes one
+/// replayable run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetInjection {
+    /// The 1-based delivery index the fault fires on.
+    pub at_delivery: u64,
+    /// What fires.
+    pub kind: NetFaultKind,
+}
+
+/// One fault that actually fired, for the run's injected-fault trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetFaultRecord {
+    /// The 1-based delivery index it fired on.
+    pub delivery: u64,
+    /// What fired.
+    pub kind: NetFaultKind,
+    /// The requesting endpoint.
+    pub from: String,
+    /// The target peer.
+    pub to: String,
+}
+
+impl std::fmt::Display for NetFaultRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "net {} @{} ({} -> {})",
+            self.kind, self.delivery, self.from, self.to
+        )
+    }
+}
+
 /// Monotonic delivery counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
@@ -71,8 +161,24 @@ struct Inner {
     /// Directed cut links `(from, to)`.
     cuts: HashSet<(String, String)>,
     plan: NetPlan,
+    /// Exact delivery-indexed injections still waiting to fire.
+    injections: Vec<NetInjection>,
+    /// Every fault that actually fired, in firing order.
+    trace: Vec<NetFaultRecord>,
     rng: SplitMix64,
     stats: NetStats,
+}
+
+impl Inner {
+    /// Records a fired fault against the current delivery index.
+    fn record(&mut self, kind: NetFaultKind, from: &str, to: &str) {
+        self.trace.push(NetFaultRecord {
+            delivery: self.stats.requests,
+            kind,
+            from: from.to_string(),
+            to: to.to_string(),
+        });
+    }
 }
 
 /// The simulated network; shared behind an [`Arc`].
@@ -89,10 +195,30 @@ impl SimNet {
                 down: HashSet::new(),
                 cuts: HashSet::new(),
                 plan: NetPlan::default(),
+                injections: Vec::new(),
+                trace: Vec::new(),
                 rng: SplitMix64::seed_from_u64(seed ^ 0x7369_6d6e_6574_5f31),
                 stats: NetStats::default(),
             }),
         })
+    }
+
+    /// Installs the exact delivery-indexed injections (replacing any not
+    /// yet fired). Unlike [`SimNet::set_plan`], these are indexed
+    /// against the network's monotonic delivery counter.
+    pub fn set_injections(&self, injections: Vec<NetInjection>) {
+        self.lock().injections = injections;
+    }
+
+    /// Injections that have not fired yet.
+    pub fn pending_injections(&self) -> usize {
+        self.lock().injections.len()
+    }
+
+    /// Every fault that actually fired so far (plan-drawn and
+    /// injected), in firing order.
+    pub fn fault_trace(&self) -> Vec<NetFaultRecord> {
+        self.lock().trace.clone()
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
@@ -173,10 +299,23 @@ impl Transport for SimEndpoint {
     fn request(&self, peer: &str, request: &WireRequest) -> Result<WireResponse, NetError> {
         // Phase 1 (under the lock): route the request and draw the
         // request-side faults. The handler itself runs unlocked so peers
-        // may use the network from inside their handlers.
-        let (handler, duplicate) = {
+        // may use the network from inside their handlers. Plan draws
+        // consume the RNG stream *before* injections are consulted, so
+        // arming an injection never shifts the seeded background faults.
+        let (handler, duplicate, delivery, injected) = {
             let mut inner = self.net.lock();
             inner.stats.requests += 1;
+            let delivery = inner.stats.requests;
+            let mut injected = [false; 4];
+            let mut index = 0;
+            while index < inner.injections.len() {
+                if inner.injections[index].at_delivery == delivery {
+                    let injection = inner.injections.swap_remove(index);
+                    injected[injection.kind as usize] = true;
+                } else {
+                    index += 1;
+                }
+            }
             if inner.cuts.contains(&(self.from.clone(), peer.to_string())) {
                 inner.stats.partitioned += 1;
                 return Err(NetError::Timeout(format!(
@@ -193,24 +332,39 @@ impl Transport for SimEndpoint {
                 return Err(NetError::Refused(format!("peer '{peer}' is down")));
             }
             let drop_request = inner.plan.drop_request_per_mille;
-            if SimNet::draw(&mut inner, drop_request) {
+            if SimNet::draw(&mut inner, drop_request)
+                || injected[NetFaultKind::DropRequest as usize]
+            {
                 inner.stats.dropped_requests += 1;
+                inner.record(NetFaultKind::DropRequest, &self.from, peer);
                 return Err(NetError::Timeout(format!("request to {peer} dropped")));
             }
             let duplicate_per_mille = inner.plan.duplicate_per_mille;
-            let duplicate = SimNet::draw(&mut inner, duplicate_per_mille);
-            (handler, duplicate)
+            let duplicate = SimNet::draw(&mut inner, duplicate_per_mille)
+                || injected[NetFaultKind::Duplicate as usize];
+            (handler, duplicate, delivery, injected)
         };
 
         let mut response = handler(request);
         if duplicate {
-            self.net.lock().stats.duplicated += 1;
+            {
+                let mut inner = self.net.lock();
+                inner.stats.duplicated += 1;
+                inner.trace.push(NetFaultRecord {
+                    delivery,
+                    kind: NetFaultKind::Duplicate,
+                    from: self.from.clone(),
+                    to: peer.to_string(),
+                });
+            }
             response = handler(request);
         }
 
         // Phase 2: response-side faults. The handler has already run, so
         // every fault here leaves the caller unsure whether its request
-        // took effect.
+        // took effect. (Nested requests from inside the handler may have
+        // advanced the delivery counter, so this exchange's records pin
+        // the index captured in phase 1.)
         let mut inner = self.net.lock();
         if inner.down.contains(peer) {
             inner.stats.resets += 1;
@@ -226,13 +380,26 @@ impl Transport for SimEndpoint {
             )));
         }
         let drop_response = inner.plan.drop_response_per_mille;
-        if SimNet::draw(&mut inner, drop_response) {
+        if SimNet::draw(&mut inner, drop_response) || injected[NetFaultKind::DropResponse as usize]
+        {
             inner.stats.dropped_responses += 1;
+            inner.trace.push(NetFaultRecord {
+                delivery,
+                kind: NetFaultKind::DropResponse,
+                from: self.from.clone(),
+                to: peer.to_string(),
+            });
             return Err(NetError::Timeout(format!("response from {peer} dropped")));
         }
         let reset = inner.plan.reset_per_mille;
-        if SimNet::draw(&mut inner, reset) {
+        if SimNet::draw(&mut inner, reset) || injected[NetFaultKind::Reset as usize] {
             inner.stats.resets += 1;
+            inner.trace.push(NetFaultRecord {
+                delivery,
+                kind: NetFaultKind::Reset,
+                from: self.from.clone(),
+                to: peer.to_string(),
+            });
             return Err(NetError::Reset(format!("reset mid-response from {peer}")));
         }
         Ok(response)
@@ -345,5 +512,105 @@ mod tests {
         let outcomes = run(7);
         assert!(outcomes.iter().any(|ok| *ok));
         assert!(outcomes.iter().any(|ok| !ok));
+    }
+
+    #[test]
+    fn exact_injections_fire_at_their_delivery_and_record_the_trace() {
+        let net = SimNet::new(0);
+        let hits = echo_peer(&net, "w1");
+        net.set_injections(vec![
+            NetInjection {
+                at_delivery: 2,
+                kind: NetFaultKind::DropRequest,
+            },
+            NetInjection {
+                at_delivery: 4,
+                kind: NetFaultKind::Duplicate,
+            },
+            NetInjection {
+                at_delivery: 5,
+                kind: NetFaultKind::DropResponse,
+            },
+            NetInjection {
+                at_delivery: 6,
+                kind: NetFaultKind::Reset,
+            },
+        ]);
+        assert_eq!(net.pending_injections(), 4);
+        let endpoint = net.endpoint("coord");
+        let get = WireRequest::get("/x");
+
+        assert!(endpoint.request("w1", &get).is_ok(), "delivery 1 is clean");
+        assert!(matches!(
+            endpoint.request("w1", &get),
+            Err(NetError::Timeout(_))
+        ));
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "dropped request never ran");
+        assert!(endpoint.request("w1", &get).is_ok(), "delivery 3 is clean");
+        assert!(
+            endpoint.request("w1", &get).is_ok(),
+            "duplicate still answers"
+        );
+        assert_eq!(hits.load(Ordering::SeqCst), 4, "delivery 4 ran twice");
+        assert!(matches!(
+            endpoint.request("w1", &get),
+            Err(NetError::Timeout(_))
+        ));
+        assert_eq!(hits.load(Ordering::SeqCst), 5, "dropped response still ran");
+        assert!(matches!(
+            endpoint.request("w1", &get),
+            Err(NetError::Reset(_))
+        ));
+        assert_eq!(net.pending_injections(), 0);
+
+        let trace: Vec<String> = net.fault_trace().iter().map(|r| r.to_string()).collect();
+        assert_eq!(
+            trace,
+            vec![
+                "net drop-request @2 (coord -> w1)",
+                "net duplicate @4 (coord -> w1)",
+                "net drop-response @5 (coord -> w1)",
+                "net reset @6 (coord -> w1)",
+            ]
+        );
+    }
+
+    #[test]
+    fn injections_survive_plan_changes_and_index_the_whole_run() {
+        let net = SimNet::new(0);
+        echo_peer(&net, "w1");
+        net.set_injections(vec![NetInjection {
+            at_delivery: 3,
+            kind: NetFaultKind::DropRequest,
+        }]);
+        let endpoint = net.endpoint("c");
+        assert!(endpoint.request("w1", &WireRequest::get("/x")).is_ok());
+        net.set_plan(NetPlan::default());
+        assert!(endpoint.request("w1", &WireRequest::get("/x")).is_ok());
+        assert!(endpoint.request("w1", &WireRequest::get("/x")).is_err());
+        assert_eq!(net.pending_injections(), 0);
+    }
+
+    #[test]
+    fn plan_drawn_faults_land_in_the_trace_deterministically() {
+        let run = |seed: u64| -> Vec<String> {
+            let net = SimNet::new(seed);
+            echo_peer(&net, "w1");
+            net.set_plan(NetPlan {
+                drop_request_per_mille: 250,
+                drop_response_per_mille: 250,
+                reset_per_mille: 100,
+                duplicate_per_mille: 100,
+            });
+            let endpoint = net.endpoint("c");
+            for _ in 0..64 {
+                let _ = endpoint.request("w1", &WireRequest::get("/x"));
+            }
+            net.fault_trace().iter().map(|r| r.to_string()).collect()
+        };
+        let trace = run(11);
+        assert!(!trace.is_empty(), "heavy plan should fire something");
+        assert_eq!(trace, run(11), "same seed, same trace");
+        assert_ne!(trace, run(12), "different seed, different trace");
     }
 }

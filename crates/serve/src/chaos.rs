@@ -148,12 +148,17 @@ impl Schedule {
     ///
     /// # Errors
     ///
-    /// Returns the unknown name.
+    /// Returns a message listing the valid names.
     pub fn parse(name: &str) -> Result<Schedule, String> {
         Schedule::ALL
             .into_iter()
             .find(|s| s.as_str() == name)
-            .ok_or_else(|| format!("unknown chaos schedule '{name}'"))
+            .ok_or_else(|| {
+                format!(
+                    "unknown chaos schedule '{name}' (want one of: {})",
+                    Schedule::ALL.map(|s| s.as_str()).join(", ")
+                )
+            })
     }
 }
 
@@ -200,14 +205,20 @@ pub fn results_fingerprint(results: &[PropertyResult]) -> u64 {
 ///
 /// # Errors
 ///
-/// Returns a description of the first violated invariant: a storage
+/// Returns a description of the first violated invariant — a storage
 /// fault classified permanent, a torn queue file, or a run that failed
-/// to converge.
+/// to converge — followed by a one-line repro command.
 pub fn run_schedule(schedule: Schedule, seed: u64) -> Result<ChaosOutcome, String> {
-    match schedule {
+    let result = match schedule {
         Schedule::DrainCrash => drain_crash_roundtrip(seed),
         _ => verify_recovery_loop(schedule, seed),
-    }
+    };
+    result.map_err(|e| {
+        format!(
+            "{e}\n  repro: {}",
+            crate::chaosgen::matrix_repro(schedule.as_str(), seed)
+        )
+    })
 }
 
 /// The verify-checkpoint-crash-restart-resume loop: arms the schedule's
@@ -354,8 +365,9 @@ fn verify_recovery_loop(schedule: Schedule, seed: u64) -> Result<ChaosOutcome, S
     }
 }
 
-/// Two sample queues with distinct job sets for the drain schedule.
-fn sample_queues() -> (Vec<PersistedJob>, Vec<PersistedJob>) {
+/// Two sample queues with distinct job sets for the drain schedule (and
+/// the generated queue arena in [`crate::chaosgen`]).
+pub(crate) fn sample_queues() -> (Vec<PersistedJob>, Vec<PersistedJob>) {
     let job = |id: u64, source: &str| PersistedJob {
         id,
         attempts: 0,

@@ -1,0 +1,1715 @@
+//! Randomized fault-schedule search with deterministic replay and
+//! automatic shrinking — the generator that upgrades the hand-written
+//! chaos matrices ([`crate::chaos`], [`crate::netchaos`]) from
+//! "replays known bugs" to "hunts unknown ones".
+//!
+//! A [`FaultSchedule`] is a small, serializable text file: an arena, a
+//! seed, and a list of *exact* injections — storage faults at precise
+//! [`SimFs`] operation indices, network faults at precise
+//! [`pnp_net::SimNet`] delivery indices, and worker crash/restart
+//! events at precise virtual-time steps. Because both fault counters
+//! are monotonic for the life of a run (they keep counting across
+//! reboots), one schedule file describes one whole multi-crash run,
+//! bit for bit.
+//!
+//! The pipeline:
+//!
+//! 1. [`generate`] derives a schedule from a single [`SplitMix64`] seed
+//!    and an intensity [`Profile`].
+//! 2. [`run_generated`] drives it through the matching harness arena
+//!    and checks the full invariant oracle (see [`ORACLES`]). A failure
+//!    carries a stable oracle name — the failure's *identity* — plus
+//!    the trace of every fault that actually fired.
+//! 3. On failure, [`shrink_schedule`] runs a ddmin-style shrinker
+//!    ([`shrink_with`]) that deletes and coarsens injections while the
+//!    same oracle keeps failing, down to a 1-minimal schedule: removing
+//!    any single remaining injection makes the run pass or changes the
+//!    failure.
+//! 4. The minimized schedule is written to a file that [`replay`] (and
+//!    the committed `chaos-corpus/` CI step) re-runs deterministically.
+//!
+//! [`search`] ties it together: a bounded seeded loop of
+//! generate → run → shrink, used by the `chaos_search` bench binary's
+//! `search` subcommand and the nightly CI job. To prove the detector
+//! end to end, a schedule file may also arm a [`BugPlant`] — a known
+//! historical bug re-introduced at runtime — and declare the oracle it
+//! `expect`s to fail; such a file replays green exactly while the
+//! search still catches the planted bug.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pnp_kernel::{
+    commit_replace, load_latest_snapshot, tmp_sibling, BudgetKind, FailureClass, FsFaultKind,
+    FsInjection, JobOutcome, SearchConfig, SimFs, SplitMix64, Vfs, VfsHandle,
+};
+use pnp_lang::{compile, VerifyOptions};
+use pnp_net::{ClientError, NetFaultKind, NetInjection, SimNet, SubmitClient};
+
+use crate::chaos::{results_fingerprint, sample_queues, CHAOS_SPEC, CHECKPOINT_EVERY};
+use crate::netchaos::{
+    baseline_fingerprint, make_coordinator, migration_cluster_config, SimWorker, SMALL_SPEC,
+    STEP_MS,
+};
+use crate::queue::{decode_queue, encode_queue};
+
+/// Every invariant oracle a generated run checks, with the stable name
+/// a [`GenFailure`] carries. The name is the failure's identity: the
+/// shrinker only keeps deletions that preserve it, and a corpus file's
+/// `expect` directive names the oracle it must keep tripping.
+pub const ORACLES: [(&str, &str); 12] = [
+    (
+        "fingerprint-divergence",
+        "a recovered/adopted result set is not byte-identical to the fault-free baseline",
+    ),
+    (
+        "dishonest-stop",
+        "a faulted attempt stopped on a budget other than an honest memory trip",
+    ),
+    (
+        "misclassified-error",
+        "a storage fault surfaced as anything but a transient, retryable failure",
+    ),
+    (
+        "no-convergence",
+        "the run did not converge within the attempt/step ceiling",
+    ),
+    (
+        "torn-queue",
+        "the persisted queue no longer decodes after a crash",
+    ),
+    (
+        "queue-content",
+        "the recovered queue is neither the complete old nor the complete new job set",
+    ),
+    (
+        "lost-commit",
+        "a commit reported success but the old content came back after a crash",
+    ),
+    (
+        "queue-lost",
+        "the queue file vanished entirely (old copy lost)",
+    ),
+    ("lost-job", "a submitted job has no completion"),
+    ("missing-results", "a completion carries no result payload"),
+    (
+        "completion-count",
+        "completions recorded != jobs submitted (exactly-once broken)",
+    ),
+    (
+        "submit-failed",
+        "a submission failed fatally through the retrying client",
+    ),
+];
+
+/// The setup-error oracle: the harness itself could not run (a spec
+/// that does not compile, an injection aimed at a target the arena does
+/// not have). Deterministic, so a search surfaces it loudly on
+/// iteration one rather than masking it as a pass.
+pub const HARNESS_ORACLE: &str = "harness-setup";
+
+/// Which harness a schedule drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arena {
+    /// The checkpointed verify-crash-resume loop on a seeded [`SimFs`]
+    /// (the generated analogue of the `checkpoint-crash`/`enospc`
+    /// schedules).
+    Storage,
+    /// The same loop forced out of core: tiny spill budget, visited
+    /// partitions and frontier chunks on the faulty simulated disk.
+    StorageSpill,
+    /// The `queue.pnpq` commit/recover cycle (the generated analogue of
+    /// `drain-crash`), where the all-or-nothing promise lives.
+    Queue,
+    /// The virtual-time cluster: a real coordinator, two simulated
+    /// workers with durable disks, and a seeded [`SimNet`] — network,
+    /// storage, crash, and timing faults combined in one run.
+    Cluster,
+}
+
+impl Arena {
+    /// Every arena, in matrix order.
+    pub const ALL: [Arena; 4] = [
+        Arena::Storage,
+        Arena::StorageSpill,
+        Arena::Queue,
+        Arena::Cluster,
+    ];
+
+    /// The stable serialized name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Arena::Storage => "storage",
+            Arena::StorageSpill => "storage-spill",
+            Arena::Queue => "queue",
+            Arena::Cluster => "cluster",
+        }
+    }
+
+    /// Parses a serialized name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names.
+    pub fn parse(name: &str) -> Result<Arena, String> {
+        Arena::ALL
+            .into_iter()
+            .find(|a| a.as_str() == name)
+            .ok_or_else(|| {
+                format!(
+                    "unknown arena '{name}' (want one of: {})",
+                    Arena::ALL.map(|a| a.as_str()).join(", ")
+                )
+            })
+    }
+}
+
+impl fmt::Display for Arena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How hard [`generate`] leans on a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// 1–3 injections: single-fault scenarios.
+    Light,
+    /// 3–8 injections: the default search intensity.
+    Medium,
+    /// 8–16 injections: compound multi-crash runs.
+    Heavy,
+}
+
+impl Profile {
+    /// Every profile.
+    pub const ALL: [Profile; 3] = [Profile::Light, Profile::Medium, Profile::Heavy];
+
+    /// The stable serialized name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Profile::Light => "light",
+            Profile::Medium => "medium",
+            Profile::Heavy => "heavy",
+        }
+    }
+
+    /// Parses a serialized name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names.
+    pub fn parse(name: &str) -> Result<Profile, String> {
+        Profile::ALL
+            .into_iter()
+            .find(|p| p.as_str() == name)
+            .ok_or_else(|| {
+                format!(
+                    "unknown profile '{name}' (want one of: {})",
+                    Profile::ALL.map(|p| p.as_str()).join(", ")
+                )
+            })
+    }
+
+    /// Inclusive injection-count range.
+    fn injection_range(self) -> (usize, usize) {
+        match self {
+            Profile::Light => (1, 3),
+            Profile::Medium => (3, 8),
+            Profile::Heavy => (8, 16),
+        }
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What a storage injection or worker event aims at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Target {
+    /// The single simulated disk of the storage/queue arenas.
+    Main,
+    /// Cluster worker `w1` (its disk, or its process for worker events).
+    W1,
+    /// Cluster worker `w2`.
+    W2,
+}
+
+impl Target {
+    /// The stable serialized name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Target::Main => "main",
+            Target::W1 => "w1",
+            Target::W2 => "w2",
+        }
+    }
+
+    /// Parses a serialized name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names.
+    pub fn parse(name: &str) -> Result<Target, String> {
+        match name {
+            "main" => Ok(Target::Main),
+            "w1" => Ok(Target::W1),
+            "w2" => Ok(Target::W2),
+            other => Err(format!(
+                "unknown injection target '{other}' (want main, w1, or w2)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A timed worker-process event (cluster arena only): the timing-fault
+/// axis of the schedule space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WorkerEvent {
+    /// Kill the worker process: unreachable, memory wiped, disk kept.
+    Crash,
+    /// Boot it back up (no-op when it is not down).
+    Restart,
+}
+
+impl WorkerEvent {
+    /// The stable serialized name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WorkerEvent::Crash => "crash",
+            WorkerEvent::Restart => "restart",
+        }
+    }
+}
+
+impl fmt::Display for WorkerEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One exact injection of a [`FaultSchedule`]. Serialized one per line:
+///
+/// ```text
+/// fs main crash @117
+/// net drop-response @12
+/// worker w1 crash @5
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// A storage fault on the `at_op`-th [`Vfs`] operation of the
+    /// target's [`SimFs`] (1-based, monotonic across reboots).
+    Fs {
+        /// Whose disk.
+        target: Target,
+        /// What fires.
+        kind: FsFaultKind,
+        /// The 1-based operation index.
+        at_op: u64,
+    },
+    /// A network fault on the `at_delivery`-th exchange attempted on
+    /// the run's [`SimNet`] (1-based, any endpoint).
+    Net {
+        /// What fires.
+        kind: NetFaultKind,
+        /// The 1-based delivery index.
+        at_delivery: u64,
+    },
+    /// A worker-process event at the `at_step`-th virtual harness step.
+    Worker {
+        /// Which worker.
+        target: Target,
+        /// Crash or restart.
+        event: WorkerEvent,
+        /// The 1-based virtual step.
+        at_step: u64,
+    },
+}
+
+impl Injection {
+    /// The injection's index (op, delivery, or step) — the value the
+    /// shrinker coarsens.
+    pub fn at(self) -> u64 {
+        match self {
+            Injection::Fs { at_op, .. } => at_op,
+            Injection::Net { at_delivery, .. } => at_delivery,
+            Injection::Worker { at_step, .. } => at_step,
+        }
+    }
+
+    /// The same injection re-aimed at index `at`.
+    pub fn with_at(self, at: u64) -> Injection {
+        match self {
+            Injection::Fs { target, kind, .. } => Injection::Fs {
+                target,
+                kind,
+                at_op: at,
+            },
+            Injection::Net { kind, .. } => Injection::Net {
+                kind,
+                at_delivery: at,
+            },
+            Injection::Worker { target, event, .. } => Injection::Worker {
+                target,
+                event,
+                at_step: at,
+            },
+        }
+    }
+
+    /// Canonical ordering key, so generated and shrunk schedules encode
+    /// byte-identically regardless of construction order.
+    fn sort_key(self) -> (u8, u64, u8, u8) {
+        match self {
+            Injection::Fs {
+                target,
+                kind,
+                at_op,
+            } => (0, at_op, target as u8, kind as u8),
+            Injection::Net { kind, at_delivery } => (1, at_delivery, 0, kind as u8),
+            Injection::Worker {
+                target,
+                event,
+                at_step,
+            } => (2, at_step, target as u8, event as u8),
+        }
+    }
+
+    /// Parses one serialized injection line (already split on
+    /// whitespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed part.
+    fn parse_tokens(tokens: &[&str]) -> Result<Injection, String> {
+        let at = |token: &str| -> Result<u64, String> {
+            let digits = token
+                .strip_prefix('@')
+                .ok_or_else(|| format!("expected an '@index', got '{token}'"))?;
+            let value: u64 = digits
+                .parse()
+                .map_err(|_| format!("bad index '{token}' (want '@N')"))?;
+            if value == 0 {
+                return Err("indices are 1-based: '@0' never fires".to_string());
+            }
+            Ok(value)
+        };
+        match tokens {
+            ["fs", target, kind, index] => Ok(Injection::Fs {
+                target: Target::parse(target)?,
+                kind: FsFaultKind::parse(kind)?,
+                at_op: at(index)?,
+            }),
+            ["net", kind, index] => Ok(Injection::Net {
+                kind: NetFaultKind::parse(kind)?,
+                at_delivery: at(index)?,
+            }),
+            ["worker", target, event, index] => Ok(Injection::Worker {
+                target: Target::parse(target)?,
+                event: match *event {
+                    "crash" => WorkerEvent::Crash,
+                    "restart" => WorkerEvent::Restart,
+                    other => {
+                        return Err(format!(
+                            "unknown worker event '{other}' (want crash or restart)"
+                        ))
+                    }
+                },
+                at_step: at(index)?,
+            }),
+            _ => Err(format!(
+                "unrecognized injection '{}' (want 'fs <target> <kind> @N', \
+                 'net <kind> @N', or 'worker <target> crash|restart @N')",
+                tokens.join(" ")
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Injection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Injection::Fs {
+                target,
+                kind,
+                at_op,
+            } => write!(f, "fs {target} {kind} @{at_op}"),
+            Injection::Net { kind, at_delivery } => write!(f, "net {kind} @{at_delivery}"),
+            Injection::Worker {
+                target,
+                event,
+                at_step,
+            } => write!(f, "worker {target} {event} @{at_step}"),
+        }
+    }
+}
+
+/// A known historical bug a schedule can re-introduce at runtime, to
+/// prove (in tests, CI, and the committed corpus) that the search and
+/// its oracles still catch it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BugPlant {
+    /// No plant: the shipped code runs as-is.
+    #[default]
+    None,
+    /// The pre-PR-5 queue-commit bug: write the `.tmp` sibling and
+    /// rename it over `queue.pnpq` with *no* `sync_file`/`sync_dir`. A
+    /// crash after the "successful" commit can then expose a torn or
+    /// stale queue — exactly what [`commit_replace`] exists to prevent.
+    UnsyncedQueueCommit,
+}
+
+impl BugPlant {
+    /// The stable serialized name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BugPlant::None => "none",
+            BugPlant::UnsyncedQueueCommit => "unsynced-queue-commit",
+        }
+    }
+
+    /// Parses a serialized name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names.
+    pub fn parse(name: &str) -> Result<BugPlant, String> {
+        match name {
+            "none" => Ok(BugPlant::None),
+            "unsynced-queue-commit" => Ok(BugPlant::UnsyncedQueueCommit),
+            other => Err(format!(
+                "unknown bug plant '{other}' (want none or unsynced-queue-commit)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for BugPlant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A complete, replayable fault schedule: everything [`run_generated`]
+/// needs to reproduce a run bit for bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// Which harness to drive.
+    pub arena: Arena,
+    /// The seed for every RNG the run touches (SimFs tear offsets,
+    /// SimNet streams, worker disks).
+    pub seed: u64,
+    /// The intensity the schedule was generated at (informational; the
+    /// injections below are what replays).
+    pub profile: Option<Profile>,
+    /// A re-introduced historical bug, for detector self-tests.
+    pub plant: BugPlant,
+    /// When set, replay *expects* the run to fail with this oracle:
+    /// the file guards a detection, and a pass means the detector
+    /// regressed.
+    pub expect: Option<String>,
+    /// The exact injections, canonically ordered.
+    pub injections: Vec<Injection>,
+}
+
+impl FaultSchedule {
+    /// Serializes the schedule to its line-based text form.
+    pub fn encode(&self) -> String {
+        let mut out = String::from("# pnp fault schedule v1\n");
+        out.push_str(&format!("arena {}\n", self.arena));
+        out.push_str(&format!("seed {}\n", self.seed));
+        if let Some(profile) = self.profile {
+            out.push_str(&format!("profile {profile}\n"));
+        }
+        if self.plant != BugPlant::None {
+            out.push_str(&format!("plant {}\n", self.plant));
+        }
+        if let Some(oracle) = &self.expect {
+            out.push_str(&format!("expect {oracle}\n"));
+        }
+        for injection in &self.injections {
+            out.push_str(&format!("{injection}\n"));
+        }
+        out
+    }
+
+    /// Parses the text form produced by [`FaultSchedule::encode`].
+    /// Blank lines and `#` comments are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line (with its line number) or a
+    /// missing required directive (`arena`, `seed`).
+    pub fn parse(text: &str) -> Result<FaultSchedule, String> {
+        let mut arena = None;
+        let mut seed = None;
+        let mut profile = None;
+        let mut plant = BugPlant::None;
+        let mut expect = None;
+        let mut injections = Vec::new();
+        for (index, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let at_line = |e: String| format!("line {}: {e}", index + 1);
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            match tokens.as_slice() {
+                ["arena", name] => arena = Some(Arena::parse(name).map_err(at_line)?),
+                ["seed", value] => {
+                    seed = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| at_line(format!("bad seed '{value}'")))?,
+                    )
+                }
+                ["profile", name] => profile = Some(Profile::parse(name).map_err(at_line)?),
+                ["plant", name] => plant = BugPlant::parse(name).map_err(at_line)?,
+                ["expect", oracle] => {
+                    if !ORACLES.iter().any(|(name, _)| name == oracle) {
+                        return Err(at_line(format!(
+                            "unknown oracle '{oracle}' (want one of: {})",
+                            ORACLES.map(|(name, _)| name).join(", ")
+                        )));
+                    }
+                    expect = Some((*oracle).to_string());
+                }
+                _ => injections.push(Injection::parse_tokens(&tokens).map_err(at_line)?),
+            }
+        }
+        let mut schedule = FaultSchedule {
+            arena: arena.ok_or("missing 'arena <name>' directive")?,
+            seed: seed.ok_or("missing 'seed <n>' directive")?,
+            profile,
+            plant,
+            expect,
+            injections,
+        };
+        schedule.canonicalize();
+        Ok(schedule)
+    }
+
+    /// Sorts injections into canonical order and drops exact
+    /// duplicates, so equal schedules encode byte-identically.
+    fn canonicalize(&mut self) {
+        self.injections.sort_by_key(|i| i.sort_key());
+        self.injections.dedup();
+    }
+
+    /// The storage injections aimed at `target`, in [`SimFs`] form.
+    fn fs_injections(&self, target: Target) -> Vec<FsInjection> {
+        self.injections
+            .iter()
+            .filter_map(|i| match i {
+                Injection::Fs {
+                    target: t,
+                    kind,
+                    at_op,
+                } if *t == target => Some(FsInjection {
+                    at_op: *at_op,
+                    kind: *kind,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The network injections, in [`SimNet`] form.
+    fn net_injections(&self) -> Vec<NetInjection> {
+        self.injections
+            .iter()
+            .filter_map(|i| match i {
+                Injection::Net { kind, at_delivery } => Some(NetInjection {
+                    at_delivery: *at_delivery,
+                    kind: *kind,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The worker events, sorted by step.
+    fn worker_events(&self) -> Vec<(Target, WorkerEvent, u64)> {
+        let mut events: Vec<(Target, WorkerEvent, u64)> = self
+            .injections
+            .iter()
+            .filter_map(|i| match i {
+                Injection::Worker {
+                    target,
+                    event,
+                    at_step,
+                } => Some((*target, *event, *at_step)),
+                _ => None,
+            })
+            .collect();
+        events.sort_by_key(|&(target, event, step)| (step, target as u8, event as u8));
+        events
+    }
+}
+
+/// What a converged (invariant-clean) generated run observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenOutcome {
+    /// The arena that ran.
+    pub arena: Arena,
+    /// The seed it ran under.
+    pub seed: u64,
+    /// Attempts (storage/queue) or virtual steps (cluster) until
+    /// convergence.
+    pub attempts: u32,
+    /// Simulated machine reboots performed.
+    pub reboots: u32,
+    /// Every fault that actually fired, in firing order per source —
+    /// the injected-fault trace a report prints and the determinism
+    /// regression compares.
+    pub fired: Vec<String>,
+    /// One line of context for the report table.
+    pub detail: String,
+}
+
+/// One violated invariant: the stable oracle name (the failure's
+/// identity for shrinking and `expect` directives), the human message,
+/// and the trace of faults that fired on the failing run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenFailure {
+    /// Which oracle tripped (a name from [`ORACLES`] or
+    /// [`HARNESS_ORACLE`]).
+    pub oracle: &'static str,
+    /// What happened, with seeds and fingerprints.
+    pub message: String,
+    /// Every fault that actually fired before the failure.
+    pub fired: Vec<String>,
+}
+
+impl fmt::Display for GenFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.message)?;
+        for fault in &self.fired {
+            write!(f, "\n  fired: {fault}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The one-line repro command for a failing hand-written matrix cell —
+/// every [`crate::chaos::run_schedule`] / [`crate::netchaos::run_net_schedule`]
+/// failure message ends with it.
+pub fn matrix_repro(schedule: &str, seed: u64) -> String {
+    format!("cargo run --release -p pnp-bench --bin chaos_search -- matrix --schedule {schedule} --seed {seed}")
+}
+
+/// The one-line repro command for a schedule file.
+pub fn replay_repro(path: &str) -> String {
+    format!("cargo run --release -p pnp-bench --bin chaos_search -- replay {path}")
+}
+
+/// Derives a schedule from a single seed and an intensity profile. The
+/// same `(arena, seed, profile)` always yields the same schedule, byte
+/// for byte.
+pub fn generate(arena: Arena, seed: u64, profile: Profile) -> FaultSchedule {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x6368_6765_6e5f_7631);
+    let (lo, hi) = profile.injection_range();
+    let count = lo + rng.gen_index(hi - lo + 1);
+    let fs_kind = |rng: &mut SplitMix64| match rng.gen_index(4) {
+        0 | 1 => FsFaultKind::Crash,
+        2 => FsFaultKind::Enospc,
+        _ => FsFaultKind::Eio,
+    };
+    let mut injections = Vec::new();
+    for _ in 0..count {
+        match arena {
+            Arena::Storage => injections.push(Injection::Fs {
+                target: Target::Main,
+                kind: fs_kind(&mut rng),
+                at_op: 1 + rng.gen_index(400) as u64,
+            }),
+            // An out-of-core attempt does several times the syscalls of
+            // a checkpoint-only one: spread the window over spills,
+            // merges, and frontier chunk commits.
+            Arena::StorageSpill => injections.push(Injection::Fs {
+                target: Target::Main,
+                kind: fs_kind(&mut rng),
+                at_op: 1 + rng.gen_index(900) as u64,
+            }),
+            // A queue roundtrip is ~a dozen ops including retries.
+            Arena::Queue => injections.push(Injection::Fs {
+                target: Target::Main,
+                kind: fs_kind(&mut rng),
+                at_op: 1 + rng.gen_index(12) as u64,
+            }),
+            Arena::Cluster => match rng.gen_index(10) {
+                0..=4 => injections.push(Injection::Net {
+                    kind: match rng.gen_index(4) {
+                        0 => NetFaultKind::DropRequest,
+                        1 => NetFaultKind::DropResponse,
+                        2 => NetFaultKind::Duplicate,
+                        _ => NetFaultKind::Reset,
+                    },
+                    at_delivery: 1 + rng.gen_index(400) as u64,
+                }),
+                5 | 6 => injections.push(Injection::Fs {
+                    target: if rng.gen_index(2) == 0 {
+                        Target::W1
+                    } else {
+                        Target::W2
+                    },
+                    kind: fs_kind(&mut rng),
+                    at_op: 1 + rng.gen_index(120) as u64,
+                }),
+                7 | 8 => {
+                    // A crash is only interesting if the worker comes
+                    // back: pair it with a restart a few steps later.
+                    let target = if rng.gen_index(2) == 0 {
+                        Target::W1
+                    } else {
+                        Target::W2
+                    };
+                    let crash_at = 1 + rng.gen_index(60) as u64;
+                    injections.push(Injection::Worker {
+                        target,
+                        event: WorkerEvent::Crash,
+                        at_step: crash_at,
+                    });
+                    injections.push(Injection::Worker {
+                        target,
+                        event: WorkerEvent::Restart,
+                        at_step: crash_at + 3 + rng.gen_index(12) as u64,
+                    });
+                }
+                _ => injections.push(Injection::Worker {
+                    target: if rng.gen_index(2) == 0 {
+                        Target::W1
+                    } else {
+                        Target::W2
+                    },
+                    event: WorkerEvent::Restart,
+                    at_step: 1 + rng.gen_index(60) as u64,
+                }),
+            },
+        }
+    }
+    let mut schedule = FaultSchedule {
+        arena,
+        seed,
+        profile: Some(profile),
+        plant: BugPlant::None,
+        expect: None,
+        injections,
+    };
+    schedule.canonicalize();
+    schedule
+}
+
+/// Runs one schedule through its arena and checks the invariant
+/// oracle.
+///
+/// # Errors
+///
+/// Returns the first violated oracle as a [`GenFailure`] (including
+/// [`HARNESS_ORACLE`] for schedules the arena cannot run).
+pub fn run_generated(schedule: &FaultSchedule) -> Result<GenOutcome, GenFailure> {
+    validate(schedule)?;
+    match schedule.arena {
+        Arena::Storage => run_storage(schedule, false),
+        Arena::StorageSpill => run_storage(schedule, true),
+        Arena::Queue => run_queue(schedule),
+        Arena::Cluster => run_cluster(schedule),
+    }
+}
+
+/// Rejects injections the arena has no seam for, so a corpus file
+/// cannot silently test nothing.
+fn validate(schedule: &FaultSchedule) -> Result<(), GenFailure> {
+    let reject = |message: String| {
+        Err(GenFailure {
+            oracle: HARNESS_ORACLE,
+            message,
+            fired: Vec::new(),
+        })
+    };
+    for injection in &schedule.injections {
+        match (schedule.arena, injection) {
+            (Arena::Cluster, Injection::Fs { target, .. }) if *target == Target::Main => {
+                return reject(format!(
+                    "'{injection}': the cluster arena has no 'main' disk (aim at w1 or w2)"
+                ));
+            }
+            (Arena::Cluster, Injection::Worker { target, .. }) if *target == Target::Main => {
+                return reject(format!("'{injection}': 'main' is not a worker"));
+            }
+            (Arena::Cluster, _) => {}
+            (_, Injection::Fs { target, .. }) if *target != Target::Main => {
+                return reject(format!(
+                    "'{injection}': the {} arena only has the 'main' disk",
+                    schedule.arena
+                ));
+            }
+            (_, Injection::Net { .. } | Injection::Worker { .. }) => {
+                return reject(format!(
+                    "'{injection}': the {} arena has no network or workers",
+                    schedule.arena
+                ));
+            }
+            _ => {}
+        }
+    }
+    if schedule.plant == BugPlant::UnsyncedQueueCommit && schedule.arena != Arena::Queue {
+        return reject(format!(
+            "plant {} only applies to the queue arena",
+            schedule.plant
+        ));
+    }
+    Ok(())
+}
+
+fn harness(message: String) -> GenFailure {
+    GenFailure {
+        oracle: HARNESS_ORACLE,
+        message,
+        fired: Vec::new(),
+    }
+}
+
+/// Attempt ceiling for the generated storage arenas — generous against
+/// the at most 16 injected faults of a heavy profile.
+const MAX_GEN_ATTEMPTS: u32 = 80;
+
+/// Step ceiling for the generated cluster arena (virtual time:
+/// `MAX_GEN_STEPS * STEP_MS` ms). Wider than the hand-written
+/// schedules' ceiling because generated runs may stack several crashes
+/// and detector timeouts back to back.
+const MAX_GEN_STEPS: u64 = 900;
+
+/// The generated storage arena: the verify-checkpoint-crash-resume
+/// loop of [`crate::chaos`], driven by exact op-indexed injections
+/// instead of probabilistic plans.
+fn run_storage(schedule: &FaultSchedule, spill: bool) -> Result<GenOutcome, GenFailure> {
+    let seed = schedule.seed;
+    let spec =
+        compile(CHAOS_SPEC).map_err(|e| harness(format!("chaos spec does not compile: {e}")))?;
+    let baseline = spec
+        .verify_all()
+        .map_err(|e| harness(format!("baseline run failed: {e}")))?;
+    let baseline_fp = results_fingerprint(&baseline);
+
+    let fs = Arc::new(SimFs::new(seed));
+    fs.set_injections(schedule.fs_injections(Target::Main));
+    let fired =
+        |fs: &SimFs| -> Vec<String> { fs.fault_trace().iter().map(|r| r.to_string()).collect() };
+    let state = PathBuf::from("/state");
+    let mut reboots = 0u32;
+    for _ in 0..8 {
+        match fs.as_ref().create_dir_all(&state) {
+            Ok(()) => break,
+            Err(_) if fs.crashed() => {
+                fs.reboot();
+                reboots += 1;
+            }
+            Err(_) => {}
+        }
+    }
+    let vfs: VfsHandle = fs.clone();
+    let base = state.join("chaos.pnpsnap");
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        if attempts > MAX_GEN_ATTEMPTS {
+            return Err(GenFailure {
+                oracle: "no-convergence",
+                message: format!(
+                    "{} seed {seed}: no convergence after {MAX_GEN_ATTEMPTS} attempts",
+                    schedule.arena
+                ),
+                fired: fired(&fs),
+            });
+        }
+        let resume = load_latest_snapshot(&vfs, &base)
+            .ok()
+            .flatten()
+            .map(|(_, snapshot)| snapshot)
+            .filter(|s| s.matches_program(spec.system().program()));
+        let options = VerifyOptions {
+            checkpoint: Some((base.clone(), CHECKPOINT_EVERY)),
+            resume,
+            vfs: Some(vfs.clone()),
+            config: if spill {
+                SearchConfig {
+                    spill_at_bytes: Some(4 << 10),
+                    ..SearchConfig::default()
+                }
+            } else {
+                SearchConfig::default()
+            },
+            spill_dir: spill.then(|| state.join("spill")),
+            ..VerifyOptions::default()
+        };
+        match spec.verify_all_with_options(&options) {
+            Ok(results) => {
+                if let Some(stop) = results.iter().find_map(|r| r.stop) {
+                    if stop != BudgetKind::Memory {
+                        return Err(GenFailure {
+                            oracle: "dishonest-stop",
+                            message: format!(
+                                "{} seed {seed}: attempt stopped on {stop:?} \
+                                 (only a memory trip is an honest degradation here)",
+                                schedule.arena
+                            ),
+                            fired: fired(&fs),
+                        });
+                    }
+                    if fs.crashed() {
+                        fs.reboot();
+                        reboots += 1;
+                    }
+                    continue;
+                }
+                let fp = results_fingerprint(&results);
+                if fp != baseline_fp {
+                    return Err(GenFailure {
+                        oracle: "fingerprint-divergence",
+                        message: format!(
+                            "{} seed {seed}: recovered fingerprint {fp:#018x} differs from \
+                             baseline {baseline_fp:#018x}",
+                            schedule.arena
+                        ),
+                        fired: fired(&fs),
+                    });
+                }
+                return Ok(GenOutcome {
+                    arena: schedule.arena,
+                    seed,
+                    attempts,
+                    reboots,
+                    fired: fired(&fs),
+                    detail: format!(
+                        "{} states, fingerprint {:#018x}",
+                        results.first().map_or(0, |r| r.states),
+                        fp
+                    ),
+                });
+            }
+            Err(error) => {
+                match JobOutcome::classify_error(&error.0) {
+                    JobOutcome::Failed {
+                        class: FailureClass::Transient,
+                        ..
+                    } => {}
+                    other => {
+                        return Err(GenFailure {
+                            oracle: "misclassified-error",
+                            message: format!(
+                                "{} seed {seed}: storage fault classified {other:?} \
+                                 (must be transient): {error}",
+                                schedule.arena
+                            ),
+                            fired: fired(&fs),
+                        });
+                    }
+                }
+                if fs.crashed() {
+                    fs.reboot();
+                    reboots += 1;
+                }
+            }
+        }
+    }
+}
+
+/// The planted queue commit: stage and rename with no durability —
+/// byte-for-byte the pre-`commit_replace` bug.
+fn unsynced_commit(vfs: &dyn Vfs, path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = tmp_sibling(path);
+    vfs.write(&tmp, bytes)?;
+    vfs.rename(&tmp, path)
+}
+
+/// The generated queue arena: commit a known-good queue, commit its
+/// replacement under injections, and check the all-or-nothing promise
+/// on whatever a crash exposed.
+fn run_queue(schedule: &FaultSchedule) -> Result<GenOutcome, GenFailure> {
+    let seed = schedule.seed;
+    let fs = Arc::new(SimFs::new(seed));
+    fs.set_injections(schedule.fs_injections(Target::Main));
+    let fired =
+        |fs: &SimFs| -> Vec<String> { fs.fault_trace().iter().map(|r| r.to_string()).collect() };
+    let state = PathBuf::from("/state");
+    let path = state.join("queue.pnpq");
+    let (old_jobs, new_jobs) = sample_queues();
+    let old_bytes = encode_queue(&old_jobs);
+    let new_bytes = encode_queue(&new_jobs);
+    let mut reboots = 0u32;
+    let mut attempts = 0u32;
+    for _ in 0..8 {
+        match fs.as_ref().create_dir_all(&state) {
+            Ok(()) => break,
+            Err(_) if fs.crashed() => {
+                fs.reboot();
+                reboots += 1;
+            }
+            Err(_) => {}
+        }
+    }
+
+    // The old queue must land durably before the interesting commit; an
+    // injected fault here just costs a retry.
+    let mut old_committed = false;
+    for _ in 0..20 {
+        attempts += 1;
+        match commit_replace(fs.as_ref(), &path, &old_bytes) {
+            Ok(()) => {
+                old_committed = true;
+                break;
+            }
+            Err(_) if fs.crashed() => {
+                fs.reboot();
+                reboots += 1;
+            }
+            Err(_) => {}
+        }
+    }
+    if !old_committed {
+        return Err(GenFailure {
+            oracle: "no-convergence",
+            message: format!("queue seed {seed}: the old queue never committed in 20 attempts"),
+            fired: fired(&fs),
+        });
+    }
+
+    // The replacement commit — the crash story under test. A crash ends
+    // the attempt sequence: what the reboot exposed is what we judge.
+    let mut committed = false;
+    for _ in 0..20 {
+        attempts += 1;
+        let result = match schedule.plant {
+            BugPlant::None => commit_replace(fs.as_ref(), &path, &new_bytes),
+            BugPlant::UnsyncedQueueCommit => unsynced_commit(fs.as_ref(), &path, &new_bytes),
+        };
+        match result {
+            Ok(()) => {
+                committed = true;
+                break;
+            }
+            Err(_) if fs.crashed() => {
+                fs.reboot();
+                reboots += 1;
+                break;
+            }
+            Err(_) => {}
+        }
+    }
+
+    // A crash injection may still be pending past the commit: the read
+    // below can fire it, which is exactly the "power loss after the
+    // commit returned" case the plant gets wrong.
+    let mut bytes = None;
+    for _ in 0..10 {
+        match fs.as_ref().read(&path) {
+            Ok(content) => {
+                bytes = Some(content);
+                break;
+            }
+            Err(_) if fs.crashed() => {
+                fs.reboot();
+                reboots += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(GenFailure {
+                    oracle: "queue-lost",
+                    message: format!(
+                        "queue seed {seed}: queue.pnpq vanished after the crash (old copy lost)"
+                    ),
+                    fired: fired(&fs),
+                });
+            }
+            Err(_) => {}
+        }
+    }
+    let Some(bytes) = bytes else {
+        return Err(GenFailure {
+            oracle: "no-convergence",
+            message: format!("queue seed {seed}: the recovered queue never became readable"),
+            fired: fired(&fs),
+        });
+    };
+    let recovered = decode_queue(&bytes).map_err(|e| GenFailure {
+        oracle: "torn-queue",
+        message: format!("queue seed {seed}: torn queue after crash: {e}"),
+        fired: fired(&fs),
+    })?;
+    let ids: Vec<u64> = recovered.iter().map(|j| j.id).collect();
+    let old_ids: Vec<u64> = old_jobs.iter().map(|j| j.id).collect();
+    let new_ids: Vec<u64> = new_jobs.iter().map(|j| j.id).collect();
+    if ids != old_ids && ids != new_ids {
+        return Err(GenFailure {
+            oracle: "queue-content",
+            message: format!(
+                "queue seed {seed}: recovered job ids {ids:?} are neither the old {old_ids:?} \
+                 nor the new {new_ids:?}"
+            ),
+            fired: fired(&fs),
+        });
+    }
+    if committed && !fs.crashed() && ids == old_ids && reboots > 0 {
+        return Err(GenFailure {
+            oracle: "lost-commit",
+            message: format!(
+                "queue seed {seed}: the commit reported success but a later crash exposed \
+                 the old queue"
+            ),
+            fired: fired(&fs),
+        });
+    }
+    Ok(GenOutcome {
+        arena: Arena::Queue,
+        seed,
+        attempts,
+        reboots,
+        fired: fired(&fs),
+        detail: format!(
+            "recovered the {} queue after {reboots} reboot(s)",
+            if ids == new_ids { "new" } else { "old" }
+        ),
+    })
+}
+
+/// One planned cluster submission.
+struct ClusterSubmission {
+    source: &'static str,
+    tenant: &'static str,
+    baseline: u64,
+    idem: String,
+    id: Option<u64>,
+    retry_at: u64,
+}
+
+/// The generated cluster arena: a real coordinator and two simulated
+/// workers on virtual time, with exact network injections, exact
+/// storage injections on the worker disks, and timed worker
+/// crash/restart events — all four fault axes in one run.
+///
+/// A worker whose *disk* suffers an injected crash is treated as a dead
+/// machine: the harness kills the process, reboots the disk to its
+/// crash image, and boots the worker back up a few steps later — the
+/// cluster must migrate or resume its jobs without double-completion.
+fn run_cluster(schedule: &FaultSchedule) -> Result<GenOutcome, GenFailure> {
+    let seed = schedule.seed;
+    let fp_chaos = baseline_fingerprint(CHAOS_SPEC).map_err(harness)?;
+    let fp_small = baseline_fingerprint(SMALL_SPEC).map_err(harness)?;
+    let mut submissions: Vec<ClusterSubmission> = [
+        (CHAOS_SPEC, "a", fp_chaos),
+        (SMALL_SPEC, "b", fp_small),
+        (CHAOS_SPEC, "a", fp_chaos),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(index, (source, tenant, baseline))| ClusterSubmission {
+        source,
+        tenant,
+        baseline,
+        idem: format!("chaosgen-{seed}-{index}"),
+        id: None,
+        retry_at: 0,
+    })
+    .collect();
+
+    let net = SimNet::new(seed);
+    net.set_injections(schedule.net_injections());
+    let now = Arc::new(AtomicU64::new(0));
+    let coordinator_fs: Arc<SimFs> = Arc::new(SimFs::new(seed ^ 0x636f_6f72_645f_6673));
+    let coordinator_vfs: VfsHandle = coordinator_fs.clone();
+    let _ = coordinator_vfs.create_dir_all(&PathBuf::from("/coord"));
+    let coordinator = make_coordinator(&net, migration_cluster_config(coordinator_vfs), &now);
+    let w1 = SimWorker::new(&net, "w1", "coord", seed ^ 1, &now);
+    let w2 = SimWorker::new(&net, "w2", "coord", seed ^ 2, &now);
+    w1.sim_fs()
+        .set_injections(schedule.fs_injections(Target::W1));
+    w2.sim_fs()
+        .set_injections(schedule.fs_injections(Target::W2));
+    w1.run_pending();
+    w2.run_pending();
+    coordinator.tick(0);
+
+    let events = schedule.worker_events();
+    let mut timeline: Vec<String> = Vec::new();
+    let mut auto_restarts: Vec<(Target, u64)> = Vec::new();
+    let worker_of = |target: Target| -> &Arc<SimWorker> {
+        if target == Target::W2 {
+            &w2
+        } else {
+            &w1
+        }
+    };
+    let fired = |timeline: &[String]| -> Vec<String> {
+        let mut all: Vec<String> = net.fault_trace().iter().map(|r| r.to_string()).collect();
+        for (name, worker) in [("w1", &w1), ("w2", &w2)] {
+            all.extend(
+                worker
+                    .sim_fs()
+                    .fault_trace()
+                    .iter()
+                    .map(|r| format!("{name} {r}")),
+            );
+        }
+        all.extend(timeline.iter().cloned());
+        all
+    };
+    let mut reboots = 0u32;
+    let mut steps = 0u64;
+    loop {
+        steps += 1;
+        if steps > MAX_GEN_STEPS {
+            return Err(GenFailure {
+                oracle: "no-convergence",
+                message: format!("cluster seed {seed}: no convergence after {MAX_GEN_STEPS} steps"),
+                fired: fired(&timeline),
+            });
+        }
+        let t = steps * STEP_MS;
+        now.store(t, Ordering::Relaxed);
+
+        for &(target, event, at_step) in &events {
+            if at_step != steps {
+                continue;
+            }
+            let worker = worker_of(target);
+            match event {
+                WorkerEvent::Crash => worker.crash(),
+                WorkerEvent::Restart => worker.restart(),
+            }
+            timeline.push(format!("worker {target} {event} @{steps}"));
+        }
+        // An injected disk crash kills the machine under the process:
+        // down the worker, expose the crash image, boot it back later.
+        for (target, worker) in [(Target::W1, &w1), (Target::W2, &w2)] {
+            if worker.sim_fs().crashed() {
+                worker.crash();
+                worker.sim_fs().reboot();
+                reboots += 1;
+                auto_restarts.push((target, steps + 8));
+                timeline.push(format!("worker {target} disk-crash reboot @{steps}"));
+            }
+        }
+        auto_restarts.retain(|&(target, due)| {
+            if steps >= due {
+                worker_of(target).restart();
+                false
+            } else {
+                true
+            }
+        });
+
+        let mut fatal: Option<String> = None;
+        for submission in &mut submissions {
+            if submission.id.is_some() || t < submission.retry_at {
+                continue;
+            }
+            let mut client = SubmitClient::new(net.endpoint("client"));
+            client.retry_backoff = std::time::Duration::ZERO;
+            client.max_retries = 8;
+            client.idem_key = Some(submission.idem.clone());
+            match client.submit(
+                "coord",
+                submission.source,
+                &format!("tenant={}", submission.tenant),
+            ) {
+                Ok(outcome) => match outcome
+                    .id
+                    .strip_prefix("g-")
+                    .and_then(|n| n.parse::<u64>().ok())
+                {
+                    Some(id) => submission.id = Some(id),
+                    None => fatal = Some(format!("unexpected job id {}", outcome.id)),
+                },
+                Err(ClientError::Retryable { retry_after_ms, .. }) => {
+                    submission.retry_at = t + retry_after_ms.unwrap_or(STEP_MS).max(STEP_MS);
+                }
+                Err(error) => fatal = Some(error.to_string()),
+            }
+        }
+        if let Some(message) = fatal {
+            return Err(GenFailure {
+                oracle: "submit-failed",
+                message: format!("cluster seed {seed}: submit failed: {message}"),
+                fired: fired(&timeline),
+            });
+        }
+
+        coordinator.tick(t);
+        w1.run_pending();
+        w2.run_pending();
+
+        if submissions.iter().all(|s| s.id.is_some()) && coordinator.all_done() {
+            break;
+        }
+    }
+
+    let stats = coordinator.stats();
+    for submission in &submissions {
+        let id = submission.id.expect("checked before convergence");
+        let completion = coordinator.completion(id).ok_or_else(|| GenFailure {
+            oracle: "lost-job",
+            message: format!("cluster seed {seed}: g-{id} has no completion"),
+            fired: fired(&timeline),
+        })?;
+        let results = completion.results.as_deref().ok_or_else(|| GenFailure {
+            oracle: "missing-results",
+            message: format!("cluster seed {seed}: g-{id} completed without results"),
+            fired: fired(&timeline),
+        })?;
+        let fp = results_fingerprint(results);
+        if fp != submission.baseline {
+            return Err(GenFailure {
+                oracle: "fingerprint-divergence",
+                message: format!(
+                    "cluster seed {seed}: g-{id} fingerprint {fp:#018x} differs from baseline \
+                     {:#018x}",
+                    submission.baseline
+                ),
+                fired: fired(&timeline),
+            });
+        }
+    }
+    if stats.completed != submissions.len() as u64 {
+        return Err(GenFailure {
+            oracle: "completion-count",
+            message: format!(
+                "cluster seed {seed}: {} completions recorded for {} jobs",
+                stats.completed,
+                submissions.len()
+            ),
+            fired: fired(&timeline),
+        });
+    }
+
+    Ok(GenOutcome {
+        arena: Arena::Cluster,
+        seed,
+        attempts: steps as u32,
+        reboots,
+        fired: fired(&timeline),
+        detail: format!(
+            "{} jobs, {} migrations, {} fenced, {} hedges",
+            submissions.len(),
+            stats.migrations,
+            stats.fenced,
+            stats.hedges
+        ),
+    })
+}
+
+/// Delta-debugging (ddmin) reduction of `items` against a failure
+/// predicate, followed by a single-deletion fixpoint pass, yielding a
+/// **1-minimal** subset: `fails` holds on the result, and removing any
+/// single element makes it stop holding.
+///
+/// `fails(items)` must hold on entry; the predicate must be
+/// deterministic (in this module it replays a fault schedule, which
+/// is).
+pub fn shrink_with<T: Clone>(items: &[T], fails: &mut dyn FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current = items.to_vec();
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut next: Option<(Vec<T>, usize)> = None;
+        // Try each chunk alone, then each chunk's complement.
+        for start in (0..current.len()).step_by(chunk) {
+            let subset = current[start..(start + chunk).min(current.len())].to_vec();
+            if subset.len() < current.len() && fails(&subset) {
+                next = Some((subset, 2));
+                break;
+            }
+        }
+        if next.is_none() && n > 2 {
+            for start in (0..current.len()).step_by(chunk) {
+                let mut complement = current.clone();
+                complement.drain(start..(start + chunk).min(complement.len()));
+                if complement.len() < current.len() && fails(&complement) {
+                    next = Some((complement, n - 1));
+                    break;
+                }
+            }
+        }
+        match next {
+            Some((reduced, granularity)) => {
+                current = reduced;
+                n = granularity.clamp(2, current.len().max(2));
+            }
+            None => {
+                if n >= current.len() {
+                    break;
+                }
+                n = (n * 2).min(current.len());
+            }
+        }
+    }
+    // 1-minimality: keep deleting single elements to a fixpoint (also
+    // covers the length-0/1 edge ddmin skips).
+    loop {
+        let mut reduced = false;
+        for index in 0..current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(index);
+            if fails(&candidate) {
+                current = candidate;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return current;
+        }
+    }
+}
+
+/// Shrinks a failing schedule: ddmin-deletes injections, then coarsens
+/// each surviving injection's index toward rounder values — all while
+/// the *same oracle* keeps failing, so the minimized schedule
+/// reproduces the original failure, not a different one.
+///
+/// The result is 1-minimal: removing any remaining injection makes the
+/// run pass or changes the failure.
+pub fn shrink_schedule(failing: &FaultSchedule, failure: &GenFailure) -> FaultSchedule {
+    let oracle = failure.oracle;
+    let template = failing.clone();
+    let mut fails = move |injections: &[Injection]| -> bool {
+        let mut candidate = template.clone();
+        candidate.injections = injections.to_vec();
+        candidate.canonicalize();
+        matches!(run_generated(&candidate), Err(f) if f.oracle == oracle)
+    };
+    let mut kept = shrink_with(&failing.injections, &mut fails);
+    // Coarsen: a repro at op @10 reads better than @117, and rounder
+    // indices survive harness drift longer.
+    for index in 0..kept.len() {
+        let at = kept[index].at();
+        for candidate_at in [at - at % 10, at - at % 5] {
+            if candidate_at == 0 || candidate_at == at {
+                continue;
+            }
+            let mut trial = kept.clone();
+            trial[index] = trial[index].with_at(candidate_at);
+            if fails(&trial) {
+                kept = trial;
+                break;
+            }
+        }
+    }
+    let mut shrunk = failing.clone();
+    shrunk.injections = kept;
+    shrunk.canonicalize();
+    shrunk
+}
+
+/// One failure a [`search`] found, with its minimized repro.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchHit {
+    /// The 0-based search iteration that failed.
+    pub iteration: u64,
+    /// The failing case's derived seed.
+    pub case_seed: u64,
+    /// The oracle violation.
+    pub failure: GenFailure,
+    /// The schedule as generated.
+    pub schedule: FaultSchedule,
+    /// The 1-minimal shrunk schedule, `expect` set to the failing
+    /// oracle — ready to commit to `chaos-corpus/`.
+    pub shrunk: FaultSchedule,
+}
+
+/// What a bounded [`search`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchReport {
+    /// The arena searched.
+    pub arena: Arena,
+    /// The search's master seed.
+    pub seed: u64,
+    /// The intensity profile.
+    pub profile: Profile,
+    /// Iterations actually run (≤ the budget; a hit stops the search).
+    pub iterations: u64,
+    /// The first failure found, if any.
+    pub hit: Option<SearchHit>,
+}
+
+/// A bounded seeded search: derive `iterations` case seeds from one
+/// master seed, generate-and-run each, and on the first failure shrink
+/// it to a minimal repro. Fully deterministic: the same
+/// `(arena, seed, profile, iterations, plant)` always yields the same
+/// report, injected-fault traces included.
+pub fn search(
+    arena: Arena,
+    seed: u64,
+    profile: Profile,
+    iterations: u64,
+    plant: BugPlant,
+) -> SearchReport {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x6368_616f_735f_7365);
+    for iteration in 0..iterations {
+        let case_seed = rng.next_u64();
+        let mut schedule = generate(arena, case_seed, profile);
+        schedule.plant = plant;
+        if let Err(failure) = run_generated(&schedule) {
+            let mut shrunk = shrink_schedule(&schedule, &failure);
+            shrunk.expect = Some(failure.oracle.to_string());
+            return SearchReport {
+                arena,
+                seed,
+                profile,
+                iterations: iteration + 1,
+                hit: Some(SearchHit {
+                    iteration,
+                    case_seed,
+                    failure,
+                    schedule,
+                    shrunk,
+                }),
+            };
+        }
+    }
+    SearchReport {
+        arena,
+        seed,
+        profile,
+        iterations,
+        hit: None,
+    }
+}
+
+/// Replays a schedule file's run and judges it against the file's
+/// `expect` directive: a plain file must pass its oracle checks; an
+/// `expect <oracle>` file must fail with exactly that oracle (it
+/// guards a *detection*, typically of a [`BugPlant`]).
+///
+/// # Errors
+///
+/// Returns the divergence: an unexpected failure, the wrong oracle, or
+/// an expected failure that no longer fires (the detector regressed).
+pub fn replay(schedule: &FaultSchedule) -> Result<String, String> {
+    match (run_generated(schedule), &schedule.expect) {
+        (Ok(outcome), None) => Ok(format!(
+            "ok: {} seed {} converged ({} faults fired; {})",
+            outcome.arena,
+            outcome.seed,
+            outcome.fired.len(),
+            outcome.detail
+        )),
+        (Ok(_), Some(oracle)) => Err(format!(
+            "{} seed {}: expected the '{oracle}' oracle to fail but the run passed — \
+             the regression this schedule guards is no longer detected",
+            schedule.arena, schedule.seed
+        )),
+        (Err(failure), Some(oracle)) if failure.oracle == oracle => Ok(format!(
+            "ok: {} seed {} failed '{oracle}' as expected ({} faults fired)",
+            schedule.arena,
+            schedule.seed,
+            failure.fired.len()
+        )),
+        (Err(failure), Some(oracle)) => Err(format!(
+            "{} seed {}: expected the '{oracle}' oracle, got: {failure}",
+            schedule.arena, schedule.seed
+        )),
+        (Err(failure), None) => Err(format!(
+            "{} seed {}: {failure}",
+            schedule.arena, schedule.seed
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_text_roundtrips() {
+        for arena in Arena::ALL {
+            for profile in Profile::ALL {
+                let schedule = generate(arena, 42, profile);
+                let parsed = FaultSchedule::parse(&schedule.encode()).unwrap();
+                assert_eq!(parsed, schedule);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(Arena::Cluster, 7, Profile::Heavy);
+        let b = generate(Arena::Cluster, 7, Profile::Heavy);
+        assert_eq!(a.encode(), b.encode());
+        assert_ne!(
+            generate(Arena::Cluster, 7, Profile::Heavy).encode(),
+            generate(Arena::Cluster, 8, Profile::Heavy).encode()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_schedules() {
+        let cases: [(&str, &str); 8] = [
+            ("seed 1\nfs main crash @3", "missing 'arena"),
+            ("arena queue\nfs main crash @3", "missing 'seed"),
+            ("arena nope\nseed 1", "unknown arena 'nope'"),
+            ("arena queue\nseed 1\nfs main crash @0", "1-based"),
+            (
+                "arena queue\nseed 1\nfs main melt @3",
+                "unknown storage fault 'melt'",
+            ),
+            (
+                "arena queue\nseed 1\nnet eat-packet @3",
+                "unknown network fault 'eat-packet'",
+            ),
+            (
+                "arena queue\nseed 1\nexpect not-an-oracle",
+                "unknown oracle",
+            ),
+            ("arena queue\nseed 1\nwobble", "unrecognized injection"),
+        ];
+        for (text, needle) in cases {
+            let error = FaultSchedule::parse(text).unwrap_err();
+            assert!(
+                error.contains(needle),
+                "parse of {text:?} should mention {needle:?}, got: {error}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_inapplicable_injections() {
+        let text = "arena storage\nseed 1\nnet reset @3";
+        let schedule = FaultSchedule::parse(text).unwrap();
+        let failure = run_generated(&schedule).unwrap_err();
+        assert_eq!(failure.oracle, HARNESS_ORACLE);
+
+        let text = "arena cluster\nseed 1\nfs main crash @3";
+        let schedule = FaultSchedule::parse(text).unwrap();
+        let failure = run_generated(&schedule).unwrap_err();
+        assert_eq!(failure.oracle, HARNESS_ORACLE);
+    }
+
+    #[test]
+    fn clean_queue_arena_passes_and_replays_identically() {
+        let schedule = generate(Arena::Queue, 3, Profile::Medium);
+        let a = run_generated(&schedule).unwrap();
+        let b = run_generated(&schedule).unwrap();
+        assert_eq!(a, b, "same schedule, same outcome and fired trace");
+    }
+
+    #[test]
+    fn shrink_with_is_one_minimal_on_a_synthetic_predicate() {
+        // Fails iff it contains both 3 and 7: the minimum is {3, 7}.
+        let items: Vec<u32> = (0..20).collect();
+        let mut fails = |xs: &[u32]| xs.contains(&3) && xs.contains(&7);
+        let mut shrunk = shrink_with(&items, &mut fails);
+        shrunk.sort_unstable();
+        assert_eq!(shrunk, vec![3, 7]);
+    }
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod chaosgen;
 pub mod cluster;
 pub mod http;
 pub mod job;

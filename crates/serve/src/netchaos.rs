@@ -61,7 +61,7 @@ system {
 "#;
 
 /// Virtual milliseconds per harness step.
-const STEP_MS: u64 = 100;
+pub(crate) const STEP_MS: u64 = 100;
 /// `run_pending` calls a job occupies before its full verification runs
 /// — the window in which crashes and partitions catch it "mid-job".
 const WORK_TICKS: u32 = 4;
@@ -279,6 +279,13 @@ impl SimWorker {
     /// Boots the process back up (it re-registers on its next pump).
     pub fn restart(&self) {
         self.net.restart(&self.name);
+    }
+
+    /// The worker's durable simulated disk — the generated-schedule
+    /// harness ([`crate::chaosgen`]) aims exact storage injections at it
+    /// and reboots it when an injected crash kills the "machine".
+    pub(crate) fn sim_fs(&self) -> Arc<SimFs> {
+        Arc::clone(&self.fs)
     }
 
     /// How many of this worker's results the coordinator fenced.
@@ -616,7 +623,7 @@ fn ok_json(status: &str) -> WireResponse {
     WireResponse::new(202, Obj::new().str("status", status).build().into_bytes())
 }
 
-fn cluster_config(vfs: VfsHandle) -> ClusterConfig {
+pub(crate) fn cluster_config(vfs: VfsHandle) -> ClusterConfig {
     ClusterConfig {
         detector: DetectorConfig {
             heartbeat_ms: STEP_MS,
@@ -636,14 +643,14 @@ fn cluster_config(vfs: VfsHandle) -> ClusterConfig {
 /// crashed or partitioned worker's jobs *before* the failure detector
 /// fires, and these schedules exist to isolate the migration machinery
 /// — so park the hedge threshold out of reach.
-fn migration_cluster_config(vfs: VfsHandle) -> ClusterConfig {
+pub(crate) fn migration_cluster_config(vfs: VfsHandle) -> ClusterConfig {
     ClusterConfig {
         hedge_floor_ms: 3_600_000,
         ..cluster_config(vfs)
     }
 }
 
-fn make_coordinator(
+pub(crate) fn make_coordinator(
     net: &Arc<SimNet>,
     config: ClusterConfig,
     now: &Arc<AtomicU64>,
@@ -666,10 +673,20 @@ fn make_coordinator(
 ///
 /// # Errors
 ///
-/// Returns a description of the first violated invariant: a lost or
+/// Returns a description of the first violated invariant — a lost or
 /// double-counted job, a fingerprint that differs from the single-node
-/// baseline, a missing fence, or non-convergence.
+/// baseline, a missing fence, or non-convergence — followed by a
+/// one-line repro command.
 pub fn run_net_schedule(schedule: NetSchedule, seed: u64) -> Result<NetChaosOutcome, String> {
+    run_net_schedule_inner(schedule, seed).map_err(|e| {
+        format!(
+            "{e}\n  repro: {}",
+            crate::chaosgen::matrix_repro(schedule.as_str(), seed)
+        )
+    })
+}
+
+fn run_net_schedule_inner(schedule: NetSchedule, seed: u64) -> Result<NetChaosOutcome, String> {
     if matches!(
         schedule,
         NetSchedule::Straggler | NetSchedule::OverloadBurst | NetSchedule::FlappingWorker
@@ -929,7 +946,7 @@ struct Submission {
     retry_at: u64,
 }
 
-fn baseline_fingerprint(source: &str) -> Result<u64, String> {
+pub(crate) fn baseline_fingerprint(source: &str) -> Result<u64, String> {
     let spec = compile(source).map_err(|e| format!("spec does not compile: {e}"))?;
     let options = VerifyOptions {
         config: SearchConfig {

@@ -1,0 +1,207 @@
+//! End-to-end tests for the randomized fault-schedule search: format
+//! error paths, run determinism (including the injected-fault trace),
+//! the shrinker's 1-minimality contract, and the planted-bug detection
+//! the committed `chaos-corpus/` guards.
+
+use pnp_serve::chaos::Schedule;
+use pnp_serve::chaosgen::{
+    generate, replay, run_generated, search, shrink_with, Arena, BugPlant, FaultSchedule, Profile,
+};
+use pnp_serve::netchaos::NetSchedule;
+use proptest::prelude::*;
+
+#[test]
+fn matrix_schedule_parsers_reject_unknown_names_and_list_the_valid_ones() {
+    let storage = Schedule::parse("not-a-schedule").unwrap_err();
+    assert!(storage.contains("not-a-schedule"), "{storage}");
+    assert!(storage.contains("checkpoint-crash"), "{storage}");
+    assert!(storage.contains("resume-after-spill"), "{storage}");
+
+    let cluster = NetSchedule::parse("not-a-schedule").unwrap_err();
+    assert!(cluster.contains("not-a-schedule"), "{cluster}");
+    assert!(cluster.contains("worker_crash_mid_job"), "{cluster}");
+    assert!(cluster.contains("flapping_worker"), "{cluster}");
+
+    // The old binaries' names must all keep parsing (CLI aliases).
+    for name in Schedule::ALL.map(|s| s.as_str()) {
+        Schedule::parse(name).unwrap();
+    }
+    for name in NetSchedule::ALL.map(|s| s.as_str()) {
+        NetSchedule::parse(name).unwrap();
+    }
+}
+
+#[test]
+fn fault_schedule_parse_reports_line_numbers_and_valid_alternatives() {
+    let error = FaultSchedule::parse("arena queue\nseed 1\n\nfs main melt @3").unwrap_err();
+    assert!(error.starts_with("line 4:"), "{error}");
+    assert!(error.contains("crash"), "should list valid kinds: {error}");
+
+    let error = FaultSchedule::parse("arena queue\nseed 1\nnet warp @2").unwrap_err();
+    assert!(error.contains("drop-request"), "{error}");
+
+    let error = FaultSchedule::parse("arena queue\nseed 1\nexpect nothing").unwrap_err();
+    assert!(
+        error.contains("lost-commit"),
+        "should list oracles: {error}"
+    );
+
+    assert!(FaultSchedule::parse("seed 1")
+        .unwrap_err()
+        .contains("arena"));
+    assert!(FaultSchedule::parse("arena queue")
+        .unwrap_err()
+        .contains("seed"));
+}
+
+#[test]
+fn every_arena_generates_parseable_deterministic_schedules() {
+    for arena in Arena::ALL {
+        for seed in [0u64, 1, 0xdead_beef] {
+            let a = generate(arena, seed, Profile::Heavy);
+            let b = generate(arena, seed, Profile::Heavy);
+            assert_eq!(a.encode(), b.encode(), "{arena} seed {seed}");
+            assert_eq!(FaultSchedule::parse(&a.encode()).unwrap(), a);
+            assert!(!a.injections.is_empty());
+        }
+    }
+}
+
+#[test]
+fn same_seed_runs_produce_identical_fired_traces() {
+    // The determinism regression the repro commands depend on: two runs
+    // of the same schedule observe the exact same injected-fault trace.
+    for arena in [Arena::Storage, Arena::Queue] {
+        let schedule = generate(arena, 6, Profile::Medium);
+        let a = run_generated(&schedule).unwrap();
+        let b = run_generated(&schedule).unwrap();
+        assert_eq!(a, b, "{arena}: outcome (incl. fired trace) must be stable");
+    }
+    let schedule = generate(Arena::Cluster, 17, Profile::Medium);
+    let a = run_generated(&schedule).unwrap();
+    let b = run_generated(&schedule).unwrap();
+    assert_eq!(a.fired, b.fired, "cluster fired trace must be stable");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn same_seed_searches_are_byte_identical() {
+    let a = search(Arena::Queue, 41, Profile::Light, 12, BugPlant::None);
+    let b = search(Arena::Queue, 41, Profile::Light, 12, BugPlant::None);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn search_finds_the_planted_queue_bug_and_shrinks_it_to_a_minimal_repro() {
+    // The acceptance gate: re-introduce the pre-commit_replace queue
+    // bug and the bounded search must find it, shrink it to at most 5
+    // injections, and the shrunk schedule must replay deterministically.
+    let report = search(
+        Arena::Queue,
+        99,
+        Profile::Medium,
+        100,
+        BugPlant::UnsyncedQueueCommit,
+    );
+    let hit = report
+        .hit
+        .expect("the planted bug must be found within 100 iterations");
+    let shrunk = &hit.shrunk;
+    assert!(
+        shrunk.injections.len() <= 5,
+        "shrunk to {} injections: {}",
+        shrunk.injections.len(),
+        shrunk.encode()
+    );
+    assert_eq!(shrunk.expect.as_deref(), Some(hit.failure.oracle));
+
+    // Replayable from its serialized form, twice, with identical traces.
+    let parsed = FaultSchedule::parse(&shrunk.encode()).unwrap();
+    replay(&parsed).expect("the minimized schedule must replay its failure");
+    let x = run_generated(&parsed).unwrap_err();
+    let y = run_generated(&parsed).unwrap_err();
+    assert_eq!(x, y, "the minimized failure must be deterministic");
+    assert_eq!(x.oracle, hit.failure.oracle);
+
+    // 1-minimality: removing any single remaining injection makes the
+    // run pass or changes the failure.
+    for index in 0..parsed.injections.len() {
+        let mut weaker = parsed.clone();
+        weaker.injections.remove(index);
+        weaker.expect = None;
+        match run_generated(&weaker) {
+            Ok(_) => {}
+            Err(failure) => assert_ne!(
+                failure.oracle, hit.failure.oracle,
+                "dropping injection {index} must not reproduce the same failure"
+            ),
+        }
+    }
+}
+
+#[test]
+fn fixed_corpus_style_schedule_detects_the_plant_without_search() {
+    // The exact shape committed to chaos-corpus/: a tiny hand-auditable
+    // schedule whose expect directive guards the detection.
+    let text = "\
+# regression guard: queue commits must be durable before rename
+arena queue
+seed 17757367667388014226
+plant unsynced-queue-commit
+expect lost-commit
+fs main crash @8
+";
+    let schedule = FaultSchedule::parse(text).unwrap();
+    replay(&schedule).expect("the corpus schedule must keep detecting the plant");
+
+    // And with the plant removed, the shipped commit_replace passes the
+    // very same fault — the bug, not the schedule, is what fails.
+    let mut fixed = schedule.clone();
+    fixed.plant = BugPlant::None;
+    fixed.expect = None;
+    run_generated(&fixed).expect("commit_replace must survive the same crash");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn shrinker_output_fails_and_is_one_minimal(
+        items in proptest::collection::vec(0u32..40, 2..24),
+        culprits in proptest::collection::vec(0u32..40, 1..4),
+    ) {
+        // Synthetic failure predicate: fails iff every culprit value is
+        // present. Seed the items so the initial input fails.
+        let mut all = items.clone();
+        all.extend(culprits.iter().copied());
+        let mut calls = 0u32;
+        let mut fails = |xs: &[u32]| {
+            calls += 1;
+            culprits.iter().all(|c| xs.contains(c))
+        };
+        prop_assert!(fails(&all));
+        let shrunk = shrink_with(&all, &mut fails);
+
+        // Contract 1: the shrunk input still fails.
+        prop_assert!(fails(&shrunk), "shrunk input must still fail: {:?}", shrunk);
+
+        // Contract 2: 1-minimality — removing any single element passes.
+        for index in 0..shrunk.len() {
+            let mut weaker = shrunk.clone();
+            weaker.remove(index);
+            prop_assert!(
+                !fails(&weaker),
+                "removing element {} of {:?} should make it pass",
+                index,
+                shrunk
+            );
+        }
+
+        // For this predicate the true minimum is the culprit set itself.
+        let mut expected: Vec<u32> = culprits.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        let mut got = shrunk.clone();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+}
